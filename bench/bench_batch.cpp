@@ -1,0 +1,74 @@
+// Batch-verification ablation (DESIGN.md §8.2): amortizing McCLS's single
+// verification pairing over n same-signer signatures versus verifying each
+// one individually. Expected shape: batch cost grows ~linearly in scalar
+// mults while individual verification grows linearly in pairings, so the
+// speedup approaches pairing/scalar-mult ratio for large n.
+#include <benchmark/benchmark.h>
+
+#include "cls/batch.hpp"
+
+namespace {
+
+using namespace mccls;
+
+struct BatchFixture {
+  BatchFixture() : rng(std::uint64_t{0xBA7C4}), kgc(cls::Kgc::setup(rng)) {
+    signer = scheme.enroll(kgc, "batch-node", rng);
+    for (int i = 0; i < 64; ++i) {
+      crypto::ByteWriter w;
+      w.put_u32(static_cast<std::uint32_t>(i));
+      crypto::Bytes m = w.take();
+      items.push_back(cls::BatchItem{
+          .message = m, .signature = cls::Mccls::sign_typed(kgc.params(), signer, m, rng)});
+    }
+    // Warm the identity pairing cache: both paths benefit equally.
+    (void)cache.get(kgc.params(), "batch-node");
+  }
+
+  crypto::HmacDrbg rng;
+  cls::Kgc kgc;
+  cls::Mccls scheme;
+  cls::UserKeys signer;
+  std::vector<cls::BatchItem> items;
+  cls::PairingCache cache;
+};
+
+BatchFixture& fixture() {
+  static BatchFixture f;
+  return f;
+}
+
+void BM_BatchVerify(benchmark::State& state) {
+  auto& f = fixture();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::span<const cls::BatchItem> batch{f.items.data(), n};
+  for (auto _ : state) {
+    const bool ok = cls::batch_verify(f.kgc.params(), "batch-node",
+                                      f.signer.public_key.primary(), batch, f.rng, &f.cache);
+    if (!ok) state.SkipWithError("batch rejected");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchVerify)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_IndividualVerify(benchmark::State& state) {
+  auto& f = fixture();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool ok =
+          cls::Mccls::verify_typed(f.kgc.params(), "batch-node",
+                                   f.signer.public_key.primary(), f.items[i].message,
+                                   f.items[i].signature, &f.cache);
+      if (!ok) state.SkipWithError("signature rejected");
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IndividualVerify)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,16 @@
+// Figure 1: packet delivery ratio vs node speed, AODV vs McCLS (no attack).
+// Expected shape (paper §6): the two curves are close — the authentication
+// extension does not degrade delivery — and both decline as speed rises.
+#include "fig_common.hpp"
+
+int main() {
+  using namespace mccls::bench;
+  run_figure("=== Figure 1: Packet Delivery Ratio (no attack) ===",
+             "packet delivery ratio",
+             {
+                 {"AODV", SecurityMode::kNone, AttackType::kNone},
+                 {"McCLS", SecurityMode::kModeled, AttackType::kNone},
+             },
+             [](const ScenarioResult& r) { return r.pdr(); });
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 2: RREQ ratio vs node speed, AODV vs McCLS.
+// Expected shape: both curves rise with speed (more route breaks, more
+// discovery floods); AODV and McCLS stay close to each other.
+#include "fig_common.hpp"
+
+int main() {
+  using namespace mccls::bench;
+  run_figure("=== Figure 2: RREQ Ratio ===",
+             "(RREQ initiated + forwarded + retried) / (data sent + forwarded)",
+             {
+                 {"AODV", SecurityMode::kNone, AttackType::kNone},
+                 {"McCLS", SecurityMode::kModeled, AttackType::kNone},
+             },
+             [](const ScenarioResult& r) { return r.rreq_ratio(); });
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 5: packet drop ratio (data discarded by attackers / data sent) vs
+// node speed under 2-node black-hole and rushing attacks.
+// Expected shape: plain AODV peaks around 19% (black-hole) and 57% (rushing)
+// in the paper; under McCLS both curves are identically zero — attackers
+// hold no valid partial keys, so they never get onto forwarding paths.
+#include "fig_common.hpp"
+
+int main() {
+  using namespace mccls::bench;
+  run_figure("=== Figure 5: Packet Drop Ratio under attack ===",
+             "data discarded by attackers / data sent",
+             {
+                 {"AODV+bh", SecurityMode::kNone, AttackType::kBlackHole},
+                 {"AODV+rush", SecurityMode::kNone, AttackType::kRushing},
+                 {"McCLS+bh", SecurityMode::kModeled, AttackType::kBlackHole},
+                 {"McCLS+rush", SecurityMode::kModeled, AttackType::kRushing},
+             },
+             [](const ScenarioResult& r) { return r.drop_ratio(); });
+  return 0;
+}

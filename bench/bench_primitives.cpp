@@ -1,0 +1,171 @@
+// Micro-benchmarks of the cryptographic substrate: field arithmetic, curve
+// operations, the Tate pairing, and the hash oracles. These calibrate the
+// cost model used by the simulator (scenario.cpp: derive_crypto_costs) and
+// back the design notes in DESIGN.md §8 (e.g. extgcd-based inversion in the
+// affine Miller loop).
+#include <benchmark/benchmark.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/sha256.hpp"
+#include "pairing/pairing.hpp"
+
+namespace {
+
+using namespace mccls;
+using math::Fp;
+using math::Fq;
+using math::U256;
+
+Fp sample_fp(std::uint64_t seed) {
+  crypto::HmacDrbg rng(seed);
+  auto bytes = rng.generate(32);
+  return Fp::from_u256(U256::from_be_bytes(bytes));
+}
+
+void BM_FpMul(benchmark::State& state) {
+  Fp a = sample_fp(1);
+  const Fp b = sample_fp(2);
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FpMul);
+
+void BM_FpSquare(benchmark::State& state) {
+  Fp a = sample_fp(3);
+  for (auto _ : state) {
+    a = a.square();
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FpSquare);
+
+void BM_FpInvExtgcd(benchmark::State& state) {
+  Fp a = sample_fp(4);
+  for (auto _ : state) {
+    a = a.inv() + Fp::one();  // keep the value moving
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FpInvExtgcd);
+
+void BM_FpInvFermat(benchmark::State& state) {
+  // Ablation partner for the extgcd inverse (DESIGN.md §8.3).
+  U256 p_minus_2;
+  sub(p_minus_2, Fp::modulus(), U256::from_u64(2));
+  Fp a = sample_fp(5);
+  for (auto _ : state) {
+    a = a.pow(p_minus_2) + Fp::one();
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FpInvFermat);
+
+void BM_G1ScalarMult(benchmark::State& state) {
+  crypto::HmacDrbg rng(std::uint64_t{6});
+  const ec::G1& g = ec::G1::generator();
+  Fq k = rng.next_nonzero_fq();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.mul(k));
+  }
+}
+BENCHMARK(BM_G1ScalarMult);
+
+void BM_G1DoubleScalarMult(benchmark::State& state) {
+  // Ablation: Shamir's trick vs two separate muls (the McCLS verify path).
+  crypto::HmacDrbg rng(std::uint64_t{66});
+  const ec::G1& g = ec::G1::generator();
+  const ec::G1 p = g.mul(U256::from_u64(99));
+  const U256 a = rng.next_nonzero_fq().to_u256();
+  const U256 b = rng.next_nonzero_fq().to_u256();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec::G1::mul2(a, g, b, p));
+  }
+}
+BENCHMARK(BM_G1DoubleScalarMult);
+
+void BM_G1TwoSeparateMuls(benchmark::State& state) {
+  crypto::HmacDrbg rng(std::uint64_t{66});
+  const ec::G1& g = ec::G1::generator();
+  const ec::G1 p = g.mul(U256::from_u64(99));
+  const U256 a = rng.next_nonzero_fq().to_u256();
+  const U256 b = rng.next_nonzero_fq().to_u256();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.mul(a) + p.mul(b));
+  }
+}
+BENCHMARK(BM_G1TwoSeparateMuls);
+
+void BM_G1FixedBaseMult(benchmark::State& state) {
+  // Ablation: precomputed generator table vs generic scalar mult.
+  crypto::HmacDrbg rng(std::uint64_t{67});
+  const U256 k = rng.next_nonzero_fq().to_u256();
+  (void)ec::G1::mul_generator(U256::one());  // build the table outside timing
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec::G1::mul_generator(k));
+  }
+}
+BENCHMARK(BM_G1FixedBaseMult);
+
+void BM_G1Add(benchmark::State& state) {
+  const ec::G1 a = ec::G1::generator().mul(U256::from_u64(123));
+  const ec::G1 b = ec::G1::generator().mul(U256::from_u64(456));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_G1Add);
+
+void BM_Pairing(benchmark::State& state) {
+  const ec::G1 p = ec::G1::generator().mul(U256::from_u64(31337));
+  const ec::G1 q = ec::G1::generator().mul(U256::from_u64(271828));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::pair(p, q));
+  }
+}
+BENCHMARK(BM_Pairing);
+
+void BM_GtPow(benchmark::State& state) {
+  const pairing::Gt g = pairing::pair(ec::G1::generator(), ec::G1::generator());
+  crypto::HmacDrbg rng(std::uint64_t{7});
+  const Fq e = rng.next_nonzero_fq();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.pow(e));
+  }
+}
+BENCHMARK(BM_GtPow);
+
+void BM_HashToG1(benchmark::State& state) {
+  std::uint32_t ctr = 0;
+  for (auto _ : state) {
+    crypto::ByteWriter w;
+    w.put_u32(ctr++);
+    benchmark::DoNotOptimize(crypto::hash_to_g1("bench", w.bytes()));
+  }
+}
+BENCHMARK(BM_HashToG1);
+
+void BM_HashToFq(benchmark::State& state) {
+  std::uint32_t ctr = 0;
+  for (auto _ : state) {
+    crypto::ByteWriter w;
+    w.put_u32(ctr++);
+    benchmark::DoNotOptimize(crypto::hash_to_fq("bench", w.bytes()));
+  }
+}
+BENCHMARK(BM_HashToFq);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Table 1: comparison of the CLS schemes — analytic operation counts as the
+// paper states them, measured sign/verify wall-clock on this host, and key /
+// signature sizes. Run with --benchmark_filter=... to narrow.
+//
+// Expected shape: verification-pairing ordering AP(4) > ZWXF(4) > YHG(2) >
+// McCLS(1) shows up directly in measured verify times; the pairing-free
+// signers (ZWXF/YHG/McCLS) sign an order of magnitude faster than AP.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "cls/registry.hpp"
+
+namespace {
+
+using namespace mccls;
+
+struct SchemeFixture {
+  explicit SchemeFixture(std::string_view name)
+      : scheme(cls::make_scheme(name)),
+        rng(std::uint64_t{0xB117}),
+        kgc(cls::Kgc::setup(rng)),
+        signer(scheme->enroll(kgc, "bench-node", rng)) {
+    message.assign(64, 0xAB);  // a routing-control-packet-sized message
+    signature = scheme->sign(kgc.params(), signer, message, rng);
+  }
+
+  std::unique_ptr<cls::Scheme> scheme;
+  crypto::HmacDrbg rng;
+  cls::Kgc kgc;
+  cls::UserKeys signer;
+  crypto::Bytes message;
+  crypto::Bytes signature;
+};
+
+SchemeFixture& fixture(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<SchemeFixture>> cache;
+  auto& slot = cache[name];
+  if (!slot) slot = std::make_unique<SchemeFixture>(name);
+  return *slot;
+}
+
+void BM_KeyGen(benchmark::State& state, const std::string& name) {
+  auto& f = fixture(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme->enroll(f.kgc, "fresh-node", f.rng));
+  }
+}
+
+void BM_Sign(benchmark::State& state, const std::string& name) {
+  auto& f = fixture(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme->sign(f.kgc.params(), f.signer, f.message, f.rng));
+  }
+}
+
+void BM_Verify(benchmark::State& state, const std::string& name) {
+  auto& f = fixture(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme->verify(f.kgc.params(), "bench-node",
+                                              f.signer.public_key, f.message, f.signature));
+  }
+}
+
+void BM_VerifyCached(benchmark::State& state, const std::string& name) {
+  // With the per-identity pairing cache warm — the deployment configuration
+  // for McCLS (ablation: DESIGN.md §8.1).
+  auto& f = fixture(name);
+  cls::PairingCache cache;
+  (void)f.scheme->verify(f.kgc.params(), "bench-node", f.signer.public_key, f.message,
+                         f.signature, &cache);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme->verify(f.kgc.params(), "bench-node",
+                                              f.signer.public_key, f.message, f.signature,
+                                              &cache));
+  }
+}
+
+void register_all() {
+  for (const auto name : cls::scheme_names()) {
+    const std::string n(name);
+    benchmark::RegisterBenchmark(("KeyGen/" + n).c_str(),
+                                 [n](benchmark::State& s) { BM_KeyGen(s, n); });
+    benchmark::RegisterBenchmark(("Sign/" + n).c_str(),
+                                 [n](benchmark::State& s) { BM_Sign(s, n); });
+    benchmark::RegisterBenchmark(("Verify/" + n).c_str(),
+                                 [n](benchmark::State& s) { BM_Verify(s, n); });
+    benchmark::RegisterBenchmark(("VerifyCached/" + n).c_str(),
+                                 [n](benchmark::State& s) { BM_VerifyCached(s, n); });
+  }
+}
+
+void print_analytic_table() {
+  std::printf("=== Table 1: Comparison of the CLS Schemes (paper's analytic costs) ===\n");
+  std::printf("%-8s %-12s %-16s %-12s %-10s %-10s\n", "scheme", "sign", "verify",
+              "pubkey-len", "sig-bytes", "pk-bytes");
+  for (const auto name : cls::scheme_names()) {
+    const auto scheme = cls::make_scheme(name);
+    const cls::OpCounts c = scheme->costs();
+    char sign_cost[32];
+    char verify_cost[48];
+    if (c.sign_pairings > 0) {
+      std::snprintf(sign_cost, sizeof sign_cost, "%dp+%ds", c.sign_pairings,
+                    c.sign_scalar_mults);
+    } else {
+      std::snprintf(sign_cost, sizeof sign_cost, "%ds", c.sign_scalar_mults);
+    }
+    if (c.verify_exponentiations > 0) {
+      std::snprintf(verify_cost, sizeof verify_cost, "%dp+%de", c.verify_pairings,
+                    c.verify_exponentiations);
+    } else {
+      std::snprintf(verify_cost, sizeof verify_cost, "%dp+%ds", c.verify_pairings,
+                    c.verify_scalar_mults);
+    }
+    const std::size_t pk_bytes = 1 + c.public_key_points * 33;
+    std::printf("%-8s %-12s %-16s %d point%-5s %-10zu %-10zu\n",
+                std::string(name).c_str(), sign_cost, verify_cost, c.public_key_points,
+                c.public_key_points == 1 ? "" : "s", scheme->signature_size(), pk_bytes);
+  }
+  std::printf("(s: scalar mult, p: pairing, e: GT exponentiation)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_analytic_table();
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

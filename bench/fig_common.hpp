@@ -1,0 +1,122 @@
+// Shared driver for the Figure 1-5 benchmarks: runs the paper's §6 scenario
+// matrix (20 nodes, 1500x300 m, RWP, pause 0, speeds 0..20 m/s) and prints
+// aligned series the way the paper's figures plot them.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aodv/scenario.hpp"
+
+namespace mccls::bench {
+
+using aodv::AttackType;
+using aodv::ScenarioConfig;
+using aodv::ScenarioResult;
+using aodv::SecurityMode;
+
+/// The speed sweep the paper's x-axes use.
+inline const std::vector<double>& speeds() {
+  static const std::vector<double> kSpeeds = {0, 5, 10, 15, 20};
+  return kSpeeds;
+}
+
+/// Replications per point; raise via MCCLS_BENCH_SEEDS for tighter curves.
+inline unsigned replications() {
+  if (const char* env = std::getenv("MCCLS_BENCH_SEEDS"); env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 5;
+}
+
+/// Simulated seconds per replication (default: the paper-scale 300 s).
+inline double sim_duration() {
+  if (const char* env = std::getenv("MCCLS_BENCH_DURATION"); env != nullptr) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 300.0;
+}
+
+inline ScenarioConfig paper_config(double max_speed, SecurityMode security,
+                                   AttackType attack) {
+  ScenarioConfig cfg;
+  cfg.max_speed = max_speed;
+  cfg.security = security;
+  cfg.attack = attack;
+  cfg.num_attackers = attack == AttackType::kNone ? 0 : 2;  // paper: 2-node attacks
+  cfg.duration = sim_duration();
+  cfg.seed = 20080617;  // ICDCS'08 week; any constant works
+  return cfg;
+}
+
+struct Series {
+  std::string label;
+  SecurityMode security;
+  AttackType attack;
+};
+
+/// Mean and standard deviation of the metric across per-seed replications.
+struct PointStats {
+  double mean = 0;
+  double sd = 0;
+};
+
+inline PointStats measure_point(ScenarioConfig cfg, unsigned seeds,
+                                const std::function<double(const ScenarioResult&)>& metric) {
+  double sum = 0;
+  double sum_sq = 0;
+  for (unsigned i = 0; i < seeds; ++i) {
+    const double v = metric(aodv::run_scenario(cfg));
+    sum += v;
+    sum_sq += v * v;
+    ++cfg.seed;
+  }
+  const double mean = sum / seeds;
+  const double var = seeds > 1 ? (sum_sq - seeds * mean * mean) / (seeds - 1) : 0.0;
+  return PointStats{.mean = mean, .sd = var > 0 ? std::sqrt(var) : 0.0};
+}
+
+/// Runs the sweep for every series and prints one row per speed as
+/// "mean±sd" across the replications. Set MCCLS_BENCH_CSV=1 for
+/// machine-readable output (one line per point) instead of the table.
+inline void run_figure(const std::string& title, const std::string& metric_name,
+                       const std::vector<Series>& series,
+                       const std::function<double(const ScenarioResult&)>& metric) {
+  const bool csv = std::getenv("MCCLS_BENCH_CSV") != nullptr;
+  if (csv) {
+    std::printf("figure,series,speed_mps,mean,sd,replications,sim_seconds\n");
+  } else {
+    std::printf("%s\n", title.c_str());
+    std::printf("%s vs. max node speed; mean±sd over %u replications x %.0f s simulated\n\n",
+                metric_name.c_str(), replications(), sim_duration());
+    std::printf("%-12s", "speed(m/s)");
+    for (const auto& s : series) std::printf("  %18s", s.label.c_str());
+    std::printf("\n");
+  }
+  for (const double speed : speeds()) {
+    if (!csv) std::printf("%-12.0f", speed);
+    for (const auto& s : series) {
+      const ScenarioConfig cfg = paper_config(speed, s.security, s.attack);
+      const PointStats stats = measure_point(cfg, replications(), metric);
+      if (csv) {
+        std::printf("%s,%s,%.0f,%.6f,%.6f,%u,%.0f\n", title.c_str(), s.label.c_str(),
+                    speed, stats.mean, stats.sd, replications(), sim_duration());
+      } else {
+        char cell[32];
+        std::snprintf(cell, sizeof cell, "%.4f±%.4f", stats.mean, stats.sd);
+        std::printf("  %18s", cell);
+      }
+      std::fflush(stdout);
+    }
+    if (!csv) std::printf("\n");
+  }
+  if (!csv) std::printf("\n");
+}
+
+}  // namespace mccls::bench

@@ -1,0 +1,48 @@
+// Secure routing demo — a miniature of the paper's §6 evaluation. Runs the
+// same 20-node MANET scenario four ways (AODV / McCLS-secured, each with and
+// without a 2-node black-hole attack) and prints a comparison report.
+//
+//   $ ./examples/secure_routing [max_speed_mps] [duration_s]
+#include <cstdio>
+#include <cstdlib>
+
+#include "aodv/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mccls::aodv;
+
+  const double speed = argc > 1 ? std::atof(argv[1]) : 10.0;
+  const double duration = argc > 2 ? std::atof(argv[2]) : 120.0;
+
+  std::printf("MANET scenario: 20 nodes, 1500x300 m, random waypoint @ %.0f m/s, %g s\n\n",
+              speed, duration);
+  std::printf("%-24s %8s %8s %10s %10s %8s\n", "configuration", "PDR", "drop", "delay(ms)",
+              "RREQratio", "authRej");
+
+  const auto report = [&](const char* label, SecurityMode security, AttackType attack) {
+    ScenarioConfig cfg;
+    cfg.max_speed = speed;
+    cfg.duration = duration;
+    cfg.security = security;
+    cfg.attack = attack;
+    cfg.num_attackers = attack == AttackType::kNone ? 0 : 2;
+    cfg.seed = 7;
+    const ScenarioResult r = run_scenario_averaged(cfg, 3);
+    std::printf("%-24s %8.3f %8.3f %10.2f %10.3f %8llu\n", label, r.pdr(), r.drop_ratio(),
+                r.avg_delay() * 1e3, r.rreq_ratio(),
+                static_cast<unsigned long long>(r.metrics.auth_rejected));
+    return r;
+  };
+
+  report("AODV", SecurityMode::kNone, AttackType::kNone);
+  report("AODV + black hole", SecurityMode::kNone, AttackType::kBlackHole);
+  report("McCLS", SecurityMode::kModeled, AttackType::kNone);
+  const ScenarioResult secured =
+      report("McCLS + black hole", SecurityMode::kModeled, AttackType::kBlackHole);
+
+  std::printf(
+      "\nUnder attack, plain AODV loses the packets the black hole absorbs;\n"
+      "the McCLS routing-authentication extension rejects the attacker's\n"
+      "forged RREPs (authRej column), so its drop ratio stays at zero.\n");
+  return secured.metrics.attacker_dropped == 0 ? 0 : 1;
+}

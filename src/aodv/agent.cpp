@@ -1,0 +1,673 @@
+#include "aodv/agent.hpp"
+
+#include <algorithm>
+
+namespace mccls::aodv {
+
+namespace {
+/// Fresher-than comparison with sequence-number wraparound (RFC 3561 §6.1).
+bool seq_newer_or_equal(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+}  // namespace
+
+AodvAgent::AodvAgent(sim::Simulator& simulator, net::Channel& channel, NodeId id,
+                     const AodvConfig& config, sim::Rng rng, Metrics& metrics,
+                     SecurityProvider* security, AttackType attack)
+    : sim_(simulator),
+      channel_(channel),
+      id_(id),
+      cfg_(config),
+      rng_(rng),
+      metrics_(metrics),
+      security_(security),
+      attack_(attack),
+      table_(config.active_route_timeout) {
+  channel_.attach(id_, this);
+  if (attack_ == AttackType::kRushing) channel_.set_zero_backoff(id_, true);
+  if (attack_ == AttackType::kWormhole) {
+    channel_.set_promiscuous(id_, true);
+    channel_.set_zero_backoff(id_, true);
+  }
+  // Wormholes are transparent repeaters: they never speak with their own
+  // voice, so no beacons (everyone else participates in HELLO).
+  if (cfg_.use_hello && attack_ != AttackType::kWormhole) {
+    sim_.schedule_in(rng_.uniform(0, cfg_.hello_interval), [this] { hello_tick(); });
+  }
+}
+
+// ------------------------------------------- local connectivity (HELLO)
+
+void AodvAgent::note_alive(NodeId neighbor) { last_heard_[neighbor] = sim_.now(); }
+
+void AodvAgent::hello_tick() {
+  // Beacon.
+  Hello hello{.node = id_, .seq = ++hello_seq_};
+  double latency = 0;
+  if (security_ != nullptr) {
+    ++metrics_.sign_ops;
+    hello.origin_auth = security_->sign(id_, signable_bytes(hello));
+    latency += sign_latency();
+  }
+  const std::size_t bytes =
+      base_wire_size(hello) + (hello.origin_auth ? wire_size(*hello.origin_auth) : 0);
+  sim_.schedule_in(latency, [this, hello = std::move(hello), bytes] {
+    channel_.broadcast(id_, bytes, AodvPayload{hello});
+  });
+
+  // Liveness check: declare links broken after allowed_hello_loss silent
+  // intervals and advertise the loss (RFC 3561 §6.9 / §6.11).
+  const sim::SimTime deadline =
+      sim_.now() - cfg_.allowed_hello_loss * cfg_.hello_interval;
+  std::vector<std::pair<NodeId, std::uint32_t>> lost;
+  for (const NodeId hop : table_.active_next_hops(sim_.now())) {
+    const auto it = last_heard_.find(hop);
+    if (it != last_heard_.end() && it->second >= deadline) continue;
+    auto affected = table_.invalidate_via(hop);
+    lost.insert(lost.end(), affected.begin(), affected.end());
+  }
+  if (!lost.empty()) send_rerr(std::move(lost));
+
+  sim_.schedule_in(cfg_.hello_interval * rng_.uniform(0.95, 1.05),
+                   [this] { hello_tick(); });
+}
+
+// --------------------------------------------------------------- security
+
+double AodvAgent::sign_latency() const {
+  return security_ != nullptr ? security_->costs().sign_delay : 0.0;
+}
+
+double AodvAgent::verify_latency(int signatures) const {
+  return security_ != nullptr ? signatures * security_->costs().verify_delay : 0.0;
+}
+
+bool AodvAgent::authenticate(const std::optional<AuthExt>& origin_auth,
+                             const std::optional<AuthExt>& hop_auth,
+                             std::span<const std::uint8_t> signable) {
+  if (security_ == nullptr) return true;
+  if (!origin_auth || !hop_auth) {
+    ++metrics_.auth_rejected;
+    return false;
+  }
+  metrics_.verify_ops += 2;
+  if (!security_->verify(*origin_auth, signable) || !security_->verify(*hop_auth, signable)) {
+    ++metrics_.auth_rejected;
+    return false;
+  }
+  return true;
+}
+
+std::size_t AodvAgent::auth_overhead(const std::optional<AuthExt>& a,
+                                     const std::optional<AuthExt>& b) const {
+  std::size_t n = 0;
+  if (a) n += wire_size(*a);
+  if (b) n += wire_size(*b);
+  return n;
+}
+
+// -------------------------------------------------------------- dispatch
+
+void AodvAgent::on_frame(const net::Frame& frame) {
+  const auto* payload = std::any_cast<AodvPayload>(&frame.payload);
+  if (payload == nullptr) return;
+  const NodeId from = frame.from;
+
+  if (attack_ == AttackType::kWormhole) {
+    wormhole_relay(frame);
+    return;
+  }
+  note_alive(from);  // any frame proves the link is up
+
+  if (const auto* hello = std::get_if<Hello>(&payload->msg)) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+      return;  // outsider attackers ignore beacons
+    }
+    if (security_ != nullptr) {
+      ++metrics_.verify_ops;
+      Hello copy = *hello;
+      sim_.schedule_in(verify_latency(1), [this, copy = std::move(copy), from] {
+        if (!copy.origin_auth || copy.origin_auth->signer != from || copy.node != from ||
+            !security_->verify(*copy.origin_auth, signable_bytes(copy))) {
+          ++metrics_.auth_rejected;
+          return;
+        }
+        table_.touch_neighbor(from, sim_.now());
+      });
+    } else {
+      table_.touch_neighbor(from, sim_.now());
+    }
+    return;
+  }
+  if (const auto* data = std::get_if<DataPacket>(&payload->msg)) {
+    handle_data(*data, from);
+    return;
+  }
+  if (const auto* rreq = std::get_if<Rreq>(&payload->msg)) {
+    // Attackers act on the raw packet immediately (they skip verification —
+    // speed is their whole game).
+    if (attack_ == AttackType::kBlackHole) {
+      if (rreq->origin != id_ && rreq->dest != id_ &&
+          !already_seen(rreq->origin, rreq->rreq_id)) {
+        black_hole_reply(*rreq, from);
+      }
+      return;
+    }
+    if (attack_ == AttackType::kRushing) {
+      if (rreq->origin != id_ && !already_seen(rreq->origin, rreq->rreq_id)) {
+        table_.touch_neighbor(from, sim_.now());
+        Route reverse{.next_hop = from,
+                      .hop_count = static_cast<std::uint8_t>(rreq->hop_count + 1),
+                      .seq = rreq->origin_seq,
+                      .valid_seq = true};
+        table_.offer(rreq->origin, reverse, sim_.now());
+        forward_rreq(*rreq);  // zero jitter: forward_rreq checks attack_
+        // Tunnel the request to every colluder; rushed copies then erupt
+        // from far-away points of the field near-instantly.
+        for (AodvAgent* peer : collusion_peers_) {
+          sim_.schedule_in(1e-4, [peer, copy = *rreq, me = id_]() mutable {
+            peer->on_tunneled_rreq(std::move(copy), me);
+          });
+        }
+      }
+      return;
+    }
+    // Honest node: verify (with CPU cost) then process. Binding rules: the
+    // origin signature must come from the claimed originator and the hop
+    // signature from the node that actually transmitted the frame —
+    // otherwise an attacker could rush a packet while replaying the previous
+    // hop's still-valid signature.
+    Rreq copy = *rreq;
+    const double delay = verify_latency(2);
+    sim_.schedule_in(delay, [this, copy = std::move(copy), from]() mutable {
+      if (security_ != nullptr && copy.origin_auth && copy.hop_auth &&
+          (copy.origin_auth->signer != copy.origin || copy.hop_auth->signer != from)) {
+        ++metrics_.auth_rejected;
+        return;
+      }
+      if (!authenticate(copy.origin_auth, copy.hop_auth, signable_bytes(copy))) return;
+      handle_rreq(std::move(copy), from);
+    });
+    return;
+  }
+  if (const auto* rrep = std::get_if<Rrep>(&payload->msg)) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+      // Outsider attackers forward RREPs to insert themselves onto paths.
+      Rrep copy = *rrep;
+      handle_rrep(std::move(copy), from);
+      return;
+    }
+    Rrep copy = *rrep;
+    sim_.schedule_in(verify_latency(2), [this, copy = std::move(copy), from]() mutable {
+      if (security_ != nullptr && copy.origin_auth && copy.hop_auth &&
+          (copy.origin_auth->signer != copy.replier || copy.hop_auth->signer != from)) {
+        ++metrics_.auth_rejected;
+        return;
+      }
+      if (!authenticate(copy.origin_auth, copy.hop_auth, signable_bytes(copy))) return;
+      handle_rrep(std::move(copy), from);
+    });
+    return;
+  }
+  if (const auto* rerr = std::get_if<Rerr>(&payload->msg)) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+      return;  // outsider attackers ignore RERRs
+    }
+    Rerr copy = *rerr;
+    sim_.schedule_in(verify_latency(1), [this, copy = std::move(copy), from] {
+      if (security_ != nullptr) {
+        ++metrics_.verify_ops;
+        if (!copy.origin_auth || !security_->verify(*copy.origin_auth, signable_bytes(copy))) {
+          ++metrics_.auth_rejected;
+          return;
+        }
+      }
+      handle_rerr(copy, from);
+    });
+    return;
+  }
+}
+
+// -------------------------------------------------------------- wormhole
+
+void AodvAgent::wormhole_relay(const net::Frame& frame) {
+  // Absorb transit data that honest nodes mistakenly hand to us.
+  if (const auto* payload = std::any_cast<AodvPayload>(&frame.payload)) {
+    if (const auto* data = std::get_if<DataPacket>(&payload->msg)) {
+      if (frame.to == id_ && data->dst != id_) ++metrics_.attacker_dropped;
+      return;
+    }
+    // Tunnel broadcast control traffic to every colluder, who replays it
+    // verbatim with the ORIGINAL transmitter spoofed — the signatures stay
+    // genuine, so no verifier can object. Dedup by flood identity to avoid
+    // replay ping-pong between endpoints.
+    std::uint64_t key = 0;
+    if (const auto* rreq = std::get_if<Rreq>(&payload->msg)) {
+      key = (std::uint64_t{1} << 60) | (static_cast<std::uint64_t>(rreq->origin) << 28) |
+            rreq->rreq_id;
+    } else if (const auto* hello = std::get_if<Hello>(&payload->msg)) {
+      key = (std::uint64_t{2} << 60) | (static_cast<std::uint64_t>(hello->node) << 28) |
+            hello->seq;
+    } else {
+      return;  // RREPs/RERRs are unicast chains; replaying them breaks nothing
+    }
+    if (!tunneled_.insert(key).second) return;
+    if (tunneled_.size() > 4096) tunneled_.clear();
+    for (AodvAgent* peer : collusion_peers_) {
+      sim_.schedule_in(1e-4, [peer, claimed = frame.from, bytes = frame.bytes,
+                              payload_copy = frame.payload, key] {
+        if (!peer->tunneled_.insert(key).second) return;
+        peer->channel_.broadcast_as(peer->id_, claimed, bytes, payload_copy);
+      });
+    }
+  }
+}
+
+// --------------------------------------------- collusion tunnel (rushing)
+
+void AodvAgent::set_collusion_peers(std::vector<AodvAgent*> peers) {
+  collusion_peers_ = std::move(peers);
+}
+
+AodvAgent* AodvAgent::peer_by_id(NodeId id) const {
+  for (AodvAgent* peer : collusion_peers_) {
+    if (peer->id() == id) return peer;
+  }
+  return nullptr;
+}
+
+void AodvAgent::on_tunneled_rreq(Rreq rreq, NodeId from_peer) {
+  if (rreq.origin == id_ || already_seen(rreq.origin, rreq.rreq_id)) return;
+  // Reverse route through the tunnel partner (radio-unreachable; RREPs are
+  // tunneled back the same way).
+  Route reverse{.next_hop = from_peer,
+                .hop_count = static_cast<std::uint8_t>(rreq.hop_count + 1),
+                .seq = rreq.origin_seq,
+                .valid_seq = true};
+  table_.offer(rreq.origin, reverse, sim_.now());
+  forward_rreq(std::move(rreq));
+}
+
+void AodvAgent::on_tunneled_rrep(Rrep rrep, NodeId from_peer) {
+  handle_rrep(std::move(rrep), from_peer);
+}
+
+// ------------------------------------------------------------------ RREQ
+
+bool AodvAgent::already_seen(NodeId origin, std::uint32_t rreq_id) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(origin) << 32) | rreq_id;
+  const sim::SimTime now = sim_.now();
+  if (seen_rreqs_.size() > 512) {
+    std::erase_if(seen_rreqs_, [now](const auto& kv) { return kv.second <= now; });
+  }
+  const auto [it, inserted] = seen_rreqs_.try_emplace(key, now + cfg_.path_discovery_time);
+  if (!inserted) {
+    if (it->second > now) return true;
+    it->second = now + cfg_.path_discovery_time;
+  }
+  return false;
+}
+
+void AodvAgent::handle_rreq(Rreq rreq, NodeId from) {
+  if (rreq.origin == id_) return;            // own flood echoed back
+  if (already_seen(rreq.origin, rreq.rreq_id)) return;
+
+  const sim::SimTime now = sim_.now();
+  table_.touch_neighbor(from, now);
+  Route reverse{.next_hop = from,
+                .hop_count = static_cast<std::uint8_t>(rreq.hop_count + 1),
+                .seq = rreq.origin_seq,
+                .valid_seq = true};
+  table_.offer(rreq.origin, reverse, now);
+
+  if (rreq.dest == id_) {
+    reply_as_destination(rreq, from);
+    return;
+  }
+  if (const Route* route = table_.find_active(rreq.dest, now);
+      route != nullptr && route->valid_seq &&
+      (rreq.unknown_dest_seq || seq_newer_or_equal(route->seq, rreq.dest_seq))) {
+    reply_as_intermediate(rreq, *route, from);
+    return;
+  }
+  forward_rreq(std::move(rreq));
+}
+
+void AodvAgent::forward_rreq(Rreq rreq) {
+  if (rreq.ttl <= 1) return;
+  --rreq.ttl;
+  ++rreq.hop_count;
+  ++metrics_.rreq_forwarded;
+
+  double latency = 0;
+  if (security_ != nullptr) {
+    ++metrics_.sign_ops;
+    rreq.hop_auth = security_->sign(id_, signable_bytes(rreq));
+    latency += sign_latency();
+  }
+  // Honest nodes add rebroadcast jitter to de-synchronize the flood; the
+  // rushing attacker's entire edge is skipping exactly this.
+  if (attack_ != AttackType::kRushing) {
+    latency += rng_.uniform(0, cfg_.forward_jitter_max);
+  }
+  const std::size_t bytes = base_wire_size(rreq) + auth_overhead(rreq.origin_auth, rreq.hop_auth);
+  sim_.schedule_in(latency, [this, rreq = std::move(rreq), bytes] {
+    channel_.broadcast(id_, bytes, AodvPayload{rreq});
+  });
+}
+
+void AodvAgent::reply_as_destination(const Rreq& rreq, NodeId reverse_hop) {
+  // RFC 3561 §6.6.1: bump our sequence number to at least the requested one.
+  if (!rreq.unknown_dest_seq && seq_newer_or_equal(rreq.dest_seq, seq_)) seq_ = rreq.dest_seq;
+  ++seq_;
+  ++metrics_.rrep_generated;
+  Rrep rrep{.origin = rreq.origin,
+            .dest = id_,
+            .dest_seq = seq_,
+            .replier = id_,
+            .hop_count = 0,
+            .lifetime = cfg_.rrep_lifetime};
+  send_rrep(std::move(rrep), reverse_hop, /*forwarded=*/false);
+}
+
+void AodvAgent::reply_as_intermediate(const Rreq& rreq, const Route& route,
+                                      NodeId reverse_hop) {
+  ++metrics_.rrep_generated;
+  Rrep rrep{.origin = rreq.origin,
+            .dest = rreq.dest,
+            .dest_seq = route.seq,
+            .replier = id_,
+            .hop_count = route.hop_count,
+            .lifetime = cfg_.rrep_lifetime};
+  send_rrep(std::move(rrep), reverse_hop, /*forwarded=*/false);
+
+  if (cfg_.gratuitous_rrep) {
+    // RFC 3561 §6.6.3: tell the destination about the route back to the
+    // originator (roles flipped; travels along our cached forward route).
+    ++metrics_.rrep_generated;
+    Rrep gratuitous{.origin = rreq.dest,
+                    .dest = rreq.origin,
+                    .dest_seq = rreq.origin_seq,
+                    .replier = id_,
+                    .hop_count = static_cast<std::uint8_t>(rreq.hop_count + 1),
+                    .lifetime = cfg_.rrep_lifetime};
+    send_rrep(std::move(gratuitous), route.next_hop, /*forwarded=*/false);
+  }
+}
+
+void AodvAgent::black_hole_reply(const Rreq& rreq, NodeId reverse_hop) {
+  // Marti et al. [8]: claim a fresh one-hop route so the origin adopts us as
+  // next hop, then absorb the data that follows. The claimed seq is just
+  // fresh enough to beat the request; a genuine RREP with a newer seq can
+  // later reclaim the route, so capture is a race, not a lock-in.
+  Rrep rrep{.origin = rreq.origin,
+            .dest = rreq.dest,
+            .dest_seq = rreq.dest_seq + 1,
+            .replier = id_,
+            .hop_count = 1,
+            .lifetime = cfg_.rrep_lifetime};
+  ++metrics_.rrep_generated;
+  send_rrep(std::move(rrep), reverse_hop, /*forwarded=*/false);
+}
+
+void AodvAgent::send_rrep(Rrep rrep, NodeId next_hop, bool forwarded) {
+  // Colluding rushers move RREPs over their out-of-band tunnel.
+  if (AodvAgent* peer = peer_by_id(next_hop); peer != nullptr) {
+    ++rrep.hop_count;
+    sim_.schedule_in(1e-4, [peer, rrep = std::move(rrep), me = id_]() mutable {
+      peer->on_tunneled_rrep(std::move(rrep), me);
+    });
+    return;
+  }
+  double latency = 0;
+  if (security_ != nullptr) {
+    if (forwarded) {
+      ++metrics_.sign_ops;
+      rrep.hop_auth = security_->sign(id_, signable_bytes(rrep));
+      latency += sign_latency();
+    } else {
+      // Fresh reply: one signature serves as both origin and hop auth.
+      ++metrics_.sign_ops;
+      rrep.origin_auth = security_->sign(id_, signable_bytes(rrep));
+      rrep.hop_auth = rrep.origin_auth;
+      latency += sign_latency();
+    }
+  }
+  const std::size_t bytes = base_wire_size(rrep) + auth_overhead(rrep.origin_auth, rrep.hop_auth);
+  sim_.schedule_in(latency, [this, rrep = std::move(rrep), next_hop, bytes] {
+    channel_.unicast(id_, next_hop, bytes, AodvPayload{rrep},
+                     [this, next_hop](bool ok) {
+                       if (ok) {
+                         note_alive(next_hop);  // MAC ACK proves the link
+                       } else if (cfg_.link_layer_feedback) {
+                         on_link_break(next_hop);
+                       }
+                     });
+  });
+}
+
+// ------------------------------------------------------------------ RREP
+
+void AodvAgent::handle_rrep(Rrep rrep, NodeId from) {
+  const sim::SimTime now = sim_.now();
+  table_.touch_neighbor(from, now);
+  Route forward{.next_hop = from,
+                .hop_count = static_cast<std::uint8_t>(rrep.hop_count + 1),
+                .seq = rrep.dest_seq,
+                .valid_seq = true};
+  table_.offer(rrep.dest, forward, now);
+
+  if (rrep.origin == id_) {
+    // Discovery complete (or black-hole bait swallowed — we cannot tell).
+    if (const auto it = pending_.find(rrep.dest); it != pending_.end()) {
+      sim_.cancel(it->second.timeout);
+      pending_.erase(it);
+    }
+    flush_buffer(rrep.dest);
+    return;
+  }
+  // Forward along the reverse path toward the discovery originator.
+  const Route* route = table_.find_active(rrep.origin, now);
+  if (route == nullptr) return;
+  ++rrep.hop_count;
+  ++metrics_.rrep_forwarded;
+  table_.refresh(rrep.origin, now);
+  send_rrep(std::move(rrep), route->next_hop, /*forwarded=*/true);
+}
+
+// ------------------------------------------------------------------ RERR
+
+void AodvAgent::send_rerr(std::vector<std::pair<NodeId, std::uint32_t>> unreachable) {
+  if (unreachable.empty()) return;
+  ++metrics_.rerr_sent;
+  Rerr rerr{.unreachable = std::move(unreachable), .origin_auth = std::nullopt};
+  double latency = 0;
+  if (security_ != nullptr) {
+    ++metrics_.sign_ops;
+    rerr.origin_auth = security_->sign(id_, signable_bytes(rerr));
+    latency += sign_latency();
+  }
+  const std::size_t bytes =
+      base_wire_size(rerr) + (rerr.origin_auth ? wire_size(*rerr.origin_auth) : 0);
+  sim_.schedule_in(latency, [this, rerr = std::move(rerr), bytes] {
+    channel_.broadcast(id_, bytes, AodvPayload{rerr});
+  });
+}
+
+void AodvAgent::handle_rerr(const Rerr& rerr, NodeId from) {
+  std::vector<std::pair<NodeId, std::uint32_t>> propagate;
+  for (const auto& [dest, seq] : rerr.unreachable) {
+    if (Route* route = table_.find(dest);
+        route != nullptr && route->valid && route->next_hop == from) {
+      table_.invalidate(dest);
+      propagate.emplace_back(dest, route->seq);
+    }
+  }
+  if (!propagate.empty()) send_rerr(std::move(propagate));
+}
+
+void AodvAgent::on_link_break(NodeId next_hop) {
+  auto affected = table_.invalidate_via(next_hop);
+  send_rerr(std::move(affected));
+}
+
+// ------------------------------------------------------------------ data
+
+void AodvAgent::send_data(NodeId dst, std::size_t payload_bytes) {
+  ++metrics_.data_sent;
+  const DataPacket pkt{.src = id_,
+                       .dst = dst,
+                       .seq = next_data_seq_++,
+                       .sent_at = sim_.now(),
+                       .payload_bytes = payload_bytes};
+  forward_data(pkt, /*at_origin=*/true);
+}
+
+void AodvAgent::handle_data(const DataPacket& pkt, NodeId from) {
+  table_.touch_neighbor(from, sim_.now());
+  if (pkt.dst != id_) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+      // The outsider attack payoff: silently absorb transit traffic.
+      ++metrics_.attacker_dropped;
+      return;
+    }
+    if (attack_ == AttackType::kGrayHole && rng_.chance(kGrayHoleDropProbability)) {
+      // Insider selective forwarding: drop a fraction, forward the rest —
+      // indistinguishable from lossy links to any signature check.
+      ++metrics_.attacker_dropped;
+      return;
+    }
+  }
+  if (pkt.dst == id_) {
+    ++metrics_.data_delivered;
+    metrics_.total_delay += sim_.now() - pkt.sent_at;
+    ++metrics_.delay_samples;
+    return;
+  }
+  ++metrics_.data_forwarded;
+  forward_data(pkt, /*at_origin=*/false);
+}
+
+void AodvAgent::forward_data(const DataPacket& pkt, bool at_origin) {
+  const sim::SimTime now = sim_.now();
+  const Route* route = table_.find_active(pkt.dst, now);
+  if (route == nullptr) {
+    if (at_origin) {
+      auto& q = buffer_[pkt.dst];
+      q.push_back(pkt);
+      if (q.size() > cfg_.buffer_capacity) {
+        q.pop_front();
+        ++metrics_.buffer_drops;
+      }
+      originate_discovery(pkt.dst);
+    } else {
+      ++metrics_.no_route_drops;
+      send_rerr({{pkt.dst, 0}});
+    }
+    return;
+  }
+  table_.refresh(pkt.dst, now);
+  table_.refresh(route->next_hop, now);
+  const NodeId next_hop = route->next_hop;
+  channel_.unicast(id_, next_hop, wire_size(pkt), AodvPayload{pkt},
+                   [this, next_hop](bool ok) {
+                     if (ok) {
+                       note_alive(next_hop);  // MAC ACK proves the link
+                       return;
+                     }
+                     ++metrics_.link_fail_drops;
+                     if (cfg_.link_layer_feedback) on_link_break(next_hop);
+                   });
+}
+
+void AodvAgent::flush_buffer(NodeId dst) {
+  const auto it = buffer_.find(dst);
+  if (it == buffer_.end()) return;
+  std::deque<DataPacket> queued = std::move(it->second);
+  buffer_.erase(it);
+  for (const auto& pkt : queued) forward_data(pkt, /*at_origin=*/true);
+}
+
+void AodvAgent::abandon_discovery(NodeId dst) {
+  pending_.erase(dst);
+  const auto it = buffer_.find(dst);
+  if (it == buffer_.end()) return;
+  metrics_.buffer_drops += it->second.size();
+  buffer_.erase(it);
+}
+
+// ------------------------------------------------------------- discovery
+
+std::uint8_t AodvAgent::initial_rreq_ttl() const {
+  return cfg_.expanding_ring ? cfg_.ttl_start : cfg_.net_diameter;
+}
+
+void AodvAgent::originate_discovery(NodeId dst) {
+  if (pending_.contains(dst)) return;  // discovery already in flight
+  pending_[dst] = Discovery{};
+  send_rreq(dst, 0, initial_rreq_ttl());
+}
+
+void AodvAgent::send_rreq(NodeId dst, int attempt, std::uint8_t ttl) {
+  if (attempt == 0) {
+    ++metrics_.rreq_initiated;
+  } else {
+    ++metrics_.rreq_retries;
+  }
+  ++seq_;
+  Rreq rreq{.rreq_id = next_rreq_id_++,
+            .origin = id_,
+            .origin_seq = seq_,
+            .dest = dst,
+            .dest_seq = 0,
+            .unknown_dest_seq = true,
+            .hop_count = 0,
+            .ttl = ttl};
+  if (const Route* stale = table_.find(dst); stale != nullptr && stale->valid_seq) {
+    rreq.dest_seq = stale->seq;
+    rreq.unknown_dest_seq = false;
+  }
+  already_seen(id_, rreq.rreq_id);  // suppress our own echoes
+
+  double latency = 0;
+  if (security_ != nullptr) {
+    ++metrics_.sign_ops;
+    rreq.origin_auth = security_->sign(id_, signable_bytes(rreq));
+    rreq.hop_auth = rreq.origin_auth;  // origin is also the first hop
+    latency += sign_latency();
+  }
+  const std::size_t bytes = base_wire_size(rreq) + auth_overhead(rreq.origin_auth, rreq.hop_auth);
+  sim_.schedule_in(latency, [this, rreq = std::move(rreq), bytes] {
+    channel_.broadcast(id_, bytes, AodvPayload{rreq});
+  });
+
+  // Timeout policy: ring-scaled while expanding (RFC 3561 §6.4:
+  // RING_TRAVERSAL_TIME), binary exponential backoff across full floods
+  // (§6.3 — the backoff exponent counts flood attempts, not ring probes).
+  const bool at_full_flood = ttl >= cfg_.net_diameter;
+  auto& disc = pending_[dst];
+  disc.attempt = attempt;
+  if (at_full_flood) ++disc.full_floods;
+  const double timeout =
+      at_full_flood
+          ? cfg_.net_traversal_time *
+                static_cast<double>(1 << std::min(disc.full_floods - 1, 8))
+          : 2.0 * cfg_.node_traversal_time * (ttl + 2.0);
+  disc.timeout = sim_.schedule_in(timeout, [this, dst, attempt, ttl, at_full_flood] {
+    const auto it = pending_.find(dst);
+    if (it == pending_.end()) return;  // resolved meanwhile
+    if (at_full_flood && it->second.full_floods > cfg_.rreq_retries) {
+      abandon_discovery(dst);
+      return;
+    }
+    // Grow the ring (threshold jumps straight to a network-wide flood).
+    std::uint8_t next_ttl = ttl;
+    if (cfg_.expanding_ring && !at_full_flood) {
+      next_ttl = static_cast<std::uint8_t>(ttl + cfg_.ttl_increment);
+      if (next_ttl > cfg_.ttl_threshold) next_ttl = cfg_.net_diameter;
+    }
+    send_rreq(dst, attempt + 1, next_ttl);
+  });
+}
+
+}  // namespace mccls::aodv

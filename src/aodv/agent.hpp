@@ -1,0 +1,193 @@
+// AODV routing agent (RFC 3561 subset), per node. Implements the mechanisms
+// the paper's §6 evaluation retains: route discovery (expanding RREQ flood
+// with duplicate suppression and retries), reverse/forward path setup, RREP
+// unicast chains, route maintenance (link-failure detection + RERR), data
+// buffering during discovery.
+//
+// Three orthogonal extensions are layered on the same agent, matching the
+// paper's experimental matrix:
+//   * security  — a SecurityProvider signs/verifies control packets
+//                 (the McCLS routing-authentication extension),
+//   * black-hole attacker — answers any RREQ with a forged fresh RREP and
+//                 silently absorbs data (Marti et al. [8]),
+//   * rushing attacker — skips all forwarding jitter/backoff to win the
+//                 duplicate-suppression race, then absorbs data
+//                 (Hu-Perrig-Johnson [6]).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+
+#include "aodv/messages.hpp"
+#include "aodv/routing_table.hpp"
+#include "aodv/security.hpp"
+#include "aodv/stats.hpp"
+#include "net/channel.hpp"
+#include "sim/rng.hpp"
+
+namespace mccls::aodv {
+
+enum class AttackType {
+  kNone,
+  kBlackHole,  ///< outsider: forged fresh RREPs, absorbs data (Marti et al. [8])
+  kRushing,    ///< outsider: zero-jitter forwarding race (Hu-Perrig-Johnson [6])
+  kGrayHole,   ///< INSIDER: protocol-honest, holds valid credentials, but
+               ///< drops a fraction of transit data. Signatures cannot stop
+               ///< this one — it demonstrates the boundary of what McCLS
+               ///< (or any authentication scheme) defends against.
+  kWormhole,   ///< colluding pair replaying control traffic verbatim over an
+               ///< out-of-band tunnel with the original sender spoofed at
+               ///< the physical layer. Every replayed signature is genuine,
+               ///< so authentication cannot stop it (that takes packet
+               ///< leashes); the fake adjacencies it creates poison routes.
+};
+
+/// Fraction of transit data a gray hole silently discards.
+inline constexpr double kGrayHoleDropProbability = 0.5;
+
+struct AodvConfig {
+  double active_route_timeout = 6.0;   ///< seconds a route stays fresh
+  double net_traversal_time = 0.75;    ///< RREQ round-trip budget, attempt 1
+  int rreq_retries = 2;                ///< extra attempts after the first
+  double forward_jitter_max = 0.01;    ///< RREQ rebroadcast jitter (honest nodes)
+  std::size_t buffer_capacity = 64;    ///< per-destination data buffer
+  std::uint8_t net_diameter = 35;      ///< initial RREQ TTL
+  double rrep_lifetime = 6.0;
+  double path_discovery_time = 5.0;    ///< RREQ-id dedup cache lifetime
+
+  // Local connectivity maintenance (RFC 3561 §6.9). With HELLO-based
+  // detection a broken link goes unnoticed for up to
+  // allowed_hello_loss * hello_interval seconds — data sent into the break
+  // during that window is lost, which is the dominant mobility cost in
+  // 2008-era simulations. link_layer_feedback = true switches to instant
+  // MAC-ACK detection instead (an ablation knob, not the paper's setup).
+  bool use_hello = true;
+  double hello_interval = 1.0;
+  int allowed_hello_loss = 2;
+  bool link_layer_feedback = false;
+
+  // Gratuitous RREP (RFC 3561 §6.6.3): when an intermediate node answers a
+  // discovery from its cache, also inform the destination of the route back
+  // to the originator, so reply traffic needs no discovery of its own.
+  bool gratuitous_rrep = false;
+
+  // Expanding ring search (RFC 3561 §6.4): probe with growing TTLs before
+  // flooding the whole network. Trades discovery latency for flood volume;
+  // off by default (bench_ablation measures the trade).
+  bool expanding_ring = false;
+  std::uint8_t ttl_start = 1;
+  std::uint8_t ttl_increment = 2;
+  std::uint8_t ttl_threshold = 7;
+  double node_traversal_time = 0.04;  ///< per-hop budget for ring timeouts
+};
+
+/// Payload carried in net::Frame::payload for all AODV traffic.
+struct AodvPayload {
+  std::variant<Rreq, Rrep, Rerr, Hello, DataPacket> msg;
+};
+
+class AodvAgent final : public net::RadioListener {
+ public:
+  /// `security == nullptr` runs plain AODV. The agent attaches itself to
+  /// `channel`; all references must outlive the agent.
+  AodvAgent(sim::Simulator& simulator, net::Channel& channel, NodeId id,
+            const AodvConfig& config, sim::Rng rng, Metrics& metrics,
+            SecurityProvider* security = nullptr, AttackType attack = AttackType::kNone);
+
+  /// Application entry point: submit one data packet for `dst`.
+  void send_data(NodeId dst, std::size_t payload_bytes);
+
+  void on_frame(const net::Frame& frame) override;
+
+  /// Wires this attacker to its colluders. Rushing attackers tunnel RREQs
+  /// (and returning RREPs) to each other out-of-band — the Hu-Perrig-Johnson
+  /// rushing attack's wormhole variant, which the paper's "2 nodes rushing
+  /// attack" corresponds to.
+  void set_collusion_peers(std::vector<AodvAgent*> peers);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] AttackType attack() const { return attack_; }
+  [[nodiscard]] const RoutingTable& table() const { return table_; }
+  [[nodiscard]] RoutingTable& table() { return table_; }
+  [[nodiscard]] bool secured() const { return security_ != nullptr; }
+
+ private:
+  // --- control plane ---
+  void handle_rreq(Rreq rreq, NodeId from);
+  void handle_rrep(Rrep rrep, NodeId from);
+  void handle_rerr(const Rerr& rerr, NodeId from);
+  void handle_data(const DataPacket& pkt, NodeId from);
+
+  void originate_discovery(NodeId dst);
+  void send_rreq(NodeId dst, int attempt, std::uint8_t ttl);
+  [[nodiscard]] std::uint8_t initial_rreq_ttl() const;
+  void reply_as_destination(const Rreq& rreq, NodeId reverse_hop);
+  void reply_as_intermediate(const Rreq& rreq, const Route& route, NodeId reverse_hop);
+  void send_rrep(Rrep rrep, NodeId next_hop, bool forwarded);
+  void forward_rreq(Rreq rreq);
+  void send_rerr(std::vector<std::pair<NodeId, std::uint32_t>> unreachable);
+  void black_hole_reply(const Rreq& rreq, NodeId reverse_hop);
+
+  // --- local connectivity maintenance ---
+  void hello_tick();
+  void note_alive(NodeId neighbor);
+
+  // --- collusion tunnel (rushing attack) ---
+  void on_tunneled_rreq(Rreq rreq, NodeId from_peer);
+  void on_tunneled_rrep(Rrep rrep, NodeId from_peer);
+  [[nodiscard]] AodvAgent* peer_by_id(NodeId id) const;
+
+  // --- wormhole relay ---
+  void wormhole_relay(const net::Frame& frame);
+
+  // --- data plane ---
+  void forward_data(const DataPacket& pkt, bool at_origin);
+  void flush_buffer(NodeId dst);
+  void abandon_discovery(NodeId dst);
+  void on_link_break(NodeId next_hop);
+
+  // --- security helpers ---
+  /// Verifies both auth extensions; charges verify ops. True when the packet
+  /// should be processed (always true without security).
+  bool authenticate(const std::optional<AuthExt>& origin_auth,
+                    const std::optional<AuthExt>& hop_auth,
+                    std::span<const std::uint8_t> signable);
+  /// Signing latency to charge before a secured control send.
+  [[nodiscard]] double sign_latency() const;
+  [[nodiscard]] double verify_latency(int signatures) const;
+  [[nodiscard]] std::size_t auth_overhead(const std::optional<AuthExt>& a,
+                                          const std::optional<AuthExt>& b) const;
+
+  bool already_seen(NodeId origin, std::uint32_t rreq_id);
+
+  sim::Simulator& sim_;
+  net::Channel& channel_;
+  NodeId id_;
+  AodvConfig cfg_;
+  sim::Rng rng_;
+  Metrics& metrics_;
+  SecurityProvider* security_;
+  AttackType attack_;
+  RoutingTable table_;
+
+  std::uint32_t seq_ = 0;
+  std::uint32_t next_rreq_id_ = 1;
+  std::uint32_t next_data_seq_ = 1;
+
+  struct Discovery {
+    int attempt = 0;
+    int full_floods = 0;  ///< network-wide attempts so far (retry budget)
+    sim::EventId timeout = 0;
+  };
+  std::unordered_map<NodeId, Discovery> pending_;
+  std::unordered_map<NodeId, std::deque<DataPacket>> buffer_;
+  std::unordered_map<std::uint64_t, sim::SimTime> seen_rreqs_;
+  std::unordered_map<NodeId, sim::SimTime> last_heard_;
+  std::uint32_t hello_seq_ = 0;
+  std::vector<AodvAgent*> collusion_peers_;
+  std::unordered_set<std::uint64_t> tunneled_;  ///< wormhole replay dedup
+};
+
+}  // namespace mccls::aodv

@@ -1,0 +1,217 @@
+#include "aodv/codec.hpp"
+
+namespace mccls::aodv {
+
+namespace {
+
+constexpr std::uint8_t kTagRreq = 0x01;
+constexpr std::uint8_t kTagRrep = 0x02;
+constexpr std::uint8_t kTagRerr = 0x03;
+constexpr std::uint8_t kTagHello = 0x04;
+constexpr std::uint8_t kTagData = 0x05;
+
+void put_auth(crypto::ByteWriter& w, const std::optional<AuthExt>& auth) {
+  w.put_u8(auth.has_value() ? 1 : 0);
+  if (!auth) return;
+  w.put_u32(auth->signer);
+  w.put_field(auth->public_key);
+  w.put_field(auth->signature);
+}
+
+bool get_auth(crypto::ByteReader& r, std::optional<AuthExt>& out) {
+  const auto present = r.get_u8();
+  if (!present) return false;
+  if (*present == 0) {
+    out = std::nullopt;
+    return true;
+  }
+  if (*present != 1) return false;
+  AuthExt auth;
+  const auto signer = r.get_u32();
+  auto pk = r.get_field();
+  auto sig = r.get_field();
+  if (!signer || !pk || !sig) return false;
+  auth.signer = *signer;
+  auth.public_key = std::move(*pk);
+  auth.signature = std::move(*sig);
+  out = auth;
+  return true;
+}
+
+void encode(crypto::ByteWriter& w, const Rreq& m) {
+  w.put_u8(kTagRreq);
+  w.put_u32(m.rreq_id);
+  w.put_u32(m.origin);
+  w.put_u32(m.origin_seq);
+  w.put_u32(m.dest);
+  w.put_u32(m.dest_seq);
+  w.put_u8(m.unknown_dest_seq ? 1 : 0);
+  w.put_u8(m.hop_count);
+  w.put_u8(m.ttl);
+  put_auth(w, m.origin_auth);
+  put_auth(w, m.hop_auth);
+}
+
+void encode(crypto::ByteWriter& w, const Rrep& m) {
+  w.put_u8(kTagRrep);
+  w.put_u32(m.origin);
+  w.put_u32(m.dest);
+  w.put_u32(m.dest_seq);
+  w.put_u32(m.replier);
+  w.put_u8(m.hop_count);
+  w.put_u64(static_cast<std::uint64_t>(m.lifetime * 1e6));
+  put_auth(w, m.origin_auth);
+  put_auth(w, m.hop_auth);
+}
+
+void encode(crypto::ByteWriter& w, const Rerr& m) {
+  w.put_u8(kTagRerr);
+  w.put_u32(static_cast<std::uint32_t>(m.unreachable.size()));
+  for (const auto& [dest, seq] : m.unreachable) {
+    w.put_u32(dest);
+    w.put_u32(seq);
+  }
+  put_auth(w, m.origin_auth);
+}
+
+void encode(crypto::ByteWriter& w, const Hello& m) {
+  w.put_u8(kTagHello);
+  w.put_u32(m.node);
+  w.put_u32(m.seq);
+  put_auth(w, m.origin_auth);
+}
+
+void encode(crypto::ByteWriter& w, const DataPacket& m) {
+  w.put_u8(kTagData);
+  w.put_u32(m.src);
+  w.put_u32(m.dst);
+  w.put_u32(m.seq);
+  w.put_u64(static_cast<std::uint64_t>(m.sent_at * 1e6));
+  w.put_u64(m.payload_bytes);
+}
+
+std::optional<Rreq> decode_rreq(crypto::ByteReader& r) {
+  Rreq m;
+  const auto rreq_id = r.get_u32();
+  const auto origin = r.get_u32();
+  const auto origin_seq = r.get_u32();
+  const auto dest = r.get_u32();
+  const auto dest_seq = r.get_u32();
+  const auto unknown = r.get_u8();
+  const auto hops = r.get_u8();
+  const auto ttl = r.get_u8();
+  if (!rreq_id || !origin || !origin_seq || !dest || !dest_seq || !unknown || !hops ||
+      !ttl || *unknown > 1) {
+    return std::nullopt;
+  }
+  m.rreq_id = *rreq_id;
+  m.origin = *origin;
+  m.origin_seq = *origin_seq;
+  m.dest = *dest;
+  m.dest_seq = *dest_seq;
+  m.unknown_dest_seq = *unknown == 1;
+  m.hop_count = *hops;
+  m.ttl = *ttl;
+  if (!get_auth(r, m.origin_auth) || !get_auth(r, m.hop_auth)) return std::nullopt;
+  return m;
+}
+
+std::optional<Rrep> decode_rrep(crypto::ByteReader& r) {
+  Rrep m;
+  const auto origin = r.get_u32();
+  const auto dest = r.get_u32();
+  const auto dest_seq = r.get_u32();
+  const auto replier = r.get_u32();
+  const auto hops = r.get_u8();
+  const auto lifetime_us = r.get_u64();
+  if (!origin || !dest || !dest_seq || !replier || !hops || !lifetime_us) {
+    return std::nullopt;
+  }
+  m.origin = *origin;
+  m.dest = *dest;
+  m.dest_seq = *dest_seq;
+  m.replier = *replier;
+  m.hop_count = *hops;
+  m.lifetime = static_cast<double>(*lifetime_us) / 1e6;
+  if (!get_auth(r, m.origin_auth) || !get_auth(r, m.hop_auth)) return std::nullopt;
+  return m;
+}
+
+std::optional<Rerr> decode_rerr(crypto::ByteReader& r) {
+  Rerr m;
+  const auto count = r.get_u32();
+  if (!count || *count > 4096) return std::nullopt;  // sanity bound
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto dest = r.get_u32();
+    const auto seq = r.get_u32();
+    if (!dest || !seq) return std::nullopt;
+    m.unreachable.emplace_back(*dest, *seq);
+  }
+  if (!get_auth(r, m.origin_auth)) return std::nullopt;
+  return m;
+}
+
+std::optional<Hello> decode_hello(crypto::ByteReader& r) {
+  Hello m;
+  const auto node = r.get_u32();
+  const auto seq = r.get_u32();
+  if (!node || !seq) return std::nullopt;
+  m.node = *node;
+  m.seq = *seq;
+  if (!get_auth(r, m.origin_auth)) return std::nullopt;
+  return m;
+}
+
+std::optional<DataPacket> decode_data(crypto::ByteReader& r) {
+  DataPacket m;
+  const auto src = r.get_u32();
+  const auto dst = r.get_u32();
+  const auto seq = r.get_u32();
+  const auto sent_us = r.get_u64();
+  const auto payload = r.get_u64();
+  if (!src || !dst || !seq || !sent_us || !payload) return std::nullopt;
+  m.src = *src;
+  m.dst = *dst;
+  m.seq = *seq;
+  m.sent_at = static_cast<double>(*sent_us) / 1e6;
+  m.payload_bytes = static_cast<std::size_t>(*payload);
+  return m;
+}
+
+}  // namespace
+
+crypto::Bytes encode_packet(const AodvPayload& payload) {
+  crypto::ByteWriter w;
+  std::visit([&w](const auto& msg) { encode(w, msg); }, payload.msg);
+  return w.take();
+}
+
+std::optional<AodvPayload> decode_packet(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader r(bytes);
+  const auto tag = r.get_u8();
+  if (!tag) return std::nullopt;
+  std::optional<AodvPayload> out;
+  switch (*tag) {
+    case kTagRreq:
+      if (auto m = decode_rreq(r)) out = AodvPayload{std::move(*m)};
+      break;
+    case kTagRrep:
+      if (auto m = decode_rrep(r)) out = AodvPayload{std::move(*m)};
+      break;
+    case kTagRerr:
+      if (auto m = decode_rerr(r)) out = AodvPayload{std::move(*m)};
+      break;
+    case kTagHello:
+      if (auto m = decode_hello(r)) out = AodvPayload{std::move(*m)};
+      break;
+    case kTagData:
+      if (auto m = decode_data(r)) out = AodvPayload{std::move(*m)};
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!out || !r.exhausted()) return std::nullopt;
+  return out;
+}
+
+}  // namespace mccls::aodv

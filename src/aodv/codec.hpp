@@ -1,0 +1,24 @@
+// Binary wire codec for AODV packets (control messages, data headers and
+// auth extensions): a canonical, versioned encoding used to export/import
+// packets across process boundaries (the CLI tool, packet dumps, tests).
+// Inside the simulator frames travel as in-memory payloads; this codec is
+// the boundary format.
+//
+// All decoders are total: malformed, truncated or trailing-garbage inputs
+// yield nullopt, never UB or exceptions.
+#pragma once
+
+#include <optional>
+
+#include "aodv/agent.hpp"
+
+namespace mccls::aodv {
+
+/// Serializes any AODV payload (1-byte type tag + fields + auth extensions).
+crypto::Bytes encode_packet(const AodvPayload& payload);
+
+/// Inverse of encode_packet; rejects unknown tags, truncation and trailing
+/// bytes.
+std::optional<AodvPayload> decode_packet(std::span<const std::uint8_t> bytes);
+
+}  // namespace mccls::aodv

@@ -1,0 +1,65 @@
+#include "aodv/messages.hpp"
+
+namespace mccls::aodv {
+
+namespace {
+// IPv4 (20) + UDP (8) framing for AODV control traffic, per RFC 3561.
+constexpr std::size_t kIpUdpHeader = 28;
+}  // namespace
+
+crypto::Bytes signable_bytes(const Rreq& rreq) {
+  crypto::ByteWriter w;
+  w.put_u8(0x01);  // message type tag
+  w.put_u32(rreq.rreq_id);
+  w.put_u32(rreq.origin);
+  w.put_u32(rreq.origin_seq);
+  w.put_u32(rreq.dest);
+  w.put_u32(rreq.dest_seq);
+  w.put_u8(rreq.unknown_dest_seq ? 1 : 0);
+  return w.take();
+}
+
+crypto::Bytes signable_bytes(const Rrep& rrep) {
+  crypto::ByteWriter w;
+  w.put_u8(0x02);
+  w.put_u32(rrep.origin);
+  w.put_u32(rrep.dest);
+  w.put_u32(rrep.dest_seq);
+  w.put_u32(rrep.replier);
+  w.put_u64(static_cast<std::uint64_t>(rrep.lifetime * 1e6));
+  return w.take();
+}
+
+crypto::Bytes signable_bytes(const Rerr& rerr) {
+  crypto::ByteWriter w;
+  w.put_u8(0x03);
+  w.put_u32(static_cast<std::uint32_t>(rerr.unreachable.size()));
+  for (const auto& [dest, seq] : rerr.unreachable) {
+    w.put_u32(dest);
+    w.put_u32(seq);
+  }
+  return w.take();
+}
+
+crypto::Bytes signable_bytes(const Hello& hello) {
+  crypto::ByteWriter w;
+  w.put_u8(0x04);
+  w.put_u32(hello.node);
+  w.put_u32(hello.seq);
+  return w.take();
+}
+
+std::size_t base_wire_size(const Rreq&) { return kIpUdpHeader + 24; }
+std::size_t base_wire_size(const Hello&) { return kIpUdpHeader + 12; }
+std::size_t base_wire_size(const Rrep&) { return kIpUdpHeader + 20; }
+std::size_t base_wire_size(const Rerr& rerr) {
+  return kIpUdpHeader + 4 + 8 * rerr.unreachable.size();
+}
+std::size_t wire_size(const DataPacket& pkt) { return kIpUdpHeader + pkt.payload_bytes; }
+
+std::size_t wire_size(const AuthExt& auth) {
+  // signer id + length-delimited key and signature fields.
+  return 4 + 2 + auth.public_key.size() + 2 + auth.signature.size();
+}
+
+}  // namespace mccls::aodv

@@ -1,0 +1,95 @@
+// AODV control messages (RFC 3561 subset) and the data-packet header, plus
+// the routing-authentication extension the paper attaches to them (§6: "CLS
+// with routing authentication extension").
+//
+// Signing covers the IMMUTABLE fields of each message (hop_count mutates in
+// flight, so it is excluded — the standard secure-AODV design). Two
+// signatures ride on each control packet:
+//   origin_auth — by the node that created the message (end-to-end)
+//   hop_auth    — by the most recent forwarder (hop-by-hop); this is what
+//                 locks rushing attackers out of the forwarding race.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/encoding.hpp"
+#include "net/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace mccls::aodv {
+
+using net::NodeId;
+
+/// Authentication extension carried by secured control packets.
+struct AuthExt {
+  NodeId signer = 0;
+  crypto::Bytes public_key;  ///< serialized cls::PublicKey (self-contained)
+  crypto::Bytes signature;
+};
+
+struct Rreq {
+  std::uint32_t rreq_id = 0;
+  NodeId origin = 0;
+  std::uint32_t origin_seq = 0;
+  NodeId dest = 0;
+  std::uint32_t dest_seq = 0;
+  bool unknown_dest_seq = true;
+  std::uint8_t hop_count = 0;  ///< mutable; excluded from signatures
+  std::uint8_t ttl = 35;       ///< mutable; excluded from signatures
+  std::optional<AuthExt> origin_auth;
+  std::optional<AuthExt> hop_auth;
+};
+
+struct Rrep {
+  NodeId origin = 0;  ///< the discovery originator this reply travels to
+  NodeId dest = 0;
+  std::uint32_t dest_seq = 0;
+  NodeId replier = 0;  ///< destination or intermediate node that generated it
+  std::uint8_t hop_count = 0;
+  double lifetime = 0;
+  std::optional<AuthExt> origin_auth;
+  std::optional<AuthExt> hop_auth;
+};
+
+struct Rerr {
+  std::vector<std::pair<NodeId, std::uint32_t>> unreachable;  ///< (dest, seq)
+  std::optional<AuthExt> origin_auth;
+};
+
+/// HELLO beacon (RFC 3561 §6.9: a hop-0 RREP used for local connectivity
+/// maintenance). Links are declared broken when ALLOWED_HELLO_LOSS intervals
+/// pass silently — the detection latency that makes mobility lossy.
+struct Hello {
+  NodeId node = 0;
+  std::uint32_t seq = 0;
+  std::optional<AuthExt> origin_auth;
+};
+
+/// Network-layer data packet (simulated payload; bytes only).
+struct DataPacket {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t seq = 0;
+  sim::SimTime sent_at = 0;  ///< when the application submitted it
+  std::size_t payload_bytes = 0;
+};
+
+/// Bytes the originator signs (immutable fields only).
+crypto::Bytes signable_bytes(const Rreq& rreq);
+crypto::Bytes signable_bytes(const Rrep& rrep);
+crypto::Bytes signable_bytes(const Rerr& rerr);
+crypto::Bytes signable_bytes(const Hello& hello);
+
+/// On-air sizes, including IP/UDP framing, excluding auth extensions.
+std::size_t base_wire_size(const Rreq& rreq);
+std::size_t base_wire_size(const Rrep& rrep);
+std::size_t base_wire_size(const Rerr& rerr);
+std::size_t base_wire_size(const Hello& hello);
+std::size_t wire_size(const DataPacket& pkt);
+
+/// Extra on-air bytes contributed by one auth extension.
+std::size_t wire_size(const AuthExt& auth);
+
+}  // namespace mccls::aodv

@@ -1,0 +1,102 @@
+#include "aodv/routing_table.hpp"
+
+#include <algorithm>
+
+namespace mccls::aodv {
+
+Route* RoutingTable::find_active(NodeId dest, sim::SimTime now) {
+  const auto it = routes_.find(dest);
+  if (it == routes_.end()) return nullptr;
+  Route& r = it->second;
+  if (!r.valid) return nullptr;
+  if (r.expires <= now) {
+    r.valid = false;  // lazy expiry
+    return nullptr;
+  }
+  return &r;
+}
+
+const Route* RoutingTable::find_active(NodeId dest, sim::SimTime now) const {
+  return const_cast<RoutingTable*>(this)->find_active(dest, now);
+}
+
+Route* RoutingTable::find(NodeId dest) {
+  const auto it = routes_.find(dest);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+bool RoutingTable::offer(NodeId dest, const Route& candidate, sim::SimTime now) {
+  Route fresh = candidate;
+  fresh.valid = true;
+  if (fresh.expires <= now) fresh.expires = now + active_route_timeout_;
+
+  auto [it, inserted] = routes_.try_emplace(dest, fresh);
+  if (inserted) return true;
+
+  Route& current = it->second;
+  const bool adopt = !current.valid || !current.valid_seq ||
+                     (fresh.valid_seq && static_cast<std::int32_t>(fresh.seq - current.seq) > 0) ||
+                     (fresh.valid_seq && fresh.seq == current.seq &&
+                      fresh.hop_count < current.hop_count);
+  if (!adopt) return false;
+  current = fresh;
+  return true;
+}
+
+void RoutingTable::touch_neighbor(NodeId neighbor, sim::SimTime now) {
+  Route r;
+  r.next_hop = neighbor;
+  r.hop_count = 1;
+  r.valid_seq = false;  // neighbour seq unknown from overhearing
+  r.expires = now + active_route_timeout_;
+  auto [it, inserted] = routes_.try_emplace(neighbor, r);
+  if (!inserted) {
+    Route& current = it->second;
+    if (!current.valid || current.hop_count >= 1) {
+      current.next_hop = neighbor;
+      current.hop_count = 1;
+      current.valid = true;
+    }
+    current.expires = std::max(current.expires, now + active_route_timeout_);
+  } else {
+    it->second.valid = true;
+  }
+}
+
+void RoutingTable::refresh(NodeId dest, sim::SimTime now) {
+  if (Route* r = find(dest); r != nullptr && r->valid) {
+    r->expires = std::max(r->expires, now + active_route_timeout_);
+  }
+}
+
+void RoutingTable::invalidate(NodeId dest) {
+  if (Route* r = find(dest); r != nullptr && r->valid) {
+    r->valid = false;
+    if (r->valid_seq) ++r->seq;  // RFC 3561 §6.11
+  }
+}
+
+std::vector<std::pair<NodeId, std::uint32_t>> RoutingTable::invalidate_via(NodeId next_hop) {
+  std::vector<std::pair<NodeId, std::uint32_t>> affected;
+  for (auto& [dest, route] : routes_) {
+    if (route.valid && route.next_hop == next_hop) {
+      route.valid = false;
+      if (route.valid_seq) ++route.seq;
+      affected.emplace_back(dest, route.seq);
+    }
+  }
+  return affected;
+}
+
+std::vector<NodeId> RoutingTable::active_next_hops(sim::SimTime now) const {
+  std::vector<NodeId> hops;
+  for (const auto& [dest, route] : routes_) {
+    if (route.valid && route.expires > now &&
+        std::find(hops.begin(), hops.end(), route.next_hop) == hops.end()) {
+      hops.push_back(route.next_hop);
+    }
+  }
+  return hops;
+}
+
+}  // namespace mccls::aodv

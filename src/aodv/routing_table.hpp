@@ -1,0 +1,71 @@
+// AODV routing table (RFC 3561 §2-6): per-destination next hop, hop count,
+// destination sequence number and lifetime, with the standard freshness
+// rules for route updates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace mccls::aodv {
+
+using net::NodeId;
+
+struct Route {
+  NodeId next_hop = 0;
+  std::uint8_t hop_count = 0;
+  std::uint32_t seq = 0;
+  bool valid_seq = false;
+  sim::SimTime expires = 0;
+  bool valid = false;
+};
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(sim::SimTime active_route_timeout)
+      : active_route_timeout_(active_route_timeout) {}
+
+  /// Valid, unexpired route to `dest`, or nullptr.
+  Route* find_active(NodeId dest, sim::SimTime now);
+  const Route* find_active(NodeId dest, sim::SimTime now) const;
+
+  /// Any table entry (possibly invalid/expired); used for seqnum bookkeeping.
+  Route* find(NodeId dest);
+
+  /// RFC 3561 §6.2 update rule: adopt the new route iff the sequence number
+  /// is fresher, or equally fresh with a smaller hop count, or the existing
+  /// entry is invalid/absent. Refreshes the lifetime on adoption.
+  /// Returns true when the entry changed.
+  bool offer(NodeId dest, const Route& candidate, sim::SimTime now);
+
+  /// Installs/refreshes the 1-hop route to a neighbour we just heard from.
+  void touch_neighbor(NodeId neighbor, sim::SimTime now);
+
+  /// Extends the lifetime of an in-use route (RFC: active routes stay alive).
+  void refresh(NodeId dest, sim::SimTime now);
+
+  /// Marks the route invalid (keeps seq for future freshness comparisons),
+  /// incrementing its sequence number as RFC 3561 §6.11 requires.
+  void invalidate(NodeId dest);
+
+  /// Invalidates every route using `next_hop`; returns the affected
+  /// (dest, seq) pairs for RERR generation.
+  std::vector<std::pair<NodeId, std::uint32_t>> invalidate_via(NodeId next_hop);
+
+  /// Distinct next hops of currently valid, unexpired routes (for HELLO
+  /// based liveness checking).
+  [[nodiscard]] std::vector<NodeId> active_next_hops(sim::SimTime now) const;
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+  [[nodiscard]] sim::SimTime active_route_timeout() const { return active_route_timeout_; }
+
+ private:
+  sim::SimTime active_route_timeout_;
+  std::unordered_map<NodeId, Route> routes_;
+};
+
+}  // namespace mccls::aodv

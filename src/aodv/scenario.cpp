@@ -1,0 +1,151 @@
+#include "aodv/scenario.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "cls/mccls.hpp"
+#include "net/mobility.hpp"
+
+namespace mccls::aodv {
+
+CryptoCosts derive_crypto_costs(std::string_view scheme_name, double pairing_ms,
+                                double mult_ms) {
+  const auto scheme = cls::make_scheme(scheme_name);
+  if (scheme == nullptr) {
+    throw std::invalid_argument("derive_crypto_costs: unknown scheme");
+  }
+  const cls::OpCounts ops = scheme->costs();
+  // Exponentiations in GT priced like pairings/4 (empirically close on this
+  // substrate; see bench_primitives).
+  return CryptoCosts{
+      .sign_delay =
+          (ops.sign_pairings * pairing_ms + ops.sign_scalar_mults * mult_ms) / 1e3,
+      .verify_delay = (ops.verify_pairings * pairing_ms + ops.verify_scalar_mults * mult_ms +
+                       ops.verify_exponentiations * pairing_ms / 4.0) /
+                      1e3,
+  };
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  if (config.num_nodes < 2) throw std::invalid_argument("run_scenario: need >= 2 nodes");
+  if (config.num_attackers >= config.num_nodes - 1 && config.attack != AttackType::kNone) {
+    throw std::invalid_argument("run_scenario: too many attackers");
+  }
+
+  sim::Simulator simulator;
+  sim::Rng rng(config.seed);
+
+  const net::RandomWaypointMobility::Config mob_cfg{
+      .width = config.area_width,
+      .height = config.area_height,
+      .max_speed = config.max_speed,
+      .min_speed = 0.1,
+      .pause = config.pause,
+      .connect_range = config.phy.range,  // start from a connected placement
+  };
+  sim::Rng mobility_rng = rng.fork(0x10B);
+  net::RandomWaypointMobility base_mobility(config.num_nodes, mob_cfg, mobility_rng);
+
+  const std::size_t first_attacker_for_mobility =
+      config.attack == AttackType::kNone ? config.num_nodes
+                                         : config.num_nodes - config.num_attackers;
+  const bool pin = config.pin_attackers && config.attack != AttackType::kNone;
+  net::PinnedTailMobility pinned_mobility(base_mobility, first_attacker_for_mobility,
+                                          config.num_nodes, config.area_width,
+                                          config.area_height);
+  const net::MobilityModel& mobility =
+      pin ? static_cast<const net::MobilityModel&>(pinned_mobility) : base_mobility;
+
+  net::Channel channel(simulator, rng.fork(0xC4A), mobility, config.phy);
+
+  // Security provider (shared KGC / shared modelled secret).
+  std::unique_ptr<SecurityProvider> security;
+  if (config.security == SecurityMode::kModeled) {
+    // Wire sizes mirror the real scheme so airtime stays faithful.
+    const auto scheme = cls::make_scheme(config.scheme);
+    if (scheme == nullptr) throw std::invalid_argument("run_scenario: unknown scheme");
+    const std::size_t pk_bytes =
+        1 + scheme->costs().public_key_points * ec::G1::kEncodedSize;
+    security = std::make_unique<ModeledClsSecurity>(config.seed ^ 0x5EC, //
+                                                    scheme->signature_size(), pk_bytes);
+  } else if (config.security == SecurityMode::kReal) {
+    security = std::make_unique<RealClsSecurity>(config.scheme, config.seed ^ 0x5EC);
+  }
+  if (security != nullptr) {
+    security->set_costs(config.crypto_costs.sign_delay > 0 || config.crypto_costs.verify_delay > 0
+                            ? config.crypto_costs
+                            : derive_crypto_costs(config.scheme));
+  }
+
+  // Attackers are the highest node ids (placement is uniform anyway).
+  const std::size_t first_attacker =
+      config.attack == AttackType::kNone ? config.num_nodes
+                                         : config.num_nodes - config.num_attackers;
+
+  Metrics metrics;
+  std::vector<std::unique_ptr<AodvAgent>> agents;
+  agents.reserve(config.num_nodes);
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    const bool is_attacker = i >= first_attacker;
+    const AttackType role = is_attacker ? config.attack : AttackType::kNone;
+    if (security != nullptr && (!is_attacker || config.attack == AttackType::kGrayHole)) {
+      // Gray holes are insiders: they hold valid credentials.
+      security->enroll(static_cast<NodeId>(i));  // attackers hold no credentials
+    }
+    agents.push_back(std::make_unique<AodvAgent>(
+        simulator, channel, static_cast<NodeId>(i), config.aodv, rng.fork(0xA6E0 + i),
+        metrics, security.get(), role));
+  }
+
+  // Rushing attackers collude via an out-of-band tunnel (the "2 nodes
+  // rushing attack" of the paper / Hu-Perrig-Johnson).
+  if (config.attack == AttackType::kRushing || config.attack == AttackType::kWormhole) {
+    for (std::size_t i = first_attacker; i < config.num_nodes; ++i) {
+      std::vector<AodvAgent*> peers;
+      for (std::size_t j = first_attacker; j < config.num_nodes; ++j) {
+        if (j != i) peers.push_back(agents[j].get());
+      }
+      agents[i]->set_collusion_peers(std::move(peers));
+    }
+  }
+
+  // CBR flows between distinct honest nodes (attackers relay only, as in the
+  // paper: they are infrastructure threats, not traffic endpoints).
+  sim::Rng traffic_rng = rng.fork(0x7F0);
+  for (std::size_t f = 0; f < config.num_flows; ++f) {
+    const NodeId src = static_cast<NodeId>(traffic_rng.uniform_int(first_attacker));
+    NodeId dst = src;
+    while (dst == src) dst = static_cast<NodeId>(traffic_rng.uniform_int(first_attacker));
+    install_flow(simulator, agents,
+                 CbrFlow{.src = src,
+                         .dst = dst,
+                         .start = traffic_rng.uniform(config.traffic_start_min,
+                                                      config.traffic_start_max),
+                         .stop = config.duration,
+                         .interval = config.cbr_interval,
+                         .payload_bytes = config.payload_bytes});
+  }
+
+  simulator.run_until(config.duration);
+
+  return ScenarioResult{.metrics = metrics, .channel = channel.stats()};
+}
+
+ScenarioResult run_scenario_averaged(ScenarioConfig config, unsigned seeds) {
+  if (seeds == 0) throw std::invalid_argument("run_scenario_averaged: seeds must be > 0");
+  ScenarioResult total{};
+  for (unsigned i = 0; i < seeds; ++i) {
+    config.seed = config.seed + (i == 0 ? 0 : 1);
+    const ScenarioResult one = run_scenario(config);
+    total.metrics += one.metrics;
+    total.channel.frames_transmitted += one.channel.frames_transmitted;
+    total.channel.frames_delivered += one.channel.frames_delivered;
+    total.channel.collisions += one.channel.collisions;
+    total.channel.random_losses += one.channel.random_losses;
+    total.channel.unicast_failures += one.channel.unicast_failures;
+    total.channel.bytes_transmitted += one.channel.bytes_transmitted;
+  }
+  return total;
+}
+
+}  // namespace mccls::aodv

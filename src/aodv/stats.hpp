@@ -1,0 +1,83 @@
+// Scenario-wide counters and the four derived metrics the paper plots
+// (§6): packet delivery ratio, RREQ ratio, end-to-end delay, drop ratio.
+#pragma once
+
+#include <cstdint>
+
+namespace mccls::aodv {
+
+struct Metrics {
+  // Data plane.
+  std::uint64_t data_sent = 0;       ///< packets submitted by source apps
+  std::uint64_t data_delivered = 0;  ///< packets that reached their destination
+  std::uint64_t data_forwarded = 0;  ///< per-hop forwards at intermediate nodes
+
+  // Control plane.
+  std::uint64_t rreq_initiated = 0;
+  std::uint64_t rreq_forwarded = 0;
+  std::uint64_t rreq_retries = 0;
+  std::uint64_t rrep_generated = 0;
+  std::uint64_t rrep_forwarded = 0;
+  std::uint64_t rerr_sent = 0;
+
+  // Loss accounting.
+  std::uint64_t attacker_dropped = 0;  ///< data discarded by attack nodes
+  std::uint64_t buffer_drops = 0;      ///< discovery failed / buffer overflow
+  std::uint64_t no_route_drops = 0;    ///< forwarding hit a missing route
+  std::uint64_t link_fail_drops = 0;   ///< MAC gave up on a broken link
+
+  // Security extension.
+  std::uint64_t auth_rejected = 0;  ///< control packets dropped: bad signature
+  std::uint64_t sign_ops = 0;
+  std::uint64_t verify_ops = 0;
+
+  // Delay (over delivered packets).
+  double total_delay = 0;
+  std::uint64_t delay_samples = 0;
+
+  /// Fig 1/4: delivered / sent.
+  [[nodiscard]] double packet_delivery_ratio() const {
+    return data_sent == 0 ? 0.0 : static_cast<double>(data_delivered) / data_sent;
+  }
+
+  /// Fig 2: (RREQ initiated + forwarded + retried) / (data sent + forwarded).
+  [[nodiscard]] double rreq_ratio() const {
+    const auto denom = data_sent + data_forwarded;
+    if (denom == 0) return 0.0;
+    return static_cast<double>(rreq_initiated + rreq_forwarded + rreq_retries) / denom;
+  }
+
+  /// Fig 3: mean end-to-end delay of delivered packets, seconds.
+  [[nodiscard]] double avg_end_to_end_delay() const {
+    return delay_samples == 0 ? 0.0 : total_delay / static_cast<double>(delay_samples);
+  }
+
+  /// Fig 5: data discarded by attackers / data sent by all sources.
+  [[nodiscard]] double packet_drop_ratio() const {
+    return data_sent == 0 ? 0.0 : static_cast<double>(attacker_dropped) / data_sent;
+  }
+
+  Metrics& operator+=(const Metrics& o) {
+    data_sent += o.data_sent;
+    data_delivered += o.data_delivered;
+    data_forwarded += o.data_forwarded;
+    rreq_initiated += o.rreq_initiated;
+    rreq_forwarded += o.rreq_forwarded;
+    rreq_retries += o.rreq_retries;
+    rrep_generated += o.rrep_generated;
+    rrep_forwarded += o.rrep_forwarded;
+    rerr_sent += o.rerr_sent;
+    attacker_dropped += o.attacker_dropped;
+    buffer_drops += o.buffer_drops;
+    no_route_drops += o.no_route_drops;
+    link_fail_drops += o.link_fail_drops;
+    auth_rejected += o.auth_rejected;
+    sign_ops += o.sign_ops;
+    verify_ops += o.verify_ops;
+    total_delay += o.total_delay;
+    delay_samples += o.delay_samples;
+    return *this;
+  }
+};
+
+}  // namespace mccls::aodv

@@ -1,0 +1,20 @@
+#include "aodv/traffic.hpp"
+
+#include <stdexcept>
+
+namespace mccls::aodv {
+
+void install_flow(sim::Simulator& simulator, std::vector<std::unique_ptr<AodvAgent>>& agents,
+                  const CbrFlow& flow) {
+  if (flow.src >= agents.size() || flow.dst >= agents.size() || flow.src == flow.dst) {
+    throw std::invalid_argument("install_flow: bad endpoints");
+  }
+  if (flow.interval <= 0) throw std::invalid_argument("install_flow: bad interval");
+  for (sim::SimTime t = flow.start; t < flow.stop; t += flow.interval) {
+    simulator.schedule_at(t, [&agents, flow] {
+      agents[flow.src]->send_data(flow.dst, flow.payload_bytes);
+    });
+  }
+}
+
+}  // namespace mccls::aodv

@@ -1,0 +1,25 @@
+// Constant-bit-rate traffic sources — the workload of the paper's §6
+// experiments (random source/destination pairs over the 20-node field).
+#pragma once
+
+#include <vector>
+
+#include "aodv/agent.hpp"
+
+namespace mccls::aodv {
+
+struct CbrFlow {
+  NodeId src = 0;
+  NodeId dst = 0;
+  sim::SimTime start = 0;
+  sim::SimTime stop = 0;        ///< no packets at or after this time
+  double interval = 0.25;       ///< seconds between packets (4 pkt/s)
+  std::size_t payload_bytes = 512;
+};
+
+/// Schedules every packet of `flow` on the simulator, submitting through the
+/// source node's agent. `agents` must outlive the simulation.
+void install_flow(sim::Simulator& simulator, std::vector<std::unique_ptr<AodvAgent>>& agents,
+                  const CbrFlow& flow);
+
+}  // namespace mccls::aodv

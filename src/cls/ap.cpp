@@ -1,0 +1,76 @@
+#include "cls/ap.hpp"
+
+#include "crypto/hash.hpp"
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+
+namespace {
+
+constexpr std::string_view kH2Domain = "ap/H2/challenge";
+
+/// v = H2(M, w) with w ∈ GT.
+math::Fq ap_challenge(std::span<const std::uint8_t> message, const pairing::Gt& w) {
+  crypto::ByteWriter t;
+  t.put_field(message);
+  t.put_raw(w.to_bytes());
+  return crypto::hash_to_fq(kH2Domain, t);
+}
+
+/// ê(P, P) for the fixed group generator — constant across all parameter sets.
+const pairing::Gt& base_pairing() {
+  static const pairing::Gt g = pairing::pair(ec::G1::generator(), ec::G1::generator());
+  return g;
+}
+
+}  // namespace
+
+crypto::Bytes ApSignature::to_bytes() const {
+  crypto::ByteWriter w;
+  w.put_raw(u.to_bytes());
+  w.put_raw(v.to_u256().to_be_bytes());
+  return w.take();
+}
+
+std::optional<ApSignature> ApSignature::from_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSize) return std::nullopt;
+  crypto::ByteReader reader(bytes);
+  const auto u_raw = reader.get_raw(ec::G1::kEncodedSize);
+  const auto v_raw = reader.get_raw(32);
+  if (!u_raw || !v_raw) return std::nullopt;
+  const auto u = ec::G1::from_bytes(*u_raw);
+  if (!u) return std::nullopt;
+  const math::U256 v_int = math::U256::from_be_bytes(*v_raw);
+  if (cmp(v_int, math::Fq::modulus()) >= 0) return std::nullopt;
+  return ApSignature{.u = *u, .v = math::Fq::from_u256(v_int)};
+}
+
+crypto::Bytes Ap::sign(const SystemParams& params, const UserKeys& signer,
+                       std::span<const std::uint8_t> message, crypto::HmacDrbg& rng) const {
+  const math::Fq a = rng.next_nonzero_fq();
+  const pairing::Gt w = base_pairing().pow(a);  // ê(P,P)^a: the "1p" of Table 1
+  const math::Fq v = ap_challenge(message, w);
+  // Full private key S_A = x·D_A; U = v·S_A + a·P.
+  const ec::G1 s_a = signer.partial_key.mul(signer.secret);
+  const ec::G1 u = s_a.mul(v) + params.p.mul(a);
+  return ApSignature{.u = u, .v = v}.to_bytes();
+}
+
+bool Ap::verify(const SystemParams& params, std::string_view id, const PublicKey& public_key,
+                std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature, PairingCache* /*cache*/) const {
+  if (public_key.points.size() != 2) return false;
+  const auto sig = ApSignature::from_bytes(signature);
+  if (!sig) return false;
+  const ec::G1& x_a = public_key.points[0];
+  const ec::G1& y_a = public_key.points[1];
+  // (1) Key-structure check: the two halves must commit to the same secret.
+  if (pairing::pair(x_a, params.p_pub) != pairing::pair(y_a, params.p)) return false;
+  // (2) Recover w and recompute the challenge.
+  const ec::G1 q_a = hash_id(id);
+  const pairing::Gt w = pairing::pair(sig->u, params.p) *
+                        pairing::pair(q_a, y_a).pow(sig->v).inv();
+  return ap_challenge(message, w) == sig->v;
+}
+
+}  // namespace mccls::cls

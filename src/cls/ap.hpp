@@ -1,0 +1,60 @@
+// AP — the Al-Riyami–Paterson certificateless signature (AsiaCrypt 2003),
+// reconstructed to match the operation counts the paper's Table 1 reports
+// for it: Sign 1p+3s, Verify 4p+1e, public key 2 points.
+//
+//   Keys:    Q_A = H1(ID), D_A = s·Q_A, secret x,
+//            S_A = x·D_A (full private key), P_A = (X_A, Y_A) = (x·P, x·Ppub)
+//   Sign:    a ← Zq*; w = ê(P,P)^a; v = H2(M, w); U = v·S_A + a·P.  σ = (U, v)
+//   Verify:  (1) key-structure check ê(X_A, Ppub) == ê(Y_A, P)
+//            (2) w' = ê(U,P) · ê(Q_A, Y_A)^{−v}; accept iff v == H2(M, w')
+//
+// Correctness: ê(U,P) = ê(Q_A,P)^{v·x·s} · ê(P,P)^a and
+// ê(Q_A,Y_A)^{−v} = ê(Q_A,P)^{−v·x·s}, so w' = ê(P,P)^a = w.
+#pragma once
+
+#include <optional>
+
+#include "cls/scheme.hpp"
+
+namespace mccls::cls {
+
+/// Typed AP signature σ = (U, v).
+struct ApSignature {
+  ec::G1 u;
+  math::Fq v;
+
+  static constexpr std::size_t kSize = ec::G1::kEncodedSize + 32;
+  [[nodiscard]] crypto::Bytes to_bytes() const;
+  static std::optional<ApSignature> from_bytes(std::span<const std::uint8_t> bytes);
+};
+
+class Ap final : public Scheme {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "AP"; }
+  [[nodiscard]] OpCounts costs() const override {
+    return OpCounts{.sign_pairings = 1,
+                    .sign_scalar_mults = 3,
+                    .verify_pairings = 4,
+                    .verify_scalar_mults = 0,
+                    .verify_exponentiations = 1,
+                    .public_key_points = 2};
+  }
+
+  /// (X_A, Y_A) = (x·P, x·Ppub) — the only two-point key in Table 1.
+  [[nodiscard]] PublicKey derive_public(const SystemParams& params,
+                                        const math::Fq& secret) const override {
+    return PublicKey{.points = {params.p.mul(secret), params.p_pub.mul(secret)}};
+  }
+
+  [[nodiscard]] crypto::Bytes sign(const SystemParams& params, const UserKeys& signer,
+                                   std::span<const std::uint8_t> message,
+                                   crypto::HmacDrbg& rng) const override;
+  [[nodiscard]] bool verify(const SystemParams& params, std::string_view id,
+                            const PublicKey& public_key,
+                            std::span<const std::uint8_t> message,
+                            std::span<const std::uint8_t> signature,
+                            PairingCache* cache = nullptr) const override;
+  [[nodiscard]] std::size_t signature_size() const override { return ApSignature::kSize; }
+};
+
+}  // namespace mccls::cls

@@ -1,0 +1,45 @@
+#include "cls/batch.hpp"
+
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+
+bool batch_verify(const SystemParams& params, std::string_view id, const ec::G1& public_key,
+                  std::span<const BatchItem> items, crypto::HmacDrbg& rng,
+                  PairingCache* cache) {
+  if (items.empty()) return true;
+
+  // All signatures must carry the signer-static S; otherwise fall back to
+  // rejecting (callers group by S before batching).
+  const ec::G1& s = items.front().signature.s;
+  for (const auto& item : items) {
+    if (!(item.signature.s == s)) return false;
+  }
+  if (s.is_infinity()) return false;
+
+  ec::G1 combined = ec::G1::infinity();
+  math::Fq delta_sum = math::Fq::zero();
+  for (const auto& item : items) {
+    const math::Fq h = mccls_challenge(item.message, item.signature.r, public_key);
+    if (h.is_zero()) return false;
+    // δ_i: random kDeltaBits-bit non-zero scalar.
+    std::array<std::uint8_t, kDeltaBits / 8> raw;
+    do {
+      rng.generate(raw);
+    } while (math::U256::from_be_bytes(raw).is_zero());
+    const math::Fq delta = math::Fq::from_u256(math::U256::from_be_bytes(raw));
+
+    // δ_i·h_i⁻¹·(V_i·P − h_i·R_i) = (δ_i·V_i/h_i)·P − δ_i·R_i
+    const math::Fq coeff_p = delta * item.signature.v * h.inv();
+    combined += params.p.mul(coeff_p) - item.signature.r.mul(delta);
+    delta_sum += delta;
+  }
+  if (combined.is_infinity()) return false;
+
+  const pairing::Gt lhs = pairing::pair(combined, s);
+  const pairing::Gt base = cache != nullptr ? cache->get(params, id)
+                                            : pairing::pair(params.p_pub, hash_id(id));
+  return lhs == base.pow(delta_sum);
+}
+
+}  // namespace mccls::cls

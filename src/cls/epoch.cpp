@@ -1,0 +1,36 @@
+#include "cls/epoch.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace mccls::cls {
+
+namespace {
+constexpr std::string_view kSeparator = "@epoch-";
+}
+
+std::string scoped_identity(std::string_view id, Epoch epoch) {
+  if (id.find(kSeparator) != std::string_view::npos) {
+    throw std::invalid_argument("scoped_identity: identity already scoped");
+  }
+  return std::string(id) + std::string(kSeparator) + std::to_string(epoch);
+}
+
+std::optional<std::pair<std::string, Epoch>> parse_scoped_identity(std::string_view scoped) {
+  const auto pos = scoped.rfind(kSeparator);
+  if (pos == std::string_view::npos || pos == 0) return std::nullopt;
+  const std::string_view id = scoped.substr(0, pos);
+  const std::string_view digits = scoped.substr(pos + kSeparator.size());
+  if (digits.empty() || id.find(kSeparator) != std::string_view::npos) return std::nullopt;
+  Epoch epoch = 0;
+  const auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), epoch);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) return std::nullopt;
+  return std::pair{std::string(id), epoch};
+}
+
+bool epoch_acceptable(Epoch epoch, Epoch now, Epoch grace) {
+  if (epoch > now) return false;  // signatures from the future are invalid
+  return now - epoch <= grace;
+}
+
+}  // namespace mccls::cls

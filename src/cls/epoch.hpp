@@ -1,0 +1,34 @@
+// Key revocation for certificateless systems, the Al-Riyami–Paterson way:
+// there are no certificates to revoke, so identities are time-scoped —
+// the effective signing identity is "ID‖epoch", and the KGC simply stops
+// issuing partial keys for a revoked ID when the epoch rolls over. Verifiers
+// reject signatures whose epoch is not current.
+//
+// This header provides the canonical identity-scoping used by all of this
+// repository's schemes (they treat the scoped string as the identity).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mccls::cls {
+
+/// A revocation epoch (e.g. an hour/day counter in deployment).
+using Epoch = std::uint64_t;
+
+/// Canonical scoped identity "ID@epoch-N". The '@epoch-' separator cannot
+/// appear in the result of scoping (scoping twice throws), so scoped and
+/// unscoped identities never collide.
+std::string scoped_identity(std::string_view id, Epoch epoch);
+
+/// Splits a scoped identity back into (id, epoch); nullopt if `scoped` is
+/// not in canonical form.
+std::optional<std::pair<std::string, Epoch>> parse_scoped_identity(std::string_view scoped);
+
+/// Verifier-side policy: accept signatures from `epoch` when the current
+/// epoch is `now`, allowing `grace` trailing epochs for clock skew.
+bool epoch_acceptable(Epoch epoch, Epoch now, Epoch grace = 1);
+
+}  // namespace mccls::cls

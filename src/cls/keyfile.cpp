@@ -1,0 +1,46 @@
+#include "cls/keyfile.hpp"
+
+namespace mccls::cls {
+
+crypto::Bytes encode_master_key(const math::Fq& s) {
+  crypto::ByteWriter w;
+  w.put_raw(s.to_u256().to_be_bytes());
+  return w.take();
+}
+
+std::optional<math::Fq> decode_master_key(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != 32) return std::nullopt;
+  const math::U256 v = math::U256::from_be_bytes(bytes);
+  if (cmp(v, math::Fq::modulus()) >= 0 || v.is_zero()) return std::nullopt;
+  return math::Fq::from_u256(v);
+}
+
+crypto::Bytes encode_user_keys(const UserKeys& keys) {
+  crypto::ByteWriter w;
+  w.put_field(keys.id);
+  w.put_raw(keys.partial_key.to_bytes());
+  w.put_raw(keys.secret.to_u256().to_be_bytes());
+  w.put_field(keys.public_key.to_bytes());
+  return w.take();
+}
+
+std::optional<UserKeys> decode_user_keys(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader r(bytes);
+  const auto id = r.get_field();
+  const auto partial_raw = r.get_raw(ec::G1::kEncodedSize);
+  const auto secret_raw = r.get_raw(32);
+  const auto pk_raw = r.get_field();
+  if (!id || !partial_raw || !secret_raw || !pk_raw || !r.exhausted()) return std::nullopt;
+  const auto partial = ec::G1::from_bytes(*partial_raw);
+  const math::U256 secret_int = math::U256::from_be_bytes(*secret_raw);
+  const auto pk = PublicKey::from_bytes(*pk_raw);
+  if (!partial || !pk || cmp(secret_int, math::Fq::modulus()) >= 0 || secret_int.is_zero()) {
+    return std::nullopt;
+  }
+  return UserKeys{.id = std::string(id->begin(), id->end()),
+                  .partial_key = *partial,
+                  .secret = math::Fq::from_u256(secret_int),
+                  .public_key = *pk};
+}
+
+}  // namespace mccls::cls

@@ -1,0 +1,21 @@
+// Canonical serialization of key material — the storage format used by
+// mccls_cli and any application that persists KGC or user keys. Decoders
+// are total: malformed input yields nullopt.
+#pragma once
+
+#include <optional>
+
+#include "cls/keys.hpp"
+
+namespace mccls::cls {
+
+/// Master-key record: 32 bytes, big-endian canonical scalar.
+crypto::Bytes encode_master_key(const math::Fq& s);
+/// Rejects non-canonical (>= q) and zero scalars.
+std::optional<math::Fq> decode_master_key(std::span<const std::uint8_t> bytes);
+
+/// User-key record: id, partial key, secret value, public key.
+crypto::Bytes encode_user_keys(const UserKeys& keys);
+std::optional<UserKeys> decode_user_keys(std::span<const std::uint8_t> bytes);
+
+}  // namespace mccls::cls

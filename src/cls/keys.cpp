@@ -1,0 +1,54 @@
+#include "cls/keys.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hash.hpp"
+
+namespace mccls::cls {
+
+namespace {
+constexpr std::string_view kH1Domain = "mccls/H1/identity";
+}
+
+ec::G1 hash_id(std::string_view id) {
+  return crypto::hash_to_g1(kH1Domain, crypto::as_bytes(id));
+}
+
+crypto::Bytes PublicKey::to_bytes() const {
+  crypto::ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(points.size()));
+  for (const auto& pt : points) w.put_raw(pt.to_bytes());
+  return w.take();
+}
+
+std::optional<PublicKey> PublicKey::from_bytes(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader r(bytes);
+  const auto count = r.get_u8();
+  if (!count || *count == 0 || *count > 2) return std::nullopt;
+  PublicKey pk;
+  for (std::uint8_t i = 0; i < *count; ++i) {
+    const auto raw = r.get_raw(ec::G1::kEncodedSize);
+    if (!raw) return std::nullopt;
+    const auto pt = ec::G1::from_bytes(*raw);
+    if (!pt) return std::nullopt;
+    pk.points.push_back(*pt);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return pk;
+}
+
+Kgc Kgc::setup(crypto::HmacDrbg& rng) {
+  return from_master_key(rng.next_nonzero_fq());
+}
+
+Kgc Kgc::from_master_key(const math::Fq& s) {
+  if (s.is_zero()) throw std::invalid_argument("Kgc: master key must be non-zero");
+  SystemParams params{.p = ec::G1::generator(), .p_pub = ec::G1::generator().mul(s)};
+  return Kgc{s, std::move(params)};
+}
+
+ec::G1 Kgc::extract_partial_key(std::string_view id) const {
+  return hash_id(id).mul(s_);
+}
+
+}  // namespace mccls::cls

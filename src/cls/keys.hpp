@@ -1,0 +1,80 @@
+// Certificateless key infrastructure (paper §4, stages 1-3):
+//   Setup                           -> SystemParams + master key held by the Kgc
+//   Extract-Partial-Private-Key(ID) -> D_ID = s·H1(ID)
+//   Generate-Key-Pair               -> secret x + scheme-specific public key
+// The KGC never learns x, so it cannot sign on a user's behalf — the
+// defining property of certificateless cryptography.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "crypto/encoding.hpp"
+#include "ec/g1.hpp"
+#include "math/fe.hpp"
+
+namespace mccls::cls {
+
+/// Public system parameters (P is the fixed group generator).
+struct SystemParams {
+  ec::G1 p;      ///< group generator
+  ec::G1 p_pub;  ///< Ppub = s·P, the KGC's public key
+};
+
+/// Q_ID = H1(ID): the identity's public "hash point".
+ec::G1 hash_id(std::string_view id);
+
+/// A scheme public key: one G1 point for McCLS/ZWXF/YHG, two for AP
+/// (Table 1's "PubKey Len" row).
+struct PublicKey {
+  std::vector<ec::G1> points;
+
+  /// The first (for most schemes, only) point.
+  [[nodiscard]] const ec::G1& primary() const { return points.at(0); }
+
+  [[nodiscard]] crypto::Bytes to_bytes() const;
+  static std::optional<PublicKey> from_bytes(std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+/// Key Generation Center. Holds the master secret s; issues partial private
+/// keys bound to identities.
+class Kgc {
+ public:
+  /// Runs Setup with randomness from `rng`.
+  static Kgc setup(crypto::HmacDrbg& rng);
+
+  /// Reconstructs a KGC from a stored master key (key-file loading).
+  /// Throws std::invalid_argument on a zero key.
+  static Kgc from_master_key(const math::Fq& s);
+
+  [[nodiscard]] const SystemParams& params() const { return params_; }
+
+  /// D_ID = s·H1(ID).
+  [[nodiscard]] ec::G1 extract_partial_key(std::string_view id) const;
+
+  /// The master key; exposed for the Type-II adversary tests only.
+  [[nodiscard]] const math::Fq& master_key_for_tests() const { return s_; }
+
+ private:
+  Kgc(math::Fq s, SystemParams params) : s_(s), params_(std::move(params)) {}
+
+  math::Fq s_;
+  SystemParams params_;
+};
+
+/// Everything one user holds: identity, KGC-issued partial key, self-chosen
+/// secret value, and the scheme-derived public key.
+struct UserKeys {
+  std::string id;
+  ec::G1 partial_key;    ///< D_ID = s·Q_ID (from the KGC)
+  math::Fq secret;       ///< x, chosen by the user (the paper's S_ID)
+  PublicKey public_key;  ///< scheme-specific (see Scheme::derive_public)
+};
+
+}  // namespace mccls::cls

@@ -1,0 +1,94 @@
+#include "cls/mccls.hpp"
+
+#include "crypto/hash.hpp"
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+
+namespace {
+constexpr std::string_view kH2Domain = "mccls/H2/challenge";
+}
+
+math::Fq mccls_challenge(std::span<const std::uint8_t> message, const ec::G1& r,
+                         const ec::G1& public_key) {
+  crypto::ByteWriter w;
+  w.put_field(message);
+  w.put_raw(r.to_bytes());
+  w.put_raw(public_key.to_bytes());
+  return crypto::hash_to_fq(kH2Domain, w);
+}
+
+crypto::Bytes McclsSignature::to_bytes() const {
+  crypto::ByteWriter w;
+  w.put_raw(v.to_u256().to_be_bytes());
+  w.put_raw(s.to_bytes());
+  w.put_raw(r.to_bytes());
+  return w.take();
+}
+
+std::optional<McclsSignature> McclsSignature::from_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSize) return std::nullopt;
+  crypto::ByteReader reader(bytes);
+  const auto v_raw = reader.get_raw(32);
+  const auto s_raw = reader.get_raw(ec::G1::kEncodedSize);
+  const auto r_raw = reader.get_raw(ec::G1::kEncodedSize);
+  if (!v_raw || !s_raw || !r_raw) return std::nullopt;
+  const math::U256 v_int = math::U256::from_be_bytes(*v_raw);
+  if (cmp(v_int, math::Fq::modulus()) >= 0) return std::nullopt;  // non-canonical
+  const auto s = ec::G1::from_bytes(*s_raw);
+  const auto r = ec::G1::from_bytes(*r_raw);
+  if (!s || !r) return std::nullopt;
+  return McclsSignature{.v = math::Fq::from_u256(v_int), .s = *s, .r = *r};
+}
+
+McclsSignature Mccls::sign_typed(const SystemParams& params, const UserKeys& signer,
+                                 std::span<const std::uint8_t> message,
+                                 crypto::HmacDrbg& rng) {
+  const bool base_is_generator = params.p == ec::G1::generator();
+  for (;;) {
+    const math::Fq r = rng.next_nonzero_fq();
+    // R = (r − x)·P, via the fixed-base table on the standard generator.
+    const math::Fq exponent = r - signer.secret;
+    const ec::G1 big_r =
+        base_is_generator ? ec::G1::mul_generator(exponent) : params.p.mul(exponent);
+    const math::Fq h = mccls_challenge(message, big_r, signer.public_key.primary());
+    if (h.is_zero()) continue;  // h must be invertible for verification
+    return McclsSignature{
+        .v = h * r,
+        .s = signer.partial_key.mul(signer.secret.inv()),
+        .r = big_r,
+    };
+  }
+}
+
+bool Mccls::verify_typed(const SystemParams& params, std::string_view id,
+                         const ec::G1& public_key, std::span<const std::uint8_t> message,
+                         const McclsSignature& sig, PairingCache* cache) {
+  const math::Fq h = mccls_challenge(message, sig.r, public_key);
+  if (h.is_zero()) return false;
+  // Left side of the DH-tuple check: ê(V·P − h·R, h⁻¹·S), computed as one
+  // simultaneous double-scalar multiplication V·P + (−h)·R.
+  const ec::G1 left_point =
+      ec::G1::mul2(sig.v.to_u256(), params.p, h.neg().to_u256(), sig.r);
+  const ec::G1 s_over_h = sig.s.mul(h.inv());
+  if (left_point.is_infinity() || s_over_h.is_infinity()) return false;
+  const pairing::Gt lhs = pairing::pair(left_point, s_over_h);
+  if (cache != nullptr) return lhs == cache->get(params, id);
+  return lhs == pairing::pair(params.p_pub, hash_id(id));
+}
+
+crypto::Bytes Mccls::sign(const SystemParams& params, const UserKeys& signer,
+                          std::span<const std::uint8_t> message, crypto::HmacDrbg& rng) const {
+  return sign_typed(params, signer, message, rng).to_bytes();
+}
+
+bool Mccls::verify(const SystemParams& params, std::string_view id,
+                   const PublicKey& public_key, std::span<const std::uint8_t> message,
+                   std::span<const std::uint8_t> signature, PairingCache* cache) const {
+  if (public_key.points.size() != 1) return false;
+  const auto sig = McclsSignature::from_bytes(signature);
+  if (!sig) return false;
+  return verify_typed(params, id, public_key.primary(), message, *sig, cache);
+}
+
+}  // namespace mccls::cls

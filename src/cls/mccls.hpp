@@ -1,0 +1,81 @@
+// McCLS — the paper's scheme (§4), implemented exactly as published.
+//
+//   Sign(M):   r ← Zq*;  R = (r − x)·P;  h = H2(M, R, P_ID);  V = h·r;
+//              S = x⁻¹·D_ID.   σ = (V, S, R)
+//   Verify(σ): h = H2(M, R, P_ID); accept iff
+//              ê(V·P − h·R, h⁻¹·S) == ê(Ppub, Q_ID)
+//
+// Correctness: V·P − h·R = h·x·P and ê(h·x·P, (h·x)⁻¹·D_ID) = ê(P, D_ID).
+// Only one pairing is evaluated per verification; ê(Ppub, Q_ID) is constant
+// per identity and served from a PairingCache when supplied.
+//
+// Fidelity note (see DESIGN.md §3): the verification equation binds P_ID only
+// through the hash h, and S is signer-static — both weaknesses of the
+// published scheme are reproduced deliberately and characterized in
+// tests/test_adversary.cpp.
+#pragma once
+
+#include <optional>
+
+#include "cls/scheme.hpp"
+
+namespace mccls::cls {
+
+/// Typed McCLS signature: σ = (V, S, R).
+struct McclsSignature {
+  math::Fq v;
+  ec::G1 s;
+  ec::G1 r;
+
+  static constexpr std::size_t kSize = 32 + ec::G1::kEncodedSize * 2;
+  [[nodiscard]] crypto::Bytes to_bytes() const;
+  static std::optional<McclsSignature> from_bytes(std::span<const std::uint8_t> bytes);
+};
+
+class Mccls final : public Scheme {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "McCLS"; }
+  /// Table 1: Sign 2s, Verify 1p+1s, public key 1 point.
+  [[nodiscard]] OpCounts costs() const override {
+    return OpCounts{.sign_pairings = 0,
+                    .sign_scalar_mults = 2,
+                    .verify_pairings = 1,
+                    .verify_scalar_mults = 1,
+                    .verify_exponentiations = 0,
+                    .public_key_points = 1};
+  }
+
+  /// P_ID = x·Ppub (one point).
+  [[nodiscard]] PublicKey derive_public(const SystemParams& params,
+                                        const math::Fq& secret) const override {
+    return PublicKey{.points = {params.p_pub.mul(secret)}};
+  }
+
+  /// Typed API (public key is the single point P_ID).
+  [[nodiscard]] static McclsSignature sign_typed(const SystemParams& params,
+                                                 const UserKeys& signer,
+                                                 std::span<const std::uint8_t> message,
+                                                 crypto::HmacDrbg& rng);
+  [[nodiscard]] static bool verify_typed(const SystemParams& params, std::string_view id,
+                                         const ec::G1& public_key,
+                                         std::span<const std::uint8_t> message,
+                                         const McclsSignature& sig,
+                                         PairingCache* cache = nullptr);
+
+  [[nodiscard]] crypto::Bytes sign(const SystemParams& params, const UserKeys& signer,
+                                   std::span<const std::uint8_t> message,
+                                   crypto::HmacDrbg& rng) const override;
+  [[nodiscard]] bool verify(const SystemParams& params, std::string_view id,
+                            const PublicKey& public_key,
+                            std::span<const std::uint8_t> message,
+                            std::span<const std::uint8_t> signature,
+                            PairingCache* cache = nullptr) const override;
+  [[nodiscard]] std::size_t signature_size() const override { return McclsSignature::kSize; }
+};
+
+/// H2(M, R, P_ID) — exposed so batch verification and the adversary tests
+/// compute the exact same challenge scalar as the scheme.
+math::Fq mccls_challenge(std::span<const std::uint8_t> message, const ec::G1& r,
+                         const ec::G1& public_key);
+
+}  // namespace mccls::cls

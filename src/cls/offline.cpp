@@ -1,0 +1,43 @@
+#include "cls/offline.hpp"
+
+namespace mccls::cls {
+
+McclsOfflineSigner::McclsOfflineSigner(const SystemParams& params, UserKeys signer)
+    : params_(params),
+      signer_(std::move(signer)),
+      s_(signer_.partial_key.mul(signer_.secret.inv())) {}
+
+McclsOfflineSigner::Token McclsOfflineSigner::make_token(crypto::HmacDrbg& rng) const {
+  const bool base_is_generator = params_.p == ec::G1::generator();
+  for (;;) {
+    const math::Fq r = rng.next_nonzero_fq();
+    const math::Fq exponent = r - signer_.secret;
+    if (exponent.is_zero()) continue;  // r == x would leak R = O
+    return Token{.r = r,
+                 .big_r = base_is_generator ? ec::G1::mul_generator(exponent)
+                                            : params_.p.mul(exponent)};
+  }
+}
+
+void McclsOfflineSigner::precompute(std::size_t count, crypto::HmacDrbg& rng) {
+  for (std::size_t i = 0; i < count; ++i) pool_.push_back(make_token(rng));
+}
+
+McclsSignature McclsOfflineSigner::sign(std::span<const std::uint8_t> message,
+                                        crypto::HmacDrbg& rng) {
+  for (;;) {
+    Token token;
+    if (pool_.empty()) {
+      token = make_token(rng);
+    } else {
+      token = pool_.front();
+      pool_.pop_front();
+    }
+    const math::Fq h =
+        mccls_challenge(message, token.big_r, signer_.public_key.primary());
+    if (h.is_zero()) continue;  // negligible; burn the token and retry
+    return McclsSignature{.v = h * token.r, .s = s_, .r = token.big_r};
+  }
+}
+
+}  // namespace mccls::cls

@@ -1,0 +1,48 @@
+// Online/offline McCLS signing — the optimization the paper's reference
+// [12] (Xu-Mu-Susilo, ACISP 2006) applies to AODV routing security, adapted
+// to McCLS. Everything message-independent is precomputed in idle time:
+//
+//   offline: r ← Zq*, R = (r − x)·P            (the scalar multiplication)
+//   online:  h = H2(M, R, P_ID), V = h·r       (one hash + one field multiply)
+//
+// S = x⁻¹·D_ID is signer-static and computed once. The online phase runs in
+// microseconds — the property CPS deadline-bound control loops need
+// (bench_table1's Sign vs bench_primitives' field-mult cost).
+#pragma once
+
+#include <deque>
+
+#include "cls/mccls.hpp"
+
+namespace mccls::cls {
+
+class McclsOfflineSigner {
+ public:
+  /// Captures the signer's keys; `params` must outlive the signer.
+  McclsOfflineSigner(const SystemParams& params, UserKeys signer);
+
+  /// Precomputes `count` signing tokens (idle-time work).
+  void precompute(std::size_t count, crypto::HmacDrbg& rng);
+
+  [[nodiscard]] std::size_t tokens_available() const { return pool_.size(); }
+
+  /// Signs using a precomputed token; when the pool is empty, falls back to
+  /// computing a token inline (equivalent to ordinary signing).
+  [[nodiscard]] McclsSignature sign(std::span<const std::uint8_t> message,
+                                    crypto::HmacDrbg& rng);
+
+ private:
+  struct Token {
+    math::Fq r;
+    ec::G1 big_r;  ///< (r − x)·P
+  };
+
+  Token make_token(crypto::HmacDrbg& rng) const;
+
+  const SystemParams& params_;
+  UserKeys signer_;
+  ec::G1 s_;  ///< x⁻¹·D_ID, signer-static
+  std::deque<Token> pool_;
+};
+
+}  // namespace mccls::cls

@@ -1,0 +1,99 @@
+#include "cls/paradigms.hpp"
+
+#include "crypto/hash.hpp"
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+
+namespace {
+
+ec::G1 hash_message(std::string_view domain, std::span<const std::uint8_t> message) {
+  return crypto::hash_to_g1(domain, message);
+}
+
+crypto::Bytes cert_transcript(std::string_view id, const ec::G1& key) {
+  crypto::ByteWriter w;
+  w.put_field(id);
+  w.put_raw(key.to_bytes());
+  return w.take();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- BLS
+
+BlsKeyPair bls_keygen(crypto::HmacDrbg& rng) {
+  const math::Fq x = rng.next_nonzero_fq();
+  return BlsKeyPair{.secret = x, .public_key = ec::G1::mul_generator(x)};
+}
+
+ec::G1 bls_sign(const math::Fq& secret, std::span<const std::uint8_t> message) {
+  return hash_message("bls/H", message).mul(secret);
+}
+
+bool bls_verify(const ec::G1& public_key, std::span<const std::uint8_t> message,
+                const ec::G1& signature) {
+  if (signature.is_infinity() || public_key.is_infinity()) return false;
+  return pairing::pair(signature, ec::G1::generator()) ==
+         pairing::pair(hash_message("bls/H", message), public_key);
+}
+
+// ------------------------------------------------------------- PKI layer
+
+Certificate BlsPki::issue(std::string_view id, const ec::G1& subject_key) const {
+  return Certificate{.id = std::string(id),
+                     .subject_key = subject_key,
+                     .ca_signature = bls_sign(ca_.secret, cert_transcript(id, subject_key))};
+}
+
+bool BlsPki::verify_certificate(const Certificate& cert) const {
+  return bls_verify(ca_.public_key, cert_transcript(cert.id, cert.subject_key),
+                    cert.ca_signature);
+}
+
+bool BlsPki::verify_signed_message(const Certificate& cert,
+                                   std::span<const std::uint8_t> message,
+                                   const ec::G1& signature) const {
+  if (!verify_certificate(cert)) return false;
+  return bls_verify(cert.subject_key, message, signature);
+}
+
+// ------------------------------------------------------------------- IBS
+
+ChaCheonIbs::ChaCheonIbs(crypto::HmacDrbg& rng)
+    : master_(rng.next_nonzero_fq()), p_pub_(ec::G1::mul_generator(master_)) {}
+
+ec::G1 ChaCheonIbs::extract(std::string_view id) const {
+  return hash_id(id).mul(master_);
+}
+
+IbsSignature ChaCheonIbs::sign(const ec::G1& d_id, std::string_view id,
+                               std::span<const std::uint8_t> message,
+                               crypto::HmacDrbg& rng) {
+  const ec::G1 q_id = hash_id(id);
+  for (;;) {
+    const math::Fq r = rng.next_nonzero_fq();
+    const ec::G1 u = q_id.mul(r);
+    crypto::ByteWriter t;
+    t.put_field(message);
+    t.put_raw(u.to_bytes());
+    const math::Fq h = crypto::hash_to_fq("ibs/H2", t.bytes());
+    const math::Fq rh = r + h;
+    if (rh.is_zero()) continue;  // degenerate V = O
+    return IbsSignature{.u = u, .v = d_id.mul(rh)};
+  }
+}
+
+bool ChaCheonIbs::verify(std::string_view id, std::span<const std::uint8_t> message,
+                         const IbsSignature& sig) const {
+  if (sig.v.is_infinity()) return false;
+  const ec::G1 q_id = hash_id(id);
+  crypto::ByteWriter t;
+  t.put_field(message);
+  t.put_raw(sig.u.to_bytes());
+  const math::Fq h = crypto::hash_to_fq("ibs/H2", t.bytes());
+  return pairing::pair(sig.v, ec::G1::generator()) ==
+         pairing::pair(sig.u + q_id.mul(h), p_pub_);
+}
+
+}  // namespace mccls::cls

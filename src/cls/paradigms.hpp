@@ -1,0 +1,98 @@
+// The two public-key paradigms the paper's introduction positions McCLS
+// against, implemented on the same pairing substrate so the trade-offs can
+// be measured rather than asserted:
+//
+//  * BlsPki      — traditional PKI: BLS signatures plus an explicit
+//                  certificate (the CA's BLS signature over id‖pk). Brings
+//                  certificate transport + verification cost — the
+//                  "complex certificate management" the paper criticizes.
+//  * ChaCheonIbs — identity-based signatures (Cha-Cheon, PKC 2003): no
+//                  certificates, but the PKG holds every user's full
+//                  signing key — the key-escrow problem
+//                  (tests demonstrate the PKG forging).
+//
+// Certificateless schemes (cls/mccls.hpp et al.) sit between the two:
+// no certificates and no escrow. bench_paradigms quantifies all three.
+#pragma once
+
+#include <optional>
+
+#include "cls/keys.hpp"
+
+namespace mccls::cls {
+
+// ------------------------------------------------------------------- BLS
+
+/// BLS signature: σ = x·H(M); verify ê(σ, P) == ê(H(M), X).
+struct BlsKeyPair {
+  math::Fq secret;
+  ec::G1 public_key;  ///< X = x·P
+};
+
+BlsKeyPair bls_keygen(crypto::HmacDrbg& rng);
+ec::G1 bls_sign(const math::Fq& secret, std::span<const std::uint8_t> message);
+bool bls_verify(const ec::G1& public_key, std::span<const std::uint8_t> message,
+                const ec::G1& signature);
+
+// ------------------------------------------------------------- PKI layer
+
+/// A certificate: the CA's BLS signature binding an identity to a key.
+struct Certificate {
+  std::string id;
+  ec::G1 subject_key;
+  ec::G1 ca_signature;
+};
+
+class BlsPki {
+ public:
+  explicit BlsPki(crypto::HmacDrbg& rng) : ca_(bls_keygen(rng)) {}
+
+  [[nodiscard]] const ec::G1& ca_public_key() const { return ca_.public_key; }
+
+  /// CA-side: issue a certificate for (id, key).
+  [[nodiscard]] Certificate issue(std::string_view id, const ec::G1& subject_key) const;
+
+  /// Verifier-side: check the certificate chain, then the message signature.
+  /// This is the paradigm's full per-message cost (4 pairings; 2 with a
+  /// per-identity certificate cache, mirroring PairingCache usage).
+  [[nodiscard]] bool verify_signed_message(const Certificate& cert,
+                                           std::span<const std::uint8_t> message,
+                                           const ec::G1& signature) const;
+
+  [[nodiscard]] bool verify_certificate(const Certificate& cert) const;
+
+ private:
+  BlsKeyPair ca_;
+};
+
+// ------------------------------------------------------------------- IBS
+
+/// Cha-Cheon identity-based signature:
+///   keys:   D_ID = s·H1(ID) issued by the PKG (escrowed!)
+///   sign:   r ← Zq*; U = r·Q_ID; h = H2(M, U); V = (r + h)·D_ID
+///   verify: ê(V, P) == ê(U + h·Q_ID, Ppub)
+struct IbsSignature {
+  ec::G1 u;
+  ec::G1 v;
+};
+
+class ChaCheonIbs {
+ public:
+  explicit ChaCheonIbs(crypto::HmacDrbg& rng);
+
+  [[nodiscard]] const ec::G1& ppub() const { return p_pub_; }
+
+  /// PKG-side: extract the (escrowed) signing key for an identity.
+  [[nodiscard]] ec::G1 extract(std::string_view id) const;
+
+  static IbsSignature sign(const ec::G1& d_id, std::string_view id,
+                           std::span<const std::uint8_t> message, crypto::HmacDrbg& rng);
+  [[nodiscard]] bool verify(std::string_view id, std::span<const std::uint8_t> message,
+                            const IbsSignature& sig) const;
+
+ private:
+  math::Fq master_;
+  ec::G1 p_pub_;
+};
+
+}  // namespace mccls::cls

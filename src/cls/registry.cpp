@@ -1,0 +1,20 @@
+#include "cls/registry.hpp"
+
+#include "cls/ap.hpp"
+#include "cls/mccls.hpp"
+#include "cls/yhg.hpp"
+#include "cls/zwxf.hpp"
+
+namespace mccls::cls {
+
+std::unique_ptr<Scheme> make_scheme(std::string_view name) {
+  if (name == "AP") return std::make_unique<Ap>();
+  if (name == "ZWXF") return std::make_unique<Zwxf>();
+  if (name == "YHG") return std::make_unique<Yhg>();
+  if (name == "McCLS") return std::make_unique<Mccls>();
+  return nullptr;
+}
+
+std::vector<std::string_view> scheme_names() { return {"AP", "ZWXF", "YHG", "McCLS"}; }
+
+}  // namespace mccls::cls

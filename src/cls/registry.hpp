@@ -1,0 +1,20 @@
+// Name-based access to all implemented CLS schemes, in the order the paper's
+// Table 1 lists them. Used by bench_table1 and the scenario runner.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cls/scheme.hpp"
+
+namespace mccls::cls {
+
+/// Creates a scheme by its Table 1 name ("AP", "ZWXF", "YHG", "McCLS");
+/// returns nullptr for unknown names.
+std::unique_ptr<Scheme> make_scheme(std::string_view name);
+
+/// All scheme names in Table 1 order.
+std::vector<std::string_view> scheme_names();
+
+}  // namespace mccls::cls

@@ -1,0 +1,15 @@
+#include "cls/scheme.hpp"
+
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+
+const pairing::Gt& PairingCache::get(const SystemParams& params, std::string_view id) {
+  const auto it = cache_.find(std::string(id));
+  if (it != cache_.end()) return it->second;
+  auto [inserted, _] =
+      cache_.emplace(std::string(id), pairing::pair(params.p_pub, hash_id(id)));
+  return inserted->second;
+}
+
+}  // namespace mccls::cls

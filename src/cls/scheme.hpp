@@ -1,0 +1,89 @@
+// Common interface over all four certificateless signature schemes, so the
+// benchmarks (Table 1) and the secured-AODV extension can treat them
+// uniformly via serialized signatures and public keys.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "cls/keys.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/encoding.hpp"
+#include "pairing/gt.hpp"
+
+namespace mccls::cls {
+
+/// Operation counts as reported in the paper's Table 1 (claimed analytic
+/// costs; bench_table1 prints these next to measured wall-clock times).
+struct OpCounts {
+  int sign_pairings = 0;
+  int sign_scalar_mults = 0;
+  int verify_pairings = 0;
+  int verify_scalar_mults = 0;
+  int verify_exponentiations = 0;
+  int public_key_points = 1;  ///< public key length in G1 points
+};
+
+/// Memoizes ê(Ppub, Q_ID) per identity — the constant right-hand side of the
+/// McCLS verification equation (and a term of ZWXF/YHG verification).
+class PairingCache {
+ public:
+  const pairing::Gt& get(const SystemParams& params, std::string_view id);
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+  void clear() { cache_.clear(); }
+
+ private:
+  std::unordered_map<std::string, pairing::Gt> cache_;
+};
+
+/// A certificateless signature scheme. Signatures cross this interface in
+/// serialized form; concrete schemes also expose typed APIs.
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual OpCounts costs() const = 0;
+
+  /// Derives the scheme-specific public key from the user's secret value x.
+  [[nodiscard]] virtual PublicKey derive_public(const SystemParams& params,
+                                                const math::Fq& secret) const = 0;
+
+  /// Signs `message`; returns the serialized signature.
+  [[nodiscard]] virtual crypto::Bytes sign(const SystemParams& params, const UserKeys& signer,
+                                           std::span<const std::uint8_t> message,
+                                           crypto::HmacDrbg& rng) const = 0;
+
+  /// Verifies a serialized signature for (id, public_key, message).
+  /// Malformed signatures verify false (never throw). `cache` is optional;
+  /// when provided, identity-constant pairings are memoized across calls.
+  [[nodiscard]] virtual bool verify(const SystemParams& params, std::string_view id,
+                                    const PublicKey& public_key,
+                                    std::span<const std::uint8_t> message,
+                                    std::span<const std::uint8_t> signature,
+                                    PairingCache* cache = nullptr) const = 0;
+
+  /// Serialized signature size in bytes (fixed per scheme).
+  [[nodiscard]] virtual std::size_t signature_size() const = 0;
+
+  /// Full Generate-Key-Pair: samples x and derives the public key.
+  [[nodiscard]] UserKeys keygen(const SystemParams& params, std::string_view id,
+                                const ec::G1& partial_key, crypto::HmacDrbg& rng) const {
+    const math::Fq x = rng.next_nonzero_fq();
+    return UserKeys{.id = std::string(id),
+                    .partial_key = partial_key,
+                    .secret = x,
+                    .public_key = derive_public(params, x)};
+  }
+
+  /// One-call enrolment (extract partial key + keygen).
+  [[nodiscard]] UserKeys enroll(const Kgc& kgc, std::string_view id,
+                                crypto::HmacDrbg& rng) const {
+    return keygen(kgc.params(), id, kgc.extract_partial_key(id), rng);
+  }
+};
+
+}  // namespace mccls::cls

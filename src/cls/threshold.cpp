@@ -1,0 +1,67 @@
+#include "cls/threshold.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mccls::cls {
+
+ThresholdKgc ThresholdKgc::deal(std::size_t n, std::size_t t, crypto::HmacDrbg& rng) {
+  if (t < 2 || t > n) throw std::invalid_argument("ThresholdKgc::deal: need 2 <= t <= n");
+
+  // f(z) = s + a1·z + ... + a_{t-1}·z^{t-1}, coefficients uniform in Zq.
+  std::vector<math::Fq> coeffs;
+  coeffs.push_back(rng.next_nonzero_fq());  // s = f(0)
+  for (std::size_t i = 1; i < t; ++i) coeffs.push_back(rng.next_fq());
+
+  std::vector<KgcShare> shares;
+  shares.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    // Horner evaluation at z = i.
+    const math::Fq z = math::Fq::from_u64(i);
+    math::Fq acc = math::Fq::zero();
+    for (std::size_t c = coeffs.size(); c-- > 0;) acc = acc * z + coeffs[c];
+    shares.push_back(KgcShare{.index = static_cast<std::uint32_t>(i), .value = acc});
+  }
+
+  SystemParams params{.p = ec::G1::generator(),
+                      .p_pub = ec::G1::mul_generator(coeffs.front())};
+  return ThresholdKgc{t, std::move(params), std::move(shares)};
+}
+
+PartialKeyShare ThresholdKgc::issue_share(const KgcShare& share, std::string_view id) {
+  return PartialKeyShare{.index = share.index, .value = hash_id(id).mul(share.value)};
+}
+
+math::Fq ThresholdKgc::lagrange_at_zero(std::uint32_t index,
+                                        const std::vector<std::uint32_t>& indices) {
+  // λ_i(0) = Π_{j != i} (0 - x_j) / (x_i - x_j) = Π_{j != i} x_j / (x_j - x_i)
+  math::Fq num = math::Fq::one();
+  math::Fq den = math::Fq::one();
+  const math::Fq xi = math::Fq::from_u64(index);
+  for (const std::uint32_t j : indices) {
+    if (j == index) continue;
+    const math::Fq xj = math::Fq::from_u64(j);
+    num *= xj;
+    den *= xj - xi;
+  }
+  return num * den.inv();
+}
+
+std::optional<ec::G1> ThresholdKgc::combine(
+    std::vector<PartialKeyShare> contributions) const {
+  if (contributions.size() < t_) return std::nullopt;
+  contributions.resize(t_);  // any t suffice; use the first t given
+  std::vector<std::uint32_t> indices;
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& c : contributions) {
+    if (c.index == 0 || !seen.insert(c.index).second) return std::nullopt;
+    indices.push_back(c.index);
+  }
+  ec::G1 combined = ec::G1::infinity();
+  for (const auto& c : contributions) {
+    combined += c.value.mul(lagrange_at_zero(c.index, indices));
+  }
+  return combined;
+}
+
+}  // namespace mccls::cls

@@ -1,0 +1,69 @@
+// Threshold KGC: the master key s is Shamir-shared among n share-holders so
+// that any t of them can jointly issue a partial private key, and fewer
+// than t learn nothing. This is the standard answer to "who runs the KGC in
+// an infrastructure-less MANET" — the distributed key management of
+// Zhou-Haas [18] and Deng-Mukherjee-Agrawal [5] in the paper's related
+// work, applied to the certificateless setting.
+//
+//   deal:     f(z) = s + a₁z + ... + a_{t-1}z^{t-1} over Zq,
+//             share_i = f(i) for i = 1..n
+//   issue:    D_i = share_i · Q_ID                       (per share-holder)
+//   combine:  D_ID = Σ λ_i · D_i,  λ_i Lagrange at 0     (any t of them)
+//
+// The combined D_ID is byte-identical to what the centralized KGC issues,
+// so users and verifiers are oblivious to the thresholdization.
+#pragma once
+
+#include <vector>
+
+#include "cls/keys.hpp"
+
+namespace mccls::cls {
+
+/// One share-holder's state: index (the Shamir x-coordinate, >= 1) and the
+/// secret share f(index).
+struct KgcShare {
+  std::uint32_t index = 0;
+  math::Fq value;
+};
+
+/// A share-holder's contribution toward one identity's partial private key.
+struct PartialKeyShare {
+  std::uint32_t index = 0;
+  ec::G1 value;  ///< share_i · Q_ID
+};
+
+class ThresholdKgc {
+ public:
+  /// Splits a fresh master key into n shares with threshold t
+  /// (2 <= t <= n). The dealt SystemParams match a centralized KGC with the
+  /// same master key. Throws std::invalid_argument on bad (t, n).
+  static ThresholdKgc deal(std::size_t n, std::size_t t, crypto::HmacDrbg& rng);
+
+  [[nodiscard]] const SystemParams& params() const { return params_; }
+  [[nodiscard]] const std::vector<KgcShare>& shares() const { return shares_; }
+  [[nodiscard]] std::size_t threshold() const { return t_; }
+
+  /// One share-holder's contribution for `id`.
+  static PartialKeyShare issue_share(const KgcShare& share, std::string_view id);
+
+  /// Combines >= t distinct contributions into D_ID. Returns nullopt when
+  /// given fewer than t shares or duplicate indices. Any t-subset works.
+  [[nodiscard]] std::optional<ec::G1> combine(
+      std::vector<PartialKeyShare> contributions) const;
+
+  /// Lagrange coefficient λ_i evaluated at 0 for the given index set
+  /// (exposed for tests).
+  static math::Fq lagrange_at_zero(std::uint32_t index,
+                                   const std::vector<std::uint32_t>& indices);
+
+ private:
+  ThresholdKgc(std::size_t t, SystemParams params, std::vector<KgcShare> shares)
+      : t_(t), params_(std::move(params)), shares_(std::move(shares)) {}
+
+  std::size_t t_;
+  SystemParams params_;
+  std::vector<KgcShare> shares_;
+};
+
+}  // namespace mccls::cls

@@ -1,0 +1,59 @@
+// YHG — the Yap–Heng–Goi certificateless signature (EUC Workshops 2006),
+// reconstructed to match the operation counts of the paper's Table 1:
+// Sign 2s (pairing-free), Verify 2p+3s, public key 1 point.
+//
+//   Keys:    Q_A = H1(ID), D_A = s·Q_A, secret x, P_A = x·P
+//   Sign:    r ← Zq*; U = r·P; W = Hw(M, ID, P_A, U) ∈ G1;
+//            V = D_A + (r + x)·W.  σ = (U, V)
+//   Verify:  ê(P, V) == ê(Ppub, Q_A) · ê(U + P_A, W)
+//
+// Correctness: ê(P, D_A + (r+x)·W) = ê(Ppub, Q_A) · ê(P, W)^{r+x}
+//            = ê(Ppub, Q_A) · ê((r+x)·P, W) = ê(Ppub, Q_A) · ê(U + P_A, W).
+#pragma once
+
+#include <optional>
+
+#include "cls/scheme.hpp"
+
+namespace mccls::cls {
+
+/// Typed YHG signature σ = (U, V).
+struct YhgSignature {
+  ec::G1 u;
+  ec::G1 v;
+
+  static constexpr std::size_t kSize = ec::G1::kEncodedSize * 2;
+  [[nodiscard]] crypto::Bytes to_bytes() const;
+  static std::optional<YhgSignature> from_bytes(std::span<const std::uint8_t> bytes);
+};
+
+class Yhg final : public Scheme {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "YHG"; }
+  [[nodiscard]] OpCounts costs() const override {
+    return OpCounts{.sign_pairings = 0,
+                    .sign_scalar_mults = 2,
+                    .verify_pairings = 2,
+                    .verify_scalar_mults = 3,
+                    .verify_exponentiations = 0,
+                    .public_key_points = 1};
+  }
+
+  /// P_A = x·P.
+  [[nodiscard]] PublicKey derive_public(const SystemParams& params,
+                                        const math::Fq& secret) const override {
+    return PublicKey{.points = {params.p.mul(secret)}};
+  }
+
+  [[nodiscard]] crypto::Bytes sign(const SystemParams& params, const UserKeys& signer,
+                                   std::span<const std::uint8_t> message,
+                                   crypto::HmacDrbg& rng) const override;
+  [[nodiscard]] bool verify(const SystemParams& params, std::string_view id,
+                            const PublicKey& public_key,
+                            std::span<const std::uint8_t> message,
+                            std::span<const std::uint8_t> signature,
+                            PairingCache* cache = nullptr) const override;
+  [[nodiscard]] std::size_t signature_size() const override { return YhgSignature::kSize; }
+};
+
+}  // namespace mccls::cls

@@ -1,0 +1,80 @@
+#include "cls/zwxf.hpp"
+
+#include "crypto/hash.hpp"
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+
+namespace {
+
+crypto::ByteWriter transcript(std::span<const std::uint8_t> message, std::string_view id,
+                              const ec::G1& p_a, const ec::G1& u) {
+  crypto::ByteWriter t;
+  t.put_field(message);
+  t.put_field(id);
+  t.put_raw(p_a.to_bytes());
+  t.put_raw(u.to_bytes());
+  return t;
+}
+
+ec::G1 hash_w(std::span<const std::uint8_t> message, std::string_view id, const ec::G1& p_a,
+              const ec::G1& u) {
+  return crypto::hash_to_g1("zwxf/Hw", transcript(message, id, p_a, u));
+}
+
+ec::G1 hash_t(std::span<const std::uint8_t> message, std::string_view id, const ec::G1& p_a,
+              const ec::G1& u) {
+  return crypto::hash_to_g1("zwxf/Ht", transcript(message, id, p_a, u));
+}
+
+}  // namespace
+
+crypto::Bytes ZwxfSignature::to_bytes() const {
+  crypto::ByteWriter w;
+  w.put_raw(u.to_bytes());
+  w.put_raw(v.to_bytes());
+  return w.take();
+}
+
+std::optional<ZwxfSignature> ZwxfSignature::from_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSize) return std::nullopt;
+  crypto::ByteReader reader(bytes);
+  const auto u_raw = reader.get_raw(ec::G1::kEncodedSize);
+  const auto v_raw = reader.get_raw(ec::G1::kEncodedSize);
+  if (!u_raw || !v_raw) return std::nullopt;
+  const auto u = ec::G1::from_bytes(*u_raw);
+  const auto v = ec::G1::from_bytes(*v_raw);
+  if (!u || !v) return std::nullopt;
+  return ZwxfSignature{.u = *u, .v = *v};
+}
+
+crypto::Bytes Zwxf::sign(const SystemParams& params, const UserKeys& signer,
+                         std::span<const std::uint8_t> message, crypto::HmacDrbg& rng) const {
+  const math::Fq r = rng.next_nonzero_fq();
+  const ec::G1 u = params.p.mul(r);
+  const ec::G1& p_a = signer.public_key.primary();
+  const ec::G1 w = hash_w(message, signer.id, p_a, u);
+  const ec::G1 t = hash_t(message, signer.id, p_a, u);
+  const ec::G1 v = signer.partial_key + w.mul(r) + t.mul(signer.secret);
+  return ZwxfSignature{.u = u, .v = v}.to_bytes();
+}
+
+bool Zwxf::verify(const SystemParams& params, std::string_view id,
+                  const PublicKey& public_key, std::span<const std::uint8_t> message,
+                  std::span<const std::uint8_t> signature, PairingCache* cache) const {
+  if (public_key.points.size() != 1) return false;
+  const auto sig = ZwxfSignature::from_bytes(signature);
+  if (!sig) return false;
+  const ec::G1& p_a = public_key.primary();
+  const ec::G1 w = hash_w(message, id, p_a, sig->u);
+  const ec::G1 t = hash_t(message, id, p_a, sig->u);
+  const pairing::Gt lhs = pairing::pair(params.p, sig->v);
+  const pairing::Gt rhs_id = cache != nullptr
+                                 ? cache->get(params, id)
+                                 : pairing::pair(params.p_pub, hash_id(id));
+  const pairing::Gt rhs =
+      rhs_id * pairing::pair(sig->u, w) * pairing::pair(p_a, t);
+  return lhs == rhs;
+}
+
+}  // namespace mccls::cls

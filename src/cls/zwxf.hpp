@@ -1,0 +1,60 @@
+// ZWXF — the Zhang–Wong–Xu–Feng certificateless signature (ACNS 2006),
+// reconstructed to match the operation counts of the paper's Table 1:
+// Sign 4s (pairing-free), Verify 4p+3s, public key 1 point.
+//
+//   Keys:    Q_A = H1(ID), D_A = s·Q_A, secret x, P_A = x·P
+//   Sign:    r ← Zq*; U = r·P; W = Hw(M, ID, P_A, U) ∈ G1;
+//            T = Ht(M, ID, P_A, U) ∈ G1; V = D_A + r·W + x·T.  σ = (U, V)
+//   Verify:  ê(P, V) == ê(Ppub, Q_A) · ê(U, W) · ê(P_A, T)
+//
+// Correctness: ê(P, D_A + rW + xT)
+//            = ê(P, sQ_A) · ê(P, W)^r · ê(P, T)^x
+//            = ê(Ppub, Q_A) · ê(U, W) · ê(P_A, T).
+#pragma once
+
+#include <optional>
+
+#include "cls/scheme.hpp"
+
+namespace mccls::cls {
+
+/// Typed ZWXF signature σ = (U, V).
+struct ZwxfSignature {
+  ec::G1 u;
+  ec::G1 v;
+
+  static constexpr std::size_t kSize = ec::G1::kEncodedSize * 2;
+  [[nodiscard]] crypto::Bytes to_bytes() const;
+  static std::optional<ZwxfSignature> from_bytes(std::span<const std::uint8_t> bytes);
+};
+
+class Zwxf final : public Scheme {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ZWXF"; }
+  [[nodiscard]] OpCounts costs() const override {
+    return OpCounts{.sign_pairings = 0,
+                    .sign_scalar_mults = 4,
+                    .verify_pairings = 4,
+                    .verify_scalar_mults = 3,
+                    .verify_exponentiations = 0,
+                    .public_key_points = 1};
+  }
+
+  /// P_A = x·P.
+  [[nodiscard]] PublicKey derive_public(const SystemParams& params,
+                                        const math::Fq& secret) const override {
+    return PublicKey{.points = {params.p.mul(secret)}};
+  }
+
+  [[nodiscard]] crypto::Bytes sign(const SystemParams& params, const UserKeys& signer,
+                                   std::span<const std::uint8_t> message,
+                                   crypto::HmacDrbg& rng) const override;
+  [[nodiscard]] bool verify(const SystemParams& params, std::string_view id,
+                            const PublicKey& public_key,
+                            std::span<const std::uint8_t> message,
+                            std::span<const std::uint8_t> signature,
+                            PairingCache* cache = nullptr) const override;
+  [[nodiscard]] std::size_t signature_size() const override { return ZwxfSignature::kSize; }
+};
+
+}  // namespace mccls::cls

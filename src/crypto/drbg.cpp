@@ -1,0 +1,91 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+#include "math/u256.hpp"
+
+namespace mccls::crypto {
+
+using math::U256;
+
+HmacDrbg::HmacDrbg(std::span<const std::uint8_t> seed) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  hmac_update(seed);
+}
+
+HmacDrbg::HmacDrbg(std::uint64_t seed) {
+  std::array<std::uint8_t, 8> bytes;
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(seed >> (8 * (7 - i)));
+  key_.fill(0x00);
+  value_.fill(0x01);
+  hmac_update(bytes);
+}
+
+void HmacDrbg::hmac_update(std::span<const std::uint8_t> provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  {
+    HmacSha256 h(key_);
+    h.update(value_);
+    const std::uint8_t zero = 0x00;
+    h.update(std::span{&zero, 1});
+    h.update(provided);
+    key_ = h.finalize();
+  }
+  value_ = HmacSha256::mac(key_, value_);
+  if (provided.empty()) return;
+  // K = HMAC(K, V || 0x01 || provided); V = HMAC(K, V)
+  {
+    HmacSha256 h(key_);
+    h.update(value_);
+    const std::uint8_t one = 0x01;
+    h.update(std::span{&one, 1});
+    h.update(provided);
+    key_ = h.finalize();
+  }
+  value_ = HmacSha256::mac(key_, value_);
+}
+
+void HmacDrbg::generate(std::span<std::uint8_t> out) {
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    value_ = HmacSha256::mac(key_, value_);
+    const std::size_t take = std::min(value_.size(), out.size() - produced);
+    std::memcpy(out.data() + produced, value_.data(), take);
+    produced += take;
+  }
+  hmac_update({});
+}
+
+std::vector<std::uint8_t> HmacDrbg::generate(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  generate(out);
+  return out;
+}
+
+void HmacDrbg::reseed(std::span<const std::uint8_t> material) { hmac_update(material); }
+
+math::Fq HmacDrbg::next_fq() {
+  // Rejection sampling, masked to the bit length of q for a high accept rate.
+  const unsigned q_bits = math::Fq::modulus().bit_length();
+  for (;;) {
+    std::array<std::uint8_t, 32> buf;
+    generate(buf);
+    U256 candidate = U256::from_be_bytes(buf);
+    for (unsigned b = q_bits; b < 256; ++b) {
+      candidate.w[b / 64] &= ~(std::uint64_t{1} << (b % 64));
+    }
+    if (cmp(candidate, math::Fq::modulus()) < 0) {
+      return math::Fq::from_u256(candidate);
+    }
+  }
+}
+
+math::Fq HmacDrbg::next_nonzero_fq() {
+  for (;;) {
+    const math::Fq v = next_fq();
+    if (!v.is_zero()) return v;
+  }
+}
+
+}  // namespace mccls::crypto

@@ -1,0 +1,43 @@
+// HMAC-DRBG (NIST SP 800-90A) over SHA-256. Deterministic given the seed,
+// which keeps every test, benchmark and simulation in this repository
+// reproducible. Also provides uniform sampling of scalar-field elements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "math/fe.hpp"
+
+namespace mccls::crypto {
+
+class HmacDrbg {
+ public:
+  /// Instantiates from arbitrary seed material (entropy || nonce || pers).
+  explicit HmacDrbg(std::span<const std::uint8_t> seed);
+  /// Convenience: seeds from a 64-bit value (tests / simulations).
+  explicit HmacDrbg(std::uint64_t seed);
+
+  /// Fills `out` with pseudorandom bytes.
+  void generate(std::span<std::uint8_t> out);
+  std::vector<std::uint8_t> generate(std::size_t n);
+
+  /// Mixes additional entropy into the state.
+  void reseed(std::span<const std::uint8_t> material);
+
+  /// Uniform scalar in [1, q-1] (rejection-sampled; never zero, as all
+  /// scheme secrets/nonces must be invertible).
+  math::Fq next_nonzero_fq();
+
+  /// Uniform scalar in [0, q-1].
+  math::Fq next_fq();
+
+ private:
+  void hmac_update(std::span<const std::uint8_t> provided);
+
+  std::array<std::uint8_t, 32> key_{};
+  std::array<std::uint8_t, 32> value_{};
+};
+
+}  // namespace mccls::crypto

@@ -1,0 +1,86 @@
+#include "crypto/encoding.hpp"
+
+namespace mccls::crypto {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    s.push_back(kDigits[b >> 4]);
+    s.push_back(kDigits[b & 0xF]);
+  }
+  return s;
+}
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_digit(hex[i]);
+    const int lo = hex_digit(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_field(std::span<const std::uint8_t> data) {
+  put_u32(static_cast<std::uint32_t>(data.size()));
+  put_raw(data);
+}
+
+std::optional<std::uint8_t> ByteReader::get_u8() {
+  if (pos_ + 1 > data_.size()) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint32_t> ByteReader::get_u32() {
+  if (pos_ + 4 > data_.size()) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_++];
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::get_u64() {
+  if (pos_ + 8 > data_.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_++];
+  return v;
+}
+
+std::optional<Bytes> ByteReader::get_field() {
+  const auto len = get_u32();
+  if (!len) return std::nullopt;
+  return get_raw(*len);
+}
+
+std::optional<Bytes> ByteReader::get_raw(std::size_t n) {
+  if (pos_ + n > data_.size()) return std::nullopt;
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace mccls::crypto

@@ -1,0 +1,68 @@
+// Small byte-level utilities shared by the CLS schemes and the simulator:
+// an owning byte buffer alias, hex conversion, and length-prefixed
+// serialization (ByteWriter / ByteReader) so multi-part messages hash and
+// parse unambiguously.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mccls::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+
+std::string to_hex(std::span<const std::uint8_t> data);
+/// Returns nullopt on odd length or non-hex characters.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+inline std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Appends length-prefixed (u32 big-endian) fields; unambiguous framing for
+/// both hashing transcripts and wire formats.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  /// Length-prefixed variable-size field.
+  void put_field(std::span<const std::uint8_t> data);
+  void put_field(std::string_view s) { put_field(as_bytes(s)); }
+  /// Raw bytes, no prefix (for fixed-size fields).
+  void put_raw(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Mirror of ByteWriter; all getters return nullopt on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::optional<std::uint8_t> get_u8();
+  std::optional<std::uint32_t> get_u32();
+  std::optional<std::uint64_t> get_u64();
+  std::optional<Bytes> get_field();
+  /// Exactly n raw bytes.
+  std::optional<Bytes> get_raw(std::size_t n);
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mccls::crypto

@@ -1,0 +1,58 @@
+#include "crypto/hash.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace mccls::crypto {
+
+namespace {
+
+using math::U256;
+using math::U512;
+
+Sha256::Digest tagged_digest(std::string_view domain, std::uint8_t counter,
+                             std::span<const std::uint8_t> data) {
+  Sha256 h;
+  ByteWriter prefix;
+  prefix.put_field(domain);
+  prefix.put_u8(counter);
+  h.update(prefix.bytes());
+  h.update(data);
+  return h.finalize();
+}
+
+}  // namespace
+
+math::Fq hash_to_fq(std::string_view domain, std::span<const std::uint8_t> data) {
+  const auto d0 = tagged_digest(domain, 0x00, data);
+  const auto d1 = tagged_digest(domain, 0x01, data);
+  std::array<std::uint8_t, 64> wide;
+  std::copy(d0.begin(), d0.end(), wide.begin());
+  std::copy(d1.begin(), d1.end(), wide.begin() + 32);
+  return math::Fq::from_wide(U512::from_be_bytes(wide));
+}
+
+ec::G1 hash_to_g1(std::string_view domain, std::span<const std::uint8_t> data) {
+  for (std::uint32_t ctr = 0; ctr < 256; ++ctr) {
+    Sha256 h;
+    ByteWriter prefix;
+    prefix.put_field(domain);
+    prefix.put_u8(0x02);  // oracle tag distinct from hash_to_fq's 0x00/0x01
+    h.update(prefix.bytes());
+    h.update(data);
+    ByteWriter suffix;
+    suffix.put_u32(ctr);
+    h.update(suffix.bytes());
+    const auto digest = h.finalize();
+    const math::Fp x = math::Fp::from_u256(U256::from_be_bytes(digest));
+    if (auto point = ec::G1::lift_x(x)) {
+      const ec::G1 mapped = point->mul_cofactor();
+      if (!mapped.is_infinity()) return mapped;
+    }
+  }
+  // Probability ~2^-256; reaching this means the hash layer is broken.
+  throw std::logic_error("hash_to_g1: no curve point found in 256 attempts");
+}
+
+}  // namespace mccls::crypto

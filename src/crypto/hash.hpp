@@ -1,0 +1,34 @@
+// The two random oracles the CLS schemes need:
+//   H1 : {0,1}* -> G1   (hash_to_g1, try-and-increment + cofactor clearing)
+//   H2 : {0,1}* -> Zq   (hash_to_fq, 512-bit expand then reduce mod q)
+// Every call site supplies a domain-separation tag so distinct oracles used
+// by one scheme (or by different schemes) never collide.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/encoding.hpp"
+#include "ec/g1.hpp"
+#include "math/fe.hpp"
+
+namespace mccls::crypto {
+
+/// Uniform-ish scalar from a transcript: SHA256(tag||0||data) || SHA256(tag||1||data)
+/// interpreted as a 512-bit integer and reduced mod q (bias < 2^-260).
+math::Fq hash_to_fq(std::string_view domain, std::span<const std::uint8_t> data);
+
+/// Try-and-increment hash onto the order-q subgroup of E(Fp):
+/// x = SHA256-derived field element, lift to the curve, multiply by the
+/// cofactor 4. Expected 2 attempts; never returns infinity.
+ec::G1 hash_to_g1(std::string_view domain, std::span<const std::uint8_t> data);
+
+/// Convenience transcript builder: hashes a pre-framed ByteWriter payload.
+inline math::Fq hash_to_fq(std::string_view domain, const ByteWriter& w) {
+  return hash_to_fq(domain, w.bytes());
+}
+inline ec::G1 hash_to_g1(std::string_view domain, const ByteWriter& w) {
+  return hash_to_g1(domain, w.bytes());
+}
+
+}  // namespace mccls::crypto

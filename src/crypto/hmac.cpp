@@ -1,0 +1,31 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace mccls::crypto {
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, Sha256::kBlockSize> k{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto d = Sha256::digest(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else if (!key.empty()) {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad_key;
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  inner_.update(ipad_key);
+}
+
+HmacSha256::Mac HmacSha256::finalize() {
+  const auto inner_digest = inner_.finalize();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+}  // namespace mccls::crypto

@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1), used by the HMAC-DRBG.
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace mccls::crypto {
+
+class HmacSha256 {
+ public:
+  using Mac = Sha256::Digest;
+
+  explicit HmacSha256(std::span<const std::uint8_t> key);
+
+  void update(std::span<const std::uint8_t> data) { inner_.update(data); }
+  Mac finalize();
+
+  static Mac mac(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+    HmacSha256 h(key);
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  std::array<std::uint8_t, Sha256::kBlockSize> opad_key_{};
+  Sha256 inner_;
+};
+
+}  // namespace mccls::crypto

@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from scratch with a streaming interface.
+// Verified against the NIST short-message test vectors in tests/test_sha256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mccls::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+  /// Finalizes and returns the digest. The object must be reset() before reuse.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest digest(std::span<const std::uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finalize();
+  }
+  static Digest digest(std::string_view s) {
+    Sha256 h;
+    h.update(s);
+    return h.finalize();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mccls::crypto

@@ -1,0 +1,468 @@
+#include "dsr/dsr_agent.hpp"
+
+#include <algorithm>
+
+namespace mccls::dsr {
+
+DsrAgent::DsrAgent(sim::Simulator& simulator, net::Channel& channel, NodeId id,
+                   const DsrConfig& config, sim::Rng rng, Metrics& metrics,
+                   SecurityProvider* security, AttackType attack)
+    : sim_(simulator),
+      channel_(channel),
+      id_(id),
+      cfg_(config),
+      rng_(rng),
+      metrics_(metrics),
+      security_(security),
+      attack_(attack) {
+  channel_.attach(id_, this);
+  if (attack_ == AttackType::kRushing) channel_.set_zero_backoff(id_, true);
+}
+
+// --------------------------------------------------------------- security
+
+double DsrAgent::sign_latency() const {
+  return security_ != nullptr ? security_->costs().sign_delay : 0.0;
+}
+
+double DsrAgent::verify_latency(int signatures) const {
+  return security_ != nullptr ? signatures * security_->costs().verify_delay : 0.0;
+}
+
+bool DsrAgent::verify_auth(const std::optional<AuthExt>& auth,
+                           std::span<const std::uint8_t> transcript) {
+  if (security_ == nullptr) return true;
+  ++metrics_.verify_ops;
+  if (!auth || !security_->verify(*auth, transcript)) {
+    ++metrics_.auth_rejected;
+    return false;
+  }
+  return true;
+}
+
+std::size_t DsrAgent::auth_overhead(const std::optional<AuthExt>& a,
+                                    const std::optional<AuthExt>& b) const {
+  std::size_t n = 0;
+  if (a) n += wire_size(*a);
+  if (b) n += wire_size(*b);
+  return n;
+}
+
+// ------------------------------------------------------------------ cache
+
+void DsrAgent::cache_route(NodeId dst, std::vector<NodeId> relays) {
+  const auto it = cache_.find(dst);
+  const sim::SimTime expires = sim_.now() + cfg_.route_lifetime;
+  if (it == cache_.end() || it->second.expires <= sim_.now() ||
+      relays.size() < it->second.relays.size()) {
+    cache_[dst] = CachedRoute{.relays = std::move(relays), .expires = expires};
+  } else {
+    it->second.expires = std::max(it->second.expires, expires);
+  }
+}
+
+const std::vector<NodeId>* DsrAgent::cached_route(NodeId dst) const {
+  const auto it = cache_.find(dst);
+  if (it == cache_.end() || it->second.expires <= sim_.now()) return nullptr;
+  return &it->second.relays;
+}
+
+void DsrAgent::drop_routes_containing(NodeId from, NodeId to) {
+  std::erase_if(cache_, [&](const auto& kv) {
+    const std::vector<NodeId>& r = kv.second.relays;
+    // Expand to the full node sequence id_ -> relays -> dst and look for the
+    // directed link (from, to).
+    NodeId prev = id_;
+    for (const NodeId n : r) {
+      if (prev == from && n == to) return true;
+      prev = n;
+    }
+    return prev == from && kv.first == to;
+  });
+}
+
+// -------------------------------------------------------------- dispatch
+
+void DsrAgent::on_frame(const net::Frame& frame) {
+  const auto* payload = std::any_cast<DsrPayload>(&frame.payload);
+  if (payload == nullptr) return;
+  const NodeId from = frame.from;
+
+  if (const auto* data = std::get_if<DsrData>(&payload->msg)) {
+    handle_data(*data, from);
+    return;
+  }
+  if (const auto* rreq = std::get_if<DsrRreq>(&payload->msg)) {
+    if (attack_ == AttackType::kBlackHole) {
+      if (rreq->origin != id_ && rreq->target != id_ &&
+          !request_seen(rreq->origin, rreq->request_id)) {
+        black_hole_reply(*rreq);
+      }
+      return;
+    }
+    if (attack_ == AttackType::kRushing) {
+      DsrRreq copy = *rreq;
+      handle_rreq(std::move(copy), from);  // zero jitter inside
+      return;
+    }
+    DsrRreq copy = *rreq;
+    sim_.schedule_in(verify_latency(2), [this, copy = std::move(copy), from]() mutable {
+      if (security_ != nullptr) {
+        // Binding rules: origin signature by the claimed origin; hop
+        // signature by the transmitting neighbour, who must also be the
+        // last node on the accumulated route (or the origin itself).
+        const NodeId expected_last = copy.route.empty() ? copy.origin : copy.route.back();
+        if (!copy.origin_auth || !copy.hop_auth ||
+            copy.origin_auth->signer != copy.origin || copy.hop_auth->signer != from ||
+            expected_last != from) {
+          ++metrics_.auth_rejected;
+          return;
+        }
+      }
+      if (!verify_auth(copy.origin_auth, signable_origin(copy)) ||
+          !verify_auth(copy.hop_auth, signable_hop(copy))) {
+        return;
+      }
+      handle_rreq(std::move(copy), from);
+    });
+    return;
+  }
+  if (const auto* rrep = std::get_if<DsrRrep>(&payload->msg)) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+      DsrRrep copy = *rrep;
+      handle_rrep(std::move(copy), from);
+      return;
+    }
+    DsrRrep copy = *rrep;
+    sim_.schedule_in(verify_latency(1), [this, copy = std::move(copy), from]() mutable {
+      if (security_ != nullptr &&
+          (!copy.origin_auth || copy.origin_auth->signer != copy.target)) {
+        ++metrics_.auth_rejected;
+        return;
+      }
+      if (!verify_auth(copy.origin_auth, signable_origin(copy))) return;
+      handle_rrep(std::move(copy), from);
+    });
+    return;
+  }
+  if (const auto* rerr = std::get_if<DsrRerr>(&payload->msg)) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) return;
+    DsrRerr copy = *rerr;
+    sim_.schedule_in(verify_latency(1), [this, copy = std::move(copy), from] {
+      if (!verify_auth(copy.origin_auth, signable_origin(copy))) return;
+      handle_rerr(copy, from);
+    });
+    return;
+  }
+}
+
+// ------------------------------------------------------------------ RREQ
+
+bool DsrAgent::request_seen(NodeId origin, std::uint32_t request_id) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(origin) << 32) | request_id;
+  const sim::SimTime now = sim_.now();
+  if (seen_requests_.size() > 512) {
+    std::erase_if(seen_requests_, [now](const auto& kv) { return kv.second <= now; });
+  }
+  const auto [it, inserted] =
+      seen_requests_.try_emplace(key, now + cfg_.request_table_lifetime);
+  if (!inserted) {
+    if (it->second > now) return true;
+    it->second = now + cfg_.request_table_lifetime;
+  }
+  return false;
+}
+
+void DsrAgent::handle_rreq(DsrRreq rreq, NodeId from) {
+  (void)from;
+  if (rreq.origin == id_) return;
+  if (request_seen(rreq.origin, rreq.request_id)) return;
+  if (std::find(rreq.route.begin(), rreq.route.end(), id_) != rreq.route.end()) return;
+
+  if (rreq.target == id_) {
+    reply_as_target(rreq);
+    return;
+  }
+  if (rreq.ttl <= 1 || rreq.route.size() >= cfg_.max_route_len) return;
+
+  // Forward: append ourselves to the route record and rebroadcast.
+  --rreq.ttl;
+  rreq.route.push_back(id_);
+  ++metrics_.rreq_forwarded;
+  double latency = 0;
+  if (security_ != nullptr) {
+    ++metrics_.sign_ops;
+    rreq.hop_auth = security_->sign(id_, signable_hop(rreq));
+    latency += sign_latency();
+  }
+  if (attack_ != AttackType::kRushing) {
+    latency += rng_.uniform(0, cfg_.forward_jitter_max);
+  }
+  const std::size_t bytes = base_wire_size(rreq) + auth_overhead(rreq.origin_auth, rreq.hop_auth);
+  sim_.schedule_in(latency, [this, rreq = std::move(rreq), bytes] {
+    channel_.broadcast(id_, bytes, DsrPayload{rreq});
+  });
+}
+
+void DsrAgent::reply_as_target(const DsrRreq& rreq) {
+  ++metrics_.rrep_generated;
+  DsrRrep rrep{.request_id = rreq.request_id,
+               .origin = rreq.origin,
+               .target = id_,
+               .route = rreq.route,
+               .hop_index = static_cast<std::uint8_t>(rreq.route.size())};
+  double latency = 0;
+  if (security_ != nullptr) {
+    ++metrics_.sign_ops;
+    rrep.origin_auth = security_->sign(id_, signable_origin(rrep));
+    latency += sign_latency();
+  }
+  const NodeId next =
+      rrep.route.empty() ? rrep.origin : rrep.route.back();
+  const std::size_t bytes =
+      base_wire_size(rrep) + auth_overhead(rrep.origin_auth, rrep.hop_auth);
+  sim_.schedule_in(latency, [this, rrep = std::move(rrep), next, bytes] {
+    channel_.unicast(id_, next, bytes, DsrPayload{rrep},
+                     [this, next](bool ok) {
+                       if (!ok) report_broken_link(id_, next);
+                     });
+  });
+}
+
+void DsrAgent::black_hole_reply(const DsrRreq& rreq) {
+  // Claim origin -> attacker -> target: the shortest possible relayed route,
+  // so the origin prefers it over longer honest replies.
+  ++metrics_.rrep_generated;
+  DsrRrep rrep{.request_id = rreq.request_id,
+               .origin = rreq.origin,
+               .target = rreq.target,
+               .route = {id_},
+               .hop_index = 1};
+  if (security_ != nullptr) {
+    // Best effort: forge the target's signature (invalid — we are not the
+    // target and hold no credentials).
+    rrep.origin_auth = security_->sign(id_, signable_origin(rrep));
+  }
+  // We are route[0]; send toward the origin as if forwarding a genuine
+  // reply that arrived from the target.
+  const std::size_t bytes =
+      base_wire_size(rrep) + auth_overhead(rrep.origin_auth, rrep.hop_auth);
+  rrep.hop_index = 0;
+  channel_.unicast(id_, rrep.origin, bytes, DsrPayload{rrep}, {});
+}
+
+// ------------------------------------------------------------------ RREP
+
+void DsrAgent::handle_rrep(DsrRrep rrep, NodeId from) {
+  (void)from;
+  if (rrep.origin == id_) {
+    // Discovery complete: cache and drain.
+    cache_route(rrep.target, rrep.route);
+    if (const auto it = pending_.find(rrep.target); it != pending_.end()) {
+      sim_.cancel(it->second.timeout);
+      pending_.erase(it);
+    }
+    flush_buffer(rrep.target);
+    return;
+  }
+  // We are (supposed to be) route[hop_index - 1]; pass it along.
+  if (rrep.hop_index == 0) return;  // malformed
+  --rrep.hop_index;
+  if (rrep.hop_index >= rrep.route.size() || rrep.route[rrep.hop_index] != id_) return;
+  ++metrics_.rrep_forwarded;
+  forward_rrep(std::move(rrep));
+}
+
+void DsrAgent::forward_rrep(DsrRrep rrep) {
+  const NodeId next = rrep.hop_index == 0 ? rrep.origin : rrep.route[rrep.hop_index - 1];
+  double latency = 0;
+  if (security_ != nullptr) {
+    ++metrics_.sign_ops;
+    rrep.hop_auth = security_->sign(id_, signable_origin(rrep));
+    latency += sign_latency();
+  }
+  const std::size_t bytes =
+      base_wire_size(rrep) + auth_overhead(rrep.origin_auth, rrep.hop_auth);
+  sim_.schedule_in(latency, [this, rrep = std::move(rrep), next, bytes] {
+    channel_.unicast(id_, next, bytes, DsrPayload{rrep},
+                     [this, next](bool ok) {
+                       if (!ok) report_broken_link(id_, next);
+                     });
+  });
+}
+
+// ------------------------------------------------------------------ RERR
+
+bool DsrAgent::rerr_seen(const DsrRerr& rerr) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(rerr.broken_from) << 32) |
+                            rerr.broken_to;
+  return !seen_rerrs_.insert(key ^ (static_cast<std::uint64_t>(rerr.reporter) << 16)).second;
+}
+
+void DsrAgent::report_broken_link(NodeId from, NodeId to) {
+  drop_routes_containing(from, to);
+  ++metrics_.rerr_sent;
+  DsrRerr rerr{.reporter = id_, .broken_from = from, .broken_to = to};
+  double latency = 0;
+  if (security_ != nullptr) {
+    ++metrics_.sign_ops;
+    rerr.origin_auth = security_->sign(id_, signable_origin(rerr));
+    latency += sign_latency();
+  }
+  const std::size_t bytes =
+      base_wire_size(rerr) + (rerr.origin_auth ? wire_size(*rerr.origin_auth) : 0);
+  (void)rerr_seen(rerr);  // don't re-flood our own report
+  sim_.schedule_in(latency, [this, rerr = std::move(rerr), bytes] {
+    channel_.broadcast(id_, bytes, DsrPayload{rerr});
+  });
+}
+
+void DsrAgent::handle_rerr(const DsrRerr& rerr, NodeId from) {
+  (void)from;
+  if (rerr_seen(rerr)) return;
+  drop_routes_containing(rerr.broken_from, rerr.broken_to);
+  // Small re-flood so sources a few hops away learn of the break.
+  const std::size_t bytes =
+      base_wire_size(rerr) + (rerr.origin_auth ? wire_size(*rerr.origin_auth) : 0);
+  sim_.schedule_in(rng_.uniform(0, cfg_.forward_jitter_max), [this, rerr, bytes] {
+    channel_.broadcast(id_, bytes, DsrPayload{rerr});
+  });
+}
+
+// ------------------------------------------------------------------ data
+
+void DsrAgent::send_data(NodeId dst, std::size_t payload_bytes) {
+  ++metrics_.data_sent;
+  DsrData data{.src = id_,
+               .dst = dst,
+               .seq = next_data_seq_++,
+               .sent_at = sim_.now(),
+               .payload_bytes = payload_bytes,
+               .route = {},
+               .hop_index = 0};
+  if (const auto* route = cached_route(dst)) {
+    data.route = *route;
+    transmit_data(std::move(data));
+    return;
+  }
+  auto& q = buffer_[dst];
+  q.push_back(std::move(data));
+  if (q.size() > cfg_.buffer_capacity) {
+    q.pop_front();
+    ++metrics_.buffer_drops;
+  }
+  originate_discovery(dst);
+}
+
+void DsrAgent::handle_data(DsrData data, NodeId from) {
+  (void)from;
+  if (data.dst != id_) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+      ++metrics_.attacker_dropped;
+      return;
+    }
+    if (attack_ == AttackType::kGrayHole && rng_.chance(aodv::kGrayHoleDropProbability)) {
+      ++metrics_.attacker_dropped;
+      return;
+    }
+  }
+  if (data.dst == id_) {
+    ++metrics_.data_delivered;
+    metrics_.total_delay += sim_.now() - data.sent_at;
+    ++metrics_.delay_samples;
+    return;
+  }
+  // We must be the relay at hop_index; advance the source route.
+  if (data.hop_index >= data.route.size() || data.route[data.hop_index] != id_) return;
+  ++data.hop_index;
+  ++metrics_.data_forwarded;
+  transmit_data(std::move(data));
+}
+
+void DsrAgent::transmit_data(DsrData data) {
+  const NodeId next =
+      data.hop_index < data.route.size() ? data.route[data.hop_index] : data.dst;
+  const std::size_t bytes = wire_size(data);
+  channel_.unicast(id_, next, bytes, DsrPayload{std::move(data)},
+                   [this, next](bool ok) {
+                     if (!ok) {
+                       ++metrics_.link_fail_drops;
+                       report_broken_link(id_, next);
+                     }
+                   });
+}
+
+void DsrAgent::flush_buffer(NodeId dst) {
+  const auto it = buffer_.find(dst);
+  if (it == buffer_.end()) return;
+  const auto* route = cached_route(dst);
+  std::deque<DsrData> queued = std::move(it->second);
+  buffer_.erase(it);
+  for (auto& data : queued) {
+    if (route == nullptr) {
+      ++metrics_.buffer_drops;
+      continue;
+    }
+    data.route = *route;
+    data.hop_index = 0;
+    transmit_data(std::move(data));
+  }
+}
+
+void DsrAgent::abandon_discovery(NodeId dst) {
+  pending_.erase(dst);
+  const auto it = buffer_.find(dst);
+  if (it == buffer_.end()) return;
+  metrics_.buffer_drops += it->second.size();
+  buffer_.erase(it);
+}
+
+// ------------------------------------------------------------- discovery
+
+void DsrAgent::originate_discovery(NodeId dst) {
+  if (pending_.contains(dst)) return;
+  pending_[dst] = Discovery{};
+  send_rreq(dst, 0);
+}
+
+void DsrAgent::send_rreq(NodeId dst, int attempt) {
+  if (attempt == 0) {
+    ++metrics_.rreq_initiated;
+  } else {
+    ++metrics_.rreq_retries;
+  }
+  DsrRreq rreq{.request_id = next_request_id_++,
+               .origin = id_,
+               .target = dst,
+               .route = {},
+               .ttl = cfg_.rreq_ttl};
+  request_seen(id_, rreq.request_id);  // suppress our own echoes
+
+  double latency = 0;
+  if (security_ != nullptr) {
+    metrics_.sign_ops += 2;
+    rreq.origin_auth = security_->sign(id_, signable_origin(rreq));
+    rreq.hop_auth = security_->sign(id_, signable_hop(rreq));
+    latency += sign_latency();
+  }
+  const std::size_t bytes =
+      base_wire_size(rreq) + auth_overhead(rreq.origin_auth, rreq.hop_auth);
+  sim_.schedule_in(latency, [this, rreq = std::move(rreq), bytes] {
+    channel_.broadcast(id_, bytes, DsrPayload{rreq});
+  });
+
+  const double timeout = cfg_.net_traversal_time * static_cast<double>(1 << std::min(attempt, 8));
+  auto& disc = pending_[dst];
+  disc.attempt = attempt;
+  disc.timeout = sim_.schedule_in(timeout, [this, dst, attempt] {
+    const auto it = pending_.find(dst);
+    if (it == pending_.end()) return;
+    if (attempt < cfg_.rreq_retries) {
+      send_rreq(dst, attempt + 1);
+    } else {
+      abandon_discovery(dst);
+    }
+  });
+}
+
+}  // namespace mccls::dsr

@@ -1,0 +1,117 @@
+// DSR routing agent (Johnson-Maltz Dynamic Source Routing, simplified to
+// the mechanisms that matter for this study): route discovery with
+// accumulating route records, a per-destination route cache, source-routed
+// data forwarding with link-layer failure feedback, and route-error
+// reporting. Supports the same McCLS authentication extension and the same
+// black-hole / rushing attacker roles as the AODV agent, enabling the
+// protocol comparison the paper's reference [12] targets.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+
+#include "aodv/agent.hpp"  // AttackType, Metrics, SecurityProvider
+#include "dsr/dsr_messages.hpp"
+
+namespace mccls::dsr {
+
+using aodv::AttackType;
+using aodv::Metrics;
+using aodv::SecurityProvider;
+
+struct DsrConfig {
+  double route_lifetime = 10.0;      ///< cache entry lifetime, seconds
+  double net_traversal_time = 0.75;  ///< discovery timeout, attempt 1
+  int rreq_retries = 2;
+  double forward_jitter_max = 0.01;
+  std::size_t buffer_capacity = 64;
+  std::uint8_t max_route_len = 16;  ///< relays per route record
+  std::uint8_t rreq_ttl = 35;
+  double request_table_lifetime = 5.0;  ///< RREQ dedup window
+  std::uint8_t rerr_ttl = 3;            ///< small flood for error reports
+};
+
+struct DsrPayload {
+  std::variant<DsrRreq, DsrRrep, DsrRerr, DsrData> msg;
+};
+
+class DsrAgent final : public net::RadioListener {
+ public:
+  DsrAgent(sim::Simulator& simulator, net::Channel& channel, NodeId id,
+           const DsrConfig& config, sim::Rng rng, Metrics& metrics,
+           SecurityProvider* security = nullptr, AttackType attack = AttackType::kNone);
+
+  /// Application entry point.
+  void send_data(NodeId dst, std::size_t payload_bytes);
+
+  void on_frame(const net::Frame& frame) override;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] AttackType attack() const { return attack_; }
+  /// Current cached route to `dst` (relays only), if fresh. For tests.
+  [[nodiscard]] const std::vector<NodeId>* cached_route(NodeId dst) const;
+
+ private:
+  struct CachedRoute {
+    std::vector<NodeId> relays;
+    sim::SimTime expires = 0;
+  };
+  struct Discovery {
+    int attempt = 0;
+    sim::EventId timeout = 0;
+  };
+
+  // Control plane.
+  void handle_rreq(DsrRreq rreq, NodeId from);
+  void handle_rrep(DsrRrep rrep, NodeId from);
+  void handle_rerr(const DsrRerr& rerr, NodeId from);
+  void handle_data(DsrData data, NodeId from);
+
+  void originate_discovery(NodeId dst);
+  void send_rreq(NodeId dst, int attempt);
+  void reply_as_target(const DsrRreq& rreq);
+  void black_hole_reply(const DsrRreq& rreq);
+  void forward_rrep(DsrRrep rrep);
+  void report_broken_link(NodeId from, NodeId to);
+
+  // Data plane.
+  void transmit_data(DsrData data);
+  void flush_buffer(NodeId dst);
+  void abandon_discovery(NodeId dst);
+
+  // Cache.
+  void cache_route(NodeId dst, std::vector<NodeId> relays);
+  void drop_routes_containing(NodeId from, NodeId to);
+
+  // Security helpers (shared latency/op accounting with the AODV agent).
+  [[nodiscard]] double sign_latency() const;
+  [[nodiscard]] double verify_latency(int signatures) const;
+  bool verify_auth(const std::optional<AuthExt>& auth,
+                   std::span<const std::uint8_t> transcript);
+  [[nodiscard]] std::size_t auth_overhead(const std::optional<AuthExt>& a,
+                                          const std::optional<AuthExt>& b) const;
+
+  bool request_seen(NodeId origin, std::uint32_t request_id);
+  bool rerr_seen(const DsrRerr& rerr);
+
+  sim::Simulator& sim_;
+  net::Channel& channel_;
+  NodeId id_;
+  DsrConfig cfg_;
+  sim::Rng rng_;
+  Metrics& metrics_;
+  SecurityProvider* security_;
+  AttackType attack_;
+
+  std::uint32_t next_request_id_ = 1;
+  std::uint32_t next_data_seq_ = 1;
+  std::unordered_map<NodeId, CachedRoute> cache_;
+  std::unordered_map<NodeId, Discovery> pending_;
+  std::unordered_map<NodeId, std::deque<DsrData>> buffer_;
+  std::unordered_map<std::uint64_t, sim::SimTime> seen_requests_;
+  std::unordered_set<std::uint64_t> seen_rerrs_;
+};
+
+}  // namespace mccls::dsr

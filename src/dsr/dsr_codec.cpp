@@ -1,0 +1,200 @@
+#include "dsr/dsr_codec.hpp"
+
+namespace mccls::dsr {
+
+namespace {
+
+constexpr std::uint8_t kTagRreq = 0x11;
+constexpr std::uint8_t kTagRrep = 0x12;
+constexpr std::uint8_t kTagRerr = 0x13;
+constexpr std::uint8_t kTagData = 0x14;
+constexpr std::uint32_t kMaxRouteLen = 64;  // decode sanity bound
+
+void put_auth(crypto::ByteWriter& w, const std::optional<AuthExt>& auth) {
+  w.put_u8(auth.has_value() ? 1 : 0);
+  if (!auth) return;
+  w.put_u32(auth->signer);
+  w.put_field(auth->public_key);
+  w.put_field(auth->signature);
+}
+
+bool get_auth(crypto::ByteReader& r, std::optional<AuthExt>& out) {
+  const auto present = r.get_u8();
+  if (!present) return false;
+  if (*present == 0) {
+    out = std::nullopt;
+    return true;
+  }
+  if (*present != 1) return false;
+  AuthExt auth;
+  const auto signer = r.get_u32();
+  auto pk = r.get_field();
+  auto sig = r.get_field();
+  if (!signer || !pk || !sig) return false;
+  auth.signer = *signer;
+  auth.public_key = std::move(*pk);
+  auth.signature = std::move(*sig);
+  out = auth;
+  return true;
+}
+
+void put_route(crypto::ByteWriter& w, const std::vector<NodeId>& route) {
+  w.put_u32(static_cast<std::uint32_t>(route.size()));
+  for (const NodeId n : route) w.put_u32(n);
+}
+
+bool get_route(crypto::ByteReader& r, std::vector<NodeId>& out) {
+  const auto count = r.get_u32();
+  if (!count || *count > kMaxRouteLen) return false;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto n = r.get_u32();
+    if (!n) return false;
+    out.push_back(*n);
+  }
+  return true;
+}
+
+void encode(crypto::ByteWriter& w, const DsrRreq& m) {
+  w.put_u8(kTagRreq);
+  w.put_u32(m.request_id);
+  w.put_u32(m.origin);
+  w.put_u32(m.target);
+  w.put_u8(m.ttl);
+  put_route(w, m.route);
+  put_auth(w, m.origin_auth);
+  put_auth(w, m.hop_auth);
+}
+
+void encode(crypto::ByteWriter& w, const DsrRrep& m) {
+  w.put_u8(kTagRrep);
+  w.put_u32(m.request_id);
+  w.put_u32(m.origin);
+  w.put_u32(m.target);
+  w.put_u8(m.hop_index);
+  put_route(w, m.route);
+  put_auth(w, m.origin_auth);
+  put_auth(w, m.hop_auth);
+}
+
+void encode(crypto::ByteWriter& w, const DsrRerr& m) {
+  w.put_u8(kTagRerr);
+  w.put_u32(m.reporter);
+  w.put_u32(m.broken_from);
+  w.put_u32(m.broken_to);
+  put_auth(w, m.origin_auth);
+}
+
+void encode(crypto::ByteWriter& w, const DsrData& m) {
+  w.put_u8(kTagData);
+  w.put_u32(m.src);
+  w.put_u32(m.dst);
+  w.put_u32(m.seq);
+  w.put_u64(static_cast<std::uint64_t>(m.sent_at * 1e6));
+  w.put_u64(m.payload_bytes);
+  w.put_u8(m.hop_index);
+  put_route(w, m.route);
+}
+
+std::optional<DsrRreq> decode_rreq(crypto::ByteReader& r) {
+  DsrRreq m;
+  const auto request_id = r.get_u32();
+  const auto origin = r.get_u32();
+  const auto target = r.get_u32();
+  const auto ttl = r.get_u8();
+  if (!request_id || !origin || !target || !ttl) return std::nullopt;
+  m.request_id = *request_id;
+  m.origin = *origin;
+  m.target = *target;
+  m.ttl = *ttl;
+  if (!get_route(r, m.route)) return std::nullopt;
+  if (!get_auth(r, m.origin_auth) || !get_auth(r, m.hop_auth)) return std::nullopt;
+  return m;
+}
+
+std::optional<DsrRrep> decode_rrep(crypto::ByteReader& r) {
+  DsrRrep m;
+  const auto request_id = r.get_u32();
+  const auto origin = r.get_u32();
+  const auto target = r.get_u32();
+  const auto hop_index = r.get_u8();
+  if (!request_id || !origin || !target || !hop_index.has_value()) return std::nullopt;
+  m.request_id = *request_id;
+  m.origin = *origin;
+  m.target = *target;
+  m.hop_index = *hop_index;
+  if (!get_route(r, m.route)) return std::nullopt;
+  if (m.hop_index > m.route.size()) return std::nullopt;
+  if (!get_auth(r, m.origin_auth) || !get_auth(r, m.hop_auth)) return std::nullopt;
+  return m;
+}
+
+std::optional<DsrRerr> decode_rerr(crypto::ByteReader& r) {
+  DsrRerr m;
+  const auto reporter = r.get_u32();
+  const auto broken_from = r.get_u32();
+  const auto broken_to = r.get_u32();
+  if (!reporter || !broken_from || !broken_to) return std::nullopt;
+  m.reporter = *reporter;
+  m.broken_from = *broken_from;
+  m.broken_to = *broken_to;
+  if (!get_auth(r, m.origin_auth)) return std::nullopt;
+  return m;
+}
+
+std::optional<DsrData> decode_data(crypto::ByteReader& r) {
+  DsrData m;
+  const auto src = r.get_u32();
+  const auto dst = r.get_u32();
+  const auto seq = r.get_u32();
+  const auto sent_us = r.get_u64();
+  const auto payload = r.get_u64();
+  const auto hop_index = r.get_u8();
+  if (!src || !dst || !seq || !sent_us || !payload || !hop_index.has_value()) {
+    return std::nullopt;
+  }
+  m.src = *src;
+  m.dst = *dst;
+  m.seq = *seq;
+  m.sent_at = static_cast<double>(*sent_us) / 1e6;
+  m.payload_bytes = static_cast<std::size_t>(*payload);
+  m.hop_index = *hop_index;
+  if (!get_route(r, m.route)) return std::nullopt;
+  if (m.hop_index > m.route.size()) return std::nullopt;
+  return m;
+}
+
+}  // namespace
+
+crypto::Bytes encode_packet(const DsrPayload& payload) {
+  crypto::ByteWriter w;
+  std::visit([&w](const auto& msg) { encode(w, msg); }, payload.msg);
+  return w.take();
+}
+
+std::optional<DsrPayload> decode_packet(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader r(bytes);
+  const auto tag = r.get_u8();
+  if (!tag) return std::nullopt;
+  std::optional<DsrPayload> out;
+  switch (*tag) {
+    case kTagRreq:
+      if (auto m = decode_rreq(r)) out = DsrPayload{std::move(*m)};
+      break;
+    case kTagRrep:
+      if (auto m = decode_rrep(r)) out = DsrPayload{std::move(*m)};
+      break;
+    case kTagRerr:
+      if (auto m = decode_rerr(r)) out = DsrPayload{std::move(*m)};
+      break;
+    case kTagData:
+      if (auto m = decode_data(r)) out = DsrPayload{std::move(*m)};
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!out || !r.exhausted()) return std::nullopt;
+  return out;
+}
+
+}  // namespace mccls::dsr

@@ -1,0 +1,14 @@
+// Binary wire codec for DSR packets — the DSR counterpart of aodv/codec.hpp
+// (export/import boundary format with total, hardened decoders).
+#pragma once
+
+#include <optional>
+
+#include "dsr/dsr_agent.hpp"
+
+namespace mccls::dsr {
+
+crypto::Bytes encode_packet(const DsrPayload& payload);
+std::optional<DsrPayload> decode_packet(std::span<const std::uint8_t> bytes);
+
+}  // namespace mccls::dsr

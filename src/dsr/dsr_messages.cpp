@@ -1,0 +1,64 @@
+#include "dsr/dsr_messages.hpp"
+
+namespace mccls::dsr {
+
+namespace {
+constexpr std::size_t kIpUdpHeader = 28;
+
+void put_route(crypto::ByteWriter& w, const std::vector<NodeId>& route) {
+  w.put_u32(static_cast<std::uint32_t>(route.size()));
+  for (const NodeId n : route) w.put_u32(n);
+}
+}  // namespace
+
+crypto::Bytes signable_origin(const DsrRreq& rreq) {
+  crypto::ByteWriter w;
+  w.put_u8(0x11);
+  w.put_u32(rreq.request_id);
+  w.put_u32(rreq.origin);
+  w.put_u32(rreq.target);
+  return w.take();
+}
+
+crypto::Bytes signable_hop(const DsrRreq& rreq) {
+  crypto::ByteWriter w;
+  w.put_u8(0x12);
+  w.put_u32(rreq.request_id);
+  w.put_u32(rreq.origin);
+  w.put_u32(rreq.target);
+  put_route(w, rreq.route);  // the forwarder vouches for the path so far
+  return w.take();
+}
+
+crypto::Bytes signable_origin(const DsrRrep& rrep) {
+  crypto::ByteWriter w;
+  w.put_u8(0x13);
+  w.put_u32(rrep.request_id);
+  w.put_u32(rrep.origin);
+  w.put_u32(rrep.target);
+  put_route(w, rrep.route);  // the whole returned path is authenticated
+  return w.take();
+}
+
+crypto::Bytes signable_origin(const DsrRerr& rerr) {
+  crypto::ByteWriter w;
+  w.put_u8(0x14);
+  w.put_u32(rerr.reporter);
+  w.put_u32(rerr.broken_from);
+  w.put_u32(rerr.broken_to);
+  return w.take();
+}
+
+std::size_t base_wire_size(const DsrRreq& rreq) {
+  return kIpUdpHeader + 16 + 4 * rreq.route.size();
+}
+std::size_t base_wire_size(const DsrRrep& rrep) {
+  return kIpUdpHeader + 16 + 4 * rrep.route.size();
+}
+std::size_t base_wire_size(const DsrRerr&) { return kIpUdpHeader + 16; }
+std::size_t wire_size(const DsrData& data) {
+  // Source route rides in every data packet — DSR's per-packet overhead.
+  return kIpUdpHeader + data.payload_bytes + 4 + 4 * data.route.size();
+}
+
+}  // namespace mccls::dsr

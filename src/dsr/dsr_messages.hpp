@@ -1,0 +1,72 @@
+// DSR (Dynamic Source Routing, Johnson-Maltz) message set. The paper's
+// reference [12] applies signature extensions to "AODV and DSR routing
+// security"; this module provides the DSR side so the two protocols can be
+// compared under the same CLS authentication and the same attacks.
+//
+// DSR differs from AODV in that routes are carried in packets: RREQs
+// accumulate the traversed node list, RREPs return the complete path, and
+// data packets are source-routed along it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "aodv/messages.hpp"  // AuthExt, NodeId, wire-size helpers
+
+namespace mccls::dsr {
+
+using aodv::AuthExt;
+using aodv::NodeId;
+
+struct DsrRreq {
+  std::uint32_t request_id = 0;
+  NodeId origin = 0;
+  NodeId target = 0;
+  std::vector<NodeId> route;  ///< accumulated path, excluding origin & target
+  std::uint8_t ttl = 35;
+  std::optional<AuthExt> origin_auth;  ///< origin's signature (immutable fields)
+  std::optional<AuthExt> hop_auth;     ///< last forwarder's signature incl. route
+};
+
+struct DsrRrep {
+  std::uint32_t request_id = 0;
+  NodeId origin = 0;
+  NodeId target = 0;
+  std::vector<NodeId> route;  ///< full relay list origin -> target order
+  std::uint8_t hop_index = 0; ///< position while travelling back (mutable)
+  std::optional<AuthExt> origin_auth;  ///< target's signature over the route
+  std::optional<AuthExt> hop_auth;
+};
+
+struct DsrRerr {
+  NodeId reporter = 0;
+  NodeId broken_from = 0;  ///< the detected dead link (from -> to)
+  NodeId broken_to = 0;
+  std::optional<AuthExt> origin_auth;
+};
+
+struct DsrData {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t seq = 0;
+  sim::SimTime sent_at = 0;
+  std::size_t payload_bytes = 0;
+  std::vector<NodeId> route;   ///< relays only (src and dst excluded)
+  std::uint8_t hop_index = 0;  ///< next relay to visit; == route.size() => dst
+};
+
+/// Immutable-field transcripts for signing. For DSR the accumulated route is
+/// part of what the hop signature covers (Ariadne-style), so tampering with
+/// the path invalidates the forwarder's signature.
+crypto::Bytes signable_origin(const DsrRreq& rreq);
+crypto::Bytes signable_hop(const DsrRreq& rreq);  ///< includes current route
+crypto::Bytes signable_origin(const DsrRrep& rrep);
+crypto::Bytes signable_origin(const DsrRerr& rerr);
+
+/// On-air sizes (IP/UDP framing + DSR option headers), excluding auth.
+std::size_t base_wire_size(const DsrRreq& rreq);
+std::size_t base_wire_size(const DsrRrep& rrep);
+std::size_t base_wire_size(const DsrRerr& rerr);
+std::size_t wire_size(const DsrData& data);
+
+}  // namespace mccls::dsr

@@ -1,0 +1,110 @@
+#include "dsr/dsr_scenario.hpp"
+
+#include <stdexcept>
+
+#include "cls/registry.hpp"
+#include "net/mobility.hpp"
+
+namespace mccls::dsr {
+
+using aodv::AttackType;
+using aodv::ScenarioConfig;
+using aodv::ScenarioResult;
+using aodv::SecurityMode;
+
+ScenarioResult run_dsr_scenario(const ScenarioConfig& config, const DsrConfig& dsr_config) {
+  if (config.num_nodes < 2) throw std::invalid_argument("run_dsr_scenario: need >= 2 nodes");
+  if (config.num_attackers >= config.num_nodes - 1 && config.attack != AttackType::kNone) {
+    throw std::invalid_argument("run_dsr_scenario: too many attackers");
+  }
+
+  sim::Simulator simulator;
+  sim::Rng rng(config.seed);
+
+  const net::RandomWaypointMobility::Config mob_cfg{
+      .width = config.area_width,
+      .height = config.area_height,
+      .max_speed = config.max_speed,
+      .min_speed = 0.1,
+      .pause = config.pause,
+      .connect_range = config.phy.range,
+  };
+  sim::Rng mobility_rng = rng.fork(0x10B);
+  net::RandomWaypointMobility base_mobility(config.num_nodes, mob_cfg, mobility_rng);
+
+  const std::size_t first_attacker =
+      config.attack == AttackType::kNone ? config.num_nodes
+                                         : config.num_nodes - config.num_attackers;
+  const bool pin = config.pin_attackers && config.attack != AttackType::kNone;
+  net::PinnedTailMobility pinned_mobility(base_mobility, first_attacker, config.num_nodes,
+                                          config.area_width, config.area_height);
+  const net::MobilityModel& mobility =
+      pin ? static_cast<const net::MobilityModel&>(pinned_mobility) : base_mobility;
+
+  net::Channel channel(simulator, rng.fork(0xC4A), mobility, config.phy);
+
+  std::unique_ptr<aodv::SecurityProvider> security;
+  if (config.security == SecurityMode::kModeled) {
+    const auto scheme = cls::make_scheme(config.scheme);
+    if (scheme == nullptr) throw std::invalid_argument("run_dsr_scenario: unknown scheme");
+    const std::size_t pk_bytes = 1 + scheme->costs().public_key_points * ec::G1::kEncodedSize;
+    security = std::make_unique<aodv::ModeledClsSecurity>(config.seed ^ 0x5EC,
+                                                          scheme->signature_size(), pk_bytes);
+  } else if (config.security == SecurityMode::kReal) {
+    security = std::make_unique<aodv::RealClsSecurity>(config.scheme, config.seed ^ 0x5EC);
+  }
+  if (security != nullptr) {
+    security->set_costs(config.crypto_costs.sign_delay > 0 || config.crypto_costs.verify_delay > 0
+                            ? config.crypto_costs
+                            : aodv::derive_crypto_costs(config.scheme));
+  }
+
+  aodv::Metrics metrics;
+  std::vector<std::unique_ptr<DsrAgent>> agents;
+  agents.reserve(config.num_nodes);
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    const bool is_attacker = i >= first_attacker;
+    const AttackType role = is_attacker ? config.attack : AttackType::kNone;
+    if (security != nullptr && (!is_attacker || config.attack == AttackType::kGrayHole)) {
+      security->enroll(static_cast<NodeId>(i));  // gray holes are insiders
+    }
+    agents.push_back(std::make_unique<DsrAgent>(simulator, channel,
+                                                static_cast<NodeId>(i), dsr_config,
+                                                rng.fork(0xA6E0 + i), metrics,
+                                                security.get(), role));
+  }
+
+  sim::Rng traffic_rng = rng.fork(0x7F0);
+  for (std::size_t f = 0; f < config.num_flows; ++f) {
+    const NodeId src = static_cast<NodeId>(traffic_rng.uniform_int(first_attacker));
+    NodeId dst = src;
+    while (dst == src) dst = static_cast<NodeId>(traffic_rng.uniform_int(first_attacker));
+    const sim::SimTime start =
+        traffic_rng.uniform(config.traffic_start_min, config.traffic_start_max);
+    for (sim::SimTime t = start; t < config.duration; t += config.cbr_interval) {
+      simulator.schedule_at(t, [agent = agents[src].get(), dst,
+                                bytes = config.payload_bytes] { agent->send_data(dst, bytes); });
+    }
+  }
+
+  simulator.run_until(config.duration);
+  return ScenarioResult{.metrics = metrics, .channel = channel.stats()};
+}
+
+ScenarioResult run_dsr_scenario_averaged(ScenarioConfig config, unsigned seeds,
+                                         const DsrConfig& dsr_config) {
+  if (seeds == 0) throw std::invalid_argument("run_dsr_scenario_averaged: seeds > 0");
+  ScenarioResult total{};
+  for (unsigned i = 0; i < seeds; ++i) {
+    if (i > 0) ++config.seed;
+    const ScenarioResult one = run_dsr_scenario(config, dsr_config);
+    total.metrics += one.metrics;
+    total.channel.frames_transmitted += one.channel.frames_transmitted;
+    total.channel.frames_delivered += one.channel.frames_delivered;
+    total.channel.collisions += one.channel.collisions;
+    total.channel.bytes_transmitted += one.channel.bytes_transmitted;
+  }
+  return total;
+}
+
+}  // namespace mccls::dsr

@@ -1,0 +1,20 @@
+// DSR counterpart of the AODV scenario runner: the same field, workload,
+// security and attack matrix (aodv::ScenarioConfig) executed over DSR
+// agents, enabling like-for-like protocol comparisons (bench_protocols).
+#pragma once
+
+#include "aodv/scenario.hpp"
+#include "dsr/dsr_agent.hpp"
+
+namespace mccls::dsr {
+
+/// Runs the scenario with DSR agents. The AODV-specific knobs in
+/// `config.aodv` are ignored; `dsr_config` supplies the protocol knobs.
+aodv::ScenarioResult run_dsr_scenario(const aodv::ScenarioConfig& config,
+                                      const DsrConfig& dsr_config = {});
+
+/// Multi-replication accumulation (counterpart of run_scenario_averaged).
+aodv::ScenarioResult run_dsr_scenario_averaged(aodv::ScenarioConfig config, unsigned seeds,
+                                               const DsrConfig& dsr_config = {});
+
+}  // namespace mccls::dsr

@@ -1,0 +1,254 @@
+#include "ec/g1.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace mccls::ec {
+
+namespace {
+
+// Jacobian coordinates (X : Y : Z), x = X/Z^2, y = Y/Z^3, for the curve
+// y^2 = x^3 + a*x with a = 1. Z == 0 encodes the point at infinity.
+struct Jac {
+  Fp X = Fp::one();
+  Fp Y = Fp::one();
+  Fp Z = Fp::zero();
+
+  [[nodiscard]] bool is_inf() const { return Z.is_zero(); }
+};
+
+Jac to_jac(const G1& p) {
+  if (p.is_infinity()) return Jac{};
+  return Jac{p.x(), p.y(), Fp::one()};
+}
+
+Jac jac_dbl(const Jac& p) {
+  if (p.is_inf() || p.Y.is_zero()) return Jac{};
+  const Fp xx = p.X.square();
+  const Fp yy = p.Y.square();
+  const Fp yyyy = yy.square();
+  const Fp zz = p.Z.square();
+  const Fp s = ((p.X + yy).square() - xx - yyyy).dbl();
+  const Fp m = xx.dbl() + xx + zz.square();  // 3*XX + a*ZZ^2, a = 1
+  const Fp x3 = m.square() - s.dbl();
+  const Fp eight_yyyy = yyyy.dbl().dbl().dbl();
+  const Fp y3 = m * (s - x3) - eight_yyyy;
+  const Fp z3 = (p.Y + p.Z).square() - yy - zz;
+  return Jac{x3, y3, z3};
+}
+
+Jac jac_add(const Jac& p, const Jac& q) {
+  if (p.is_inf()) return q;
+  if (q.is_inf()) return p;
+  const Fp z1z1 = p.Z.square();
+  const Fp z2z2 = q.Z.square();
+  const Fp u1 = p.X * z2z2;
+  const Fp u2 = q.X * z1z1;
+  const Fp s1 = p.Y * q.Z * z2z2;
+  const Fp s2 = q.Y * p.Z * z1z1;
+  if (u1 == u2) {
+    return s1 == s2 ? jac_dbl(p) : Jac{};
+  }
+  const Fp h = u2 - u1;
+  const Fp hh = h.square();
+  const Fp hhh = h * hh;
+  const Fp v = u1 * hh;
+  const Fp r = s2 - s1;
+  const Fp x3 = r.square() - hhh - v.dbl();
+  const Fp y3 = r * (v - x3) - s1 * hhh;
+  const Fp z3 = p.Z * q.Z * h;
+  return Jac{x3, y3, z3};
+}
+
+G1 jac_to_affine(const Jac& p) {
+  if (p.is_inf()) return G1::infinity();
+  const Fp zinv = p.Z.inv();
+  const Fp zinv2 = zinv.square();
+  const Fp x = p.X * zinv2;
+  const Fp y = p.Y * zinv2 * zinv;
+  auto point = G1::from_affine(x, y);
+  if (!point) throw std::logic_error("jac_to_affine: result off curve");
+  return *point;
+}
+
+}  // namespace
+
+const G1& G1::generator() {
+  static const G1 g = [] {
+    const Fp gx = Fp::from_u256(U256{{0x639a6b00745bc899ULL, 0xe188c1cf11041605ULL,
+                                      0xd0ee296ac9f66a58ULL, 0x23c69fdf9f516907ULL}});
+    const Fp gy = Fp::from_u256(U256{{0x5203d1cb87e414e0ULL, 0x6a2d19888892a7baULL,
+                                      0x23dc313b346851b1ULL, 0x1731118a1b86a597ULL}});
+    auto point = from_affine(gx, gy);
+    if (!point) throw std::logic_error("G1::generator: constant off curve");
+    return *point;
+  }();
+  return g;
+}
+
+std::optional<G1> G1::from_affine(const Fp& x, const Fp& y) {
+  G1 p{x, y};
+  if (!p.is_on_curve()) return std::nullopt;
+  return p;
+}
+
+std::optional<G1> G1::lift_x(const Fp& x) {
+  const Fp rhs = x.square() * x + x;
+  const auto y = sqrt_fp(rhs);
+  if (!y) return std::nullopt;
+  const Fp y_neg = y->neg();
+  const bool keep = cmp(y->to_u256(), y_neg.to_u256()) <= 0;
+  return G1{x, keep ? *y : y_neg};
+}
+
+bool G1::is_on_curve() const {
+  if (inf_) return true;
+  return y_.square() == x_.square() * x_ + x_;
+}
+
+bool G1::in_subgroup() const { return mul(Fq::modulus()).is_infinity(); }
+
+G1 G1::neg() const {
+  if (inf_) return *this;
+  return G1{x_, y_.neg()};
+}
+
+G1 operator+(const G1& a, const G1& b) {
+  if (a.is_infinity()) return b;
+  if (b.is_infinity()) return a;
+  if (a.x_ == b.x_) {
+    if (a.y_ == b.y_.neg()) return G1::infinity();
+    return a.dbl();
+  }
+  const Fp lambda = (b.y_ - a.y_) * (b.x_ - a.x_).inv();
+  const Fp x3 = lambda.square() - a.x_ - b.x_;
+  const Fp y3 = lambda * (a.x_ - x3) - a.y_;
+  return G1{x3, y3};
+}
+
+G1 G1::dbl() const {
+  if (inf_ || y_.is_zero()) return infinity();
+  // lambda = (3x^2 + a) / 2y with a = 1.
+  const Fp three_x2 = x_.square().dbl() + x_.square();
+  const Fp lambda = (three_x2 + Fp::one()) * y_.dbl().inv();
+  const Fp x3 = lambda.square() - x_.dbl();
+  const Fp y3 = lambda * (x_ - x3) - y_;
+  return G1{x3, y3};
+}
+
+G1 G1::mul(const U256& k) const {
+  if (inf_ || k.is_zero()) return infinity();
+  // 4-bit fixed-window double-and-add.
+  std::array<Jac, 16> table;
+  table[0] = Jac{};
+  table[1] = to_jac(*this);
+  for (int i = 2; i < 16; ++i) table[i] = jac_add(table[i - 1], table[1]);
+
+  Jac acc;
+  const unsigned bits = k.bit_length();
+  const unsigned windows = (bits + 3) / 4;
+  for (unsigned wi = windows; wi-- > 0;) {
+    if (wi + 1 != windows) {
+      acc = jac_dbl(jac_dbl(jac_dbl(jac_dbl(acc))));
+    }
+    const unsigned nibble =
+        static_cast<unsigned>(k.w[(wi * 4) / 64] >> ((wi * 4) % 64)) & 0xF;
+    if (nibble != 0) acc = jac_add(acc, table[nibble]);
+  }
+  return jac_to_affine(acc);
+}
+
+G1 G1::mul(const Fq& k) const { return mul(k.to_u256()); }
+
+G1 G1::mul2(const U256& a, const G1& p, const U256& b, const G1& q) {
+  // Shamir's trick: precompute p, q, p+q; one doubling chain, one add per
+  // set bit pair.
+  const Jac jp = to_jac(p);
+  const Jac jq = to_jac(q);
+  const Jac jpq = jac_add(jp, jq);
+  Jac acc;
+  const unsigned bits = std::max(a.bit_length(), b.bit_length());
+  for (unsigned i = bits; i-- > 0;) {
+    acc = jac_dbl(acc);
+    const bool ba = a.bit(i);
+    const bool bb = b.bit(i);
+    if (ba && bb) {
+      acc = jac_add(acc, jpq);
+    } else if (ba) {
+      acc = jac_add(acc, jp);
+    } else if (bb) {
+      acc = jac_add(acc, jq);
+    }
+  }
+  return jac_to_affine(acc);
+}
+
+G1 G1::mul_generator(const U256& k) {
+  // Fixed-base window method: 64 windows of 4 bits, each with a 15-entry
+  // table of (j << 4w)·G; a multiplication is then at most 64 additions and
+  // no doublings.
+  static const auto table = [] {
+    auto tbl = std::make_unique<std::array<std::array<Jac, 15>, 64>>();
+    Jac base = to_jac(generator());
+    for (int w = 0; w < 64; ++w) {
+      Jac acc;  // infinity
+      for (int j = 0; j < 15; ++j) {
+        acc = jac_add(acc, base);
+        (*tbl)[w][j] = acc;
+      }
+      // base <<= 4 bits
+      base = jac_dbl(jac_dbl(jac_dbl(jac_dbl(base))));
+    }
+    return tbl;
+  }();
+
+  Jac acc;
+  for (unsigned w = 0; w < 64; ++w) {
+    const unsigned nibble =
+        static_cast<unsigned>(k.w[(w * 4) / 64] >> ((w * 4) % 64)) & 0xF;
+    if (nibble != 0) acc = jac_add(acc, (*table)[w][nibble - 1]);
+  }
+  return jac_to_affine(acc);
+}
+
+std::array<std::uint8_t, G1::kEncodedSize> G1::to_bytes() const {
+  std::array<std::uint8_t, kEncodedSize> out{};
+  if (inf_) return out;  // tag 0x00
+  const U256 xv = x_.to_u256();
+  const U256 yv = y_.to_u256();
+  out[0] = (yv.w[0] & 1) ? 0x03 : 0x02;
+  const auto xb = xv.to_be_bytes();
+  std::copy(xb.begin(), xb.end(), out.begin() + 1);
+  return out;
+}
+
+std::optional<G1> G1::from_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kEncodedSize) return std::nullopt;
+  if (bytes[0] == 0x00) {
+    for (std::size_t i = 1; i < kEncodedSize; ++i) {
+      if (bytes[i] != 0) return std::nullopt;
+    }
+    return infinity();
+  }
+  if (bytes[0] != 0x02 && bytes[0] != 0x03) return std::nullopt;
+  const U256 xv = U256::from_be_bytes(bytes.subspan(1));
+  if (cmp(xv, Fp::modulus()) >= 0) return std::nullopt;
+  const Fp x = Fp::from_u256(xv);
+  auto point = lift_x(x);
+  if (!point) return std::nullopt;
+  const bool want_odd = bytes[0] == 0x03;
+  const bool have_odd = (point->y().to_u256().w[0] & 1) != 0;
+  if (want_odd != have_odd) *point = point->neg();
+  return point;
+}
+
+std::optional<Fp> sqrt_fp(const Fp& a) {
+  // p ≡ 3 (mod 4), so a^((p+1)/4) is a square root when one exists.
+  // (p+1)/4 equals the subgroup order q by construction.
+  const Fp r = a.pow(Fq::modulus());
+  if (r.square() == a) return r;
+  return std::nullopt;
+}
+
+}  // namespace mccls::ec

@@ -1,0 +1,96 @@
+// The group G1: the order-q subgroup of the supersingular curve
+//   E: y^2 = x^3 + x over Fp,   #E(Fp) = p + 1 = 4q,  embedding degree 2.
+// Points are kept in affine coordinates at the API boundary; scalar
+// multiplication uses Jacobian coordinates internally. The group is written
+// additively throughout, matching the paper's notation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "math/fe.hpp"
+#include "math/u256.hpp"
+
+namespace mccls::ec {
+
+using math::Fp;
+using math::Fq;
+using math::U256;
+
+class G1 {
+ public:
+  /// The point at infinity (additive identity).
+  constexpr G1() = default;
+
+  static G1 infinity() { return G1{}; }
+
+  /// The fixed order-q generator G (DESIGN.md §4).
+  static const G1& generator();
+
+  /// Constructs a point from affine coordinates; rejects points not on E.
+  /// Note: accepts any curve point, including ones outside the order-q
+  /// subgroup — call in_subgroup() where that matters.
+  static std::optional<G1> from_affine(const Fp& x, const Fp& y);
+
+  /// Lifts an x-coordinate to a curve point with the lexicographically
+  /// smaller y, if x^3 + x is a square.
+  static std::optional<G1> lift_x(const Fp& x);
+
+  [[nodiscard]] bool is_infinity() const { return inf_; }
+  /// Affine coordinates; only valid when !is_infinity().
+  [[nodiscard]] const Fp& x() const { return x_; }
+  [[nodiscard]] const Fp& y() const { return y_; }
+
+  [[nodiscard]] bool is_on_curve() const;
+  /// True iff q * P == O (the point lies in the prime-order subgroup).
+  [[nodiscard]] bool in_subgroup() const;
+
+  [[nodiscard]] G1 neg() const;
+  friend G1 operator+(const G1& a, const G1& b);
+  friend G1 operator-(const G1& a, const G1& b) { return a + b.neg(); }
+  G1& operator+=(const G1& o) { return *this = *this + o; }
+
+  [[nodiscard]] G1 dbl() const;
+
+  /// Scalar multiplication by a plain integer (interpreted mod group order).
+  [[nodiscard]] G1 mul(const U256& k) const;
+  /// Scalar multiplication by a scalar-field element.
+  [[nodiscard]] G1 mul(const Fq& k) const;
+  /// Multiplication by the curve cofactor 4 (maps E(Fp) onto the subgroup).
+  [[nodiscard]] G1 mul_cofactor() const { return dbl().dbl(); }
+
+  /// Simultaneous double-scalar multiplication a·P + b·Q (Shamir's trick):
+  /// one shared doubling chain instead of two. Used by the McCLS verifier
+  /// for V·P − h·R (see bench_primitives for the ablation).
+  static G1 mul2(const U256& a, const G1& p, const U256& b, const G1& q);
+
+  /// Fixed-base multiplication k·G using a lazily built window table over
+  /// the group generator; ~4x faster than generic mul for the signer's hot
+  /// path. Thread-compatible: the table is built on first use.
+  static G1 mul_generator(const U256& k);
+  static G1 mul_generator(const Fq& k) { return mul_generator(k.to_u256()); }
+
+  /// Compressed encoding: 1 tag byte (0x00 infinity, 0x02/0x03 parity of y)
+  /// followed by 32 bytes of big-endian x. Always 33 bytes.
+  static constexpr std::size_t kEncodedSize = 33;
+  [[nodiscard]] std::array<std::uint8_t, kEncodedSize> to_bytes() const;
+  /// Decodes and validates (curve membership; not subgroup membership).
+  static std::optional<G1> from_bytes(std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const G1&, const G1&) = default;
+
+ private:
+  G1(const Fp& x, const Fp& y) : x_(x), y_(y), inf_(false) {}
+
+  Fp x_{};
+  Fp y_{};
+  bool inf_ = true;
+};
+
+/// Square root in Fp for p ≡ 3 (mod 4): returns a^((p+1)/4) if it squares
+/// back to a, otherwise nullopt. Exposed for hash-to-point and tests.
+std::optional<Fp> sqrt_fp(const Fp& a);
+
+}  // namespace mccls::ec

@@ -1,0 +1,195 @@
+#include "math/u256.hpp"
+
+#include <bit>
+#include <cstddef>
+#include <stdexcept>
+
+namespace mccls::math {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty() || hex.size() > 64) {
+    throw std::invalid_argument("U256::from_hex: need 1..64 hex digits");
+  }
+  U256 out;
+  unsigned nibble = 0;
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    const int d = hex_digit(hex[hex.size() - 1 - i]);
+    if (d < 0) throw std::invalid_argument("U256::from_hex: bad hex digit");
+    out.w[nibble / 16] |= static_cast<std::uint64_t>(d) << (4 * (nibble % 16));
+    ++nibble;
+  }
+  return out;
+}
+
+U256 U256::from_be_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > 32) throw std::invalid_argument("U256::from_be_bytes: > 32 bytes");
+  U256 out;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t bit_pos = 8 * (bytes.size() - 1 - i);
+    out.w[bit_pos / 64] |= static_cast<std::uint64_t>(bytes[i]) << (bit_pos % 64);
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(64);
+  for (int limb = 3; limb >= 0; --limb) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      s.push_back(kDigits[(w[limb] >> shift) & 0xF]);
+    }
+  }
+  // Trim leading zeros but keep at least one digit.
+  const auto first = s.find_first_not_of('0');
+  return first == std::string::npos ? "0" : s.substr(first);
+}
+
+std::array<std::uint8_t, 32> U256::to_be_bytes() const {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t bit_pos = 8 * (31 - i);
+    out[i] = static_cast<std::uint8_t>(w[bit_pos / 64] >> (bit_pos % 64));
+  }
+  return out;
+}
+
+unsigned U256::bit_length() const {
+  for (int limb = 3; limb >= 0; --limb) {
+    if (w[limb] != 0) {
+      return static_cast<unsigned>(64 * limb + 64 - std::countl_zero(w[limb]));
+    }
+  }
+  return 0;
+}
+
+int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) return a.w[i] < b.w[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::uint64_t add(U256& out, const U256& a, const U256& b) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 s = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t sub(U256& out, const U256& a, const U256& b) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t bi = b.w[i];
+    const std::uint64_t d0 = a.w[i] - bi;
+    const std::uint64_t borrow1 = a.w[i] < bi ? 1u : 0u;
+    const std::uint64_t d1 = d0 - borrow;
+    const std::uint64_t borrow2 = d0 < borrow ? 1u : 0u;
+    out.w[i] = d1;
+    borrow = borrow1 | borrow2;
+  }
+  return borrow;
+}
+
+U256 shr1(const U256& a) {
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    out.w[i] = a.w[i] >> 1;
+    if (i < 3) out.w[i] |= a.w[i + 1] << 63;
+  }
+  return out;
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+  U512 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 s = static_cast<u128>(a.w[i]) * b.w[j] + out.w[i + j] + carry;
+      out.w[i + j] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
+    }
+    out.w[i + 4] = carry;
+  }
+  return out;
+}
+
+U512 U512::from_be_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > 64) throw std::invalid_argument("U512::from_be_bytes: > 64 bytes");
+  U512 out;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t bit_pos = 8 * (bytes.size() - 1 - i);
+    out.w[bit_pos / 64] |= static_cast<std::uint64_t>(bytes[i]) << (bit_pos % 64);
+  }
+  return out;
+}
+
+U256 mod_inverse(const U256& a, const U256& m) {
+  if (a.is_zero() || m.is_even() || cmp(m, U256::from_u64(3)) < 0) {
+    throw std::invalid_argument("mod_inverse: need a != 0 and odd modulus >= 3");
+  }
+  // Binary extended GCD. Invariants: x1*a == u (mod m), x2*a == v (mod m).
+  // All of u, v stay <= m; x1, x2 stay < m. The halving step (x + m) / 2 needs
+  // one extra bit, which fits because our moduli are at most 254 bits.
+  U256 u = a;
+  U256 v = m;
+  U256 x1 = U256::one();
+  U256 x2 = U256::zero();
+  const auto half_mod = [&m](U256 x) {
+    if (x.is_even()) return shr1(x);
+    U256 t;
+    const std::uint64_t carry = add(t, x, m);
+    t = shr1(t);
+    if (carry) t.w[3] |= std::uint64_t{1} << 63;
+    return t;
+  };
+  const auto sub_mod = [&m](const U256& x, const U256& y) {
+    U256 t;
+    if (sub(t, x, y)) {
+      U256 fixed;
+      add(fixed, t, m);
+      return fixed;
+    }
+    return t;
+  };
+  while (!(u == U256::one()) && !(v == U256::one())) {
+    while (u.is_even()) {
+      u = shr1(u);
+      x1 = half_mod(x1);
+    }
+    while (v.is_even()) {
+      v = shr1(v);
+      x2 = half_mod(x2);
+    }
+    if (cmp(u, v) >= 0) {
+      sub(u, u, v);
+      x1 = sub_mod(x1, x2);
+    } else {
+      sub(v, v, u);
+      x2 = sub_mod(x2, x1);
+    }
+    if (u.is_zero() || v.is_zero()) {
+      throw std::invalid_argument("mod_inverse: inputs not coprime");
+    }
+  }
+  return u == U256::one() ? x1 : x2;
+}
+
+}  // namespace mccls::math

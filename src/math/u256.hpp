@@ -1,0 +1,78 @@
+// 256-bit fixed-width unsigned integers (little-endian 64-bit limbs) plus the
+// 512-bit product type. This is the arithmetic bedrock for the Montgomery
+// prime fields in fe.hpp; nothing here knows about moduli.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mccls::math {
+
+struct U512;
+
+/// Unsigned 256-bit integer, limbs little-endian (w[0] is least significant).
+struct U256 {
+  std::array<std::uint64_t, 4> w{};
+
+  static constexpr U256 zero() { return U256{}; }
+  static constexpr U256 one() { return U256{{1, 0, 0, 0}}; }
+  static constexpr U256 from_u64(std::uint64_t x) { return U256{{x, 0, 0, 0}}; }
+
+  /// Parses a hex string (optionally 0x-prefixed, up to 64 digits).
+  /// Throws std::invalid_argument on malformed input.
+  static U256 from_hex(std::string_view hex);
+
+  /// Big-endian byte deserialization; `bytes.size()` must be <= 32.
+  static U256 from_be_bytes(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::string to_hex() const;
+  [[nodiscard]] std::array<std::uint8_t, 32> to_be_bytes() const;
+
+  [[nodiscard]] bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  [[nodiscard]] bool is_even() const { return (w[0] & 1) == 0; }
+  /// Value of bit `i` (0 = least significant); i must be < 256.
+  [[nodiscard]] bool bit(unsigned i) const { return (w[i / 64] >> (i % 64)) & 1; }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] unsigned bit_length() const;
+
+  friend bool operator==(const U256&, const U256&) = default;
+};
+
+/// Three-way compare: -1, 0, +1 for a < b, a == b, a > b.
+int cmp(const U256& a, const U256& b);
+
+/// out = a + b, returns the carry-out bit.
+std::uint64_t add(U256& out, const U256& a, const U256& b);
+/// out = a - b, returns the borrow-out bit.
+std::uint64_t sub(U256& out, const U256& a, const U256& b);
+/// Logical right shift by one bit.
+U256 shr1(const U256& a);
+/// Full 256x256 -> 512-bit product.
+U512 mul_wide(const U256& a, const U256& b);
+
+/// Modular inverse of `a` modulo odd modulus `m` via binary extended GCD.
+/// Precondition: gcd(a, m) == 1, a != 0, m odd and >= 3. Returns x with
+/// a*x == 1 (mod m).
+U256 mod_inverse(const U256& a, const U256& m);
+
+/// Unsigned 512-bit integer used for wide products and hash outputs.
+struct U512 {
+  std::array<std::uint64_t, 8> w{};
+
+  [[nodiscard]] U256 lo() const { return U256{{w[0], w[1], w[2], w[3]}}; }
+  [[nodiscard]] U256 hi() const { return U256{{w[4], w[5], w[6], w[7]}}; }
+
+  static U512 from_halves(const U256& lo, const U256& hi) {
+    return U512{{lo.w[0], lo.w[1], lo.w[2], lo.w[3], hi.w[0], hi.w[1], hi.w[2], hi.w[3]}};
+  }
+
+  /// Big-endian byte deserialization; `bytes.size()` must be <= 64.
+  static U512 from_be_bytes(std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const U512&, const U512&) = default;
+};
+
+}  // namespace mccls::math

@@ -1,0 +1,207 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mccls::net {
+
+Channel::Channel(sim::Simulator& simulator, sim::Rng rng, const MobilityModel& mobility,
+                 const PhyConfig& config)
+    : sim_(simulator), rng_(rng), mobility_(mobility), config_(config) {}
+
+void Channel::attach(NodeId node, RadioListener* listener) {
+  if (listener == nullptr) throw std::invalid_argument("Channel::attach: null listener");
+  nodes_[node].listener = listener;
+}
+
+double Channel::node_distance(NodeId a, NodeId b) const {
+  return distance(mobility_.position(a, sim_.now()), mobility_.position(b, sim_.now()));
+}
+
+void Channel::broadcast(NodeId from, std::size_t bytes, std::any payload) {
+  broadcast_as(from, from, bytes, std::move(payload));
+}
+
+void Channel::broadcast_as(NodeId transmitter, NodeId claimed_from, std::size_t bytes,
+                           std::any payload) {
+  enqueue(transmitter, PendingTx{
+                           .frame = Frame{.from = claimed_from,
+                                          .to = kBroadcastId,
+                                          .bytes = bytes,
+                                          .payload = std::move(payload),
+                                          .id = next_frame_id_++},
+                           .on_result = {},
+                           .attempts_left = 1,
+                       });
+}
+
+void Channel::set_promiscuous(NodeId node, bool enabled) {
+  nodes_.at(node).promiscuous = enabled;
+}
+
+void Channel::unicast(NodeId from, NodeId to, std::size_t bytes, std::any payload,
+                      SendResult on_result) {
+  enqueue(from, PendingTx{
+                    .frame = Frame{.from = from,
+                                   .to = to,
+                                   .bytes = bytes,
+                                   .payload = std::move(payload),
+                                   .id = next_frame_id_++},
+                    .on_result = std::move(on_result),
+                    .attempts_left = config_.mac_retries,
+                });
+}
+
+void Channel::set_zero_backoff(NodeId node, bool enabled) {
+  nodes_.at(node).zero_backoff = enabled;
+}
+
+void Channel::enqueue(NodeId from, PendingTx tx) {
+  NodeState& st = nodes_.at(from);
+  if (st.queue.size() >= config_.queue_limit) {
+    ++stats_.queue_drops;  // drop-tail interface queue, as in 2008-era stacks
+    return;
+  }
+  st.queue.push_back(std::move(tx));
+  try_start_tx(from);
+}
+
+void Channel::try_start_tx(NodeId node) {
+  NodeState& st = nodes_.at(node);
+  if (st.transmitting || st.queue.empty()) return;
+  st.transmitting = true;
+  const double backoff = st.zero_backoff ? 0.0 : rng_.uniform(0, config_.max_backoff);
+  sim_.schedule_in(backoff, [this, node] { begin_tx(node); });
+}
+
+void Channel::begin_tx(NodeId node) {
+  {
+    NodeState& sender = nodes_.at(node);
+    if (sender.queue.empty()) {  // defensive; queue never drains while transmitting
+      sender.transmitting = false;
+      return;
+    }
+    // Carrier sense: defer while the medium is busy at the sender (an
+    // ongoing reception), then back off again. Rushing attackers skip the
+    // extra backoff but still physically wait out the busy medium.
+    const sim::SimTime now = sim_.now();
+    sim::SimTime busy_until = 0;
+    for (const auto& rx : sender.receptions) {
+      if (rx->end > now) busy_until = std::max(busy_until, rx->end);
+    }
+    if (busy_until > now) {
+      const double backoff =
+          sender.zero_backoff ? 0.0 : rng_.uniform(0, config_.max_backoff);
+      sim_.schedule_at(busy_until + backoff + 1e-9, [this, node] { begin_tx(node); });
+      return;
+    }
+  }
+  NodeState& sender = nodes_.at(node);
+  {
+    PendingTx tx = std::move(sender.queue.front());
+    sender.queue.pop_front();
+    const sim::SimTime start = sim_.now();
+    const sim::SimTime end = start + airtime(tx.frame.bytes);
+    sender.tx_until = end;
+    // Half-duplex: transmitting corrupts anything this node was receiving.
+    for (const auto& rx : sender.receptions) {
+      if (rx->end > start) rx->corrupted = true;
+    }
+    finish_tx(node, std::move(tx), start, end);
+  }
+}
+
+void Channel::prune_receptions(NodeState& st, sim::SimTime now) {
+  std::erase_if(st.receptions, [now](const auto& rx) { return rx->end <= now; });
+}
+
+void Channel::finish_tx(NodeId node, PendingTx tx, sim::SimTime start, sim::SimTime end) {
+  ++stats_.frames_transmitted;
+  stats_.bytes_transmitted += tx.frame.bytes;
+
+  const Vec2 sender_pos = mobility_.position(node, start);
+  std::shared_ptr<Reception> target_rx;  // set when the unicast target is in range
+
+  for (auto& [other_id, other] : nodes_) {
+    if (other_id == node) continue;
+    if (distance(sender_pos, mobility_.position(other_id, start)) > config_.range) continue;
+
+    auto reception = std::make_shared<Reception>(
+        Reception{.start = start + config_.prop_delay, .end = end + config_.prop_delay});
+    // Receiver busy transmitting during our interval -> corrupted.
+    if (other.transmitting && other.tx_until > reception->start) reception->corrupted = true;
+    if (config_.model_collisions) {
+      prune_receptions(other, sim_.now());
+      for (const auto& existing : other.receptions) {
+        if (existing->end > reception->start && existing->start < reception->end) {
+          existing->corrupted = true;
+          reception->corrupted = true;
+        }
+      }
+    }
+    if (config_.loss_prob > 0 && rng_.chance(config_.loss_prob)) {
+      reception->corrupted = true;
+      ++stats_.random_losses;
+    }
+    other.receptions.push_back(reception);
+    if (tx.frame.to == other_id) target_rx = reception;
+
+    const bool deliver_to_listener =
+        tx.frame.to == kBroadcastId || tx.frame.to == other_id || other.promiscuous;
+    const NodeId receiver_id = other_id;
+    sim_.schedule_at(reception->end, [this, receiver_id, frame = tx.frame, reception,
+                                      deliver_to_listener]() mutable {
+      NodeState& receiver = nodes_.at(receiver_id);
+      // A transmission the receiver started after our delivery was scheduled
+      // also corrupts it (checked again here).
+      if (receiver.transmitting && receiver.tx_until > reception->start) {
+        reception->corrupted = true;
+      }
+      if (reception->corrupted) {
+        ++stats_.collisions;
+        return;
+      }
+      ++stats_.frames_delivered;
+      if (deliver_to_listener && receiver.listener != nullptr) {
+        receiver.listener->on_frame(frame);
+      }
+    });
+  }
+
+  // Transmission complete: free the medium and start the next queued frame.
+  sim_.schedule_at(end, [this, node] {
+    NodeState& st = nodes_.at(node);
+    st.transmitting = false;
+    try_start_tx(node);
+  });
+
+  // Unicast completion: decide ACK vs retry at end + ack_timeout.
+  if (tx.frame.to != kBroadcastId) {
+    sim_.schedule_at(end + config_.ack_timeout,
+                     [this, node, tx = std::move(tx), target_rx]() mutable {
+                       const bool ok = target_rx != nullptr && !target_rx->corrupted;
+                       if (ok) {
+                         if (tx.on_result) tx.on_result(true);
+                         return;
+                       }
+                       if (--tx.attempts_left > 0) {
+                         // 802.11-style exponential backoff: the contention
+                         // window doubles with each retry.
+                         const int attempt = config_.mac_retries - tx.attempts_left;
+                         const double window =
+                             config_.max_backoff * static_cast<double>(1 << attempt);
+                         const double wait = rng_.uniform(0, window);
+                         sim_.schedule_in(wait, [this, node, tx = std::move(tx)]() mutable {
+                           NodeState& st = nodes_.at(node);
+                           st.queue.push_front(std::move(tx));
+                           try_start_tx(node);
+                         });
+                         return;
+                       }
+                       ++stats_.unicast_failures;
+                       if (tx.on_result) tx.on_result(false);
+                     });
+  }
+}
+
+}  // namespace mccls::net

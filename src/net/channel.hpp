@@ -1,0 +1,130 @@
+// Shared wireless medium + per-node CSMA-style MAC:
+//  - disc propagation model: receivers within `range` of the sender hear it
+//  - per-node transmit queue with medium serialization and random backoff
+//  - receiver-side collision model: overlapping receptions corrupt each other
+//  - half-duplex: a transmitting node cannot receive
+//  - unicast carries an ACK abstraction with link-layer retries; persistent
+//    failure is reported to the sender (AODV's link-break trigger)
+//
+// This is the substitute for QualNet's 802.11 PHY/MAC (DESIGN.md §3): it
+// keeps the first-order effects the paper's figures depend on — flood
+// contention, jittered rebroadcast races (the rushing attack's lever), and
+// mobility-induced link breaks — without modelling the full DCF.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/mobility.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mccls::net {
+
+struct PhyConfig {
+  double range = 250.0;          ///< radio range, metres
+  double bitrate = 2e6;          ///< bps (802.11b basic rate era)
+  double frame_overhead = 4e-4;  ///< fixed per-frame cost, seconds (PLCP+MAC)
+  double prop_delay = 1e-6;      ///< propagation, seconds
+  double max_backoff = 1.5e-3;   ///< CSMA random backoff upper bound, seconds
+  double loss_prob = 0.0;        ///< additional per-link random loss
+  double ack_timeout = 2e-3;     ///< unicast ACK wait, seconds
+  int mac_retries = 5;           ///< link-layer transmission attempts for unicast
+  std::size_t queue_limit = 50;  ///< interface queue depth (drop-tail)
+  bool model_collisions = true;
+};
+
+class Channel {
+ public:
+  /// Result callback for unicast sends: true once the ACK (abstracted)
+  /// arrives, false after all MAC retries fail.
+  using SendResult = std::function<void(bool delivered)>;
+
+  Channel(sim::Simulator& simulator, sim::Rng rng, const MobilityModel& mobility,
+          const PhyConfig& config);
+
+  /// Registers a node; `listener` must outlive the channel.
+  void attach(NodeId node, RadioListener* listener);
+
+  /// Queues a broadcast (fire-and-forget).
+  void broadcast(NodeId from, std::size_t bytes, std::any payload);
+
+  /// Broadcast with a spoofed source: the frame is physically transmitted
+  /// from `transmitter`'s position/queue but claims to come from
+  /// `claimed_from` — the wormhole attacker's replay primitive. Receivers
+  /// (and their signature checks) see `claimed_from`.
+  void broadcast_as(NodeId transmitter, NodeId claimed_from, std::size_t bytes,
+                    std::any payload);
+
+  /// Promiscuous mode: `node`'s listener also receives frames addressed to
+  /// other nodes (an eavesdropping attacker capability).
+  void set_promiscuous(NodeId node, bool enabled);
+
+  /// Queues a unicast with ACK/retry semantics. `on_result` may be empty.
+  void unicast(NodeId from, NodeId to, std::size_t bytes, std::any payload,
+               SendResult on_result = {});
+
+  /// If true, frames transmitted by `node` bypass the random MAC backoff —
+  /// the rushing attacker's capability (paper §2 / Hu-Perrig-Johnson).
+  void set_zero_backoff(NodeId node, bool enabled);
+
+  // Aggregate medium statistics (for tests and diagnostics).
+  struct Stats {
+    std::uint64_t frames_transmitted = 0;
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t random_losses = 0;
+    std::uint64_t unicast_failures = 0;
+    std::uint64_t queue_drops = 0;
+    std::uint64_t bytes_transmitted = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] double airtime(std::size_t bytes) const {
+    return config_.frame_overhead + static_cast<double>(bytes) * 8.0 / config_.bitrate;
+  }
+
+  /// Current distance between two nodes (helper for tests and agents).
+  [[nodiscard]] double node_distance(NodeId a, NodeId b) const;
+
+ private:
+  struct PendingTx {
+    Frame frame;
+    SendResult on_result;
+    int attempts_left;
+  };
+  struct Reception {
+    sim::SimTime start;
+    sim::SimTime end;
+    bool corrupted = false;
+  };
+  struct NodeState {
+    RadioListener* listener = nullptr;
+    std::deque<PendingTx> queue;
+    bool transmitting = false;
+    sim::SimTime tx_until = 0;
+    bool zero_backoff = false;
+    bool promiscuous = false;
+    std::vector<std::shared_ptr<Reception>> receptions;
+  };
+
+  void enqueue(NodeId from, PendingTx tx);
+  void try_start_tx(NodeId node);
+  void begin_tx(NodeId node);
+  void finish_tx(NodeId node, PendingTx tx, sim::SimTime start, sim::SimTime end);
+  void prune_receptions(NodeState& st, sim::SimTime now);
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  const MobilityModel& mobility_;
+  PhyConfig config_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  Stats stats_;
+  std::uint64_t next_frame_id_ = 1;
+};
+
+}  // namespace mccls::net

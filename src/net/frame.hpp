@@ -1,0 +1,30 @@
+// Link-layer frame. The payload is opaque to the radio (std::any), keeping
+// the wireless substrate independent of the routing layer that rides on it.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "net/mobility.hpp"
+
+namespace mccls::net {
+
+inline constexpr NodeId kBroadcastId = 0xFFFFFFFFu;
+
+struct Frame {
+  NodeId from = 0;
+  NodeId to = kBroadcastId;  ///< kBroadcastId or a specific neighbour
+  std::size_t bytes = 0;     ///< on-air size including headers
+  std::any payload;
+  std::uint64_t id = 0;  ///< assigned by the channel; unique per transmission
+};
+
+/// Upcall interface a node registers with the channel.
+class RadioListener {
+ public:
+  virtual ~RadioListener() = default;
+  /// Delivered exactly once per successfully received frame.
+  virtual void on_frame(const Frame& frame) = 0;
+};
+
+}  // namespace mccls::net

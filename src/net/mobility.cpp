@@ -1,0 +1,84 @@
+#include "net/mobility.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mccls::net {
+
+RandomWaypointMobility::RandomWaypointMobility(std::size_t num_nodes, const Config& config,
+                                               sim::Rng& seed_rng)
+    : config_(config) {
+  if (config_.max_speed < 0 || config_.width <= 0 || config_.height <= 0) {
+    throw std::invalid_argument("RandomWaypointMobility: bad config");
+  }
+  // Draw initial positions; when requested, reject placements whose disc
+  // graph is disconnected (up to a bounded number of attempts).
+  std::vector<Vec2> starts(num_nodes);
+  sim::Rng placement_rng = seed_rng.fork(0xF1E1D);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    for (auto& p : starts) p = random_point(placement_rng);
+    if (config_.connect_range <= 0 || is_connected(starts, config_.connect_range)) break;
+  }
+
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    NodeState st(seed_rng.fork(i));
+    st.leg = Leg{.from = starts[i], .to = starts[i], .depart = 0, .arrive = 0};
+    nodes_.push_back(std::move(st));
+  }
+}
+
+bool RandomWaypointMobility::is_connected(const std::vector<Vec2>& points, double range) {
+  if (points.empty()) return true;
+  std::vector<bool> visited(points.size(), false);
+  std::vector<std::size_t> stack{0};
+  visited[0] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const std::size_t cur = stack.back();
+    stack.pop_back();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (!visited[i] && distance(points[cur], points[i]) <= range) {
+        visited[i] = true;
+        ++reached;
+        stack.push_back(i);
+      }
+    }
+  }
+  return reached == points.size();
+}
+
+Vec2 RandomWaypointMobility::random_point(sim::Rng& rng) const {
+  return Vec2{rng.uniform(0, config_.width), rng.uniform(0, config_.height)};
+}
+
+void RandomWaypointMobility::advance(NodeState& st, sim::SimTime t) const {
+  // Generate successive legs until the current one covers time t.
+  while (t > st.leg.arrive + config_.pause) {
+    const Vec2 from = st.leg.to;
+    const sim::SimTime depart = st.leg.arrive + config_.pause;
+    if (config_.max_speed <= 0) {
+      // Degenerate static model: park forever.
+      st.leg = Leg{from, from, depart, std::numeric_limits<sim::SimTime>::infinity()};
+      return;
+    }
+    const Vec2 to = random_point(st.rng);
+    const double lo = std::min(config_.min_speed, config_.max_speed);
+    const double speed =
+        lo < config_.max_speed ? st.rng.uniform(lo, config_.max_speed) : config_.max_speed;
+    st.leg = Leg{from, to, depart, depart + distance(from, to) / speed};
+  }
+}
+
+Vec2 RandomWaypointMobility::position(NodeId node, sim::SimTime t) const {
+  NodeState& st = nodes_.at(node);
+  advance(st, t);
+  const Leg& leg = st.leg;
+  if (t <= leg.depart) return leg.from;
+  if (t >= leg.arrive) return leg.to;
+  const double frac = (t - leg.depart) / (leg.arrive - leg.depart);
+  return leg.from + (leg.to - leg.from) * frac;
+}
+
+}  // namespace mccls::net

@@ -1,0 +1,111 @@
+// Node mobility models. The paper's scenario: 20 nodes in a rectangle under
+// the random waypoint model, maximum speed 0–20 m/s, pause time 0 s.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/vec2.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mccls::net {
+
+using NodeId = std::uint32_t;
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  /// Position of `node` at simulated time `t`. `t` must not decrease between
+  /// calls for the same node (models may advance lazily).
+  [[nodiscard]] virtual Vec2 position(NodeId node, sim::SimTime t) const = 0;
+};
+
+/// Fixed positions; for unit tests and controlled topologies.
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(std::vector<Vec2> positions) : positions_(std::move(positions)) {}
+  [[nodiscard]] Vec2 position(NodeId node, sim::SimTime) const override {
+    return positions_.at(node);
+  }
+  void move(NodeId node, Vec2 to) { positions_.at(node) = to; }
+
+ private:
+  std::vector<Vec2> positions_;
+};
+
+/// Wraps a base model, pinning a trailing block of node ids at fixed spots
+/// spaced along the field's centerline. Used to model attackers that choose
+/// their ground instead of roaming (scenario runners for both protocols).
+class PinnedTailMobility final : public MobilityModel {
+ public:
+  PinnedTailMobility(const MobilityModel& base, std::size_t first_pinned,
+                     std::size_t num_nodes, double width, double height)
+      : base_(base),
+        first_pinned_(first_pinned),
+        num_nodes_(num_nodes),
+        width_(width),
+        height_(height) {}
+
+  [[nodiscard]] Vec2 position(NodeId node, sim::SimTime t) const override {
+    if (node >= first_pinned_ && node < num_nodes_) {
+      const std::size_t pinned = num_nodes_ - first_pinned_;
+      const std::size_t idx = node - first_pinned_;
+      return {width_ * static_cast<double>(idx + 1) / static_cast<double>(pinned + 1),
+              height_ / 2};
+    }
+    return base_.position(node, t);
+  }
+
+ private:
+  const MobilityModel& base_;
+  std::size_t first_pinned_;
+  std::size_t num_nodes_;
+  double width_;
+  double height_;
+};
+
+/// Random waypoint: each node repeatedly picks a uniform destination in the
+/// field and travels to it in a straight line at a speed drawn uniformly
+/// from (min_speed, max_speed], then pauses. max_speed == 0 degenerates to a
+/// static uniform placement.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  struct Config {
+    double width = 1500.0;
+    double height = 300.0;
+    double max_speed = 10.0;  ///< m/s; the paper sweeps this from 0 to 20
+    double min_speed = 0.1;   ///< avoids the RWP "stuck node" pathology
+    double pause = 0.0;       ///< the paper uses pause time 0 s
+    /// When > 0, initial placements are rejection-sampled until the disc
+    /// graph with this radio range is connected (standard MANET-sim
+    /// practice; otherwise static runs measure partitions, not routing).
+    double connect_range = 0.0;
+  };
+
+  RandomWaypointMobility(std::size_t num_nodes, const Config& config, sim::Rng& seed_rng);
+
+  [[nodiscard]] Vec2 position(NodeId node, sim::SimTime t) const override;
+
+ private:
+  struct Leg {
+    Vec2 from;
+    Vec2 to;
+    sim::SimTime depart;  ///< time the node leaves `from` (after any pause)
+    sim::SimTime arrive;  ///< time it reaches `to`
+  };
+  struct NodeState {
+    mutable sim::Rng rng;
+    mutable Leg leg;
+    explicit NodeState(sim::Rng r) : rng(r) {}
+  };
+
+  void advance(NodeState& st, sim::SimTime t) const;
+  Vec2 random_point(sim::Rng& rng) const;
+  static bool is_connected(const std::vector<Vec2>& points, double range);
+
+  Config config_;
+  mutable std::vector<NodeState> nodes_;
+};
+
+}  // namespace mccls::net

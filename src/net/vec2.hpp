@@ -1,0 +1,22 @@
+// Plane geometry for node positions (the paper's 1500 m x 300 m field).
+#pragma once
+
+#include <cmath>
+
+namespace mccls::net {
+
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend bool operator==(const Vec2&, const Vec2&) = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace mccls::net

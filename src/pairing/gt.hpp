@@ -1,0 +1,49 @@
+// GT: the target group of the modified Tate pairing — the order-q subgroup
+// of Fp2*, written multiplicatively. Elements produced by the final
+// exponentiation are unitary (g^(p+1) = 1), so inversion is conjugation.
+#pragma once
+
+#include "math/fp2.hpp"
+
+namespace mccls::pairing {
+
+using math::Fp2;
+using math::Fq;
+using math::U256;
+
+class Gt {
+ public:
+  Gt() : v_(Fp2::one()) {}
+  explicit Gt(const Fp2& v) : v_(v) {}
+
+  static Gt one() { return Gt{}; }
+
+  [[nodiscard]] bool is_one() const { return v_.is_one(); }
+  [[nodiscard]] const Fp2& value() const { return v_; }
+
+  friend Gt operator*(const Gt& a, const Gt& b) { return Gt{a.v_ * b.v_}; }
+  Gt& operator*=(const Gt& o) { return *this = *this * o; }
+
+  /// Inverse; valid for unitary elements (all pairing outputs).
+  [[nodiscard]] Gt inv() const { return Gt{v_.conjugate()}; }
+
+  [[nodiscard]] Gt pow(const U256& e) const { return Gt{v_.pow(e)}; }
+  [[nodiscard]] Gt pow(const Fq& e) const { return pow(e.to_u256()); }
+
+  friend bool operator==(const Gt&, const Gt&) = default;
+
+  /// Canonical 64-byte encoding (big-endian re || im) for hashing transcripts.
+  [[nodiscard]] std::array<std::uint8_t, 64> to_bytes() const {
+    std::array<std::uint8_t, 64> out;
+    const auto re = v_.re().to_u256().to_be_bytes();
+    const auto im = v_.im().to_u256().to_be_bytes();
+    std::copy(re.begin(), re.end(), out.begin());
+    std::copy(im.begin(), im.end(), out.begin() + 32);
+    return out;
+  }
+
+ private:
+  Fp2 v_;
+};
+
+}  // namespace mccls::pairing

@@ -1,0 +1,73 @@
+#include "pairing/pairing.hpp"
+
+#include "math/fp2.hpp"
+
+namespace mccls::pairing {
+
+namespace {
+
+using math::Fp;
+using math::Fp2;
+using math::U256;
+
+// Evaluates the (non-vertical) line through T with slope `lambda` at the
+// distorted point φ(Q) = (−xq, u·yq):
+//   l(φQ) = u·yq − y_T − λ·(−xq − x_T)  =  (λ·(x_T − (−xq)) − y_T) + u·yq.
+Fp2 line_eval(const G1& t, const Fp& lambda, const Fp& xq_neg, const Fp& yq) {
+  const Fp re = lambda * (t.x() - xq_neg) - t.y();
+  return Fp2{re, yq};
+}
+
+}  // namespace
+
+Gt pair(const G1& p, const G1& q) {
+  if (p.is_infinity() || q.is_infinity()) return Gt::one();
+
+  const Fp xq_neg = q.x().neg();
+  const Fp& yq = q.y();
+  const U256& order = math::Fq::modulus();
+
+  Fp2 f = Fp2::one();
+  G1 t = p;
+  for (unsigned i = order.bit_length() - 1; i-- > 0;) {
+    // Doubling step: f <- f^2 · l_{T,T}(φQ); T <- 2T.
+    f = f.square();
+    if (!t.is_infinity()) {
+      if (t.y().is_zero()) {
+        // Vertical tangent: value lies in Fp, killed by final exponentiation.
+        t = G1::infinity();
+      } else {
+        const Fp x2 = t.x().square();
+        const Fp lambda = (x2.dbl() + x2 + Fp::one()) * t.y().dbl().inv();
+        f *= line_eval(t, lambda, xq_neg, yq);
+        const Fp x3 = lambda.square() - t.x().dbl();
+        const Fp y3 = lambda * (t.x() - x3) - t.y();
+        t = *G1::from_affine(x3, y3);
+      }
+    }
+    if (order.bit(i)) {
+      // Addition step: f <- f · l_{T,P}(φQ); T <- T + P.
+      if (t.is_infinity()) {
+        t = p;
+      } else if (t.x() == p.x()) {
+        // T == −P (T == P cannot occur mid-loop for prime-order P):
+        // vertical line, value in Fp, skip the multiply.
+        t = G1::infinity();
+      } else {
+        const Fp lambda = (p.y() - t.y()) * (p.x() - t.x()).inv();
+        f *= line_eval(t, lambda, xq_neg, yq);
+        const Fp x3 = lambda.square() - t.x() - p.x();
+        const Fp y3 = lambda * (t.x() - x3) - t.y();
+        t = *G1::from_affine(x3, y3);
+      }
+    }
+  }
+
+  // Final exponentiation: (p²−1)/q = (p−1)·(p+1)/q = (p−1)·4.
+  // f^(p−1) = conj(f)·f^{−1} (Frobenius on Fp2 is conjugation), then square
+  // twice for the exponent 4.
+  const Fp2 g = f.conjugate() * f.inv();
+  return Gt{g.square().square()};
+}
+
+}  // namespace mccls::pairing

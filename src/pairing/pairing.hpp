@@ -1,0 +1,24 @@
+// Modified Tate pairing ê : G1 × G1 → GT on the supersingular curve
+// y^2 = x^3 + x, using the distortion map φ(x, y) = (−x, u·y), u² = −1.
+// ê is bilinear, symmetric in distribution (ê(P,Q) and ê(Q,P) are both
+// non-degenerate), and satisfies ê(aP, bQ) = ê(P, Q)^{ab}.
+//
+// Implementation: Miller loop over the bits of the subgroup order q with
+// denominator elimination (embedding degree 2: vertical-line values lie in
+// Fp and die in the final exponentiation), followed by the final
+// exponentiation f^{(p²−1)/q} = (f^{p−1})^{(p+1)/q} = (conj(f)·f^{−1})^4.
+#pragma once
+
+#include "ec/g1.hpp"
+#include "pairing/gt.hpp"
+
+namespace mccls::pairing {
+
+using ec::G1;
+
+/// Computes ê(P, Q). Returns GT::one() when either input is infinity.
+/// Non-degeneracy: ê(P, Q) != 1 whenever P and Q are non-identity points of
+/// the order-q subgroup.
+Gt pair(const G1& p, const G1& q);
+
+}  // namespace mccls::pairing

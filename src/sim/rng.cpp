@@ -1,0 +1,70 @@
+#include "sim/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace mccls::sim {
+
+namespace {
+
+/// splitmix64: seed expander recommended for initializing xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_int: n must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * (~std::uint64_t{0} / n);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0);
+  return -mean * std::log(u);
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix the current state with the stream id through splitmix64.
+  std::uint64_t x = s_[0] ^ (s_[2] + 0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  return Rng(splitmix64(x));
+}
+
+}  // namespace mccls::sim

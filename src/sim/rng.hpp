@@ -1,0 +1,36 @@
+// Deterministic simulation RNG (xoshiro256**), independent of the crypto
+// DRBG: simulation randomness (mobility, jitter, traffic) must be cheap and
+// reproducible per scenario seed, with forkable substreams so adding a node
+// does not perturb every other node's draws.
+#pragma once
+
+#include <cstdint>
+
+namespace mccls::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+  /// Uniform integer in [0, n) (n > 0).
+  std::uint64_t uniform_int(std::uint64_t n);
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+  /// Bernoulli trial.
+  bool chance(double probability) { return uniform() < probability; }
+
+  /// Derives an independent substream (e.g. one per node).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mccls::sim

@@ -1,0 +1,31 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace mccls::sim {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // priority_queue::top is const; move via const_cast is the standard
+    // idiom for draining move-only payloads.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  if (until != std::numeric_limits<SimTime>::infinity() && now_ < until) now_ = until;
+}
+
+}  // namespace mccls::sim

@@ -1,0 +1,72 @@
+// Discrete-event simulation core: a time-ordered event queue with stable
+// FIFO ordering for simultaneous events, supporting cancellation. This is
+// the substrate under the wireless channel, MAC, AODV and traffic layers —
+// the role QualNet's kernel plays in the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace mccls::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Token identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now). Events scheduled
+  /// for the same instant run in scheduling order.
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (clamped to >= 0).
+  EventId schedule_in(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Runs events until the queue empties or simulated time passes `until`.
+  /// Events scheduled exactly at `until` still run.
+  void run_until(SimTime until);
+
+  /// Runs until the queue is empty.
+  void run() { run_until(std::numeric_limits<SimTime>::infinity()); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;  // doubles as the FIFO tiebreaker
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace mccls::sim

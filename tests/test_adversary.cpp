@@ -1,0 +1,241 @@
+// Adversarial-model characterization of McCLS (paper §3.1/§5) and the
+// baselines. Two kinds of tests live here:
+//
+//  1. Games the schemes WIN: naive forgeries, replay across identities or
+//     keys, mauling, public-key replacement without a signing oracle.
+//
+//  2. DOCUMENTED WEAKNESSES of the published McCLS scheme, reproduced
+//     deliberately (DESIGN.md §3). The verification equation
+//     ê(V·P − h·R, h⁻¹·S) == ê(Ppub, Q_ID) takes both pairing arguments from
+//     attacker-controlled signature fields, so it can be satisfied with
+//     public values alone. These tests EXPECT the forgery to succeed: they
+//     characterize the published scheme, they are not aspirational.
+//     The MANET evaluation (paper §6) models protocol-level attackers that
+//     do not craft algebraic signatures, matching the paper's threat model.
+#include <gtest/gtest.h>
+
+#include "cls/mccls.hpp"
+#include "cls/registry.hpp"
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+namespace {
+
+crypto::Bytes msg(std::string_view s) {
+  return crypto::Bytes(crypto::as_bytes(s).begin(), crypto::as_bytes(s).end());
+}
+
+struct Fixture {
+  crypto::HmacDrbg rng{std::uint64_t{0xAD5E}};
+  Kgc kgc = Kgc::setup(rng);
+  Mccls scheme;
+  UserKeys alice = scheme.enroll(kgc, "alice", rng);
+};
+
+// ---------------------------------------------------------------- games won
+
+TEST(Adversary, RandomSignatureComponentsFail) {
+  Fixture f;
+  const auto m = msg("target");
+  for (int i = 0; i < 8; ++i) {
+    const McclsSignature junk{.v = f.rng.next_nonzero_fq(),
+                              .s = f.kgc.params().p.mul(f.rng.next_nonzero_fq()),
+                              .r = f.kgc.params().p.mul(f.rng.next_nonzero_fq())};
+    EXPECT_FALSE(Mccls::verify_typed(f.kgc.params(), "alice", f.alice.public_key.primary(),
+                                     m, junk));
+  }
+}
+
+TEST(Adversary, SignatureDoesNotTransferAcrossIdentities) {
+  // A signature bound to alice's identity never verifies for a different
+  // identity, even under the very same public key material.
+  Fixture f;
+  const auto m = msg("transfer");
+  const auto sig = Mccls::sign_typed(f.kgc.params(), f.alice, m, f.rng);
+  EXPECT_FALSE(Mccls::verify_typed(f.kgc.params(), "mallory", f.alice.public_key.primary(),
+                                   m, sig));
+}
+
+TEST(Adversary, PublicKeyReplacementAloneDoesNotVerifyOldSignatures) {
+  // Type I capability: replace alice's public key with one the adversary
+  // controls. Previously issued signatures hash the old key into h, so they
+  // die under the replaced key.
+  Fixture f;
+  const auto m = msg("replace");
+  const auto sig = Mccls::sign_typed(f.kgc.params(), f.alice, m, f.rng);
+  const math::Fq x_adv = f.rng.next_nonzero_fq();
+  const ec::G1 pk_adv = f.kgc.params().p_pub.mul(x_adv);
+  EXPECT_FALSE(Mccls::verify_typed(f.kgc.params(), "alice", pk_adv, m, sig));
+}
+
+TEST(Adversary, ReplacedKeyWithoutPartialKeyCannotSignHonestly) {
+  // The adversary knows its own x' but not D_alice; running the honest
+  // signing algorithm with a bogus partial key fails verification.
+  Fixture f;
+  const auto m = msg("mallory-as-alice");
+  const math::Fq x_adv = f.rng.next_nonzero_fq();
+  const UserKeys forged_keys{
+      .id = "alice",
+      .partial_key = f.kgc.params().p.mul(f.rng.next_nonzero_fq()),  // not s·Q_alice
+      .secret = x_adv,
+      .public_key = PublicKey{.points = {f.kgc.params().p_pub.mul(x_adv)}}};
+  const auto sig = Mccls::sign_typed(f.kgc.params(), forged_keys, m, f.rng);
+  EXPECT_FALSE(Mccls::verify_typed(f.kgc.params(), "alice",
+                                   forged_keys.public_key.primary(), m, sig));
+}
+
+TEST(Adversary, MaulingVFails) {
+  Fixture f;
+  const auto m = msg("maul");
+  auto sig = Mccls::sign_typed(f.kgc.params(), f.alice, m, f.rng);
+  sig.v = sig.v + math::Fq::one();
+  EXPECT_FALSE(
+      Mccls::verify_typed(f.kgc.params(), "alice", f.alice.public_key.primary(), m, sig));
+}
+
+TEST(Adversary, SwappingComponentsAcrossSignaturesFails) {
+  Fixture f;
+  const auto m1 = msg("first");
+  const auto m2 = msg("second");
+  const auto s1 = Mccls::sign_typed(f.kgc.params(), f.alice, m1, f.rng);
+  const auto s2 = Mccls::sign_typed(f.kgc.params(), f.alice, m2, f.rng);
+  const McclsSignature mixed{.v = s1.v, .s = s1.s, .r = s2.r};
+  EXPECT_FALSE(
+      Mccls::verify_typed(f.kgc.params(), "alice", f.alice.public_key.primary(), m1, mixed));
+}
+
+TEST(Adversary, SigningOracleOnOtherIdentitiesDoesNotHelpBaselines) {
+  // Type-I game fragment for the sound baselines: signatures collected from
+  // bob (a corrupted signer) never verify as alice's, under any message.
+  crypto::HmacDrbg rng{std::uint64_t{0x51D3}};
+  const Kgc kgc = Kgc::setup(rng);
+  for (const auto name : {"ZWXF", "YHG", "AP"}) {
+    const auto scheme = make_scheme(name);
+    const UserKeys alice = scheme->enroll(kgc, "alice", rng);
+    const UserKeys bob = scheme->enroll(kgc, "bob", rng);
+    for (int i = 0; i < 4; ++i) {
+      const auto m = msg("oracle message " + std::to_string(i));
+      const auto sig = scheme->sign(kgc.params(), bob, m, rng);
+      EXPECT_FALSE(scheme->verify(kgc.params(), "alice", alice.public_key, m, sig))
+          << name;
+      EXPECT_FALSE(scheme->verify(kgc.params(), "alice", bob.public_key, m, sig))
+          << name;
+    }
+  }
+}
+
+TEST(Adversary, ApRejectsInconsistentTwoPartKeys) {
+  // AP's verification includes the key-structure check
+  // ê(X_A, Ppub) == ê(Y_A, P); a Type-I adversary cannot splice together
+  // halves committing to different secrets.
+  crypto::HmacDrbg rng{std::uint64_t{0x51D4}};
+  const Kgc kgc = Kgc::setup(rng);
+  const auto ap = make_scheme("AP");
+  const UserKeys alice = ap->enroll(kgc, "alice", rng);
+  const auto m = msg("payload");
+  const auto sig = ap->sign(kgc.params(), alice, m, rng);
+  // Replace Y_A with a point for a different secret: structure check fails.
+  PublicKey spliced = alice.public_key;
+  spliced.points[1] = kgc.params().p_pub.mul(rng.next_nonzero_fq());
+  EXPECT_FALSE(ap->verify(kgc.params(), "alice", spliced, m, sig));
+}
+
+TEST(Adversary, CrossSchemeSignaturesNeverVerify) {
+  // A signature produced by one scheme must not verify under another, even
+  // for the same identity/keys-shape (65-66-98 byte formats + domain tags
+  // make cross-acceptance structurally impossible; verify it anyway).
+  crypto::HmacDrbg rng{std::uint64_t{0x51D5}};
+  const Kgc kgc = Kgc::setup(rng);
+  const auto m = msg("cross-scheme");
+  for (const auto signer_name : {"ZWXF", "YHG", "McCLS"}) {
+    const auto signer_scheme = make_scheme(signer_name);
+    const UserKeys keys = signer_scheme->enroll(kgc, "alice", rng);
+    const auto sig = signer_scheme->sign(kgc.params(), keys, m, rng);
+    for (const auto verifier_name : {"ZWXF", "YHG", "McCLS"}) {
+      if (std::string_view(signer_name) == verifier_name) continue;
+      const auto verifier = make_scheme(verifier_name);
+      EXPECT_FALSE(verifier->verify(kgc.params(), "alice", keys.public_key, m, sig))
+          << signer_name << " signature accepted by " << verifier_name;
+    }
+  }
+}
+
+// ------------------------------------- documented weaknesses (reproduced)
+
+TEST(AdversaryDocumented, PublicValueForgeryAgainstMcclsSucceeds) {
+  // DOCUMENTED WEAKNESS. With only (params, Q_ID, P_ID) an adversary forges:
+  //   S' = Q_ID,  R' = t·P − Ppub,  h' = H2(M, R', P_ID),  V' = h'·t.
+  // Then V'·P − h'·R' = h'·Ppub and ê(h'·Ppub, h'⁻¹·Q_ID) = ê(Ppub, Q_ID).
+  // The equation binds neither D_ID nor x. This test passing demonstrates
+  // the break is real in our faithful implementation.
+  Fixture f;
+  const auto m = msg("forged without any secret");
+  const math::Fq t = f.rng.next_nonzero_fq();
+  const ec::G1 r_forged = f.kgc.params().p.mul(t) - f.kgc.params().p_pub;
+  const math::Fq h = mccls_challenge(m, r_forged, f.alice.public_key.primary());
+  const McclsSignature forgery{.v = h * t, .s = hash_id("alice"), .r = r_forged};
+  EXPECT_TRUE(Mccls::verify_typed(f.kgc.params(), "alice", f.alice.public_key.primary(), m,
+                                  forgery))
+      << "If this starts failing, the implementation has diverged from the "
+         "published verification equation.";
+}
+
+TEST(AdversaryDocumented, ObservedSignatureEnablesUniversalForgery) {
+  // DOCUMENTED WEAKNESS. From one observed signature the adversary extracts
+  // X = x·P = (V/h)·P − R and the static S, then forges any message:
+  //   R' = u·P − X,  h' = H2(M', R', P_ID),  V' = h'·u,  S' = S.
+  Fixture f;
+  const auto m_seen = msg("innocuous observed message");
+  const auto observed = Mccls::sign_typed(f.kgc.params(), f.alice, m_seen, f.rng);
+  const math::Fq h_seen =
+      mccls_challenge(m_seen, observed.r, f.alice.public_key.primary());
+  const ec::G1 x_point =
+      f.kgc.params().p.mul(observed.v * h_seen.inv()) - observed.r;
+  ASSERT_EQ(x_point, f.kgc.params().p.mul(f.alice.secret)) << "X = x·P extraction";
+
+  const auto m_forged = msg("attacker-chosen message");
+  const math::Fq u = f.rng.next_nonzero_fq();
+  const ec::G1 r_forged = f.kgc.params().p.mul(u) - x_point;
+  const math::Fq h = mccls_challenge(m_forged, r_forged, f.alice.public_key.primary());
+  const McclsSignature forgery{.v = h * u, .s = observed.s, .r = r_forged};
+  EXPECT_TRUE(Mccls::verify_typed(f.kgc.params(), "alice", f.alice.public_key.primary(),
+                                  m_forged, forgery));
+}
+
+TEST(AdversaryDocumented, BaselinesResistThePublicValueForgery) {
+  // The same attack shape does not apply to ZWXF/YHG: their V component is
+  // additively bound to D_A through message-dependent hash points, so a
+  // transplanted/public S has no analogue. Sanity-check that transplanting
+  // public points into their signatures fails.
+  crypto::HmacDrbg rng{std::uint64_t{0xBA5E}};
+  const Kgc kgc = Kgc::setup(rng);
+  for (const auto name : {"ZWXF", "YHG"}) {
+    const auto scheme = make_scheme(name);
+    const UserKeys alice = scheme->enroll(kgc, "alice", rng);
+    const auto m = msg("target");
+    // Forgery attempt: both components set to public points.
+    crypto::ByteWriter w;
+    w.put_raw(kgc.params().p_pub.to_bytes());
+    w.put_raw(hash_id("alice").to_bytes());
+    EXPECT_FALSE(scheme->verify(kgc.params(), "alice", alice.public_key, m, w.bytes()))
+        << name;
+  }
+}
+
+TEST(AdversaryDocumented, KgcTypeIIForgeryViaPartialKey) {
+  // DOCUMENTED WEAKNESS (breaks the paper's Theorem 2 claim): the KGC,
+  // knowing D_ID, forges without x via S' = D_ID, R' = t·P, V' = h'·(t+1):
+  // V'·P − h'·R' = h'·P and ê(h'·P, h'⁻¹·D_ID) = ê(P, s·Q_ID) = ê(Ppub, Q_ID).
+  Fixture f;
+  const auto m = msg("kgc forgery");
+  const ec::G1 d_alice = f.kgc.extract_partial_key("alice");
+  const math::Fq t = f.rng.next_nonzero_fq();
+  const ec::G1 r_forged = f.kgc.params().p.mul(t);
+  const math::Fq h = mccls_challenge(m, r_forged, f.alice.public_key.primary());
+  const McclsSignature forgery{.v = h * (t + math::Fq::one()), .s = d_alice, .r = r_forged};
+  EXPECT_TRUE(Mccls::verify_typed(f.kgc.params(), "alice", f.alice.public_key.primary(), m,
+                                  forgery));
+}
+
+}  // namespace
+}  // namespace mccls::cls

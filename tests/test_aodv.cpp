@@ -1,0 +1,284 @@
+// AODV protocol behaviour on controlled static topologies: discovery,
+// delivery, route reuse, intermediate replies, retries, link breaks, RERR,
+// and the secured variant's bookkeeping.
+#include "aodv/agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cls/mccls.hpp"
+
+namespace mccls::aodv {
+namespace {
+
+/// Static-topology test network. Roles default to honest; when `security`
+/// is set, honest nodes are enrolled and attackers are not.
+struct Net {
+  explicit Net(const std::vector<net::Vec2>& positions, SecurityProvider* security = nullptr,
+               std::vector<AttackType> roles = {}, AodvConfig cfg = {})
+      : mobility(positions), channel(simulator, sim::Rng(7), mobility, net::PhyConfig{}) {
+    roles.resize(positions.size(), AttackType::kNone);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (security != nullptr && roles[i] == AttackType::kNone) {
+        security->enroll(static_cast<NodeId>(i));
+      }
+      agents.push_back(std::make_unique<AodvAgent>(simulator, channel,
+                                                   static_cast<NodeId>(i), cfg,
+                                                   sim::Rng(100 + i), metrics, security,
+                                                   roles[i]));
+    }
+  }
+
+  sim::Simulator simulator;
+  net::StaticMobility mobility;
+  net::Channel channel;
+  Metrics metrics;
+  std::vector<std::unique_ptr<AodvAgent>> agents;
+};
+
+/// A 4-node chain: 0 -(200m)- 1 -(200m)- 2 -(200m)- 3, radio range 250 m.
+std::vector<net::Vec2> chain4() {
+  return {{0, 0}, {200, 0}, {400, 0}, {600, 0}};
+}
+
+TEST(Aodv, DiscoversAndDeliversAcrossChain) {
+  Net n(chain4());
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_sent, 1u);
+  EXPECT_EQ(n.metrics.data_delivered, 1u);
+  EXPECT_EQ(n.metrics.data_forwarded, 2u) << "two intermediate hops";
+  EXPECT_EQ(n.metrics.rreq_initiated, 1u);
+  EXPECT_GT(n.metrics.rreq_forwarded, 0u);
+  EXPECT_GE(n.metrics.rrep_generated, 1u);
+  EXPECT_GT(n.metrics.avg_end_to_end_delay(), 0.0);
+}
+
+TEST(Aodv, SecondPacketReusesRoute) {
+  Net n(chain4());
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.schedule_at(3.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_delivered, 2u);
+  EXPECT_EQ(n.metrics.rreq_initiated, 1u) << "route cached, no second discovery";
+}
+
+TEST(Aodv, ReverseRouteAllowsReplyTraffic) {
+  Net n(chain4());
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.schedule_at(4.0, [&] { n.agents[3]->send_data(0, 512); });
+  n.simulator.run_until(12.0);
+  EXPECT_EQ(n.metrics.data_delivered, 2u);
+}
+
+TEST(Aodv, UnreachableDestinationExhaustsRetries) {
+  Net n({{0, 0}, {200, 0}, {400, 0}, {5000, 0}});
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(30.0);
+  EXPECT_EQ(n.metrics.data_delivered, 0u);
+  EXPECT_EQ(n.metrics.rreq_initiated, 1u);
+  EXPECT_EQ(n.metrics.rreq_retries, 2u) << "RREQ_RETRIES = 2 extra attempts";
+  EXPECT_EQ(n.metrics.buffer_drops, 1u) << "the buffered packet is abandoned";
+}
+
+TEST(Aodv, IntermediateNodeAnswersFromCache) {
+  Net n(chain4());
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(5.0);
+  const auto rreps_before = n.metrics.rrep_generated;
+  // Force node 0 to re-discover while node 1 still holds a fresh route.
+  n.agents[0]->table().invalidate(3);
+  n.simulator.schedule_at(5.5, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_delivered, 2u);
+  EXPECT_GT(n.metrics.rrep_generated, rreps_before)
+      << "someone (node 1 from cache, or node 3) answered the second discovery";
+}
+
+TEST(Aodv, LinkBreakTriggersRerrAndRediscovery) {
+  Net n(chain4());
+  for (int i = 0; i < 40; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(3, 512); });
+  }
+  // At t = 8 s node 2 teleports away (1->2 link dies); at t = 12 s it returns.
+  n.simulator.schedule_at(8.0, [&] { n.mobility.move(2, {400, 5000}); });
+  n.simulator.schedule_at(12.0, [&] { n.mobility.move(2, {400, 0}); });
+  n.simulator.run_until(30.0);
+  EXPECT_GT(n.metrics.rerr_sent, 0u) << "link failure must be advertised";
+  EXPECT_GT(n.metrics.link_fail_drops, 0u);
+  EXPECT_GE(n.metrics.rreq_initiated, 2u) << "route re-discovered after repair";
+  EXPECT_GT(n.metrics.data_delivered, 20u);
+  EXPECT_LT(n.metrics.data_delivered, 40u);
+}
+
+TEST(Aodv, BufferHoldsPacketsDuringDiscovery) {
+  Net n(chain4());
+  n.simulator.schedule_at(1.0, [&] {
+    for (int i = 0; i < 5; ++i) n.agents[0]->send_data(3, 512);
+  });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_sent, 5u);
+  EXPECT_EQ(n.metrics.data_delivered, 5u);
+  EXPECT_EQ(n.metrics.rreq_initiated, 1u) << "one discovery serves the whole burst";
+}
+
+TEST(Aodv, BufferOverflowDropsOldest) {
+  AodvConfig cfg;
+  cfg.buffer_capacity = 3;
+  // Destination unreachable: everything queues until the cap bites.
+  Net n({{0, 0}, {5000, 0}}, nullptr, {}, cfg);
+  n.simulator.schedule_at(1.0, [&] {
+    for (int i = 0; i < 10; ++i) n.agents[0]->send_data(1, 512);
+  });
+  n.simulator.run_until(30.0);
+  EXPECT_EQ(n.metrics.data_delivered, 0u);
+  EXPECT_EQ(n.metrics.buffer_drops, 10u) << "7 overflowed + 3 abandoned";
+}
+
+TEST(Aodv, TwoNeighborsTalkDirectly) {
+  Net n({{0, 0}, {100, 0}});
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(1, 256); });
+  n.simulator.run_until(5.0);
+  EXPECT_EQ(n.metrics.data_delivered, 1u);
+  EXPECT_EQ(n.metrics.data_forwarded, 0u);
+}
+
+TEST(Aodv, RouteExpiryCausesRediscovery) {
+  AodvConfig cfg;
+  cfg.active_route_timeout = 2.0;
+  Net n(chain4(), nullptr, {}, cfg);
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  // Long idle gap: the route must expire, the second packet re-discovers.
+  n.simulator.schedule_at(10.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(20.0);
+  EXPECT_EQ(n.metrics.data_delivered, 2u);
+  EXPECT_EQ(n.metrics.rreq_initiated, 2u);
+}
+
+TEST(Aodv, GratuitousRrepPrimesTheDestination) {
+  AodvConfig cfg;
+  cfg.gratuitous_rrep = true;
+  cfg.active_route_timeout = 30.0;
+  Net n(chain4(), nullptr, {}, cfg);
+  // Prime node 1 with a route to 3 via a full discovery by node 0.
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(5.0);
+  // Force 0 to re-discover; node 1 answers from cache and (gratuitously)
+  // tells node 3 how to reach node 0.
+  n.agents[0]->table().invalidate(3);
+  n.agents[3]->table().invalidate(0);
+  n.simulator.schedule_at(5.5, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(9.0);
+  const auto discoveries_before = n.metrics.rreq_initiated;
+  // Reply traffic from 3 to 0 must need no discovery of its own.
+  n.simulator.schedule_at(9.5, [&] { n.agents[3]->send_data(0, 512); });
+  n.simulator.run_until(15.0);
+  EXPECT_EQ(n.metrics.data_delivered, 3u);
+  EXPECT_EQ(n.metrics.rreq_initiated, discoveries_before)
+      << "gratuitous RREP should have installed 3's route to 0";
+}
+
+TEST(Aodv, ExpandingRingFindsNearbyDestinationCheaply) {
+  AodvConfig cfg;
+  cfg.expanding_ring = true;
+  cfg.use_hello = false;  // beacons would pre-install the neighbour route
+  Net n(chain4(), nullptr, {}, cfg);
+  // Destination is the direct neighbour: a TTL-1 ring suffices, so distant
+  // node 3 must never see the flood.
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(1, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_delivered, 1u);
+  EXPECT_EQ(n.metrics.rreq_initiated, 1u);
+  EXPECT_EQ(n.metrics.rreq_retries, 0u) << "first ring already contains the destination";
+  EXPECT_EQ(n.metrics.rreq_forwarded, 0u) << "TTL 1 stops the flood at one hop";
+}
+
+TEST(Aodv, ExpandingRingEscalatesToFullFlood) {
+  AodvConfig cfg;
+  cfg.expanding_ring = true;
+  cfg.use_hello = false;
+  Net n(chain4(), nullptr, {}, cfg);
+  // Destination is 3 hops away: rings TTL 1 and 3 then (possibly) a full
+  // flood. The packet must still arrive, at the cost of ring retries.
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(15.0);
+  EXPECT_EQ(n.metrics.data_delivered, 1u);
+  EXPECT_GE(n.metrics.rreq_retries, 1u) << "TTL-1 ring cannot reach a 3-hop destination";
+}
+
+TEST(Aodv, ExpandingRingStillAbandonsUnreachable) {
+  AodvConfig cfg;
+  cfg.expanding_ring = true;
+  Net n({{0, 0}, {5000, 0}}, nullptr, {}, cfg);
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(1, 512); });
+  n.simulator.run_until(60.0);
+  EXPECT_EQ(n.metrics.data_delivered, 0u);
+  EXPECT_EQ(n.metrics.buffer_drops, 1u) << "discovery eventually gives up";
+}
+
+TEST(AodvSecured, ModeledSecurityDeliversAndCountsOps) {
+  ModeledClsSecurity security(9, 98, 34);
+  Net n(chain4(), &security);
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_delivered, 1u);
+  EXPECT_GT(n.metrics.sign_ops, 0u);
+  EXPECT_GT(n.metrics.verify_ops, 0u);
+  EXPECT_EQ(n.metrics.auth_rejected, 0u) << "all participants enrolled";
+}
+
+TEST(AodvSecured, RealClsSecurityDeliversEndToEnd) {
+  // Ground truth: actual McCLS signatures on every control packet.
+  RealClsSecurity security("McCLS", 11);
+  Net n(chain4(), &security);
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_delivered, 1u);
+  EXPECT_EQ(n.metrics.auth_rejected, 0u);
+}
+
+TEST(AodvSecured, ModeledAndRealAgreeOnProtocolOutcome) {
+  // Same topology, same seeds, same wire sizes, zero crypto latency: the two
+  // providers must induce identical protocol-level results.
+  auto run = [](SecurityProvider& provider) {
+    Net n(chain4(), &provider);
+    n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+    n.simulator.schedule_at(2.0, [&] { n.agents[3]->send_data(0, 512); });
+    n.simulator.run_until(15.0);
+    return std::tuple{n.metrics.data_delivered, n.metrics.rreq_initiated,
+                      n.metrics.rreq_forwarded, n.metrics.sign_ops, n.metrics.verify_ops};
+  };
+  RealClsSecurity real("McCLS", 11);
+  const cls::Mccls mccls;
+  ModeledClsSecurity modeled(11, mccls.signature_size(), 1 + ec::G1::kEncodedSize);
+  EXPECT_EQ(run(real), run(modeled));
+}
+
+TEST(AodvSecured, CryptoLatencyAppearsInEndToEndDelay) {
+  auto run_with_costs = [](const CryptoCosts& costs) {
+    ModeledClsSecurity security(9, 98, 34);
+    security.set_costs(costs);
+    Net n(chain4(), &security);
+    n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+    n.simulator.run_until(20.0);
+    EXPECT_EQ(n.metrics.data_delivered, 1u);
+    return n.metrics.avg_end_to_end_delay();
+  };
+  const double fast = run_with_costs({.sign_delay = 0, .verify_delay = 0});
+  const double slow = run_with_costs({.sign_delay = 0.004, .verify_delay = 0.022});
+  EXPECT_GT(slow, fast) << "sign/verify CPU time must appear in end-to-end delay";
+  EXPECT_GT(slow - fast, 0.02) << "several crypto ops sit on the discovery path";
+}
+
+TEST(AodvSecured, UnenrolledOriginatorIsIgnored) {
+  // Node 0 holds no credentials: its RREQs die at the first honest hop.
+  ModeledClsSecurity security(9, 98, 34);
+  std::vector<net::Vec2> positions = chain4();
+  Net n(positions, &security, {AttackType::kRushing});  // rushing ⇒ not enrolled
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_delivered, 0u);
+  EXPECT_GT(n.metrics.auth_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace mccls::aodv

@@ -1,0 +1,112 @@
+// Security providers for the AODV extension: the real CLS provider and the
+// modelled one must make the same accept/reject decisions.
+#include <gtest/gtest.h>
+
+#include "aodv/security.hpp"
+
+namespace mccls::aodv {
+namespace {
+
+crypto::Bytes msg(std::string_view s) {
+  return crypto::Bytes(crypto::as_bytes(s).begin(), crypto::as_bytes(s).end());
+}
+
+template <typename Provider>
+std::unique_ptr<SecurityProvider> make_provider();
+
+template <>
+std::unique_ptr<SecurityProvider> make_provider<RealClsSecurity>() {
+  return std::make_unique<RealClsSecurity>("McCLS", 42);
+}
+
+template <>
+std::unique_ptr<SecurityProvider> make_provider<ModeledClsSecurity>() {
+  return std::make_unique<ModeledClsSecurity>(42, 98, 34);
+}
+
+template <typename T>
+class SecurityProviderTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<SecurityProvider> provider_ = make_provider<T>();
+};
+
+using Providers = ::testing::Types<RealClsSecurity, ModeledClsSecurity>;
+TYPED_TEST_SUITE(SecurityProviderTest, Providers);
+
+TYPED_TEST(SecurityProviderTest, EnrolledNodeSignsVerifiably) {
+  auto& p = *this->provider_;
+  p.enroll(1);
+  EXPECT_TRUE(p.is_enrolled(1));
+  const auto m = msg("RREQ immutable fields");
+  const AuthExt auth = p.sign(1, m);
+  EXPECT_EQ(auth.signer, 1u);
+  EXPECT_TRUE(p.verify(auth, m));
+}
+
+TYPED_TEST(SecurityProviderTest, UnenrolledSignatureRejected) {
+  auto& p = *this->provider_;
+  p.enroll(1);
+  const auto m = msg("forged control packet");
+  const AuthExt forged = p.sign(99, m);  // 99 never enrolled
+  EXPECT_FALSE(p.is_enrolled(99));
+  EXPECT_FALSE(p.verify(forged, m));
+}
+
+TYPED_TEST(SecurityProviderTest, TamperedMessageRejected) {
+  auto& p = *this->provider_;
+  p.enroll(1);
+  const AuthExt auth = p.sign(1, msg("original"));
+  EXPECT_FALSE(p.verify(auth, msg("modified")));
+}
+
+TYPED_TEST(SecurityProviderTest, SignerSubstitutionRejected) {
+  auto& p = *this->provider_;
+  p.enroll(1);
+  p.enroll(2);
+  const auto m = msg("claim");
+  AuthExt auth = p.sign(1, m);
+  auth.signer = 2;  // claim another identity over the same signature
+  EXPECT_FALSE(p.verify(auth, m));
+}
+
+TYPED_TEST(SecurityProviderTest, ForgedExtensionHasPlausibleShape) {
+  // The attacker's best effort must look structurally identical so the
+  // wire-size (airtime) model stays faithful.
+  auto& p = *this->provider_;
+  p.enroll(1);
+  const auto m = msg("shape check");
+  const AuthExt real = p.sign(1, m);
+  const AuthExt fake = p.sign(99, m);
+  EXPECT_EQ(real.signature.size(), fake.signature.size());
+  EXPECT_EQ(real.public_key.size(), fake.public_key.size());
+}
+
+TEST(RealClsSecurity, IdentityStringIsStable) {
+  EXPECT_EQ(RealClsSecurity::identity(7), "node-7");
+  EXPECT_EQ(RealClsSecurity::identity(0), "node-0");
+}
+
+TEST(RealClsSecurity, UnknownSchemeThrows) {
+  EXPECT_THROW(RealClsSecurity("NotAScheme", 1), std::invalid_argument);
+}
+
+TEST(RealClsSecurity, WorksWithEveryTable1Scheme) {
+  for (const char* name : {"AP", "ZWXF", "YHG", "McCLS"}) {
+    RealClsSecurity p(name, 7);
+    p.enroll(3);
+    const auto m = msg("cross-scheme");
+    EXPECT_TRUE(p.verify(p.sign(3, m), m)) << name;
+    EXPECT_FALSE(p.verify(p.sign(4, m), m)) << name << " (unenrolled)";
+  }
+}
+
+TEST(SecurityCosts, DefaultZeroAndSettable) {
+  ModeledClsSecurity p(1, 98, 34);
+  EXPECT_EQ(p.costs().sign_delay, 0.0);
+  p.set_costs({.sign_delay = 0.004, .verify_delay = 0.022});
+  EXPECT_DOUBLE_EQ(p.costs().sign_delay, 0.004);
+  EXPECT_DOUBLE_EQ(p.costs().verify_delay, 0.022);
+}
+
+}  // namespace
+}  // namespace mccls::aodv

@@ -1,0 +1,114 @@
+// Batch verification extension: soundness, completeness, and the
+// signer-static-S precondition.
+#include "cls/batch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::cls {
+namespace {
+
+struct Fixture {
+  crypto::HmacDrbg rng{std::uint64_t{31337}};
+  Kgc kgc = Kgc::setup(rng);
+  Mccls scheme;
+  UserKeys alice = scheme.enroll(kgc, "alice", rng);
+  UserKeys bob = scheme.enroll(kgc, "bob", rng);
+
+  BatchItem make_item(const UserKeys& signer, std::string_view text) {
+    crypto::Bytes m(crypto::as_bytes(text).begin(), crypto::as_bytes(text).end());
+    return BatchItem{.message = m,
+                     .signature = Mccls::sign_typed(kgc.params(), signer, m, rng)};
+  }
+};
+
+TEST(BatchVerify, EmptyBatchIsVacuouslyTrue) {
+  Fixture f;
+  EXPECT_TRUE(batch_verify(f.kgc.params(), "alice", f.alice.public_key.primary(), {}, f.rng));
+}
+
+TEST(BatchVerify, SingleItem) {
+  Fixture f;
+  const auto item = f.make_item(f.alice, "only");
+  EXPECT_TRUE(batch_verify(f.kgc.params(), "alice", f.alice.public_key.primary(),
+                           std::span{&item, 1}, f.rng));
+}
+
+TEST(BatchVerify, AcceptsManyValidSignatures) {
+  Fixture f;
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 16; ++i) items.push_back(f.make_item(f.alice, "msg" + std::to_string(i)));
+  EXPECT_TRUE(
+      batch_verify(f.kgc.params(), "alice", f.alice.public_key.primary(), items, f.rng));
+}
+
+TEST(BatchVerify, RejectsOneTamperedMessage) {
+  Fixture f;
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 8; ++i) items.push_back(f.make_item(f.alice, "msg" + std::to_string(i)));
+  items[5].message.push_back(0xFF);
+  EXPECT_FALSE(
+      batch_verify(f.kgc.params(), "alice", f.alice.public_key.primary(), items, f.rng));
+}
+
+TEST(BatchVerify, RejectsOneForgedComponent) {
+  Fixture f;
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 8; ++i) items.push_back(f.make_item(f.alice, "msg" + std::to_string(i)));
+  items[3].signature.v = items[3].signature.v + math::Fq::one();
+  EXPECT_FALSE(
+      batch_verify(f.kgc.params(), "alice", f.alice.public_key.primary(), items, f.rng));
+}
+
+TEST(BatchVerify, RejectsMixedSigners) {
+  // Bob's S differs from Alice's; the batch must refuse rather than
+  // silently accept under Alice's identity.
+  Fixture f;
+  std::vector<BatchItem> items;
+  items.push_back(f.make_item(f.alice, "from alice"));
+  items.push_back(f.make_item(f.bob, "from bob"));
+  EXPECT_FALSE(
+      batch_verify(f.kgc.params(), "alice", f.alice.public_key.primary(), items, f.rng));
+}
+
+TEST(BatchVerify, RejectsWrongIdentity) {
+  Fixture f;
+  std::vector<BatchItem> items{f.make_item(f.alice, "m")};
+  EXPECT_FALSE(batch_verify(f.kgc.params(), "bob", f.alice.public_key.primary(), items, f.rng));
+}
+
+TEST(BatchVerify, RejectsWrongPublicKey) {
+  Fixture f;
+  std::vector<BatchItem> items{f.make_item(f.alice, "m")};
+  EXPECT_FALSE(
+      batch_verify(f.kgc.params(), "alice", f.bob.public_key.primary(), items, f.rng));
+}
+
+TEST(BatchVerify, AgreesWithIndividualVerification) {
+  Fixture f;
+  PairingCache cache;
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 10; ++i) items.push_back(f.make_item(f.alice, "agree" + std::to_string(i)));
+  for (const auto& item : items) {
+    EXPECT_TRUE(Mccls::verify_typed(f.kgc.params(), "alice", f.alice.public_key.primary(),
+                                    item.message, item.signature, &cache));
+  }
+  EXPECT_TRUE(batch_verify(f.kgc.params(), "alice", f.alice.public_key.primary(), items,
+                           f.rng, &cache));
+}
+
+class BatchSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchSizeSweep, ValidBatchesOfEverySizeAccept) {
+  Fixture f;
+  std::vector<BatchItem> items;
+  for (int i = 0; i < GetParam(); ++i) {
+    items.push_back(f.make_item(f.alice, "sweep" + std::to_string(i)));
+  }
+  EXPECT_TRUE(
+      batch_verify(f.kgc.params(), "alice", f.alice.public_key.primary(), items, f.rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSizeSweep, ::testing::Values(1, 2, 3, 5, 9, 17, 33));
+
+}  // namespace
+}  // namespace mccls::cls

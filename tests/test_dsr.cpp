@@ -1,0 +1,282 @@
+// DSR protocol behaviour: source-route discovery, caching, forwarding,
+// link-failure recovery, the security extension and both attacker roles.
+#include "dsr/dsr_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsr/dsr_scenario.hpp"
+
+namespace mccls::dsr {
+namespace {
+
+using aodv::ModeledClsSecurity;
+
+struct Net {
+  explicit Net(const std::vector<net::Vec2>& positions, SecurityProvider* security = nullptr,
+               std::vector<AttackType> roles = {}, DsrConfig cfg = {})
+      : mobility(positions), channel(simulator, sim::Rng(7), mobility, net::PhyConfig{}) {
+    roles.resize(positions.size(), AttackType::kNone);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (security != nullptr && roles[i] == AttackType::kNone) {
+        security->enroll(static_cast<NodeId>(i));
+      }
+      agents.push_back(std::make_unique<DsrAgent>(simulator, channel,
+                                                  static_cast<NodeId>(i), cfg,
+                                                  sim::Rng(100 + i), metrics, security,
+                                                  roles[i]));
+    }
+  }
+
+  sim::Simulator simulator;
+  net::StaticMobility mobility;
+  net::Channel channel;
+  aodv::Metrics metrics;
+  std::vector<std::unique_ptr<DsrAgent>> agents;
+};
+
+std::vector<net::Vec2> chain4() {
+  return {{0, 0}, {200, 0}, {400, 0}, {600, 0}};
+}
+
+TEST(Dsr, DiscoversAndDeliversAcrossChain) {
+  Net n(chain4());
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_sent, 1u);
+  EXPECT_EQ(n.metrics.data_delivered, 1u);
+  EXPECT_EQ(n.metrics.data_forwarded, 2u);
+  EXPECT_EQ(n.metrics.rreq_initiated, 1u);
+  EXPECT_GE(n.metrics.rrep_generated, 1u);
+}
+
+TEST(Dsr, SourceRouteIsCached) {
+  Net n(chain4());
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(5.0);
+  const auto* route = n.agents[0]->cached_route(3);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(*route, (std::vector<NodeId>{1, 2})) << "relays in path order";
+  // Second packet reuses the cache: no new discovery.
+  n.simulator.schedule_at(5.5, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.rreq_initiated, 1u);
+  EXPECT_EQ(n.metrics.data_delivered, 2u);
+}
+
+TEST(Dsr, DirectNeighborUsesEmptyRoute) {
+  Net n({{0, 0}, {100, 0}});
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(1, 256); });
+  n.simulator.run_until(5.0);
+  EXPECT_EQ(n.metrics.data_delivered, 1u);
+  EXPECT_EQ(n.metrics.data_forwarded, 0u);
+  const auto* route = n.agents[0]->cached_route(1);
+  ASSERT_NE(route, nullptr);
+  EXPECT_TRUE(route->empty());
+}
+
+TEST(Dsr, UnreachableTargetExhaustsRetries) {
+  Net n({{0, 0}, {5000, 0}});
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(1, 512); });
+  n.simulator.run_until(30.0);
+  EXPECT_EQ(n.metrics.data_delivered, 0u);
+  EXPECT_EQ(n.metrics.rreq_initiated, 1u);
+  EXPECT_EQ(n.metrics.rreq_retries, 2u);
+  EXPECT_EQ(n.metrics.buffer_drops, 1u);
+}
+
+TEST(Dsr, BurstBufferedDuringDiscovery) {
+  Net n(chain4());
+  n.simulator.schedule_at(1.0, [&] {
+    for (int i = 0; i < 5; ++i) n.agents[0]->send_data(3, 512);
+  });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_delivered, 5u);
+  EXPECT_EQ(n.metrics.rreq_initiated, 1u);
+}
+
+TEST(Dsr, LinkBreakReportsAndReroutes) {
+  Net n(chain4());
+  for (int i = 0; i < 30; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(3, 512); });
+  }
+  n.simulator.schedule_at(6.0, [&] { n.mobility.move(2, {400, 5000}); });
+  n.simulator.schedule_at(10.0, [&] { n.mobility.move(2, {400, 0}); });
+  n.simulator.run_until(30.0);
+  EXPECT_GT(n.metrics.rerr_sent, 0u);
+  EXPECT_GT(n.metrics.link_fail_drops, 0u);
+  EXPECT_GE(n.metrics.rreq_initiated, 2u) << "route re-discovered after the break";
+  EXPECT_GT(n.metrics.data_delivered, 15u);
+}
+
+TEST(Dsr, RouteCacheExpires) {
+  DsrConfig cfg;
+  cfg.route_lifetime = 2.0;
+  Net n(chain4(), nullptr, {}, cfg);
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.schedule_at(10.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(20.0);
+  EXPECT_EQ(n.metrics.data_delivered, 2u);
+  EXPECT_EQ(n.metrics.rreq_initiated, 2u) << "cache expired between packets";
+}
+
+TEST(DsrSecured, DeliversAndCountsOps) {
+  ModeledClsSecurity security(9, 98, 34);
+  Net n(chain4(), &security);
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_delivered, 1u);
+  EXPECT_GT(n.metrics.sign_ops, 0u);
+  EXPECT_GT(n.metrics.verify_ops, 0u);
+  EXPECT_EQ(n.metrics.auth_rejected, 0u);
+}
+
+TEST(DsrSecured, UnenrolledOriginatorRejected) {
+  ModeledClsSecurity security(9, 98, 34);
+  Net n(chain4(), &security, {AttackType::kRushing});
+  n.simulator.schedule_at(1.0, [&] { n.agents[0]->send_data(3, 512); });
+  n.simulator.run_until(10.0);
+  EXPECT_EQ(n.metrics.data_delivered, 0u);
+  EXPECT_GT(n.metrics.auth_rejected, 0u);
+}
+
+// Black-hole topology: source 0, chain 0-1-2, attacker 3 near the source.
+std::vector<net::Vec2> blackhole_topology() {
+  return {{0, 0}, {200, 0}, {400, 0}, {100, 150}};
+}
+
+TEST(DsrBlackHole, CapturesTrafficInPlainDsr) {
+  Net n(blackhole_topology(), nullptr, {AttackType::kNone, AttackType::kNone,
+                                        AttackType::kNone, AttackType::kBlackHole});
+  for (int i = 0; i < 20; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(2, 512); });
+  }
+  n.simulator.run_until(30.0);
+  EXPECT_GT(n.metrics.attacker_dropped, 10u)
+      << "the forged 1-relay route out-competes the honest 2-relay route";
+  EXPECT_LT(n.metrics.data_delivered, 10u);
+}
+
+TEST(DsrBlackHole, McclsExtensionNeutralizes) {
+  ModeledClsSecurity security(5, 98, 34);
+  Net n(blackhole_topology(), &security,
+        {AttackType::kNone, AttackType::kNone, AttackType::kNone, AttackType::kBlackHole});
+  for (int i = 0; i < 20; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(2, 512); });
+  }
+  n.simulator.run_until(30.0);
+  EXPECT_EQ(n.metrics.attacker_dropped, 0u);
+  EXPECT_GT(n.metrics.auth_rejected, 0u) << "forged target signature rejected";
+  EXPECT_GE(n.metrics.data_delivered, 18u);
+}
+
+// Rushing topology: parallel relays, attacker on the lower branch.
+std::vector<net::Vec2> rushing_topology() {
+  return {{0, 0}, {200, 120}, {200, -120}, {400, 0}};
+}
+
+TEST(DsrRushing, WinsRaceInPlainDsr) {
+  Net n(rushing_topology(), nullptr,
+        {AttackType::kNone, AttackType::kNone, AttackType::kRushing, AttackType::kNone});
+  for (int i = 0; i < 20; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(3, 512); });
+  }
+  n.simulator.run_until(30.0);
+  EXPECT_GT(n.metrics.attacker_dropped, 10u);
+  EXPECT_LT(n.metrics.data_delivered, 10u);
+}
+
+TEST(DsrRushing, McclsExtensionNeutralizes) {
+  ModeledClsSecurity security(5, 98, 34);
+  Net n(rushing_topology(), &security,
+        {AttackType::kNone, AttackType::kNone, AttackType::kRushing, AttackType::kNone});
+  for (int i = 0; i < 20; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(3, 512); });
+  }
+  n.simulator.run_until(30.0);
+  EXPECT_EQ(n.metrics.attacker_dropped, 0u);
+  EXPECT_GT(n.metrics.auth_rejected, 0u);
+  EXPECT_GE(n.metrics.data_delivered, 18u);
+}
+
+TEST(DsrSecured, HopAuthReplayIsRejected) {
+  // The binding rule hop_auth.signer == transmitter: a packet whose hop
+  // signature names a different (honest) node must be dropped even though
+  // the signature itself verifies.
+  ModeledClsSecurity security(5, 98, 34);
+  Net n(chain4(), &security);
+  // Craft a forwarded RREQ that claims node 1 signed the hop, but inject it
+  // from node 2 (simulating a replayed signature).
+  DsrRreq rreq{.request_id = 99, .origin = 0, .target = 3, .route = {1}, .ttl = 10};
+  rreq.origin_auth = security.sign(0, signable_origin(rreq));
+  rreq.hop_auth = security.sign(1, signable_hop(rreq));  // valid sig by node 1
+  n.simulator.schedule_at(1.0, [&] {
+    n.channel.broadcast(2, base_wire_size(rreq), DsrPayload{rreq});  // but sent by 2
+  });
+  n.simulator.run_until(5.0);
+  EXPECT_GT(n.metrics.auth_rejected, 0u) << "replayed hop signature must be rejected";
+  EXPECT_EQ(n.metrics.rreq_forwarded, 0u);
+}
+
+// ------------------------------------------------------ scenario runner
+
+TEST(DsrScenario, DeliversAtPaperScale) {
+  aodv::ScenarioConfig cfg;
+  cfg.duration = 60;
+  cfg.num_flows = 6;
+  cfg.max_speed = 5;
+  cfg.seed = 11;
+  const auto r = run_dsr_scenario(cfg);
+  EXPECT_GT(r.metrics.data_sent, 500u);
+  EXPECT_GT(r.pdr(), 0.7);
+  EXPECT_EQ(r.metrics.attacker_dropped, 0u);
+}
+
+TEST(DsrScenario, DeterministicForSeed) {
+  aodv::ScenarioConfig cfg;
+  cfg.duration = 30;
+  cfg.num_flows = 4;
+  cfg.seed = 5;
+  const auto a = run_dsr_scenario(cfg);
+  const auto b = run_dsr_scenario(cfg);
+  EXPECT_EQ(a.metrics.data_delivered, b.metrics.data_delivered);
+  EXPECT_EQ(a.channel.frames_transmitted, b.channel.frames_transmitted);
+}
+
+TEST(DsrScenario, McclsZeroesDropRatioUnderAttack) {
+  for (const AttackType attack : {AttackType::kBlackHole, AttackType::kRushing}) {
+    aodv::ScenarioConfig cfg;
+    cfg.duration = 60;
+    cfg.num_flows = 6;
+    cfg.max_speed = 5;
+    cfg.seed = 13;
+    cfg.attack = attack;
+    cfg.security = aodv::SecurityMode::kModeled;
+    const auto r = run_dsr_scenario(cfg);
+    EXPECT_EQ(r.metrics.attacker_dropped, 0u);
+    EXPECT_GT(r.metrics.auth_rejected, 0u);
+    EXPECT_GT(r.pdr(), 0.5);
+  }
+}
+
+TEST(DsrScenario, AttackDegradesPlainDsr) {
+  aodv::ScenarioConfig cfg;
+  cfg.duration = 60;
+  cfg.num_flows = 6;
+  cfg.max_speed = 5;
+  cfg.seed = 13;
+  const double clean = run_dsr_scenario(cfg).pdr();
+  cfg.attack = AttackType::kBlackHole;
+  const auto attacked = run_dsr_scenario(cfg);
+  EXPECT_LT(attacked.pdr(), clean);
+  EXPECT_GT(attacked.drop_ratio(), 0.0);
+}
+
+TEST(DsrScenario, RejectsBadConfig) {
+  aodv::ScenarioConfig cfg;
+  cfg.num_nodes = 1;
+  EXPECT_THROW(run_dsr_scenario(cfg), std::invalid_argument);
+  EXPECT_THROW(run_dsr_scenario_averaged(aodv::ScenarioConfig{}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mccls::dsr

@@ -1,0 +1,103 @@
+// DSR wire codec: round trips and hardened decoding.
+#include "dsr/dsr_codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::dsr {
+namespace {
+
+AuthExt sample_auth(NodeId signer) {
+  AuthExt a;
+  a.signer = signer;
+  a.public_key = crypto::Bytes(34, 0x5A);
+  a.signature = crypto::Bytes(98, 0xA5);
+  return a;
+}
+
+template <typename T>
+T roundtrip(const T& msg) {
+  const auto bytes = encode_packet(DsrPayload{msg});
+  const auto decoded = decode_packet(bytes);
+  EXPECT_TRUE(decoded.has_value());
+  const T* out = std::get_if<T>(&decoded->msg);
+  EXPECT_NE(out, nullptr);
+  return *out;
+}
+
+TEST(DsrCodec, RreqRoundTrip) {
+  DsrRreq m{.request_id = 3, .origin = 1, .target = 9, .route = {2, 4, 6}, .ttl = 20};
+  m.origin_auth = sample_auth(1);
+  m.hop_auth = sample_auth(6);
+  const DsrRreq out = roundtrip(m);
+  EXPECT_EQ(out.request_id, m.request_id);
+  EXPECT_EQ(out.origin, m.origin);
+  EXPECT_EQ(out.target, m.target);
+  EXPECT_EQ(out.route, m.route);
+  EXPECT_EQ(out.ttl, m.ttl);
+  ASSERT_TRUE(out.origin_auth && out.hop_auth);
+  EXPECT_EQ(out.hop_auth->signer, 6u);
+}
+
+TEST(DsrCodec, RrepRoundTrip) {
+  DsrRrep m{.request_id = 3, .origin = 1, .target = 9, .route = {2, 4}, .hop_index = 2};
+  m.origin_auth = sample_auth(9);
+  const DsrRrep out = roundtrip(m);
+  EXPECT_EQ(out.route, m.route);
+  EXPECT_EQ(out.hop_index, 2);
+  EXPECT_TRUE(out.origin_auth.has_value());
+  EXPECT_FALSE(out.hop_auth.has_value());
+}
+
+TEST(DsrCodec, RerrAndDataRoundTrip) {
+  const DsrRerr rerr_out = roundtrip(DsrRerr{.reporter = 5, .broken_from = 5, .broken_to = 7});
+  EXPECT_EQ(rerr_out.broken_to, 7u);
+  DsrData data{.src = 1, .dst = 9, .seq = 44, .sent_at = 12.5,
+               .payload_bytes = 512, .route = {3, 5}, .hop_index = 1};
+  const DsrData data_out = roundtrip(data);
+  EXPECT_EQ(data_out.route, data.route);
+  EXPECT_EQ(data_out.hop_index, 1);
+  EXPECT_NEAR(data_out.sent_at, 12.5, 1e-5);
+}
+
+TEST(DsrCodec, EmptyRouteRoundTrips) {
+  const DsrRreq out = roundtrip(DsrRreq{.request_id = 1, .origin = 2, .target = 3});
+  EXPECT_TRUE(out.route.empty());
+}
+
+TEST(DsrCodec, RejectsMalformed) {
+  EXPECT_FALSE(decode_packet({}).has_value());
+  EXPECT_FALSE(decode_packet(crypto::Bytes{0x7F}).has_value());
+  // Truncations of a valid packet all fail.
+  const auto bytes =
+      encode_packet(DsrPayload{DsrRreq{.request_id = 1, .origin = 2, .target = 3,
+                                       .route = {4, 5}}});
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(decode_packet({bytes.data(), bytes.size() - cut}).has_value());
+  }
+  // Trailing garbage.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(decode_packet(padded).has_value());
+}
+
+TEST(DsrCodec, RejectsAbsurdRouteLength) {
+  crypto::ByteWriter w;
+  w.put_u8(0x11);  // RREQ
+  w.put_u32(1);
+  w.put_u32(2);
+  w.put_u32(3);
+  w.put_u8(30);
+  w.put_u32(0xFFFF);  // claims a 65k-relay route
+  EXPECT_FALSE(decode_packet(w.bytes()).has_value());
+}
+
+TEST(DsrCodec, RejectsHopIndexBeyondRoute) {
+  DsrRrep m{.request_id = 1, .origin = 2, .target = 3, .route = {4}, .hop_index = 1};
+  auto bytes = encode_packet(DsrPayload{m});
+  // hop_index is the byte right after the three u32s + tag.
+  bytes[1 + 12] = 9;  // hop_index 9 > route size 1
+  EXPECT_FALSE(decode_packet(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace mccls::dsr

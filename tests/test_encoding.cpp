@@ -1,0 +1,100 @@
+#include "crypto/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::crypto {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data{0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  const auto back = from_hex("0001abff");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Hex, AcceptsUppercase) {
+  const auto v = from_hex("DEADBEEF");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_hex(*v), "deadbeef");
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+TEST(Hex, RejectsNonHex) { EXPECT_FALSE(from_hex("zz").has_value()); }
+TEST(Hex, EmptyIsEmpty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(ByteWriter, FixedWidthEncodings) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u32(0x01020304);
+  w.put_u64(0x1122334455667788ULL);
+  EXPECT_EQ(to_hex(w.bytes()), "ab010203041122334455667788");
+}
+
+TEST(ByteWriterReader, RoundTrip) {
+  ByteWriter w;
+  w.put_u8(7);
+  w.put_u32(123456);
+  w.put_u64(0xDEADBEEFCAFEBABEULL);
+  w.put_field(as_bytes("hello"));
+  w.put_field(Bytes{});
+  const Bytes encoded = w.take();
+
+  ByteReader r(encoded);
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u32(), 123456u);
+  EXPECT_EQ(r.get_u64(), 0xDEADBEEFCAFEBABEULL);
+  const auto field = r.get_field();
+  ASSERT_TRUE(field.has_value());
+  EXPECT_EQ(*field, Bytes(as_bytes("hello").begin(), as_bytes("hello").end()));
+  const auto empty = r.get_field();
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, TruncationReturnsNullopt) {
+  const Bytes short_buf{0x01, 0x02};
+  ByteReader r(short_buf);
+  EXPECT_FALSE(r.get_u32().has_value());
+  ByteReader r2(short_buf);
+  EXPECT_FALSE(r2.get_u64().has_value());
+  ByteReader r3(short_buf);
+  EXPECT_FALSE(r3.get_field().has_value());
+}
+
+TEST(ByteReader, FieldLengthBeyondBufferFails) {
+  ByteWriter w;
+  w.put_u32(1000);  // claims 1000 bytes follow
+  w.put_raw(as_bytes("short"));
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.get_field().has_value());
+}
+
+TEST(ByteReader, RawReadsExactCount) {
+  ByteWriter w;
+  w.put_raw(as_bytes("abcdef"));
+  ByteReader r(w.bytes());
+  const auto first = r.get_raw(3);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(to_hex(*first), "616263");
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_FALSE(r.get_raw(4).has_value());
+}
+
+TEST(ByteWriter, LengthPrefixingIsUnambiguous) {
+  // ("ab", "c") and ("a", "bc") must encode differently.
+  ByteWriter w1;
+  w1.put_field(as_bytes("ab"));
+  w1.put_field(as_bytes("c"));
+  ByteWriter w2;
+  w2.put_field(as_bytes("a"));
+  w2.put_field(as_bytes("bc"));
+  EXPECT_NE(w1.bytes(), w2.bytes());
+}
+
+}  // namespace
+}  // namespace mccls::crypto

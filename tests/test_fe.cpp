@@ -1,0 +1,205 @@
+// Montgomery field arithmetic: fixed vectors cross-checked against an
+// independent bignum implementation, plus parameterized algebraic-law sweeps.
+#include "math/fe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace mccls::math {
+namespace {
+
+const U256 kA = U256::from_hex("123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef");
+const U256 kB = U256::from_hex("0fedcba987654321123456789abcdef0cafebabedeadbeef9876543210fedcba");
+
+TEST(Fp, KnownProduct) {
+  const Fp a = Fp::from_u256(kA);
+  const Fp b = Fp::from_u256(kB);
+  EXPECT_EQ((a * b).to_u256(),
+            U256::from_hex("344eebedadfdca9448e40f0d4f40999d8ca5b6dec7d0e8e3fd8edfae10eb9a94"));
+}
+
+TEST(Fp, KnownSum) {
+  const Fp a = Fp::from_u256(kA);
+  const Fp b = Fp::from_u256(kB);
+  EXPECT_EQ((a + b).to_u256(),
+            U256::from_hex("22222222222222121111111111111101a9ac79aea9ac79ad999999999aaaaaa9"));
+}
+
+TEST(Fp, KnownDifference) {
+  const Fp a = Fp::from_u256(kA);
+  const Fp b = Fp::from_u256(kB);
+  EXPECT_EQ((a - b).to_u256(),
+            U256::from_hex("2468acf13579bcfeca8641fdb97532013af0430ec50fbce68acf13578acf135"));
+}
+
+TEST(Fp, KnownInverse) {
+  const Fp a = Fp::from_u256(kA);
+  EXPECT_EQ(a.inv().to_u256(),
+            U256::from_hex("2e44f5eb0eadd51136c896d4fb6fc3038dda0d851f85e7e213ded402507e280e"));
+}
+
+TEST(Fp, KnownPower) {
+  const Fp a = Fp::from_u256(kA);
+  EXPECT_EQ(a.pow(kB).to_u256(),
+            U256::from_hex("151c19f92d5f5749af032ddc8d4ee4c247863a1b36095dabce3964848b459a6a"));
+}
+
+TEST(Fp, WideReduction) {
+  const auto wide = U512::from_halves(kB, kA);  // value = kA * 2^256 + kB
+  EXPECT_EQ(Fp::from_wide(wide).to_u256(),
+            U256::from_hex("3665897843661dd37e7cbeaf70c85e671d115f3033e95e3cebc510abac998b95"));
+}
+
+TEST(Fq, KnownProduct) {
+  const Fq a = Fq::from_u256(kA);
+  const Fq b = Fq::from_u256(kB);
+  EXPECT_EQ((a * b).to_u256(),
+            U256::from_hex("5aff83ead59b122ad19478a76c65bfec2255b7005d67ea9da29d880042670a1"));
+}
+
+TEST(Fq, KnownInverse) {
+  const Fq a = Fq::from_u256(kA);
+  EXPECT_EQ(a.inv().to_u256(),
+            U256::from_hex("4d31dc73da6a842aaae02c29c84b6ef4d331dc52b7e8f02447bda66d9d4de38"));
+}
+
+TEST(Fq, WideReduction) {
+  const auto wide = U512::from_halves(kB, kA);
+  EXPECT_EQ(Fq::from_wide(wide).to_u256(),
+            U256::from_hex("b41fa5d42b3fddd47ef4eb2732408051a95028c2503ce641815da19ca34c713"));
+}
+
+TEST(Fp, IdentityElements) {
+  const Fp a = Fp::from_u256(kA);
+  EXPECT_EQ(a + Fp::zero(), a);
+  EXPECT_EQ(a * Fp::one(), a);
+  EXPECT_EQ(a * Fp::zero(), Fp::zero());
+  EXPECT_EQ(a - a, Fp::zero());
+  EXPECT_EQ(a + a.neg(), Fp::zero());
+}
+
+TEST(Fp, FromU64RoundTrip) {
+  EXPECT_EQ(Fp::from_u64(0).to_u256(), U256::zero());
+  EXPECT_EQ(Fp::from_u64(1).to_u256(), U256::one());
+  EXPECT_EQ(Fp::from_u64(123456789).to_u256(), U256::from_u64(123456789));
+}
+
+TEST(Fp, FromU256ReducesModP) {
+  // p + 5 should reduce to 5.
+  U256 over;
+  add(over, Fp::modulus(), U256::from_u64(5));
+  EXPECT_EQ(Fp::from_u256(over).to_u256(), U256::from_u64(5));
+  // 2^256 - 1 reduces correctly (more than 4x the modulus).
+  const U256 max{{~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+  U256 expect = max;
+  while (cmp(expect, Fp::modulus()) >= 0) sub(expect, expect, Fp::modulus());
+  EXPECT_EQ(Fp::from_u256(max).to_u256(), expect);
+}
+
+TEST(Fp, FermatLittleTheorem) {
+  U256 p_minus_1;
+  sub(p_minus_1, Fp::modulus(), U256::one());
+  const Fp a = Fp::from_u256(kA);
+  EXPECT_EQ(a.pow(p_minus_1), Fp::one());
+}
+
+TEST(Fq, FermatLittleTheorem) {
+  U256 q_minus_1;
+  sub(q_minus_1, Fq::modulus(), U256::one());
+  const Fq a = Fq::from_u256(kA);
+  EXPECT_EQ(a.pow(q_minus_1), Fq::one());
+}
+
+TEST(Fp, PowEdgeCases) {
+  const Fp a = Fp::from_u256(kA);
+  EXPECT_EQ(a.pow(U256::zero()), Fp::one());
+  EXPECT_EQ(a.pow(U256::one()), a);
+  EXPECT_EQ(a.pow(U256::from_u64(2)), a.square());
+  EXPECT_EQ(Fp::zero().pow(U256::from_u64(7)), Fp::zero());
+}
+
+TEST(Fp, InvThrowsOnZero) {
+  EXPECT_THROW((void)Fp::zero().inv(), std::invalid_argument);
+}
+
+TEST(Fp, DblMatchesAdd) {
+  const Fp a = Fp::from_u256(kA);
+  EXPECT_EQ(a.dbl(), a + a);
+}
+
+// ---- Parameterized algebraic-law sweeps over pseudo-random triples ----
+
+struct TripleSeed {
+  std::uint64_t s;
+};
+
+class FpLaws : public ::testing::TestWithParam<TripleSeed> {
+ protected:
+  // Cheap deterministic value derivation (splitmix-style) for law sweeps.
+  static U256 derive(std::uint64_t seed, std::uint64_t lane) {
+    U256 out;
+    std::uint64_t x = seed * 0x9e3779b97f4a7c15ULL + lane;
+    for (auto& limb : out.w) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      limb = z ^ (z >> 31);
+    }
+    return out;
+  }
+};
+
+TEST_P(FpLaws, RingAxiomsAndInverses) {
+  const auto seed = GetParam().s;
+  const Fp a = Fp::from_u256(derive(seed, 1));
+  const Fp b = Fp::from_u256(derive(seed, 2));
+  const Fp c = Fp::from_u256(derive(seed, 3));
+
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a.square(), a * a);
+  EXPECT_EQ((a - b) + b, a);
+  if (!a.is_zero()) {
+    EXPECT_EQ(a * a.inv(), Fp::one());
+    // extgcd inverse agrees with Fermat inverse.
+    U256 p_minus_2;
+    sub(p_minus_2, Fp::modulus(), U256::from_u64(2));
+    EXPECT_EQ(a.inv(), a.pow(p_minus_2));
+  }
+}
+
+TEST_P(FpLaws, FqMirrorsTheSameLaws) {
+  const auto seed = GetParam().s;
+  const Fq a = Fq::from_u256(derive(seed, 4));
+  const Fq b = Fq::from_u256(derive(seed, 5));
+  const Fq c = Fq::from_u256(derive(seed, 6));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  if (!a.is_zero()) {
+    EXPECT_EQ(a * a.inv(), Fq::one());
+  }
+}
+
+TEST_P(FpLaws, MontgomeryRoundTrip) {
+  const auto seed = GetParam().s;
+  U256 x = derive(seed, 7);
+  while (cmp(x, Fp::modulus()) >= 0) sub(x, x, Fp::modulus());
+  EXPECT_EQ(Fp::from_u256(x).to_u256(), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FpLaws,
+                         ::testing::Values(TripleSeed{1}, TripleSeed{2}, TripleSeed{3},
+                                           TripleSeed{5}, TripleSeed{8}, TripleSeed{13},
+                                           TripleSeed{21}, TripleSeed{34}, TripleSeed{55},
+                                           TripleSeed{89}, TripleSeed{144}, TripleSeed{233},
+                                           TripleSeed{377}, TripleSeed{610}, TripleSeed{987},
+                                           TripleSeed{1597}),
+                         [](const auto& info) { return "seed" + std::to_string(info.param.s); });
+
+}  // namespace
+}  // namespace mccls::math

@@ -1,0 +1,86 @@
+// Boundary behaviour of the Montgomery fields: extreme representatives,
+// wide-reduction corner cases, and algebraic identities near the modulus.
+#include <gtest/gtest.h>
+
+#include "math/fe.hpp"
+
+namespace mccls::math {
+namespace {
+
+TEST(FeEdge, NegationOfZeroIsZero) {
+  EXPECT_EQ(Fp::zero().neg(), Fp::zero());
+  EXPECT_EQ(Fq::zero().neg(), Fq::zero());
+}
+
+TEST(FeEdge, MinusOneSquaresToOne) {
+  const Fp minus_one = Fp::one().neg();
+  EXPECT_EQ(minus_one.square(), Fp::one());
+  EXPECT_EQ(minus_one * minus_one, Fp::one());
+}
+
+TEST(FeEdge, ModulusMinusOneRoundTrips) {
+  U256 p_minus_1;
+  sub(p_minus_1, Fp::modulus(), U256::one());
+  const Fp v = Fp::from_u256(p_minus_1);
+  EXPECT_EQ(v.to_u256(), p_minus_1);
+  EXPECT_EQ(v + Fp::one(), Fp::zero()) << "wraps to zero at the modulus";
+}
+
+TEST(FeEdge, FromWideAllOnes) {
+  // The largest possible 512-bit input must reduce correctly.
+  U512 max{};
+  for (auto& w : max.w) w = ~std::uint64_t{0};
+  const Fp reduced = Fp::from_wide(max);
+  // Independent check through repeated doubling: 2^512 mod p.
+  Fp acc = Fp::one();
+  for (int i = 0; i < 512; ++i) acc = acc.dbl();  // 2^512 mod p
+  EXPECT_EQ(reduced + Fp::one(), acc) << "2^512 - 1 + 1 == 2^512 (mod p)";
+}
+
+TEST(FeEdge, FromWideHalvesAgreeWithComposition) {
+  const U256 lo = U256::from_hex("1111111111111111222222222222222233333333333333334444444444444444");
+  const U256 hi = U256::from_hex("0123456789abcdef");
+  const Fp direct = Fp::from_wide(U512::from_halves(lo, hi));
+  // hi*2^256 + lo, assembled in field arithmetic.
+  Fp two_256 = Fp::one();
+  for (int i = 0; i < 256; ++i) two_256 = two_256.dbl();
+  const Fp assembled = Fp::from_u256(hi) * two_256 + Fp::from_u256(lo);
+  EXPECT_EQ(direct, assembled);
+}
+
+TEST(FeEdge, PowByModulusIsFrobeniusIdentity) {
+  // x^p == x in Fp (Frobenius is the identity on the prime field).
+  const Fp x = Fp::from_u64(0xDECAFBAD);
+  EXPECT_EQ(x.pow(Fp::modulus()), x);
+}
+
+TEST(FeEdge, InverseOfOneAndMinusOne) {
+  EXPECT_EQ(Fp::one().inv(), Fp::one());
+  const Fp minus_one = Fp::one().neg();
+  EXPECT_EQ(minus_one.inv(), minus_one);
+}
+
+TEST(FeEdge, ScalarFieldOrderRelationsHold) {
+  // p + 1 == 4q links the two moduli; verify in integer arithmetic.
+  U256 p_plus_1;
+  add(p_plus_1, Fp::modulus(), U256::one());
+  U256 four_q = Fq::modulus();
+  U256 tmp;
+  add(tmp, four_q, four_q);  // 2q
+  add(four_q, tmp, tmp);     // 4q
+  EXPECT_EQ(p_plus_1, four_q);
+}
+
+TEST(FeEdge, DoubleOfLargeValuesStaysCanonical) {
+  U256 p_minus_1;
+  sub(p_minus_1, Fp::modulus(), U256::one());
+  const Fp big = Fp::from_u256(p_minus_1);  // == -1
+  const Fp doubled = big.dbl();             // == -2
+  U256 expect;
+  sub(expect, Fp::modulus(), U256::from_u64(2));
+  EXPECT_EQ(doubled.to_u256(), expect);
+  EXPECT_LT(cmp(doubled.to_u256(), Fp::modulus()), 0);
+}
+
+}  // namespace
+}  // namespace mccls::math

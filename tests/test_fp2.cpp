@@ -1,0 +1,111 @@
+#include "math/fp2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::math {
+namespace {
+
+U256 derive(std::uint64_t seed, std::uint64_t lane) {
+  U256 out;
+  std::uint64_t x = seed * 0x9e3779b97f4a7c15ULL + lane;
+  for (auto& limb : out.w) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    limb = z ^ (z >> 31);
+  }
+  return out;
+}
+
+Fp2 sample(std::uint64_t seed) {
+  return Fp2{Fp::from_u256(derive(seed, 100)), Fp::from_u256(derive(seed, 200))};
+}
+
+TEST(Fp2, USquaredIsMinusOne) {
+  const Fp2 u{Fp::zero(), Fp::one()};
+  EXPECT_EQ(u * u, Fp2::from_fp(Fp::one().neg()));
+}
+
+TEST(Fp2, OneIsMultiplicativeIdentity) {
+  const Fp2 a = sample(42);
+  EXPECT_EQ(a * Fp2::one(), a);
+  EXPECT_TRUE(Fp2::one().is_one());
+  EXPECT_TRUE(Fp2::zero().is_zero());
+}
+
+TEST(Fp2, MulMatchesSchoolbook) {
+  const Fp2 a = sample(1);
+  const Fp2 b = sample(2);
+  // (a0 + a1 u)(b0 + b1 u) = (a0b0 - a1b1) + (a0b1 + a1b0)u
+  const Fp re = a.re() * b.re() - a.im() * b.im();
+  const Fp im = a.re() * b.im() + a.im() * b.re();
+  EXPECT_EQ(a * b, Fp2(re, im));
+}
+
+TEST(Fp2, SquareMatchesMul) {
+  const Fp2 a = sample(3);
+  EXPECT_EQ(a.square(), a * a);
+}
+
+TEST(Fp2, InverseRoundTrip) {
+  const Fp2 a = sample(4);
+  EXPECT_EQ(a * a.inv(), Fp2::one());
+}
+
+TEST(Fp2, ConjugationIsFrobenius) {
+  // x^p must equal conj(x) in Fp2 when p ≡ 3 (mod 4).
+  const Fp2 a = sample(5);
+  EXPECT_EQ(a.pow(Fp::modulus()), a.conjugate());
+}
+
+TEST(Fp2, NormIsMultiplicative) {
+  const Fp2 a = sample(6);
+  const Fp2 b = sample(7);
+  EXPECT_EQ((a * b).norm(), a.norm() * b.norm());
+}
+
+TEST(Fp2, ConjugateProductIsNorm) {
+  const Fp2 a = sample(8);
+  EXPECT_EQ(a * a.conjugate(), Fp2::from_fp(a.norm()));
+}
+
+TEST(Fp2, PowLawsHold) {
+  const Fp2 a = sample(9);
+  const U256 e1 = U256::from_u64(12345);
+  const U256 e2 = U256::from_u64(67890);
+  U256 sum;
+  add(sum, e1, e2);
+  EXPECT_EQ(a.pow(e1) * a.pow(e2), a.pow(sum));
+  EXPECT_EQ(a.pow(U256::zero()), Fp2::one());
+  EXPECT_EQ(a.pow(U256::one()), a);
+}
+
+TEST(Fp2, DistributesOverAddition) {
+  const Fp2 a = sample(10);
+  const Fp2 b = sample(11);
+  const Fp2 c = sample(12);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ((a - b) + b, a);
+  EXPECT_EQ(a + a.neg(), Fp2::zero());
+}
+
+class Fp2LawSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fp2LawSweep, FieldAxioms) {
+  const Fp2 a = sample(GetParam() * 3 + 1);
+  const Fp2 b = sample(GetParam() * 3 + 2);
+  const Fp2 c = sample(GetParam() * 3 + 3);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  if (!a.is_zero()) {
+    EXPECT_EQ(a * a.inv(), Fp2::one());
+  }
+  EXPECT_EQ((a * b).conjugate(), a.conjugate() * b.conjugate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Fp2LawSweep, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace mccls::math

@@ -1,0 +1,73 @@
+// Properties of the scheme-facing random oracles H1 (into G1) and H2 (into Zq).
+#include <gtest/gtest.h>
+
+#include "crypto/encoding.hpp"
+#include "crypto/hash.hpp"
+#include "pairing/pairing.hpp"
+
+namespace mccls::crypto {
+namespace {
+
+using ec::G1;
+using math::Fq;
+
+TEST(HashToFq, Deterministic) {
+  EXPECT_EQ(hash_to_fq("tag", as_bytes("message")), hash_to_fq("tag", as_bytes("message")));
+}
+
+TEST(HashToFq, DomainSeparated) {
+  EXPECT_NE(hash_to_fq("tag-a", as_bytes("message")), hash_to_fq("tag-b", as_bytes("message")));
+}
+
+TEST(HashToFq, MessageSensitive) {
+  EXPECT_NE(hash_to_fq("tag", as_bytes("m1")), hash_to_fq("tag", as_bytes("m2")));
+}
+
+TEST(HashToFq, CanonicalRange) {
+  for (int i = 0; i < 50; ++i) {
+    ByteWriter w;
+    w.put_u32(static_cast<std::uint32_t>(i));
+    const auto v = hash_to_fq("range", w.bytes());
+    EXPECT_LT(cmp(v.to_u256(), Fq::modulus()), 0);
+  }
+}
+
+TEST(HashToG1, ProducesSubgroupPoints) {
+  for (const char* id : {"alice@cps", "bob@cps", "vehicle-17", ""}) {
+    const G1 p = hash_to_g1("H1", as_bytes(id));
+    EXPECT_FALSE(p.is_infinity()) << id;
+    EXPECT_TRUE(p.is_on_curve()) << id;
+    EXPECT_TRUE(p.in_subgroup()) << id;
+  }
+}
+
+TEST(HashToG1, Deterministic) {
+  EXPECT_EQ(hash_to_g1("H1", as_bytes("alice")), hash_to_g1("H1", as_bytes("alice")));
+}
+
+TEST(HashToG1, InputSensitive) {
+  EXPECT_NE(hash_to_g1("H1", as_bytes("alice")), hash_to_g1("H1", as_bytes("bob")));
+  EXPECT_NE(hash_to_g1("H1", as_bytes("alice")), hash_to_g1("H2", as_bytes("alice")));
+}
+
+TEST(HashToG1, PairsNonDegenerately) {
+  // The mapped point must pair non-trivially with the generator, otherwise
+  // partial private keys D_ID = s·H1(ID) would be unverifiable.
+  const G1 q = hash_to_g1("H1", as_bytes("node-07"));
+  EXPECT_FALSE(pairing::pair(G1::generator(), q).is_one());
+}
+
+class HashToG1Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashToG1Sweep, AlwaysLandsInSubgroup) {
+  ByteWriter w;
+  w.put_u32(static_cast<std::uint32_t>(GetParam()));
+  const G1 p = hash_to_g1("sweep", w.bytes());
+  EXPECT_TRUE(p.in_subgroup());
+  EXPECT_FALSE(p.is_infinity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HashToG1Sweep, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace mccls::crypto

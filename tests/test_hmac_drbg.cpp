@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/encoding.hpp"
+#include "crypto/hmac.hpp"
+
+namespace mccls::crypto {
+namespace {
+
+TEST(Hmac, Rfc4231Case1) {
+  // RFC 4231 test case 1: key = 20x 0x0b, data = "Hi There".
+  Bytes key(20, 0x0b);
+  const auto mac = HmacSha256::mac(key, as_bytes("Hi There"));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  // key = "Jefe", data = "what do ya want for nothing?"
+  const auto mac = HmacSha256::mac(as_bytes("Jefe"), as_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  const auto mac = HmacSha256::mac(key, data);
+  EXPECT_EQ(to_hex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  const auto mac = HmacSha256::mac(
+      key, as_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, StreamingMatchesOneShot) {
+  Bytes key{1, 2, 3, 4};
+  HmacSha256 h(key);
+  h.update(as_bytes("hello "));
+  h.update(as_bytes("world"));
+  EXPECT_EQ(h.finalize(), HmacSha256::mac(key, as_bytes("hello world")));
+}
+
+TEST(Drbg, DeterministicForSameSeed) {
+  HmacDrbg d1(std::uint64_t{42});
+  HmacDrbg d2(std::uint64_t{42});
+  EXPECT_EQ(d1.generate(64), d2.generate(64));
+}
+
+TEST(Drbg, DifferentSeedsDiverge) {
+  HmacDrbg d1(std::uint64_t{42});
+  HmacDrbg d2(std::uint64_t{43});
+  EXPECT_NE(d1.generate(64), d2.generate(64));
+}
+
+TEST(Drbg, SequentialOutputsDiffer) {
+  HmacDrbg d(std::uint64_t{7});
+  const auto a = d.generate(32);
+  const auto b = d.generate(32);
+  EXPECT_NE(a, b);
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  HmacDrbg d1(std::uint64_t{7});
+  HmacDrbg d2(std::uint64_t{7});
+  (void)d1.generate(16);
+  (void)d2.generate(16);
+  d2.reseed(as_bytes("extra entropy"));
+  EXPECT_NE(d1.generate(32), d2.generate(32));
+}
+
+TEST(Drbg, VariableLengthRequests) {
+  HmacDrbg d(std::uint64_t{99});
+  for (std::size_t n : {1u, 31u, 32u, 33u, 100u, 1000u}) {
+    EXPECT_EQ(d.generate(n).size(), n);
+  }
+}
+
+TEST(Drbg, FqSamplesAreCanonicalAndNonZero) {
+  HmacDrbg d(std::uint64_t{1234});
+  for (int i = 0; i < 200; ++i) {
+    const auto v = d.next_nonzero_fq();
+    EXPECT_FALSE(v.is_zero());
+    EXPECT_LT(cmp(v.to_u256(), math::Fq::modulus()), 0);
+  }
+}
+
+TEST(Drbg, FqSamplesLookUniform) {
+  // Crude sanity check: top bit of the 252-bit scalar should be set roughly
+  // 40-60% of the time (exact expectation depends on q's leading digits).
+  HmacDrbg d(std::uint64_t{5678});
+  int top_limb_large = 0;
+  const int kSamples = 400;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = d.next_fq().to_u256();
+    if (v.bit_length() >= 251) ++top_limb_large;
+  }
+  EXPECT_GT(top_limb_large, kSamples / 4);
+  EXPECT_LT(top_limb_large, kSamples);
+}
+
+TEST(Drbg, ByteSeedConstructorWorks) {
+  const Bytes seed{0xde, 0xad, 0xbe, 0xef};
+  HmacDrbg d1{std::span<const std::uint8_t>{seed}};
+  HmacDrbg d2{std::span<const std::uint8_t>{seed}};
+  EXPECT_EQ(d1.generate(16), d2.generate(16));
+}
+
+}  // namespace
+}  // namespace mccls::crypto

@@ -1,0 +1,87 @@
+// Key-file serialization (the storage format behind mccls_cli).
+#include "cls/keyfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cls/mccls.hpp"
+
+namespace mccls::cls {
+namespace {
+
+struct Fixture {
+  crypto::HmacDrbg rng{std::uint64_t{0x5357}};
+  Kgc kgc = Kgc::setup(rng);
+  Mccls scheme;
+  UserKeys alice = scheme.enroll(kgc, "alice@example", rng);
+};
+
+TEST(KeyFile, MasterKeyRoundTrip) {
+  Fixture f;
+  const auto bytes = encode_master_key(f.kgc.master_key_for_tests());
+  EXPECT_EQ(bytes.size(), 32u);
+  const auto back = decode_master_key(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->to_u256(), f.kgc.master_key_for_tests().to_u256());
+  // The reconstructed KGC issues identical partial keys.
+  const Kgc rebuilt = Kgc::from_master_key(*back);
+  EXPECT_EQ(rebuilt.extract_partial_key("bob"), f.kgc.extract_partial_key("bob"));
+  EXPECT_EQ(rebuilt.params().p_pub, f.kgc.params().p_pub);
+}
+
+TEST(KeyFile, MasterKeyRejectsMalformed) {
+  EXPECT_FALSE(decode_master_key(crypto::Bytes{}).has_value());
+  EXPECT_FALSE(decode_master_key(crypto::Bytes(31, 1)).has_value());
+  EXPECT_FALSE(decode_master_key(crypto::Bytes(33, 1)).has_value());
+  EXPECT_FALSE(decode_master_key(crypto::Bytes(32, 0)).has_value()) << "zero key";
+  // q itself (non-canonical).
+  const auto q_bytes = math::Fq::modulus().to_be_bytes();
+  EXPECT_FALSE(decode_master_key(q_bytes).has_value());
+}
+
+TEST(KeyFile, UserKeysRoundTrip) {
+  Fixture f;
+  const auto bytes = encode_user_keys(f.alice);
+  const auto back = decode_user_keys(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, f.alice.id);
+  EXPECT_EQ(back->partial_key, f.alice.partial_key);
+  EXPECT_EQ(back->secret.to_u256(), f.alice.secret.to_u256());
+  EXPECT_EQ(back->public_key, f.alice.public_key);
+}
+
+TEST(KeyFile, ReloadedKeysSignVerifiably) {
+  Fixture f;
+  const auto reloaded = decode_user_keys(encode_user_keys(f.alice));
+  ASSERT_TRUE(reloaded.has_value());
+  const auto m = crypto::as_bytes("persisted key");
+  const auto sig = f.scheme.sign(f.kgc.params(), *reloaded,
+                                 {m.data(), m.size()}, f.rng);
+  EXPECT_TRUE(f.scheme.verify(f.kgc.params(), "alice@example", f.alice.public_key,
+                              {m.data(), m.size()}, sig));
+}
+
+TEST(KeyFile, UserKeysRejectMalformed) {
+  Fixture f;
+  auto bytes = encode_user_keys(f.alice);
+  // Truncations at every prefix length must fail cleanly.
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 7) {
+    const std::span<const std::uint8_t> prefix{bytes.data(), bytes.size() - cut};
+    EXPECT_FALSE(decode_user_keys(prefix).has_value()) << "cut=" << cut;
+  }
+  // Trailing garbage.
+  bytes.push_back(0xAA);
+  EXPECT_FALSE(decode_user_keys(bytes).has_value());
+  EXPECT_FALSE(decode_user_keys(crypto::Bytes{}).has_value());
+}
+
+TEST(KeyFile, UserKeysRejectCorruptPoint) {
+  Fixture f;
+  auto bytes = encode_user_keys(f.alice);
+  // The partial key point starts right after the 4-byte id length + id.
+  const std::size_t point_offset = 4 + f.alice.id.size();
+  bytes[point_offset] = 0x07;  // invalid tag byte
+  EXPECT_FALSE(decode_user_keys(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace mccls::cls

@@ -1,0 +1,127 @@
+// Setup / Extract-Partial-Private-Key / Generate-Key-Pair (paper §4) and the
+// certificateless structural invariants that tie them together.
+#include "cls/keys.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cls/mccls.hpp"
+#include "cls/registry.hpp"
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+namespace {
+
+using ec::G1;
+
+TEST(Kgc, SetupProducesConsistentParams) {
+  crypto::HmacDrbg rng(std::uint64_t{1});
+  const Kgc kgc = Kgc::setup(rng);
+  EXPECT_EQ(kgc.params().p, G1::generator());
+  EXPECT_EQ(kgc.params().p_pub, G1::generator().mul(kgc.master_key_for_tests()));
+  EXPECT_FALSE(kgc.params().p_pub.is_infinity());
+}
+
+TEST(Kgc, DistinctSeedsDistinctMasters) {
+  crypto::HmacDrbg rng1(std::uint64_t{1});
+  crypto::HmacDrbg rng2(std::uint64_t{2});
+  EXPECT_NE(Kgc::setup(rng1).params().p_pub, Kgc::setup(rng2).params().p_pub);
+}
+
+TEST(Kgc, PartialKeyIsBoundToIdentity) {
+  crypto::HmacDrbg rng(std::uint64_t{3});
+  const Kgc kgc = Kgc::setup(rng);
+  const G1 d_alice = kgc.extract_partial_key("alice");
+  const G1 d_bob = kgc.extract_partial_key("bob");
+  EXPECT_NE(d_alice, d_bob);
+  EXPECT_EQ(d_alice, kgc.extract_partial_key("alice")) << "extraction is deterministic";
+}
+
+TEST(Kgc, PartialKeyVerifiesAgainstPpub) {
+  // ê(P, D_ID) == ê(Ppub, Q_ID) — anyone can check a partial key's validity.
+  crypto::HmacDrbg rng(std::uint64_t{4});
+  const Kgc kgc = Kgc::setup(rng);
+  const G1 d = kgc.extract_partial_key("node-1");
+  EXPECT_EQ(pairing::pair(kgc.params().p, d),
+            pairing::pair(kgc.params().p_pub, hash_id("node-1")));
+}
+
+TEST(Keys, KeygenEscrowFreedom) {
+  // The KGC's master key cannot reconstruct the user's full signing key:
+  // x is sampled locally and never leaves keygen.
+  crypto::HmacDrbg rng(std::uint64_t{5});
+  const Kgc kgc = Kgc::setup(rng);
+  const Mccls scheme;
+  const UserKeys u1 = scheme.enroll(kgc, "alice", rng);
+  const UserKeys u2 = scheme.enroll(kgc, "alice", rng);
+  // Re-enrolling the same identity yields a fresh secret and public key...
+  EXPECT_NE(u1.secret.to_u256(), u2.secret.to_u256());
+  EXPECT_NE(u1.public_key, u2.public_key);
+  // ...but the identical KGC-issued partial key.
+  EXPECT_EQ(u1.partial_key, u2.partial_key);
+}
+
+TEST(Keys, PublicKeyMatchesSecret) {
+  crypto::HmacDrbg rng(std::uint64_t{6});
+  const Kgc kgc = Kgc::setup(rng);
+  const Mccls scheme;
+  const UserKeys u = scheme.enroll(kgc, "carol", rng);
+  EXPECT_EQ(u.public_key.primary(), kgc.params().p_pub.mul(u.secret));
+}
+
+TEST(PublicKey, SerializationRoundTripOnePoint) {
+  crypto::HmacDrbg rng(std::uint64_t{7});
+  const Kgc kgc = Kgc::setup(rng);
+  const PublicKey pk{.points = {kgc.params().p_pub}};
+  const auto back = PublicKey::from_bytes(pk.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pk);
+}
+
+TEST(PublicKey, SerializationRoundTripTwoPoints) {
+  const PublicKey pk{.points = {ec::G1::generator(), ec::G1::generator().dbl()}};
+  const auto back = PublicKey::from_bytes(pk.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pk);
+}
+
+TEST(PublicKey, RejectsMalformed) {
+  EXPECT_FALSE(PublicKey::from_bytes(crypto::Bytes{}).has_value());
+  EXPECT_FALSE(PublicKey::from_bytes(crypto::Bytes{0x00}).has_value());  // zero points
+  EXPECT_FALSE(PublicKey::from_bytes(crypto::Bytes{0x03}).has_value());  // too many
+  crypto::Bytes truncated{0x01, 0x02, 0x03};  // claims one point, too short
+  EXPECT_FALSE(PublicKey::from_bytes(truncated).has_value());
+  // Trailing garbage after a valid key.
+  PublicKey pk{.points = {ec::G1::generator()}};
+  auto bytes = pk.to_bytes();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(PublicKey::from_bytes(bytes).has_value());
+}
+
+TEST(HashId, DistinctIdentitiesDistinctPoints) {
+  EXPECT_NE(hash_id("alice"), hash_id("bob"));
+  EXPECT_EQ(hash_id("alice"), hash_id("alice"));
+  EXPECT_TRUE(hash_id("alice").in_subgroup());
+}
+
+class SchemeKeygen : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(SchemeKeygen, DerivedKeysHaveDocumentedLength) {
+  crypto::HmacDrbg rng(std::uint64_t{8});
+  const Kgc kgc = Kgc::setup(rng);
+  const auto scheme = make_scheme(GetParam());
+  ASSERT_NE(scheme, nullptr);
+  const UserKeys u = scheme->enroll(kgc, "dave", rng);
+  EXPECT_EQ(static_cast<int>(u.public_key.points.size()),
+            scheme->costs().public_key_points);
+  for (const auto& pt : u.public_key.points) {
+    EXPECT_FALSE(pt.is_infinity());
+    EXPECT_TRUE(pt.in_subgroup());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeKeygen,
+                         ::testing::Values("AP", "ZWXF", "YHG", "McCLS"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace mccls::cls

@@ -1,0 +1,182 @@
+// McCLS scheme behaviour (paper §4-5): correctness, tamper rejection,
+// serialization, pairing-cache equivalence.
+#include "cls/mccls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+namespace {
+
+struct Fixture {
+  crypto::HmacDrbg rng{std::uint64_t{2008}};
+  Kgc kgc = Kgc::setup(rng);
+  Mccls scheme;
+  UserKeys alice = scheme.enroll(kgc, "alice@cps", rng);
+  UserKeys bob = scheme.enroll(kgc, "bob@cps", rng);
+};
+
+crypto::Bytes msg(std::string_view s) {
+  return crypto::Bytes(crypto::as_bytes(s).begin(), crypto::as_bytes(s).end());
+}
+
+TEST(Mccls, SignVerifyRoundTrip) {
+  Fixture f;
+  const auto m = msg("route request 42");
+  const auto sig = f.scheme.sign(f.kgc.params(), f.alice, m, f.rng);
+  EXPECT_EQ(sig.size(), f.scheme.signature_size());
+  EXPECT_TRUE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m, sig));
+}
+
+TEST(Mccls, VerificationEquationHolds) {
+  // Explicitly re-derive the paper's correctness argument:
+  // ê(V·P − h·R, h⁻¹·S) == ê(Ppub, Q_ID).
+  Fixture f;
+  const auto m = msg("hello");
+  const auto sig = Mccls::sign_typed(f.kgc.params(), f.alice, m, f.rng);
+  const math::Fq h = mccls_challenge(m, sig.r, f.alice.public_key.primary());
+  const ec::G1 left = f.kgc.params().p.mul(sig.v) - sig.r.mul(h);
+  EXPECT_EQ(pairing::pair(left, sig.s.mul(h.inv())),
+            pairing::pair(f.kgc.params().p_pub, hash_id("alice@cps")));
+  // And V·P − h·R really is h·x·P.
+  EXPECT_EQ(left, f.kgc.params().p.mul(h * f.alice.secret));
+}
+
+TEST(Mccls, RejectsWrongMessage) {
+  Fixture f;
+  const auto sig = f.scheme.sign(f.kgc.params(), f.alice, msg("original"), f.rng);
+  EXPECT_FALSE(
+      f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, msg("tampered"), sig));
+}
+
+TEST(Mccls, RejectsWrongIdentity) {
+  Fixture f;
+  const auto m = msg("message");
+  const auto sig = f.scheme.sign(f.kgc.params(), f.alice, m, f.rng);
+  EXPECT_FALSE(f.scheme.verify(f.kgc.params(), "bob@cps", f.alice.public_key, m, sig));
+}
+
+TEST(Mccls, RejectsWrongPublicKey) {
+  Fixture f;
+  const auto m = msg("message");
+  const auto sig = f.scheme.sign(f.kgc.params(), f.alice, m, f.rng);
+  EXPECT_FALSE(f.scheme.verify(f.kgc.params(), "alice@cps", f.bob.public_key, m, sig));
+}
+
+TEST(Mccls, RejectsSignatureFromOtherUser) {
+  Fixture f;
+  const auto m = msg("message");
+  const auto sig = f.scheme.sign(f.kgc.params(), f.bob, m, f.rng);
+  EXPECT_FALSE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m, sig));
+}
+
+TEST(Mccls, RejectsBitFlips) {
+  Fixture f;
+  const auto m = msg("bitflip probe");
+  auto sig = f.scheme.sign(f.kgc.params(), f.alice, m, f.rng);
+  // Flip one bit in each component region: V (0..31), S (32..64), R (65..97).
+  for (const std::size_t pos : {0u, 31u, 40u, 70u, 97u}) {
+    auto corrupted = sig;
+    corrupted[pos] ^= 0x01;
+    EXPECT_FALSE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m,
+                                 corrupted))
+        << "bit flip at byte " << pos << " was accepted";
+  }
+}
+
+TEST(Mccls, RejectsTruncatedAndOversized) {
+  Fixture f;
+  const auto m = msg("sizes");
+  auto sig = f.scheme.sign(f.kgc.params(), f.alice, m, f.rng);
+  auto truncated = sig;
+  truncated.pop_back();
+  EXPECT_FALSE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m, truncated));
+  auto oversized = sig;
+  oversized.push_back(0);
+  EXPECT_FALSE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m, oversized));
+  EXPECT_FALSE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m, {}));
+}
+
+TEST(Mccls, SignaturesAreRandomized) {
+  Fixture f;
+  const auto m = msg("same message");
+  const auto sig1 = f.scheme.sign(f.kgc.params(), f.alice, m, f.rng);
+  const auto sig2 = f.scheme.sign(f.kgc.params(), f.alice, m, f.rng);
+  EXPECT_NE(sig1, sig2) << "nonce reuse";
+  EXPECT_TRUE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m, sig1));
+  EXPECT_TRUE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m, sig2));
+}
+
+TEST(Mccls, SComponentIsSignerStatic) {
+  // S = x⁻¹·D_ID does not depend on the message — the property batch
+  // verification builds on (and a documented weakness, see test_adversary).
+  Fixture f;
+  const auto s1 = Mccls::sign_typed(f.kgc.params(), f.alice, msg("m1"), f.rng);
+  const auto s2 = Mccls::sign_typed(f.kgc.params(), f.alice, msg("m2"), f.rng);
+  EXPECT_EQ(s1.s, s2.s);
+  EXPECT_EQ(s1.s, f.alice.partial_key.mul(f.alice.secret.inv()));
+}
+
+TEST(Mccls, TypedSerializationRoundTrip) {
+  Fixture f;
+  const auto sig = Mccls::sign_typed(f.kgc.params(), f.alice, msg("serde"), f.rng);
+  const auto back = McclsSignature::from_bytes(sig.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->v.to_u256(), sig.v.to_u256());
+  EXPECT_EQ(back->s, sig.s);
+  EXPECT_EQ(back->r, sig.r);
+}
+
+TEST(Mccls, SerdeRejectsNonCanonicalScalar) {
+  Fixture f;
+  auto bytes = Mccls::sign_typed(f.kgc.params(), f.alice, msg("x"), f.rng).to_bytes();
+  // Overwrite V with q (non-canonical: V must be < q).
+  const auto q_bytes = math::Fq::modulus().to_be_bytes();
+  std::copy(q_bytes.begin(), q_bytes.end(), bytes.begin());
+  EXPECT_FALSE(McclsSignature::from_bytes(bytes).has_value());
+}
+
+TEST(Mccls, CachedVerifyMatchesUncached) {
+  Fixture f;
+  PairingCache cache;
+  const auto m = msg("cached");
+  const auto sig = f.scheme.sign(f.kgc.params(), f.alice, m, f.rng);
+  EXPECT_TRUE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m, sig, &cache));
+  EXPECT_EQ(cache.size(), 1u);
+  // Second verification hits the cache and must agree.
+  EXPECT_TRUE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, m, sig, &cache));
+  EXPECT_EQ(cache.size(), 1u);
+  // A tampered message must still fail through the cache path.
+  EXPECT_FALSE(
+      f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, msg("other"), sig, &cache));
+}
+
+TEST(Mccls, EmptyMessageSigns) {
+  Fixture f;
+  const crypto::Bytes empty;
+  const auto sig = f.scheme.sign(f.kgc.params(), f.alice, empty, f.rng);
+  EXPECT_TRUE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, empty, sig));
+}
+
+TEST(Mccls, LargeMessageSigns) {
+  Fixture f;
+  crypto::Bytes big(1 << 16);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i);
+  const auto sig = f.scheme.sign(f.kgc.params(), f.alice, big, f.rng);
+  EXPECT_TRUE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, big, sig));
+  big[12345] ^= 1;
+  EXPECT_FALSE(f.scheme.verify(f.kgc.params(), "alice@cps", f.alice.public_key, big, sig));
+}
+
+TEST(Mccls, CostsMatchTable1Row) {
+  const Mccls scheme;
+  const OpCounts c = scheme.costs();
+  EXPECT_EQ(c.sign_pairings, 0);
+  EXPECT_EQ(c.sign_scalar_mults, 2);
+  EXPECT_EQ(c.verify_pairings, 1);
+  EXPECT_EQ(c.public_key_points, 1);
+}
+
+}  // namespace
+}  // namespace mccls::cls

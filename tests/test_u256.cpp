@@ -1,0 +1,144 @@
+#include "math/u256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace mccls::math {
+namespace {
+
+TEST(U256, ZeroAndOne) {
+  EXPECT_TRUE(U256::zero().is_zero());
+  EXPECT_FALSE(U256::one().is_zero());
+  EXPECT_EQ(U256::one(), U256::from_u64(1));
+  EXPECT_EQ(U256::zero().bit_length(), 0u);
+  EXPECT_EQ(U256::one().bit_length(), 1u);
+}
+
+TEST(U256, HexRoundTrip) {
+  const auto x = U256::from_hex("0x123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(x.to_hex(), "123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(U256::from_hex(x.to_hex()), x);
+  EXPECT_EQ(U256::from_hex("0"), U256::zero());
+  EXPECT_EQ(U256::from_hex("ff").w[0], 0xFFu);
+}
+
+TEST(U256, HexRejectsBadInput) {
+  EXPECT_THROW(U256::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(U256::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(U256::from_hex(std::string(65, 'f')), std::invalid_argument);
+}
+
+TEST(U256, BeBytesRoundTrip) {
+  const auto x = U256::from_hex("deadbeefcafebabe0123456789abcdef");
+  const auto bytes = x.to_be_bytes();
+  EXPECT_EQ(U256::from_be_bytes(bytes), x);
+  // Short input is treated as the low-order bytes.
+  const std::uint8_t two[] = {0x01, 0x02};
+  EXPECT_EQ(U256::from_be_bytes(two), U256::from_u64(0x0102));
+}
+
+TEST(U256, Compare) {
+  const auto a = U256::from_hex("ffffffffffffffff");
+  const auto b = U256::from_hex("10000000000000000");
+  EXPECT_LT(cmp(a, b), 0);
+  EXPECT_GT(cmp(b, a), 0);
+  EXPECT_EQ(cmp(a, a), 0);
+}
+
+TEST(U256, AddCarryPropagates) {
+  U256 out;
+  const auto max64 = U256::from_u64(~std::uint64_t{0});
+  EXPECT_EQ(add(out, max64, U256::one()), 0u);
+  EXPECT_EQ(out, (U256{{0, 1, 0, 0}}));
+
+  U256 all_ones{{~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+  EXPECT_EQ(add(out, all_ones, U256::one()), 1u) << "carry out of the top limb";
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(U256, SubBorrowPropagates) {
+  U256 out;
+  EXPECT_EQ(sub(out, U256{{0, 1, 0, 0}}, U256::one()), 0u);
+  EXPECT_EQ(out, U256::from_u64(~std::uint64_t{0}));
+  EXPECT_EQ(sub(out, U256::zero(), U256::one()), 1u) << "borrow out of the top limb";
+  EXPECT_EQ(out, (U256{{~0ULL, ~0ULL, ~0ULL, ~0ULL}}));
+}
+
+TEST(U256, AddSubInverse) {
+  const auto a = U256::from_hex("123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef");
+  const auto b = U256::from_hex("fedcba9876543210");
+  U256 sum, back;
+  add(sum, a, b);
+  sub(back, sum, b);
+  EXPECT_EQ(back, a);
+}
+
+TEST(U256, Shr1) {
+  EXPECT_EQ(shr1(U256::from_u64(2)), U256::one());
+  EXPECT_EQ(shr1(U256{{0, 1, 0, 0}}), U256::from_u64(std::uint64_t{1} << 63));
+  EXPECT_EQ(shr1(U256::one()), U256::zero());
+}
+
+TEST(U256, MulWideSmall) {
+  const auto prod = mul_wide(U256::from_u64(6), U256::from_u64(7));
+  EXPECT_EQ(prod.lo(), U256::from_u64(42));
+  EXPECT_TRUE(prod.hi().is_zero());
+}
+
+TEST(U256, MulWideFull) {
+  // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+  const U256 max{{~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+  const auto prod = mul_wide(max, max);
+  EXPECT_EQ(prod.lo(), U256::one());
+  U256 expected_hi{{~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+  U256 tmp;
+  sub(tmp, expected_hi, U256::one());
+  EXPECT_EQ(prod.hi(), tmp);
+}
+
+TEST(U256, BitAccess) {
+  const auto x = U256::from_hex("8000000000000001");
+  EXPECT_TRUE(x.bit(0));
+  EXPECT_TRUE(x.bit(63));
+  EXPECT_FALSE(x.bit(1));
+  EXPECT_FALSE(x.bit(64));
+  EXPECT_EQ(x.bit_length(), 64u);
+}
+
+TEST(U256, ModInverseSmall) {
+  // 3 * 5 = 15 == 1 (mod 7)
+  const auto inv = mod_inverse(U256::from_u64(3), U256::from_u64(7));
+  EXPECT_EQ(inv, U256::from_u64(5));
+}
+
+TEST(U256, ModInverseLarge) {
+  const auto p = U256::from_hex("372692e2d7b0b7af1d64fb3a4dfbd121615dca212ef8c6a2077c33424fa1887b");
+  const auto a = U256::from_hex("123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef");
+  const auto expected = U256::from_hex("2e44f5eb0eadd51136c896d4fb6fc3038dda0d851f85e7e213ded402507e280e");
+  EXPECT_EQ(mod_inverse(a, p), expected);
+}
+
+TEST(U256, ModInverseRejectsBadInput) {
+  EXPECT_THROW(mod_inverse(U256::zero(), U256::from_u64(7)), std::invalid_argument);
+  EXPECT_THROW(mod_inverse(U256::one(), U256::from_u64(8)), std::invalid_argument);
+  EXPECT_THROW(mod_inverse(U256::from_u64(3), U256::from_u64(9)), std::invalid_argument);
+}
+
+TEST(U512, FromBeBytes) {
+  std::array<std::uint8_t, 3> bytes = {0x01, 0x02, 0x03};
+  const auto x = U512::from_be_bytes(bytes);
+  EXPECT_EQ(x.lo(), U256::from_u64(0x010203));
+  EXPECT_TRUE(x.hi().is_zero());
+}
+
+TEST(U512, FromHalves) {
+  const auto lo = U256::from_u64(1);
+  const auto hi = U256::from_u64(2);
+  const auto x = U512::from_halves(lo, hi);
+  EXPECT_EQ(x.lo(), lo);
+  EXPECT_EQ(x.hi(), hi);
+}
+
+}  // namespace
+}  // namespace mccls::math
