@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_telemetry.dir/cps_telemetry.cpp.o"
+  "CMakeFiles/cps_telemetry.dir/cps_telemetry.cpp.o.d"
+  "cps_telemetry"
+  "cps_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_kgc.dir/distributed_kgc.cpp.o"
+  "CMakeFiles/distributed_kgc.dir/distributed_kgc.cpp.o.d"
+  "distributed_kgc"
+  "distributed_kgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_kgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for distributed_kgc.
+# This may be replaced when dependencies are built.

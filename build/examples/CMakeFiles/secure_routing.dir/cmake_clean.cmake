@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_routing.dir/secure_routing.cpp.o"
+  "CMakeFiles/secure_routing.dir/secure_routing.cpp.o.d"
+  "secure_routing"
+  "secure_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

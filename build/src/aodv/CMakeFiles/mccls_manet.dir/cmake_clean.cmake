@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_manet.dir/agent.cpp.o"
+  "CMakeFiles/mccls_manet.dir/agent.cpp.o.d"
+  "CMakeFiles/mccls_manet.dir/codec.cpp.o"
+  "CMakeFiles/mccls_manet.dir/codec.cpp.o.d"
+  "CMakeFiles/mccls_manet.dir/messages.cpp.o"
+  "CMakeFiles/mccls_manet.dir/messages.cpp.o.d"
+  "CMakeFiles/mccls_manet.dir/routing_table.cpp.o"
+  "CMakeFiles/mccls_manet.dir/routing_table.cpp.o.d"
+  "CMakeFiles/mccls_manet.dir/scenario.cpp.o"
+  "CMakeFiles/mccls_manet.dir/scenario.cpp.o.d"
+  "CMakeFiles/mccls_manet.dir/security.cpp.o"
+  "CMakeFiles/mccls_manet.dir/security.cpp.o.d"
+  "CMakeFiles/mccls_manet.dir/traffic.cpp.o"
+  "CMakeFiles/mccls_manet.dir/traffic.cpp.o.d"
+  "libmccls_manet.a"
+  "libmccls_manet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

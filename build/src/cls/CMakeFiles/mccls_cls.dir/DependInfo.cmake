@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cls/ap.cpp" "src/cls/CMakeFiles/mccls_cls.dir/ap.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/ap.cpp.o.d"
+  "/root/repo/src/cls/batch.cpp" "src/cls/CMakeFiles/mccls_cls.dir/batch.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/batch.cpp.o.d"
+  "/root/repo/src/cls/epoch.cpp" "src/cls/CMakeFiles/mccls_cls.dir/epoch.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/epoch.cpp.o.d"
+  "/root/repo/src/cls/keyfile.cpp" "src/cls/CMakeFiles/mccls_cls.dir/keyfile.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/keyfile.cpp.o.d"
+  "/root/repo/src/cls/keys.cpp" "src/cls/CMakeFiles/mccls_cls.dir/keys.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/keys.cpp.o.d"
+  "/root/repo/src/cls/mccls.cpp" "src/cls/CMakeFiles/mccls_cls.dir/mccls.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/mccls.cpp.o.d"
+  "/root/repo/src/cls/offline.cpp" "src/cls/CMakeFiles/mccls_cls.dir/offline.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/offline.cpp.o.d"
+  "/root/repo/src/cls/paradigms.cpp" "src/cls/CMakeFiles/mccls_cls.dir/paradigms.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/paradigms.cpp.o.d"
+  "/root/repo/src/cls/registry.cpp" "src/cls/CMakeFiles/mccls_cls.dir/registry.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/registry.cpp.o.d"
+  "/root/repo/src/cls/scheme.cpp" "src/cls/CMakeFiles/mccls_cls.dir/scheme.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/scheme.cpp.o.d"
+  "/root/repo/src/cls/threshold.cpp" "src/cls/CMakeFiles/mccls_cls.dir/threshold.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/threshold.cpp.o.d"
+  "/root/repo/src/cls/yhg.cpp" "src/cls/CMakeFiles/mccls_cls.dir/yhg.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/yhg.cpp.o.d"
+  "/root/repo/src/cls/zwxf.cpp" "src/cls/CMakeFiles/mccls_cls.dir/zwxf.cpp.o" "gcc" "src/cls/CMakeFiles/mccls_cls.dir/zwxf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/mccls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/mccls_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/mccls_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mccls_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

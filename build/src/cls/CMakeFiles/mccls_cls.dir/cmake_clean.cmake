@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_cls.dir/ap.cpp.o"
+  "CMakeFiles/mccls_cls.dir/ap.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/batch.cpp.o"
+  "CMakeFiles/mccls_cls.dir/batch.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/epoch.cpp.o"
+  "CMakeFiles/mccls_cls.dir/epoch.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/keyfile.cpp.o"
+  "CMakeFiles/mccls_cls.dir/keyfile.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/keys.cpp.o"
+  "CMakeFiles/mccls_cls.dir/keys.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/mccls.cpp.o"
+  "CMakeFiles/mccls_cls.dir/mccls.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/offline.cpp.o"
+  "CMakeFiles/mccls_cls.dir/offline.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/paradigms.cpp.o"
+  "CMakeFiles/mccls_cls.dir/paradigms.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/registry.cpp.o"
+  "CMakeFiles/mccls_cls.dir/registry.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/scheme.cpp.o"
+  "CMakeFiles/mccls_cls.dir/scheme.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/threshold.cpp.o"
+  "CMakeFiles/mccls_cls.dir/threshold.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/yhg.cpp.o"
+  "CMakeFiles/mccls_cls.dir/yhg.cpp.o.d"
+  "CMakeFiles/mccls_cls.dir/zwxf.cpp.o"
+  "CMakeFiles/mccls_cls.dir/zwxf.cpp.o.d"
+  "libmccls_cls.a"
+  "libmccls_cls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_cls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

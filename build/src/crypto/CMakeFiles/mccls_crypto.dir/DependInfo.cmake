@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/mccls_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/mccls_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/encoding.cpp" "src/crypto/CMakeFiles/mccls_crypto.dir/encoding.cpp.o" "gcc" "src/crypto/CMakeFiles/mccls_crypto.dir/encoding.cpp.o.d"
+  "/root/repo/src/crypto/hash.cpp" "src/crypto/CMakeFiles/mccls_crypto.dir/hash.cpp.o" "gcc" "src/crypto/CMakeFiles/mccls_crypto.dir/hash.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/mccls_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/mccls_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/mccls_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/mccls_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ec/CMakeFiles/mccls_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mccls_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

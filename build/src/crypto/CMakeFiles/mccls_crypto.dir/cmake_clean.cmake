@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/mccls_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/mccls_crypto.dir/encoding.cpp.o"
+  "CMakeFiles/mccls_crypto.dir/encoding.cpp.o.d"
+  "CMakeFiles/mccls_crypto.dir/hash.cpp.o"
+  "CMakeFiles/mccls_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/mccls_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/mccls_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/mccls_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/mccls_crypto.dir/sha256.cpp.o.d"
+  "libmccls_crypto.a"
+  "libmccls_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

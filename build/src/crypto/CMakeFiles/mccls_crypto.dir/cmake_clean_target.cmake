@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmccls_crypto.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_dsr.dir/dsr_agent.cpp.o"
+  "CMakeFiles/mccls_dsr.dir/dsr_agent.cpp.o.d"
+  "CMakeFiles/mccls_dsr.dir/dsr_codec.cpp.o"
+  "CMakeFiles/mccls_dsr.dir/dsr_codec.cpp.o.d"
+  "CMakeFiles/mccls_dsr.dir/dsr_messages.cpp.o"
+  "CMakeFiles/mccls_dsr.dir/dsr_messages.cpp.o.d"
+  "CMakeFiles/mccls_dsr.dir/dsr_scenario.cpp.o"
+  "CMakeFiles/mccls_dsr.dir/dsr_scenario.cpp.o.d"
+  "libmccls_dsr.a"
+  "libmccls_dsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_dsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_ec.dir/g1.cpp.o"
+  "CMakeFiles/mccls_ec.dir/g1.cpp.o.d"
+  "libmccls_ec.a"
+  "libmccls_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_math.dir/u256.cpp.o"
+  "CMakeFiles/mccls_math.dir/u256.cpp.o.d"
+  "libmccls_math.a"
+  "libmccls_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

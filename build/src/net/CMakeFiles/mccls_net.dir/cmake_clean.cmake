@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_net.dir/channel.cpp.o"
+  "CMakeFiles/mccls_net.dir/channel.cpp.o.d"
+  "CMakeFiles/mccls_net.dir/mobility.cpp.o"
+  "CMakeFiles/mccls_net.dir/mobility.cpp.o.d"
+  "libmccls_net.a"
+  "libmccls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmccls_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_pairing.dir/pairing.cpp.o"
+  "CMakeFiles/mccls_pairing.dir/pairing.cpp.o.d"
+  "libmccls_pairing.a"
+  "libmccls_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

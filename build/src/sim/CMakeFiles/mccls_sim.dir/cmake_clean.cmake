@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_sim.dir/rng.cpp.o"
+  "CMakeFiles/mccls_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/mccls_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mccls_sim.dir/simulator.cpp.o.d"
+  "libmccls_sim.a"
+  "libmccls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

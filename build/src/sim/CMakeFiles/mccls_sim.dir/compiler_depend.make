@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mccls_sim.
+# This may be replaced when dependencies are built.

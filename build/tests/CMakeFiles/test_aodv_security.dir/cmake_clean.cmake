@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aodv_security.dir/test_aodv_security.cpp.o"
+  "CMakeFiles/test_aodv_security.dir/test_aodv_security.cpp.o.d"
+  "test_aodv_security"
+  "test_aodv_security.pdb"
+  "test_aodv_security[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aodv_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsr_codec.dir/test_dsr_codec.cpp.o"
+  "CMakeFiles/test_dsr_codec.dir/test_dsr_codec.cpp.o.d"
+  "test_dsr_codec"
+  "test_dsr_codec.pdb"
+  "test_dsr_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsr_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

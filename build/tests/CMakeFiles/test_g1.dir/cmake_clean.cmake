@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_g1.dir/test_g1.cpp.o"
+  "CMakeFiles/test_g1.dir/test_g1.cpp.o.d"
+  "test_g1"
+  "test_g1.pdb"
+  "test_g1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_g1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

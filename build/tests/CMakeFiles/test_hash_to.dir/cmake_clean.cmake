@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_to.dir/test_hash_to.cpp.o"
+  "CMakeFiles/test_hash_to.dir/test_hash_to.cpp.o.d"
+  "test_hash_to"
+  "test_hash_to.pdb"
+  "test_hash_to[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_to.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmac_drbg.dir/test_hmac_drbg.cpp.o"
+  "CMakeFiles/test_hmac_drbg.dir/test_hmac_drbg.cpp.o.d"
+  "test_hmac_drbg"
+  "test_hmac_drbg.pdb"
+  "test_hmac_drbg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmac_drbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keyfile.dir/test_keyfile.cpp.o"
+  "CMakeFiles/test_keyfile.dir/test_keyfile.cpp.o.d"
+  "test_keyfile"
+  "test_keyfile.pdb"
+  "test_keyfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keyfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mccls.dir/test_mccls.cpp.o"
+  "CMakeFiles/test_mccls.dir/test_mccls.cpp.o.d"
+  "test_mccls"
+  "test_mccls.pdb"
+  "test_mccls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mccls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paradigms.dir/test_paradigms.cpp.o"
+  "CMakeFiles/test_paradigms.dir/test_paradigms.cpp.o.d"
+  "test_paradigms"
+  "test_paradigms.pdb"
+  "test_paradigms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paradigms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccls_cli.dir/mccls_cli.cpp.o"
+  "CMakeFiles/mccls_cli.dir/mccls_cli.cpp.o.d"
+  "mccls_cli"
+  "mccls_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccls_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
