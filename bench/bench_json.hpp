@@ -1,0 +1,94 @@
+// The BENCH_*.json trajectory format: every perf-sensitive benchmark can
+// dump its medians to a small JSON file so speedup claims are recorded and
+// gated (tools/bench_compare) instead of asserted in prose.
+//
+// Schema (kept deliberately flat so bench_compare's parser stays tiny):
+//   {
+//     "bench": "<bench name>",
+//     "results": [
+//       {"name": "<op>", "iters": N, "median_ns": ..., "mean_ns": ..., "min_ns": ...},
+//       ...
+//     ],
+//     "derived": {"<metric>": <number>, ...}
+//   }
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mccls::bench {
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t iters = 0;
+  double median_ns = 0;
+  double mean_ns = 0;
+  double min_ns = 0;
+};
+
+/// Times `fn` (one logical operation per call): `samples` timed batches of
+/// `iters_per_sample` calls each, after one warm-up batch. Reports per-call
+/// nanoseconds; the median is the headline number.
+inline BenchResult time_op(const std::string& name, unsigned samples,
+                           unsigned iters_per_sample, const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  std::vector<double> per_call(samples);
+  for (unsigned s = 0; s <= samples; ++s) {  // s == 0 is the warm-up batch
+    const auto start = clock::now();
+    for (unsigned i = 0; i < iters_per_sample; ++i) fn();
+    const auto stop = clock::now();
+    if (s == 0) continue;
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count());
+    per_call[s - 1] = ns / iters_per_sample;
+  }
+  std::sort(per_call.begin(), per_call.end());
+  double sum = 0;
+  for (const double v : per_call) sum += v;
+  const double median = samples % 2 == 1
+                            ? per_call[samples / 2]
+                            : (per_call[samples / 2 - 1] + per_call[samples / 2]) / 2.0;
+  return BenchResult{.name = name,
+                     .iters = static_cast<std::uint64_t>(samples) * iters_per_sample,
+                     .median_ns = median,
+                     .mean_ns = sum / samples,
+                     .min_ns = per_call.front()};
+}
+
+/// Writes the BENCH_*.json file. Returns false (and prints to stderr) on
+/// I/O failure so benches can exit non-zero.
+inline bool write_bench_json(const std::string& path, const std::string& bench_name,
+                             const std::vector<BenchResult>& results,
+                             const std::map<std::string, double>& derived) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n", bench_name.c_str());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iters\": %llu, \"median_ns\": %.1f, "
+                 "\"mean_ns\": %.1f, \"min_ns\": %.1f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.iters), r.median_ns,
+                 r.mean_ns, r.min_ns, i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n  \"derived\": {\n");
+  std::size_t k = 0;
+  for (const auto& [key, value] : derived) {
+    std::fprintf(f, "    \"%s\": %.4f%s\n", key.c_str(), value,
+                 ++k == derived.size() ? "" : ",");
+  }
+  std::fprintf(f, "  }\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (ok) std::printf("wrote %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace mccls::bench

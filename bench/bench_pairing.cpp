@@ -1,0 +1,85 @@
+// The verification hot path under the microscope: projective vs. affine
+// Miller loop, the final exponentiation split, and the end-to-end McCLS
+// verify that every AODV RREQ/RREP authentication pays for.
+//
+// Unlike the google-benchmark binaries this one hand-rolls its timing so it
+// can emit the BENCH_pairing.json trajectory file (see bench_json.hpp) with
+// the before (pair_affine) and after (pair) numbers side by side; the
+// ≥3× speedup claim is then enforced by `tools/bench_compare --gate`.
+//
+// Knobs: MCCLS_BENCH_JSON (output path, default BENCH_pairing.json),
+//        MCCLS_BENCH_SAMPLES (timed batches per op, default 15).
+#include <cstdlib>
+#include <string>
+
+#include "bench_json.hpp"
+#include "cls/mccls.hpp"
+#include "crypto/drbg.hpp"
+#include "pairing/pairing.hpp"
+
+namespace {
+
+using namespace mccls;
+using ec::G1;
+using math::U256;
+
+unsigned samples() {
+  if (const char* env = std::getenv("MCCLS_BENCH_SAMPLES"); env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 15;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned n_samples = samples();
+  const G1& g = G1::generator();
+  const G1 p = g.mul(U256::from_u64(31337));
+  const G1 q = g.mul(U256::from_u64(271828));
+
+  // End-to-end verify fixture.
+  crypto::HmacDrbg rng(std::uint64_t{0xbe9c});
+  const cls::Kgc kgc = cls::Kgc::setup(rng);
+  const cls::Mccls scheme;
+  const cls::UserKeys keys = scheme.enroll(kgc, "bench-node", rng);
+  const auto message = crypto::as_bytes("bench: RREQ payload equivalent");
+  const cls::McclsSignature sig = cls::Mccls::sign_typed(kgc.params(), keys, message, rng);
+  cls::PairingCache cache;
+  (void)cache.get(kgc.params(), keys.id);  // warm so verify times 1 pairing
+
+  std::vector<bench::BenchResult> results;
+  const auto run = [&](const std::string& name, unsigned iters, auto&& fn) {
+    results.push_back(bench::time_op(name, n_samples, iters, fn));
+    const auto& r = results.back();
+    std::printf("%-26s %12.1f ns/op (median), %12.1f ns/op (min)\n", name.c_str(),
+                r.median_ns, r.min_ns);
+  };
+
+  run("pair_affine", 20, [&] { (void)pairing::pair_affine(p, q); });
+  run("pair_projective", 100, [&] { (void)pairing::pair(p, q); });
+  run("miller_loop_projective", 100, [&] { (void)pairing::miller_loop(p, q); });
+  run("final_exponentiation", 1000, [&] {
+    static const math::Fp2 f = pairing::miller_loop(p, q);
+    (void)pairing::final_exponentiation(f);
+  });
+  run("mccls_verify_cached", 50, [&] {
+    (void)cls::Mccls::verify_typed(kgc.params(), keys.id, keys.public_key.primary(),
+                                   message, sig, &cache);
+  });
+  run("g1_mul", 200, [&] { (void)p.mul(U256::from_u64(0x123456789abcdefULL)); });
+
+  const double affine = results[0].median_ns;
+  const double projective = results[1].median_ns;
+  const double speedup = projective > 0 ? affine / projective : 0;
+  std::printf("\npair() speedup (affine / projective, medians): %.2fx\n", speedup);
+
+  const char* path_env = std::getenv("MCCLS_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_pairing.json";
+  if (!bench::write_bench_json(path, "pairing", results,
+                               {{"pair_speedup_median", speedup}})) {
+    return 1;
+  }
+  return 0;
+}

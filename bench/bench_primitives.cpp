@@ -127,6 +127,17 @@ void BM_Pairing(benchmark::State& state) {
 }
 BENCHMARK(BM_Pairing);
 
+void BM_PairingAffine(benchmark::State& state) {
+  // Ablation partner: the retained affine-coordinate Miller loop that the
+  // projective pair() replaced (see DESIGN.md §8.3, BENCH_pairing.json).
+  const ec::G1 p = ec::G1::generator().mul(U256::from_u64(31337));
+  const ec::G1 q = ec::G1::generator().mul(U256::from_u64(271828));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::pair_affine(p, q));
+  }
+}
+BENCHMARK(BM_PairingAffine);
+
 void BM_GtPow(benchmark::State& state) {
   const pairing::Gt g = pairing::pair(ec::G1::generator(), ec::G1::generator());
   crypto::HmacDrbg rng(std::uint64_t{7});

@@ -1,5 +1,8 @@
 #include "cls/batch.hpp"
 
+#include <vector>
+
+#include "math/batch_inv.hpp"
 #include "pairing/pairing.hpp"
 
 namespace mccls::cls {
@@ -17,22 +20,34 @@ bool batch_verify(const SystemParams& params, std::string_view id, const ec::G1&
   }
   if (s.is_infinity()) return false;
 
-  ec::G1 combined = ec::G1::infinity();
-  math::Fq delta_sum = math::Fq::zero();
+  // First pass: challenges and blinding scalars. The n challenge inversions
+  // h_i⁻¹ are deferred and done with ONE batched inversion below.
+  std::vector<math::Fq> h_invs;
+  std::vector<math::Fq> deltas;
+  h_invs.reserve(items.size());
+  deltas.reserve(items.size());
   for (const auto& item : items) {
     const math::Fq h = mccls_challenge(item.message, item.signature.r, public_key);
     if (h.is_zero()) return false;
+    h_invs.push_back(h);
     // δ_i: random kDeltaBits-bit non-zero scalar.
     std::array<std::uint8_t, kDeltaBits / 8> raw;
     do {
       rng.generate(raw);
     } while (math::U256::from_be_bytes(raw).is_zero());
-    const math::Fq delta = math::Fq::from_u256(math::U256::from_be_bytes(raw));
+    deltas.push_back(math::Fq::from_u256(math::U256::from_be_bytes(raw)));
+  }
+  math::batch_invert(std::span<math::Fq>(h_invs));
 
-    // δ_i·h_i⁻¹·(V_i·P − h_i·R_i) = (δ_i·V_i/h_i)·P − δ_i·R_i
-    const math::Fq coeff_p = delta * item.signature.v * h.inv();
-    combined += params.p.mul(coeff_p) - item.signature.r.mul(delta);
-    delta_sum += delta;
+  ec::G1 combined = ec::G1::infinity();
+  math::Fq delta_sum = math::Fq::zero();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    // δ_i·h_i⁻¹·(V_i·P − h_i·R_i) = (δ_i·V_i/h_i)·P − δ_i·R_i, computed as
+    // one simultaneous double-scalar multiplication (Shamir's trick).
+    const math::Fq coeff_p = deltas[i] * items[i].signature.v * h_invs[i];
+    combined += ec::G1::mul2(coeff_p.to_u256(), params.p, deltas[i].neg().to_u256(),
+                             items[i].signature.r);
+    delta_sum += deltas[i];
   }
   if (combined.is_infinity()) return false;
 

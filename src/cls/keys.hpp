@@ -6,6 +6,7 @@
 // defining property of certificateless cryptography.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -23,6 +24,21 @@ namespace mccls::cls {
 struct SystemParams {
   ec::G1 p;      ///< group generator
   ec::G1 p_pub;  ///< Ppub = s·P, the KGC's public key
+
+  /// True iff `p` is the standard fixed generator, which unlocks the
+  /// precomputed fixed-base table (G1::mul_generator) on the signing hot
+  /// path. The full point comparison runs once and is cached, so per-call
+  /// sign/verify no longer pays it.
+  [[nodiscard]] bool p_is_generator() const {
+    if (p_is_gen_cache_ < 0) {
+      p_is_gen_cache_ = (p == ec::G1::generator()) ? 1 : 0;
+    }
+    return p_is_gen_cache_ == 1;
+  }
+
+  /// Lazy tri-state cache for p_is_generator() (-1 = unknown). Public only
+  /// to keep the struct an aggregate; don't touch directly.
+  mutable std::int8_t p_is_gen_cache_ = -1;
 };
 
 /// Q_ID = H1(ID): the identity's public "hash point".

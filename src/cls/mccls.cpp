@@ -44,7 +44,7 @@ std::optional<McclsSignature> McclsSignature::from_bytes(std::span<const std::ui
 McclsSignature Mccls::sign_typed(const SystemParams& params, const UserKeys& signer,
                                  std::span<const std::uint8_t> message,
                                  crypto::HmacDrbg& rng) {
-  const bool base_is_generator = params.p == ec::G1::generator();
+  const bool base_is_generator = params.p_is_generator();
   for (;;) {
     const math::Fq r = rng.next_nonzero_fq();
     // R = (r − x)·P, via the fixed-base table on the standard generator.

@@ -1,5 +1,7 @@
 #include "cls/scheme.hpp"
 
+#include <vector>
+
 #include "pairing/pairing.hpp"
 
 namespace mccls::cls {
@@ -10,6 +12,22 @@ const pairing::Gt& PairingCache::get(const SystemParams& params, std::string_vie
   auto [inserted, _] =
       cache_.emplace(std::string(id), pairing::pair(params.p_pub, hash_id(id)));
   return inserted->second;
+}
+
+void PairingCache::warm(const SystemParams& params, std::span<const std::string> ids) {
+  // Collect the Miller values of the identities we don't know yet, then
+  // reduce them with one batched final exponentiation (a single inversion).
+  std::vector<const std::string*> missing;
+  std::vector<math::Fp2> fs;
+  for (const std::string& id : ids) {
+    if (cache_.contains(id)) continue;
+    missing.push_back(&id);
+    fs.push_back(pairing::miller_loop(params.p_pub, hash_id(id)));
+  }
+  const std::vector<pairing::Gt> gts = pairing::final_exponentiation_batch(fs);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    cache_.emplace(*missing[i], gts[i]);
+  }
 }
 
 }  // namespace mccls::cls

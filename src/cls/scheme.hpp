@@ -32,6 +32,14 @@ struct OpCounts {
 class PairingCache {
  public:
   const pairing::Gt& get(const SystemParams& params, std::string_view id);
+
+  /// Precomputes entries for every identity in `ids` (e.g. a node's known
+  /// neighbor set before a simulation round). The Miller loops run
+  /// individually but all final exponentiations share ONE batched inversion
+  /// (Montgomery's trick), so warming n identities costs a single modular
+  /// inversion instead of n.
+  void warm(const SystemParams& params, std::span<const std::string> ids);
+
   [[nodiscard]] std::size_t size() const { return cache_.size(); }
   void clear() { cache_.clear(); }
 

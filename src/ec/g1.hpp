@@ -34,6 +34,13 @@ class G1 {
   /// subgroup — call in_subgroup() where that matters.
   static std::optional<G1> from_affine(const Fp& x, const Fp& y);
 
+  /// Constructs a point from affine coordinates WITHOUT the on-curve check.
+  /// Only for coordinates produced by the group law itself (Jacobian
+  /// normalization, Miller-loop steps): the curve equation is an invariant
+  /// there, and re-validating costs 3 field multiplications per call.
+  /// Untrusted input must go through from_affine / from_bytes.
+  static G1 from_affine_unchecked(const Fp& x, const Fp& y) { return G1{x, y}; }
+
   /// Lifts an x-coordinate to a curve point with the lexicographically
   /// smaller y, if x^3 + x is a square.
   static std::optional<G1> lift_x(const Fp& x);

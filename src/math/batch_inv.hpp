@@ -1,0 +1,49 @@
+// Montgomery's simultaneous-inversion trick: n field inversions for the
+// price of one inversion plus 3(n-1) multiplications. Since a single
+// extgcd inversion costs on the order of a hundred multiplications, any
+// call site that clusters two or more inversions should batch them.
+//
+// Works for any field type F exposing F::one(), is_zero(), inv() and
+// operator* — i.e. both Fe<Params> (Fp, Fq) and Fp2.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mccls::math {
+
+/// Inverts every element of `xs` in place.
+/// Throws std::invalid_argument if any element is zero (nothing is modified
+/// in that case — the scan happens before the first write-back).
+template <class F>
+void batch_invert(std::span<F> xs) {
+  if (xs.empty()) return;
+
+  // prefix[i] = xs[0] * ... * xs[i]
+  std::vector<F> prefix;
+  prefix.reserve(xs.size());
+  F acc = F::one();
+  for (const F& x : xs) {
+    if (x.is_zero()) throw std::invalid_argument("batch_invert: zero element");
+    acc = acc * x;
+    prefix.push_back(acc);
+  }
+
+  // Walk back down: inv holds (xs[0]*...*xs[i])^{-1} at step i.
+  F inv = prefix.back().inv();
+  for (std::size_t i = xs.size(); i-- > 1;) {
+    const F xi_inv = inv * prefix[i - 1];
+    inv = inv * xs[i];  // strip original xs[i] before overwriting it
+    xs[i] = xi_inv;
+  }
+  xs[0] = inv;
+}
+
+/// Convenience overload for owning containers.
+template <class F>
+void batch_invert(std::vector<F>& xs) {
+  batch_invert(std::span<F>(xs));
+}
+
+}  // namespace mccls::math

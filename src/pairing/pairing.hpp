@@ -3,13 +3,27 @@
 // ê is bilinear, symmetric in distribution (ê(P,Q) and ê(Q,P) are both
 // non-degenerate), and satisfies ê(aP, bQ) = ê(P, Q)^{ab}.
 //
-// Implementation: Miller loop over the bits of the subgroup order q with
-// denominator elimination (embedding degree 2: vertical-line values lie in
-// Fp and die in the final exponentiation), followed by the final
-// exponentiation f^{(p²−1)/q} = (f^{p−1})^{(p+1)/q} = (conj(f)·f^{−1})^4.
+// Implementation: Miller loop over the bits of the subgroup order q in
+// Jacobian coordinates with denominator-free line evaluation — every line
+// value is scaled by its (nonzero) Fp denominator, which the final
+// exponentiation kills, so the whole loop runs without a single modular
+// inversion. Vertical lines are eliminated the usual embedding-degree-2 way
+// (their values lie in Fp and die in the final exponentiation). The only
+// inversion in pair() is the one inside the final exponentiation
+// f^{(p²−1)/q} = (f^{p−1})^{(p+1)/q} = (conj(f)·f^{−1})^4, and
+// final_exponentiation_batch amortizes even that across a batch.
+//
+// The pre-optimization affine loop is retained as pair_affine(): it is the
+// reference implementation the projective loop is cross-checked against
+// (tests/test_pairing_projective.cpp) and the baseline bench_pairing
+// measures the speedup over.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "ec/g1.hpp"
+#include "math/fp2.hpp"
 #include "pairing/gt.hpp"
 
 namespace mccls::pairing {
@@ -20,5 +34,23 @@ using ec::G1;
 /// Non-degeneracy: ê(P, Q) != 1 whenever P and Q are non-identity points of
 /// the order-q subgroup.
 Gt pair(const G1& p, const G1& q);
+
+/// Reference implementation: the original affine Miller loop (one field
+/// inversion per doubling/addition step). Kept for cross-checking and as
+/// the bench_pairing baseline; use pair() everywhere else.
+Gt pair_affine(const G1& p, const G1& q);
+
+/// The unreduced Miller-loop value f_{q,P}(φQ) ∈ Fp2 (inversion-free,
+/// Jacobian coordinates). pair(P, Q) == final_exponentiation(miller_loop(P, Q)).
+math::Fp2 miller_loop(const G1& p, const G1& q);
+
+/// Final exponentiation f^{(p²−1)/q}; maps a Miller value to canonical GT.
+/// Costs one Fp2 (= one Fp) inversion.
+Gt final_exponentiation(const math::Fp2& f);
+
+/// Batched final exponentiation: one shared inversion (Montgomery's trick)
+/// for the whole span instead of one per element. Used by PairingCache
+/// warm-up where many pairings are reduced at once.
+std::vector<Gt> final_exponentiation_batch(std::span<const math::Fp2> fs);
 
 }  // namespace mccls::pairing

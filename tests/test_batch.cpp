@@ -96,6 +96,39 @@ TEST(BatchVerify, AgreesWithIndividualVerification) {
                            f.rng, &cache));
 }
 
+TEST(PairingCacheWarm, WarmedEntriesMatchLazyOnes) {
+  // warm() precomputes with one batched final exponentiation; the entries
+  // must be bit-identical to what the lazy get() path computes.
+  Fixture f;
+  PairingCache warmed;
+  const std::vector<std::string> ids = {"alice", "bob", "carol"};
+  warmed.warm(f.kgc.params(), ids);
+  EXPECT_EQ(warmed.size(), 3u);
+  PairingCache lazy;
+  for (const auto& id : ids) {
+    EXPECT_EQ(warmed.get(f.kgc.params(), id), lazy.get(f.kgc.params(), id)) << id;
+  }
+  EXPECT_EQ(warmed.size(), 3u) << "get() after warm() must not recompute";
+}
+
+TEST(PairingCacheWarm, SkipsAlreadyCachedAndDuplicateIds) {
+  Fixture f;
+  PairingCache cache;
+  (void)cache.get(f.kgc.params(), "alice");
+  const std::vector<std::string> ids = {"alice", "bob", "bob"};
+  cache.warm(f.kgc.params(), ids);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PairingCacheWarm, VerifyAcceptsAgainstWarmedCache) {
+  Fixture f;
+  PairingCache cache;
+  cache.warm(f.kgc.params(), std::vector<std::string>{"alice"});
+  const auto item = f.make_item(f.alice, "warmed");
+  EXPECT_TRUE(Mccls::verify_typed(f.kgc.params(), "alice", f.alice.public_key.primary(),
+                                  item.message, item.signature, &cache));
+}
+
 class BatchSizeSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(BatchSizeSweep, ValidBatchesOfEverySizeAccept) {

@@ -13,6 +13,17 @@ namespace {
 
 using ec::G1;
 
+TEST(SystemParams, PIsGeneratorCachedCheck) {
+  crypto::HmacDrbg rng(std::uint64_t{7});
+  const Kgc kgc = Kgc::setup(rng);
+  EXPECT_TRUE(kgc.params().p_is_generator());
+  EXPECT_TRUE(kgc.params().p_is_generator()) << "cached answer must be stable";
+
+  const SystemParams off{.p = kgc.params().p_pub, .p_pub = kgc.params().p_pub};
+  EXPECT_FALSE(off.p_is_generator());
+  EXPECT_FALSE(off.p_is_generator());
+}
+
 TEST(Kgc, SetupProducesConsistentParams) {
   crypto::HmacDrbg rng(std::uint64_t{1});
   const Kgc kgc = Kgc::setup(rng);

@@ -1,0 +1,157 @@
+// Gate for the BENCH_*.json perf trajectory (see bench/bench_json.hpp).
+//
+//   bench_compare old.json new.json [--min-ratio R]
+//       Compares matching result names across two runs; ratio is
+//       old_median / new_median (>1 means `new` got faster). With
+//       --min-ratio, exits 1 if any common op regressed below R.
+//
+//   bench_compare --gate file.json BASELINE CANDIDATE MIN_SPEEDUP
+//       Asserts median(BASELINE) / median(CANDIDATE) >= MIN_SPEEDUP within
+//       one file. This is how the ≥3× projective-pairing claim is enforced:
+//         bench_compare --gate BENCH_pairing.json pair_affine pair_projective 3.0
+//
+// The parser handles exactly the flat subset of JSON the bench writer
+// emits; it is not a general JSON library.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct BenchFile {
+  std::string bench;
+  std::map<std::string, double> median_ns;  // result name -> median
+};
+
+// Scans `src` from `pos` for the next quoted string; returns it and leaves
+// `pos` just past the closing quote. No escape handling (the writer never
+// emits escapes).
+std::optional<std::string> next_string(const std::string& src, std::size_t& pos) {
+  const std::size_t open = src.find('"', pos);
+  if (open == std::string::npos) return std::nullopt;
+  const std::size_t close = src.find('"', open + 1);
+  if (close == std::string::npos) return std::nullopt;
+  pos = close + 1;
+  return src.substr(open + 1, close - open - 1);
+}
+
+// Reads the number following "key": within `obj`.
+std::optional<double> number_field(const std::string& obj, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  return std::strtod(obj.c_str() + at + needle.size(), nullptr);
+}
+
+std::optional<std::string> string_field(const std::string& obj, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  at += needle.size();
+  return next_string(obj, at);
+}
+
+std::optional<BenchFile> load(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+
+  BenchFile out;
+  if (const auto name = string_field(src, "bench")) out.bench = *name;
+
+  // Walk the "results" array object by object.
+  std::size_t pos = src.find("\"results\"");
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "bench_compare: %s has no \"results\" array\n", path);
+    return std::nullopt;
+  }
+  const std::size_t end = src.find(']', pos);
+  while (true) {
+    const std::size_t open = src.find('{', pos);
+    if (open == std::string::npos || open > end) break;
+    const std::size_t close = src.find('}', open);
+    if (close == std::string::npos) break;
+    const std::string obj = src.substr(open, close - open + 1);
+    const auto name = string_field(obj, "name");
+    const auto median = number_field(obj, "median_ns");
+    if (name && median) out.median_ns[*name] = *median;
+    pos = close + 1;
+  }
+  if (out.median_ns.empty()) {
+    std::fprintf(stderr, "bench_compare: %s contains no parsable results\n", path);
+    return std::nullopt;
+  }
+  return out;
+}
+
+int gate_mode(int argc, char** argv) {
+  if (argc != 6) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --gate FILE BASELINE CANDIDATE MIN_SPEEDUP\n");
+    return 2;
+  }
+  const auto file = load(argv[2]);
+  if (!file) return 2;
+  const auto base = file->median_ns.find(argv[3]);
+  const auto cand = file->median_ns.find(argv[4]);
+  if (base == file->median_ns.end() || cand == file->median_ns.end()) {
+    std::fprintf(stderr, "bench_compare: %s or %s missing from %s\n", argv[3], argv[4],
+                 argv[2]);
+    return 2;
+  }
+  const double min_speedup = std::strtod(argv[5], nullptr);
+  const double speedup = base->second / cand->second;
+  std::printf("%s: %s %.1f ns -> %s %.1f ns = %.2fx (gate: >= %.2fx)\n",
+              file->bench.c_str(), argv[3], base->second, argv[4], cand->second, speedup,
+              min_speedup);
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "bench_compare: FAILED gate (%.2fx < %.2fx)\n", speedup,
+                 min_speedup);
+    return 1;
+  }
+  std::printf("bench_compare: gate passed\n");
+  return 0;
+}
+
+int compare_mode(int argc, char** argv) {
+  double min_ratio = 0;  // 0: report-only
+  if (argc == 5 && std::strcmp(argv[3], "--min-ratio") == 0) {
+    min_ratio = std::strtod(argv[4], nullptr);
+  } else if (argc != 3) {
+    std::fprintf(stderr, "usage: bench_compare OLD.json NEW.json [--min-ratio R]\n");
+    return 2;
+  }
+  const auto before = load(argv[1]);
+  const auto after = load(argv[2]);
+  if (!before || !after) return 2;
+
+  std::printf("%-26s %14s %14s %9s\n", "op", "old median_ns", "new median_ns", "ratio");
+  bool failed = false;
+  for (const auto& [name, old_median] : before->median_ns) {
+    const auto it = after->median_ns.find(name);
+    if (it == after->median_ns.end()) continue;
+    const double ratio = old_median / it->second;
+    std::printf("%-26s %14.1f %14.1f %8.2fx%s\n", name.c_str(), old_median, it->second,
+                ratio, min_ratio > 0 && ratio < min_ratio ? "  <-- REGRESSION" : "");
+    if (min_ratio > 0 && ratio < min_ratio) failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--gate") == 0) return gate_mode(argc, argv);
+  return compare_mode(argc, argv);
+}
