@@ -1,0 +1,213 @@
+// Throughput of the src/svc verification service: verified signatures per
+// second as a function of worker count, signer skew, and coalescing.
+//
+// The interesting claim is that worker count is an *algorithmic* lever even
+// on one core: requests are dispatched to workers by signer-identity hash,
+// so more workers means fewer distinct signers per worker, longer
+// same-signer runs per drained chunk, larger cls::batch_verify batches, and
+// fewer pairings per signature. The acceptance gate
+//
+//   bench_compare --gate BENCH_service.json verify_w1_uniform verify_w4_uniform 2.0
+//
+// enforces ≥2x verified-signatures/sec at 4 workers vs 1 (results are
+// recorded as ns-per-signature, so the baseline/candidate median ratio IS
+// the throughput speedup). The nocoalesce rows ablate the batching away to
+// show the lever really is the coalescer, not scheduling noise.
+//
+// Knobs: MCCLS_BENCH_JSON (output path, default BENCH_service.json),
+//        MCCLS_BENCH_SAMPLES (timed runs per config, default 5).
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "cls/mccls.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace mccls;
+
+// 64 signers against the default 64-request drain chunk puts 1 worker at the
+// degenerate point (every chunk holds each signer once — no coalescing
+// possible), while 4 workers see 16 signers each and batch ~4 per chunk.
+// 1024 requests keeps the pipeline in steady state long enough that the
+// ramp-up (workers draining short chunks before the producer gets ahead)
+// doesn't dominate the mean batch size.
+constexpr std::size_t kSigners = 64;
+constexpr std::size_t kRequests = 1024;
+
+unsigned samples() {
+  if (const char* env = std::getenv("MCCLS_BENCH_SAMPLES"); env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 5;
+}
+
+/// Pre-encoded request corpus for one skew setting. Zipf(s) over the signer
+/// ranks; s == 0 is uniform round-robin.
+std::vector<crypto::Bytes> make_corpus(const cls::Kgc& kgc,
+                                       std::span<const cls::UserKeys> signers, double skew,
+                                       crypto::HmacDrbg& rng) {
+  const cls::Mccls scheme;
+  std::vector<double> cdf(signers.size());
+  double total = 0;
+  for (std::size_t k = 0; k < signers.size(); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf[k] = total;
+  }
+  std::vector<crypto::Bytes> frames;
+  frames.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    std::size_t pick = i % signers.size();
+    if (skew > 0) {
+      std::array<std::uint8_t, 8> raw;
+      rng.generate(raw);
+      std::uint64_t bits = 0;
+      for (const std::uint8_t b : raw) bits = bits << 8 | b;
+      const double u = static_cast<double>(bits >> 11) * 0x1.0p-53 * total;
+      pick = 0;
+      while (pick + 1 < cdf.size() && cdf[pick] < u) ++pick;
+    }
+    const cls::UserKeys& signer = signers[pick];
+    crypto::ByteWriter msg;
+    msg.put_u64(i);
+    msg.put_field("bench: service payload");
+    svc::VerifyRequest request{.request_id = i + 1,
+                               .scheme = "McCLS",
+                               .id = signer.id,
+                               .public_key = signer.public_key,
+                               .message = msg.take(),
+                               .signature = {}};
+    request.signature = scheme.sign(kgc.params(), signer, request.message, rng);
+    frames.push_back(svc::encode_request(request));
+  }
+  return frames;
+}
+
+struct RunStats {
+  bench::BenchResult result;      ///< ns per verified signature
+  double mean_batch_size = 1.0;   ///< from the service's own metrics
+};
+
+/// One service per config; `samples` timed runs (plus one warm-up) each
+/// pushing the full corpus and waiting for every completion. Queue capacity
+/// covers the whole corpus so nothing is shed — the bench measures the
+/// verification pipeline, not backpressure.
+RunStats run_config(const std::string& name, unsigned n_samples, unsigned workers,
+                    bool coalesce, const cls::SystemParams& params,
+                    std::span<const std::string> ids,
+                    std::span<const crypto::Bytes> frames) {
+  using clock = std::chrono::steady_clock;
+  svc::VerifyService service(params, svc::ServiceConfig{.workers = workers,
+                                                        .queue_capacity = kRequests,
+                                                        .coalesce = coalesce});
+  service.cache().warm(params, ids);
+
+  std::vector<double> per_sig(n_samples);
+  for (unsigned s = 0; s <= n_samples; ++s) {  // s == 0 is the warm-up run
+    std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> verified{0};
+    const auto done = [&](const svc::VerifyResponse& response) {
+      if (response.status == svc::Status::kVerified) {
+        verified.fetch_add(1, std::memory_order_relaxed);
+      }
+      completed.fetch_add(1, std::memory_order_relaxed);
+    };
+    const auto start = clock::now();
+    for (const crypto::Bytes& frame : frames) (void)service.submit_bytes(frame, done);
+    while (completed.load(std::memory_order_relaxed) < frames.size()) {
+      std::this_thread::yield();
+    }
+    const auto stop = clock::now();
+    if (verified.load() != frames.size()) {
+      std::fprintf(stderr, "bench_service: %s verified %zu/%zu — aborting\n", name.c_str(),
+                   verified.load(), frames.size());
+      std::exit(1);
+    }
+    if (s == 0) continue;
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count());
+    per_sig[s - 1] = ns / static_cast<double>(frames.size());
+  }
+
+  std::sort(per_sig.begin(), per_sig.end());
+  double sum = 0;
+  for (const double v : per_sig) sum += v;
+  const double median = n_samples % 2 == 1
+                            ? per_sig[n_samples / 2]
+                            : (per_sig[n_samples / 2 - 1] + per_sig[n_samples / 2]) / 2.0;
+  RunStats stats;
+  stats.result = bench::BenchResult{.name = name,
+                                    .iters = std::uint64_t{n_samples} * frames.size(),
+                                    .median_ns = median,
+                                    .mean_ns = sum / n_samples,
+                                    .min_ns = per_sig.front()};
+  stats.mean_batch_size = service.metrics().snapshot().mean_batch_size();
+  std::printf("%-26s %12.1f ns/sig (median)  %8.0f sigs/s  mean batch %.2f\n",
+              name.c_str(), stats.result.median_ns, 1e9 / stats.result.median_ns,
+              stats.mean_batch_size);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned n_samples = samples();
+
+  crypto::HmacDrbg rng(std::uint64_t{0x5E21CE});
+  const cls::Kgc kgc = cls::Kgc::setup(rng);
+  const cls::Mccls scheme;
+  std::vector<cls::UserKeys> signers;
+  std::vector<std::string> ids;
+  for (std::size_t s = 0; s < kSigners; ++s) {
+    ids.push_back("node-" + std::to_string(s));
+    signers.push_back(scheme.enroll(kgc, ids.back(), rng));
+  }
+  const auto uniform = make_corpus(kgc, signers, 0.0, rng);
+  const auto zipf = make_corpus(kgc, signers, 1.0, rng);
+  std::printf("bench_service: %zu signers, %zu requests per run, %u samples\n\n", kSigners,
+              kRequests, n_samples);
+
+  std::vector<bench::BenchResult> results;
+  std::map<std::string, double> derived;
+  const auto run = [&](const std::string& name, unsigned workers, bool coalesce,
+                       std::span<const crypto::Bytes> frames) {
+    const RunStats stats =
+        run_config(name, n_samples, workers, coalesce, kgc.params(), ids, frames);
+    results.push_back(stats.result);
+    derived["batch_size_" + name] = stats.mean_batch_size;
+    return stats.result.median_ns;
+  };
+
+  std::map<unsigned, double> uniform_ns;
+  for (const unsigned w : {1u, 2u, 4u, 8u}) {
+    uniform_ns[w] = run("verify_w" + std::to_string(w) + "_uniform", w, true, uniform);
+  }
+  for (const unsigned w : {1u, 2u, 4u, 8u}) {
+    run("verify_w" + std::to_string(w) + "_zipf", w, true, zipf);
+  }
+  const double no_co_w1 = run("verify_w1_uniform_nocoalesce", 1, false, uniform);
+  const double no_co_w4 = run("verify_w4_uniform_nocoalesce", 4, false, uniform);
+
+  derived["speedup_w4_vs_w1_uniform"] = uniform_ns[1] / uniform_ns[4];
+  derived["speedup_w8_vs_w1_uniform"] = uniform_ns[1] / uniform_ns[8];
+  derived["coalesce_gain_w1"] = no_co_w1 / uniform_ns[1];
+  derived["coalesce_gain_w4"] = no_co_w4 / uniform_ns[4];
+
+  std::printf("\nspeedup w4/w1 (uniform): %.2fx   coalesce gain at w4: %.2fx\n",
+              derived["speedup_w4_vs_w1_uniform"], derived["coalesce_gain_w4"]);
+
+  const char* path_env = std::getenv("MCCLS_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_service.json";
+  return bench::write_bench_json(path, "service", results, derived) ? 0 : 1;
+}

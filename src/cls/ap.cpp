@@ -58,7 +58,7 @@ crypto::Bytes Ap::sign(const SystemParams& params, const UserKeys& signer,
 
 bool Ap::verify(const SystemParams& params, std::string_view id, const PublicKey& public_key,
                 std::span<const std::uint8_t> message,
-                std::span<const std::uint8_t> signature, PairingCache* /*cache*/) const {
+                std::span<const std::uint8_t> signature, GtCache* /*cache*/) const {
   if (public_key.points.size() != 2) return false;
   const auto sig = ApSignature::from_bytes(signature);
   if (!sig) return false;

@@ -9,7 +9,7 @@ namespace mccls::cls {
 
 bool batch_verify(const SystemParams& params, std::string_view id, const ec::G1& public_key,
                   std::span<const BatchItem> items, crypto::HmacDrbg& rng,
-                  PairingCache* cache) {
+                  GtCache* cache) {
   if (items.empty()) return true;
 
   // All signatures must carry the signer-static S; otherwise fall back to

@@ -36,6 +36,6 @@ inline constexpr unsigned kDeltaBits = 64;
 /// pairings for one-by-one verification. bench_batch measures the crossover.
 bool batch_verify(const SystemParams& params, std::string_view id, const ec::G1& public_key,
                   std::span<const BatchItem> items, crypto::HmacDrbg& rng,
-                  PairingCache* cache = nullptr);
+                  GtCache* cache = nullptr);
 
 }  // namespace mccls::cls

@@ -63,7 +63,7 @@ McclsSignature Mccls::sign_typed(const SystemParams& params, const UserKeys& sig
 
 bool Mccls::verify_typed(const SystemParams& params, std::string_view id,
                          const ec::G1& public_key, std::span<const std::uint8_t> message,
-                         const McclsSignature& sig, PairingCache* cache) {
+                         const McclsSignature& sig, GtCache* cache) {
   const math::Fq h = mccls_challenge(message, sig.r, public_key);
   if (h.is_zero()) return false;
   // Left side of the DH-tuple check: ê(V·P − h·R, h⁻¹·S), computed as one
@@ -84,7 +84,7 @@ crypto::Bytes Mccls::sign(const SystemParams& params, const UserKeys& signer,
 
 bool Mccls::verify(const SystemParams& params, std::string_view id,
                    const PublicKey& public_key, std::span<const std::uint8_t> message,
-                   std::span<const std::uint8_t> signature, PairingCache* cache) const {
+                   std::span<const std::uint8_t> signature, GtCache* cache) const {
   if (public_key.points.size() != 1) return false;
   const auto sig = McclsSignature::from_bytes(signature);
   if (!sig) return false;

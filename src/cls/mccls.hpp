@@ -60,7 +60,7 @@ class Mccls final : public Scheme {
                                          const ec::G1& public_key,
                                          std::span<const std::uint8_t> message,
                                          const McclsSignature& sig,
-                                         PairingCache* cache = nullptr);
+                                         GtCache* cache = nullptr);
 
   [[nodiscard]] crypto::Bytes sign(const SystemParams& params, const UserKeys& signer,
                                    std::span<const std::uint8_t> message,
@@ -69,7 +69,7 @@ class Mccls final : public Scheme {
                             const PublicKey& public_key,
                             std::span<const std::uint8_t> message,
                             std::span<const std::uint8_t> signature,
-                            PairingCache* cache = nullptr) const override;
+                            GtCache* cache = nullptr) const override;
   [[nodiscard]] std::size_t signature_size() const override { return McclsSignature::kSize; }
 };
 

@@ -6,7 +6,7 @@
 
 namespace mccls::cls {
 
-const pairing::Gt& PairingCache::get(const SystemParams& params, std::string_view id) {
+pairing::Gt PairingCache::get(const SystemParams& params, std::string_view id) {
   const auto it = cache_.find(std::string(id));
   if (it != cache_.end()) return it->second;
   auto [inserted, _] =

@@ -27,11 +27,26 @@ struct OpCounts {
   int public_key_points = 1;  ///< public key length in G1 points
 };
 
-/// Memoizes ê(Ppub, Q_ID) per identity — the constant right-hand side of the
-/// McCLS verification equation (and a term of ZWXF/YHG verification).
-class PairingCache {
+/// Read-through cache of ê(Ppub, Q_ID) — the identity-constant right-hand
+/// side of the McCLS verification equation (and a term of ZWXF/YHG
+/// verification). Implementations differ in their concurrency contract:
+/// PairingCache below is single-threaded; svc::ShardedPairingCache is safe
+/// for concurrent use. get() returns by value so an entry can never be
+/// invalidated behind the caller's back by a concurrent or subsequent
+/// insertion rehashing the underlying table.
+class GtCache {
  public:
-  const pairing::Gt& get(const SystemParams& params, std::string_view id);
+  virtual ~GtCache() = default;
+
+  /// ê(Ppub, H1(id)); computed on first use, memoized afterwards.
+  virtual pairing::Gt get(const SystemParams& params, std::string_view id) = 0;
+};
+
+/// Single-threaded GtCache backed by one unordered_map (e.g. one node's
+/// neighbor set in the simulator).
+class PairingCache final : public GtCache {
+ public:
+  pairing::Gt get(const SystemParams& params, std::string_view id) override;
 
   /// Precomputes entries for every identity in `ids` (e.g. a node's known
   /// neighbor set before a simulation round). The Miller loops run
@@ -72,7 +87,7 @@ class Scheme {
                                     const PublicKey& public_key,
                                     std::span<const std::uint8_t> message,
                                     std::span<const std::uint8_t> signature,
-                                    PairingCache* cache = nullptr) const = 0;
+                                    GtCache* cache = nullptr) const = 0;
 
   /// Serialized signature size in bytes (fixed per scheme).
   [[nodiscard]] virtual std::size_t signature_size() const = 0;

@@ -50,7 +50,7 @@ crypto::Bytes Yhg::sign(const SystemParams& params, const UserKeys& signer,
 
 bool Yhg::verify(const SystemParams& params, std::string_view id, const PublicKey& public_key,
                  std::span<const std::uint8_t> message,
-                 std::span<const std::uint8_t> signature, PairingCache* cache) const {
+                 std::span<const std::uint8_t> signature, GtCache* cache) const {
   if (public_key.points.size() != 1) return false;
   const auto sig = YhgSignature::from_bytes(signature);
   if (!sig) return false;

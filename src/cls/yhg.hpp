@@ -52,7 +52,7 @@ class Yhg final : public Scheme {
                             const PublicKey& public_key,
                             std::span<const std::uint8_t> message,
                             std::span<const std::uint8_t> signature,
-                            PairingCache* cache = nullptr) const override;
+                            GtCache* cache = nullptr) const override;
   [[nodiscard]] std::size_t signature_size() const override { return YhgSignature::kSize; }
 };
 

@@ -61,7 +61,7 @@ crypto::Bytes Zwxf::sign(const SystemParams& params, const UserKeys& signer,
 
 bool Zwxf::verify(const SystemParams& params, std::string_view id,
                   const PublicKey& public_key, std::span<const std::uint8_t> message,
-                  std::span<const std::uint8_t> signature, PairingCache* cache) const {
+                  std::span<const std::uint8_t> signature, GtCache* cache) const {
   if (public_key.points.size() != 1) return false;
   const auto sig = ZwxfSignature::from_bytes(signature);
   if (!sig) return false;

@@ -1,0 +1,174 @@
+// Service counters: request outcomes, coalescing effectiveness (batch-size
+// histogram), queue pressure and end-to-end latency percentiles. All relaxed
+// atomics — metrics never order anything; they are written from workers and
+// producers concurrently and read by whoever dumps them.
+//
+// to_json() emits the flat BENCH_*.json schema (bench/bench_json.hpp):
+// latency percentiles as "results" entries and the counters under
+// "derived", so tools/bench_compare can parse and gate a service metrics
+// dump exactly like a benchmark trajectory file.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace mccls::svc {
+
+class ServiceMetrics {
+ public:
+  /// Batch-size histogram buckets: log2(size), i.e. 1, 2, 4, ... 128, 256+.
+  static constexpr std::size_t kBatchBuckets = 9;
+  /// Latency histogram buckets: [2^i, 2^{i+1}) ns, i < 48 (≈ 3.2 days).
+  static constexpr std::size_t kLatencyBuckets = 48;
+
+  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_busy() { busy_.fetch_add(1, std::memory_order_relaxed); }
+  void on_malformed() { malformed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_verified() { verified_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  void on_single_verify() { single_verifies_.fetch_add(1, std::memory_order_relaxed); }
+  void on_batch(std::size_t size) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_signatures_.fetch_add(size, std::memory_order_relaxed);
+    batch_hist_[log2_bucket(size, kBatchBuckets)].fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A batch that failed the small-exponent test and was re-verified
+  /// signature by signature.
+  void on_batch_fallback() { batch_fallbacks_.fetch_add(1, std::memory_order_relaxed); }
+
+  void on_latency_ns(std::uint64_t ns) {
+    latency_hist_[log2_bucket(ns, kLatencyBuckets)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_queue_depth(std::size_t depth) {
+    std::uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !queue_depth_peak_.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  struct Snapshot {
+    std::uint64_t submitted = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t malformed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batched_signatures = 0;
+    std::uint64_t batch_fallbacks = 0;
+    std::uint64_t single_verifies = 0;
+    std::uint64_t queue_depth_peak = 0;
+    std::array<std::uint64_t, kBatchBuckets> batch_hist{};
+    double latency_p50_ns = 0;
+    double latency_p99_ns = 0;
+    /// Mean signatures per batch_verify call (1.0 when nothing coalesced).
+    [[nodiscard]] double mean_batch_size() const {
+      return batches == 0 ? 1.0
+                          : static_cast<double>(batched_signatures) /
+                                static_cast<double>(batches);
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.verified = verified_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.busy = busy_.load(std::memory_order_relaxed);
+    s.malformed = malformed_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.batched_signatures = batched_signatures_.load(std::memory_order_relaxed);
+    s.batch_fallbacks = batch_fallbacks_.load(std::memory_order_relaxed);
+    s.single_verifies = single_verifies_.load(std::memory_order_relaxed);
+    s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+    std::array<std::uint64_t, kLatencyBuckets> lat{};
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      lat[i] = latency_hist_[i].load(std::memory_order_relaxed);
+      total += lat[i];
+    }
+    for (std::size_t i = 0; i < kBatchBuckets; ++i) {
+      s.batch_hist[i] = batch_hist_[i].load(std::memory_order_relaxed);
+    }
+    s.latency_p50_ns = percentile(lat, total, 0.50);
+    s.latency_p99_ns = percentile(lat, total, 0.99);
+    return s;
+  }
+
+  /// Flat BENCH-schema JSON (see file comment). `name` becomes "bench".
+  [[nodiscard]] std::string to_json(const std::string& name = "verifyd") const {
+    const Snapshot s = snapshot();
+    std::string out = "{\n  \"bench\": \"" + name + "\",\n  \"results\": [\n";
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"latency_p50\", \"iters\": %llu, \"median_ns\": %.1f, "
+                  "\"mean_ns\": %.1f, \"min_ns\": %.1f},\n",
+                  static_cast<unsigned long long>(s.verified + s.rejected),
+                  s.latency_p50_ns, s.latency_p50_ns, s.latency_p50_ns);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"latency_p99\", \"iters\": %llu, \"median_ns\": %.1f, "
+                  "\"mean_ns\": %.1f, \"min_ns\": %.1f}\n",
+                  static_cast<unsigned long long>(s.verified + s.rejected),
+                  s.latency_p99_ns, s.latency_p99_ns, s.latency_p99_ns);
+    out += buf;
+    out += "  ],\n  \"derived\": {\n";
+    const auto counter = [&](const char* key, double value, bool last = false) {
+      std::snprintf(buf, sizeof buf, "    \"%s\": %.4f%s\n", key, value, last ? "" : ",");
+      out += buf;
+    };
+    counter("submitted", static_cast<double>(s.submitted));
+    counter("verified", static_cast<double>(s.verified));
+    counter("rejected", static_cast<double>(s.rejected));
+    counter("busy", static_cast<double>(s.busy));
+    counter("malformed", static_cast<double>(s.malformed));
+    counter("batches", static_cast<double>(s.batches));
+    counter("batched_signatures", static_cast<double>(s.batched_signatures));
+    counter("batch_fallbacks", static_cast<double>(s.batch_fallbacks));
+    counter("single_verifies", static_cast<double>(s.single_verifies));
+    counter("mean_batch_size", s.mean_batch_size());
+    counter("queue_depth_peak", static_cast<double>(s.queue_depth_peak), true);
+    out += "  }\n}\n";
+    return out;
+  }
+
+ private:
+  /// floor(log2(v)) clamped to [0, buckets); v == 0 lands in bucket 0.
+  static std::size_t log2_bucket(std::uint64_t v, std::size_t buckets) {
+    std::size_t b = 0;
+    while (v > 1 && b + 1 < buckets) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  template <std::size_t N>
+  static double percentile(const std::array<std::uint64_t, N>& hist, std::uint64_t total,
+                           double q) {
+    if (total == 0) return 0;
+    const double target = q * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      seen += hist[i];
+      if (static_cast<double>(seen) >= target) {
+        // Report the bucket's geometric midpoint: [2^i, 2^{i+1}).
+        return static_cast<double>(std::uint64_t{1} << i) * 1.5;
+      }
+    }
+    return static_cast<double>(std::uint64_t{1} << (N - 1));
+  }
+
+  std::atomic<std::uint64_t> submitted_{0}, verified_{0}, rejected_{0}, busy_{0},
+      malformed_{0};
+  std::atomic<std::uint64_t> batches_{0}, batched_signatures_{0}, batch_fallbacks_{0},
+      single_verifies_{0};
+  std::atomic<std::uint64_t> queue_depth_peak_{0};
+  std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_hist_{};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_{};
+};
+
+}  // namespace mccls::svc

@@ -1,0 +1,102 @@
+// Bounded MPMC job queue with drop-tail backpressure — the admission point
+// of the verification service. Mirrors the interface-queue semantics of
+// src/net (PhyConfig::queue_limit): when full, try_push refuses immediately
+// (the caller reports "busy") instead of blocking or growing without bound,
+// so a flooded verifier sheds load the same way a saturated radio does.
+//
+// Plain mutex + condition_variable_any: consumers drain in chunks (the batch
+// coalescer wants runs, not single items), so the lock is taken once per
+// drained chunk, not once per element — queue overhead is noise next to a
+// ~1 ms pairing.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+#include <vector>
+
+namespace mccls::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admission. Returns false — leaving `item` untouched, so
+  /// the caller can still answer with it — when the queue is full
+  /// (drop-tail) or closed.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once the queue is closed and
+  /// drained, or `stop` is requested.
+  std::optional<T> pop(std::stop_token stop) {
+    std::unique_lock lock(mutex_);
+    if (!ready_.wait(lock, stop, [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;  // stop requested while empty
+    }
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Blocks for the first item, then greedily moves up to `max` immediately
+  /// available items into `out` (appending). Returns false — with `out`
+  /// unmodified — once closed-and-drained or stopped; a worker loop can use
+  /// the return value as its run condition.
+  bool drain(std::vector<T>& out, std::size_t max, std::stop_token stop) {
+    std::unique_lock lock(mutex_);
+    if (!ready_.wait(lock, stop, [&] { return closed_ || !items_.empty(); })) {
+      return false;
+    }
+    if (items_.empty()) return false;
+    const std::size_t n = std::min(max, items_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return true;
+  }
+
+  /// Closes admission: subsequent try_push fails, blocked consumers finish
+  /// the backlog and then observe end-of-stream. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable_any ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mccls::svc

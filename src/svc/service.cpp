@@ -1,0 +1,185 @@
+#include "svc/service.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "cls/batch.hpp"
+#include "cls/mccls.hpp"
+#include "cls/registry.hpp"
+
+namespace mccls::svc {
+
+namespace {
+
+/// Coalescing key: signatures are batchable iff identity, public key AND the
+/// signer-static S component all agree (batch_verify's precondition). Keying
+/// on S rather than trusting it makes the coalescer fall back to single
+/// verification automatically when S components differ.
+std::string group_key(const VerifyRequest& request, const cls::McclsSignature& sig) {
+  crypto::ByteWriter w;
+  w.put_field(request.id);
+  w.put_field(request.public_key.to_bytes());
+  const auto s_bytes = sig.s.to_bytes();
+  w.put_field(s_bytes);
+  return std::string(w.bytes().begin(), w.bytes().end());
+}
+
+}  // namespace
+
+VerifyService::VerifyService(const cls::SystemParams& params, ServiceConfig config)
+    : params_(params), config_(config), cache_(config.cache_shards) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.min_batch < 2) config_.min_batch = 2;
+  // Populate the lazy p-is-generator cache before any worker exists:
+  // SystemParams caches the comparison in a mutable field, which would be a
+  // write-write race if first evaluated concurrently.
+  (void)params_.p_is_generator();
+  for (const std::string_view name : cls::scheme_names()) {
+    schemes_.push_back(cls::make_scheme(name));
+  }
+  queues_.reserve(config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    queues_.push_back(std::make_unique<BoundedQueue<Job>>(config_.queue_capacity));
+  }
+  threads_.reserve(config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    threads_.emplace_back(
+        [this, i](std::stop_token stop) { worker_main(std::move(stop), i); });
+  }
+}
+
+VerifyService::~VerifyService() { shutdown(); }
+
+void VerifyService::shutdown() {
+  for (auto& queue : queues_) queue->close();
+  threads_.clear();  // jthread dtors join; workers exit after draining
+}
+
+bool VerifyService::submit(VerifyRequest request, Completion done) {
+  metrics_.on_submitted();
+  if (!scheme_wire_id(request.scheme)) {
+    metrics_.on_malformed();
+    if (done) done(VerifyResponse{request.request_id, Status::kMalformed});
+    return false;
+  }
+  const std::size_t shard =
+      std::hash<std::string_view>{}(std::string_view(request.id)) % queues_.size();
+  Job job{std::move(request), std::move(done), std::chrono::steady_clock::now()};
+  if (!queues_[shard]->try_push(std::move(job))) {
+    // try_push leaves its argument intact on refusal, so `job` still holds
+    // the request and completion.
+    metrics_.on_busy();
+    if (job.done) job.done(VerifyResponse{job.request.request_id, Status::kBusy});
+    return false;
+  }
+  metrics_.on_queue_depth(queues_[shard]->size());
+  return true;
+}
+
+bool VerifyService::submit_bytes(std::span<const std::uint8_t> frame, Completion done) {
+  auto request = decode_request(frame);
+  if (!request) {
+    metrics_.on_submitted();
+    metrics_.on_malformed();
+    if (done) done(VerifyResponse{0, Status::kMalformed});
+    return false;
+  }
+  return submit(std::move(*request), std::move(done));
+}
+
+void VerifyService::worker_main(std::stop_token stop, unsigned index) {
+  // Per-worker DRBG: only consumed for batch_verify's blinding exponents
+  // δ_i, which need unpredictability, not cross-worker coordination.
+  crypto::HmacDrbg rng(config_.seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  std::vector<Job> chunk;
+  chunk.reserve(config_.max_drain);
+  while (queues_[index]->drain(chunk, config_.max_drain, stop)) {
+    process_chunk(chunk, rng);
+    chunk.clear();
+  }
+}
+
+void VerifyService::process_chunk(std::vector<Job>& jobs, crypto::HmacDrbg& rng) {
+  if (!config_.coalesce) {
+    for (Job& job : jobs) verify_single(job);
+    return;
+  }
+
+  // Pass 1: split the chunk into batchable McCLS groups and singles.
+  std::vector<std::optional<cls::McclsSignature>> parsed(jobs.size());
+  std::unordered_map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const VerifyRequest& request = jobs[i].request;
+    if (request.scheme != "McCLS" || request.public_key.points.size() != 1) continue;
+    parsed[i] = cls::McclsSignature::from_bytes(request.signature);
+    if (!parsed[i]) continue;  // malformed -> single path -> kRejected
+    groups[group_key(request, *parsed[i])].push_back(i);
+  }
+
+  std::vector<bool> done(jobs.size(), false);
+  for (auto& [key, members] : groups) {
+    if (members.size() < config_.min_batch) continue;  // below crossover
+    std::vector<cls::BatchItem> items;
+    items.reserve(members.size());
+    for (const std::size_t i : members) {
+      items.push_back(cls::BatchItem{.message = jobs[i].request.message,
+                                     .signature = *parsed[i]});
+    }
+    const VerifyRequest& head = jobs[members.front()].request;
+    const bool ok = cls::batch_verify(params_, head.id, head.public_key.primary(), items,
+                                      rng, &cache_);
+    if (ok) {
+      metrics_.on_batch(members.size());
+      for (const std::size_t i : members) {
+        finish(jobs[i], Status::kVerified);
+        done[i] = true;
+      }
+    } else {
+      // At least one member is bad (or the whole context is): re-verify
+      // individually so valid members still pass and verdicts match the
+      // single-threaded path exactly.
+      metrics_.on_batch_fallback();
+    }
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!done[i]) verify_single(jobs[i]);
+  }
+}
+
+void VerifyService::verify_single(Job& job) {
+  const VerifyRequest& request = job.request;
+  const auto wire_id = scheme_wire_id(request.scheme);
+  if (!wire_id) {  // unreachable via submit(), kept total
+    finish(job, Status::kMalformed);
+    return;
+  }
+  metrics_.on_single_verify();
+  const bool ok = schemes_[*wire_id]->verify(params_, request.id, request.public_key,
+                                             request.message, request.signature, &cache_);
+  finish(job, ok ? Status::kVerified : Status::kRejected);
+}
+
+void VerifyService::finish(Job& job, Status status) {
+  switch (status) {
+    case Status::kVerified:
+      metrics_.on_verified();
+      break;
+    case Status::kRejected:
+      metrics_.on_rejected();
+      break;
+    case Status::kBusy:
+      metrics_.on_busy();
+      break;
+    case Status::kMalformed:
+      metrics_.on_malformed();
+      break;
+  }
+  metrics_.on_latency_ns(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - job.enqueued)
+          .count()));
+  if (job.done) job.done(VerifyResponse{job.request.request_id, status});
+}
+
+}  // namespace mccls::svc

@@ -1,0 +1,107 @@
+// verifyd — multithreaded signature-verification service over the cls
+// schemes.
+//
+// Threading model: requests are dispatched to one of `workers` bounded
+// queues by **signer-identity hash**, and each std::jthread worker drains
+// its own queue in chunks. Sharding by signer is what makes worker count an
+// *algorithmic* lever, not just a parallelism one: each worker sees only
+// 1/workers of the signer population, so a drained chunk contains longer
+// same-signer runs, the coalescer forms larger cls::batch_verify batches,
+// and the single amortized pairing is split over more signatures. Throughput
+// therefore scales with workers even on a single core (bench_service
+// measures ≥2x at 4 workers), on top of ordinary multicore scaling.
+//
+// Backpressure: admission never blocks. When the signer's worker queue is
+// full, submit() reports Status::kBusy immediately (drop-tail, like
+// src/net's interface queues) — a flooded verifier degrades by shedding
+// load, not by growing an unbounded backlog.
+//
+// Coalescing policy: within a drained chunk, McCLS requests are grouped by
+// (identity, public key, S component). Groups reaching `min_batch` (the
+// bench_batch crossover, 2) go through cls::batch_verify — one pairing for
+// the whole group; smaller groups, non-McCLS schemes, and undecodable
+// signatures take the single-verification path. A batch that fails the
+// small-exponent test falls back to per-signature verification, so every
+// verdict is byte-identical to single-threaded Scheme::verify.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "cls/scheme.hpp"
+#include "crypto/drbg.hpp"
+#include "svc/metrics.hpp"
+#include "svc/queue.hpp"
+#include "svc/sharded_cache.hpp"
+#include "svc/wire.hpp"
+
+namespace mccls::svc {
+
+struct ServiceConfig {
+  unsigned workers = 4;
+  std::size_t queue_capacity = 256;  ///< per-worker queue bound (drop-tail)
+  std::size_t max_drain = 64;        ///< chunk size a worker takes per wakeup
+  bool coalesce = true;              ///< group same-signer McCLS into batch_verify
+  std::size_t min_batch = 2;         ///< batch crossover (measured by bench_batch)
+  std::size_t cache_shards = 16;     ///< ShardedPairingCache stripe count
+  std::uint64_t seed = 0x5EC7BA7C4ULL;  ///< per-worker DRBG seed (batch deltas)
+};
+
+class VerifyService {
+ public:
+  /// Invoked exactly once per submitted request, on a worker thread (or
+  /// synchronously from submit() for kBusy/kMalformed). Must be
+  /// thread-safe; keep it cheap — it runs on the verification path.
+  using Completion = std::function<void(const VerifyResponse&)>;
+
+  explicit VerifyService(const cls::SystemParams& params, ServiceConfig config = {});
+  ~VerifyService();  ///< graceful: drains queued work, then joins workers
+
+  VerifyService(const VerifyService&) = delete;
+  VerifyService& operator=(const VerifyService&) = delete;
+
+  /// Enqueues a verify request. Returns false when the request was answered
+  /// immediately instead of enqueued: kBusy (signer's queue full) or
+  /// kMalformed (scheme name outside Table 1). Never blocks.
+  bool submit(VerifyRequest request, Completion done);
+
+  /// Wire entry point: total-decodes the frame, then submit(). Undecodable
+  /// frames get an immediate kMalformed response (request_id 0 — the frame
+  /// cannot be trusted to contain one).
+  bool submit_bytes(std::span<const std::uint8_t> frame, Completion done);
+
+  /// Closes admission, finishes the backlog, joins all workers. Idempotent;
+  /// called by the destructor. After shutdown, submit() reports kBusy.
+  void shutdown();
+
+  [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] ShardedPairingCache& cache() { return cache_; }
+  [[nodiscard]] const cls::SystemParams& params() const { return params_; }
+  [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(queues_.size()); }
+
+ private:
+  struct Job {
+    VerifyRequest request;
+    Completion done;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_main(std::stop_token stop, unsigned index);
+  void process_chunk(std::vector<Job>& jobs, crypto::HmacDrbg& rng);
+  void verify_single(Job& job);
+  void finish(Job& job, Status status);
+
+  cls::SystemParams params_;
+  ServiceConfig config_;
+  ServiceMetrics metrics_;
+  ShardedPairingCache cache_;
+  std::vector<std::unique_ptr<cls::Scheme>> schemes_;  ///< index == wire id
+  std::vector<std::unique_ptr<BoundedQueue<Job>>> queues_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace mccls::svc

@@ -1,0 +1,87 @@
+#include "svc/sharded_cache.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "pairing/pairing.hpp"
+
+namespace mccls::svc {
+
+ShardedPairingCache::ShardedPairingCache(std::size_t shards)
+    : shard_count_(shards == 0 ? 1 : shards),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+ShardedPairingCache::Shard& ShardedPairingCache::shard_for(std::string_view id) {
+  return shards_[std::hash<std::string_view>{}(id) % shard_count_];
+}
+
+pairing::Gt ShardedPairingCache::get(const cls::SystemParams& params, std::string_view id) {
+  Shard& shard = shard_for(id);
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.map.find(std::string(id));
+    if (it != shard.map.end()) return it->second;
+  }
+  // Miss: pair outside the lock (see header). Racing computations of the
+  // same identity produce the same canonical value; first insert wins.
+  const pairing::Gt value = pairing::pair(params.p_pub, cls::hash_id(id));
+  std::lock_guard lock(shard.mutex);
+  return shard.map.try_emplace(std::string(id), value).first->second;
+}
+
+void ShardedPairingCache::warm(const cls::SystemParams& params,
+                               std::span<const std::string> ids) {
+  // Partition by shard so each shard's misses reduce with one batched final
+  // exponentiation, mirroring the single-threaded warm().
+  std::vector<std::vector<const std::string*>> per_shard(shard_count_);
+  for (const std::string& id : ids) {
+    per_shard[std::hash<std::string_view>{}(id) % shard_count_].push_back(&id);
+  }
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    if (per_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+
+    std::vector<const std::string*> missing;
+    {
+      std::lock_guard lock(shard.mutex);
+      for (const std::string* id : per_shard[s]) {
+        if (shard.map.contains(*id)) continue;
+        // Dedupe within the request (ids may repeat).
+        bool seen = false;
+        for (const std::string* m : missing) seen = seen || *m == *id;
+        if (!seen) missing.push_back(id);
+      }
+    }
+    if (missing.empty()) continue;
+
+    std::vector<math::Fp2> fs;
+    fs.reserve(missing.size());
+    for (const std::string* id : missing) {
+      fs.push_back(pairing::miller_loop(params.p_pub, cls::hash_id(*id)));
+    }
+    const std::vector<pairing::Gt> gts = pairing::final_exponentiation_batch(fs);
+
+    std::lock_guard lock(shard.mutex);
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      shard.map.try_emplace(*missing[i], gts[i]);  // keep entries raced in meanwhile
+    }
+  }
+}
+
+std::size_t ShardedPairingCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    total += shards_[s].map.size();
+  }
+  return total;
+}
+
+void ShardedPairingCache::clear() {
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    shards_[s].map.clear();
+  }
+}
+
+}  // namespace mccls::svc

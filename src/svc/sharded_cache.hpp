@@ -1,0 +1,56 @@
+// Thread-safe, mutex-striped pairing cache for the verification service.
+//
+// The single-threaded cls::PairingCache keeps one unordered_map; concurrent
+// get()/warm() calls would race, and (before the GtCache by-value contract)
+// a warm()-induced rehash could invalidate a reference a reader was still
+// holding. This cache stripes identities across independently locked shards:
+// readers of different identities rarely contend, and every lookup copies
+// the 64-byte GT element out under the shard lock, so no caller ever
+// observes a rehash.
+//
+// Misses are computed *outside* the shard lock (a pairing is ~1 ms; holding
+// a lock that long would serialize every worker hitting the shard). Two
+// threads racing on the same cold identity may both compute the pairing;
+// both arrive at the same canonical value and try_emplace keeps the first —
+// duplicated work, never an inconsistent cache.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "cls/scheme.hpp"
+
+namespace mccls::svc {
+
+class ShardedPairingCache final : public cls::GtCache {
+ public:
+  explicit ShardedPairingCache(std::size_t shards = 16);
+
+  pairing::Gt get(const cls::SystemParams& params, std::string_view id) override;
+
+  /// Precomputes entries for every identity in `ids`. Like
+  /// cls::PairingCache::warm, all final exponentiations of one shard share a
+  /// single batched inversion; safe to call concurrently with get().
+  void warm(const cls::SystemParams& params, std::span<const std::string> ids);
+
+  [[nodiscard]] std::size_t size() const;  ///< distinct cached identities
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, pairing::Gt> map;
+  };
+
+  Shard& shard_for(std::string_view id);
+
+  std::size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace mccls::svc

@@ -1,0 +1,94 @@
+#include "svc/wire.hpp"
+
+#include "cls/registry.hpp"
+
+namespace mccls::svc {
+
+namespace {
+
+constexpr std::uint8_t kKindRequest = 1;
+constexpr std::uint8_t kKindResponse = 2;
+
+// Reads and checks the two-byte header; nullopt unless (kWireVersion, kind).
+bool read_header(crypto::ByteReader& reader, std::uint8_t kind) {
+  const auto version = reader.get_u8();
+  const auto got_kind = reader.get_u8();
+  return version && *version == kWireVersion && got_kind && *got_kind == kind;
+}
+
+}  // namespace
+
+std::optional<std::uint8_t> scheme_wire_id(std::string_view name) {
+  const auto names = cls::scheme_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint8_t>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> scheme_from_wire_id(std::uint8_t wire_id) {
+  const auto names = cls::scheme_names();
+  if (wire_id >= names.size()) return std::nullopt;
+  return names[wire_id];
+}
+
+crypto::Bytes encode_request(const VerifyRequest& request) {
+  crypto::ByteWriter w;
+  w.put_u8(kWireVersion);
+  w.put_u8(kKindRequest);
+  w.put_u64(request.request_id);
+  // Unknown scheme names encode as 0xFF, which no decoder accepts — an
+  // encode/decode round trip cannot launder a bad scheme into a valid one.
+  w.put_u8(scheme_wire_id(request.scheme).value_or(0xFF));
+  w.put_field(request.id);
+  w.put_field(request.public_key.to_bytes());
+  w.put_field(request.message);
+  w.put_field(request.signature);
+  return w.take();
+}
+
+std::optional<VerifyRequest> decode_request(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader reader(bytes);
+  if (!read_header(reader, kKindRequest)) return std::nullopt;
+  const auto request_id = reader.get_u64();
+  const auto scheme_id = reader.get_u8();
+  if (!request_id || !scheme_id) return std::nullopt;
+  const auto scheme = scheme_from_wire_id(*scheme_id);
+  if (!scheme) return std::nullopt;
+  const auto id = reader.get_field();
+  const auto pk_bytes = reader.get_field();
+  const auto message = reader.get_field();
+  const auto signature = reader.get_field();
+  if (!id || !pk_bytes || !message || !signature || !reader.exhausted()) {
+    return std::nullopt;
+  }
+  auto public_key = cls::PublicKey::from_bytes(*pk_bytes);
+  if (!public_key) return std::nullopt;
+  return VerifyRequest{.request_id = *request_id,
+                       .scheme = std::string(*scheme),
+                       .id = std::string(id->begin(), id->end()),
+                       .public_key = std::move(*public_key),
+                       .message = *message,
+                       .signature = *signature};
+}
+
+crypto::Bytes encode_response(const VerifyResponse& response) {
+  crypto::ByteWriter w;
+  w.put_u8(kWireVersion);
+  w.put_u8(kKindResponse);
+  w.put_u64(response.request_id);
+  w.put_u8(static_cast<std::uint8_t>(response.status));
+  return w.take();
+}
+
+std::optional<VerifyResponse> decode_response(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader reader(bytes);
+  if (!read_header(reader, kKindResponse)) return std::nullopt;
+  const auto request_id = reader.get_u64();
+  const auto status = reader.get_u8();
+  if (!request_id || !status || !reader.exhausted()) return std::nullopt;
+  if (*status > static_cast<std::uint8_t>(Status::kMalformed)) return std::nullopt;
+  return VerifyResponse{.request_id = *request_id, .status = Status{*status}};
+}
+
+}  // namespace mccls::svc

@@ -1,0 +1,61 @@
+// Canonical wire framing for verifyd requests and responses — the boundary
+// format a remote client (or the load generator) speaks to the service.
+// Built on crypto/encoding's length-prefixed ByteWriter/ByteReader, in the
+// style of aodv/codec: versioned header, and *total* decoders — malformed,
+// truncated, unknown-version and trailing-garbage inputs all yield nullopt,
+// never UB or exceptions.
+//
+//   request  := version:u8=1  kind:u8=1  request_id:u64  scheme:u8
+//               field(identity)  field(public_key)  field(message)
+//               field(signature)
+//   response := version:u8=1  kind:u8=2  request_id:u64  status:u8
+//
+// `scheme` is the u8 index into cls::scheme_names() (Table 1 order), and
+// `field(x)` is a u32-length-prefixed byte string.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cls/keys.hpp"
+
+namespace mccls::svc {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Final verdict (or admission failure) for one request.
+enum class Status : std::uint8_t {
+  kVerified = 0,   ///< signature accepted
+  kRejected = 1,   ///< signature (or its encoding) invalid for (id, pk, msg)
+  kBusy = 2,       ///< dropped at admission: worker queue full (backpressure)
+  kMalformed = 3,  ///< request frame undecodable or unknown scheme
+};
+
+struct VerifyRequest {
+  std::uint64_t request_id = 0;
+  std::string scheme;  ///< Table 1 name, e.g. "McCLS" (see cls::scheme_names)
+  std::string id;      ///< signer identity
+  cls::PublicKey public_key;
+  crypto::Bytes message;
+  crypto::Bytes signature;
+};
+
+struct VerifyResponse {
+  std::uint64_t request_id = 0;
+  Status status = Status::kRejected;
+};
+
+/// Scheme name <-> compact wire id (index into cls::scheme_names()).
+/// nullopt for names/ids outside Table 1.
+std::optional<std::uint8_t> scheme_wire_id(std::string_view name);
+std::optional<std::string_view> scheme_from_wire_id(std::uint8_t wire_id);
+
+crypto::Bytes encode_request(const VerifyRequest& request);
+std::optional<VerifyRequest> decode_request(std::span<const std::uint8_t> bytes);
+
+crypto::Bytes encode_response(const VerifyResponse& response);
+std::optional<VerifyResponse> decode_response(std::span<const std::uint8_t> bytes);
+
+}  // namespace mccls::svc

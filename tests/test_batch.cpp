@@ -120,6 +120,20 @@ TEST(PairingCacheWarm, SkipsAlreadyCachedAndDuplicateIds) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(PairingCacheWarm, GetIsStableAcrossWarmRehash) {
+  // get() returns by value (GtCache contract): the result must stay usable
+  // even after warm() inserts enough entries to rehash the underlying map —
+  // the old by-reference API handed out a pointer into the rehashed table.
+  Fixture f;
+  PairingCache cache;
+  const pairing::Gt alice = cache.get(f.kgc.params(), "alice");
+  std::vector<std::string> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back("rehash-node-" + std::to_string(i));
+  cache.warm(f.kgc.params(), ids);
+  EXPECT_EQ(cache.size(), 65u);
+  EXPECT_EQ(alice, cache.get(f.kgc.params(), "alice"));
+}
+
 TEST(PairingCacheWarm, VerifyAcceptsAgainstWarmedCache) {
   Fixture f;
   PairingCache cache;

@@ -1,0 +1,547 @@
+// The verification service: queue backpressure, wire-framing totality, the
+// sharded pairing cache's concurrency contract, and — the property the whole
+// subsystem hangs on — that concurrent, coalesced verification returns
+// exactly the verdicts single-threaded Scheme::verify would.
+//
+// Also built under ThreadSanitizer as test_service_tsan (tests/CMakeLists).
+#include "svc/service.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "cls/batch.hpp"
+#include "cls/mccls.hpp"
+#include "cls/registry.hpp"
+#include "pairing/pairing.hpp"
+#include "svc/queue.hpp"
+
+namespace mccls::svc {
+namespace {
+
+using ::testing::Each;
+
+// ------------------------------------------------------------ BoundedQueue
+
+TEST(BoundedQueue, DropTailRefusesWhenFullAndKeepsItemIntact) {
+  BoundedQueue<std::string> q(2);
+  EXPECT_TRUE(q.try_push("a"));
+  EXPECT_TRUE(q.try_push("b"));
+  std::string overflow = "overflow";
+  EXPECT_FALSE(q.try_push(std::move(overflow)));
+  EXPECT_EQ(overflow, "overflow") << "refused push must not consume the item";
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, PopIsFifo) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  std::stop_source stop;
+  EXPECT_EQ(q.pop(stop.get_token()), 0);
+  EXPECT_EQ(q.pop(stop.get_token()), 1);
+  EXPECT_EQ(q.pop(stop.get_token()), 2);
+}
+
+TEST(BoundedQueue, DrainTakesUpToMax) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  std::vector<int> out;
+  std::stop_source stop;
+  EXPECT_TRUE(q.drain(out, 4, stop.get_token()));
+  EXPECT_THAT(out, ::testing::ElementsAre(0, 1, 2, 3));
+  out.clear();
+  EXPECT_TRUE(q.drain(out, 4, stop.get_token()));
+  EXPECT_THAT(out, ::testing::ElementsAre(4, 5));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumerAfterBacklog) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(7));
+  std::vector<int> got;
+  bool saw_end = false;
+  std::jthread consumer([&](std::stop_token stop) {
+    std::vector<int> chunk;
+    while (q.drain(chunk, 2, stop)) {
+      got.insert(got.end(), chunk.begin(), chunk.end());
+      chunk.clear();
+    }
+    saw_end = true;
+  });
+  q.close();
+  consumer.join();
+  EXPECT_THAT(got, ::testing::ElementsAre(7)) << "backlog must drain before end-of-stream";
+  EXPECT_TRUE(saw_end);
+  EXPECT_FALSE(q.try_push(1)) << "closed queue refuses admission";
+}
+
+TEST(BoundedQueue, StopTokenCancelsBlockedPop) {
+  BoundedQueue<int> q(4);
+  std::optional<int> result = 42;
+  std::jthread consumer([&](std::stop_token stop) { result = q.pop(stop); });
+  // jthread's destructor requests stop; pop must return nullopt, not hang.
+  consumer.request_stop();
+  consumer.join();
+  EXPECT_EQ(result, std::nullopt);
+}
+
+// ------------------------------------------------------------ wire framing
+
+struct WireFixture {
+  crypto::HmacDrbg rng{std::uint64_t{0x51D3CA7}};
+  cls::Kgc kgc = cls::Kgc::setup(rng);
+  cls::Mccls scheme;
+  cls::UserKeys alice = scheme.enroll(kgc, "alice", rng);
+
+  VerifyRequest request(std::uint64_t id = 7) {
+    const auto msg = crypto::as_bytes("wire message");
+    return VerifyRequest{.request_id = id,
+                         .scheme = "McCLS",
+                         .id = "alice",
+                         .public_key = alice.public_key,
+                         .message = crypto::Bytes(msg.begin(), msg.end()),
+                         .signature = scheme.sign(kgc.params(), alice, msg, rng)};
+  }
+};
+
+TEST(Wire, SchemeIdsCoverTable1AndRejectOthers) {
+  for (const auto name : cls::scheme_names()) {
+    const auto id = scheme_wire_id(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_EQ(scheme_from_wire_id(*id), name);
+  }
+  EXPECT_FALSE(scheme_wire_id("RSA").has_value());
+  EXPECT_FALSE(scheme_from_wire_id(4).has_value());
+  EXPECT_FALSE(scheme_from_wire_id(0xFF).has_value());
+}
+
+TEST(Wire, RequestRoundTrip) {
+  WireFixture f;
+  const VerifyRequest request = f.request(0xDEADBEEFCAFEULL);
+  const auto decoded = decode_request(encode_request(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->request_id, request.request_id);
+  EXPECT_EQ(decoded->scheme, request.scheme);
+  EXPECT_EQ(decoded->id, request.id);
+  EXPECT_EQ(decoded->public_key, request.public_key);
+  EXPECT_EQ(decoded->message, request.message);
+  EXPECT_EQ(decoded->signature, request.signature);
+}
+
+TEST(Wire, ResponseRoundTripAllStatuses) {
+  for (const Status s :
+       {Status::kVerified, Status::kRejected, Status::kBusy, Status::kMalformed}) {
+    const auto decoded = decode_response(encode_response(VerifyResponse{99, s}));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->request_id, 99u);
+    EXPECT_EQ(decoded->status, s);
+  }
+}
+
+TEST(Wire, DecoderIsTotal) {
+  WireFixture f;
+  const crypto::Bytes good = encode_request(f.request());
+  ASSERT_TRUE(decode_request(good).has_value());
+
+  // Every proper prefix is truncated input.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(decode_request({good.data(), len}).has_value()) << "prefix " << len;
+  }
+  // Trailing garbage.
+  crypto::Bytes trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(decode_request(trailing).has_value());
+  // Wrong version / kind / scheme id.
+  crypto::Bytes bad = good;
+  bad[0] = kWireVersion + 1;
+  EXPECT_FALSE(decode_request(bad).has_value());
+  bad = good;
+  bad[1] = 9;
+  EXPECT_FALSE(decode_request(bad).has_value());
+  bad = good;
+  bad[10] = 0xFF;  // scheme byte follows version, kind, u64 request id
+  EXPECT_FALSE(decode_request(bad).has_value());
+
+  // Random garbage never decodes (and never crashes).
+  crypto::HmacDrbg rng(std::uint64_t{0xF022});
+  for (int i = 0; i < 256; ++i) {
+    const auto blob = rng.generate(static_cast<std::size_t>(i) % 97);
+    EXPECT_FALSE(decode_request(blob).has_value());
+    EXPECT_FALSE(decode_response(blob).has_value());
+  }
+
+  // Responses with out-of-range status bytes are rejected.
+  crypto::Bytes resp = encode_response(VerifyResponse{1, Status::kVerified});
+  resp.back() = 4;
+  EXPECT_FALSE(decode_response(resp).has_value());
+}
+
+// ----------------------------------------------------- ShardedPairingCache
+
+TEST(ShardedPairingCache, MatchesDirectPairingAndSingleThreadedCache) {
+  WireFixture f;
+  ShardedPairingCache sharded(4);
+  cls::PairingCache reference;
+  for (const std::string id : {"alice", "bob", "carol"}) {
+    EXPECT_EQ(sharded.get(f.kgc.params(), id), reference.get(f.kgc.params(), id)) << id;
+  }
+  EXPECT_EQ(sharded.size(), 3u);
+}
+
+TEST(ShardedPairingCache, WarmMatchesLazyAndSkipsDuplicates) {
+  WireFixture f;
+  ShardedPairingCache warmed(4);
+  (void)warmed.get(f.kgc.params(), "alice");
+  const std::vector<std::string> ids = {"alice", "bob", "bob", "carol"};
+  warmed.warm(f.kgc.params(), ids);
+  EXPECT_EQ(warmed.size(), 3u);
+  ShardedPairingCache lazy(4);
+  for (const auto& id : ids) {
+    EXPECT_EQ(warmed.get(f.kgc.params(), id), lazy.get(f.kgc.params(), id)) << id;
+  }
+}
+
+TEST(ShardedPairingCache, ConcurrentGetAndWarmAgree) {
+  WireFixture f;
+  ShardedPairingCache cache(4);
+  const std::vector<std::string> ids = {"n0", "n1", "n2", "n3", "n4", "n5"};
+  std::vector<pairing::Gt> expected;
+  for (const auto& id : ids) {
+    expected.push_back(pairing::pair(f.kgc.params().p_pub, cls::hash_id(id)));
+  }
+  std::atomic<int> mismatches{0};
+  {
+    std::vector<std::jthread> threads;
+    threads.emplace_back([&] { cache.warm(f.kgc.params(), ids); });
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          const std::size_t k = (i + static_cast<std::size_t>(t)) % ids.size();
+          if (!(cache.get(f.kgc.params(), ids[k]) == expected[k])) ++mismatches;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.size(), ids.size());
+}
+
+// ---------------------------------------------------------- VerifyService
+
+// Collects responses and lets the test block until all of them arrived.
+struct ResponseSink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<std::uint64_t, Status> statuses;
+  std::size_t count = 0;
+
+  VerifyService::Completion completion() {
+    return [this](const VerifyResponse& response) {
+      std::lock_guard lock(mutex);
+      statuses[response.request_id] = response.status;
+      ++count;
+      cv.notify_all();
+    };
+  }
+
+  bool wait_for(std::size_t n, std::chrono::seconds timeout = std::chrono::seconds(60)) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, timeout, [&] { return count >= n; });
+  }
+};
+
+struct ServiceFixture {
+  crypto::HmacDrbg rng{std::uint64_t{0x5EC7E57}};
+  cls::Kgc kgc = cls::Kgc::setup(rng);
+  cls::Mccls scheme;
+
+  VerifyRequest make_request(const cls::UserKeys& signer, std::string_view text,
+                             std::uint64_t request_id) {
+    const auto msg = crypto::as_bytes(text);
+    return VerifyRequest{.request_id = request_id,
+                         .scheme = "McCLS",
+                         .id = signer.id,
+                         .public_key = signer.public_key,
+                         .message = crypto::Bytes(msg.begin(), msg.end()),
+                         .signature = scheme.sign(kgc.params(), signer, msg, rng)};
+  }
+};
+
+TEST(VerifyService, ConcurrentVerdictsMatchSingleThreadedVerify) {
+  ServiceFixture f;
+  std::vector<cls::UserKeys> signers;
+  for (int s = 0; s < 3; ++s) {
+    signers.push_back(f.scheme.enroll(f.kgc, "node-" + std::to_string(s), f.rng));
+  }
+
+  // Mixed corpus: valid, tampered-message, tampered-V, wrong-id, truncated.
+  std::vector<VerifyRequest> requests;
+  std::uint64_t next_id = 1;
+  for (int s = 0; s < 3; ++s) {
+    for (int m = 0; m < 4; ++m) {
+      requests.push_back(
+          f.make_request(signers[s], "msg-" + std::to_string(s * 4 + m), next_id++));
+    }
+  }
+  requests.push_back(f.make_request(signers[0], "tamper-me", next_id++));
+  requests.back().message.push_back(0xFF);
+  requests.push_back(f.make_request(signers[1], "tamper-v", next_id++));
+  requests.back().signature[0] ^= 0x01;
+  requests.push_back(f.make_request(signers[2], "wrong-id", next_id++));
+  requests.back().id = "impostor";
+  requests.push_back(f.make_request(signers[0], "truncate", next_id++));
+  requests.back().signature.pop_back();
+
+  // Ground truth from the single-threaded path.
+  std::map<std::uint64_t, bool> expected;
+  for (const auto& request : requests) {
+    expected[request.request_id] =
+        f.scheme.verify(f.kgc.params(), request.id, request.public_key, request.message,
+                        request.signature);
+  }
+
+  ResponseSink sink;
+  {
+    VerifyService service(f.kgc.params(),
+                          ServiceConfig{.workers = 2, .queue_capacity = 64});
+    // 4 producers interleave submissions of disjoint request slices.
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = static_cast<std::size_t>(p); i < requests.size(); i += 4) {
+          // Exercise both entry points. (EXPECT, not ASSERT: gtest fatal
+          // assertions may only abort the main thread.)
+          if (i % 2 == 0) {
+            EXPECT_TRUE(service.submit(requests[i], sink.completion()));
+          } else {
+            EXPECT_TRUE(service.submit_bytes(encode_request(requests[i]), sink.completion()));
+          }
+        }
+      });
+    }
+    producers.clear();  // join producers
+    ASSERT_TRUE(sink.wait_for(requests.size()));
+  }
+
+  ASSERT_EQ(sink.statuses.size(), requests.size()) << "every request answered exactly once";
+  for (const auto& [request_id, verdict] : expected) {
+    const Status got = sink.statuses.at(request_id);
+    EXPECT_EQ(got, verdict ? Status::kVerified : Status::kRejected)
+        << "request " << request_id;
+  }
+}
+
+TEST(VerifyService, MixedValidityBatchFallsBackToIndividualVerdicts) {
+  ServiceFixture f;
+  const cls::UserKeys alice = f.scheme.enroll(f.kgc, "alice", f.rng);
+  std::vector<VerifyRequest> requests;
+  for (int m = 0; m < 5; ++m) {
+    requests.push_back(f.make_request(alice, "batch-" + std::to_string(m), 100 + m));
+  }
+  // Tamper V on one member: same signer-static S, so it coalesces into the
+  // batch, the batch fails, and the fallback must isolate it.
+  requests[3].signature[0] ^= 0x01;
+  const bool tampered_valid =
+      f.scheme.verify(f.kgc.params(), "alice", alice.public_key, requests[3].message,
+                      requests[3].signature);
+  ASSERT_FALSE(tampered_valid);
+
+  ResponseSink sink;
+  {
+    VerifyService service(f.kgc.params(),
+                          ServiceConfig{.workers = 1, .queue_capacity = 16});
+    for (auto& request : requests) service.submit(request, sink.completion());
+    ASSERT_TRUE(sink.wait_for(requests.size()));
+  }
+  for (int m = 0; m < 5; ++m) {
+    EXPECT_EQ(sink.statuses.at(100 + static_cast<std::uint64_t>(m)),
+              m == 3 ? Status::kRejected : Status::kVerified);
+  }
+}
+
+TEST(VerifyService, DifferingSComponentsSplitGroupsAndStillVerifyCorrectly) {
+  ServiceFixture f;
+  const cls::UserKeys alice = f.scheme.enroll(f.kgc, "alice", f.rng);
+  std::vector<VerifyRequest> requests;
+  for (int m = 0; m < 4; ++m) {
+    requests.push_back(f.make_request(alice, "s-split-" + std::to_string(m), 200 + m));
+  }
+  // Replace one S with a different point (2·S): the coalescer must key it
+  // into its own group (batch_verify's same-S precondition) and the single
+  // path must reject it.
+  auto sig = cls::McclsSignature::from_bytes(requests[1].signature);
+  ASSERT_TRUE(sig.has_value());
+  sig->s = sig->s + sig->s;
+  requests[1].signature = sig->to_bytes();
+
+  ResponseSink sink;
+  {
+    VerifyService service(f.kgc.params(),
+                          ServiceConfig{.workers = 1, .queue_capacity = 16});
+    for (auto& request : requests) service.submit(request, sink.completion());
+    ASSERT_TRUE(sink.wait_for(requests.size()));
+  }
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(sink.statuses.at(200 + static_cast<std::uint64_t>(m)),
+              m == 1 ? Status::kRejected : Status::kVerified);
+  }
+}
+
+TEST(VerifyService, BackpressureRespondsBusyAndNeverBlocks) {
+  ServiceFixture f;
+  const cls::UserKeys alice = f.scheme.enroll(f.kgc, "alice", f.rng);
+  const VerifyRequest base = f.make_request(alice, "pressure", 0);
+
+  ResponseSink sink;
+  std::size_t accepted = 0;
+  {
+    VerifyService service(f.kgc.params(),
+                          ServiceConfig{.workers = 1, .queue_capacity = 2});
+    constexpr std::size_t kOffered = 40;
+    for (std::size_t i = 0; i < kOffered; ++i) {
+      VerifyRequest request = base;
+      request.request_id = 1000 + i;
+      if (service.submit(std::move(request), sink.completion())) ++accepted;
+    }
+    ASSERT_TRUE(sink.wait_for(kOffered)) << "every request must be answered";
+
+    const auto snapshot = service.metrics().snapshot();
+    EXPECT_EQ(snapshot.submitted, kOffered);
+    EXPECT_EQ(snapshot.busy, kOffered - accepted);
+    EXPECT_EQ(snapshot.verified + snapshot.rejected, accepted);
+    EXPECT_GT(snapshot.busy, 0u) << "capacity 2 with instant submission must shed load";
+    EXPECT_LE(snapshot.queue_depth_peak, 2u);
+  }
+  std::size_t busy_responses = 0;
+  for (const auto& [id, status] : sink.statuses) {
+    if (status == Status::kBusy) ++busy_responses;
+  }
+  EXPECT_EQ(busy_responses, 40 - accepted);
+}
+
+TEST(VerifyService, MalformedFramesAndUnknownSchemesAnswerMalformed) {
+  ServiceFixture f;
+  ResponseSink sink;
+  VerifyService service(f.kgc.params(), ServiceConfig{.workers = 1});
+
+  EXPECT_FALSE(service.submit_bytes(crypto::as_bytes("not a frame"), sink.completion()));
+  VerifyRequest bogus;
+  bogus.request_id = 5;
+  bogus.scheme = "RSA";
+  EXPECT_FALSE(service.submit(bogus, sink.completion()));
+  ASSERT_TRUE(sink.wait_for(2));
+  EXPECT_EQ(sink.statuses.at(0), Status::kMalformed);
+  EXPECT_EQ(sink.statuses.at(5), Status::kMalformed);
+  EXPECT_EQ(service.metrics().snapshot().malformed, 2u);
+}
+
+TEST(VerifyService, CoalescerAmortizesPairingsAndCountsBatches) {
+  ServiceFixture f;
+  const cls::UserKeys alice = f.scheme.enroll(f.kgc, "alice", f.rng);
+  std::vector<VerifyRequest> requests;
+  for (int m = 0; m < 8; ++m) {
+    requests.push_back(f.make_request(alice, "amortize-" + std::to_string(m), 300 + m));
+  }
+  ResponseSink sink;
+  ServiceMetrics::Snapshot snapshot;
+  {
+    VerifyService service(f.kgc.params(),
+                          ServiceConfig{.workers = 1, .queue_capacity = 16});
+    for (auto& request : requests) service.submit(request, sink.completion());
+    ASSERT_TRUE(sink.wait_for(requests.size()));
+    snapshot = service.metrics().snapshot();
+  }
+  EXPECT_EQ(snapshot.verified, 8u);
+  // Every signature went through either a batch or a single verification —
+  // exact split depends on drain timing, which is scheduler-dependent.
+  EXPECT_EQ(snapshot.batched_signatures + snapshot.single_verifies, 8u);
+  EXPECT_EQ(snapshot.submitted, 8u);
+}
+
+TEST(VerifyService, NonMcclsSchemesTakeTheSinglePath) {
+  ServiceFixture f;
+  const auto yhg = cls::make_scheme("YHG");
+  ASSERT_NE(yhg, nullptr);
+  crypto::HmacDrbg rng(std::uint64_t{0x7465});
+  const cls::UserKeys dana = yhg->enroll(f.kgc, "dana", rng);
+  const auto msg = crypto::as_bytes("yhg message");
+  std::vector<VerifyRequest> requests;
+  for (int m = 0; m < 2; ++m) {
+    requests.push_back(
+        VerifyRequest{.request_id = static_cast<std::uint64_t>(400 + m),
+                      .scheme = "YHG",
+                      .id = "dana",
+                      .public_key = dana.public_key,
+                      .message = crypto::Bytes(msg.begin(), msg.end()),
+                      .signature = yhg->sign(f.kgc.params(), dana, msg, rng)});
+  }
+  ResponseSink sink;
+  ServiceMetrics::Snapshot snapshot;
+  {
+    VerifyService service(f.kgc.params(), ServiceConfig{.workers = 1});
+    for (auto& request : requests) service.submit(request, sink.completion());
+    ASSERT_TRUE(sink.wait_for(requests.size()));
+    snapshot = service.metrics().snapshot();
+  }
+  EXPECT_EQ(snapshot.verified, 2u);
+  EXPECT_EQ(snapshot.batches, 0u) << "only McCLS coalesces";
+  EXPECT_EQ(snapshot.single_verifies, 2u);
+}
+
+TEST(VerifyService, ShutdownDrainsBacklogBeforeJoining) {
+  ServiceFixture f;
+  const cls::UserKeys alice = f.scheme.enroll(f.kgc, "alice", f.rng);
+  ResponseSink sink;
+  constexpr std::size_t kCount = 6;
+  {
+    VerifyService service(f.kgc.params(),
+                          ServiceConfig{.workers = 2, .queue_capacity = 16});
+    for (std::size_t i = 0; i < kCount; ++i) {
+      VerifyRequest request = f.make_request(alice, "drain", 500 + i);
+      service.submit(std::move(request), sink.completion());
+    }
+    service.shutdown();  // must complete every accepted request first
+    EXPECT_EQ(sink.count, kCount);
+    // After shutdown, admission is closed: new requests answer kBusy.
+    VerifyRequest late = f.make_request(alice, "late", 999);
+    EXPECT_FALSE(service.submit(std::move(late), sink.completion()));
+    EXPECT_EQ(sink.statuses.at(999), Status::kBusy);
+  }
+}
+
+// -------------------------------------------------------- ServiceMetrics
+
+TEST(ServiceMetrics, HistogramsAndPercentiles) {
+  ServiceMetrics metrics;
+  metrics.on_batch(1);
+  metrics.on_batch(4);
+  metrics.on_batch(5);    // bucket log2(5) = 2 (sizes 4..7)
+  metrics.on_batch(300);  // clamped into the top bucket (256+)
+  const auto after_batches = metrics.snapshot();
+  EXPECT_EQ(after_batches.batches, 4u);
+  EXPECT_EQ(after_batches.batched_signatures, 310u);
+  EXPECT_EQ(after_batches.batch_hist[0], 1u);
+  EXPECT_EQ(after_batches.batch_hist[2], 2u);
+  EXPECT_EQ(after_batches.batch_hist[ServiceMetrics::kBatchBuckets - 1], 1u);
+  EXPECT_DOUBLE_EQ(after_batches.mean_batch_size(), 77.5);
+
+  // 90 fast completions and 10 slow ones: p50 in the fast bucket, p99 well
+  // above it.
+  for (int i = 0; i < 90; ++i) metrics.on_latency_ns(1000);
+  for (int i = 0; i < 10; ++i) metrics.on_latency_ns(1u << 20);
+  const auto snapshot = metrics.snapshot();
+  EXPECT_GT(snapshot.latency_p50_ns, 0);
+  EXPECT_LT(snapshot.latency_p50_ns, 3000);
+  EXPECT_GT(snapshot.latency_p99_ns, snapshot.latency_p50_ns);
+
+  const std::string json = metrics.to_json("unit");
+  EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("latency_p50"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_batch_size\": 77.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mccls::svc

@@ -9,19 +9,27 @@
 //       Sign MESSAGE with ID's key; prints the signature as hex.
 //   mccls_cli verify  --dir DIR --id ID --text MESSAGE --sig HEX
 //       Verify; prints ACCEPT or REJECT and exits 0/1 accordingly.
+//   mccls_cli batch-verify --dir DIR --id ID --msgdir MSGDIR [--seed N]
+//       Verify every MSGDIR/NAME.sig (hex) against MSGDIR/NAME.msg (raw
+//       bytes) as one same-signer batch (single amortized pairing); prints
+//       ACCEPT or REJECT and exits 0/1.
 //   mccls_cli inspect --sig HEX
 //       Pretty-print the components of a serialized McCLS signature.
 //
 // Key files are hex-encoded, length-delimited records (see read/write_file).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "cls/batch.hpp"
 #include "cls/keyfile.hpp"
 #include "cls/mccls.hpp"
 #include "crypto/hash.hpp"
@@ -77,6 +85,7 @@ int usage() {
                "  mccls_cli enroll  --dir DIR --id ID [--seed N]\n"
                "  mccls_cli sign    --dir DIR --id ID --text MESSAGE\n"
                "  mccls_cli verify  --dir DIR --id ID --text MESSAGE --sig HEX\n"
+               "  mccls_cli batch-verify --dir DIR --id ID --msgdir MSGDIR [--seed N]\n"
                "  mccls_cli inspect --sig HEX\n");
   return 2;
 }
@@ -193,6 +202,76 @@ int cmd_verify(const Args& args) {
   return ok ? 0 : 1;
 }
 
+// batch-verify: every NAME.sig in --msgdir pairs with NAME.msg; all are
+// expected to come from one signer (--id), so the whole directory verifies
+// with a single amortized pairing via cls::batch_verify. A mixed-signer or
+// partly-forged directory simply prints REJECT — same contract as verify.
+int cmd_batch_verify(const Args& args) {
+  const auto* dir = args.get("dir");
+  const auto* id = args.get("id");
+  const auto* msgdir = args.get("msgdir");
+  if (dir == nullptr || id == nullptr || msgdir == nullptr) return usage();
+  const auto params = load_params(*dir);
+  const auto pk_bytes = read_file(*dir + "/" + *id + ".pub");
+  if (!params || !pk_bytes) {
+    std::fprintf(stderr, "error: missing kgc.pub or %s.pub in %s\n", id->c_str(),
+                 dir->c_str());
+    return 1;
+  }
+  const auto pk = cls::PublicKey::from_bytes(*pk_bytes);
+  if (!pk) {
+    std::fprintf(stderr, "error: corrupt public key file\n");
+    return 1;
+  }
+
+  std::error_code ec;
+  std::vector<std::filesystem::path> sig_paths;
+  for (const auto& entry : std::filesystem::directory_iterator(*msgdir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".sig") {
+      sig_paths.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "error: cannot read directory %s\n", msgdir->c_str());
+    return 1;
+  }
+  if (sig_paths.empty()) {
+    std::fprintf(stderr, "error: no .sig files in %s\n", msgdir->c_str());
+    return 1;
+  }
+  std::sort(sig_paths.begin(), sig_paths.end());  // deterministic batch order
+
+  std::vector<cls::BatchItem> items;
+  for (const auto& sig_path : sig_paths) {
+    const auto sig_bytes = read_file(sig_path.string());
+    if (!sig_bytes) {
+      std::fprintf(stderr, "error: %s is not valid hex\n", sig_path.c_str());
+      return 1;
+    }
+    const auto sig = cls::McclsSignature::from_bytes(*sig_bytes);
+    if (!sig) {
+      std::fprintf(stderr, "error: %s is not a well-formed McCLS signature\n",
+                   sig_path.c_str());
+      return 1;
+    }
+    auto msg_path = sig_path;
+    msg_path.replace_extension(".msg");
+    std::ifstream msg_in(msg_path, std::ios::binary);
+    if (!msg_in) {
+      std::fprintf(stderr, "error: missing message file %s\n", msg_path.c_str());
+      return 1;
+    }
+    crypto::Bytes message{std::istreambuf_iterator<char>(msg_in),
+                          std::istreambuf_iterator<char>()};
+    items.push_back(cls::BatchItem{.message = std::move(message), .signature = *sig});
+  }
+
+  crypto::HmacDrbg rng(seed_from(args) ^ 0xBA7C4ULL);
+  const bool ok = cls::batch_verify(*params, *id, pk->primary(), items, rng);
+  std::printf("%s (%zu signatures, 1 pairing)\n", ok ? "ACCEPT" : "REJECT", items.size());
+  return ok ? 0 : 1;
+}
+
 int cmd_inspect(const Args& args) {
   const auto* sig_hex = args.get("sig");
   if (sig_hex == nullptr) return usage();
@@ -223,6 +302,7 @@ int main(int argc, char** argv) {
   if (args->command == "enroll") return cmd_enroll(*args);
   if (args->command == "sign") return cmd_sign(*args);
   if (args->command == "verify") return cmd_verify(*args);
+  if (args->command == "batch-verify") return cmd_batch_verify(*args);
   if (args->command == "inspect") return cmd_inspect(*args);
   return usage();
 }

@@ -1,0 +1,232 @@
+// verifyd_loadgen — multi-producer load generator for the verification
+// service (src/svc). Pre-signs a corpus of McCLS requests, then hammers a
+// VerifyService from P producer threads through the wire codec
+// (submit_bytes), and reports throughput plus the service's own metrics
+// block as BENCH-schema JSON.
+//
+// Signer skew is the interesting knob: the coalescer batches same-signer
+// runs, so a Zipf-skewed population (--skew > 0) batches far better than a
+// uniform one (--skew 0). A configurable fraction of forged signatures
+// (--forge-pct) exercises the batch-failure fallback path under load.
+//
+//   verifyd_loadgen [--workers N] [--producers P] [--requests R]
+//                   [--signers S] [--skew Z] [--queue CAP] [--no-coalesce]
+//                   [--forge-pct PCT] [--seed N] [--json PATH]
+//
+// Dropped (busy) requests are *not* retried: the loadgen measures offered
+// vs. sustained load, so the busy count in the metrics dump is the
+// backpressure signal.
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cls/mccls.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace mccls;
+
+struct Options {
+  unsigned workers = 4;
+  unsigned producers = 2;
+  std::size_t requests = 512;
+  std::size_t signers = 32;
+  double skew = 0.0;
+  std::size_t queue_capacity = 256;
+  bool coalesce = true;
+  double forge_pct = 0.0;
+  std::uint64_t seed = 0x10AD;
+  std::string json_path;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: verifyd_loadgen [--workers N] [--producers P] [--requests R]\n"
+               "                       [--signers S] [--skew Z] [--queue CAP]\n"
+               "                       [--no-coalesce] [--forge-pct PCT] [--seed N]\n"
+               "                       [--json PATH]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--no-coalesce") {
+      opt.coalesce = false;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const char* value = argv[++i];
+    if (flag == "--workers") {
+      opt.workers = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--producers") {
+      opt.producers = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--requests") {
+      opt.requests = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--signers") {
+      opt.signers = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--skew") {
+      opt.skew = std::strtod(value, nullptr);
+    } else if (flag == "--queue") {
+      opt.queue_capacity = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--forge-pct") {
+      opt.forge_pct = std::strtod(value, nullptr);
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--json") {
+      opt.json_path = value;
+    } else {
+      return false;
+    }
+  }
+  return opt.workers > 0 && opt.producers > 0 && opt.requests > 0 && opt.signers > 0;
+}
+
+/// Zipf(s) sampler over [0, n): inverse-CDF lookup on a precomputed table.
+/// s == 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t sample(crypto::HmacDrbg& rng) const {
+    std::array<std::uint8_t, 8> raw;
+    rng.generate(raw);
+    std::uint64_t bits = 0;
+    for (const std::uint8_t b : raw) bits = bits << 8 | b;
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+
+  // ---- corpus: KGC, signers, pre-signed wire frames (all single-threaded,
+  // off the clock; producers only replay bytes).
+  crypto::HmacDrbg rng(opt.seed);
+  const cls::Kgc kgc = cls::Kgc::setup(rng);
+  const cls::Mccls scheme;
+  std::vector<cls::UserKeys> signers;
+  std::vector<std::string> ids;
+  for (std::size_t s = 0; s < opt.signers; ++s) {
+    ids.push_back("node-" + std::to_string(s));
+    signers.push_back(scheme.enroll(kgc, ids.back(), rng));
+  }
+
+  const ZipfSampler sampler(opt.signers, opt.skew);
+  std::vector<crypto::Bytes> frames;
+  std::size_t forged = 0;
+  frames.reserve(opt.requests);
+  for (std::size_t i = 0; i < opt.requests; ++i) {
+    const cls::UserKeys& signer = signers[sampler.sample(rng)];
+    crypto::ByteWriter msg;
+    msg.put_u64(i);
+    msg.put_field("loadgen payload");
+    svc::VerifyRequest request{.request_id = i + 1,
+                               .scheme = "McCLS",
+                               .id = signer.id,
+                               .public_key = signer.public_key,
+                               .message = msg.take(),
+                               .signature = {}};
+    request.signature = scheme.sign(kgc.params(), signer, request.message, rng);
+    if (opt.forge_pct > 0 &&
+        static_cast<double>(i % 100) < opt.forge_pct) {  // deterministic mix
+      request.signature[0] ^= 0x01;
+      ++forged;
+    }
+    frames.push_back(svc::encode_request(request));
+  }
+
+  // ---- service + producers
+  svc::VerifyService service(kgc.params(),
+                             svc::ServiceConfig{.workers = opt.workers,
+                                                .queue_capacity = opt.queue_capacity,
+                                                .coalesce = opt.coalesce,
+                                                .seed = opt.seed ^ 0xD5ULL});
+  service.cache().warm(kgc.params(), ids);
+
+  std::atomic<std::size_t> completed{0};
+  const auto completion = [&completed](const svc::VerifyResponse&) {
+    completed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> producers;
+    for (unsigned p = 0; p < opt.producers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = p; i < frames.size(); i += opt.producers) {
+          (void)service.submit_bytes(frames[i], completion);
+        }
+      });
+    }
+  }
+  // Every submission answers exactly once (verified/rejected/busy/malformed).
+  while (completed.load(std::memory_order_relaxed) < opt.requests) {
+    std::this_thread::yield();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+
+  const auto snapshot = service.metrics().snapshot();
+  const double processed = static_cast<double>(snapshot.verified + snapshot.rejected);
+  std::printf("offered %zu requests (%zu forged) from %u producers to %u workers in %.3f s\n",
+              opt.requests, forged, opt.producers, opt.workers, seconds);
+  std::printf("  sustained:  %.0f verifications/s (%.1f us/signature)\n",
+              processed / seconds, processed > 0 ? seconds * 1e6 / processed : 0.0);
+  std::printf("  verdicts:   %llu verified, %llu rejected, %llu busy, %llu malformed\n",
+              static_cast<unsigned long long>(snapshot.verified),
+              static_cast<unsigned long long>(snapshot.rejected),
+              static_cast<unsigned long long>(snapshot.busy),
+              static_cast<unsigned long long>(snapshot.malformed));
+  std::printf("  coalescing: %llu batches (mean size %.2f), %llu singles, %llu fallbacks\n",
+              static_cast<unsigned long long>(snapshot.batches),
+              snapshot.mean_batch_size(),
+              static_cast<unsigned long long>(snapshot.single_verifies),
+              static_cast<unsigned long long>(snapshot.batch_fallbacks));
+
+  const std::string json = service.metrics().to_json("verifyd_loadgen");
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path, std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", opt.json_path.c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}
