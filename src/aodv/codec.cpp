@@ -1,5 +1,7 @@
 #include "aodv/codec.hpp"
 
+#include <cmath>
+
 namespace mccls::aodv {
 
 namespace {
@@ -9,6 +11,24 @@ constexpr std::uint8_t kTagRrep = 0x02;
 constexpr std::uint8_t kTagRerr = 0x03;
 constexpr std::uint8_t kTagHello = 0x04;
 constexpr std::uint8_t kTagData = 0x05;
+
+// Time fields travel as integer microseconds. Two property-fuzz findings
+// live here: encoding must ROUND (truncation drops a microsecond on every
+// decode→re-encode cycle whenever the time has no exact double
+// representation, so the codec never reaches a fixpoint), and decoding must
+// reject values above 2^50 µs (~35 years of sim time) — beyond that the
+// µs→double→µs round-trip is no longer exact, so such a frame can never
+// re-encode canonically.
+constexpr std::uint64_t kMaxTimeMicros = std::uint64_t{1} << 50;
+
+std::uint64_t time_to_micros(double seconds) {
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
+std::optional<double> micros_to_time(std::uint64_t micros) {
+  if (micros > kMaxTimeMicros) return std::nullopt;
+  return static_cast<double>(micros) / 1e6;
+}
 
 void put_auth(crypto::ByteWriter& w, const std::optional<AuthExt>& auth) {
   w.put_u8(auth.has_value() ? 1 : 0);
@@ -59,7 +79,7 @@ void encode(crypto::ByteWriter& w, const Rrep& m) {
   w.put_u32(m.dest_seq);
   w.put_u32(m.replier);
   w.put_u8(m.hop_count);
-  w.put_u64(static_cast<std::uint64_t>(m.lifetime * 1e6));
+  w.put_u64(time_to_micros(m.lifetime));
   put_auth(w, m.origin_auth);
   put_auth(w, m.hop_auth);
 }
@@ -86,7 +106,7 @@ void encode(crypto::ByteWriter& w, const DataPacket& m) {
   w.put_u32(m.src);
   w.put_u32(m.dst);
   w.put_u32(m.seq);
-  w.put_u64(static_cast<std::uint64_t>(m.sent_at * 1e6));
+  w.put_u64(time_to_micros(m.sent_at));
   w.put_u64(m.payload_bytes);
 }
 
@@ -132,7 +152,9 @@ std::optional<Rrep> decode_rrep(crypto::ByteReader& r) {
   m.dest_seq = *dest_seq;
   m.replier = *replier;
   m.hop_count = *hops;
-  m.lifetime = static_cast<double>(*lifetime_us) / 1e6;
+  const auto lifetime = micros_to_time(*lifetime_us);
+  if (!lifetime) return std::nullopt;
+  m.lifetime = *lifetime;
   if (!get_auth(r, m.origin_auth) || !get_auth(r, m.hop_auth)) return std::nullopt;
   return m;
 }
@@ -173,7 +195,9 @@ std::optional<DataPacket> decode_data(crypto::ByteReader& r) {
   m.src = *src;
   m.dst = *dst;
   m.seq = *seq;
-  m.sent_at = static_cast<double>(*sent_us) / 1e6;
+  const auto sent_at = micros_to_time(*sent_us);
+  if (!sent_at) return std::nullopt;
+  m.sent_at = *sent_at;
   m.payload_bytes = static_cast<std::size_t>(*payload);
   return m;
 }

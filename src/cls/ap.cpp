@@ -64,6 +64,13 @@ bool Ap::verify(const SystemParams& params, std::string_view id, const PublicKey
   if (!sig) return false;
   const ec::G1& x_a = public_key.points[0];
   const ec::G1& y_a = public_key.points[1];
+  // (0) Subgroup membership. Unlike the other Table 1 schemes, AP's
+  // challenge v = H2(M, w) never binds the public-key bytes, and the final
+  // exponentiation annihilates any 2-torsion component of a pairing
+  // argument — so without this check a key translated by the 2-torsion
+  // point (0,0) passes both equations below unchanged (found by the qa
+  // negative-vector suite; #E = 4q, points must lie in the order-q part).
+  if (!x_a.in_subgroup() || !y_a.in_subgroup()) return false;
   // (1) Key-structure check: the two halves must commit to the same secret.
   if (pairing::pair(x_a, params.p_pub) != pairing::pair(y_a, params.p)) return false;
   // (2) Recover w and recompute the challenge.

@@ -17,6 +17,7 @@ std::optional<math::Fq> decode_master_key(std::span<const std::uint8_t> bytes) {
 
 crypto::Bytes encode_user_keys(const UserKeys& keys) {
   crypto::ByteWriter w;
+  w.put_u8(kUserKeysVersion);
   w.put_field(keys.id);
   w.put_raw(keys.partial_key.to_bytes());
   w.put_raw(keys.secret.to_u256().to_be_bytes());
@@ -26,7 +27,9 @@ crypto::Bytes encode_user_keys(const UserKeys& keys) {
 
 std::optional<UserKeys> decode_user_keys(std::span<const std::uint8_t> bytes) {
   crypto::ByteReader r(bytes);
-  const auto id = r.get_field();
+  const auto version = r.get_u8();
+  if (!version || *version != kUserKeysVersion) return std::nullopt;
+  const auto id = r.get_field(kMaxKeyfileIdLen);
   const auto partial_raw = r.get_raw(ec::G1::kEncodedSize);
   const auto secret_raw = r.get_raw(32);
   const auto pk_raw = r.get_field();

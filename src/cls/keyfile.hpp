@@ -9,12 +9,23 @@
 
 namespace mccls::cls {
 
+/// Version byte leading the user-key record; decoders reject anything else
+/// (mutation-fuzz finding: an unversioned record silently misparsed a
+/// corrupted leading id-length as content). The master-key record stays an
+/// exact 32-byte scalar — its fixed size already rejects every reframing.
+inline constexpr std::uint8_t kUserKeysVersion = 1;
+
+/// Cap on the identity field of a user-key record (same hardening rationale
+/// as svc::kMaxIdLen: a hostile length prefix must be rejected from the
+/// prefix alone, before any read or allocation).
+inline constexpr std::size_t kMaxKeyfileIdLen = 1024;
+
 /// Master-key record: 32 bytes, big-endian canonical scalar.
 crypto::Bytes encode_master_key(const math::Fq& s);
 /// Rejects non-canonical (>= q) and zero scalars.
 std::optional<math::Fq> decode_master_key(std::span<const std::uint8_t> bytes);
 
-/// User-key record: id, partial key, secret value, public key.
+/// User-key record: version byte, id, partial key, secret value, public key.
 crypto::Bytes encode_user_keys(const UserKeys& keys);
 std::optional<UserKeys> decode_user_keys(std::span<const std::uint8_t> bytes);
 

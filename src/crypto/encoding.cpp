@@ -75,6 +75,12 @@ std::optional<Bytes> ByteReader::get_field() {
   return get_raw(*len);
 }
 
+std::optional<Bytes> ByteReader::get_field(std::size_t max_len) {
+  const auto len = get_u32();
+  if (!len || *len > max_len) return std::nullopt;
+  return get_raw(*len);
+}
+
 std::optional<Bytes> ByteReader::get_raw(std::size_t n) {
   if (pos_ + n > data_.size()) return std::nullopt;
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),

@@ -54,6 +54,11 @@ class ByteReader {
   std::optional<std::uint32_t> get_u32();
   std::optional<std::uint64_t> get_u64();
   std::optional<Bytes> get_field();
+  /// get_field with an upper bound on the declared length: rejects a length
+  /// prefix above `max_len` before attempting to read (or allocate) the
+  /// payload. Boundary decoders (svc wire, key files) use this so a hostile
+  /// length prefix can never size an allocation, whatever the buffer holds.
+  std::optional<Bytes> get_field(std::size_t max_len);
   /// Exactly n raw bytes.
   std::optional<Bytes> get_raw(std::size_t n);
 

@@ -1,5 +1,7 @@
 #include "dsr/dsr_codec.hpp"
 
+#include <cmath>
+
 namespace mccls::dsr {
 
 namespace {
@@ -9,6 +11,22 @@ constexpr std::uint8_t kTagRrep = 0x12;
 constexpr std::uint8_t kTagRerr = 0x13;
 constexpr std::uint8_t kTagData = 0x14;
 constexpr std::uint32_t kMaxRouteLen = 64;  // decode sanity bound
+
+// Time fields travel as integer microseconds; same two hardening rules as
+// aodv/codec.cpp (property-fuzz findings): round on encode — truncation
+// loses a microsecond per decode→re-encode cycle whenever the time has no
+// exact double representation — and reject values above 2^50 µs on decode,
+// past which the µs→double→µs round-trip stops being exact.
+constexpr std::uint64_t kMaxTimeMicros = std::uint64_t{1} << 50;
+
+std::uint64_t time_to_micros(double seconds) {
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
+std::optional<double> micros_to_time(std::uint64_t micros) {
+  if (micros > kMaxTimeMicros) return std::nullopt;
+  return static_cast<double>(micros) / 1e6;
+}
 
 void put_auth(crypto::ByteWriter& w, const std::optional<AuthExt>& auth) {
   w.put_u8(auth.has_value() ? 1 : 0);
@@ -90,7 +108,7 @@ void encode(crypto::ByteWriter& w, const DsrData& m) {
   w.put_u32(m.src);
   w.put_u32(m.dst);
   w.put_u32(m.seq);
-  w.put_u64(static_cast<std::uint64_t>(m.sent_at * 1e6));
+  w.put_u64(time_to_micros(m.sent_at));
   w.put_u64(m.payload_bytes);
   w.put_u8(m.hop_index);
   put_route(w, m.route);
@@ -156,7 +174,9 @@ std::optional<DsrData> decode_data(crypto::ByteReader& r) {
   m.src = *src;
   m.dst = *dst;
   m.seq = *seq;
-  m.sent_at = static_cast<double>(*sent_us) / 1e6;
+  const auto sent_at = micros_to_time(*sent_us);
+  if (!sent_at) return std::nullopt;
+  m.sent_at = *sent_at;
   m.payload_bytes = static_cast<std::size_t>(*payload);
   m.hop_index = *hop_index;
   if (!get_route(r, m.route)) return std::nullopt;

@@ -1,0 +1,255 @@
+#include "qa/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "aodv/codec.hpp"
+#include "cls/keyfile.hpp"
+#include "dsr/dsr_codec.hpp"
+#include "ec/g1.hpp"
+#include "qa/fuzz.hpp"
+#include "svc/wire.hpp"
+
+namespace mccls::qa {
+
+namespace fs = std::filesystem;
+using crypto::Bytes;
+
+namespace {
+
+// <target>__<description>__<accept|reject>.bin
+bool parse_name(const std::string& stem, std::string& target, bool& expect_accept) {
+  const std::size_t first = stem.find("__");
+  const std::size_t last = stem.rfind("__");
+  if (first == std::string::npos || last == first) return false;
+  const std::string expect = stem.substr(last + 2);
+  if (expect == "accept") {
+    expect_accept = true;
+  } else if (expect == "reject") {
+    expect_accept = false;
+  } else {
+    return false;
+  }
+  target = stem.substr(0, first);
+  return find_target(target) != nullptr;
+}
+
+void stamp_u32(Bytes& bytes, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * (3 - i)));
+  }
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  std::vector<CorpusEntry> entries;
+  std::error_code ec;
+  for (const auto& file : fs::directory_iterator(dir, ec)) {
+    if (!file.is_regular_file() || file.path().extension() != ".bin") continue;
+    CorpusEntry entry;
+    entry.filename = file.path().filename().string();
+    if (!parse_name(file.path().stem().string(), entry.target, entry.expect_accept)) {
+      entry.target.clear();  // replay driver reports this as a failure
+    }
+    std::ifstream in(file.path(), std::ios::binary);
+    entry.bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) { return a.filename < b.filename; });
+  return entries;
+}
+
+std::string replay_entry(const CorpusEntry& entry) {
+  if (entry.target.empty()) {
+    return entry.filename + ": unparseable corpus filename (want <target>__<desc>__<accept|reject>.bin)";
+  }
+  const FuzzTarget* target = find_target(entry.target);
+  if (target == nullptr) return entry.filename + ": unknown target " + entry.target;
+  const bool accepted = target->accepts(entry.bytes);
+  if (accepted != entry.expect_accept) {
+    return entry.filename + ": expected " + (entry.expect_accept ? "accept" : "reject") +
+           " but decoder " + (accepted ? "accepted" : "rejected");
+  }
+  if (!target->stable(entry.bytes)) {
+    return entry.filename + ": decode/re-encode not a fixpoint";
+  }
+  return {};
+}
+
+std::string write_corpus_entry(const std::string& dir, const std::string& target,
+                               const std::string& description, bool expect_accept,
+                               const Bytes& bytes) {
+  fs::create_directories(dir);
+  const std::string name =
+      target + "__" + description + "__" + (expect_accept ? "accept" : "reject") + ".bin";
+  const fs::path path = fs::path(dir) / name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return path.string();
+}
+
+std::size_t emit_builtin_corpus(const std::string& dir) {
+  std::size_t count = 0;
+  const auto emit = [&](const std::string& target, const std::string& desc,
+                        bool expect_accept, const Bytes& bytes) {
+    write_corpus_entry(dir, target, desc, expect_accept, bytes);
+    ++count;
+  };
+
+  const ec::G1& g = ec::G1::generator();
+  const auto g_bytes = g.to_bytes();
+
+  // A minimal valid request: id "a", one-point key, empty message/signature.
+  svc::VerifyRequest request;
+  request.request_id = 7;
+  request.scheme = "McCLS";
+  request.id = "a";
+  request.public_key.points.push_back(g);
+  const Bytes valid_request = svc::encode_request(request);
+  emit("wire_request", "minimal_valid", true, valid_request);
+
+  // Frame layout: version(1) kind(1) request_id(8) scheme(1) = 11-byte
+  // header, then the id field's u32 length prefix.
+  constexpr std::size_t kIdPrefixOffset = 11;
+
+  {  // truncation mid length-prefix
+    Bytes b(valid_request.begin(),
+            valid_request.begin() + static_cast<std::ptrdiff_t>(kIdPrefixOffset + 2));
+    emit("wire_request", "truncated_mid_prefix", false, b);
+  }
+  {  // oversized length prefix: 0xFFFFFFFF can never be read or allocated
+    Bytes b = valid_request;
+    stamp_u32(b, kIdPrefixOffset, 0xFFFFFFFFu);
+    emit("wire_request", "oversized_prefix", false, b);
+  }
+  {  // id above the kMaxIdLen cap, with the declared bytes actually present
+     // and every later field intact — the cap is the ONLY reason to reject
+    crypto::ByteWriter w;
+    w.put_u8(svc::kWireVersion);
+    w.put_u8(1);  // request kind
+    w.put_u64(7);
+    w.put_u8(*svc::scheme_wire_id("McCLS"));
+    w.put_field(Bytes(svc::kMaxIdLen + 1, 'a'));
+    w.put_field(request.public_key.to_bytes());
+    w.put_field(Bytes{});
+    w.put_field(Bytes{});
+    emit("wire_request", "id_over_cap", false, w.take());
+  }
+  {  // unknown version byte
+    Bytes b = valid_request;
+    b[0] = 0x7F;
+    emit("wire_request", "unknown_version", false, b);
+  }
+  {  // scheme id outside Table 1
+    Bytes b = valid_request;
+    b[10] = 0x09;
+    emit("wire_request", "unknown_scheme", false, b);
+  }
+  {  // trailing garbage
+    Bytes b = valid_request;
+    b.push_back(0x00);
+    emit("wire_request", "trailing_garbage", false, b);
+  }
+
+  svc::VerifyResponse response;
+  response.request_id = 7;
+  response.status = svc::Status::kVerified;
+  const Bytes valid_response = svc::encode_response(response);
+  emit("wire_response", "minimal_valid", true, valid_response);
+  {  // status byte outside the enum
+    Bytes b = valid_response;
+    b.back() = 0x09;
+    emit("wire_response", "status_out_of_range", false, b);
+  }
+
+  // Key files. Master key: exact-32-byte canonical scalar.
+  emit("keyfile_master", "zero_scalar", false, Bytes(32, 0x00));
+  {
+    const auto q = math::Fq::modulus().to_be_bytes();
+    emit("keyfile_master", "noncanonical_scalar", false, Bytes(q.begin(), q.end()));
+  }
+  emit("keyfile_master", "wrong_length", false, Bytes(31, 0x01));
+
+  const cls::UserKeys user{.id = "a",
+                           .partial_key = g,
+                           .secret = math::Fq::from_u64(1),
+                           .public_key = cls::PublicKey{.points = {g}}};
+  const Bytes valid_user = cls::encode_user_keys(user);
+  emit("keyfile_user", "minimal_valid", true, valid_user);
+  {  // unknown record version
+    Bytes b = valid_user;
+    b[0] = 0x00;
+    emit("keyfile_user", "unknown_version", false, b);
+  }
+  {  // truncation mid id-length prefix (version byte + 2 of 4 prefix bytes)
+    Bytes b(valid_user.begin(), valid_user.begin() + 3);
+    emit("keyfile_user", "truncated_mid_prefix", false, b);
+  }
+  {  // oversized id length prefix
+    Bytes b = valid_user;
+    stamp_u32(b, 1, 0xFFFFFFFFu);
+    emit("keyfile_user", "oversized_prefix", false, b);
+  }
+
+  // Public keys: the point count must be 1 or 2.
+  emit("public_key", "zero_points", false, Bytes{0x00});
+  emit("public_key", "too_many_points", false, Bytes{0x03});
+  {
+    Bytes b{0x01};
+    b.insert(b.end(), g_bytes.begin(), g_bytes.end());
+    emit("public_key", "single_point", true, b);
+  }
+  {  // invalid curve-point tag
+    Bytes b{0x01};
+    b.insert(b.end(), g_bytes.begin(), g_bytes.end());
+    b[1] = 0x07;
+    emit("public_key", "bad_point_tag", false, b);
+  }
+
+  {  // non-canonical challenge scalar in a McCLS signature
+    Bytes b(32, 0xFF);
+    b.insert(b.end(), g_bytes.begin(), g_bytes.end());
+    b.insert(b.end(), g_bytes.begin(), g_bytes.end());
+    emit("sig_mccls", "noncanonical_scalar", false, b);
+  }
+
+  // Routing codecs.
+  {
+    aodv::AodvPayload hello{aodv::Hello{.node = 1, .seq = 1}};
+    const Bytes b = aodv::encode_packet(hello);
+    emit("aodv_packet", "minimal_hello", true, b);
+    Bytes unknown_tag = b;
+    unknown_tag[0] = 0xEE;
+    emit("aodv_packet", "unknown_tag", false, unknown_tag);
+  }
+  {  // data-packet timestamp above the 2^50 µs cap (can't round-trip through
+     // double, so it could never re-encode canonically)
+    aodv::AodvPayload data{
+        aodv::DataPacket{.src = 1, .dst = 2, .seq = 3, .sent_at = 0.25, .payload_bytes = 64}};
+    Bytes b = aodv::encode_packet(data);
+    for (std::size_t i = 13; i < 21; ++i) b[i] = 0xFF;  // sent_us field
+    emit("aodv_packet", "timestamp_over_cap", false, b);
+  }
+  {
+    dsr::DsrPayload rerr{dsr::DsrRerr{.reporter = 1, .broken_from = 2, .broken_to = 3}};
+    const Bytes b = dsr::encode_packet(rerr);
+    emit("dsr_packet", "minimal_rerr", true, b);
+    emit("dsr_packet", "truncated", false,
+         Bytes(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(b.size() / 2)));
+  }
+  {  // same timestamp-over-cap finding on the DSR data path
+    dsr::DsrPayload data{
+        dsr::DsrData{.src = 1, .dst = 2, .seq = 3, .sent_at = 0.25, .payload_bytes = 64}};
+    Bytes b = dsr::encode_packet(data);
+    for (std::size_t i = 13; i < 21; ++i) b[i] = 0xFF;  // sent_us field
+    emit("dsr_packet", "timestamp_over_cap", false, b);
+  }
+
+  return count;
+}
+
+}  // namespace mccls::qa

@@ -1,0 +1,50 @@
+// Failure-corpus storage and replay.
+//
+// Layout: one file per finding under tests/corpus/, named
+//   <target>__<description>__<accept|reject>.bin
+// where <target> is a FuzzTarget name (fuzz.hpp), the body is the raw input
+// bytes, and the suffix records the expected decoder outcome. Tier-1 replays
+// the whole directory FIRST (tests/test_qa_corpus.cpp): every entry must
+// decode without crashing, match its expected accept/reject outcome, and be
+// decode→re-encode→decode stable. qa_fuzz --corpus replays the same way,
+// and qa_fuzz --emit-corpus regenerates the built-in findings from the real
+// encoders (deterministically), so the corpus is reviewable and rebuildable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/encoding.hpp"
+
+namespace mccls::qa {
+
+struct CorpusEntry {
+  std::string filename;
+  std::string target;       ///< FuzzTarget name parsed from the filename
+  bool expect_accept = false;
+  crypto::Bytes bytes;
+};
+
+/// Loads every *.bin under `dir`, sorted by filename. Files whose names do
+/// not parse (or name an unknown target) are returned with an empty target —
+/// the replay driver treats those as failures rather than skipping them.
+std::vector<CorpusEntry> load_corpus(const std::string& dir);
+
+/// Replays one entry: totality (implicit — we are still alive), expected
+/// accept/reject outcome, and re-encode stability. Empty string on success,
+/// else a human-readable failure description.
+std::string replay_entry(const CorpusEntry& entry);
+
+/// Writes `bytes` as a corpus entry; returns the full path.
+std::string write_corpus_entry(const std::string& dir, const std::string& target,
+                               const std::string& description, bool expect_accept,
+                               const crypto::Bytes& bytes);
+
+/// Regenerates the built-in findings (the first mutation-fuzz results the
+/// decoders were hardened against: truncation mid length-prefix, oversized
+/// length prefixes, unknown version/tag bytes, out-of-range enums,
+/// non-canonical scalars) plus one known-good frame per target. Returns the
+/// number of files written. Deterministic: fixed seeds, no wall clock.
+std::size_t emit_builtin_corpus(const std::string& dir);
+
+}  // namespace mccls::qa

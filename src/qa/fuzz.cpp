@@ -1,0 +1,408 @@
+#include "qa/fuzz.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "aodv/codec.hpp"
+#include "cls/ap.hpp"
+#include "cls/keyfile.hpp"
+#include "cls/mccls.hpp"
+#include "cls/registry.hpp"
+#include "cls/yhg.hpp"
+#include "cls/zwxf.hpp"
+#include "dsr/dsr_codec.hpp"
+#include "qa/gen.hpp"
+#include "svc/wire.hpp"
+
+namespace mccls::qa {
+
+using crypto::Bytes;
+
+namespace {
+
+// Decode→re-encode→decode fixpoint: rejection is stable; acceptance must
+// re-encode canonically (the first decode may canonicalize, e.g. the AODV
+// codec's microsecond time quantization, so the fixpoint is checked on the
+// re-encoded bytes, not the input).
+template <class T, class DecodeFn, class EncodeFn>
+bool stable_impl(std::span<const std::uint8_t> bytes, DecodeFn decode, EncodeFn encode) {
+  const std::optional<T> first = decode(bytes);
+  if (!first) return true;
+  const Bytes canonical = encode(*first);
+  const std::optional<T> second = decode(canonical);
+  if (!second) return false;
+  return encode(*second) == canonical;
+}
+
+template <class T, class DecodeFn, class EncodeFn>
+FuzzTarget make_target(std::string name, std::function<Bytes(sim::Rng&)> sample,
+                       DecodeFn decode, EncodeFn encode) {
+  FuzzTarget t;
+  t.name = std::move(name);
+  t.sample = std::move(sample);
+  t.accepts = [decode](std::span<const std::uint8_t> b) { return decode(b).has_value(); };
+  t.stable = [decode, encode](std::span<const std::uint8_t> b) {
+    return stable_impl<T>(b, decode, encode);
+  };
+  return t;
+}
+
+cls::PublicKey sample_public_key(sim::Rng& rng, std::size_t points) {
+  cls::PublicKey pk;
+  for (std::size_t i = 0; i < points; ++i) pk.points.push_back(gen_g1_nonzero(rng));
+  return pk;
+}
+
+aodv::AuthExt sample_auth(sim::Rng& rng) {
+  aodv::AuthExt a;
+  a.signer = static_cast<aodv::NodeId>(rng.next_u64());
+  a.public_key = gen_bytes(rng, 67);
+  a.signature = gen_bytes(rng, 98);
+  return a;
+}
+
+std::optional<aodv::AuthExt> maybe_auth(sim::Rng& rng) {
+  if (rng.chance(0.5)) return sample_auth(rng);
+  return std::nullopt;
+}
+
+Bytes sample_aodv(sim::Rng& rng) {
+  aodv::AodvPayload payload;
+  switch (rng.uniform_int(5)) {
+    case 0: {
+      aodv::Rreq m;
+      m.rreq_id = static_cast<std::uint32_t>(rng.next_u64());
+      m.origin = static_cast<aodv::NodeId>(rng.uniform_int(64));
+      m.origin_seq = static_cast<std::uint32_t>(rng.next_u64());
+      m.dest = static_cast<aodv::NodeId>(rng.uniform_int(64));
+      m.dest_seq = static_cast<std::uint32_t>(rng.next_u64());
+      m.unknown_dest_seq = rng.chance(0.5);
+      m.hop_count = static_cast<std::uint8_t>(rng.uniform_int(256));
+      m.ttl = static_cast<std::uint8_t>(rng.uniform_int(256));
+      m.origin_auth = maybe_auth(rng);
+      m.hop_auth = maybe_auth(rng);
+      payload.msg = m;
+      break;
+    }
+    case 1: {
+      aodv::Rrep m;
+      m.origin = static_cast<aodv::NodeId>(rng.uniform_int(64));
+      m.dest = static_cast<aodv::NodeId>(rng.uniform_int(64));
+      m.dest_seq = static_cast<std::uint32_t>(rng.next_u64());
+      m.replier = static_cast<aodv::NodeId>(rng.uniform_int(64));
+      m.hop_count = static_cast<std::uint8_t>(rng.uniform_int(256));
+      m.lifetime = static_cast<double>(rng.uniform_int(1u << 20)) / 1e6;
+      m.origin_auth = maybe_auth(rng);
+      m.hop_auth = maybe_auth(rng);
+      payload.msg = m;
+      break;
+    }
+    case 2: {
+      aodv::Rerr m;
+      const std::size_t n = rng.uniform_int(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        m.unreachable.emplace_back(static_cast<aodv::NodeId>(rng.uniform_int(64)),
+                                   static_cast<std::uint32_t>(rng.next_u64()));
+      }
+      m.origin_auth = maybe_auth(rng);
+      payload.msg = m;
+      break;
+    }
+    case 3: {
+      aodv::Hello m;
+      m.node = static_cast<aodv::NodeId>(rng.uniform_int(64));
+      m.seq = static_cast<std::uint32_t>(rng.next_u64());
+      m.origin_auth = maybe_auth(rng);
+      payload.msg = m;
+      break;
+    }
+    default: {
+      aodv::DataPacket m;
+      m.src = static_cast<aodv::NodeId>(rng.uniform_int(64));
+      m.dst = static_cast<aodv::NodeId>(rng.uniform_int(64));
+      m.seq = static_cast<std::uint32_t>(rng.next_u64());
+      m.sent_at = static_cast<double>(rng.uniform_int(1u << 20)) / 1e6;
+      m.payload_bytes = rng.uniform_int(2048);
+      payload.msg = m;
+      break;
+    }
+  }
+  return aodv::encode_packet(payload);
+}
+
+std::vector<aodv::NodeId> sample_route(sim::Rng& rng) {
+  std::vector<aodv::NodeId> route(rng.uniform_int(6));
+  for (auto& n : route) n = static_cast<aodv::NodeId>(rng.uniform_int(64));
+  return route;
+}
+
+Bytes sample_dsr(sim::Rng& rng) {
+  dsr::DsrPayload payload;
+  switch (rng.uniform_int(4)) {
+    case 0: {
+      dsr::DsrRreq m;
+      m.request_id = static_cast<std::uint32_t>(rng.next_u64());
+      m.origin = static_cast<dsr::NodeId>(rng.uniform_int(64));
+      m.target = static_cast<dsr::NodeId>(rng.uniform_int(64));
+      m.route = sample_route(rng);
+      m.ttl = static_cast<std::uint8_t>(rng.uniform_int(256));
+      m.origin_auth = maybe_auth(rng);
+      m.hop_auth = maybe_auth(rng);
+      payload.msg = m;
+      break;
+    }
+    case 1: {
+      dsr::DsrRrep m;
+      m.request_id = static_cast<std::uint32_t>(rng.next_u64());
+      m.origin = static_cast<dsr::NodeId>(rng.uniform_int(64));
+      m.target = static_cast<dsr::NodeId>(rng.uniform_int(64));
+      m.route = sample_route(rng);
+      // Struct invariant the decoder enforces: hop_index indexes into route.
+      m.hop_index = static_cast<std::uint8_t>(rng.uniform_int(m.route.size() + 1));
+      m.origin_auth = maybe_auth(rng);
+      m.hop_auth = maybe_auth(rng);
+      payload.msg = m;
+      break;
+    }
+    case 2: {
+      dsr::DsrRerr m;
+      m.reporter = static_cast<dsr::NodeId>(rng.uniform_int(64));
+      m.broken_from = static_cast<dsr::NodeId>(rng.uniform_int(64));
+      m.broken_to = static_cast<dsr::NodeId>(rng.uniform_int(64));
+      m.origin_auth = maybe_auth(rng);
+      payload.msg = m;
+      break;
+    }
+    default: {
+      dsr::DsrData m;
+      m.src = static_cast<dsr::NodeId>(rng.uniform_int(64));
+      m.dst = static_cast<dsr::NodeId>(rng.uniform_int(64));
+      m.seq = static_cast<std::uint32_t>(rng.next_u64());
+      m.sent_at = static_cast<double>(rng.uniform_int(1u << 20)) / 1e6;
+      m.payload_bytes = rng.uniform_int(2048);
+      m.route = sample_route(rng);
+      m.hop_index = static_cast<std::uint8_t>(rng.uniform_int(m.route.size() + 1));
+      payload.msg = m;
+      break;
+    }
+  }
+  return dsr::encode_packet(payload);
+}
+
+std::vector<FuzzTarget> build_targets() {
+  std::vector<FuzzTarget> targets;
+
+  targets.push_back(make_target<svc::VerifyRequest>(
+      "wire_request",
+      [](sim::Rng& rng) {
+        svc::VerifyRequest req;
+        req.request_id = rng.next_u64();
+        const auto names = cls::scheme_names();
+        req.scheme = std::string(names[rng.uniform_int(names.size())]);
+        req.id = gen_id(rng);
+        req.public_key = sample_public_key(rng, req.scheme == "AP" ? 2 : 1);
+        req.message = gen_bytes(rng, 128);
+        req.signature = gen_bytes(rng, 98);
+        return svc::encode_request(req);
+      },
+      [](std::span<const std::uint8_t> b) { return svc::decode_request(b); },
+      [](const svc::VerifyRequest& r) { return svc::encode_request(r); }));
+
+  targets.push_back(make_target<svc::VerifyResponse>(
+      "wire_response",
+      [](sim::Rng& rng) {
+        svc::VerifyResponse resp;
+        resp.request_id = rng.next_u64();
+        resp.status = static_cast<svc::Status>(rng.uniform_int(4));
+        return svc::encode_response(resp);
+      },
+      [](std::span<const std::uint8_t> b) { return svc::decode_response(b); },
+      [](const svc::VerifyResponse& r) { return svc::encode_response(r); }));
+
+  targets.push_back(make_target<math::Fq>(
+      "keyfile_master",
+      [](sim::Rng& rng) { return cls::encode_master_key(gen_fq_nonzero(rng)); },
+      [](std::span<const std::uint8_t> b) { return cls::decode_master_key(b); },
+      [](const math::Fq& s) { return cls::encode_master_key(s); }));
+
+  targets.push_back(make_target<cls::UserKeys>(
+      "keyfile_user",
+      [](sim::Rng& rng) {
+        cls::UserKeys keys{.id = gen_id(rng),
+                           .partial_key = gen_g1_nonzero(rng),
+                           .secret = gen_fq_nonzero(rng),
+                           .public_key = sample_public_key(rng, 1 + rng.uniform_int(2))};
+        return cls::encode_user_keys(keys);
+      },
+      [](std::span<const std::uint8_t> b) { return cls::decode_user_keys(b); },
+      [](const cls::UserKeys& k) { return cls::encode_user_keys(k); }));
+
+  targets.push_back(make_target<cls::PublicKey>(
+      "public_key",
+      [](sim::Rng& rng) { return sample_public_key(rng, 1 + rng.uniform_int(2)).to_bytes(); },
+      [](std::span<const std::uint8_t> b) { return cls::PublicKey::from_bytes(b); },
+      [](const cls::PublicKey& pk) { return pk.to_bytes(); }));
+
+  targets.push_back(make_target<cls::McclsSignature>(
+      "sig_mccls",
+      [](sim::Rng& rng) {
+        return cls::McclsSignature{.v = gen_fq(rng), .s = gen_g1(rng), .r = gen_g1(rng)}
+            .to_bytes();
+      },
+      [](std::span<const std::uint8_t> b) { return cls::McclsSignature::from_bytes(b); },
+      [](const cls::McclsSignature& s) { return s.to_bytes(); }));
+
+  targets.push_back(make_target<cls::ApSignature>(
+      "sig_ap",
+      [](sim::Rng& rng) {
+        return cls::ApSignature{.u = gen_g1(rng), .v = gen_fq(rng)}.to_bytes();
+      },
+      [](std::span<const std::uint8_t> b) { return cls::ApSignature::from_bytes(b); },
+      [](const cls::ApSignature& s) { return s.to_bytes(); }));
+
+  targets.push_back(make_target<cls::ZwxfSignature>(
+      "sig_zwxf",
+      [](sim::Rng& rng) {
+        return cls::ZwxfSignature{.u = gen_g1(rng), .v = gen_g1(rng)}.to_bytes();
+      },
+      [](std::span<const std::uint8_t> b) { return cls::ZwxfSignature::from_bytes(b); },
+      [](const cls::ZwxfSignature& s) { return s.to_bytes(); }));
+
+  targets.push_back(make_target<cls::YhgSignature>(
+      "sig_yhg",
+      [](sim::Rng& rng) {
+        return cls::YhgSignature{.u = gen_g1(rng), .v = gen_g1(rng)}.to_bytes();
+      },
+      [](std::span<const std::uint8_t> b) { return cls::YhgSignature::from_bytes(b); },
+      [](const cls::YhgSignature& s) { return s.to_bytes(); }));
+
+  targets.push_back(make_target<aodv::AodvPayload>(
+      "aodv_packet", sample_aodv,
+      [](std::span<const std::uint8_t> b) { return aodv::decode_packet(b); },
+      [](const aodv::AodvPayload& p) { return aodv::encode_packet(p); }));
+
+  targets.push_back(make_target<dsr::DsrPayload>(
+      "dsr_packet", sample_dsr,
+      [](std::span<const std::uint8_t> b) { return dsr::decode_packet(b); },
+      [](const dsr::DsrPayload& p) { return dsr::encode_packet(p); }));
+
+  return targets;
+}
+
+}  // namespace
+
+const std::vector<FuzzTarget>& fuzz_targets() {
+  static const std::vector<FuzzTarget> targets = build_targets();
+  return targets;
+}
+
+const FuzzTarget* find_target(std::string_view name) {
+  for (const FuzzTarget& t : fuzz_targets()) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+Bytes mutate(sim::Rng& rng, std::span<const std::uint8_t> input) {
+  Bytes out(input.begin(), input.end());
+  if (out.empty()) {
+    out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+    return out;
+  }
+  switch (rng.uniform_int(9)) {
+    case 0: {  // flip one bit
+      const std::size_t i = rng.uniform_int(out.size());
+      out[i] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+      break;
+    }
+    case 1: {  // overwrite one byte
+      out[rng.uniform_int(out.size())] = static_cast<std::uint8_t>(rng.next_u64());
+      break;
+    }
+    case 2:  // truncate
+      out.resize(rng.uniform_int(out.size()));
+      break;
+    case 3: {  // delete a middle chunk
+      const std::size_t from = rng.uniform_int(out.size());
+      const std::size_t len = 1 + rng.uniform_int(out.size() - from);
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(from),
+                out.begin() + static_cast<std::ptrdiff_t>(from + len));
+      break;
+    }
+    case 4: {  // duplicate a chunk (bounded growth)
+      const std::size_t from = rng.uniform_int(out.size());
+      const std::size_t len = 1 + rng.uniform_int(std::min<std::size_t>(16, out.size() - from));
+      const Bytes chunk(out.begin() + static_cast<std::ptrdiff_t>(from),
+                        out.begin() + static_cast<std::ptrdiff_t>(from + len));
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(from), chunk.begin(), chunk.end());
+      break;
+    }
+    case 5: {  // insert random bytes
+      const std::size_t at = rng.uniform_int(out.size() + 1);
+      const std::size_t n = 1 + rng.uniform_int(8);
+      Bytes extra(n);
+      for (auto& b : extra) b = static_cast<std::uint8_t>(rng.next_u64());
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), extra.begin(), extra.end());
+      break;
+    }
+    case 6:
+    case 7: {  // stamp a length-prefix-shaped extreme at a random offset
+      const std::uint8_t fill = rng.chance(0.5) ? 0xFF : 0x00;
+      const std::size_t at = rng.uniform_int(out.size());
+      for (std::size_t i = at; i < std::min(out.size(), at + 4); ++i) out[i] = fill;
+      break;
+    }
+    default: {  // append random bytes
+      const std::size_t n = 1 + rng.uniform_int(8);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Bytes mutate_n(sim::Rng& rng, std::span<const std::uint8_t> input, int n) {
+  Bytes out(input.begin(), input.end());
+  for (int i = 0; i < n; ++i) out = mutate(rng, out);
+  return out;
+}
+
+Bytes minimize(std::span<const std::uint8_t> input,
+               const std::function<bool(std::span<const std::uint8_t>)>& interesting) {
+  Bytes current(input.begin(), input.end());
+  if (!interesting(current)) return current;  // nothing to preserve
+
+  // Phase 1: chunk removal, halving granularity each sweep.
+  for (std::size_t chunk = std::max<std::size_t>(1, current.size() / 2); chunk >= 1;
+       chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      for (std::size_t at = 0; at + chunk <= current.size();) {
+        Bytes candidate = current;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(at),
+                        candidate.begin() + static_cast<std::ptrdiff_t>(at + chunk));
+        if (interesting(candidate)) {
+          current = std::move(candidate);
+          removed_any = true;
+        } else {
+          at += chunk;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  // Phase 2: zero out remaining bytes where that preserves interest.
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (current[i] == 0) continue;
+    const std::uint8_t saved = current[i];
+    current[i] = 0;
+    if (!interesting(current)) current[i] = saved;
+  }
+  return current;
+}
+
+}  // namespace mccls::qa

@@ -1,0 +1,63 @@
+// Byte-mutation fuzzing over the repository's total decoders.
+//
+// Every boundary decoder (svc wire frames, key files, public keys, the four
+// signature codecs, AODV/DSR packet codecs) is wrapped as a FuzzTarget: a
+// sampler that produces a valid encoding, an acceptance probe, and a
+// decode→re-encode→decode stability check. The drivers are:
+//   * the registered codec properties (props_codec.cpp): sample, mutate,
+//     assert the decoder is total and stable — run in tier-1;
+//   * qa_fuzz --fuzz: the same loop at configurable volume;
+//   * tests/corpus replay: checked-in minimized findings, replayed first.
+//
+// "Total" means: any byte string either decodes to a value or yields
+// nullopt — never UB, never a throw, never an unbounded allocation. Crashes
+// surface as process death (tier-1 runs the kernels under ASan/UBSan too).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/encoding.hpp"
+#include "sim/rng.hpp"
+
+namespace mccls::qa {
+
+/// One decoder under fuzz.
+struct FuzzTarget {
+  std::string name;
+  /// Produces a valid encoding (used as the mutation substrate).
+  std::function<crypto::Bytes(sim::Rng&)> sample;
+  /// Runs the decoder; true iff the input decoded to a value.
+  std::function<bool(std::span<const std::uint8_t>)> accepts;
+  /// Decode→re-encode→decode fixpoint check. Rejection is trivially stable;
+  /// an accepted input must re-encode to a byte string that decodes to the
+  /// same value (checked via a second re-encode).
+  std::function<bool(std::span<const std::uint8_t>)> stable;
+};
+
+/// All fuzzable decoders (built once; stable order).
+const std::vector<FuzzTarget>& fuzz_targets();
+/// Lookup by exact name; nullptr when absent.
+const FuzzTarget* find_target(std::string_view name);
+
+/// Applies one random structural mutation: bit/byte corruption, truncation,
+/// chunk deletion/duplication, random insertion, or stamping a 32-bit
+/// length-prefix-shaped extreme (0x00000000 / 0xFFFFFFFF) at a random
+/// offset. The empty input always grows by one byte; a non-empty input may
+/// very occasionally come back byte-identical (overwriting a byte with the
+/// value it already had).
+crypto::Bytes mutate(sim::Rng& rng, std::span<const std::uint8_t> input);
+/// `n` stacked mutations.
+crypto::Bytes mutate_n(sim::Rng& rng, std::span<const std::uint8_t> input, int n);
+
+/// Greedy delta-debugging minimizer: repeatedly drops chunks and zeroes
+/// bytes while `interesting` keeps returning true. Deterministic; used by
+/// qa_fuzz --minimize and the corpus generator.
+crypto::Bytes minimize(std::span<const std::uint8_t> input,
+                       const std::function<bool(std::span<const std::uint8_t>)>& interesting);
+
+}  // namespace mccls::qa

@@ -1,0 +1,216 @@
+#include "qa/gen.hpp"
+
+#include "pairing/pairing.hpp"
+
+namespace mccls::qa {
+
+using math::Fp;
+using math::Fq;
+using math::U256;
+
+namespace {
+
+U256 uniform_u256(sim::Rng& rng) {
+  return U256{{rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()}};
+}
+
+U256 power_of_two_ish(sim::Rng& rng) {
+  const unsigned k = static_cast<unsigned>(rng.uniform_int(256));
+  U256 v{};
+  v.w[k / 64] = std::uint64_t{1} << (k % 64);
+  switch (rng.uniform_int(3)) {
+    case 0:
+      return v;  // 2^k
+    case 1: {    // 2^k - 1
+      U256 out;
+      sub(out, v, U256::one());
+      return out;
+    }
+    default: {  // 2^k + 1
+      U256 out;
+      add(out, v, U256::one());
+      return out;
+    }
+  }
+}
+
+U256 near_modulus(sim::Rng& rng, const U256& m) {
+  U256 out;
+  const std::uint64_t delta = rng.uniform_int(3);  // m-1, m, m+1
+  if (delta == 0) {
+    sub(out, m, U256::one());
+  } else if (delta == 1) {
+    out = m;
+  } else {
+    add(out, m, U256::one());
+  }
+  return out;
+}
+
+}  // namespace
+
+U256 gen_u256(sim::Rng& rng) {
+  switch (rng.uniform_int(10)) {
+    case 0:
+      return U256::zero();
+    case 1:
+      return U256::one();
+    case 2:
+      return U256::from_u64(rng.uniform_int(1024));
+    case 3:
+      return power_of_two_ish(rng);
+    case 4:
+      return U256{{~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+    case 5:
+      return near_modulus(rng, Fp::modulus());
+    case 6:
+      return near_modulus(rng, Fq::modulus());
+    default:
+      return uniform_u256(rng);
+  }
+}
+
+Fp gen_fp(sim::Rng& rng) { return Fp::from_u256(gen_u256(rng)); }
+
+Fq gen_fq(sim::Rng& rng) { return Fq::from_u256(gen_u256(rng)); }
+
+Fq gen_fq_nonzero(sim::Rng& rng) {
+  for (;;) {
+    const Fq x = gen_fq(rng);
+    if (!x.is_zero()) return x;
+  }
+}
+
+math::Fp2 gen_fp2(sim::Rng& rng) { return {gen_fp(rng), gen_fp(rng)}; }
+
+ec::G1 gen_g1(sim::Rng& rng) {
+  if (rng.uniform_int(16) == 0) return ec::G1::infinity();
+  return gen_g1_nonzero(rng);
+}
+
+ec::G1 gen_g1_nonzero(sim::Rng& rng) {
+  for (;;) {
+    const Fq k = gen_fq(rng);
+    if (k.is_zero()) continue;
+    return ec::G1::mul_generator(k.to_u256());
+  }
+}
+
+ec::G1 gen_g1_non_subgroup(sim::Rng& rng) {
+  // (0, 0) is the 2-torsion point of y^2 = x^3 + x: translating any subgroup
+  // point by it yields a point of even order, hence outside the odd-order-q
+  // subgroup (q·(P + T2) = q·T2 = T2 ≠ O).
+  const auto t2 = ec::G1::from_affine(Fp::zero(), Fp::zero());
+  return gen_g1(rng) + *t2;
+}
+
+pairing::Gt gen_gt(sim::Rng& rng) {
+  if (rng.uniform_int(16) == 0) return pairing::Gt::one();
+  // Fixed base ê(G, G) computed once; random exponents stay in the subgroup.
+  static const pairing::Gt base =
+      pairing::pair(ec::G1::generator(), ec::G1::generator());
+  return base.pow(gen_fq_nonzero(rng));
+}
+
+crypto::Bytes gen_bytes(sim::Rng& rng, std::size_t max_len) {
+  const std::size_t n = rng.uniform_int(max_len + 1);
+  crypto::Bytes out(n);
+  const std::uint64_t mode = rng.uniform_int(8);
+  for (auto& b : out) {
+    if (mode == 0) {
+      b = 0x00;
+    } else if (mode == 1) {
+      b = 0xFF;
+    } else {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+  }
+  return out;
+}
+
+std::string gen_id(sim::Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789@.-_";
+  const std::size_t n = 1 + rng.uniform_int(24);
+  std::string s(n, 'x');
+  for (auto& c : s) c = kAlphabet[rng.uniform_int(sizeof(kAlphabet) - 1)];
+  return s;
+}
+
+std::vector<U256> shrink_u256(const U256& x) {
+  std::vector<U256> out;
+  if (x.is_zero()) return out;
+  out.push_back(U256::zero());
+  U256 top_cleared = x;
+  top_cleared.w[3] = 0;
+  top_cleared.w[2] = 0;
+  if (!(top_cleared == x)) out.push_back(top_cleared);
+  out.push_back(shr1(x));
+  U256 dec;
+  sub(dec, x, U256::one());
+  out.push_back(dec);
+  return out;
+}
+
+std::vector<crypto::Bytes> shrink_bytes(const crypto::Bytes& b) {
+  std::vector<crypto::Bytes> out;
+  if (b.empty()) return out;
+  out.emplace_back();                                        // empty
+  out.emplace_back(b.begin(), b.begin() + b.size() / 2);     // first half
+  out.emplace_back(b.begin() + b.size() / 2, b.end());       // second half
+  out.emplace_back(b.begin(), b.end() - 1);                  // one shorter
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i] == 0) continue;
+    crypto::Bytes zeroed = b;
+    zeroed[i] = 0;
+    out.push_back(std::move(zeroed));
+    if (out.size() > 24) break;  // cap candidate fan-out per round
+  }
+  return out;
+}
+
+std::string show_u256(const U256& x) { return "0x" + x.to_hex(); }
+
+std::string show_bytes(const crypto::Bytes& b) {
+  return "hex:" + crypto::to_hex(b) + " (" + std::to_string(b.size()) + " bytes)";
+}
+
+Gen<std::vector<U256>> scalar_vec_gen(std::size_t n) {
+  Gen<std::vector<U256>> gen;
+  gen.create = [n](sim::Rng& rng) {
+    std::vector<U256> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(gen_u256(rng));
+    return v;
+  };
+  gen.shrink = [](const std::vector<U256>& v) {
+    std::vector<std::vector<U256>> out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (const U256& cand : shrink_u256(v[i])) {
+        std::vector<U256> copy = v;
+        copy[i] = cand;
+        out.push_back(std::move(copy));
+      }
+    }
+    return out;
+  };
+  gen.show = [](const std::vector<U256>& v) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i != 0) s += ", ";
+      s += show_u256(v[i]);
+    }
+    return s + "]";
+  };
+  return gen;
+}
+
+Gen<crypto::Bytes> bytes_gen(std::size_t max_len) {
+  Gen<crypto::Bytes> gen;
+  gen.create = [max_len](sim::Rng& rng) { return gen_bytes(rng, max_len); };
+  gen.shrink = [](const crypto::Bytes& b) { return shrink_bytes(b); };
+  gen.show = [](const crypto::Bytes& b) { return show_bytes(b); };
+  return gen;
+}
+
+}  // namespace mccls::qa

@@ -1,0 +1,80 @@
+// Seeded generators and shrinkers for the repository's core value types.
+// Generators are edge-biased: a substantial fraction of draws are the values
+// that break carry chains, canonical-encoding checks and group-law corner
+// cases (0, 1, 2^k ± 1, all-ones, values straddling the two moduli, the
+// point at infinity, 2-torsion points outside the order-q subgroup).
+//
+// Everything here draws from sim::Rng only — see property.hpp for the seed
+// contract that makes whole cases replayable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/encoding.hpp"
+#include "ec/g1.hpp"
+#include "math/fe.hpp"
+#include "math/fp2.hpp"
+#include "math/u256.hpp"
+#include "pairing/gt.hpp"
+#include "qa/property.hpp"
+#include "sim/rng.hpp"
+
+namespace mccls::qa {
+
+// ---- scalars and field elements ------------------------------------------
+
+/// Edge-biased 256-bit integer: ~half the draws are structured edge values
+/// (0, 1, small, 2^k ± 1, all-ones, near either modulus), the rest uniform.
+math::U256 gen_u256(sim::Rng& rng);
+
+math::Fp gen_fp(sim::Rng& rng);
+math::Fq gen_fq(sim::Rng& rng);
+math::Fq gen_fq_nonzero(sim::Rng& rng);
+math::Fp2 gen_fp2(sim::Rng& rng);
+
+// ---- group elements ------------------------------------------------------
+
+/// Uniform point of the order-q subgroup; ~1/16 of draws are infinity.
+ec::G1 gen_g1(sim::Rng& rng);
+/// Subgroup point guaranteed non-infinity.
+ec::G1 gen_g1_nonzero(sim::Rng& rng);
+/// On-curve point provably OUTSIDE the order-q subgroup (a subgroup point
+/// translated by the 2-torsion point (0,0); #E = 4q, so it has even order).
+ec::G1 gen_g1_non_subgroup(sim::Rng& rng);
+/// Element of GT (pairing target subgroup); ~1/16 of draws are the identity.
+pairing::Gt gen_gt(sim::Rng& rng);
+
+// ---- bytes and identities ------------------------------------------------
+
+/// Byte string of length in [0, max_len], content uniform with occasional
+/// all-0x00 / all-0xFF runs.
+crypto::Bytes gen_bytes(sim::Rng& rng, std::size_t max_len);
+/// Printable identity string of length in [1, 24].
+std::string gen_id(sim::Rng& rng);
+
+// ---- shrinkers -----------------------------------------------------------
+
+/// Candidates toward zero: 0, high-half cleared, halved, decremented.
+std::vector<math::U256> shrink_u256(const math::U256& x);
+/// Candidates toward empty/zeroed: empty, halves, one-shorter, bytes zeroed.
+std::vector<crypto::Bytes> shrink_bytes(const crypto::Bytes& b);
+
+// ---- display helpers -----------------------------------------------------
+
+std::string show_u256(const math::U256& x);
+std::string show_bytes(const crypto::Bytes& b);
+
+// ---- composite generators ------------------------------------------------
+
+/// Fixed-arity vector of edge-biased scalars, with element-wise shrinking
+/// and hex display. Most math properties consume one of these and derive
+/// field/group elements from the scalars, which makes every math
+/// counterexample shrink toward small readable integers.
+Gen<std::vector<math::U256>> scalar_vec_gen(std::size_t n);
+
+/// Byte-string generator with shrinking + hex display (codec properties).
+Gen<crypto::Bytes> bytes_gen(std::size_t max_len);
+
+}  // namespace mccls::qa

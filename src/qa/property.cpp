@@ -1,0 +1,97 @@
+#include "qa/property.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace mccls::qa {
+
+namespace {
+
+std::vector<Property>& mutable_registry() {
+  static std::vector<Property> r;
+  return r;
+}
+
+std::uint64_t parse_u64(const char* s, std::uint64_t fallback) {
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);  // base 0: 0x ok
+  if (end == nullptr || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+// Defined in props_math.cpp / props_scheme.cpp / props_codec.cpp. Explicit
+// registration calls (rather than static-initializer objects) keep the
+// property units alive inside the static library — a linker is free to drop
+// an object file nothing references, and silently losing half the registry
+// is exactly the kind of bug this harness exists to prevent.
+void register_math_properties();
+void register_scheme_properties();
+void register_codec_properties();
+
+RunConfig RunConfig::from_env() {
+  RunConfig cfg;
+  cfg.seed = parse_u64(std::getenv("MCCLS_QA_SEED"), kDefaultSeed);
+  cfg.iterations = static_cast<int>(parse_u64(std::getenv("MCCLS_QA_ITERS"), 0));
+  const char* soak = std::getenv("MCCLS_QA_SOAK");
+  if (soak != nullptr && *soak != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(soak, &end);
+    if (end != nullptr && *end == '\0' && v > 0) cfg.soak_seconds = v;
+  }
+  return cfg;
+}
+
+std::string Outcome::repro() const {
+  std::ostringstream os;
+  os << "qa_fuzz --prop " << property << " --seed " << seed;
+  return os.str();
+}
+
+std::string Outcome::message() const {
+  if (ok) {
+    std::ostringstream os;
+    os << property << ": OK (" << iterations_run << " cases, seed " << seed << ")";
+    return os.str();
+  }
+  std::ostringstream os;
+  os << property << ": FAILED at iteration " << failing_iteration << " (seed " << seed
+     << ", " << shrink_steps << " shrink steps)\n"
+     << "  counterexample: " << counterexample << "\n"
+     << "  repro: " << repro();
+  return os.str();
+}
+
+namespace detail {
+void add_property(Property p) { mutable_registry().push_back(std::move(p)); }
+}  // namespace detail
+
+const std::vector<Property>& registry() {
+  static const bool initialized = [] {
+    register_math_properties();
+    register_scheme_properties();
+    register_codec_properties();
+    return true;
+  }();
+  (void)initialized;
+  return mutable_registry();
+}
+
+std::vector<const Property*> properties_in_layer(std::string_view layer) {
+  std::vector<const Property*> out;
+  for (const Property& p : registry()) {
+    if (p.layer == layer) out.push_back(&p);
+  }
+  return out;
+}
+
+const Property* find_property(std::string_view name) {
+  for (const Property& p : registry()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace mccls::qa

@@ -1,0 +1,56 @@
+// Registered properties for every boundary codec, generated from the fuzz
+// target table (fuzz.cpp) so a decoder added there is automatically covered
+// by both properties in tier-1:
+//   roundtrip_<target>       decode(encode(x)) == x on valid samples
+//   mutation_total_<target>  on mutated bytes the decoder is total and
+//                            decode→re-encode→decode stable
+// The mutation property's generated value IS the mutated byte string, so a
+// failing input shrinks to a minimal crashing/unstable frame — ready to be
+// checked into tests/corpus/.
+#include <sstream>
+
+#include "qa/fuzz.hpp"
+#include "qa/gen.hpp"
+#include "qa/property.hpp"
+
+namespace mccls::qa {
+
+namespace {
+
+using crypto::Bytes;
+
+Gen<std::uint64_t> seed_gen() {
+  Gen<std::uint64_t> gen;
+  gen.create = [](sim::Rng& rng) { return rng.next_u64(); };
+  gen.show = [](const std::uint64_t& s) { return "sample_seed=" + std::to_string(s); };
+  return gen;
+}
+
+Gen<Bytes> mutated_gen(const FuzzTarget& target) {
+  Gen<Bytes> gen = bytes_gen(0);  // shrink + show from the bytes generator
+  gen.create = [&target](sim::Rng& rng) {
+    const Bytes valid = target.sample(rng);
+    return mutate_n(rng, valid, 1 + static_cast<int>(rng.uniform_int(3)));
+  };
+  return gen;
+}
+
+}  // namespace
+
+void register_codec_properties() {
+  for (const FuzzTarget& target : fuzz_targets()) {
+    define_property<std::uint64_t>(
+        "codec", "roundtrip_" + target.name, 48, seed_gen(),
+        [&target](const std::uint64_t& seed) {
+          sim::Rng rng(seed);
+          const Bytes valid = target.sample(rng);
+          return target.accepts(valid) && target.stable(valid);
+        });
+
+    define_property<Bytes>("codec", "mutation_total_" + target.name, 96,
+                           mutated_gen(target),
+                           [&target](const Bytes& bytes) { return target.stable(bytes); });
+  }
+}
+
+}  // namespace mccls::qa

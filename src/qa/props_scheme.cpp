@@ -1,0 +1,228 @@
+// Registered properties for the four CLS schemes: sign/verify round-trips
+// with inline tamper rejection, the batch-vs-single differential oracle for
+// McCLS, verdict parity between the concurrent verifyd service (batch
+// coalescing on) and direct single-threaded verification for ALL schemes,
+// and cross-scheme rejection.
+//
+// Each case carries its own DRBG seed, so key material, nonces and messages
+// all replay from the harness seed contract (see property.hpp).
+#include <atomic>
+#include <sstream>
+
+#include "cls/batch.hpp"
+#include "cls/mccls.hpp"
+#include "cls/registry.hpp"
+#include "qa/gen.hpp"
+#include "qa/property.hpp"
+#include "svc/service.hpp"
+
+namespace mccls::qa {
+
+namespace {
+
+using crypto::Bytes;
+
+/// One scheme-level test case: everything derives from these three values.
+struct SchemeCase {
+  std::uint64_t drbg_seed = 0;
+  std::string id;
+  Bytes message;
+};
+
+Gen<SchemeCase> scheme_case_gen(std::size_t max_message) {
+  Gen<SchemeCase> gen;
+  gen.create = [max_message](sim::Rng& rng) {
+    return SchemeCase{.drbg_seed = rng.next_u64(),
+                      .id = gen_id(rng),
+                      .message = gen_bytes(rng, max_message)};
+  };
+  gen.shrink = [](const SchemeCase& c) {
+    std::vector<SchemeCase> out;
+    for (Bytes& smaller : shrink_bytes(c.message)) {
+      out.push_back(SchemeCase{c.drbg_seed, c.id, std::move(smaller)});
+    }
+    if (c.id != "a") out.push_back(SchemeCase{c.drbg_seed, "a", c.message});
+    return out;
+  };
+  gen.show = [](const SchemeCase& c) {
+    std::ostringstream os;
+    os << "{drbg_seed=" << c.drbg_seed << " id=\"" << c.id
+       << "\" message=" << show_bytes(c.message) << "}";
+    return os.str();
+  };
+  return gen;
+}
+
+Bytes tweaked_message(const Bytes& message) {
+  Bytes other = message;
+  if (other.empty()) {
+    other.push_back(0x01);
+  } else {
+    other[0] ^= 0x01;
+  }
+  return other;
+}
+
+}  // namespace
+
+void register_scheme_properties() {
+  // ---- sign/verify round-trip + inline tamper rejection, per scheme -------
+  for (const std::string_view name : cls::scheme_names()) {
+    define_property<SchemeCase>(
+        "scheme", "sign_verify_" + std::string(name), 5, scheme_case_gen(96),
+        [name](const SchemeCase& c) {
+          crypto::HmacDrbg drbg(c.drbg_seed);
+          const cls::Kgc kgc = cls::Kgc::setup(drbg);
+          const auto scheme = cls::make_scheme(name);
+          const cls::UserKeys user = scheme->enroll(kgc, c.id, drbg);
+          const Bytes sig = scheme->sign(kgc.params(), user, c.message, drbg);
+          if (sig.size() != scheme->signature_size()) return false;
+          if (!scheme->verify(kgc.params(), c.id, user.public_key, c.message, sig)) {
+            return false;
+          }
+          // A different message, a different identity, and a truncated
+          // signature must all reject.
+          if (scheme->verify(kgc.params(), c.id, user.public_key,
+                             tweaked_message(c.message), sig)) {
+            return false;
+          }
+          if (scheme->verify(kgc.params(), c.id + "~", user.public_key, c.message, sig)) {
+            return false;
+          }
+          const std::span<const std::uint8_t> truncated{sig.data(), sig.size() - 1};
+          return !scheme->verify(kgc.params(), c.id, user.public_key, c.message, truncated);
+        });
+  }
+
+  // ---- batch_verify vs per-signature verify (McCLS) ------------------------
+  define_property<SchemeCase>(
+      "scheme", "batch_vs_single_mccls", 4, scheme_case_gen(48),
+      [](const SchemeCase& c) {
+        crypto::HmacDrbg drbg(c.drbg_seed);
+        const cls::Kgc kgc = cls::Kgc::setup(drbg);
+        const cls::Mccls scheme;
+        const cls::UserKeys user = scheme.enroll(kgc, c.id, drbg);
+        const ec::G1& pk = user.public_key.primary();
+
+        // Batch of n derived messages; the generated message is member 0.
+        const std::size_t n = 2 + c.drbg_seed % 4;
+        std::vector<cls::BatchItem> items;
+        for (std::size_t i = 0; i < n; ++i) {
+          Bytes msg = c.message;
+          msg.push_back(static_cast<std::uint8_t>(i));
+          items.push_back(cls::BatchItem{
+              .message = msg,
+              .signature = cls::Mccls::sign_typed(kgc.params(), user, msg, drbg)});
+        }
+        for (const auto& item : items) {
+          if (!cls::Mccls::verify_typed(kgc.params(), c.id, pk, item.message,
+                                        item.signature)) {
+            return false;
+          }
+        }
+        if (!cls::batch_verify(kgc.params(), c.id, pk, items, drbg)) return false;
+
+        // Tamper with one member: both paths must now reject it.
+        const std::size_t victim = c.drbg_seed % n;
+        items[victim].signature.v += math::Fq::from_u64(1);
+        if (cls::Mccls::verify_typed(kgc.params(), c.id, pk, items[victim].message,
+                                     items[victim].signature)) {
+          return false;
+        }
+        return !cls::batch_verify(kgc.params(), c.id, pk, items, drbg);
+      });
+
+  // ---- verifyd (coalesced batch path) vs direct verify, all schemes --------
+  define_property<SchemeCase>(
+      "scheme", "service_verdict_parity", 2, scheme_case_gen(32),
+      [](const SchemeCase& c) {
+        crypto::HmacDrbg drbg(c.drbg_seed);
+        const cls::Kgc kgc = cls::Kgc::setup(drbg);
+
+        struct Request {
+          svc::VerifyRequest wire;
+          bool expected = false;
+        };
+        std::vector<Request> requests;
+        std::uint64_t next_id = 0;
+        for (const std::string_view name : cls::scheme_names()) {
+          const auto scheme = cls::make_scheme(name);
+          const cls::UserKeys user = scheme->enroll(kgc, c.id, drbg);
+          for (int k = 0; k < 4; ++k) {
+            Bytes msg = c.message;
+            msg.push_back(static_cast<std::uint8_t>(k));
+            Bytes sig = scheme->sign(kgc.params(), user, msg, drbg);
+            const bool corrupt = (k % 2) == 1;
+            if (corrupt) sig[sig.size() / 2] ^= 0x10;
+            const bool expected =
+                scheme->verify(kgc.params(), c.id, user.public_key, msg, sig);
+            if (!corrupt && !expected) return false;  // honest sig must verify
+            requests.push_back(Request{
+                .wire = svc::VerifyRequest{.request_id = next_id++,
+                                           .scheme = std::string(name),
+                                           .id = c.id,
+                                           .public_key = user.public_key,
+                                           .message = std::move(msg),
+                                           .signature = std::move(sig)},
+                .expected = expected});
+          }
+        }
+
+        svc::ServiceConfig config;
+        config.workers = 2;
+        config.coalesce = true;
+        config.seed = c.drbg_seed;
+        std::vector<std::atomic<int>> verdicts(requests.size());
+        for (auto& v : verdicts) v.store(-1);
+        {
+          svc::VerifyService service(kgc.params(), config);
+          for (const Request& r : requests) {
+            service.submit(r.wire, [&verdicts](const svc::VerifyResponse& resp) {
+              verdicts[resp.request_id].store(
+                  resp.status == svc::Status::kVerified ? 1 : 0);
+            });
+          }
+          service.shutdown();  // drains the backlog before joining
+        }
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          if (verdicts[i].load() != (requests[i].expected ? 1 : 0)) return false;
+        }
+        return true;
+      });
+
+  // ---- a signature from scheme A never verifies under scheme B -------------
+  define_property<SchemeCase>(
+      "scheme", "cross_scheme_rejection", 2, scheme_case_gen(32),
+      [](const SchemeCase& c) {
+        crypto::HmacDrbg drbg(c.drbg_seed);
+        const cls::Kgc kgc = cls::Kgc::setup(drbg);
+        const auto names = cls::scheme_names();
+        struct Enrolled {
+          std::unique_ptr<cls::Scheme> scheme;
+          cls::UserKeys user;
+          Bytes signature;
+        };
+        std::vector<Enrolled> all;
+        for (const std::string_view name : names) {
+          auto scheme = cls::make_scheme(name);
+          cls::UserKeys user = scheme->enroll(kgc, c.id, drbg);
+          Bytes sig = scheme->sign(kgc.params(), user, c.message, drbg);
+          all.push_back(Enrolled{std::move(scheme), std::move(user), std::move(sig)});
+        }
+        for (std::size_t a = 0; a < all.size(); ++a) {
+          for (std::size_t b = 0; b < all.size(); ++b) {
+            if (a == b) continue;
+            // Scheme B, B's own key material, but A's signature bytes: must
+            // reject (same-size pairs like ZWXF/YHG decode fine and must
+            // fail the verification equation instead).
+            if (all[b].scheme->verify(kgc.params(), c.id, all[b].user.public_key,
+                                      c.message, all[a].signature)) {
+              return false;
+            }
+          }
+        }
+        return true;
+      });
+}
+
+}  // namespace mccls::qa

@@ -67,4 +67,15 @@ Rng Rng::fork(std::uint64_t stream_id) const {
   return Rng(splitmix64(x));
 }
 
+Rng Rng::fork(std::string_view name) const {
+  // FNV-1a over the name; collisions only weaken stream independence, never
+  // reproducibility (the mapping is deterministic either way).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return fork(h);
+}
+
 }  // namespace mccls::sim

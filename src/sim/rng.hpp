@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace mccls::sim {
 
@@ -28,6 +29,15 @@ class Rng {
 
   /// Derives an independent substream (e.g. one per node).
   [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+  /// Derives an independent substream keyed by a name (FNV-1a of `name` as
+  /// the stream id). This is the seed contract the qa harness builds on:
+  ///   root stream       = Rng(seed)
+  ///   property stream   = root.fork(property_name)
+  ///   case stream i     = property_stream.fork(i)
+  /// so any single property/iteration pair reproduces from (seed, name, i)
+  /// alone, independent of what else ran before it and in what order.
+  [[nodiscard]] Rng fork(std::string_view name) const;
 
  private:
   std::uint64_t s_[4];

@@ -55,10 +55,10 @@ std::optional<VerifyRequest> decode_request(std::span<const std::uint8_t> bytes)
   if (!request_id || !scheme_id) return std::nullopt;
   const auto scheme = scheme_from_wire_id(*scheme_id);
   if (!scheme) return std::nullopt;
-  const auto id = reader.get_field();
-  const auto pk_bytes = reader.get_field();
-  const auto message = reader.get_field();
-  const auto signature = reader.get_field();
+  const auto id = reader.get_field(kMaxIdLen);
+  const auto pk_bytes = reader.get_field(kMaxPublicKeyLen);
+  const auto message = reader.get_field(kMaxMessageLen);
+  const auto signature = reader.get_field(kMaxSignatureLen);
   if (!id || !pk_bytes || !message || !signature || !reader.exhausted()) {
     return std::nullopt;
   }

@@ -25,6 +25,17 @@ namespace mccls::svc {
 
 inline constexpr std::uint8_t kWireVersion = 1;
 
+/// Per-field size caps enforced by decode_request (first mutation-fuzz
+/// findings: a frame whose length prefix far exceeds any legitimate field —
+/// e.g. 0xFFFFFFFF — must be rejected from the prefix alone, before any
+/// read or allocation is attempted). Generous relative to real traffic:
+/// identities are short strings, a public key is at most two 33-byte points
+/// behind a 1-byte count, and no Table 1 signature exceeds 98 bytes.
+inline constexpr std::size_t kMaxIdLen = 1024;
+inline constexpr std::size_t kMaxPublicKeyLen = 256;
+inline constexpr std::size_t kMaxMessageLen = 1 << 20;
+inline constexpr std::size_t kMaxSignatureLen = 4096;
+
 /// Final verdict (or admission failure) for one request.
 enum class Status : std::uint8_t {
   kVerified = 0,   ///< signature accepted

@@ -77,8 +77,9 @@ TEST(KeyFile, UserKeysRejectMalformed) {
 TEST(KeyFile, UserKeysRejectCorruptPoint) {
   Fixture f;
   auto bytes = encode_user_keys(f.alice);
-  // The partial key point starts right after the 4-byte id length + id.
-  const std::size_t point_offset = 4 + f.alice.id.size();
+  // The partial key point starts right after the record version byte, the
+  // 4-byte id length, and the id.
+  const std::size_t point_offset = 1 + 4 + f.alice.id.size();
   bytes[point_offset] = 0x07;  // invalid tag byte
   EXPECT_FALSE(decode_user_keys(bytes).has_value());
 }

@@ -1,0 +1,27 @@
+// Tier-1 runner for the registered codec-layer properties: round-trip and
+// mutation-totality for every fuzz target (svc wire frames, key files,
+// public keys, the four signature codecs, AODV/DSR packets). One gtest case
+// per property.
+#include <gtest/gtest.h>
+
+#include "qa/property.hpp"
+
+namespace mccls::qa {
+namespace {
+
+class QaCodecProperty : public ::testing::TestWithParam<const Property*> {};
+
+TEST_P(QaCodecProperty, Holds) {
+  const Outcome out = GetParam()->run(RunConfig::from_env());
+  EXPECT_TRUE(out.ok) << out.message();
+  EXPECT_GT(out.iterations_run, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codec, QaCodecProperty,
+                         ::testing::ValuesIn(properties_in_layer("codec")),
+                         [](const ::testing::TestParamInfo<const Property*>& info) {
+                           return info.param->name;
+                         });
+
+}  // namespace
+}  // namespace mccls::qa

@@ -1,0 +1,40 @@
+// Replays the checked-in failure corpus (tests/corpus/*.bin) — minimized
+// decoder findings plus one known-good frame per target. This suite runs in
+// tier-1 BEFORE the randomized properties matter: a regression on any past
+// finding fails deterministically, with the offending file named.
+// MCCLS_CORPUS_DIR is injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include "qa/corpus.hpp"
+#include "qa/fuzz.hpp"
+
+namespace mccls::qa {
+namespace {
+
+TEST(QaCorpus, DirectoryIsNonEmpty) {
+  EXPECT_FALSE(load_corpus(MCCLS_CORPUS_DIR).empty())
+      << "no corpus under " << MCCLS_CORPUS_DIR
+      << " — regenerate with: qa_fuzz --emit-corpus tests/corpus";
+}
+
+TEST(QaCorpus, EveryEntryReplaysClean) {
+  for (const CorpusEntry& entry : load_corpus(MCCLS_CORPUS_DIR)) {
+    const std::string error = replay_entry(entry);
+    EXPECT_TRUE(error.empty()) << error;
+  }
+}
+
+TEST(QaCorpus, EveryTargetHasAtLeastOneEntry) {
+  const auto entries = load_corpus(MCCLS_CORPUS_DIR);
+  for (const FuzzTarget& target : fuzz_targets()) {
+    // Signature codecs share one representative (sig_mccls) — their framing
+    // is identical fixed-size concatenation; everything else is covered.
+    if (target.name.rfind("sig_", 0) == 0 && target.name != "sig_mccls") continue;
+    bool found = false;
+    for (const auto& entry : entries) found |= entry.target == target.name;
+    EXPECT_TRUE(found) << "no corpus entry for target " << target.name;
+  }
+}
+
+}  // namespace
+}  // namespace mccls::qa

@@ -1,0 +1,187 @@
+// The qa harness testing itself: determinism of the seed contract, shrinker
+// convergence on injected failures, repro-line format, environment parsing,
+// and mutate/minimize determinism. The actual math/scheme/codec properties
+// run in test_qa_{math,scheme,codec}.cpp.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "qa/fuzz.hpp"
+#include "qa/gen.hpp"
+#include "qa/property.hpp"
+
+namespace mccls::qa {
+namespace {
+
+using crypto::Bytes;
+
+RunConfig cfg_with(std::uint64_t seed, int iterations) {
+  RunConfig cfg;
+  cfg.seed = seed;
+  cfg.iterations = iterations;
+  return cfg;
+}
+
+// ---- seed contract --------------------------------------------------------
+
+TEST(QaHarness, ForkByNameGivesIndependentDeterministicStreams) {
+  const sim::Rng root(42);
+  sim::Rng a1 = root.fork("alpha");
+  sim::Rng a2 = root.fork("alpha");
+  sim::Rng b = root.fork("beta");
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  sim::Rng a3 = root.fork("alpha");
+  EXPECT_NE(a3.next_u64(), b.next_u64());
+}
+
+TEST(QaHarness, SameSeedSameOutcome) {
+  const Property* p = find_property("u256_add_sub_roundtrip");
+  ASSERT_NE(p, nullptr);
+  const Outcome first = p->run(cfg_with(123, 32));
+  const Outcome second = p->run(cfg_with(123, 32));
+  EXPECT_EQ(first.ok, second.ok);
+  EXPECT_EQ(first.iterations_run, second.iterations_run);
+  EXPECT_EQ(first.counterexample, second.counterexample);
+}
+
+TEST(QaHarness, PropertyStreamIndependentOfRunOrder) {
+  // Running other properties first must not perturb a property's cases:
+  // each property forks its own stream from the root seed by name.
+  const Property* p = find_property("fp_ring_laws");
+  ASSERT_NE(p, nullptr);
+  const Outcome alone = p->run(cfg_with(7, 16));
+  find_property("u256_hex_roundtrip")->run(cfg_with(7, 16));
+  const Outcome after_others = p->run(cfg_with(7, 16));
+  EXPECT_EQ(alone.ok, after_others.ok);
+  EXPECT_EQ(alone.counterexample, after_others.counterexample);
+}
+
+// ---- shrinking on an injected failure -------------------------------------
+
+TEST(QaHarness, ShrinksInjectedByteFailureToMinimalCounterexample) {
+  // Canary predicate: "all byte strings are shorter than 3". The shrinker
+  // must walk any failing draw down to exactly three zero bytes.
+  const auto holds = [](const Bytes& b) { return b.size() < 3; };
+  const Outcome out = for_all<Bytes>("canary_len", cfg_with(99, 200), bytes_gen(64), holds);
+  ASSERT_FALSE(out.ok);
+  EXPECT_GE(out.failing_iteration, 0);
+  EXPECT_GT(out.shrink_steps, 0);
+  EXPECT_EQ(out.counterexample, show_bytes(Bytes(3, 0x00)));
+}
+
+TEST(QaHarness, ShrinksInjectedScalarFailureTowardZero) {
+  // Canary predicate: "every scalar vector has a zero first element".
+  const auto holds = [](const std::vector<math::U256>& s) { return s[0].is_zero(); };
+  const Outcome out =
+      for_all<std::vector<math::U256>>("canary_scalar", cfg_with(5, 50), scalar_vec_gen(1), holds);
+  ASSERT_FALSE(out.ok);
+  // Greedy shrinking ends at the minimal failing value: 1.
+  EXPECT_EQ(out.counterexample, "[" + show_u256(math::U256::one()) + "]");
+}
+
+TEST(QaHarness, ReproLineNamesToolPropAndSeed) {
+  const auto holds = [](const Bytes&) { return false; };
+  const Outcome out = for_all<Bytes>("always_fails", cfg_with(77, 1), bytes_gen(4), holds);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.repro(), "qa_fuzz --prop always_fails --seed 77");
+  EXPECT_NE(out.message().find(out.repro()), std::string::npos);
+  EXPECT_NE(out.message().find(out.counterexample), std::string::npos);
+}
+
+TEST(QaHarness, PassingRunReportsIterations) {
+  const auto holds = [](const Bytes&) { return true; };
+  const Outcome out = for_all<Bytes>("always_holds", cfg_with(1, 17), bytes_gen(4), holds);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.iterations_run, 17);
+  EXPECT_EQ(out.failing_iteration, -1);
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(QaHarness, RegistryCoversAllThreeLayers) {
+  EXPECT_FALSE(properties_in_layer("math").empty());
+  EXPECT_FALSE(properties_in_layer("scheme").empty());
+  EXPECT_FALSE(properties_in_layer("codec").empty());
+  EXPECT_EQ(properties_in_layer("math").size() + properties_in_layer("scheme").size() +
+                properties_in_layer("codec").size(),
+            registry().size());
+  EXPECT_EQ(find_property("no_such_property"), nullptr);
+}
+
+// ---- environment parsing --------------------------------------------------
+
+TEST(QaHarness, FromEnvParsesSeedItersAndSoak) {
+  ::setenv("MCCLS_QA_SEED", "0x10", 1);
+  ::setenv("MCCLS_QA_ITERS", "5", 1);
+  ::setenv("MCCLS_QA_SOAK", "2", 1);
+  const RunConfig cfg = RunConfig::from_env();
+  EXPECT_EQ(cfg.seed, 16u);
+  EXPECT_EQ(cfg.iterations, 5);
+  EXPECT_DOUBLE_EQ(cfg.soak_seconds, 2.0);
+  ::unsetenv("MCCLS_QA_SEED");
+  ::unsetenv("MCCLS_QA_ITERS");
+  ::unsetenv("MCCLS_QA_SOAK");
+  const RunConfig defaults = RunConfig::from_env();
+  EXPECT_EQ(defaults.seed, RunConfig::kDefaultSeed);
+  EXPECT_EQ(defaults.iterations, 0);
+  EXPECT_DOUBLE_EQ(defaults.soak_seconds, 0.0);
+}
+
+TEST(QaHarness, SoakModeKeepsDrawingFreshCases) {
+  RunConfig cfg;
+  cfg.seed = 3;
+  cfg.soak_seconds = 0.05;
+  int distinct = 0;
+  Bytes last;
+  const auto holds = [&](const Bytes& b) {
+    if (b != last) ++distinct;
+    last = b;
+    return true;
+  };
+  const Outcome out = for_all<Bytes>("soak_probe", cfg, bytes_gen(32), holds);
+  EXPECT_TRUE(out.ok);
+  EXPECT_GT(out.iterations_run, 1);
+  EXPECT_GT(distinct, 1);
+}
+
+// ---- mutate / minimize ----------------------------------------------------
+
+TEST(QaHarness, MutateIsDeterministicPerSeed) {
+  const Bytes input(40, 0xAB);
+  sim::Rng r1(11), r2(11), r3(12);
+  EXPECT_EQ(mutate_n(r1, input, 3), mutate_n(r2, input, 3));
+  // A different stream virtually always picks a different mutation.
+  sim::Rng r4(12);
+  EXPECT_EQ(mutate_n(r3, input, 3), mutate_n(r4, input, 3));
+}
+
+TEST(QaHarness, MutateGrowsEmptyInput) {
+  sim::Rng rng(1);
+  EXPECT_FALSE(mutate(rng, Bytes{}).empty());
+}
+
+TEST(QaHarness, MinimizePreservesInterestAndIsDeterministic) {
+  // Interesting = contains the byte 0xEE. Minimization must converge to the
+  // single-byte string {0xEE} from any haystack.
+  Bytes input(64, 0x55);
+  input[41] = 0xEE;
+  const auto interesting = [](std::span<const std::uint8_t> b) {
+    for (const auto byte : b) {
+      if (byte == 0xEE) return true;
+    }
+    return false;
+  };
+  const Bytes min1 = minimize(input, interesting);
+  const Bytes min2 = minimize(input, interesting);
+  EXPECT_EQ(min1, min2);
+  EXPECT_EQ(min1, Bytes{0xEE});
+}
+
+TEST(QaHarness, MinimizeReturnsUninterestingInputUnchanged) {
+  const Bytes input(8, 0x01);
+  const auto interesting = [](std::span<const std::uint8_t>) { return false; };
+  EXPECT_EQ(minimize(input, interesting), input);
+}
+
+}  // namespace
+}  // namespace mccls::qa

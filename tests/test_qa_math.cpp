@@ -1,0 +1,27 @@
+// Tier-1 runner for the registered math-layer properties (u256, Montgomery
+// fields, Fp2, G1, pairing differential oracles). One gtest case per
+// property; a failure prints the shrunk counterexample and the qa_fuzz repro
+// line (see docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include "qa/property.hpp"
+
+namespace mccls::qa {
+namespace {
+
+class QaMathProperty : public ::testing::TestWithParam<const Property*> {};
+
+TEST_P(QaMathProperty, Holds) {
+  const Outcome out = GetParam()->run(RunConfig::from_env());
+  EXPECT_TRUE(out.ok) << out.message();
+  EXPECT_GT(out.iterations_run, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Math, QaMathProperty,
+                         ::testing::ValuesIn(properties_in_layer("math")),
+                         [](const ::testing::TestParamInfo<const Property*>& info) {
+                           return info.param->name;
+                         });
+
+}  // namespace
+}  // namespace mccls::qa

@@ -1,0 +1,163 @@
+// Negative and malleability vectors for all four CLS schemes, in one
+// parameterized suite (one instantiation per Table 1 scheme). Every vector
+// must REJECT — and, just as importantly, must not crash or throw: verify is
+// a total function over untrusted bytes.
+//
+// Vectors: per-region byte flips in the serialized signature, swapped
+// same-size components, the all-identity signature (zero scalar + points at
+// infinity), identity and provably non-subgroup public-key substitutions,
+// wrong message/identity, truncation and extension.
+#include <map>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cls/registry.hpp"
+#include "crypto/drbg.hpp"
+#include "ec/g1.hpp"
+
+namespace mccls {
+namespace {
+
+using crypto::Bytes;
+
+struct SchemeFixture {
+  std::unique_ptr<cls::Kgc> kgc;
+  std::unique_ptr<cls::Scheme> scheme;
+  cls::UserKeys user;
+  std::string id = "alice@mwcps";
+  Bytes message{'r', 'o', 'u', 't', 'e', '-', 'u', 'p', 'd', 'a', 't', 'e'};
+  Bytes signature;
+};
+
+// One deterministic fixture per scheme, built once (setup runs pairings).
+const SchemeFixture& fixture_for(const std::string& name) {
+  static std::map<std::string, SchemeFixture> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    SchemeFixture f;
+    crypto::HmacDrbg drbg(0x9a11ce + name.size());
+    f.kgc = std::make_unique<cls::Kgc>(cls::Kgc::setup(drbg));
+    f.scheme = cls::make_scheme(name);
+    f.user = f.scheme->enroll(*f.kgc, f.id, drbg);
+    f.signature = f.scheme->sign(f.kgc->params(), f.user, f.message, drbg);
+    it = cache.emplace(name, std::move(f)).first;
+  }
+  return it->second;
+}
+
+class NegativeVectors : public ::testing::TestWithParam<std::string> {
+ protected:
+  const SchemeFixture& f() { return fixture_for(GetParam()); }
+
+  bool verify(const Bytes& sig) {
+    return f().scheme->verify(f().kgc->params(), f().id, f().user.public_key,
+                              f().message, sig);
+  }
+};
+
+TEST_P(NegativeVectors, HonestSignatureVerifies) {
+  EXPECT_TRUE(verify(f().signature));
+}
+
+TEST_P(NegativeVectors, EveryByteFlipRejects) {
+  // Exhaustive over the whole serialized signature: no byte is ignored.
+  for (std::size_t i = 0; i < f().signature.size(); ++i) {
+    Bytes tampered = f().signature;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(verify(tampered)) << "flipped low bit of byte " << i;
+    tampered[i] = f().signature[i] ^ 0x80;
+    EXPECT_FALSE(verify(tampered)) << "flipped high bit of byte " << i;
+  }
+}
+
+TEST_P(NegativeVectors, SwappedSameSizeComponentsReject) {
+  // McCLS is v(32) | S(33) | R(33); ZWXF and YHG are U(33) | V(33). AP's
+  // components differ in size (point + scalar), so a swap is not
+  // byte-aligned there — covered by the flip/truncation vectors instead.
+  std::size_t first_off = 0, second_off = 0, len = 0;
+  if (GetParam() == "McCLS") {
+    first_off = 32, second_off = 65, len = 33;
+  } else if (GetParam() == "ZWXF" || GetParam() == "YHG") {
+    first_off = 0, second_off = 33, len = 33;
+  } else {
+    GTEST_SKIP() << "no same-size component pair in " << GetParam();
+  }
+  Bytes swapped = f().signature;
+  for (std::size_t i = 0; i < len; ++i) {
+    std::swap(swapped[first_off + i], swapped[second_off + i]);
+  }
+  ASSERT_NE(swapped, f().signature);
+  EXPECT_FALSE(verify(swapped));
+}
+
+TEST_P(NegativeVectors, AllIdentitySignatureRejects) {
+  // Zero scalars and points at infinity in every component slot. Must fail
+  // (either at decode, for codecs with canonicality rules, or at the
+  // verification equation) — and must not divide by zero or throw anywhere.
+  EXPECT_FALSE(verify(Bytes(f().scheme->signature_size(), 0x00)));
+}
+
+TEST_P(NegativeVectors, IdentityPublicKeyRejects) {
+  for (std::size_t i = 0; i < f().user.public_key.points.size(); ++i) {
+    cls::PublicKey pk = f().user.public_key;
+    pk.points[i] = ec::G1::infinity();
+    EXPECT_FALSE(f().scheme->verify(f().kgc->params(), f().id, pk, f().message,
+                                    f().signature))
+        << "identity point in slot " << i;
+  }
+}
+
+TEST_P(NegativeVectors, NonSubgroupPublicKeyRejects) {
+  // Translate a public-key point by the 2-torsion point (0,0): still on the
+  // curve, provably outside the order-q subgroup (#E = 4q). A verifier that
+  // skipped subgroup/challenge binding could be spoofed by exactly this.
+  const auto t2 = ec::G1::from_affine(math::Fp::zero(), math::Fp::zero());
+  ASSERT_TRUE(t2.has_value());
+  for (std::size_t i = 0; i < f().user.public_key.points.size(); ++i) {
+    cls::PublicKey pk = f().user.public_key;
+    pk.points[i] = pk.points[i] + *t2;
+    ASSERT_TRUE(pk.points[i].is_on_curve());
+    ASSERT_FALSE(pk.points[i].in_subgroup());
+    EXPECT_FALSE(f().scheme->verify(f().kgc->params(), f().id, pk, f().message,
+                                    f().signature))
+        << "non-subgroup point in slot " << i;
+  }
+}
+
+TEST_P(NegativeVectors, WrongMessageRejects) {
+  Bytes other = f().message;
+  other.back() ^= 0x01;
+  EXPECT_FALSE(f().scheme->verify(f().kgc->params(), f().id, f().user.public_key,
+                                  other, f().signature));
+  EXPECT_FALSE(f().scheme->verify(f().kgc->params(), f().id, f().user.public_key,
+                                  Bytes{}, f().signature));
+}
+
+TEST_P(NegativeVectors, WrongIdentityRejects) {
+  EXPECT_FALSE(f().scheme->verify(f().kgc->params(), "mallory@mwcps",
+                                  f().user.public_key, f().message, f().signature));
+}
+
+TEST_P(NegativeVectors, TruncationAndExtensionReject) {
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, f().signature.size() / 2,
+        f().signature.size() - 1}) {
+    const Bytes truncated(f().signature.begin(),
+                          f().signature.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(verify(truncated)) << "kept " << keep << " bytes";
+  }
+  Bytes extended = f().signature;
+  extended.push_back(0x00);
+  EXPECT_FALSE(verify(extended));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, NegativeVectors,
+                         ::testing::Values("AP", "ZWXF", "YHG", "McCLS"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace mccls

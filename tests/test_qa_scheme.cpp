@@ -1,0 +1,27 @@
+// Tier-1 runner for the registered scheme-layer properties: sign/verify
+// round-trips with inline tampering, batch-vs-single differential oracle,
+// verifyd verdict parity across all four schemes, and cross-scheme
+// rejection. One gtest case per property.
+#include <gtest/gtest.h>
+
+#include "qa/property.hpp"
+
+namespace mccls::qa {
+namespace {
+
+class QaSchemeProperty : public ::testing::TestWithParam<const Property*> {};
+
+TEST_P(QaSchemeProperty, Holds) {
+  const Outcome out = GetParam()->run(RunConfig::from_env());
+  EXPECT_TRUE(out.ok) << out.message();
+  EXPECT_GT(out.iterations_run, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scheme, QaSchemeProperty,
+                         ::testing::ValuesIn(properties_in_layer("scheme")),
+                         [](const ::testing::TestParamInfo<const Property*>& info) {
+                           return info.param->name;
+                         });
+
+}  // namespace
+}  // namespace mccls::qa

@@ -1,0 +1,309 @@
+// qa_fuzz — command-line driver for the mccls_qa harness (src/qa).
+//
+// The same registry and seed contract as the tests/test_qa_* suites, so any
+// failure printed by tier-1 reproduces here verbatim:
+//
+//   qa_fuzz                        run every registered property once
+//   qa_fuzz --list                 list properties and fuzz targets
+//   qa_fuzz --prop NAME            run one property
+//   qa_fuzz --layer math|scheme|codec
+//   qa_fuzz --seed N               root seed (decimal or 0x-hex)
+//   qa_fuzz --iters N              iteration override for every property
+//   qa_fuzz --soak S               time-budget mode: split S seconds across
+//                                  the selected properties (MCCLS_QA_SOAK=S
+//                                  is the environment equivalent)
+//   qa_fuzz --fuzz TARGET|all      byte-mutation fuzz loop over decoder(s)
+//   qa_fuzz --fuzz-iters N         mutations per fuzz target (default 2000)
+//   qa_fuzz --minimize FILE --fuzz TARGET
+//                                  shrink FILE while the decoder misbehaves,
+//                                  write FILE.min
+//   qa_fuzz --corpus DIR           replay a corpus directory
+//   qa_fuzz --emit-corpus DIR      regenerate the built-in corpus findings
+//
+// Exit status: 0 = everything passed, 1 = any failure (or bad usage).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/encoding.hpp"
+#include "qa/corpus.hpp"
+#include "qa/fuzz.hpp"
+#include "qa/property.hpp"
+
+namespace {
+
+using mccls::crypto::Bytes;
+using mccls::qa::FuzzTarget;
+using mccls::qa::Outcome;
+using mccls::qa::Property;
+using mccls::qa::RunConfig;
+
+struct Options {
+  RunConfig cfg = RunConfig::from_env();
+  bool list = false;
+  std::string prop;
+  std::string layer;
+  std::string fuzz_target;
+  int fuzz_iters = 2000;
+  std::string minimize_file;
+  std::string corpus_dir;
+  std::string emit_corpus_dir;
+};
+
+std::optional<std::uint64_t> parse_u64(const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--prop") {
+      const char* v = value();
+      if (!v) return false;
+      opt.prop = v;
+    } else if (arg == "--layer") {
+      const char* v = value();
+      if (!v) return false;
+      opt.layer = v;
+    } else if (arg == "--seed") {
+      const char* v = value();
+      const auto parsed = v ? parse_u64(v) : std::nullopt;
+      if (!parsed) return false;
+      opt.cfg.seed = *parsed;
+    } else if (arg == "--iters") {
+      const char* v = value();
+      const auto parsed = v ? parse_u64(v) : std::nullopt;
+      if (!parsed) return false;
+      opt.cfg.iterations = static_cast<int>(*parsed);
+    } else if (arg == "--soak") {
+      const char* v = value();
+      const auto parsed = v ? parse_u64(v) : std::nullopt;
+      if (!parsed) return false;
+      opt.cfg.soak_seconds = static_cast<double>(*parsed);
+    } else if (arg == "--fuzz") {
+      const char* v = value();
+      if (!v) return false;
+      opt.fuzz_target = v;
+    } else if (arg == "--fuzz-iters") {
+      const char* v = value();
+      const auto parsed = v ? parse_u64(v) : std::nullopt;
+      if (!parsed) return false;
+      opt.fuzz_iters = static_cast<int>(*parsed);
+    } else if (arg == "--minimize") {
+      const char* v = value();
+      if (!v) return false;
+      opt.minimize_file = v;
+    } else if (arg == "--corpus") {
+      const char* v = value();
+      if (!v) return false;
+      opt.corpus_dir = v;
+    } else if (arg == "--emit-corpus") {
+      const char* v = value();
+      if (!v) return false;
+      opt.emit_corpus_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", std::string(arg).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void list_everything() {
+  std::printf("properties (layer/name, tier-1 iters):\n");
+  for (const Property& p : mccls::qa::registry()) {
+    std::printf("  %-6s %-32s %d\n", p.layer.c_str(), p.name.c_str(),
+                p.default_iterations);
+  }
+  std::printf("fuzz targets:\n");
+  for (const FuzzTarget& t : mccls::qa::fuzz_targets()) {
+    std::printf("  %s\n", t.name.c_str());
+  }
+}
+
+std::vector<const Property*> select_properties(const Options& opt, bool& usage_error) {
+  usage_error = false;
+  if (!opt.prop.empty()) {
+    const Property* p = mccls::qa::find_property(opt.prop);
+    if (p == nullptr) {
+      std::fprintf(stderr, "unknown property: %s (try --list)\n", opt.prop.c_str());
+      usage_error = true;
+      return {};
+    }
+    return {p};
+  }
+  if (!opt.layer.empty()) {
+    auto selected = mccls::qa::properties_in_layer(opt.layer);
+    if (selected.empty()) {
+      std::fprintf(stderr, "no properties in layer: %s (try --list)\n", opt.layer.c_str());
+      usage_error = true;
+    }
+    return selected;
+  }
+  std::vector<const Property*> all;
+  for (const Property& p : mccls::qa::registry()) all.push_back(&p);
+  return all;
+}
+
+int run_properties(const Options& opt) {
+  bool usage_error = false;
+  const auto selected = select_properties(opt, usage_error);
+  if (usage_error) return 1;
+
+  RunConfig cfg = opt.cfg;
+  if (cfg.soak_seconds > 0 && !selected.empty()) {
+    cfg.soak_seconds /= static_cast<double>(selected.size());  // per-property share
+  }
+
+  int failures = 0;
+  for (const Property* p : selected) {
+    const Outcome out = p->run(cfg);
+    if (out.ok) {
+      std::printf("ok   %-32s %d iterations\n", out.property.c_str(), out.iterations_run);
+    } else {
+      ++failures;
+      std::printf("FAIL %s\n%s\n", out.property.c_str(), out.message().c_str());
+    }
+  }
+  std::printf("%zu properties, %d failed (seed %llu)\n", selected.size(), failures,
+              static_cast<unsigned long long>(opt.cfg.seed));
+  return failures == 0 ? 0 : 1;
+}
+
+int run_fuzz(const Options& opt) {
+  std::vector<const FuzzTarget*> targets;
+  if (opt.fuzz_target == "all") {
+    for (const FuzzTarget& t : mccls::qa::fuzz_targets()) targets.push_back(&t);
+  } else {
+    const FuzzTarget* t = mccls::qa::find_target(opt.fuzz_target);
+    if (t == nullptr) {
+      std::fprintf(stderr, "unknown fuzz target: %s (try --list)\n",
+                   opt.fuzz_target.c_str());
+      return 1;
+    }
+    targets.push_back(t);
+  }
+
+  int failures = 0;
+  for (const FuzzTarget* target : targets) {
+    // Same fork-by-name discipline as the property runner, so a fuzz finding
+    // replays from (seed, target, i) independent of target order.
+    const mccls::sim::Rng stream =
+        mccls::sim::Rng(opt.cfg.seed).fork("fuzz:" + target->name);
+    bool failed = false;
+    for (int i = 0; i < opt.fuzz_iters && !failed; ++i) {
+      mccls::sim::Rng rng = stream.fork(static_cast<std::uint64_t>(i));
+      const Bytes valid = target->sample(rng);
+      const Bytes mutated =
+          mccls::qa::mutate_n(rng, valid, 1 + static_cast<int>(rng.uniform_int(3)));
+      if (target->stable(mutated)) continue;
+
+      failed = true;
+      ++failures;
+      const Bytes minimal = mccls::qa::minimize(
+          mutated, [target](std::span<const std::uint8_t> b) { return !target->stable(b); });
+      const std::string path = "qa_finding_" + target->name + ".bin";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(minimal.data()),
+                static_cast<std::streamsize>(minimal.size()));
+      std::printf("FAIL %s iteration %d: decoder not stable\n  minimized (%zu bytes): %s\n"
+                  "  written to %s\n  repro: qa_fuzz --fuzz %s --seed %llu\n",
+                  target->name.c_str(), i, minimal.size(),
+                  mccls::crypto::to_hex(minimal).c_str(), path.c_str(),
+                  target->name.c_str(), static_cast<unsigned long long>(opt.cfg.seed));
+    }
+    if (!failed) {
+      std::printf("ok   %-16s %d mutated inputs\n", target->name.c_str(), opt.fuzz_iters);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_minimize(const Options& opt) {
+  if (opt.fuzz_target.empty() || opt.fuzz_target == "all") {
+    std::fprintf(stderr, "--minimize needs --fuzz TARGET to name the decoder\n");
+    return 1;
+  }
+  const FuzzTarget* target = mccls::qa::find_target(opt.fuzz_target);
+  if (target == nullptr) {
+    std::fprintf(stderr, "unknown fuzz target: %s\n", opt.fuzz_target.c_str());
+    return 1;
+  }
+  std::ifstream in(opt.minimize_file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", opt.minimize_file.c_str());
+    return 1;
+  }
+  const Bytes input((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (target->stable(input)) {
+    std::printf("input is already handled cleanly by %s; nothing to minimize\n",
+                target->name.c_str());
+    return 0;
+  }
+  const Bytes minimal = mccls::qa::minimize(
+      input, [target](std::span<const std::uint8_t> b) { return !target->stable(b); });
+  const std::string out_path = opt.minimize_file + ".min";
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(minimal.data()),
+            static_cast<std::streamsize>(minimal.size()));
+  std::printf("%zu -> %zu bytes: %s\n", input.size(), minimal.size(), out_path.c_str());
+  return 0;
+}
+
+int run_corpus(const Options& opt) {
+  const auto entries = mccls::qa::load_corpus(opt.corpus_dir);
+  if (entries.empty()) {
+    std::fprintf(stderr, "no corpus entries under %s\n", opt.corpus_dir.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const auto& entry : entries) {
+    const std::string error = mccls::qa::replay_entry(entry);
+    if (error.empty()) {
+      std::printf("ok   %s\n", entry.filename.c_str());
+    } else {
+      ++failures;
+      std::printf("FAIL %s\n", error.c_str());
+    }
+  }
+  std::printf("%zu corpus entries, %d failed\n", entries.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fprintf(stderr, "usage: qa_fuzz [--list] [--prop NAME] [--layer L] [--seed N]\n"
+                         "               [--iters N] [--soak S] [--fuzz TARGET|all]\n"
+                         "               [--fuzz-iters N] [--minimize FILE --fuzz TARGET]\n"
+                         "               [--corpus DIR] [--emit-corpus DIR]\n");
+    return 1;
+  }
+  if (opt.list) {
+    list_everything();
+    return 0;
+  }
+  if (!opt.emit_corpus_dir.empty()) {
+    const std::size_t n = mccls::qa::emit_builtin_corpus(opt.emit_corpus_dir);
+    std::printf("wrote %zu corpus entries to %s\n", n, opt.emit_corpus_dir.c_str());
+    return 0;
+  }
+  if (!opt.minimize_file.empty()) return run_minimize(opt);
+  if (!opt.corpus_dir.empty()) return run_corpus(opt);
+  if (!opt.fuzz_target.empty()) return run_fuzz(opt);
+  return run_properties(opt);
+}
