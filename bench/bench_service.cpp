@@ -14,6 +14,17 @@
 // the throughput speedup). The nocoalesce rows ablate the batching away to
 // show the lever really is the coalescer, not scheduling noise.
 //
+// The kgcd series measures the other half of PR 4's story: enroll cost
+// (validation + WAL append), directory resolution hot (decoded-key LRU hit)
+// vs cold (every resolve pays the decompression square root), and
+// verify-by-identity throughput — kind-3 frames with the public key resolved
+// from the kgcd directory instead of carried inline. The second gate
+//
+//   bench_compare --gate BENCH_service.json verify_w4_uniform verify_w4_byid 0.9
+//
+// enforces that resolving keys by identity costs at most 10% of pk-inline
+// throughput at 4 workers (the LRU is what makes that hold).
+//
 // Knobs: MCCLS_BENCH_JSON (output path, default BENCH_service.json),
 //        MCCLS_BENCH_SAMPLES (timed runs per config, default 5).
 #include <algorithm>
@@ -23,6 +34,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -30,6 +42,7 @@
 
 #include "bench_json.hpp"
 #include "cls/mccls.hpp"
+#include "kgc/kgcd.hpp"
 #include "svc/service.hpp"
 
 namespace {
@@ -54,10 +67,11 @@ unsigned samples() {
 }
 
 /// Pre-encoded request corpus for one skew setting. Zipf(s) over the signer
-/// ranks; s == 0 is uniform round-robin.
+/// ranks; s == 0 is uniform round-robin. `by_identity` encodes kind-3 frames
+/// (no inline public key — the service resolves it from its PkResolver).
 std::vector<crypto::Bytes> make_corpus(const cls::Kgc& kgc,
                                        std::span<const cls::UserKeys> signers, double skew,
-                                       crypto::HmacDrbg& rng) {
+                                       crypto::HmacDrbg& rng, bool by_identity = false) {
   const cls::Mccls scheme;
   std::vector<double> cdf(signers.size());
   double total = 0;
@@ -85,7 +99,8 @@ std::vector<crypto::Bytes> make_corpus(const cls::Kgc& kgc,
     svc::VerifyRequest request{.request_id = i + 1,
                                .scheme = "McCLS",
                                .id = signer.id,
-                               .public_key = signer.public_key,
+                               .by_identity = by_identity,
+                               .public_key = by_identity ? cls::PublicKey{} : signer.public_key,
                                .message = msg.take(),
                                .signature = {}};
     request.signature = scheme.sign(kgc.params(), signer, request.message, rng);
@@ -106,11 +121,13 @@ struct RunStats {
 RunStats run_config(const std::string& name, unsigned n_samples, unsigned workers,
                     bool coalesce, const cls::SystemParams& params,
                     std::span<const std::string> ids,
-                    std::span<const crypto::Bytes> frames) {
+                    std::span<const crypto::Bytes> frames,
+                    svc::PkResolver* resolver = nullptr) {
   using clock = std::chrono::steady_clock;
   svc::VerifyService service(params, svc::ServiceConfig{.workers = workers,
                                                         .queue_capacity = kRequests,
-                                                        .coalesce = coalesce});
+                                                        .coalesce = coalesce,
+                                                        .resolver = resolver});
   service.cache().warm(params, ids);
 
   std::vector<double> per_sig(n_samples);
@@ -159,6 +176,39 @@ RunStats run_config(const std::string& name, unsigned n_samples, unsigned worker
   return stats;
 }
 
+/// Hand-rolled ns-per-op series for the kgcd paths (no service pipeline to
+/// drain): `body` performs the whole op loop once and returns the op count.
+/// One warm-up pass, then `n_samples` timed ones; median/mean/min like
+/// run_config.
+template <typename Body>
+bench::BenchResult time_ops(const std::string& name, unsigned n_samples, Body&& body) {
+  using clock = std::chrono::steady_clock;
+  std::vector<double> per_op(n_samples);
+  std::size_t ops = 0;
+  for (unsigned s = 0; s <= n_samples; ++s) {  // s == 0 is the warm-up pass
+    const auto start = clock::now();
+    ops = body();
+    const auto stop = clock::now();
+    if (s == 0) continue;
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count());
+    per_op[s - 1] = ns / static_cast<double>(ops);
+  }
+  std::sort(per_op.begin(), per_op.end());
+  double sum = 0;
+  for (const double v : per_op) sum += v;
+  const double median = n_samples % 2 == 1
+                            ? per_op[n_samples / 2]
+                            : (per_op[n_samples / 2 - 1] + per_op[n_samples / 2]) / 2.0;
+  std::printf("%-26s %12.1f ns/op  (median)  %8.0f ops/s\n", name.c_str(), median,
+              1e9 / median);
+  return bench::BenchResult{.name = name,
+                            .iters = std::uint64_t{n_samples} * ops,
+                            .median_ns = median,
+                            .mean_ns = sum / n_samples,
+                            .min_ns = per_op.front()};
+}
+
 }  // namespace
 
 int main() {
@@ -199,13 +249,64 @@ int main() {
   const double no_co_w1 = run("verify_w1_uniform_nocoalesce", 1, false, uniform);
   const double no_co_w4 = run("verify_w4_uniform_nocoalesce", 4, false, uniform);
 
+  // ---- kgcd series: a daemon with every signer enrolled backs both the
+  // directory micro-benchmarks and the verify-by-identity run.
+  const std::string kgcd_dir = "bench_kgcd.data";
+  std::filesystem::remove_all(kgcd_dir);
+  kgc::Kgcd daemon(kgc.master_key_for_tests(),
+                   kgc::KgcdConfig{.data_dir = kgcd_dir, .fsync = false});
+  std::vector<crypto::Bytes> enroll_frames;
+  enroll_frames.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const cls::UserKeys& signer = signers[i % kSigners];
+    enroll_frames.push_back(kgc::encode_kgc_request(
+        kgc::KgcRequest{.op = kgc::KgcOp::kEnroll, .request_id = i + 1,
+                        .id = signer.id, .pk_bytes = signer.public_key.to_bytes()}));
+  }
+
+  // Enroll: validation + directory admission + WAL append per op (the first
+  // pass enrolls, later ones re-issue — both take the full logged path).
+  results.push_back(time_ops("kgc_enroll", n_samples, [&] {
+    for (const crypto::Bytes& frame : enroll_frames) (void)daemon.handle_frame(frame);
+    return enroll_frames.size();
+  }));
+  // Hot resolution: the decoded-key LRU turns the steady state into a hash
+  // lookup; cold resolution decompresses (one Fp square root) every time.
+  results.push_back(time_ops("kgc_lookup_hot", n_samples, [&] {
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      (void)daemon.directory().resolve(ids[i % kSigners]);
+    }
+    return kRequests;
+  }));
+  const double hot_ns = results.back().median_ns;
+  results.push_back(time_ops("kgc_lookup_cold", n_samples, [&] {
+    for (std::size_t round = 0; round < kRequests / kSigners; ++round) {
+      daemon.directory().drop_caches();
+      for (const std::string& id : ids) (void)daemon.directory().resolve(id);
+    }
+    return kRequests;
+  }));
+  derived["lookup_cold_vs_hot"] = results.back().median_ns / hot_ns;
+
+  // Verify-by-identity: same uniform workload as verify_w4_uniform, but the
+  // public key travels as an identity and is resolved from the directory.
+  const auto byid = make_corpus(kgc, signers, 0.0, rng, /*by_identity=*/true);
+  const RunStats byid_stats = run_config("verify_w4_byid", n_samples, 4, true,
+                                         kgc.params(), ids, byid, &daemon.directory());
+  results.push_back(byid_stats.result);
+  derived["batch_size_verify_w4_byid"] = byid_stats.mean_batch_size;
+  const double byid_w4 = byid_stats.result.median_ns;
+
   derived["speedup_w4_vs_w1_uniform"] = uniform_ns[1] / uniform_ns[4];
   derived["speedup_w8_vs_w1_uniform"] = uniform_ns[1] / uniform_ns[8];
   derived["coalesce_gain_w1"] = no_co_w1 / uniform_ns[1];
   derived["coalesce_gain_w4"] = no_co_w4 / uniform_ns[4];
+  derived["byid_throughput_ratio_w4"] = uniform_ns[4] / byid_w4;
 
-  std::printf("\nspeedup w4/w1 (uniform): %.2fx   coalesce gain at w4: %.2fx\n",
-              derived["speedup_w4_vs_w1_uniform"], derived["coalesce_gain_w4"]);
+  std::printf("\nspeedup w4/w1 (uniform): %.2fx   coalesce gain at w4: %.2fx   "
+              "by-identity ratio at w4: %.2fx\n",
+              derived["speedup_w4_vs_w1_uniform"], derived["coalesce_gain_w4"],
+              derived["byid_throughput_ratio_w4"]);
 
   const char* path_env = std::getenv("MCCLS_BENCH_JSON");
   const std::string path = path_env != nullptr ? path_env : "BENCH_service.json";

@@ -37,6 +37,14 @@ std::optional<PublicKey> PublicKey::from_bytes(std::span<const std::uint8_t> byt
   return pk;
 }
 
+bool PublicKey::well_formed() const {
+  if (points.empty() || points.size() > 2) return false;
+  for (const ec::G1& point : points) {
+    if (point.is_infinity() || !point.is_on_curve() || !point.in_subgroup()) return false;
+  }
+  return true;
+}
+
 Kgc Kgc::setup(crypto::HmacDrbg& rng) {
   return from_master_key(rng.next_nonzero_fq());
 }

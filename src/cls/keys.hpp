@@ -55,6 +55,13 @@ struct PublicKey {
   [[nodiscard]] crypto::Bytes to_bytes() const;
   static std::optional<PublicKey> from_bytes(std::span<const std::uint8_t> bytes);
 
+  /// Structural validity for directory admission: 1 or 2 points, each
+  /// on-curve, in the order-q subgroup, and not infinity. from_bytes only
+  /// checks curve membership (the cheap part); a key directory must also
+  /// exclude small-order points — the class of inputs behind the AP
+  /// 2-torsion-translation finding (see tests/test_qa_negative.cpp).
+  [[nodiscard]] bool well_formed() const;
+
   friend bool operator==(const PublicKey&, const PublicKey&) = default;
 };
 

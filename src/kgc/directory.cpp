@@ -1,0 +1,202 @@
+#include "kgc/directory.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace mccls::kgc {
+
+KeyDirectory::KeyDirectory(DirectoryConfig config)
+    : config_(config), epoch_(config.epoch) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.lru_per_shard == 0) config_.lru_per_shard = 1;
+  shards_ = std::make_unique<Shard[]>(config_.shards);
+}
+
+bool KeyDirectory::validate_key(const cls::PublicKey& pk) { return pk.well_formed(); }
+
+KeyDirectory::Shard& KeyDirectory::shard_for(std::string_view id) const {
+  const std::size_t h = std::hash<std::string_view>{}(id);
+  return shards_[h % config_.shards];
+}
+
+void KeyDirectory::cache_insert(Shard& shard, std::string_view id,
+                                const cls::PublicKey& pk) {
+  if (const auto it = shard.lru_index.find(id); it != shard.lru_index.end()) {
+    it->second->second = pk;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(std::string(id), pk);
+  shard.lru_index.emplace(shard.lru.front().first, shard.lru.begin());
+  if (shard.lru.size() > config_.lru_per_shard) {
+    shard.lru_index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+}
+
+void KeyDirectory::cache_erase(Shard& shard, std::string_view id) {
+  if (const auto it = shard.lru_index.find(id); it != shard.lru_index.end()) {
+    shard.lru.erase(it->second);
+    shard.lru_index.erase(it);
+  }
+}
+
+DirStatus KeyDirectory::enroll(std::string_view id, std::span<const std::uint8_t> pk_bytes,
+                               cls::Epoch epoch) {
+  const auto pk = cls::PublicKey::from_bytes(pk_bytes);
+  if (!pk || !validate_key(*pk)) return DirStatus::kInvalidKey;
+
+  Shard& shard = shard_for(id);
+  std::lock_guard lock(shard.mutex);
+  const auto [it, inserted] = shard.entries.try_emplace(
+      std::string(id), Entry{.pk_bytes = crypto::Bytes(pk_bytes.begin(), pk_bytes.end()),
+                             .enrolled_epoch = epoch});
+  if (!inserted) {
+    if (it->second.revoked) return DirStatus::kRevoked;
+    if (it->second.pk_bytes != crypto::Bytes(pk_bytes.begin(), pk_bytes.end())) {
+      return DirStatus::kConflict;
+    }
+    it->second.enrolled_epoch = epoch;  // re-issuance at a later epoch
+  }
+  // Enrollment warms the decoded cache: the enrolling signer is about to be
+  // looked up by the verifiers it signs for.
+  cache_insert(shard, id, *pk);
+  return DirStatus::kOk;
+}
+
+DirStatus KeyDirectory::revoke(std::string_view id, cls::Epoch epoch) {
+  Shard& shard = shard_for(id);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.entries.find(std::string(id));
+  if (it == shard.entries.end()) return DirStatus::kUnknownId;
+  if (!it->second.revoked) {
+    it->second.revoked = true;
+    it->second.revoked_epoch = epoch;
+  }
+  cache_erase(shard, id);  // a revoked signer must stop resolving immediately
+  return DirStatus::kOk;
+}
+
+KeyDirectory::LookupResult KeyDirectory::lookup(std::string_view id) const {
+  Shard& shard = shard_for(id);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.entries.find(std::string(id));
+  if (it == shard.entries.end()) return LookupResult{};
+  if (it->second.revoked) return LookupResult{.status = DirStatus::kRevoked};
+  return LookupResult{.status = DirStatus::kOk,
+                      .pk_bytes = it->second.pk_bytes,
+                      .enrolled_epoch = it->second.enrolled_epoch};
+}
+
+std::optional<cls::PublicKey> KeyDirectory::resolve(std::string_view id) {
+  // Scoped identities resolve through their base entry, gated by the
+  // verifier-side epoch policy; plain identities skip the policy.
+  std::string_view base = id;
+  if (const auto scoped = cls::parse_scoped_identity(id)) {
+    if (!cls::epoch_acceptable(scoped->second, epoch(), config_.grace)) {
+      return std::nullopt;
+    }
+    base = id.substr(0, scoped->first.size());
+  }
+
+  Shard& shard = shard_for(base);
+  crypto::Bytes pk_bytes;
+  {
+    std::lock_guard lock(shard.mutex);
+    if (const auto it = shard.lru_index.find(base); it != shard.lru_index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      if (metrics_ != nullptr) metrics_->on_dir_hit();
+      return it->second->second;  // copy out under the lock (GtCache idiom)
+    }
+    const auto entry = shard.entries.find(std::string(base));
+    if (entry == shard.entries.end() || entry->second.revoked) return std::nullopt;
+    pk_bytes = entry->second.pk_bytes;
+  }
+
+  // Miss: decode outside the shard lock — the compressed-point square root
+  // is the expensive part, and holding the stripe through it would serialize
+  // every worker resolving a cold signer on this shard.
+  if (metrics_ != nullptr) metrics_->on_dir_miss();
+  const auto pk = cls::PublicKey::from_bytes(pk_bytes);
+  if (!pk) return std::nullopt;  // unreachable for validated entries
+  std::lock_guard lock(shard.mutex);
+  cache_insert(shard, base, *pk);
+  return pk;
+}
+
+void KeyDirectory::apply(const WalRecord& record) {
+  Shard& shard = shard_for(record.id);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.entries.find(record.id);
+  if (record.type == WalRecordType::kEnroll) {
+    if (it == shard.entries.end()) {
+      shard.entries.emplace(record.id, Entry{.pk_bytes = record.pk_bytes,
+                                             .enrolled_epoch = record.epoch});
+    } else if (!it->second.revoked && it->second.pk_bytes == record.pk_bytes) {
+      it->second.enrolled_epoch = record.epoch;  // replayed re-issuance
+    }
+    // A conflicting or post-revocation enroll was never acknowledged with an
+    // admission; replay keeps the first-writer state, matching live rules.
+  } else {
+    if (it != shard.entries.end() && !it->second.revoked) {
+      it->second.revoked = true;
+      it->second.revoked_epoch = record.epoch;
+    }
+  }
+}
+
+void KeyDirectory::apply(const SnapshotEntry& entry) {
+  Shard& shard = shard_for(entry.id);
+  std::lock_guard lock(shard.mutex);
+  shard.entries.insert_or_assign(entry.id,
+                                 Entry{.pk_bytes = entry.pk_bytes,
+                                       .enrolled_epoch = entry.enrolled_epoch,
+                                       .revoked = entry.revoked,
+                                       .revoked_epoch = entry.revoked_epoch});
+}
+
+std::vector<SnapshotEntry> KeyDirectory::export_entries() const {
+  std::vector<SnapshotEntry> out;
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    for (const auto& [id, entry] : shards_[s].entries) {
+      out.push_back(SnapshotEntry{.id = id,
+                                  .pk_bytes = entry.pk_bytes,
+                                  .enrolled_epoch = entry.enrolled_epoch,
+                                  .revoked = entry.revoked,
+                                  .revoked_epoch = entry.revoked_epoch});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.id < b.id; });
+  return out;
+}
+
+void KeyDirectory::drop_caches() {
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    shards_[s].lru_index.clear();
+    shards_[s].lru.clear();
+  }
+}
+
+std::size_t KeyDirectory::size() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    n += shards_[s].entries.size();
+  }
+  return n;
+}
+
+cls::Epoch KeyDirectory::epoch() const {
+  std::lock_guard lock(epoch_mutex_);
+  return epoch_;
+}
+
+void KeyDirectory::set_epoch(cls::Epoch epoch) {
+  std::lock_guard lock(epoch_mutex_);
+  epoch_ = epoch;
+}
+
+}  // namespace mccls::kgc

@@ -1,0 +1,143 @@
+// The identity→public-key directory behind kgcd: a mutex-striped sharded
+// index (same idiom as svc::ShardedPairingCache) whose authoritative state
+// is the *serialized* public key, fronted by a per-shard LRU cache of
+// decoded cls::PublicKey values.
+//
+// Why cache decoded keys: the compressed G1 encoding stores x plus a parity
+// bit, so every decode pays a square root in Fp (~an exponentiation). The
+// verify-by-identity hot path resolves the same signers over and over; the
+// LRU turns the steady state into a hash lookup + 33-byte copy while the
+// authoritative map stays compact (bytes, not points).
+//
+// Validation is the directory's whole point (see Pakniat's analysis of
+// sloppy CLS public-key handling, PAPERS.md): enroll() rejects any key whose
+// points are not on-curve, not in the order-q subgroup, or infinity — the
+// exact class of inputs that let 2-torsion translations slip past AP
+// verification before PR 3 hardened it. A key that enters the directory is
+// one the verifier can trust structurally.
+//
+// Revocation is epoch-scoped the Al-Riyami–Paterson way (cls/epoch.hpp):
+// revoking an identity stops issuance immediately and resolution permanently;
+// scoped identities "ID@epoch-N" resolve only while N is acceptable against
+// the directory's current epoch.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cls/epoch.hpp"
+#include "cls/keys.hpp"
+#include "kgc/store.hpp"
+#include "svc/metrics.hpp"
+#include "svc/resolver.hpp"
+
+namespace mccls::kgc {
+
+/// Outcome of a directory mutation or lookup.
+enum class DirStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownId = 1,   ///< no entry for this identity
+  kRevoked = 2,     ///< identity was revoked (or epoch outside the window)
+  kInvalidKey = 3,  ///< submitted key failed structural validation
+  kConflict = 4,    ///< identity already enrolled with a *different* key
+};
+
+struct DirectoryConfig {
+  std::size_t shards = 16;
+  std::size_t lru_per_shard = 64;  ///< decoded-key cache entries per shard
+  cls::Epoch epoch = 0;            ///< current issuance epoch
+  cls::Epoch grace = 1;            ///< trailing epochs accepted on resolve
+};
+
+class KeyDirectory final : public svc::PkResolver {
+ public:
+  explicit KeyDirectory(DirectoryConfig config = {});
+
+  /// Structural validation: 1 or 2 points, each on-curve, in the order-q
+  /// subgroup, and not infinity. Exposed so callers (and tests) can probe a
+  /// key without mutating the directory.
+  static bool validate_key(const cls::PublicKey& pk);
+
+  /// Admits (id → pk) at epoch `epoch`. kOk on first enrollment and on
+  /// re-issuance with the byte-identical key (refresh at a later epoch);
+  /// kConflict when the identity already holds a different key; kRevoked
+  /// once revoked (revocation is permanent); kInvalidKey on validation
+  /// failure. `pk_bytes` must be the canonical serialization.
+  DirStatus enroll(std::string_view id, std::span<const std::uint8_t> pk_bytes,
+                   cls::Epoch epoch);
+
+  /// Marks `id` revoked as of `epoch`. Idempotent; kUnknownId when absent.
+  DirStatus revoke(std::string_view id, cls::Epoch epoch);
+
+  /// Authoritative lookup (no LRU, no epoch policy): the stored bytes and
+  /// revocation state, or kUnknownId/kRevoked.
+  struct LookupResult {
+    DirStatus status = DirStatus::kUnknownId;
+    crypto::Bytes pk_bytes;
+    cls::Epoch enrolled_epoch = 0;
+  };
+  [[nodiscard]] LookupResult lookup(std::string_view id) const;
+
+  /// svc::PkResolver: decoded-key resolution through the LRU. Accepts plain
+  /// identities and scoped "ID@epoch-N" identities; scoped ones additionally
+  /// require epoch_acceptable(N, current epoch, grace). nullopt on unknown,
+  /// revoked, or epoch-rejected signers.
+  std::optional<cls::PublicKey> resolve(std::string_view id) override;
+
+  /// Replay hooks for WalStore::recover — identical admission rules to
+  /// enroll/revoke, minus re-validation of keys the directory already
+  /// validated before logging them (replayed bytes decode or the record is
+  /// ignored; CRC framing already vouches for integrity).
+  void apply(const WalRecord& record);
+  void apply(const SnapshotEntry& entry);
+
+  /// Dumps every entry (sorted by id) for snapshotting.
+  [[nodiscard]] std::vector<SnapshotEntry> export_entries() const;
+
+  /// Drops the decoded-key caches (benchmarks: the lookup_cold series).
+  void drop_caches();
+
+  [[nodiscard]] std::size_t size() const;  ///< entries, revoked included
+  [[nodiscard]] cls::Epoch epoch() const;
+  void set_epoch(cls::Epoch epoch);
+
+  void set_metrics(svc::ServiceMetrics* metrics) { metrics_ = metrics; }
+
+ private:
+  struct Entry {
+    crypto::Bytes pk_bytes;
+    cls::Epoch enrolled_epoch = 0;
+    bool revoked = false;
+    cls::Epoch revoked_epoch = 0;
+  };
+
+  /// One stripe: authoritative entries + LRU of decoded keys (list front =
+  /// most recent; map values point into the list).
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> entries;
+    std::list<std::pair<std::string, cls::PublicKey>> lru;
+    std::unordered_map<std::string_view,
+                       std::list<std::pair<std::string, cls::PublicKey>>::iterator>
+        lru_index;
+  };
+
+  Shard& shard_for(std::string_view id) const;
+  void cache_insert(Shard& shard, std::string_view id, const cls::PublicKey& pk);
+  static void cache_erase(Shard& shard, std::string_view id);
+
+  DirectoryConfig config_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::mutex epoch_mutex_;
+  cls::Epoch epoch_;
+  svc::ServiceMetrics* metrics_ = nullptr;
+};
+
+}  // namespace mccls::kgc

@@ -1,0 +1,153 @@
+#include "kgc/kgcd.hpp"
+
+namespace mccls::kgc {
+
+namespace {
+
+KgcStatus to_status(DirStatus status) {
+  switch (status) {
+    case DirStatus::kOk:
+      return KgcStatus::kOk;
+    case DirStatus::kUnknownId:
+      return KgcStatus::kUnknownId;
+    case DirStatus::kRevoked:
+      return KgcStatus::kRevoked;
+    case DirStatus::kInvalidKey:
+      return KgcStatus::kInvalidKey;
+    case DirStatus::kConflict:
+      return KgcStatus::kConflict;
+  }
+  return KgcStatus::kStoreError;
+}
+
+}  // namespace
+
+Kgcd::Kgcd(const math::Fq& master_key, KgcdConfig config)
+    : config_(std::move(config)),
+      kgc_(cls::Kgc::from_master_key(master_key)),
+      directory_(DirectoryConfig{.shards = config_.shards,
+                                 .lru_per_shard = config_.lru_per_shard,
+                                 .epoch = config_.epoch,
+                                 .grace = config_.grace}),
+      store_(StoreConfig{.dir = config_.data_dir, .fsync = config_.fsync}) {
+  directory_.set_metrics(&metrics_);
+  store_.set_metrics(&metrics_);
+  recovery_ = store_.recover(
+      [this](const SnapshotEntry& entry) { directory_.apply(entry); },
+      [this](const WalRecord& record) { directory_.apply(record); });
+}
+
+Kgcd::EnrollOutcome Kgcd::enroll(std::string_view id,
+                                 std::span<const std::uint8_t> pk_bytes) {
+  EnrollOutcome outcome;
+  // Enrollment takes the *base* identity; scoping is the daemon's job.
+  // (scoped_identity would throw on a pre-scoped id — reject it here to keep
+  // handle_frame total.)
+  if (id.empty() || cls::parse_scoped_identity(id).has_value() ||
+      id.find("@epoch-") != std::string_view::npos) {
+    outcome.status = KgcStatus::kInvalidKey;
+    return outcome;
+  }
+  const cls::Epoch epoch = directory_.epoch();
+  const DirStatus admitted = directory_.enroll(id, pk_bytes, epoch);
+  if (admitted != DirStatus::kOk) {
+    outcome.status = to_status(admitted);
+    return outcome;
+  }
+  // Decide-then-log: admission won the shard race, so this writer (and only
+  // this writer) logs the record. The response is withheld until the append
+  // is durable — acknowledged implies recoverable.
+  if (!store_.append(WalRecord{.type = WalRecordType::kEnroll,
+                               .epoch = epoch,
+                               .id = std::string(id),
+                               .pk_bytes = crypto::Bytes(pk_bytes.begin(), pk_bytes.end())})) {
+    outcome.status = KgcStatus::kStoreError;
+    return outcome;
+  }
+  outcome.status = KgcStatus::kOk;
+  outcome.epoch = epoch;
+  outcome.scoped_id = cls::scoped_identity(id, epoch);
+  outcome.partial_key = kgc_.extract_partial_key(outcome.scoped_id);
+  maybe_auto_snapshot();
+  return outcome;
+}
+
+Kgcd::LookupOutcome Kgcd::lookup(std::string_view id) const {
+  const KeyDirectory::LookupResult result = directory_.lookup(id);
+  return LookupOutcome{.status = to_status(result.status),
+                       .pk_bytes = result.pk_bytes,
+                       .enrolled_epoch = result.enrolled_epoch};
+}
+
+KgcStatus Kgcd::revoke(std::string_view id) {
+  const cls::Epoch epoch = directory_.epoch();
+  const DirStatus status = directory_.revoke(id, epoch);
+  if (status != DirStatus::kOk) return to_status(status);
+  if (!store_.append(WalRecord{.type = WalRecordType::kRevoke,
+                               .epoch = epoch,
+                               .id = std::string(id)})) {
+    return KgcStatus::kStoreError;
+  }
+  maybe_auto_snapshot();
+  return KgcStatus::kOk;
+}
+
+std::optional<std::size_t> Kgcd::snapshot() {
+  Snapshot snapshot;
+  snapshot.applied_seq = store_.sequence();
+  snapshot.entries = directory_.export_entries();
+  if (!store_.write_snapshot(snapshot)) return std::nullopt;
+  appends_since_snapshot_.store(0, std::memory_order_relaxed);
+  return snapshot.entries.size();
+}
+
+void Kgcd::maybe_auto_snapshot() {
+  if (config_.snapshot_every == 0) return;
+  if (appends_since_snapshot_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      config_.snapshot_every) {
+    (void)snapshot();
+  }
+}
+
+crypto::Bytes Kgcd::handle_frame(std::span<const std::uint8_t> frame) {
+  const auto request = decode_kgc_request(frame);
+  if (!request) {
+    return encode_kgc_response(KgcResponse{.op = KgcOp::kNone,
+                                           .request_id = 0,
+                                           .status = KgcStatus::kMalformed});
+  }
+  KgcResponse response{.op = request->op, .request_id = request->request_id};
+  switch (request->op) {
+    case KgcOp::kEnroll: {
+      const EnrollOutcome outcome = enroll(request->id, request->pk_bytes);
+      response.status = outcome.status;
+      response.epoch = outcome.epoch;
+      if (outcome.status == KgcStatus::kOk) {
+        const auto raw = outcome.partial_key.to_bytes();
+        response.payload.assign(raw.begin(), raw.end());
+      }
+      break;
+    }
+    case KgcOp::kLookup: {
+      const LookupOutcome outcome = lookup(request->id);
+      response.status = outcome.status;
+      response.epoch = outcome.enrolled_epoch;
+      if (outcome.status == KgcStatus::kOk) response.payload = outcome.pk_bytes;
+      break;
+    }
+    case KgcOp::kRevoke:
+      response.status = revoke(request->id);
+      response.epoch = directory_.epoch();
+      break;
+    case KgcOp::kSnapshot:
+      response.status = snapshot().has_value() ? KgcStatus::kOk : KgcStatus::kStoreError;
+      response.epoch = directory_.epoch();
+      break;
+    case KgcOp::kNone:  // unreachable: the decoder rejects kNone requests
+      response.status = KgcStatus::kMalformed;
+      break;
+  }
+  return encode_kgc_response(response);
+}
+
+}  // namespace mccls::kgc

@@ -1,0 +1,118 @@
+// kgcd — the persistent Key Generation Center daemon.
+//
+// Owns the master key (loaded via cls::keyfile's scalar codec), the
+// identity→key directory, and the WAL+snapshot store. One instance is safe
+// for concurrent use from many threads: mutations decide admission under a
+// directory shard lock, then serialize durability on the store's append
+// mutex (decide-then-log). The acknowledgement contract follows from that
+// order:
+//
+//   * an acknowledged (kOk) enroll/revoke is durable — append() returned,
+//     the record is on disk (fsynced when configured);
+//   * visibility can precede durability by the width of the append, so a
+//     hard kill loses at most mutations whose responses were never sent;
+//   * snapshot() holds the append path closed while it dumps the directory,
+//     so a record is either in the snapshot or in the fresh WAL, never lost
+//     between them (re-applying an enroll is idempotent, which absorbs the
+//     one benign overlap).
+//
+// Issuance is epoch-scoped (cls/epoch.hpp): a partial private key is
+// extracted for the *scoped* identity "ID@epoch-N" at the daemon's current
+// epoch, so revocation is simply "stop issuing at the next epoch" — there is
+// no certificate to invalidate, exactly as Al-Riyami–Paterson prescribe.
+// Revocation also stops directory resolution immediately, which is what the
+// verify-by-identity path consults.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "cls/keys.hpp"
+#include "kgc/directory.hpp"
+#include "kgc/store.hpp"
+#include "kgc/wire.hpp"
+#include "svc/metrics.hpp"
+
+namespace mccls::kgc {
+
+struct KgcdConfig {
+  std::string data_dir;            ///< store directory (wal.log, snapshot.bin)
+  std::size_t shards = 16;
+  std::size_t lru_per_shard = 64;
+  cls::Epoch epoch = 0;            ///< initial issuance epoch
+  cls::Epoch grace = 1;            ///< resolve-side trailing-epoch window
+  bool fsync = true;
+  /// Auto-snapshot after this many WAL appends (0 = manual only).
+  std::uint64_t snapshot_every = 0;
+};
+
+class Kgcd {
+ public:
+  /// Boots the daemon: reconstructs the directory from snapshot + WAL replay
+  /// (truncating any torn tail), then opens the log for appending.
+  Kgcd(const math::Fq& master_key, KgcdConfig config);
+
+  Kgcd(const Kgcd&) = delete;
+  Kgcd& operator=(const Kgcd&) = delete;
+
+  // ---- typed API ---------------------------------------------------------
+
+  struct EnrollOutcome {
+    KgcStatus status = KgcStatus::kStoreError;
+    ec::G1 partial_key;        ///< D = s·H1("id@epoch-N"); valid when kOk
+    cls::Epoch epoch = 0;      ///< the N the key was issued for
+    std::string scoped_id;     ///< the identity the signer must sign under
+  };
+  /// Validates `pk_bytes` (on-curve + subgroup), admits the identity, logs
+  /// the enrollment, and issues the epoch-scoped partial private key.
+  EnrollOutcome enroll(std::string_view id, std::span<const std::uint8_t> pk_bytes);
+
+  struct LookupOutcome {
+    KgcStatus status = KgcStatus::kUnknownId;
+    crypto::Bytes pk_bytes;
+    cls::Epoch enrolled_epoch = 0;
+  };
+  [[nodiscard]] LookupOutcome lookup(std::string_view id) const;
+
+  /// Revokes immediately (resolution stops now; issuance already refuses).
+  KgcStatus revoke(std::string_view id);
+
+  /// Persists a snapshot and truncates the WAL; nullopt on I/O failure,
+  /// else the number of entries written.
+  std::optional<std::size_t> snapshot();
+
+  // ---- wire entry point --------------------------------------------------
+
+  /// Total: decodes the frame, executes the op, returns the encoded
+  /// response. Undecodable frames get a kMalformed response with
+  /// request_id 0 (the frame cannot be trusted to contain one).
+  crypto::Bytes handle_frame(std::span<const std::uint8_t> frame);
+
+  // ---- plumbing ----------------------------------------------------------
+
+  [[nodiscard]] const cls::SystemParams& params() const { return kgc_.params(); }
+  [[nodiscard]] KeyDirectory& directory() { return directory_; }
+  [[nodiscard]] const svc::ServiceMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] svc::ServiceMetrics& metrics() { return metrics_; }
+  [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
+  [[nodiscard]] cls::Epoch epoch() const { return directory_.epoch(); }
+  /// Epoch rollover: issuance and the resolve window move to `epoch`.
+  void set_epoch(cls::Epoch epoch) { directory_.set_epoch(epoch); }
+
+ private:
+  void maybe_auto_snapshot();
+
+  KgcdConfig config_;
+  cls::Kgc kgc_;
+  svc::ServiceMetrics metrics_;
+  KeyDirectory directory_;
+  WalStore store_;
+  RecoveryReport recovery_;
+  std::atomic<std::uint64_t> appends_since_snapshot_{0};
+};
+
+}  // namespace mccls::kgc

@@ -1,0 +1,186 @@
+// Persistent store for the KGC daemon: an append-only write-ahead log plus
+// periodic full snapshots, both built from CRC-framed records so corruption
+// is detected before any payload byte is interpreted.
+//
+// Framing (one frame = one record on disk):
+//   frame := length:u32  crc32:u32  payload(length)
+// where crc32 covers the payload only. A reader walks frames front to back
+// and stops at the first frame that is truncated or fails its CRC — a torn
+// final frame (the expected crash shape for an append-only file) is
+// indistinguishable from end-of-log, which is exactly the recovery
+// semantics we want: every fsync-acknowledged record survives, the
+// unacknowledged tail is dropped.
+//
+// Record payloads are versioned, total codecs in the style of svc/wire:
+//   wal record      := version:u8=1  type:u8  epoch:u64  field(id)  field(pk)
+//   snapshot entry  := version:u8=1  field(id)  field(pk)
+//                      enrolled_epoch:u64  revoked:u8  revoked_epoch:u64
+//   snapshot file   := frame(header)  frame(entry)*
+//   header payload  := 'K' 'S'  version:u8=1  applied_seq:u64  count:u64
+//
+// Recovery invariant (tested by tests/test_kgc_store.cpp and the end-to-end
+// crash test in tests/test_kgcd.cpp): replay(snapshot) ∘ replay(wal) after a
+// hard kill reconstructs exactly the directory state whose mutations were
+// acknowledged, with bit-identical public-key bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cls/epoch.hpp"
+#include "crypto/encoding.hpp"
+#include "svc/metrics.hpp"
+
+namespace mccls::kgc {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+/// Table-driven; the table is built once at first use.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// ---- record codecs -------------------------------------------------------
+
+inline constexpr std::uint8_t kStoreVersion = 1;
+/// Same hardening rationale as svc::kMaxIdLen / cls::kMaxKeyfileIdLen: a
+/// hostile length prefix is rejected before any read or allocation.
+inline constexpr std::size_t kMaxStoreIdLen = 1024;
+inline constexpr std::size_t kMaxStorePkLen = 256;
+/// Frame-level cap on a declared payload length: generous relative to the
+/// largest legitimate record (an enroll record is well under 2 KiB).
+inline constexpr std::size_t kMaxFramePayload = 1 << 16;
+
+enum class WalRecordType : std::uint8_t {
+  kEnroll = 1,  ///< identity enrolled (or re-issued) with this public key
+  kRevoke = 2,  ///< identity revoked at this epoch
+};
+
+/// One logged directory mutation. `pk_bytes` is the canonical
+/// cls::PublicKey::to_bytes() serialization for enrolls, empty for revokes —
+/// the decoder enforces that shape, so decode∘encode is the identity.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kEnroll;
+  cls::Epoch epoch = 0;
+  std::string id;
+  crypto::Bytes pk_bytes;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+crypto::Bytes encode_wal_record(const WalRecord& record);
+std::optional<WalRecord> decode_wal_record(std::span<const std::uint8_t> bytes);
+
+/// One live directory entry inside a snapshot.
+struct SnapshotEntry {
+  std::string id;
+  crypto::Bytes pk_bytes;
+  cls::Epoch enrolled_epoch = 0;
+  bool revoked = false;
+  cls::Epoch revoked_epoch = 0;
+
+  friend bool operator==(const SnapshotEntry&, const SnapshotEntry&) = default;
+};
+
+crypto::Bytes encode_snapshot_entry(const SnapshotEntry& entry);
+std::optional<SnapshotEntry> decode_snapshot_entry(std::span<const std::uint8_t> bytes);
+
+// ---- CRC framing ---------------------------------------------------------
+
+/// Wraps `payload` in a length+CRC frame.
+crypto::Bytes frame_payload(std::span<const std::uint8_t> payload);
+
+struct Frame {
+  crypto::Bytes payload;
+  std::size_t consumed = 0;  ///< total frame size including the 8-byte header
+};
+
+/// Reads one frame from the front of `bytes`. nullopt when the header or
+/// payload is truncated, the declared length exceeds kMaxFramePayload, or
+/// the CRC does not match — all of which a replayer treats as end-of-log.
+std::optional<Frame> read_frame(std::span<const std::uint8_t> bytes);
+
+// ---- snapshot file -------------------------------------------------------
+
+struct Snapshot {
+  std::uint64_t applied_seq = 0;  ///< WAL records folded into this snapshot
+  std::vector<SnapshotEntry> entries;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// Whole-file snapshot codec (total). Encoding is a framed header followed
+/// by one framed entry per element; decoding validates every frame and the
+/// header's declared count (trailing bytes after the last entry reject).
+crypto::Bytes encode_snapshot(const Snapshot& snapshot);
+std::optional<Snapshot> decode_snapshot(std::span<const std::uint8_t> bytes);
+
+// ---- the store -----------------------------------------------------------
+
+struct StoreConfig {
+  std::string dir;     ///< data directory; created if absent
+  bool fsync = true;   ///< fsync the WAL after every append (durability)
+};
+
+/// Result of opening a store and replaying its state.
+struct RecoveryReport {
+  std::uint64_t snapshot_entries = 0;  ///< entries loaded from the snapshot
+  std::uint64_t wal_records = 0;       ///< records replayed from the WAL
+  std::uint64_t torn_bytes = 0;        ///< bytes discarded from the WAL tail
+  bool snapshot_corrupt = false;       ///< snapshot failed to decode (ignored)
+};
+
+/// Append-only WAL + snapshot pair under one directory (`wal.log`,
+/// `snapshot.bin`). Thread-safe: appends serialize on an internal mutex;
+/// replay runs before any concurrent use (from the constructor's caller).
+///
+/// Durability contract: append() returns only after the record is written
+/// (and fsynced when configured) — an acknowledged mutation survives a hard
+/// kill. The in-memory index may be updated before append() returns (see
+/// Kgcd), so visibility can precede durability, but a crash loses only
+/// mutations that were never acknowledged to the caller.
+class WalStore {
+ public:
+  explicit WalStore(StoreConfig config);
+  ~WalStore();
+
+  WalStore(const WalStore&) = delete;
+  WalStore& operator=(const WalStore&) = delete;
+
+  /// Loads the snapshot (if present and well-formed), then replays the WAL,
+  /// invoking the callbacks in order. Truncates a torn/corrupt WAL tail in
+  /// place so subsequent appends extend a clean log. Call once, before
+  /// concurrent use.
+  RecoveryReport recover(const std::function<void(const SnapshotEntry&)>& on_entry,
+                         const std::function<void(const WalRecord&)>& on_record);
+
+  /// Appends one framed record and makes it durable per the fsync policy.
+  /// Returns false on I/O failure (the caller should fail the mutation).
+  /// Fsync latency is recorded into `metrics` when one is attached.
+  bool append(const WalRecord& record);
+
+  /// Atomically replaces the snapshot (write temp + rename) and truncates
+  /// the WAL. Returns false on I/O failure, in which case the WAL is left
+  /// untouched (recovery will simply replay more records).
+  bool write_snapshot(const Snapshot& snapshot);
+
+  /// Records applied since recovery (snapshot seq + WAL replays + appends).
+  [[nodiscard]] std::uint64_t sequence() const;
+
+  void set_metrics(svc::ServiceMetrics* metrics) { metrics_ = metrics; }
+
+  [[nodiscard]] const std::string& wal_path() const { return wal_path_; }
+  [[nodiscard]] const std::string& snapshot_path() const { return snapshot_path_; }
+
+ private:
+  StoreConfig config_;
+  std::string wal_path_;
+  std::string snapshot_path_;
+  mutable std::mutex mutex_;
+  int wal_fd_ = -1;            ///< open for append after recover()
+  std::uint64_t sequence_ = 0;
+  svc::ServiceMetrics* metrics_ = nullptr;
+};
+
+}  // namespace mccls::kgc

@@ -1,0 +1,105 @@
+#include "kgc/wire.hpp"
+
+namespace mccls::kgc {
+
+namespace {
+
+constexpr std::uint8_t kKindRequest = 1;
+constexpr std::uint8_t kKindResponse = 2;
+
+bool read_header(crypto::ByteReader& reader, std::uint8_t kind) {
+  const auto version = reader.get_u8();
+  const auto got_kind = reader.get_u8();
+  return version && *version == kKgcWireVersion && got_kind && *got_kind == kind;
+}
+
+/// The op-dependent canonical shape (see file comment in wire.hpp).
+bool request_shape_ok(KgcOp op, const std::string& id, const crypto::Bytes& pk) {
+  switch (op) {
+    case KgcOp::kEnroll:
+      return !id.empty() && !pk.empty();
+    case KgcOp::kLookup:
+    case KgcOp::kRevoke:
+      return !id.empty() && pk.empty();
+    case KgcOp::kSnapshot:
+      return id.empty() && pk.empty();
+    case KgcOp::kNone:
+      return false;
+  }
+  return false;
+}
+
+bool response_payload_ok(KgcOp op, KgcStatus status, const crypto::Bytes& payload) {
+  // Only successful enroll/lookup responses carry a payload.
+  const bool may_carry = status == KgcStatus::kOk &&
+                         (op == KgcOp::kEnroll || op == KgcOp::kLookup);
+  return may_carry ? !payload.empty() : payload.empty();
+}
+
+}  // namespace
+
+crypto::Bytes encode_kgc_request(const KgcRequest& request) {
+  crypto::ByteWriter w;
+  w.put_u8(kKgcWireVersion);
+  w.put_u8(kKindRequest);
+  w.put_u8(static_cast<std::uint8_t>(request.op));
+  w.put_u64(request.request_id);
+  w.put_field(request.id);
+  w.put_field(request.pk_bytes);
+  return w.take();
+}
+
+std::optional<KgcRequest> decode_kgc_request(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader reader(bytes);
+  if (!read_header(reader, kKindRequest)) return std::nullopt;
+  const auto op = reader.get_u8();
+  const auto request_id = reader.get_u64();
+  if (!op || !request_id) return std::nullopt;
+  if (*op == 0 || *op > static_cast<std::uint8_t>(KgcOp::kSnapshot)) return std::nullopt;
+  const auto id = reader.get_field(kMaxKgcIdLen);
+  const auto pk = reader.get_field(kMaxKgcPayloadLen);
+  if (!id || !pk || !reader.exhausted()) return std::nullopt;
+  KgcRequest request{.op = KgcOp{*op},
+                     .request_id = *request_id,
+                     .id = std::string(id->begin(), id->end()),
+                     .pk_bytes = *pk};
+  if (!request_shape_ok(request.op, request.id, request.pk_bytes)) return std::nullopt;
+  return request;
+}
+
+crypto::Bytes encode_kgc_response(const KgcResponse& response) {
+  crypto::ByteWriter w;
+  w.put_u8(kKgcWireVersion);
+  w.put_u8(kKindResponse);
+  w.put_u8(static_cast<std::uint8_t>(response.op));
+  w.put_u64(response.request_id);
+  w.put_u8(static_cast<std::uint8_t>(response.status));
+  w.put_u64(response.epoch);
+  w.put_field(response.payload);
+  return w.take();
+}
+
+std::optional<KgcResponse> decode_kgc_response(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader reader(bytes);
+  if (!read_header(reader, kKindResponse)) return std::nullopt;
+  const auto op = reader.get_u8();
+  const auto request_id = reader.get_u64();
+  const auto status = reader.get_u8();
+  const auto epoch = reader.get_u64();
+  if (!op || !request_id || !status || !epoch) return std::nullopt;
+  if (*op > static_cast<std::uint8_t>(KgcOp::kSnapshot)) return std::nullopt;
+  if (*status > static_cast<std::uint8_t>(KgcStatus::kStoreError)) return std::nullopt;
+  const auto payload = reader.get_field(kMaxKgcPayloadLen);
+  if (!payload || !reader.exhausted()) return std::nullopt;
+  KgcResponse response{.op = KgcOp{*op},
+                       .request_id = *request_id,
+                       .status = KgcStatus{*status},
+                       .epoch = *epoch,
+                       .payload = *payload};
+  if (!response_payload_ok(response.op, response.status, response.payload)) {
+    return std::nullopt;
+  }
+  return response;
+}
+
+}  // namespace mccls::kgc

@@ -1,0 +1,80 @@
+// Canonical wire framing for kgcd requests and responses — the boundary
+// format the mccls_cli kgc subcommands and kgcd_loadgen speak to the KGC
+// daemon. Same contract as svc/wire: versioned header, per-field size caps,
+// and *total* decoders (malformed, truncated, unknown-version, non-canonical
+// and trailing-garbage inputs all yield nullopt, never UB or exceptions).
+//
+//   request  := version:u8=1  kind:u8=1  op:u8  request_id:u64
+//               field(identity)  field(public_key)
+//   response := version:u8=1  kind:u8=2  op:u8  request_id:u64  status:u8
+//               epoch:u64  field(payload)
+//
+// Op-dependent shape is part of the decoder (canonical form): only enroll
+// requests carry a public key; lookup/revoke carry an identity but no key;
+// snapshot carries neither. Responses: enroll's payload is the issued
+// partial private key (33 bytes), lookup's is the directory's public-key
+// bytes, revoke/snapshot carry none. Any deviation rejects, which keeps
+// decode∘encode the identity on every accepted frame (the mcqc stability
+// property).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cls/epoch.hpp"
+#include "crypto/encoding.hpp"
+
+namespace mccls::kgc {
+
+inline constexpr std::uint8_t kKgcWireVersion = 1;
+inline constexpr std::size_t kMaxKgcIdLen = 1024;
+inline constexpr std::size_t kMaxKgcPayloadLen = 256;
+
+/// Directory operations. kNone is reserved for responses to frames too
+/// damaged to echo an op (request decoders reject it).
+enum class KgcOp : std::uint8_t {
+  kNone = 0,
+  kEnroll = 1,    ///< validate + admit (id, pk), issue the partial key
+  kLookup = 2,    ///< fetch the directory's public key for id
+  kRevoke = 3,    ///< revoke id as of the current epoch
+  kSnapshot = 4,  ///< persist a snapshot and truncate the WAL
+};
+
+/// Final outcome of one kgcd request.
+enum class KgcStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownId = 1,   ///< lookup/revoke of an identity never enrolled
+  kRevoked = 2,     ///< identity revoked (enroll/lookup refused)
+  kInvalidKey = 3,  ///< submitted key failed on-curve/subgroup validation
+  kConflict = 4,    ///< identity already enrolled with a different key
+  kMalformed = 5,   ///< request frame undecodable
+  kStoreError = 6,  ///< WAL append or snapshot write failed
+};
+
+struct KgcRequest {
+  KgcOp op = KgcOp::kEnroll;
+  std::uint64_t request_id = 0;
+  std::string id;           ///< empty iff op == kSnapshot
+  crypto::Bytes pk_bytes;   ///< canonical PublicKey bytes; enroll only
+
+  friend bool operator==(const KgcRequest&, const KgcRequest&) = default;
+};
+
+struct KgcResponse {
+  KgcOp op = KgcOp::kNone;  ///< echoes the request op (kNone for kMalformed)
+  std::uint64_t request_id = 0;
+  KgcStatus status = KgcStatus::kMalformed;
+  cls::Epoch epoch = 0;     ///< issuance epoch (enroll) / enrolled epoch
+  crypto::Bytes payload;    ///< partial key (enroll) or pk bytes (lookup)
+
+  friend bool operator==(const KgcResponse&, const KgcResponse&) = default;
+};
+
+crypto::Bytes encode_kgc_request(const KgcRequest& request);
+std::optional<KgcRequest> decode_kgc_request(std::span<const std::uint8_t> bytes);
+
+crypto::Bytes encode_kgc_response(const KgcResponse& response);
+std::optional<KgcResponse> decode_kgc_response(std::span<const std::uint8_t> bytes);
+
+}  // namespace mccls::kgc

@@ -8,6 +8,8 @@
 #include "cls/keyfile.hpp"
 #include "dsr/dsr_codec.hpp"
 #include "ec/g1.hpp"
+#include "kgc/store.hpp"
+#include "kgc/wire.hpp"
 #include "qa/fuzz.hpp"
 #include "svc/wire.hpp"
 
@@ -215,6 +217,94 @@ std::size_t emit_builtin_corpus(const std::string& dir) {
     b.insert(b.end(), g_bytes.begin(), g_bytes.end());
     b.insert(b.end(), g_bytes.begin(), g_bytes.end());
     emit("sig_mccls", "noncanonical_scalar", false, b);
+  }
+
+  // kgc wire protocol.
+  {
+    const kgc::KgcRequest lookup{.op = kgc::KgcOp::kLookup, .request_id = 7, .id = "a"};
+    const Bytes valid_lookup = kgc::encode_kgc_request(lookup);
+    emit("kgc_request", "minimal_lookup", true, valid_lookup);
+    {  // a lookup must not carry a key (canonical shape)
+      kgc::KgcRequest bad = lookup;
+      bad.pk_bytes = Bytes{0x01};
+      emit("kgc_request", "lookup_with_key", false, kgc::encode_kgc_request(bad));
+    }
+    {  // op byte outside the enum
+      Bytes b = valid_lookup;
+      b[2] = 0x09;
+      emit("kgc_request", "op_out_of_range", false, b);
+    }
+    {  // id length prefix over the cap (header: version kind op request_id = 11 bytes)
+      Bytes b = valid_lookup;
+      stamp_u32(b, 11, 0xFFFFFFFFu);
+      emit("kgc_request", "oversized_id_prefix", false, b);
+    }
+  }
+  {
+    kgc::KgcResponse ok{.op = kgc::KgcOp::kLookup, .request_id = 7,
+                        .status = kgc::KgcStatus::kOk};
+    ok.payload = Bytes{0x01};
+    ok.payload.insert(ok.payload.end(), g_bytes.begin(), g_bytes.end());
+    const Bytes valid = kgc::encode_kgc_response(ok);
+    emit("kgc_response", "lookup_ok", true, valid);
+    Bytes b = valid;
+    b[11] = 0x09;  // status byte (after version kind op request_id)
+    emit("kgc_response", "status_out_of_range", false, b);
+  }
+
+  // kgc store formats: the crash-recovery decision surface.
+  {
+    kgc::WalRecord record{.type = kgc::WalRecordType::kEnroll, .epoch = 0, .id = "a"};
+    record.pk_bytes = Bytes{0x01};
+    record.pk_bytes.insert(record.pk_bytes.end(), g_bytes.begin(), g_bytes.end());
+    const Bytes framed = kgc::frame_payload(kgc::encode_wal_record(record));
+    emit("kgc_wal_record", "minimal_enroll", true, framed);
+    {  // torn tail: a crash mid-append leaves a prefix of the frame
+      Bytes b(framed.begin(),
+              framed.begin() + static_cast<std::ptrdiff_t>(framed.size() / 2));
+      emit("kgc_wal_record", "truncated_tail", false, b);
+    }
+    {  // bit rot inside the payload: the CRC is the only thing catching it
+      Bytes b = framed;
+      b[b.size() / 2] ^= 0x01;
+      emit("kgc_wal_record", "bad_crc", false, b);
+    }
+    {  // id above kMaxStoreIdLen, declared honestly and fully present in a
+       // correctly CRC'd frame — the cap is the only reason to reject
+      kgc::WalRecord big{.type = kgc::WalRecordType::kRevoke, .epoch = 0,
+                         .id = std::string(kgc::kMaxStoreIdLen + 1, 'a')};
+      emit("kgc_wal_record", "id_over_cap", false,
+           kgc::frame_payload(kgc::encode_wal_record(big)));
+    }
+    {  // an enroll without a key breaks the record-shape invariant
+      kgc::WalRecord keyless{.type = kgc::WalRecordType::kEnroll, .epoch = 0, .id = "a"};
+      emit("kgc_wal_record", "enroll_without_key", false,
+           kgc::frame_payload(kgc::encode_wal_record(keyless)));
+    }
+  }
+  {
+    kgc::Snapshot snapshot;
+    snapshot.applied_seq = 1;
+    kgc::SnapshotEntry entry{.id = "a", .enrolled_epoch = 0};
+    entry.pk_bytes = Bytes{0x01};
+    entry.pk_bytes.insert(entry.pk_bytes.end(), g_bytes.begin(), g_bytes.end());
+    snapshot.entries.push_back(entry);
+    const Bytes valid = kgc::encode_snapshot(snapshot);
+    emit("kgc_snapshot", "single_entry", true, valid);
+    {  // correctly CRC-framed header that promises entries the file lacks
+      crypto::ByteWriter h;
+      h.put_u8('K');
+      h.put_u8('S');
+      h.put_u8(kgc::kStoreVersion);
+      h.put_u64(1);  // applied_seq
+      h.put_u64(2);  // declares 2 entries; none follow
+      emit("kgc_snapshot", "count_over_contents", false, kgc::frame_payload(h.take()));
+    }
+    {  // trailing garbage after the declared entries
+      Bytes b = valid;
+      b.push_back(0x00);
+      emit("kgc_snapshot", "trailing_garbage", false, b);
+    }
   }
 
   // Routing codecs.

@@ -11,6 +11,8 @@
 #include "cls/yhg.hpp"
 #include "cls/zwxf.hpp"
 #include "dsr/dsr_codec.hpp"
+#include "kgc/store.hpp"
+#include "kgc/wire.hpp"
 #include "qa/gen.hpp"
 #include "svc/wire.hpp"
 
@@ -200,7 +202,10 @@ std::vector<FuzzTarget> build_targets() {
         const auto names = cls::scheme_names();
         req.scheme = std::string(names[rng.uniform_int(names.size())]);
         req.id = gen_id(rng);
-        req.public_key = sample_public_key(rng, req.scheme == "AP" ? 2 : 1);
+        req.by_identity = rng.chance(0.25);  // kind-3 frames carry no key
+        if (!req.by_identity) {
+          req.public_key = sample_public_key(rng, req.scheme == "AP" ? 2 : 1);
+        }
         req.message = gen_bytes(rng, 128);
         req.signature = gen_bytes(rng, 98);
         return svc::encode_request(req);
@@ -213,7 +218,7 @@ std::vector<FuzzTarget> build_targets() {
       [](sim::Rng& rng) {
         svc::VerifyResponse resp;
         resp.request_id = rng.next_u64();
-        resp.status = static_cast<svc::Status>(rng.uniform_int(4));
+        resp.status = static_cast<svc::Status>(rng.uniform_int(5));
         return svc::encode_response(resp);
       },
       [](std::span<const std::uint8_t> b) { return svc::decode_response(b); },
@@ -275,6 +280,84 @@ std::vector<FuzzTarget> build_targets() {
       },
       [](std::span<const std::uint8_t> b) { return cls::YhgSignature::from_bytes(b); },
       [](const cls::YhgSignature& s) { return s.to_bytes(); }));
+
+  targets.push_back(make_target<kgc::KgcRequest>(
+      "kgc_request",
+      [](sim::Rng& rng) {
+        kgc::KgcRequest req;
+        req.op = static_cast<kgc::KgcOp>(1 + rng.uniform_int(4));
+        req.request_id = rng.next_u64();
+        // Canonical shape is op-dependent (the decoder enforces it): only
+        // enroll carries a key, snapshot carries nothing.
+        if (req.op != kgc::KgcOp::kSnapshot) req.id = gen_id(rng);
+        if (req.op == kgc::KgcOp::kEnroll) {
+          req.pk_bytes = sample_public_key(rng, 1 + rng.uniform_int(2)).to_bytes();
+        }
+        return kgc::encode_kgc_request(req);
+      },
+      [](std::span<const std::uint8_t> b) { return kgc::decode_kgc_request(b); },
+      [](const kgc::KgcRequest& r) { return kgc::encode_kgc_request(r); }));
+
+  targets.push_back(make_target<kgc::KgcResponse>(
+      "kgc_response",
+      [](sim::Rng& rng) {
+        kgc::KgcResponse resp;
+        resp.op = static_cast<kgc::KgcOp>(rng.uniform_int(5));
+        resp.request_id = rng.next_u64();
+        resp.status = static_cast<kgc::KgcStatus>(rng.uniform_int(7));
+        resp.epoch = rng.uniform_int(1u << 16);
+        // Payload only on successful enroll/lookup (canonical shape).
+        if (resp.status == kgc::KgcStatus::kOk &&
+            (resp.op == kgc::KgcOp::kEnroll || resp.op == kgc::KgcOp::kLookup)) {
+          resp.payload = sample_public_key(rng, 1).to_bytes();
+        }
+        return kgc::encode_kgc_response(resp);
+      },
+      [](std::span<const std::uint8_t> b) { return kgc::decode_kgc_response(b); },
+      [](const kgc::KgcResponse& r) { return kgc::encode_kgc_response(r); }));
+
+  // The WAL record as it sits on disk: CRC frame around the record codec.
+  // The decoder demands a single exhaustive frame, so bit flips in length,
+  // CRC or payload all reject (what replay treats as end-of-log).
+  targets.push_back(make_target<kgc::WalRecord>(
+      "kgc_wal_record",
+      [](sim::Rng& rng) {
+        kgc::WalRecord record;
+        const bool enroll = rng.chance(0.7);
+        record.type = enroll ? kgc::WalRecordType::kEnroll : kgc::WalRecordType::kRevoke;
+        record.epoch = rng.uniform_int(1u << 16);
+        record.id = gen_id(rng);
+        if (enroll) record.pk_bytes = sample_public_key(rng, 1).to_bytes();
+        return kgc::frame_payload(kgc::encode_wal_record(record));
+      },
+      [](std::span<const std::uint8_t> b) -> std::optional<kgc::WalRecord> {
+        const auto frame = kgc::read_frame(b);
+        if (!frame || frame->consumed != b.size()) return std::nullopt;
+        return kgc::decode_wal_record(frame->payload);
+      },
+      [](const kgc::WalRecord& r) {
+        return kgc::frame_payload(kgc::encode_wal_record(r));
+      }));
+
+  targets.push_back(make_target<kgc::Snapshot>(
+      "kgc_snapshot",
+      [](sim::Rng& rng) {
+        kgc::Snapshot snapshot;
+        snapshot.applied_seq = 1 + rng.uniform_int(1u << 20);
+        const std::size_t n = rng.uniform_int(4);
+        for (std::size_t i = 0; i < n; ++i) {
+          kgc::SnapshotEntry entry;
+          entry.id = gen_id(rng) + "-" + std::to_string(i);  // ids need not be unique here
+          entry.pk_bytes = sample_public_key(rng, 1).to_bytes();
+          entry.enrolled_epoch = rng.uniform_int(1u << 16);
+          entry.revoked = rng.chance(0.3);
+          entry.revoked_epoch = entry.revoked ? entry.enrolled_epoch + rng.uniform_int(8) : 0;
+          snapshot.entries.push_back(std::move(entry));
+        }
+        return kgc::encode_snapshot(snapshot);
+      },
+      [](std::span<const std::uint8_t> b) { return kgc::decode_snapshot(b); },
+      [](const kgc::Snapshot& s) { return kgc::encode_snapshot(s); }));
 
   targets.push_back(make_target<aodv::AodvPayload>(
       "aodv_packet", sample_aodv,

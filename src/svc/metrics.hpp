@@ -43,6 +43,19 @@ class ServiceMetrics {
   void on_latency_ns(std::uint64_t ns) {
     latency_hist_[log2_bucket(ns, kLatencyBuckets)].fetch_add(1, std::memory_order_relaxed);
   }
+
+  // -- kgcd directory + store instrumentation -------------------------------
+  /// Identity resolved from the decoded-key LRU (no point decompression).
+  void on_dir_hit() { dir_hits_.fetch_add(1, std::memory_order_relaxed); }
+  /// Identity resolved from stored bytes (paid the decompression sqrt).
+  void on_dir_miss() { dir_misses_.fetch_add(1, std::memory_order_relaxed); }
+  /// verify-by-identity request whose signer the directory could not vouch for.
+  void on_unknown_signer() { unknown_signer_.fetch_add(1, std::memory_order_relaxed); }
+  /// One durable WAL append: fsync (or write, when fsync is off) latency.
+  void on_wal_fsync_ns(std::uint64_t ns) {
+    wal_fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    wal_fsync_hist_[log2_bucket(ns, kLatencyBuckets)].fetch_add(1, std::memory_order_relaxed);
+  }
   void on_queue_depth(std::size_t depth) {
     std::uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
     while (depth > peak &&
@@ -61,9 +74,21 @@ class ServiceMetrics {
     std::uint64_t batch_fallbacks = 0;
     std::uint64_t single_verifies = 0;
     std::uint64_t queue_depth_peak = 0;
+    std::uint64_t dir_hits = 0;
+    std::uint64_t dir_misses = 0;
+    std::uint64_t unknown_signer = 0;
+    std::uint64_t wal_fsyncs = 0;
     std::array<std::uint64_t, kBatchBuckets> batch_hist{};
     double latency_p50_ns = 0;
     double latency_p99_ns = 0;
+    double wal_fsync_p50_ns = 0;
+    double wal_fsync_p99_ns = 0;
+    /// Fraction of directory resolutions served from the decoded-key cache.
+    [[nodiscard]] double dir_hit_rate() const {
+      const std::uint64_t total = dir_hits + dir_misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(dir_hits) / static_cast<double>(total);
+    }
     /// Mean signatures per batch_verify call (1.0 when nothing coalesced).
     [[nodiscard]] double mean_batch_size() const {
       return batches == 0 ? 1.0
@@ -84,6 +109,10 @@ class ServiceMetrics {
     s.batch_fallbacks = batch_fallbacks_.load(std::memory_order_relaxed);
     s.single_verifies = single_verifies_.load(std::memory_order_relaxed);
     s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+    s.dir_hits = dir_hits_.load(std::memory_order_relaxed);
+    s.dir_misses = dir_misses_.load(std::memory_order_relaxed);
+    s.unknown_signer = unknown_signer_.load(std::memory_order_relaxed);
+    s.wal_fsyncs = wal_fsyncs_.load(std::memory_order_relaxed);
     std::array<std::uint64_t, kLatencyBuckets> lat{};
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
@@ -95,6 +124,14 @@ class ServiceMetrics {
     }
     s.latency_p50_ns = percentile(lat, total, 0.50);
     s.latency_p99_ns = percentile(lat, total, 0.99);
+    std::array<std::uint64_t, kLatencyBuckets> fsync{};
+    std::uint64_t fsync_total = 0;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      fsync[i] = wal_fsync_hist_[i].load(std::memory_order_relaxed);
+      fsync_total += fsync[i];
+    }
+    s.wal_fsync_p50_ns = percentile(fsync, fsync_total, 0.50);
+    s.wal_fsync_p99_ns = percentile(fsync, fsync_total, 0.99);
     return s;
   }
 
@@ -111,9 +148,21 @@ class ServiceMetrics {
     out += buf;
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"latency_p99\", \"iters\": %llu, \"median_ns\": %.1f, "
-                  "\"mean_ns\": %.1f, \"min_ns\": %.1f}\n",
+                  "\"mean_ns\": %.1f, \"min_ns\": %.1f},\n",
                   static_cast<unsigned long long>(s.verified + s.rejected),
                   s.latency_p99_ns, s.latency_p99_ns, s.latency_p99_ns);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"wal_fsync_p50\", \"iters\": %llu, \"median_ns\": %.1f, "
+                  "\"mean_ns\": %.1f, \"min_ns\": %.1f},\n",
+                  static_cast<unsigned long long>(s.wal_fsyncs), s.wal_fsync_p50_ns,
+                  s.wal_fsync_p50_ns, s.wal_fsync_p50_ns);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"wal_fsync_p99\", \"iters\": %llu, \"median_ns\": %.1f, "
+                  "\"mean_ns\": %.1f, \"min_ns\": %.1f}\n",
+                  static_cast<unsigned long long>(s.wal_fsyncs), s.wal_fsync_p99_ns,
+                  s.wal_fsync_p99_ns, s.wal_fsync_p99_ns);
     out += buf;
     out += "  ],\n  \"derived\": {\n";
     const auto counter = [&](const char* key, double value, bool last = false) {
@@ -130,7 +179,12 @@ class ServiceMetrics {
     counter("batch_fallbacks", static_cast<double>(s.batch_fallbacks));
     counter("single_verifies", static_cast<double>(s.single_verifies));
     counter("mean_batch_size", s.mean_batch_size());
-    counter("queue_depth_peak", static_cast<double>(s.queue_depth_peak), true);
+    counter("queue_depth_peak", static_cast<double>(s.queue_depth_peak));
+    counter("dir_hits", static_cast<double>(s.dir_hits));
+    counter("dir_misses", static_cast<double>(s.dir_misses));
+    counter("dir_hit_rate", s.dir_hit_rate());
+    counter("unknown_signer", static_cast<double>(s.unknown_signer));
+    counter("wal_fsyncs", static_cast<double>(s.wal_fsyncs), true);
     out += "  }\n}\n";
     return out;
   }
@@ -167,8 +221,11 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> batches_{0}, batched_signatures_{0}, batch_fallbacks_{0},
       single_verifies_{0};
   std::atomic<std::uint64_t> queue_depth_peak_{0};
+  std::atomic<std::uint64_t> dir_hits_{0}, dir_misses_{0}, unknown_signer_{0},
+      wal_fsyncs_{0};
   std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_hist_{};
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_{};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> wal_fsync_hist_{};
 };
 
 }  // namespace mccls::svc

@@ -1,0 +1,32 @@
+// Identity→public-key resolution interface for verify-by-identity requests.
+//
+// A VerifyRequest can arrive without the signer's public key (wire kind 3);
+// the service then asks its configured PkResolver to vouch for the signer.
+// The canonical implementation is kgc::KeyDirectory — the KGC daemon's
+// validating key directory — but the interface lives here so svc does not
+// depend on the kgc subsystem (the dependency points the other way).
+//
+// Contract: resolve() is called from worker threads concurrently and must be
+// thread-safe. It returns the directory's public key for `id` (decoded and
+// validated at enrollment time), or nullopt when the directory cannot vouch
+// for the signer — unknown, revoked, or epoch-scoped outside the acceptance
+// window. A nullopt resolution answers the request with
+// Status::kUnknownSigner without attempting verification.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "cls/keys.hpp"
+
+namespace mccls::svc {
+
+class PkResolver {
+ public:
+  virtual ~PkResolver() = default;
+
+  /// Thread-safe identity→key lookup; nullopt = cannot vouch for `id`.
+  virtual std::optional<cls::PublicKey> resolve(std::string_view id) = 0;
+};
+
+}  // namespace mccls::svc

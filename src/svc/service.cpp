@@ -100,15 +100,38 @@ void VerifyService::worker_main(std::stop_token stop, unsigned index) {
 }
 
 void VerifyService::process_chunk(std::vector<Job>& jobs, crypto::HmacDrbg& rng) {
+  std::vector<bool> done(jobs.size(), false);
+
+  // Resolve by-identity jobs before anything looks at their public key. The
+  // resolver (the kgcd directory) does its own caching; an identity it
+  // cannot vouch for — unknown, revoked, outside the epoch window, or no
+  // resolver configured — is answered without touching the signature.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].request.by_identity) continue;
+    std::optional<cls::PublicKey> pk;
+    if (config_.resolver != nullptr) pk = config_.resolver->resolve(jobs[i].request.id);
+    if (!pk) {
+      finish(jobs[i], Status::kUnknownSigner);
+      done[i] = true;
+      continue;
+    }
+    jobs[i].request.public_key = std::move(*pk);
+  }
+
   if (!config_.coalesce) {
-    for (Job& job : jobs) verify_single(job);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!done[i]) verify_single(jobs[i]);
+    }
     return;
   }
 
   // Pass 1: split the chunk into batchable McCLS groups and singles.
+  // Resolved by-identity jobs coalesce like inline ones: their key is now
+  // populated, so same-signer runs batch regardless of how the key arrived.
   std::vector<std::optional<cls::McclsSignature>> parsed(jobs.size());
   std::unordered_map<std::string, std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (done[i]) continue;
     const VerifyRequest& request = jobs[i].request;
     if (request.scheme != "McCLS" || request.public_key.points.size() != 1) continue;
     parsed[i] = cls::McclsSignature::from_bytes(request.signature);
@@ -116,7 +139,6 @@ void VerifyService::process_chunk(std::vector<Job>& jobs, crypto::HmacDrbg& rng)
     groups[group_key(request, *parsed[i])].push_back(i);
   }
 
-  std::vector<bool> done(jobs.size(), false);
   for (auto& [key, members] : groups) {
     if (members.size() < config_.min_batch) continue;  // below crossover
     std::vector<cls::BatchItem> items;
@@ -173,6 +195,9 @@ void VerifyService::finish(Job& job, Status status) {
       break;
     case Status::kMalformed:
       metrics_.on_malformed();
+      break;
+    case Status::kUnknownSigner:
+      metrics_.on_unknown_signer();
       break;
   }
   metrics_.on_latency_ns(static_cast<std::uint64_t>(

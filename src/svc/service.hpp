@@ -36,6 +36,7 @@
 #include "crypto/drbg.hpp"
 #include "svc/metrics.hpp"
 #include "svc/queue.hpp"
+#include "svc/resolver.hpp"
 #include "svc/sharded_cache.hpp"
 #include "svc/wire.hpp"
 
@@ -49,6 +50,10 @@ struct ServiceConfig {
   std::size_t min_batch = 2;         ///< batch crossover (measured by bench_batch)
   std::size_t cache_shards = 16;     ///< ShardedPairingCache stripe count
   std::uint64_t seed = 0x5EC7BA7C4ULL;  ///< per-worker DRBG seed (batch deltas)
+  /// Directory consulted for verify-by-identity (kind-3) requests; not
+  /// owned, must outlive the service. With no resolver every by-identity
+  /// request answers kUnknownSigner.
+  PkResolver* resolver = nullptr;
 };
 
 class VerifyService {

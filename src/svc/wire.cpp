@@ -8,6 +8,7 @@ namespace {
 
 constexpr std::uint8_t kKindRequest = 1;
 constexpr std::uint8_t kKindResponse = 2;
+constexpr std::uint8_t kKindRequestById = 3;
 
 // Reads and checks the two-byte header; nullopt unless (kWireVersion, kind).
 bool read_header(crypto::ByteReader& reader, std::uint8_t kind) {
@@ -35,13 +36,13 @@ std::optional<std::string_view> scheme_from_wire_id(std::uint8_t wire_id) {
 crypto::Bytes encode_request(const VerifyRequest& request) {
   crypto::ByteWriter w;
   w.put_u8(kWireVersion);
-  w.put_u8(kKindRequest);
+  w.put_u8(request.by_identity ? kKindRequestById : kKindRequest);
   w.put_u64(request.request_id);
   // Unknown scheme names encode as 0xFF, which no decoder accepts — an
   // encode/decode round trip cannot launder a bad scheme into a valid one.
   w.put_u8(scheme_wire_id(request.scheme).value_or(0xFF));
   w.put_field(request.id);
-  w.put_field(request.public_key.to_bytes());
+  if (!request.by_identity) w.put_field(request.public_key.to_bytes());
   w.put_field(request.message);
   w.put_field(request.signature);
   return w.take();
@@ -49,25 +50,36 @@ crypto::Bytes encode_request(const VerifyRequest& request) {
 
 std::optional<VerifyRequest> decode_request(std::span<const std::uint8_t> bytes) {
   crypto::ByteReader reader(bytes);
-  if (!read_header(reader, kKindRequest)) return std::nullopt;
+  const auto version = reader.get_u8();
+  const auto kind = reader.get_u8();
+  if (!version || *version != kWireVersion || !kind) return std::nullopt;
+  if (*kind != kKindRequest && *kind != kKindRequestById) return std::nullopt;
+  const bool by_identity = *kind == kKindRequestById;
   const auto request_id = reader.get_u64();
   const auto scheme_id = reader.get_u8();
   if (!request_id || !scheme_id) return std::nullopt;
   const auto scheme = scheme_from_wire_id(*scheme_id);
   if (!scheme) return std::nullopt;
   const auto id = reader.get_field(kMaxIdLen);
-  const auto pk_bytes = reader.get_field(kMaxPublicKeyLen);
+  if (!id) return std::nullopt;
+  cls::PublicKey public_key;
+  if (!by_identity) {
+    const auto pk_bytes = reader.get_field(kMaxPublicKeyLen);
+    if (!pk_bytes) return std::nullopt;
+    auto decoded = cls::PublicKey::from_bytes(*pk_bytes);
+    if (!decoded) return std::nullopt;
+    public_key = std::move(*decoded);
+  } else if (id->empty()) {
+    return std::nullopt;  // nothing to resolve by
+  }
   const auto message = reader.get_field(kMaxMessageLen);
   const auto signature = reader.get_field(kMaxSignatureLen);
-  if (!id || !pk_bytes || !message || !signature || !reader.exhausted()) {
-    return std::nullopt;
-  }
-  auto public_key = cls::PublicKey::from_bytes(*pk_bytes);
-  if (!public_key) return std::nullopt;
+  if (!message || !signature || !reader.exhausted()) return std::nullopt;
   return VerifyRequest{.request_id = *request_id,
                        .scheme = std::string(*scheme),
                        .id = std::string(id->begin(), id->end()),
-                       .public_key = std::move(*public_key),
+                       .by_identity = by_identity,
+                       .public_key = std::move(public_key),
                        .message = *message,
                        .signature = *signature};
 }
@@ -87,7 +99,7 @@ std::optional<VerifyResponse> decode_response(std::span<const std::uint8_t> byte
   const auto request_id = reader.get_u64();
   const auto status = reader.get_u8();
   if (!request_id || !status || !reader.exhausted()) return std::nullopt;
-  if (*status > static_cast<std::uint8_t>(Status::kMalformed)) return std::nullopt;
+  if (*status > static_cast<std::uint8_t>(Status::kUnknownSigner)) return std::nullopt;
   return VerifyResponse{.request_id = *request_id, .status = Status{*status}};
 }
 

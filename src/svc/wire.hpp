@@ -8,10 +8,15 @@
 //   request  := version:u8=1  kind:u8=1  request_id:u64  scheme:u8
 //               field(identity)  field(public_key)  field(message)
 //               field(signature)
+//   by-id    := version:u8=1  kind:u8=3  request_id:u64  scheme:u8
+//               field(identity)  field(message)  field(signature)
 //   response := version:u8=1  kind:u8=2  request_id:u64  status:u8
 //
 // `scheme` is the u8 index into cls::scheme_names() (Table 1 order), and
-// `field(x)` is a u32-length-prefixed byte string.
+// `field(x)` is a u32-length-prefixed byte string. Kind 3 (verify-by-
+// identity) omits the public key: the service resolves it from its
+// configured PkResolver (the kgcd directory) at verification time, and
+// answers kUnknownSigner when the directory cannot vouch for the identity.
 #pragma once
 
 #include <cstdint>
@@ -42,12 +47,19 @@ enum class Status : std::uint8_t {
   kRejected = 1,   ///< signature (or its encoding) invalid for (id, pk, msg)
   kBusy = 2,       ///< dropped at admission: worker queue full (backpressure)
   kMalformed = 3,  ///< request frame undecodable or unknown scheme
+  /// verify-by-identity only: the directory has no resolvable key for the
+  /// signer (never enrolled, revoked, outside the epoch window, or the
+  /// service has no resolver configured).
+  kUnknownSigner = 4,
 };
 
 struct VerifyRequest {
   std::uint64_t request_id = 0;
   std::string scheme;  ///< Table 1 name, e.g. "McCLS" (see cls::scheme_names)
   std::string id;      ///< signer identity
+  /// true for kind-3 frames: public_key is empty on the wire and resolved
+  /// from the service's PkResolver when the request is processed.
+  bool by_identity = false;
   cls::PublicKey public_key;
   crypto::Bytes message;
   crypto::Bytes signature;

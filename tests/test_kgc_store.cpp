@@ -1,0 +1,329 @@
+// The kgcd persistence layer: CRC framing, the WAL-record and snapshot
+// codecs (total decoders with canonical-shape enforcement), and the
+// WalStore's recovery contract — torn or corrupt tails are truncated, a
+// snapshot plus WAL replay reconstructs exactly the acknowledged state.
+#include "kgc/store.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ec/g1.hpp"
+
+namespace mccls::kgc {
+namespace {
+
+namespace fs = std::filesystem;
+using crypto::Bytes;
+
+// Fresh per-test store directory under the gtest temp root.
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("kgc_store_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+Bytes sample_pk_bytes() {
+  const auto g = ec::G1::generator().to_bytes();
+  Bytes pk{0x01};
+  pk.insert(pk.end(), g.begin(), g.end());
+  return pk;
+}
+
+WalRecord sample_enroll(const std::string& id, cls::Epoch epoch = 3) {
+  return WalRecord{.type = WalRecordType::kEnroll,
+                   .epoch = epoch,
+                   .id = id,
+                   .pk_bytes = sample_pk_bytes()};
+}
+
+// ---------------------------------------------------------------- CRC-32
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  // The standard CRC-32 check string: crc32("123456789") = 0xCBF43926.
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32(crypto::as_bytes(check)), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Bytes data(64, 0xA5);
+  const std::uint32_t baseline = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(crc32(data), baseline) << "flip at byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+// ---------------------------------------------------------- record codecs
+
+TEST(WalRecordCodec, RoundTripsBothRecordTypes) {
+  const WalRecord enroll = sample_enroll("alice");
+  const auto enroll2 = decode_wal_record(encode_wal_record(enroll));
+  ASSERT_TRUE(enroll2.has_value());
+  EXPECT_EQ(enroll2->type, WalRecordType::kEnroll);
+  EXPECT_EQ(enroll2->epoch, 3u);
+  EXPECT_EQ(enroll2->id, "alice");
+  EXPECT_EQ(enroll2->pk_bytes, enroll.pk_bytes);
+
+  const WalRecord revoke{.type = WalRecordType::kRevoke, .epoch = 9, .id = "bob"};
+  const auto revoke2 = decode_wal_record(encode_wal_record(revoke));
+  ASSERT_TRUE(revoke2.has_value());
+  EXPECT_EQ(revoke2->type, WalRecordType::kRevoke);
+  EXPECT_TRUE(revoke2->pk_bytes.empty());
+}
+
+TEST(WalRecordCodec, EnforcesTheOpDependentShape) {
+  // An enroll without a key and a revoke with one are both non-canonical.
+  WalRecord keyless = sample_enroll("alice");
+  keyless.pk_bytes.clear();
+  EXPECT_FALSE(decode_wal_record(encode_wal_record(keyless)).has_value());
+
+  WalRecord keyed{.type = WalRecordType::kRevoke, .epoch = 1, .id = "bob",
+                  .pk_bytes = sample_pk_bytes()};
+  EXPECT_FALSE(decode_wal_record(encode_wal_record(keyed)).has_value());
+
+  WalRecord anonymous = sample_enroll("");
+  EXPECT_FALSE(decode_wal_record(encode_wal_record(anonymous)).has_value());
+}
+
+TEST(WalRecordCodec, RejectsUnknownVersionTypeAndTrailingBytes) {
+  Bytes encoded = encode_wal_record(sample_enroll("alice"));
+  Bytes bad_version = encoded;
+  bad_version[0] = 0x7F;
+  EXPECT_FALSE(decode_wal_record(bad_version).has_value());
+
+  Bytes bad_type = encoded;
+  bad_type[1] = 0x09;
+  EXPECT_FALSE(decode_wal_record(bad_type).has_value());
+
+  encoded.push_back(0x00);
+  EXPECT_FALSE(decode_wal_record(encoded).has_value());
+}
+
+TEST(SnapshotEntryCodec, RoundTripsAndKeepsRevocationCanonical) {
+  const SnapshotEntry entry{.id = "alice",
+                            .pk_bytes = sample_pk_bytes(),
+                            .enrolled_epoch = 4,
+                            .revoked = true,
+                            .revoked_epoch = 6};
+  const auto back = decode_snapshot_entry(encode_snapshot_entry(entry));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, "alice");
+  EXPECT_TRUE(back->revoked);
+  EXPECT_EQ(back->revoked_epoch, 6u);
+
+  // A never-revoked entry must carry revoked_epoch 0 (canonical form).
+  SnapshotEntry noncanonical = entry;
+  noncanonical.revoked = false;
+  EXPECT_FALSE(decode_snapshot_entry(encode_snapshot_entry(noncanonical)).has_value());
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(Framing, RoundTripsAndReportsConsumedBytes) {
+  const Bytes payload = encode_wal_record(sample_enroll("alice"));
+  const Bytes framed = frame_payload(payload);
+  ASSERT_EQ(framed.size(), payload.size() + 8);
+  const auto frame = read_frame(framed);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_EQ(frame->consumed, framed.size());
+}
+
+TEST(Framing, RejectsTruncationCorruptionAndAbsurdLengths) {
+  const Bytes framed = frame_payload(encode_wal_record(sample_enroll("alice")));
+  for (std::size_t cut = 0; cut < framed.size(); ++cut) {
+    EXPECT_FALSE(read_frame(std::span(framed).first(cut)).has_value())
+        << "prefix of " << cut << " bytes";
+  }
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    Bytes bad = framed;
+    bad[i] ^= 0x01;
+    const auto frame = read_frame(bad);
+    // A flip in the length prefix may still parse iff it lands on another
+    // valid frame boundary — impossible here because the CRC covers the
+    // payload and the length change misaligns it.
+    EXPECT_FALSE(frame.has_value() && frame->payload == framed) << "flip at " << i;
+  }
+  Bytes absurd(8, 0xFF);  // declares a ~4 GiB payload
+  EXPECT_FALSE(read_frame(absurd).has_value());
+}
+
+TEST(SnapshotCodec, RoundTripsManyEntriesAndRejectsTrailingGarbage) {
+  Snapshot snapshot;
+  snapshot.applied_seq = 42;
+  for (int i = 0; i < 5; ++i) {
+    snapshot.entries.push_back(SnapshotEntry{
+        .id = "node-" + std::to_string(i), .pk_bytes = sample_pk_bytes(),
+        .enrolled_epoch = static_cast<cls::Epoch>(i)});
+  }
+  Bytes encoded = encode_snapshot(snapshot);
+  const auto back = decode_snapshot(encoded);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->applied_seq, 42u);
+  ASSERT_EQ(back->entries.size(), 5u);
+  EXPECT_EQ(back->entries[3].id, "node-3");
+
+  encoded.push_back(0x00);
+  EXPECT_FALSE(decode_snapshot(encoded).has_value());
+}
+
+TEST(SnapshotCodec, BoundsTheDeclaredCountByTheRemainingInput) {
+  // A header that declares 2^60 entries must reject before any allocation.
+  crypto::ByteWriter h;
+  h.put_u8('K');
+  h.put_u8('S');
+  h.put_u8(kStoreVersion);
+  h.put_u64(1);
+  h.put_u64(std::uint64_t{1} << 60);
+  EXPECT_FALSE(decode_snapshot(frame_payload(h.take())).has_value());
+}
+
+// --------------------------------------------------------------- WalStore
+
+TEST(WalStore, AppendThenRecoverReplaysInOrder) {
+  const std::string dir = fresh_dir("replay");
+  {
+    WalStore store(StoreConfig{.dir = dir, .fsync = false});
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_TRUE(store.append(sample_enroll("alice", 1)));
+    EXPECT_TRUE(store.append(sample_enroll("bob", 2)));
+    EXPECT_TRUE(store.append(WalRecord{.type = WalRecordType::kRevoke, .epoch = 2,
+                                       .id = "alice"}));
+    EXPECT_EQ(store.sequence(), 3u);
+  }
+  WalStore store(StoreConfig{.dir = dir, .fsync = false});
+  std::vector<std::string> seen;
+  const RecoveryReport report = store.recover(
+      nullptr, [&](const WalRecord& r) {
+        seen.push_back(r.id + (r.type == WalRecordType::kRevoke ? "!" : ""));
+      });
+  EXPECT_EQ(report.wal_records, 3u);
+  EXPECT_EQ(report.torn_bytes, 0u);
+  EXPECT_FALSE(report.snapshot_corrupt);
+  EXPECT_THAT(seen, ::testing::ElementsAre("alice", "bob", "alice!"));
+  EXPECT_EQ(store.sequence(), 3u);
+}
+
+TEST(WalStore, TruncatesATornTailAndKeepsAppending) {
+  const std::string dir = fresh_dir("torn");
+  {
+    WalStore store(StoreConfig{.dir = dir, .fsync = false});
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_TRUE(store.append(sample_enroll("alice")));
+    EXPECT_TRUE(store.append(sample_enroll("bob")));
+  }
+  // Simulate a crash mid-append: half of a valid frame lands on disk.
+  const Bytes partial = frame_payload(encode_wal_record(sample_enroll("carol")));
+  {
+    std::ofstream wal(fs::path(dir) / "wal.log", std::ios::binary | std::ios::app);
+    wal.write(reinterpret_cast<const char*>(partial.data()),
+              static_cast<std::streamsize>(partial.size() / 2));
+  }
+  const auto wal_size_before = fs::file_size(fs::path(dir) / "wal.log");
+
+  WalStore store(StoreConfig{.dir = dir, .fsync = false});
+  std::vector<std::string> seen;
+  const RecoveryReport report =
+      store.recover(nullptr, [&](const WalRecord& r) { seen.push_back(r.id); });
+  EXPECT_THAT(seen, ::testing::ElementsAre("alice", "bob"));
+  EXPECT_EQ(report.torn_bytes, partial.size() / 2);
+  EXPECT_EQ(fs::file_size(fs::path(dir) / "wal.log"),
+            wal_size_before - partial.size() / 2)
+      << "the torn tail must be truncated in place";
+
+  // The log stays usable: the next append extends the repaired file.
+  EXPECT_TRUE(store.append(sample_enroll("dave")));
+  WalStore reopened(StoreConfig{.dir = dir, .fsync = false});
+  seen.clear();
+  (void)reopened.recover(nullptr, [&](const WalRecord& r) { seen.push_back(r.id); });
+  EXPECT_THAT(seen, ::testing::ElementsAre("alice", "bob", "dave"));
+}
+
+TEST(WalStore, TreatsAFlippedBitAsEndOfLog) {
+  const std::string dir = fresh_dir("bitrot");
+  {
+    WalStore store(StoreConfig{.dir = dir, .fsync = false});
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_TRUE(store.append(sample_enroll("alice")));
+    EXPECT_TRUE(store.append(sample_enroll("bob")));
+  }
+  {  // flip one payload bit inside the second record
+    std::fstream wal(fs::path(dir) / "wal.log",
+                     std::ios::binary | std::ios::in | std::ios::out);
+    wal.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(wal.tellg());
+    wal.seekp(static_cast<std::streamoff>(size - 3));
+    char byte;
+    wal.seekg(static_cast<std::streamoff>(size - 3));
+    wal.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    wal.seekp(static_cast<std::streamoff>(size - 3));
+    wal.write(&byte, 1);
+  }
+  WalStore store(StoreConfig{.dir = dir, .fsync = false});
+  std::vector<std::string> seen;
+  const RecoveryReport report =
+      store.recover(nullptr, [&](const WalRecord& r) { seen.push_back(r.id); });
+  EXPECT_THAT(seen, ::testing::ElementsAre("alice"));
+  EXPECT_GT(report.torn_bytes, 0u);
+}
+
+TEST(WalStore, SnapshotFoldsTheLogAndRecoveryCombinesBoth) {
+  const std::string dir = fresh_dir("snapshot");
+  {
+    WalStore store(StoreConfig{.dir = dir, .fsync = false});
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_TRUE(store.append(sample_enroll("alice", 1)));
+    EXPECT_TRUE(store.append(sample_enroll("bob", 1)));
+    Snapshot snapshot;
+    snapshot.applied_seq = store.sequence();
+    snapshot.entries = {
+        SnapshotEntry{.id = "alice", .pk_bytes = sample_pk_bytes(), .enrolled_epoch = 1},
+        SnapshotEntry{.id = "bob", .pk_bytes = sample_pk_bytes(), .enrolled_epoch = 1}};
+    EXPECT_TRUE(store.write_snapshot(snapshot));
+    EXPECT_EQ(fs::file_size(fs::path(dir) / "wal.log"), 0u)
+        << "a durable snapshot restarts the log";
+    // Post-snapshot mutations land in the fresh WAL.
+    EXPECT_TRUE(store.append(sample_enroll("carol", 2)));
+  }
+  WalStore store(StoreConfig{.dir = dir, .fsync = false});
+  std::vector<std::string> from_snapshot, from_wal;
+  const RecoveryReport report = store.recover(
+      [&](const SnapshotEntry& e) { from_snapshot.push_back(e.id); },
+      [&](const WalRecord& r) { from_wal.push_back(r.id); });
+  EXPECT_THAT(from_snapshot, ::testing::ElementsAre("alice", "bob"));
+  EXPECT_THAT(from_wal, ::testing::ElementsAre("carol"));
+  EXPECT_EQ(report.snapshot_entries, 2u);
+  EXPECT_EQ(report.wal_records, 1u);
+  EXPECT_EQ(store.sequence(), 3u) << "sequence resumes at applied_seq + replayed records";
+}
+
+TEST(WalStore, SurvivesACorruptSnapshotByFallingBackToTheWal) {
+  const std::string dir = fresh_dir("badsnap");
+  {
+    WalStore store(StoreConfig{.dir = dir, .fsync = false});
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_TRUE(store.append(sample_enroll("alice")));
+  }
+  {  // garbage where the snapshot should be
+    std::ofstream snap(fs::path(dir) / "snapshot.bin", std::ios::binary | std::ios::trunc);
+    snap << "not a snapshot";
+  }
+  WalStore store(StoreConfig{.dir = dir, .fsync = false});
+  std::vector<std::string> seen;
+  const RecoveryReport report =
+      store.recover(nullptr, [&](const WalRecord& r) { seen.push_back(r.id); });
+  EXPECT_TRUE(report.snapshot_corrupt);
+  EXPECT_THAT(seen, ::testing::ElementsAre("alice"));
+}
+
+}  // namespace
+}  // namespace mccls::kgc

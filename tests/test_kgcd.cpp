@@ -1,0 +1,366 @@
+// kgcd end-to-end: epoch-scoped issuance, directory admission and
+// revocation, wire totality, verify-by-identity through the verifyd
+// resolver hook, and THE acceptance test — hard-kill crash recovery with a
+// torn WAL tail where every enrolled identity still verifies end-to-end
+// with bit-identical public-key bytes after reboot.
+#include "kgc/kgcd.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cls/mccls.hpp"
+#include "svc/service.hpp"
+
+namespace mccls::kgc {
+namespace {
+
+namespace fs = std::filesystem;
+using crypto::Bytes;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("kgcd_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// One master key + scheme shared by every case; each test boots its own
+// daemon(s) from the same master so issued partial keys are comparable
+// across reboots.
+struct KgcdFixture {
+  crypto::HmacDrbg rng{std::uint64_t{0x46CDF1}};
+  cls::Kgc kgc = cls::Kgc::setup(rng);
+  cls::Mccls scheme;
+
+  std::unique_ptr<Kgcd> boot(const std::string& dir, KgcdConfig config = {}) {
+    config.data_dir = dir;
+    config.fsync = false;  // keep the suite fast; durability is the store's job
+    return std::make_unique<Kgcd>(kgc.master_key_for_tests(), std::move(config));
+  }
+
+  /// A user keypair whose partial key came from the daemon (the real enroll
+  /// flow: user submits pk, daemon validates + logs + issues).
+  struct Enrolled {
+    cls::UserKeys keys;  ///< id == the scoped identity the daemon issued for
+    Bytes pk_bytes;
+  };
+  Enrolled enroll_user(Kgcd& daemon, const std::string& id) {
+    const math::Fq x = rng.next_nonzero_fq();
+    const cls::PublicKey pk = scheme.derive_public(kgc.params(), x);
+    const Bytes pk_bytes = pk.to_bytes();
+    const auto outcome = daemon.enroll(id, pk_bytes);
+    EXPECT_EQ(outcome.status, KgcStatus::kOk) << id;
+    return Enrolled{.keys = cls::UserKeys{.id = outcome.scoped_id,
+                                          .partial_key = outcome.partial_key,
+                                          .secret = x,
+                                          .public_key = pk},
+                    .pk_bytes = pk_bytes};
+  }
+};
+
+// Collects verifyd responses; lets the test block until all arrived.
+struct ResponseSink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<std::uint64_t, svc::Status> statuses;
+  std::size_t count = 0;
+
+  svc::VerifyService::Completion completion() {
+    return [this](const svc::VerifyResponse& response) {
+      std::lock_guard lock(mutex);
+      statuses[response.request_id] = response.status;
+      ++count;
+      cv.notify_all();
+    };
+  }
+
+  bool wait_for(std::size_t n, std::chrono::seconds timeout = std::chrono::seconds(60)) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, timeout, [&] { return count >= n; });
+  }
+};
+
+// --------------------------------------------------------------- issuance
+
+TEST(Kgcd, EnrollIssuesAVerifiableEpochScopedPartialKey) {
+  KgcdFixture f;
+  const auto daemon = f.boot(fresh_dir("issue"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+  EXPECT_EQ(alice.keys.id, "alice@epoch-0");
+
+  // The issued partial key is D = s·H1("alice@epoch-0"): a signature made
+  // with it verifies under the scoped identity...
+  const auto msg = crypto::as_bytes(std::string_view{"hello kgc"});
+  const Bytes sig = f.scheme.sign(f.kgc.params(), alice.keys, msg, f.rng);
+  EXPECT_TRUE(f.scheme.verify(f.kgc.params(), alice.keys.id, alice.keys.public_key,
+                              msg, sig));
+  // ...and under nothing else (the epoch scope is load-bearing).
+  EXPECT_FALSE(f.scheme.verify(f.kgc.params(), "alice", alice.keys.public_key, msg, sig));
+}
+
+TEST(Kgcd, RefusesBadKeysConflictsAndPreScopedIdentities) {
+  KgcdFixture f;
+  const auto daemon = f.boot(fresh_dir("refuse"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+
+  EXPECT_EQ(daemon->enroll("mallory", Bytes{0xDE, 0xAD}).status, KgcStatus::kInvalidKey);
+  EXPECT_EQ(daemon->enroll("", alice.pk_bytes).status, KgcStatus::kInvalidKey);
+  // A pre-scoped identity would double-scope on issuance; refuse it up front.
+  EXPECT_EQ(daemon->enroll("bob@epoch-3", alice.pk_bytes).status, KgcStatus::kInvalidKey);
+
+  // Same identity, different key: conflict. Same key again: re-issuance.
+  const cls::PublicKey other = f.scheme.derive_public(f.kgc.params(), f.rng.next_nonzero_fq());
+  EXPECT_EQ(daemon->enroll("alice", other.to_bytes()).status, KgcStatus::kConflict);
+  EXPECT_EQ(daemon->enroll("alice", alice.pk_bytes).status, KgcStatus::kOk);
+}
+
+TEST(Kgcd, RevocationStopsResolutionAndReissuance) {
+  KgcdFixture f;
+  const auto daemon = f.boot(fresh_dir("revoke"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+
+  EXPECT_TRUE(daemon->directory().resolve("alice").has_value());
+  EXPECT_EQ(daemon->revoke("ghost"), KgcStatus::kUnknownId);
+  EXPECT_EQ(daemon->revoke("alice"), KgcStatus::kOk);
+  EXPECT_EQ(daemon->revoke("alice"), KgcStatus::kOk) << "revocation is idempotent";
+
+  EXPECT_EQ(daemon->lookup("alice").status, KgcStatus::kRevoked);
+  EXPECT_EQ(daemon->enroll("alice", alice.pk_bytes).status, KgcStatus::kRevoked);
+  EXPECT_FALSE(daemon->directory().resolve("alice").has_value());
+  EXPECT_FALSE(daemon->directory().resolve(alice.keys.id).has_value())
+      << "the scoped form must not outlive the revocation";
+}
+
+TEST(Kgcd, EpochRolloverClosesTheScopedResolveWindow) {
+  KgcdFixture f;
+  const auto daemon = f.boot(fresh_dir("epoch"), KgcdConfig{.epoch = 5});
+  const auto alice = f.enroll_user(*daemon, "alice");
+  EXPECT_EQ(alice.keys.id, "alice@epoch-5");
+
+  // Within the grace window (default 1 trailing epoch) the scoped identity
+  // still resolves; one epoch further and it is dead — that is revocation.
+  EXPECT_TRUE(daemon->directory().resolve("alice@epoch-5").has_value());
+  daemon->set_epoch(6);
+  EXPECT_TRUE(daemon->directory().resolve("alice@epoch-5").has_value());
+  daemon->set_epoch(7);
+  EXPECT_FALSE(daemon->directory().resolve("alice@epoch-5").has_value());
+  EXPECT_TRUE(daemon->directory().resolve("alice").has_value())
+      << "the plain identity outlives epoch rollovers until revoked";
+
+  // Re-issuance at the new epoch hands out a key scoped to it.
+  EXPECT_EQ(daemon->enroll("alice", alice.pk_bytes).scoped_id, "alice@epoch-7");
+}
+
+// ------------------------------------------------------------------- wire
+
+TEST(Kgcd, HandleFrameIsTotal) {
+  KgcdFixture f;
+  const auto daemon = f.boot(fresh_dir("total"));
+  for (const Bytes garbage :
+       {Bytes{}, Bytes{0x00}, Bytes{0xFF, 0xFF, 0xFF}, Bytes(64, 0xA5)}) {
+    const auto response = decode_kgc_response(daemon->handle_frame(garbage));
+    ASSERT_TRUE(response.has_value()) << "every frame gets a decodable response";
+    EXPECT_EQ(response->status, KgcStatus::kMalformed);
+    EXPECT_EQ(response->request_id, 0u);
+  }
+}
+
+TEST(Kgcd, WireEnrollAndLookupRoundTrip) {
+  KgcdFixture f;
+  const auto daemon = f.boot(fresh_dir("wire"));
+  const cls::PublicKey pk = f.scheme.derive_public(f.kgc.params(), f.rng.next_nonzero_fq());
+
+  const auto enroll = decode_kgc_response(daemon->handle_frame(encode_kgc_request(
+      KgcRequest{.op = KgcOp::kEnroll, .request_id = 7, .id = "alice",
+                 .pk_bytes = pk.to_bytes()})));
+  ASSERT_TRUE(enroll.has_value());
+  EXPECT_EQ(enroll->op, KgcOp::kEnroll);
+  EXPECT_EQ(enroll->request_id, 7u);
+  EXPECT_EQ(enroll->status, KgcStatus::kOk);
+  // The payload is the issued partial key: s·H1("alice@epoch-0") exactly.
+  const auto expected_partial = f.kgc.extract_partial_key("alice@epoch-0").to_bytes();
+  EXPECT_EQ(enroll->payload,
+            Bytes(expected_partial.begin(), expected_partial.end()));
+
+  const auto lookup = decode_kgc_response(daemon->handle_frame(encode_kgc_request(
+      KgcRequest{.op = KgcOp::kLookup, .request_id = 8, .id = "alice"})));
+  ASSERT_TRUE(lookup.has_value());
+  EXPECT_EQ(lookup->status, KgcStatus::kOk);
+  EXPECT_EQ(lookup->payload, pk.to_bytes());
+  EXPECT_EQ(lookup->epoch, 0u);
+
+  const auto missing = decode_kgc_response(daemon->handle_frame(encode_kgc_request(
+      KgcRequest{.op = KgcOp::kLookup, .request_id = 9, .id = "nobody"})));
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, KgcStatus::kUnknownId);
+}
+
+// --------------------------------------------------------- auto-snapshot
+
+TEST(Kgcd, AutoSnapshotFoldsTheWalAtTheConfiguredCadence) {
+  KgcdFixture f;
+  const std::string dir = fresh_dir("autosnap");
+  const auto daemon = f.boot(dir, KgcdConfig{.snapshot_every = 4});
+  for (int i = 0; i < 4; ++i) {
+    (void)f.enroll_user(*daemon, "node-" + std::to_string(i));
+  }
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "snapshot.bin"));
+  EXPECT_EQ(fs::file_size(fs::path(dir) / "wal.log"), 0u)
+      << "the fourth append triggers a snapshot, which truncates the WAL";
+}
+
+// ---------------------------------------------------- verify-by-identity
+
+TEST(Kgcd, VerifyByIdentityResolvesThroughTheDirectory) {
+  KgcdFixture f;
+  const auto daemon = f.boot(fresh_dir("byid"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+  const auto eve = f.enroll_user(*daemon, "eve");
+  EXPECT_EQ(daemon->revoke("eve"), KgcStatus::kOk);
+
+  const auto msg = crypto::as_bytes(std::string_view{"verify me by name"});
+  const Bytes sig = f.scheme.sign(f.kgc.params(), alice.keys, msg, f.rng);
+  const auto by_id = [&](std::uint64_t request_id, const std::string& id,
+                         Bytes signature) {
+    return svc::VerifyRequest{.request_id = request_id, .scheme = "McCLS", .id = id,
+                              .by_identity = true,
+                              .message = Bytes(msg.begin(), msg.end()),
+                              .signature = std::move(signature)};
+  };
+
+  ResponseSink sink;
+  {
+    svc::VerifyService service(f.kgc.params(),
+                               svc::ServiceConfig{.workers = 2,
+                                                  .resolver = &daemon->directory()});
+    EXPECT_TRUE(service.submit(by_id(1, alice.keys.id, sig), sink.completion()));
+    EXPECT_TRUE(service.submit(by_id(2, "stranger@epoch-0", sig), sink.completion()));
+    EXPECT_TRUE(service.submit(by_id(3, eve.keys.id, sig), sink.completion()));
+    Bytes tampered = sig;
+    tampered[tampered.size() / 2] ^= 0x01;
+    EXPECT_TRUE(service.submit(by_id(4, alice.keys.id, std::move(tampered)),
+                               sink.completion()));
+    ASSERT_TRUE(sink.wait_for(4));
+  }
+  EXPECT_EQ(sink.statuses.at(1), svc::Status::kVerified);
+  EXPECT_EQ(sink.statuses.at(2), svc::Status::kUnknownSigner);
+  EXPECT_EQ(sink.statuses.at(3), svc::Status::kUnknownSigner) << "revoked signer";
+  EXPECT_EQ(sink.statuses.at(4), svc::Status::kRejected);
+  const auto metrics = daemon->metrics().snapshot();
+  EXPECT_GT(metrics.dir_hits + metrics.dir_misses, 0u)
+      << "by-identity requests must go through the directory cache";
+}
+
+TEST(Kgcd, ByIdentityWithoutAResolverAnswersUnknownSigner) {
+  KgcdFixture f;
+  ResponseSink sink;
+  {
+    svc::VerifyService service(f.kgc.params(), svc::ServiceConfig{.workers = 1});
+    EXPECT_TRUE(service.submit(
+        svc::VerifyRequest{.request_id = 1, .scheme = "McCLS", .id = "anyone",
+                           .by_identity = true,
+                           .message = Bytes{0x01},
+                           .signature = Bytes(f.scheme.signature_size(), 0x00)},
+        sink.completion()));
+    ASSERT_TRUE(sink.wait_for(1));
+  }
+  EXPECT_EQ(sink.statuses.at(1), svc::Status::kUnknownSigner);
+}
+
+// -------------------------------------------------- crash recovery (E2E)
+
+// The acceptance test: enroll N identities (with a snapshot mid-stream so
+// recovery exercises snapshot + WAL together), hard-kill mid-append by
+// leaving a torn final record on disk, reboot on the same directory, and
+// require (a) the recovery report to account for everything, (b) every
+// identity's public key to come back bit-identical, and (c) every identity
+// to verify end-to-end through verifyd's verify-by-identity path.
+TEST(Kgcd, CrashRecoveryReplaysTornWalAndEveryIdentityStillVerifies) {
+  KgcdFixture f;
+  const std::string dir = fresh_dir("crash");
+  constexpr int kIdentities = 8;
+
+  std::vector<KgcdFixture::Enrolled> users;
+  std::vector<Bytes> signatures;
+  const auto msg = crypto::as_bytes(std::string_view{"signed before the crash"});
+  {
+    const auto daemon = f.boot(dir);
+    for (int i = 0; i < kIdentities; ++i) {
+      users.push_back(f.enroll_user(*daemon, "node-" + std::to_string(i)));
+      signatures.push_back(f.scheme.sign(f.kgc.params(), users.back().keys, msg, f.rng));
+      if (i == kIdentities / 2 - 1) {
+        ASSERT_TRUE(daemon->snapshot().has_value());
+      }
+    }
+  }  // daemon destroyed: the clean part of the "crash" (fds closed)
+
+  // Hard-kill simulation: a crash mid-append leaves a prefix of a valid
+  // frame at the tail of the log.
+  const Bytes partial = frame_payload(encode_wal_record(WalRecord{
+      .type = WalRecordType::kEnroll, .epoch = 0, .id = "torn-victim",
+      .pk_bytes = users[0].pk_bytes}));
+  {
+    std::ofstream wal(fs::path(dir) / "wal.log", std::ios::binary | std::ios::app);
+    wal.write(reinterpret_cast<const char*>(partial.data()),
+              static_cast<std::streamsize>(partial.size() * 2 / 3));
+  }
+
+  // Reboot. Replay must fold snapshot + WAL and truncate the torn tail.
+  const auto daemon = f.boot(dir);
+  const RecoveryReport& report = daemon->recovery();
+  EXPECT_EQ(report.snapshot_entries, static_cast<std::size_t>(kIdentities / 2));
+  EXPECT_EQ(report.wal_records, static_cast<std::size_t>(kIdentities / 2));
+  EXPECT_EQ(report.torn_bytes, partial.size() * 2 / 3);
+  EXPECT_FALSE(report.snapshot_corrupt);
+  EXPECT_EQ(daemon->directory().size(), static_cast<std::size_t>(kIdentities));
+  EXPECT_EQ(daemon->lookup("torn-victim").status, KgcStatus::kUnknownId)
+      << "an unacknowledged torn record must not resurrect";
+
+  // (b) bit-identical public keys for every identity.
+  for (int i = 0; i < kIdentities; ++i) {
+    const auto lookup = daemon->lookup("node-" + std::to_string(i));
+    ASSERT_EQ(lookup.status, KgcStatus::kOk) << "node-" << i;
+    EXPECT_EQ(lookup.pk_bytes, users[static_cast<std::size_t>(i)].pk_bytes)
+        << "node-" << i;
+  }
+
+  // (c) every pre-crash signature verifies through verify-by-identity
+  // against the rebooted daemon's directory.
+  ResponseSink sink;
+  {
+    svc::VerifyService service(f.kgc.params(),
+                               svc::ServiceConfig{.workers = 2,
+                                                  .resolver = &daemon->directory()});
+    for (int i = 0; i < kIdentities; ++i) {
+      EXPECT_TRUE(service.submit(
+          svc::VerifyRequest{.request_id = static_cast<std::uint64_t>(i + 1),
+                             .scheme = "McCLS",
+                             .id = users[static_cast<std::size_t>(i)].keys.id,
+                             .by_identity = true,
+                             .message = Bytes(msg.begin(), msg.end()),
+                             .signature = signatures[static_cast<std::size_t>(i)]},
+          sink.completion()));
+    }
+    ASSERT_TRUE(sink.wait_for(kIdentities));
+  }
+  for (int i = 0; i < kIdentities; ++i) {
+    EXPECT_EQ(sink.statuses.at(static_cast<std::uint64_t>(i + 1)), svc::Status::kVerified)
+        << "node-" << i << " must survive the crash end-to-end";
+  }
+
+  // The repaired log stays writable: post-recovery enrollment works and the
+  // torn bytes are gone from disk.
+  EXPECT_EQ(daemon->enroll("late-joiner", users[0].pk_bytes).status, KgcStatus::kOk);
+}
+
+}  // namespace
+}  // namespace mccls::kgc

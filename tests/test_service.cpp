@@ -173,10 +173,32 @@ TEST(Wire, DecoderIsTotal) {
     EXPECT_FALSE(decode_response(blob).has_value());
   }
 
-  // Responses with out-of-range status bytes are rejected.
+  // Responses with out-of-range status bytes are rejected (kUnknownSigner=4
+  // is the last valid value).
   crypto::Bytes resp = encode_response(VerifyResponse{1, Status::kVerified});
-  resp.back() = 4;
+  resp.back() = 5;
   EXPECT_FALSE(decode_response(resp).has_value());
+
+  // Kind-3 (verify-by-identity) frames: same totality contract — every
+  // proper prefix and any trailing byte reject; a kind-1 body under a kind-3
+  // tag (or vice versa) is non-canonical and rejects.
+  VerifyRequest by_id = f.request();
+  by_id.by_identity = true;
+  by_id.public_key = {};
+  const crypto::Bytes good3 = encode_request(by_id);
+  ASSERT_TRUE(decode_request(good3).has_value());
+  for (std::size_t len = 0; len < good3.size(); ++len) {
+    EXPECT_FALSE(decode_request({good3.data(), len}).has_value()) << "prefix " << len;
+  }
+  crypto::Bytes trailing3 = good3;
+  trailing3.push_back(0x00);
+  EXPECT_FALSE(decode_request(trailing3).has_value());
+  crypto::Bytes crossed = good;
+  crossed[1] = 3;  // kind-1 body (has a pk field) under the by-identity kind
+  EXPECT_FALSE(decode_request(crossed).has_value());
+  crossed = good3;
+  crossed[1] = 1;  // by-identity body (no pk field) under the inline kind
+  EXPECT_FALSE(decode_request(crossed).has_value());
 }
 
 // ----------------------------------------------------- ShardedPairingCache

@@ -1,0 +1,239 @@
+// kgcd_loadgen — multi-producer load generator for the persistent KGC
+// daemon (src/kgc). Pre-computes a Zipf-skewed mix of enroll wire frames
+// and directory resolutions, then hammers one Kgcd instance from P
+// producer threads — enrolls through the wire entry point (handle_frame),
+// lookups through KeyDirectory::resolve (the verify-by-identity hot path)
+// — and reports throughput plus the daemon's metrics block as BENCH-schema
+// JSON.
+//
+// Identity skew drives the directory's decoded-key LRU: a skewed
+// population (--skew > 0) concentrates lookups on a few hot identities and
+// the hit rate climbs; a uniform one (--skew 0) with more identities than
+// LRU capacity keeps paying the decompression sqrt. The enroll fraction
+// (--enroll-pct) exercises the WAL append path under contention, and
+// --fsync turns on per-append durability so the fsync-latency histogram in
+// the metrics dump shows the real cost of the acknowledgement contract.
+//
+//   kgcd_loadgen [--producers P] [--ops R] [--identities S] [--skew Z]
+//                [--enroll-pct PCT] [--fsync] [--dir PATH] [--seed N]
+//                [--json PATH]
+//
+// The data directory is recreated from scratch each run (it is a load
+// generator, not a durability test — tests/test_kgcd.cpp owns recovery).
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cls/mccls.hpp"
+#include "kgc/kgcd.hpp"
+
+namespace {
+
+using namespace mccls;
+
+struct Options {
+  unsigned producers = 2;
+  std::size_t ops = 4096;
+  std::size_t identities = 64;
+  double skew = 0.0;
+  double enroll_pct = 10.0;
+  bool fsync = false;
+  std::string dir = "kgcd_loadgen.data";
+  std::uint64_t seed = 0x46CD;
+  std::string json_path;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: kgcd_loadgen [--producers P] [--ops R] [--identities S]\n"
+               "                    [--skew Z] [--enroll-pct PCT] [--fsync]\n"
+               "                    [--dir PATH] [--seed N] [--json PATH]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--fsync") {
+      opt.fsync = true;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const char* value = argv[++i];
+    if (flag == "--producers") {
+      opt.producers = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--ops") {
+      opt.ops = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--identities") {
+      opt.identities = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--skew") {
+      opt.skew = std::strtod(value, nullptr);
+    } else if (flag == "--enroll-pct") {
+      opt.enroll_pct = std::strtod(value, nullptr);
+    } else if (flag == "--dir") {
+      opt.dir = value;
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--json") {
+      opt.json_path = value;
+    } else {
+      return false;
+    }
+  }
+  return opt.producers > 0 && opt.ops > 0 && opt.identities > 0;
+}
+
+/// Zipf(s) sampler over [0, n): inverse-CDF lookup on a precomputed table.
+/// s == 0 degenerates to uniform. (Same sampler as verifyd_loadgen.)
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t sample(crypto::HmacDrbg& rng) const {
+    std::array<std::uint8_t, 8> raw;
+    rng.generate(raw);
+    std::uint64_t bits = 0;
+    for (const std::uint8_t b : raw) bits = bits << 8 | b;
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+
+  // ---- corpus: master key, identities with derived public keys, and the
+  // pre-encoded op mix (all single-threaded, off the clock; producers only
+  // replay bytes).
+  crypto::HmacDrbg rng(opt.seed);
+  const cls::Kgc kgc = cls::Kgc::setup(rng);
+  const cls::Mccls scheme;
+  std::vector<std::string> ids;
+  std::vector<crypto::Bytes> pk_bytes;
+  for (std::size_t s = 0; s < opt.identities; ++s) {
+    ids.push_back("node-" + std::to_string(s));
+    pk_bytes.push_back(scheme.derive_public(kgc.params(), rng.next_nonzero_fq()).to_bytes());
+  }
+
+  // The op mix: enrolls are pre-encoded wire frames replayed through
+  // handle_frame (codec + admission + WAL append); lookups are directory
+  // *resolutions* — the verify-by-identity hot path a co-located verifyd
+  // drives, which is what the decoded-key LRU and its hit/miss counters
+  // measure. An empty frame slot marks a resolve op.
+  const ZipfSampler sampler(opt.identities, opt.skew);
+  std::vector<crypto::Bytes> frames;
+  std::vector<std::size_t> resolve_who(opt.ops, 0);
+  frames.reserve(opt.ops);
+  std::size_t enrolls = 0;
+  for (std::size_t i = 0; i < opt.ops; ++i) {
+    const std::size_t who = sampler.sample(rng);
+    if (static_cast<double>(i % 100) < opt.enroll_pct) {  // deterministic mix
+      // Re-enroll of the same key is kOk (re-issuance) — every enroll frame
+      // exercises validation plus a durable WAL append.
+      frames.push_back(kgc::encode_kgc_request(
+          kgc::KgcRequest{.op = kgc::KgcOp::kEnroll, .request_id = i + 1,
+                          .id = ids[who], .pk_bytes = pk_bytes[who]}));
+      ++enrolls;
+    } else {
+      frames.emplace_back();
+      resolve_who[i] = who;
+    }
+  }
+
+  // ---- daemon: fresh store, every identity pre-enrolled so the lookup mix
+  // never answers kUnknownId.
+  std::filesystem::remove_all(opt.dir);
+  std::filesystem::create_directories(opt.dir);
+  kgc::Kgcd daemon(kgc.master_key_for_tests(),
+                   kgc::KgcdConfig{.data_dir = opt.dir, .fsync = opt.fsync});
+  for (std::size_t s = 0; s < opt.identities; ++s) {
+    if (daemon.enroll(ids[s], pk_bytes[s]).status != kgc::KgcStatus::kOk) {
+      std::fprintf(stderr, "error: pre-enroll of %s failed\n", ids[s].c_str());
+      return 1;
+    }
+  }
+  daemon.directory().drop_caches();  // producers start from a cold LRU
+
+  std::atomic<std::uint64_t> ok{0}, refused{0};
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> producers;
+    for (unsigned p = 0; p < opt.producers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = p; i < frames.size(); i += opt.producers) {
+          bool success;
+          if (frames[i].empty()) {
+            success = daemon.directory().resolve(ids[resolve_who[i]]).has_value();
+          } else {
+            const auto response =
+                kgc::decode_kgc_response(daemon.handle_frame(frames[i]));
+            success = response && response->status == kgc::KgcStatus::kOk;
+          }
+          (success ? ok : refused).fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+
+  const auto snapshot = daemon.metrics().snapshot();
+  const double total = static_cast<double>(opt.ops);
+  std::printf("offered %zu ops (%zu enrolls) over %zu identities from %u producers in %.3f s\n",
+              opt.ops, enrolls, opt.identities, opt.producers, seconds);
+  std::printf("  sustained: %.0f ops/s (%.1f us/op)%s\n", total / seconds,
+              seconds * 1e6 / total, opt.fsync ? " [fsync per append]" : "");
+  std::printf("  outcomes:  %llu ok, %llu refused\n",
+              static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(refused.load()));
+  std::printf("  directory: %llu decoded-cache hits, %llu misses (%.1f%% hit rate), "
+              "%llu WAL appends\n",
+              static_cast<unsigned long long>(snapshot.dir_hits),
+              static_cast<unsigned long long>(snapshot.dir_misses),
+              100.0 * snapshot.dir_hit_rate(),
+              static_cast<unsigned long long>(snapshot.wal_fsyncs));
+
+  const std::string json = daemon.metrics().to_json("kgcd_loadgen");
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path, std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", opt.json_path.c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}
