@@ -120,6 +120,11 @@ std::optional<cls::PublicKey> KeyDirectory::resolve(std::string_view id) {
   const auto pk = cls::PublicKey::from_bytes(pk_bytes);
   if (!pk) return std::nullopt;  // unreachable for validated entries
   std::lock_guard lock(shard.mutex);
+  // Re-check under the lock: a revoke() that landed during the unlocked
+  // decode already ran its cache_erase against a not-yet-cached id, so
+  // inserting now would re-cache the revoked key until eviction.
+  const auto entry = shard.entries.find(std::string(base));
+  if (entry == shard.entries.end() || entry->second.revoked) return std::nullopt;
   cache_insert(shard, base, *pk);
   return pk;
 }

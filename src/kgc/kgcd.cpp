@@ -1,5 +1,7 @@
 #include "kgc/kgcd.hpp"
 
+#include <mutex>
+
 namespace mccls::kgc {
 
 namespace {
@@ -49,20 +51,27 @@ Kgcd::EnrollOutcome Kgcd::enroll(std::string_view id,
     return outcome;
   }
   const cls::Epoch epoch = directory_.epoch();
-  const DirStatus admitted = directory_.enroll(id, pk_bytes, epoch);
-  if (admitted != DirStatus::kOk) {
-    outcome.status = to_status(admitted);
-    return outcome;
-  }
-  // Decide-then-log: admission won the shard race, so this writer (and only
-  // this writer) logs the record. The response is withheld until the append
-  // is durable — acknowledged implies recoverable.
-  if (!store_.append(WalRecord{.type = WalRecordType::kEnroll,
-                               .epoch = epoch,
-                               .id = std::string(id),
-                               .pk_bytes = crypto::Bytes(pk_bytes.begin(), pk_bytes.end())})) {
-    outcome.status = KgcStatus::kStoreError;
-    return outcome;
+  {
+    // The mutation+append pair runs under the shared commit lock so a
+    // concurrent snapshot() (exclusive) can never export the directory state
+    // and truncate the WAL between the two — that would drop an acknowledged
+    // record from both.
+    std::shared_lock commit(commit_mutex_);
+    const DirStatus admitted = directory_.enroll(id, pk_bytes, epoch);
+    if (admitted != DirStatus::kOk) {
+      outcome.status = to_status(admitted);
+      return outcome;
+    }
+    // Decide-then-log: admission won the shard race, so this writer (and only
+    // this writer) logs the record. The response is withheld until the append
+    // is durable — acknowledged implies recoverable.
+    if (!store_.append(WalRecord{.type = WalRecordType::kEnroll,
+                                 .epoch = epoch,
+                                 .id = std::string(id),
+                                 .pk_bytes = crypto::Bytes(pk_bytes.begin(), pk_bytes.end())})) {
+      outcome.status = KgcStatus::kStoreError;
+      return outcome;
+    }
   }
   outcome.status = KgcStatus::kOk;
   outcome.epoch = epoch;
@@ -81,18 +90,26 @@ Kgcd::LookupOutcome Kgcd::lookup(std::string_view id) const {
 
 KgcStatus Kgcd::revoke(std::string_view id) {
   const cls::Epoch epoch = directory_.epoch();
-  const DirStatus status = directory_.revoke(id, epoch);
-  if (status != DirStatus::kOk) return to_status(status);
-  if (!store_.append(WalRecord{.type = WalRecordType::kRevoke,
-                               .epoch = epoch,
-                               .id = std::string(id)})) {
-    return KgcStatus::kStoreError;
+  {
+    std::shared_lock commit(commit_mutex_);
+    const DirStatus status = directory_.revoke(id, epoch);
+    if (status != DirStatus::kOk) return to_status(status);
+    if (!store_.append(WalRecord{.type = WalRecordType::kRevoke,
+                                 .epoch = epoch,
+                                 .id = std::string(id)})) {
+      return KgcStatus::kStoreError;
+    }
   }
   maybe_auto_snapshot();
   return KgcStatus::kOk;
 }
 
 std::optional<std::size_t> Kgcd::snapshot() {
+  // Exclusive: every in-flight mutator has either completed its append or
+  // not yet mutated the directory, so the exported entries, the captured
+  // sequence, and the WAL contents being truncated all describe the same
+  // committed prefix.
+  std::unique_lock commit(commit_mutex_);
   Snapshot snapshot;
   snapshot.applied_seq = store_.sequence();
   snapshot.entries = directory_.export_entries();

@@ -11,10 +11,12 @@
 //     the record is on disk (fsynced when configured);
 //   * visibility can precede durability by the width of the append, so a
 //     hard kill loses at most mutations whose responses were never sent;
-//   * snapshot() holds the append path closed while it dumps the directory,
-//     so a record is either in the snapshot or in the fresh WAL, never lost
-//     between them (re-applying an enroll is idempotent, which absorbs the
-//     one benign overlap).
+//   * snapshot() holds the append path closed while it dumps the directory:
+//     mutators hold a commit lock shared across their decide-then-log pair,
+//     snapshot() holds it exclusive across sequence capture + export + the
+//     snapshot write, so every acknowledged record is either in the snapshot
+//     or still in the WAL when the WAL is truncated — never between them —
+//     and applied_seq exactly matches the exported state.
 //
 // Issuance is epoch-scoped (cls/epoch.hpp): a partial private key is
 // extracted for the *scoped* identity "ID@epoch-N" at the daemon's current
@@ -27,6 +29,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -112,6 +115,10 @@ class Kgcd {
   KeyDirectory directory_;
   WalStore store_;
   RecoveryReport recovery_;
+  /// Shared: a mutator's directory-mutation + WAL-append pair. Exclusive:
+  /// snapshot()'s sequence + export + write, so no acknowledged record can
+  /// land between the exported state and the WAL truncation.
+  mutable std::shared_mutex commit_mutex_;
   std::atomic<std::uint64_t> appends_since_snapshot_{0};
 };
 

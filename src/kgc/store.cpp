@@ -259,12 +259,28 @@ bool WalStore::append(const WalRecord& record) {
   std::lock_guard lock(mutex_);
   if (wal_fd_ < 0) return false;
   const auto start = std::chrono::steady_clock::now();
+  // Frame boundary before this record: a failed write must not leave a torn
+  // half-frame mid-log, because recovery treats the first bad frame as
+  // end-of-log and would silently drop every acknowledged record after it.
+  const ::off_t base_off = ::lseek(wal_fd_, 0, SEEK_END);
+  if (base_off < 0) {
+    ::close(wal_fd_);
+    wal_fd_ = -1;  // poisoned: fail fast rather than acknowledge blindly
+    return false;
+  }
   std::size_t written = 0;
   while (written < frame.size()) {
     const ::ssize_t n =
         ::write(wal_fd_, frame.data() + written, frame.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // Roll back to the frame boundary; if even that fails, poison the
+      // store so later appends cannot land after the torn frame and be
+      // acknowledged yet unrecoverable.
+      if (written > 0 && ::ftruncate(wal_fd_, base_off) != 0) {
+        ::close(wal_fd_);
+        wal_fd_ = -1;
+      }
       return false;
     }
     written += static_cast<std::size_t>(n);
@@ -286,15 +302,37 @@ bool WalStore::write_snapshot(const Snapshot& snapshot) {
   const Bytes encoded = encode_snapshot(snapshot);
   std::lock_guard lock(mutex_);
   const std::string tmp = snapshot_path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out.write(reinterpret_cast<const char*>(encoded.data()),
-              static_cast<std::streamsize>(encoded.size()));
-    if (!out) return false;
+  // The WAL truncation below discards the only other copy of these records,
+  // so the snapshot must actually be on disk first: write+fsync the tmp
+  // file, rename, fsync the directory, and only then touch the WAL. (With
+  // fsync off the store never promised power-failure durability.)
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  while (written < encoded.size()) {
+    const ::ssize_t n = ::write(fd, encoded.data() + written, encoded.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
   }
+  if (config_.fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return false;
+  }
+  if (::close(fd) != 0) return false;
   std::error_code ec;
   fs::rename(tmp, snapshot_path_, ec);
   if (ec) return false;
+  if (config_.fsync) {
+    const int dir_fd = ::open(config_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd < 0) return false;
+    const bool dir_synced = ::fsync(dir_fd) == 0;
+    ::close(dir_fd);
+    if (!dir_synced) return false;
+  }
   // Snapshot durable -> the WAL's contents are folded in; restart the log.
   if (wal_fd_ >= 0 && ::ftruncate(wal_fd_, 0) != 0) return false;
   return true;

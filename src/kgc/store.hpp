@@ -156,13 +156,18 @@ class WalStore {
                          const std::function<void(const WalRecord&)>& on_record);
 
   /// Appends one framed record and makes it durable per the fsync policy.
-  /// Returns false on I/O failure (the caller should fail the mutation).
+  /// Returns false on I/O failure (the caller should fail the mutation). A
+  /// failed write is rolled back to the frame boundary — and the store is
+  /// poisoned (all later appends fail) if the rollback itself fails — so a
+  /// torn half-frame can never sit mid-log ahead of acknowledged records.
   /// Fsync latency is recorded into `metrics` when one is attached.
   bool append(const WalRecord& record);
 
-  /// Atomically replaces the snapshot (write temp + rename) and truncates
-  /// the WAL. Returns false on I/O failure, in which case the WAL is left
-  /// untouched (recovery will simply replay more records).
+  /// Atomically replaces the snapshot (write temp, fsync it, rename, fsync
+  /// the directory when the fsync policy is on) and only then truncates the
+  /// WAL, so a power cut never leaves both files empty. Returns false on I/O
+  /// failure, in which case the WAL is left untouched (recovery will simply
+  /// replay more records).
   bool write_snapshot(const Snapshot& snapshot);
 
   /// Records applied since recovery (snapshot seq + WAL replays + appends).

@@ -8,6 +8,7 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
@@ -15,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cls/mccls.hpp"
@@ -216,6 +218,67 @@ TEST(Kgcd, AutoSnapshotFoldsTheWalAtTheConfiguredCadence) {
   EXPECT_TRUE(fs::exists(fs::path(dir) / "snapshot.bin"));
   EXPECT_EQ(fs::file_size(fs::path(dir) / "wal.log"), 0u)
       << "the fourth append triggers a snapshot, which truncates the WAL";
+}
+
+// Regression for a lost-update race: snapshot() used to export the
+// directory and truncate the WAL without excluding concurrent mutators, so
+// an enroll that mutated + durably appended in that window was dropped from
+// both files — acknowledged, then gone after recovery. The commit lock must
+// make snapshot-vs-append atomic; this hammers the window and requires every
+// acknowledged enroll to survive a reboot.
+TEST(Kgcd, SnapshotRacingEnrollsNeverDropsAnAcknowledgedMutation) {
+  KgcdFixture f;
+  const std::string dir = fresh_dir("snaprace");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 12;
+
+  // Pre-generate key material: the fixture's rng is single-threaded.
+  std::vector<std::vector<Bytes>> pk_bytes(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      pk_bytes[static_cast<std::size_t>(t)].push_back(
+          f.scheme.derive_public(f.kgc.params(), f.rng.next_nonzero_fq()).to_bytes());
+    }
+  }
+  const auto id_for = [](int t, int i) {
+    return "t" + std::to_string(t) + "-n" + std::to_string(i);
+  };
+
+  {
+    const auto daemon = f.boot(dir);
+    std::atomic<bool> done{false};
+    std::thread snapper([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        EXPECT_TRUE(daemon->snapshot().has_value());
+      }
+    });
+    std::vector<std::thread> enrollers;
+    for (int t = 0; t < kThreads; ++t) {
+      enrollers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const auto outcome = daemon->enroll(
+              id_for(t, i), pk_bytes[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]);
+          EXPECT_EQ(outcome.status, KgcStatus::kOk) << id_for(t, i);
+        }
+      });
+    }
+    for (auto& thread : enrollers) thread.join();
+    done.store(true, std::memory_order_relaxed);
+    snapper.join();
+  }  // clean shutdown; recovery below reads only what the store persisted
+
+  const auto daemon = f.boot(dir);
+  EXPECT_EQ(daemon->directory().size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const auto lookup = daemon->lookup(id_for(t, i));
+      ASSERT_EQ(lookup.status, KgcStatus::kOk) << id_for(t, i);
+      EXPECT_EQ(lookup.pk_bytes,
+                pk_bytes[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)])
+          << id_for(t, i);
+    }
+  }
 }
 
 // ---------------------------------------------------- verify-by-identity
