@@ -6,7 +6,7 @@
 namespace mccls::cls {
 
 namespace {
-constexpr std::string_view kSeparator = "@epoch-";
+constexpr std::string_view kSeparator = kEpochSeparator;
 }
 
 std::string scoped_identity(std::string_view id, Epoch epoch) {

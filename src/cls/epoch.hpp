@@ -18,6 +18,11 @@ namespace mccls::cls {
 /// A revocation epoch (e.g. an hour/day counter in deployment).
 using Epoch = std::uint64_t;
 
+/// The scoping separator. Exported so admission layers (kgc wire decode,
+/// Kgcd::enroll) can reject identities that would make scoped_identity
+/// throw, instead of discovering the collision mid-request.
+inline constexpr std::string_view kEpochSeparator = "@epoch-";
+
 /// Canonical scoped identity "ID@epoch-N". The '@epoch-' separator cannot
 /// appear in the result of scoping (scoping twice throws), so scoped and
 /// unscoped identities never collide.

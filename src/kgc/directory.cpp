@@ -88,13 +88,17 @@ KeyDirectory::LookupResult KeyDirectory::lookup(std::string_view id) const {
                       .enrolled_epoch = it->second.enrolled_epoch};
 }
 
-std::optional<cls::PublicKey> KeyDirectory::resolve(std::string_view id) {
+svc::ResolveResult KeyDirectory::resolve(std::string_view id) {
+  // Every path out of the in-process directory is a *definitive* verdict —
+  // the key, or kNotVouched. Availability failures (kUnavailable/kTimeout)
+  // only arise in the wrappers layered above (see resolver.hpp).
+  //
   // Scoped identities resolve through their base entry, gated by the
   // verifier-side epoch policy; plain identities skip the policy.
   std::string_view base = id;
   if (const auto scoped = cls::parse_scoped_identity(id)) {
     if (!cls::epoch_acceptable(scoped->second, epoch(), config_.grace)) {
-      return std::nullopt;
+      return svc::ResolveResult::not_vouched();
     }
     base = id.substr(0, scoped->first.size());
   }
@@ -106,10 +110,13 @@ std::optional<cls::PublicKey> KeyDirectory::resolve(std::string_view id) {
     if (const auto it = shard.lru_index.find(base); it != shard.lru_index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       if (metrics_ != nullptr) metrics_->on_dir_hit();
-      return it->second->second;  // copy out under the lock (GtCache idiom)
+      // Copy out under the lock (GtCache idiom).
+      return svc::ResolveResult::ok(it->second->second);
     }
     const auto entry = shard.entries.find(std::string(base));
-    if (entry == shard.entries.end() || entry->second.revoked) return std::nullopt;
+    if (entry == shard.entries.end() || entry->second.revoked) {
+      return svc::ResolveResult::not_vouched();
+    }
     pk_bytes = entry->second.pk_bytes;
   }
 
@@ -118,15 +125,17 @@ std::optional<cls::PublicKey> KeyDirectory::resolve(std::string_view id) {
   // every worker resolving a cold signer on this shard.
   if (metrics_ != nullptr) metrics_->on_dir_miss();
   const auto pk = cls::PublicKey::from_bytes(pk_bytes);
-  if (!pk) return std::nullopt;  // unreachable for validated entries
+  if (!pk) return svc::ResolveResult::not_vouched();  // unreachable for validated entries
   std::lock_guard lock(shard.mutex);
   // Re-check under the lock: a revoke() that landed during the unlocked
   // decode already ran its cache_erase against a not-yet-cached id, so
   // inserting now would re-cache the revoked key until eviction.
   const auto entry = shard.entries.find(std::string(base));
-  if (entry == shard.entries.end() || entry->second.revoked) return std::nullopt;
+  if (entry == shard.entries.end() || entry->second.revoked) {
+    return svc::ResolveResult::not_vouched();
+  }
   cache_insert(shard, base, *pk);
-  return pk;
+  return svc::ResolveResult::ok(*pk);
 }
 
 void KeyDirectory::apply(const WalRecord& record) {

@@ -87,9 +87,13 @@ class KeyDirectory final : public svc::PkResolver {
 
   /// svc::PkResolver: decoded-key resolution through the LRU. Accepts plain
   /// identities and scoped "ID@epoch-N" identities; scoped ones additionally
-  /// require epoch_acceptable(N, current epoch, grace). nullopt on unknown,
-  /// revoked, or epoch-rejected signers.
-  std::optional<cls::PublicKey> resolve(std::string_view id) override;
+  /// require epoch_acceptable(N, current epoch, grace). Unknown, revoked and
+  /// epoch-rejected signers answer kNotVouched — a definitive trust verdict.
+  /// The in-process directory is always reachable, so it never answers
+  /// kUnavailable/kTimeout itself; those outcomes come from the transport or
+  /// fault wrappers (svc::FaultInjectingResolver, svc::ResilientResolver)
+  /// layered above it.
+  svc::ResolveResult resolve(std::string_view id) override;
 
   /// Replay hooks for WalStore::recover — identical admission rules to
   /// enroll/revoke, minus re-validation of keys the directory already

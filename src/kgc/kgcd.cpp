@@ -46,7 +46,7 @@ Kgcd::EnrollOutcome Kgcd::enroll(std::string_view id,
   // (scoped_identity would throw on a pre-scoped id — reject it here to keep
   // handle_frame total.)
   if (id.empty() || cls::parse_scoped_identity(id).has_value() ||
-      id.find("@epoch-") != std::string_view::npos) {
+      id.find(cls::kEpochSeparator) != std::string_view::npos) {
     outcome.status = KgcStatus::kInvalidKey;
     return outcome;
   }

@@ -17,7 +17,14 @@ bool read_header(crypto::ByteReader& reader, std::uint8_t kind) {
 bool request_shape_ok(KgcOp op, const std::string& id, const crypto::Bytes& pk) {
   switch (op) {
     case KgcOp::kEnroll:
-      return !id.empty() && !pk.empty();
+      // Enrollment takes the *base* identity; scoping ("ID@epoch-N") is the
+      // daemon's job, and cls::scoped_identity throws std::invalid_argument
+      // on an id already containing the separator. The daemon also guards
+      // (Kgcd::enroll), but a malformed frame should die at wire admission,
+      // not deep in request handling. Lookups of scoped identities stay
+      // legitimate — only enroll carries this restriction.
+      return !id.empty() && !pk.empty() &&
+             id.find(cls::kEpochSeparator) == std::string::npos;
     case KgcOp::kLookup:
     case KgcOp::kRevoke:
       return !id.empty() && pk.empty();

@@ -157,6 +157,13 @@ std::size_t emit_builtin_corpus(const std::string& dir) {
     emit("wire_request", "trailing_garbage", false, b);
   }
 
+  {  // a v1 frame: the version was bumped when kUnavailable was added, so
+     // yesterday's wire bytes must reject rather than silently misparse
+    Bytes b = valid_request;
+    b[0] = 0x01;
+    emit("wire_request", "previous_version", false, b);
+  }
+
   svc::VerifyResponse response;
   response.request_id = 7;
   response.status = svc::Status::kVerified;
@@ -166,6 +173,12 @@ std::size_t emit_builtin_corpus(const std::string& dir) {
     Bytes b = valid_response;
     b.back() = 0x09;
     emit("wire_response", "status_out_of_range", false, b);
+  }
+  {  // the v2 addition: kUnavailable (5) is a legal status byte
+    svc::VerifyResponse unavailable = response;
+    unavailable.status = svc::Status::kUnavailable;
+    emit("wire_response", "unavailable_status", true,
+         svc::encode_response(unavailable));
   }
 
   // Key files. Master key: exact-32-byte canonical scalar.
@@ -238,6 +251,15 @@ std::size_t emit_builtin_corpus(const std::string& dir) {
       Bytes b = valid_lookup;
       stamp_u32(b, 11, 0xFFFFFFFFu);
       emit("kgc_request", "oversized_id_prefix", false, b);
+    }
+    {  // enrolling an already-scoped identity: scoped_identity would throw
+       // on "a@epoch-1", so the decoder rejects it at wire admission
+      kgc::KgcRequest prescoped{.op = kgc::KgcOp::kEnroll, .request_id = 7,
+                                .id = "a@epoch-1"};
+      prescoped.pk_bytes = Bytes{0x01};
+      prescoped.pk_bytes.insert(prescoped.pk_bytes.end(), g_bytes.begin(), g_bytes.end());
+      emit("kgc_request", "enroll_prescoped_id", false,
+           kgc::encode_kgc_request(prescoped));
     }
   }
   {

@@ -218,7 +218,7 @@ std::vector<FuzzTarget> build_targets() {
       [](sim::Rng& rng) {
         svc::VerifyResponse resp;
         resp.request_id = rng.next_u64();
-        resp.status = static_cast<svc::Status>(rng.uniform_int(5));
+        resp.status = static_cast<svc::Status>(rng.uniform_int(6));  // incl. kUnavailable
         return svc::encode_response(resp);
       },
       [](std::span<const std::uint8_t> b) { return svc::decode_response(b); },
@@ -291,6 +291,11 @@ std::vector<FuzzTarget> build_targets() {
         // enroll carries a key, snapshot carries nothing.
         if (req.op != kgc::KgcOp::kSnapshot) req.id = gen_id(rng);
         if (req.op == kgc::KgcOp::kEnroll) {
+          // Enroll ids must be unscoped (the decoder rejects the separator);
+          // gen_id's alphabet can, very rarely, spell it out.
+          while (req.id.find(cls::kEpochSeparator) != std::string::npos) {
+            req.id = gen_id(rng);
+          }
           req.pk_bytes = sample_public_key(rng, 1 + rng.uniform_int(2)).to_bytes();
         }
         return kgc::encode_kgc_request(req);

@@ -7,7 +7,9 @@
 // Each case carries its own DRBG seed, so key material, nonces and messages
 // all replay from the harness seed contract (see property.hpp).
 #include <atomic>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "cls/batch.hpp"
 #include "cls/mccls.hpp"
@@ -222,6 +224,76 @@ void register_scheme_properties() {
           }
         }
         return true;
+      });
+
+  // ---- resolver pipeline: breaker-state + anti-conflation invariants -------
+  // Under any seeded fault sequence: (1) the wrapper's outcome is kOk iff a
+  // key is attached, (2) a vouching inner resolver NEVER surfaces as
+  // kNotVouched through injected faults — transient failure must not read
+  // as a trust verdict, (3) breaker_state() is always a legal state, and
+  // (4) once the fault clears the pipeline recovers to kOk with the breaker
+  // closed (liveness).
+  define_property<SchemeCase>(
+      "scheme", "resolver_breaker_invariants", 2, scheme_case_gen(16),
+      [](const SchemeCase& c) {
+        crypto::HmacDrbg drbg(c.drbg_seed);
+        const cls::Kgc kgc = cls::Kgc::setup(drbg);
+        const cls::Mccls mccls;
+        const cls::PublicKey pk =
+            mccls.derive_public(kgc.params(), drbg.next_nonzero_fq());
+
+        struct VouchingResolver final : svc::PkResolver {
+          cls::PublicKey pk;
+          explicit VouchingResolver(cls::PublicKey k) : pk(std::move(k)) {}
+          svc::ResolveResult resolve(std::string_view) override {
+            return svc::ResolveResult::ok(pk);
+          }
+        };
+        VouchingResolver inner(pk);
+
+        sim::Rng rng(c.drbg_seed);
+        svc::FaultConfig fault;
+        fault.fail_rate = rng.uniform();
+        fault.seed = rng.next_u64();
+        svc::FaultInjectingResolver faulty(&inner, fault);
+
+        svc::ResilientConfig config;
+        config.max_attempts = 1 + static_cast<unsigned>(rng.uniform_int(3));
+        config.backoff_base = std::chrono::microseconds(1);
+        config.backoff_cap = std::chrono::microseconds(20);
+        config.breaker_consecutive = 2 + static_cast<unsigned>(rng.uniform_int(6));
+        config.breaker_open = std::chrono::microseconds(200);
+        config.half_open_probes = 1 + static_cast<unsigned>(rng.uniform_int(2));
+        config.seed = rng.next_u64();
+        svc::ResilientResolver resolver(&faulty, config);
+
+        for (int i = 0; i < 48; ++i) {
+          const svc::ResolveResult result = resolver.resolve(c.id);
+          if (result.has_key() != (result.outcome == svc::ResolveOutcome::kOk)) {
+            return false;
+          }
+          if (result.outcome == svc::ResolveOutcome::kNotVouched) {
+            return false;  // fault laundered into a trust verdict
+          }
+          const auto state = resolver.breaker_state();
+          if (state != svc::BreakerState::kClosed && state != svc::BreakerState::kOpen &&
+              state != svc::BreakerState::kHalfOpen) {
+            return false;
+          }
+        }
+
+        // Liveness: fault cleared, the breaker must recover and serve keys.
+        faulty.set_fail_rate(0.0);
+        bool recovered = false;
+        for (int i = 0; i < 200 && !recovered; ++i) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          // Closed, not just a successful half-open probe: with
+          // half_open_probes > 1 the first kOk still leaves the breaker
+          // half-open.
+          recovered = resolver.resolve(c.id).outcome == svc::ResolveOutcome::kOk &&
+                      resolver.breaker_state() == svc::BreakerState::kClosed;
+        }
+        return recovered;
       });
 }
 

@@ -51,6 +51,46 @@ class ServiceMetrics {
   void on_dir_miss() { dir_misses_.fetch_add(1, std::memory_order_relaxed); }
   /// verify-by-identity request whose signer the directory could not vouch for.
   void on_unknown_signer() { unknown_signer_.fetch_add(1, std::memory_order_relaxed); }
+  /// verify-by-identity request answered kUnavailable (transient resolver
+  /// failure — a retryable availability outcome, never a trust verdict).
+  void on_unavailable() { unavailable_.fetch_add(1, std::memory_order_relaxed); }
+
+  // -- resolver pipeline (failure-typed contract + ResilientResolver) -------
+  /// One outcome counter per ResolveOutcome value, recorded by the service
+  /// for whatever resolver it is configured with.
+  void on_resolve_ok() { resolve_ok_.fetch_add(1, std::memory_order_relaxed); }
+  void on_resolve_not_vouched() {
+    resolve_not_vouched_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_resolve_unavailable() {
+    resolve_unavailable_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_resolve_timeout() {
+    resolve_timeout_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Wall time of one top-level resolve() call (retries/backoff included).
+  void on_resolve_latency_ns(std::uint64_t ns) {
+    resolve_hist_[log2_bucket(ns, kLatencyBuckets)].fetch_add(1,
+                                                             std::memory_order_relaxed);
+  }
+  /// ResilientResolver machinery: one retry sleep taken.
+  void on_resolve_retry() { resolve_retries_.fetch_add(1, std::memory_order_relaxed); }
+  /// Call answered kUnavailable without touching the inner resolver because
+  /// the breaker was open (or a half-open probe was already out).
+  void on_breaker_fast_fail() {
+    breaker_fast_fails_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Breaker transitioned (back) to open.
+  void on_breaker_trip() { breaker_trips_.fetch_add(1, std::memory_order_relaxed); }
+  /// Gauge: current BreakerState as its numeric value (0 closed, 1 open,
+  /// 2 half-open).
+  void set_breaker_state(std::uint8_t state) {
+    breaker_state_.store(state, std::memory_order_relaxed);
+  }
+  /// kNotVouched verdict replayed from the negative TTL cache.
+  void on_negative_cache_hit() {
+    negative_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// One durable WAL append: fsync (or write, when fsync is off) latency.
   void on_wal_fsync_ns(std::uint64_t ns) {
     wal_fsyncs_.fetch_add(1, std::memory_order_relaxed);
@@ -77,12 +117,24 @@ class ServiceMetrics {
     std::uint64_t dir_hits = 0;
     std::uint64_t dir_misses = 0;
     std::uint64_t unknown_signer = 0;
+    std::uint64_t unavailable = 0;
     std::uint64_t wal_fsyncs = 0;
+    std::uint64_t resolve_ok = 0;
+    std::uint64_t resolve_not_vouched = 0;
+    std::uint64_t resolve_unavailable = 0;
+    std::uint64_t resolve_timeout = 0;
+    std::uint64_t resolve_retries = 0;
+    std::uint64_t breaker_fast_fails = 0;
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_state = 0;
+    std::uint64_t negative_cache_hits = 0;
     std::array<std::uint64_t, kBatchBuckets> batch_hist{};
     double latency_p50_ns = 0;
     double latency_p99_ns = 0;
     double wal_fsync_p50_ns = 0;
     double wal_fsync_p99_ns = 0;
+    double resolve_p50_ns = 0;
+    double resolve_p99_ns = 0;
     /// Fraction of directory resolutions served from the decoded-key cache.
     [[nodiscard]] double dir_hit_rate() const {
       const std::uint64_t total = dir_hits + dir_misses;
@@ -112,7 +164,17 @@ class ServiceMetrics {
     s.dir_hits = dir_hits_.load(std::memory_order_relaxed);
     s.dir_misses = dir_misses_.load(std::memory_order_relaxed);
     s.unknown_signer = unknown_signer_.load(std::memory_order_relaxed);
+    s.unavailable = unavailable_.load(std::memory_order_relaxed);
     s.wal_fsyncs = wal_fsyncs_.load(std::memory_order_relaxed);
+    s.resolve_ok = resolve_ok_.load(std::memory_order_relaxed);
+    s.resolve_not_vouched = resolve_not_vouched_.load(std::memory_order_relaxed);
+    s.resolve_unavailable = resolve_unavailable_.load(std::memory_order_relaxed);
+    s.resolve_timeout = resolve_timeout_.load(std::memory_order_relaxed);
+    s.resolve_retries = resolve_retries_.load(std::memory_order_relaxed);
+    s.breaker_fast_fails = breaker_fast_fails_.load(std::memory_order_relaxed);
+    s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+    s.breaker_state = breaker_state_.load(std::memory_order_relaxed);
+    s.negative_cache_hits = negative_cache_hits_.load(std::memory_order_relaxed);
     std::array<std::uint64_t, kLatencyBuckets> lat{};
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
@@ -132,6 +194,14 @@ class ServiceMetrics {
     }
     s.wal_fsync_p50_ns = percentile(fsync, fsync_total, 0.50);
     s.wal_fsync_p99_ns = percentile(fsync, fsync_total, 0.99);
+    std::array<std::uint64_t, kLatencyBuckets> resolve{};
+    std::uint64_t resolve_total = 0;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      resolve[i] = resolve_hist_[i].load(std::memory_order_relaxed);
+      resolve_total += resolve[i];
+    }
+    s.resolve_p50_ns = percentile(resolve, resolve_total, 0.50);
+    s.resolve_p99_ns = percentile(resolve, resolve_total, 0.99);
     return s;
   }
 
@@ -160,9 +230,22 @@ class ServiceMetrics {
     out += buf;
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"wal_fsync_p99\", \"iters\": %llu, \"median_ns\": %.1f, "
-                  "\"mean_ns\": %.1f, \"min_ns\": %.1f}\n",
+                  "\"mean_ns\": %.1f, \"min_ns\": %.1f},\n",
                   static_cast<unsigned long long>(s.wal_fsyncs), s.wal_fsync_p99_ns,
                   s.wal_fsync_p99_ns, s.wal_fsync_p99_ns);
+    out += buf;
+    const unsigned long long resolves =
+        static_cast<unsigned long long>(s.resolve_ok + s.resolve_not_vouched +
+                                        s.resolve_unavailable + s.resolve_timeout);
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"resolve_p50\", \"iters\": %llu, \"median_ns\": %.1f, "
+                  "\"mean_ns\": %.1f, \"min_ns\": %.1f},\n",
+                  resolves, s.resolve_p50_ns, s.resolve_p50_ns, s.resolve_p50_ns);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"resolve_p99\", \"iters\": %llu, \"median_ns\": %.1f, "
+                  "\"mean_ns\": %.1f, \"min_ns\": %.1f}\n",
+                  resolves, s.resolve_p99_ns, s.resolve_p99_ns, s.resolve_p99_ns);
     out += buf;
     out += "  ],\n  \"derived\": {\n";
     const auto counter = [&](const char* key, double value, bool last = false) {
@@ -184,13 +267,25 @@ class ServiceMetrics {
     counter("dir_misses", static_cast<double>(s.dir_misses));
     counter("dir_hit_rate", s.dir_hit_rate());
     counter("unknown_signer", static_cast<double>(s.unknown_signer));
+    counter("unavailable", static_cast<double>(s.unavailable));
+    counter("resolve_ok", static_cast<double>(s.resolve_ok));
+    counter("resolve_not_vouched", static_cast<double>(s.resolve_not_vouched));
+    counter("resolve_unavailable", static_cast<double>(s.resolve_unavailable));
+    counter("resolve_timeout", static_cast<double>(s.resolve_timeout));
+    counter("resolve_retries", static_cast<double>(s.resolve_retries));
+    counter("breaker_fast_fails", static_cast<double>(s.breaker_fast_fails));
+    counter("breaker_trips", static_cast<double>(s.breaker_trips));
+    counter("breaker_state", static_cast<double>(s.breaker_state));
+    counter("negative_cache_hits", static_cast<double>(s.negative_cache_hits));
     counter("wal_fsyncs", static_cast<double>(s.wal_fsyncs), true);
     out += "  }\n}\n";
     return out;
   }
 
- private:
-  /// floor(log2(v)) clamped to [0, buckets); v == 0 lands in bucket 0.
+  /// floor(log2(v)) clamped to [0, buckets); v == 0 lands in bucket 0, so
+  /// bucket 0 covers [0, 2) while every later bucket i covers [2^i, 2^{i+1}).
+  /// Public: the bucket boundaries are part of the dump's meaning and tests
+  /// pin them.
   static std::size_t log2_bucket(std::uint64_t v, std::size_t buckets) {
     std::size_t b = 0;
     while (v > 1 && b + 1 < buckets) {
@@ -200,6 +295,16 @@ class ServiceMetrics {
     return b;
   }
 
+  /// Representative value reported for bucket i: the midpoint 1.0 for bucket
+  /// 0 (whose honest range is [0, 2) — it absorbs v == 0, so the geometric
+  /// midpoint of [1, 2) would overstate zero-valued samples), and the
+  /// geometric midpoint 1.5 * 2^i of [2^i, 2^{i+1}) for every later bucket.
+  static double bucket_midpoint(std::size_t i) {
+    if (i == 0) return 1.0;
+    return static_cast<double>(std::uint64_t{1} << i) * 1.5;
+  }
+
+ private:
   template <std::size_t N>
   static double percentile(const std::array<std::uint64_t, N>& hist, std::uint64_t total,
                            double q) {
@@ -208,10 +313,7 @@ class ServiceMetrics {
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < N; ++i) {
       seen += hist[i];
-      if (static_cast<double>(seen) >= target) {
-        // Report the bucket's geometric midpoint: [2^i, 2^{i+1}).
-        return static_cast<double>(std::uint64_t{1} << i) * 1.5;
-      }
+      if (static_cast<double>(seen) >= target) return bucket_midpoint(i);
     }
     return static_cast<double>(std::uint64_t{1} << (N - 1));
   }
@@ -222,10 +324,15 @@ class ServiceMetrics {
       single_verifies_{0};
   std::atomic<std::uint64_t> queue_depth_peak_{0};
   std::atomic<std::uint64_t> dir_hits_{0}, dir_misses_{0}, unknown_signer_{0},
-      wal_fsyncs_{0};
+      unavailable_{0}, wal_fsyncs_{0};
+  std::atomic<std::uint64_t> resolve_ok_{0}, resolve_not_vouched_{0},
+      resolve_unavailable_{0}, resolve_timeout_{0}, resolve_retries_{0};
+  std::atomic<std::uint64_t> breaker_fast_fails_{0}, breaker_trips_{0},
+      breaker_state_{0}, negative_cache_hits_{0};
   std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_hist_{};
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_{};
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> wal_fsync_hist_{};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> resolve_hist_{};
 };
 
 }  // namespace mccls::svc

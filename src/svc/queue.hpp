@@ -8,6 +8,25 @@
 // coalescer wants runs, not single items), so the lock is taken once per
 // drained chunk, not once per element — queue overhead is noise next to a
 // ~1 ms pairing.
+//
+// Shutdown comes in two flavors, and the distinction matters because an
+// accepted item carries a promise (the service owes it a completion):
+//
+//   close()        — ends *admission*: try_push fails from now on, but
+//                    consumers keep receiving the backlog until it is empty,
+//                    then observe end-of-stream. The graceful path.
+//   stop_token     — ends *waiting*, not *draining*: a stop request wakes
+//                    blocked consumers, but pop()/drain() still hand out any
+//                    items already accepted and only report end-of-stream
+//                    once the queue is empty. A stop can therefore never
+//                    silently abandon accepted work — the consumer decides
+//                    when to quit, and it always gets the chance to finish
+//                    the backlog first.
+//
+// Note stop alone does NOT end admission; a producer racing a stop can still
+// push (and that item will be drained). Pair request_stop() with close()
+// when admission must end too — VerifyService::shutdown() closes first,
+// then stops.
 #pragma once
 
 #include <condition_variable>
@@ -40,14 +59,17 @@ class BoundedQueue {
     return true;
   }
 
-  /// Blocks until an item is available; nullopt once the queue is closed and
-  /// drained, or `stop` is requested.
+  /// Blocks until an item is available; nullopt once the queue is empty AND
+  /// no more items can be waited for (closed, or `stop` requested). A stop
+  /// request with items still queued drains them first — see the file
+  /// comment's stop-vs-close contract.
   std::optional<T> pop(std::stop_token stop) {
     std::unique_lock lock(mutex_);
-    if (!ready_.wait(lock, stop, [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;  // stop requested while empty
-    }
-    if (items_.empty()) return std::nullopt;  // closed and drained
+    // The wait's return value is deliberately ignored: whether it ended by
+    // predicate or by stop, the backlog decides — accepted items are always
+    // handed out before end-of-stream is reported.
+    ready_.wait(lock, stop, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed-and-drained or stopped-empty
     T out = std::move(items_.front());
     items_.pop_front();
     return out;
@@ -55,13 +77,13 @@ class BoundedQueue {
 
   /// Blocks for the first item, then greedily moves up to `max` immediately
   /// available items into `out` (appending). Returns false — with `out`
-  /// unmodified — once closed-and-drained or stopped; a worker loop can use
-  /// the return value as its run condition.
+  /// unmodified — only once the queue is empty and closed/stopped; like
+  /// pop(), a stop request still drains the remaining backlog first, so a
+  /// worker loop using the return value as its run condition finishes every
+  /// accepted job before exiting.
   bool drain(std::vector<T>& out, std::size_t max, std::stop_token stop) {
     std::unique_lock lock(mutex_);
-    if (!ready_.wait(lock, stop, [&] { return closed_ || !items_.empty(); })) {
-      return false;
-    }
+    ready_.wait(lock, stop, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;
     const std::size_t n = std::min(max, items_.size());
     for (std::size_t i = 0; i < n; ++i) {

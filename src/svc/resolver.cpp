@@ -1,0 +1,239 @@
+#include "svc/resolver.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace mccls::svc {
+
+// ---------------------------------------------------------------------------
+// FaultInjectingResolver
+
+FaultInjectingResolver::FaultInjectingResolver(PkResolver* inner, FaultConfig config)
+    : inner_(inner), config_(config), rng_(config.seed) {}
+
+ResolveResult FaultInjectingResolver::resolve(std::string_view id) {
+  bool inject = false;
+  std::uint32_t stall_ms = 0;
+  {
+    std::lock_guard lock(mutex_);
+    stall_ms = config_.stall_ms;
+    inject = rng_.chance(config_.fail_rate);
+    if (inject) {
+      ++injected_;
+    } else {
+      ++forwarded_;
+    }
+  }
+  // The stall applies to injected failures too: a dead remote directory
+  // costs a timeout's worth of waiting, not an instant error.
+  if (stall_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  if (inject) return ResolveResult::unavailable();
+  return inner_ != nullptr ? inner_->resolve(id) : ResolveResult::not_vouched();
+}
+
+void FaultInjectingResolver::set_fail_rate(double rate) {
+  std::lock_guard lock(mutex_);
+  config_.fail_rate = rate;
+}
+
+void FaultInjectingResolver::set_stall_ms(std::uint32_t ms) {
+  std::lock_guard lock(mutex_);
+  config_.stall_ms = ms;
+}
+
+std::uint64_t FaultInjectingResolver::injected_failures() const {
+  std::lock_guard lock(mutex_);
+  return injected_;
+}
+
+std::uint64_t FaultInjectingResolver::forwarded() const {
+  std::lock_guard lock(mutex_);
+  return forwarded_;
+}
+
+// ---------------------------------------------------------------------------
+// ResilientResolver
+
+ResilientResolver::ResilientResolver(PkResolver* inner, ResilientConfig config)
+    : inner_(inner), config_(config), rng_(sim::Rng(config.seed).fork("backoff")) {
+  if (config_.max_attempts == 0) config_.max_attempts = 1;
+  if (config_.breaker_window == 0) config_.breaker_window = 1;
+  if (config_.breaker_min_samples == 0) config_.breaker_min_samples = 1;
+  if (config_.half_open_probes == 0) config_.half_open_probes = 1;
+  window_.assign(config_.breaker_window, 0);
+}
+
+BreakerState ResilientResolver::breaker_state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+void ResilientResolver::clear_negative_cache() {
+  std::lock_guard lock(mutex_);
+  negative_.clear();
+  negative_lru_.clear();
+}
+
+ResilientResolver::Admission ResilientResolver::admit(Clock::time_point now) {
+  // Caller holds mutex_.
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Admission{.allowed = true, .probe = false};
+    case BreakerState::kOpen:
+      if (now - opened_at_ < config_.breaker_open) return Admission{};
+      // Open window elapsed: move to half-open and admit this call as the
+      // probe that decides whether the directory has recovered.
+      state_ = BreakerState::kHalfOpen;
+      half_open_successes_ = 0;
+      probe_in_flight_ = false;
+      if (metrics_ != nullptr) {
+        metrics_->set_breaker_state(static_cast<std::uint8_t>(state_));
+      }
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return Admission{};  // one probe at a time
+      probe_in_flight_ = true;
+      return Admission{.allowed = true, .probe = true};
+  }
+  return Admission{};
+}
+
+void ResilientResolver::trip(Clock::time_point now) {
+  // Caller holds mutex_.
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  window_.assign(config_.breaker_window, 0);
+  window_next_ = 0;
+  window_filled_ = 0;
+  if (metrics_ != nullptr) {
+    metrics_->on_breaker_trip();
+    metrics_->set_breaker_state(static_cast<std::uint8_t>(state_));
+  }
+}
+
+void ResilientResolver::close() {
+  // Caller holds mutex_.
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  probe_in_flight_ = false;
+  window_.assign(config_.breaker_window, 0);
+  window_next_ = 0;
+  window_filled_ = 0;
+  if (metrics_ != nullptr) {
+    metrics_->set_breaker_state(static_cast<std::uint8_t>(state_));
+  }
+}
+
+void ResilientResolver::on_attempt_failure(bool probe, Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The recovery probe failed: the directory is still down. Reopen and
+    // restart the open window.
+    if (probe) probe_in_flight_ = false;
+    trip(now);
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;  // already open: nothing to count
+  ++consecutive_failures_;
+  window_[window_next_] = 1;
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_filled_ = std::min(window_filled_ + 1, window_.size());
+  const auto failures = static_cast<unsigned>(
+      std::count(window_.begin(), window_.begin() + static_cast<std::ptrdiff_t>(window_filled_), 1));
+  const bool consecutive_trip = consecutive_failures_ >= config_.breaker_consecutive;
+  const bool rate_trip =
+      window_filled_ >= config_.breaker_min_samples &&
+      static_cast<double>(failures) >= config_.breaker_error_rate *
+                                           static_cast<double>(window_filled_);
+  if (consecutive_trip || rate_trip) trip(now);
+}
+
+void ResilientResolver::on_attempt_success(bool probe) {
+  std::lock_guard lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen && probe) {
+    probe_in_flight_ = false;
+    if (++half_open_successes_ >= config_.half_open_probes) close();
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;
+  consecutive_failures_ = 0;
+  window_[window_next_] = 0;
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_filled_ = std::min(window_filled_ + 1, window_.size());
+}
+
+ResolveResult ResilientResolver::resolve(std::string_view id) {
+  const Clock::time_point start = Clock::now();
+  Admission admission;
+  {
+    std::lock_guard lock(mutex_);
+    // Negative cache first: a fresh kNotVouched verdict answers without
+    // touching the breaker or the inner resolver — this is what keeps a
+    // revoked signer answering kUnknownSigner even mid-outage.
+    if (const auto it = negative_.find(std::string(id)); it != negative_.end()) {
+      if (start < it->second.expires) {
+        if (metrics_ != nullptr) metrics_->on_negative_cache_hit();
+        return ResolveResult::not_vouched();
+      }
+      negative_lru_.erase(it->second.lru_it);
+      negative_.erase(it);
+    }
+    admission = admit(start);
+  }
+  if (!admission.allowed) {
+    if (metrics_ != nullptr) metrics_->on_breaker_fast_fail();
+    return ResolveResult::unavailable();
+  }
+
+  ResolveResult result = ResolveResult::unavailable();
+  for (unsigned attempt = 0;; ++attempt) {
+    const Clock::time_point t0 = Clock::now();
+    result = inner_ != nullptr ? inner_->resolve(id) : ResolveResult::not_vouched();
+    if (Clock::now() - t0 > config_.call_deadline) {
+      // Late answers are classified kTimeout even when a key arrived: the
+      // deadline is the contract, and an unbounded "eventually" is exactly
+      // what this wrapper exists to prevent.
+      result = ResolveResult::timeout();
+    }
+    if (!result.transient()) {
+      on_attempt_success(admission.probe);
+      break;
+    }
+    on_attempt_failure(admission.probe, Clock::now());
+    if (attempt + 1 >= config_.max_attempts) break;
+    std::chrono::nanoseconds backoff{};
+    {
+      std::lock_guard lock(mutex_);
+      if (state_ != BreakerState::kClosed && !admission.probe) break;
+      if (state_ == BreakerState::kOpen) break;  // probe's failure reopened it
+      // Full jitter: uniform in (0, min(cap, base * 2^attempt)].
+      const double cap = static_cast<double>(
+          std::min(config_.backoff_cap.count(),
+                   config_.backoff_base.count() << std::min(attempt, 30u)));
+      backoff = std::chrono::nanoseconds(
+          1 + static_cast<std::int64_t>(rng_.uniform() * cap));
+    }
+    if (metrics_ != nullptr) metrics_->on_resolve_retry();
+    std::this_thread::sleep_for(backoff);
+  }
+
+  if (result.outcome == ResolveOutcome::kNotVouched) {
+    std::lock_guard lock(mutex_);
+    if (config_.negative_capacity > 0 &&
+        negative_.find(std::string(id)) == negative_.end()) {
+      if (negative_.size() >= config_.negative_capacity) {
+        negative_.erase(negative_lru_.back());
+        negative_lru_.pop_back();
+      }
+      negative_lru_.emplace_front(id);
+      negative_.emplace(std::string(id),
+                        NegativeEntry{.expires = Clock::now() + config_.negative_ttl,
+                                      .lru_it = negative_lru_.begin()});
+    }
+  }
+  return result;
+}
+
+}  // namespace mccls::svc

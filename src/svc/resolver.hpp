@@ -1,4 +1,5 @@
-// Identity→public-key resolution interface for verify-by-identity requests.
+// Identity→public-key resolution for verify-by-identity requests, with a
+// failure-typed contract and the resilience machinery around it.
 //
 // A VerifyRequest can arrive without the signer's public key (wire kind 3);
 // the service then asks its configured PkResolver to vouch for the signer.
@@ -6,27 +7,229 @@
 // validating key directory — but the interface lives here so svc does not
 // depend on the kgc subsystem (the dependency points the other way).
 //
-// Contract: resolve() is called from worker threads concurrently and must be
-// thread-safe. It returns the directory's public key for `id` (decoded and
-// validated at enrollment time), or nullopt when the directory cannot vouch
-// for the signer — unknown, revoked, or epoch-scoped outside the acceptance
-// window. A nullopt resolution answers the request with
-// Status::kUnknownSigner without attempting verification.
+// The contract distinguishes *trust* verdicts from *availability* failures,
+// because conflating them turns a stalled directory into a forged revocation:
+// answering kUnknownSigner (a cacheable trust verdict) for a transient fault
+// is exactly the availability→trust confusion Pakniat's CLS analysis warns
+// about. A resolver therefore answers one of four outcomes:
+//
+//   kOk          — here is the validated key; verify the signature.
+//   kNotVouched  — definitive: unknown, revoked, or epoch-rejected. The
+//                  service answers Status::kUnknownSigner.
+//   kUnavailable — transient: the directory could not be reached (remote
+//                  transport down, fault injected, breaker open). The
+//                  service answers the retryable Status::kUnavailable.
+//   kTimeout     — transient: the directory did not answer within the
+//                  caller's deadline. Also maps to Status::kUnavailable.
+//
+// resolve() is called from worker threads concurrently and must be
+// thread-safe.
+//
+// Composition (outermost first) on a degraded verifier:
+//
+//   VerifyService → ResilientResolver → FaultInjectingResolver → KeyDirectory
+//
+// ResilientResolver adds a per-call deadline, bounded retries with jittered
+// exponential backoff, a circuit breaker and a negative-result TTL cache on
+// top of any raw resolver; FaultInjectingResolver is the deterministic fault
+// model used by tests, bench_service's degraded series and the loadgens'
+// --fault mode.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "cls/keys.hpp"
+#include "sim/rng.hpp"
+#include "svc/metrics.hpp"
 
 namespace mccls::svc {
+
+/// Typed resolution outcome (see file comment). Wire values are load-bearing:
+/// metrics and the breaker classify kUnavailable/kTimeout as transient.
+enum class ResolveOutcome : std::uint8_t {
+  kOk = 0,           ///< key is present and validated
+  kNotVouched = 1,   ///< definitive trust verdict: do not verify
+  kUnavailable = 2,  ///< transient: resolver unreachable / fast-failed
+  kTimeout = 3,      ///< transient: resolver exceeded the call deadline
+};
+
+struct ResolveResult {
+  ResolveOutcome outcome = ResolveOutcome::kNotVouched;
+  /// Engaged iff outcome == kOk.
+  std::optional<cls::PublicKey> key;
+
+  static ResolveResult ok(cls::PublicKey pk) {
+    return ResolveResult{ResolveOutcome::kOk, std::move(pk)};
+  }
+  static ResolveResult not_vouched() { return ResolveResult{}; }
+  static ResolveResult unavailable() {
+    return ResolveResult{ResolveOutcome::kUnavailable, std::nullopt};
+  }
+  static ResolveResult timeout() {
+    return ResolveResult{ResolveOutcome::kTimeout, std::nullopt};
+  }
+
+  /// True for the retryable outcomes (kUnavailable, kTimeout) — the ones a
+  /// verifier must never launder into a trust verdict.
+  [[nodiscard]] bool transient() const {
+    return outcome == ResolveOutcome::kUnavailable || outcome == ResolveOutcome::kTimeout;
+  }
+  /// True iff a key was resolved (outcome == kOk).
+  [[nodiscard]] bool has_key() const { return key.has_value(); }
+};
 
 class PkResolver {
  public:
   virtual ~PkResolver() = default;
 
-  /// Thread-safe identity→key lookup; nullopt = cannot vouch for `id`.
-  virtual std::optional<cls::PublicKey> resolve(std::string_view id) = 0;
+  /// Thread-safe identity→key lookup. Must be total: every failure mode maps
+  /// to one of the four ResolveOutcome values, never an exception.
+  virtual ResolveResult resolve(std::string_view id) = 0;
+};
+
+/// Deterministic fault model wrapped around a real resolver: with
+/// probability `fail_rate` a call answers kUnavailable without consulting
+/// the inner resolver, and every forwarded call is first stalled `stall_ms`
+/// (which an upstream ResilientResolver deadline classifies as kTimeout).
+/// Draws come from sim::Rng, so a seed reproduces the exact fault sequence.
+/// Used by tests, bench_service's degraded series and `--fault` loadgen
+/// runs; fail rate and stall are mutable mid-run so a test can stage an
+/// outage and then clear it.
+struct FaultConfig {
+  double fail_rate = 0.0;      ///< P(kUnavailable) per call, in [0, 1]
+  std::uint32_t stall_ms = 0;  ///< sleep before answering (deadline fodder)
+  std::uint64_t seed = 0xFA17ED5EEDULL;
+};
+
+class FaultInjectingResolver final : public PkResolver {
+ public:
+  explicit FaultInjectingResolver(PkResolver* inner, FaultConfig config = {});
+
+  ResolveResult resolve(std::string_view id) override;
+
+  void set_fail_rate(double rate);
+  void set_stall_ms(std::uint32_t ms);
+  /// Calls answered kUnavailable by the fault model (not the inner resolver).
+  [[nodiscard]] std::uint64_t injected_failures() const;
+  /// Calls forwarded to the inner resolver.
+  [[nodiscard]] std::uint64_t forwarded() const;
+
+ private:
+  PkResolver* inner_;
+  mutable std::mutex mutex_;
+  FaultConfig config_;
+  sim::Rng rng_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+/// Circuit-breaker state (the breaker-state metrics gauge reports the
+/// numeric value).
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,    ///< normal operation; failures are being counted
+  kOpen = 1,      ///< fast-failing every call until the open window elapses
+  kHalfOpen = 2,  ///< letting one probe through; others still fast-fail
+};
+
+struct ResilientConfig {
+  /// Per-call deadline on the *inner* resolver: a call that takes longer is
+  /// classified kTimeout even if a result eventually arrived (the answer is
+  /// already late; honest deadline semantics keep tail latency bounded).
+  std::chrono::nanoseconds call_deadline = std::chrono::milliseconds(50);
+  /// Total attempts per resolve() (1 = no retry). Only transient outcomes
+  /// retry; kNotVouched is definitive and returns immediately.
+  unsigned max_attempts = 3;
+  /// Backoff before retry k is uniform in (0, min(cap, base * 2^k)] — "full
+  /// jitter", so a thundering herd of retries decorrelates. Deterministic
+  /// given `seed` (draws come from a forked sim::Rng stream).
+  std::chrono::nanoseconds backoff_base = std::chrono::microseconds(100);
+  std::chrono::nanoseconds backoff_cap = std::chrono::milliseconds(10);
+  /// Breaker trip condition 1: this many consecutive transient failures.
+  unsigned breaker_consecutive = 8;
+  /// Breaker trip condition 2: error rate over the last `breaker_window`
+  /// attempts reaches `breaker_error_rate`, once at least
+  /// `breaker_min_samples` attempts are in the window.
+  unsigned breaker_window = 32;
+  unsigned breaker_min_samples = 16;
+  double breaker_error_rate = 0.5;
+  /// How long the breaker fast-fails before letting a half-open probe out.
+  std::chrono::nanoseconds breaker_open = std::chrono::milliseconds(100);
+  /// Consecutive successful probes required to close again.
+  unsigned half_open_probes = 2;
+  /// Negative-result TTL cache: a kNotVouched verdict for an identity is
+  /// replayed from memory for `negative_ttl`, so a flood of lookups for one
+  /// revoked signer does not hammer the directory — and keeps answering
+  /// kUnknownSigner even while the directory is down. Transient outcomes
+  /// are never cached (that would launder an outage into a trust verdict).
+  std::size_t negative_capacity = 256;
+  std::chrono::nanoseconds negative_ttl = std::chrono::milliseconds(250);
+  /// Seed for the backoff-jitter stream.
+  std::uint64_t seed = 0x0BACC0FFULL;
+};
+
+/// Availability wrapper around any PkResolver (see file comment). All public
+/// methods are thread-safe; the inner resolver is called outside the
+/// internal lock, so a stalled inner call never blocks other workers'
+/// breaker checks or cache hits.
+class ResilientResolver final : public PkResolver {
+ public:
+  explicit ResilientResolver(PkResolver* inner, ResilientConfig config = {});
+
+  ResolveResult resolve(std::string_view id) override;
+
+  [[nodiscard]] BreakerState breaker_state() const;
+  /// Drops every cached negative verdict (tests; epoch rolls).
+  void clear_negative_cache();
+  /// Metrics sink for breaker/retry/cache instrumentation; not owned, may be
+  /// nullptr. The *outcome* counters are the caller's job (the service
+  /// records them for whatever resolver it talks to).
+  void set_metrics(ServiceMetrics* metrics) { metrics_ = metrics; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Admission {
+    bool allowed = false;
+    bool probe = false;  ///< admitted as the half-open probe
+  };
+
+  Admission admit(Clock::time_point now);
+  void on_attempt_failure(bool probe, Clock::time_point now);
+  void on_attempt_success(bool probe);
+  void trip(Clock::time_point now);
+  void close();
+
+  PkResolver* inner_;
+  ResilientConfig config_;
+  ServiceMetrics* metrics_ = nullptr;
+
+  mutable std::mutex mutex_;
+  sim::Rng rng_;
+  BreakerState state_ = BreakerState::kClosed;
+  Clock::time_point opened_at_{};
+  unsigned consecutive_failures_ = 0;
+  unsigned half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  /// Sliding outcome window: ring of 0 (success/definitive) / 1 (transient).
+  std::vector<std::uint8_t> window_;
+  std::size_t window_next_ = 0;
+  std::size_t window_filled_ = 0;
+  /// Negative cache: id → expiry, with an LRU list bounding capacity.
+  struct NegativeEntry {
+    Clock::time_point expires;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, NegativeEntry> negative_;
+  std::list<std::string> negative_lru_;  ///< front = most recently inserted
 };
 
 }  // namespace mccls::svc

@@ -34,6 +34,12 @@ VerifyService::VerifyService(const cls::SystemParams& params, ServiceConfig conf
   // SystemParams caches the comparison in a mutable field, which would be a
   // write-write race if first evaluated concurrently.
   (void)params_.p_is_generator();
+  // A ResilientResolver shares this service's metrics, so its breaker /
+  // retry / negative-cache counters land in the same BENCH dump as the
+  // per-outcome counters the service records itself.
+  if (auto* resilient = dynamic_cast<ResilientResolver*>(config_.resolver)) {
+    resilient->set_metrics(&metrics_);
+  }
   for (const std::string_view name : cls::scheme_names()) {
     schemes_.push_back(cls::make_scheme(name));
   }
@@ -103,19 +109,40 @@ void VerifyService::process_chunk(std::vector<Job>& jobs, crypto::HmacDrbg& rng)
   std::vector<bool> done(jobs.size(), false);
 
   // Resolve by-identity jobs before anything looks at their public key. The
-  // resolver (the kgcd directory) does its own caching; an identity it
-  // cannot vouch for — unknown, revoked, outside the epoch window, or no
-  // resolver configured — is answered without touching the signature.
+  // outcome type keeps trust and availability apart: a definitive
+  // kNotVouched (unknown, revoked, outside the epoch window, or no resolver
+  // configured) answers kUnknownSigner, while a transient failure
+  // (unreachable directory, deadline, open breaker) answers the retryable
+  // kUnavailable — a stalled directory must never read as a revocation.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (!jobs[i].request.by_identity) continue;
-    std::optional<cls::PublicKey> pk;
-    if (config_.resolver != nullptr) pk = config_.resolver->resolve(jobs[i].request.id);
-    if (!pk) {
-      finish(jobs[i], Status::kUnknownSigner);
-      done[i] = true;
-      continue;
+    const auto t0 = std::chrono::steady_clock::now();
+    ResolveResult resolved = config_.resolver != nullptr
+                                 ? config_.resolver->resolve(jobs[i].request.id)
+                                 : ResolveResult::not_vouched();
+    metrics_.on_resolve_latency_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    switch (resolved.outcome) {
+      case ResolveOutcome::kOk:
+        metrics_.on_resolve_ok();
+        jobs[i].request.public_key = std::move(*resolved.key);
+        continue;
+      case ResolveOutcome::kNotVouched:
+        metrics_.on_resolve_not_vouched();
+        finish(jobs[i], Status::kUnknownSigner);
+        break;
+      case ResolveOutcome::kUnavailable:
+        metrics_.on_resolve_unavailable();
+        finish(jobs[i], Status::kUnavailable);
+        break;
+      case ResolveOutcome::kTimeout:
+        metrics_.on_resolve_timeout();
+        finish(jobs[i], Status::kUnavailable);
+        break;
     }
-    jobs[i].request.public_key = std::move(*pk);
+    done[i] = true;
   }
 
   if (!config_.coalesce) {
@@ -198,6 +225,9 @@ void VerifyService::finish(Job& job, Status status) {
       break;
     case Status::kUnknownSigner:
       metrics_.on_unknown_signer();
+      break;
+    case Status::kUnavailable:
+      metrics_.on_unavailable();
       break;
   }
   metrics_.on_latency_ns(static_cast<std::uint64_t>(

@@ -99,7 +99,7 @@ std::optional<VerifyResponse> decode_response(std::span<const std::uint8_t> byte
   const auto request_id = reader.get_u64();
   const auto status = reader.get_u8();
   if (!request_id || !status || !reader.exhausted()) return std::nullopt;
-  if (*status > static_cast<std::uint8_t>(Status::kUnknownSigner)) return std::nullopt;
+  if (*status > static_cast<std::uint8_t>(Status::kUnavailable)) return std::nullopt;
   return VerifyResponse{.request_id = *request_id, .status = Status{*status}};
 }
 

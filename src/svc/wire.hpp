@@ -5,18 +5,23 @@
 // truncated, unknown-version and trailing-garbage inputs all yield nullopt,
 // never UB or exceptions.
 //
-//   request  := version:u8=1  kind:u8=1  request_id:u64  scheme:u8
+//   request  := version:u8=2  kind:u8=1  request_id:u64  scheme:u8
 //               field(identity)  field(public_key)  field(message)
 //               field(signature)
-//   by-id    := version:u8=1  kind:u8=3  request_id:u64  scheme:u8
+//   by-id    := version:u8=2  kind:u8=3  request_id:u64  scheme:u8
 //               field(identity)  field(message)  field(signature)
-//   response := version:u8=1  kind:u8=2  request_id:u64  status:u8
+//   response := version:u8=2  kind:u8=2  request_id:u64  status:u8
 //
 // `scheme` is the u8 index into cls::scheme_names() (Table 1 order), and
 // `field(x)` is a u32-length-prefixed byte string. Kind 3 (verify-by-
 // identity) omits the public key: the service resolves it from its
 // configured PkResolver (the kgcd directory) at verification time, and
-// answers kUnknownSigner when the directory cannot vouch for the identity.
+// answers kUnknownSigner when the directory definitively cannot vouch for
+// the identity — or the retryable kUnavailable when resolution failed
+// transiently (directory unreachable, deadline exceeded, breaker open).
+//
+// Version 2 added Status::kUnavailable; a v1 peer would misread status 5,
+// so the version byte was bumped and v1 frames are rejected.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +33,7 @@
 
 namespace mccls::svc {
 
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;  ///< v2: Status::kUnavailable
 
 /// Per-field size caps enforced by decode_request (first mutation-fuzz
 /// findings: a frame whose length prefix far exceeds any legitimate field —
@@ -49,8 +54,14 @@ enum class Status : std::uint8_t {
   kMalformed = 3,  ///< request frame undecodable or unknown scheme
   /// verify-by-identity only: the directory has no resolvable key for the
   /// signer (never enrolled, revoked, outside the epoch window, or the
-  /// service has no resolver configured).
+  /// service has no resolver configured). A definitive trust verdict.
   kUnknownSigner = 4,
+  /// verify-by-identity only: resolution failed *transiently* — directory
+  /// unreachable, per-call deadline exceeded, or circuit breaker open. The
+  /// client may retry; this is an availability outcome, never a statement
+  /// about the signer's standing (that would let an outage forge a
+  /// revocation).
+  kUnavailable = 5,
 };
 
 struct VerifyRequest {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "cls/mccls.hpp"
 
 namespace mccls::cls {
@@ -37,6 +39,54 @@ TEST(Epoch, AcceptancePolicy) {
   EXPECT_FALSE(epoch_acceptable(11, 10)) << "future epochs rejected";
   EXPECT_TRUE(epoch_acceptable(7, 10, 3));
   EXPECT_TRUE(epoch_acceptable(0, 0, 0));
+}
+
+TEST(Epoch, AcceptanceBoundaries) {
+  // epoch == now is always acceptable, even with zero grace.
+  EXPECT_TRUE(epoch_acceptable(10, 10, 0));
+  EXPECT_FALSE(epoch_acceptable(9, 10, 0)) << "grace 0 means current epoch only";
+  // Exactly at the grace boundary is acceptable; one past is not.
+  EXPECT_TRUE(epoch_acceptable(7, 10, 3));
+  EXPECT_FALSE(epoch_acceptable(6, 10, 3));
+  // Extremes of the Epoch domain: no overflow in the now - epoch arithmetic.
+  constexpr Epoch kMax = std::numeric_limits<Epoch>::max();
+  EXPECT_TRUE(epoch_acceptable(kMax, kMax));
+  EXPECT_TRUE(epoch_acceptable(kMax - 1, kMax));
+  EXPECT_FALSE(epoch_acceptable(0, kMax)) << "ancient epoch at max now";
+  EXPECT_FALSE(epoch_acceptable(kMax, 0)) << "future epoch from a fresh verifier";
+  EXPECT_TRUE(epoch_acceptable(0, kMax, kMax)) << "grace spanning the whole domain";
+}
+
+TEST(Epoch, ParseBoundaries) {
+  // The exported separator is the load-bearing constant enrollment guards
+  // key off (kgcd and kgc::wire reject pre-scoped enrollment ids with it).
+  EXPECT_EQ(kEpochSeparator, "@epoch-");
+
+  // Largest representable epoch round-trips; one past it overflows and
+  // rejects rather than wrapping.
+  constexpr Epoch kMax = std::numeric_limits<Epoch>::max();
+  const std::string max_scoped = scoped_identity("node", kMax);
+  const auto parsed_max = parse_scoped_identity(max_scoped);
+  ASSERT_TRUE(parsed_max.has_value());
+  EXPECT_EQ(parsed_max->second, kMax);
+  EXPECT_FALSE(parse_scoped_identity("node@epoch-18446744073709551616").has_value())
+      << "2^64 must overflow-reject, not wrap to 0";
+
+  // Leading zeros parse as their numeric value (from_chars semantics) — the
+  // scoped string is not canonical, but the epoch it names is unambiguous.
+  const auto zeros = parse_scoped_identity("alice@epoch-007");
+  ASSERT_TRUE(zeros.has_value());
+  EXPECT_EQ(zeros->first, "alice");
+  EXPECT_EQ(zeros->second, 7u);
+
+  // A separator with no identity in front of it is not a scoped identity.
+  EXPECT_FALSE(parse_scoped_identity("@epoch-").has_value());
+  EXPECT_FALSE(parse_scoped_identity("@epoch-0").has_value());
+  // Double-scoped strings reject on parse just as they throw on construction.
+  EXPECT_FALSE(parse_scoped_identity("a@epoch-1@epoch-2").has_value());
+  // Sign characters are not digits: from_chars on an unsigned Epoch refuses.
+  EXPECT_FALSE(parse_scoped_identity("alice@epoch--1").has_value());
+  EXPECT_FALSE(parse_scoped_identity("alice@epoch-+1").has_value());
 }
 
 TEST(Epoch, DistinctEpochsAreCryptographicallyDistinctIdentities) {

@@ -130,15 +130,15 @@ TEST(Kgcd, RevocationStopsResolutionAndReissuance) {
   const auto daemon = f.boot(fresh_dir("revoke"));
   const auto alice = f.enroll_user(*daemon, "alice");
 
-  EXPECT_TRUE(daemon->directory().resolve("alice").has_value());
+  EXPECT_TRUE(daemon->directory().resolve("alice").has_key());
   EXPECT_EQ(daemon->revoke("ghost"), KgcStatus::kUnknownId);
   EXPECT_EQ(daemon->revoke("alice"), KgcStatus::kOk);
   EXPECT_EQ(daemon->revoke("alice"), KgcStatus::kOk) << "revocation is idempotent";
 
   EXPECT_EQ(daemon->lookup("alice").status, KgcStatus::kRevoked);
   EXPECT_EQ(daemon->enroll("alice", alice.pk_bytes).status, KgcStatus::kRevoked);
-  EXPECT_FALSE(daemon->directory().resolve("alice").has_value());
-  EXPECT_FALSE(daemon->directory().resolve(alice.keys.id).has_value())
+  EXPECT_FALSE(daemon->directory().resolve("alice").has_key());
+  EXPECT_FALSE(daemon->directory().resolve(alice.keys.id).has_key())
       << "the scoped form must not outlive the revocation";
 }
 
@@ -150,12 +150,12 @@ TEST(Kgcd, EpochRolloverClosesTheScopedResolveWindow) {
 
   // Within the grace window (default 1 trailing epoch) the scoped identity
   // still resolves; one epoch further and it is dead — that is revocation.
-  EXPECT_TRUE(daemon->directory().resolve("alice@epoch-5").has_value());
+  EXPECT_TRUE(daemon->directory().resolve("alice@epoch-5").has_key());
   daemon->set_epoch(6);
-  EXPECT_TRUE(daemon->directory().resolve("alice@epoch-5").has_value());
+  EXPECT_TRUE(daemon->directory().resolve("alice@epoch-5").has_key());
   daemon->set_epoch(7);
-  EXPECT_FALSE(daemon->directory().resolve("alice@epoch-5").has_value());
-  EXPECT_TRUE(daemon->directory().resolve("alice").has_value())
+  EXPECT_FALSE(daemon->directory().resolve("alice@epoch-5").has_key());
+  EXPECT_TRUE(daemon->directory().resolve("alice").has_key())
       << "the plain identity outlives epoch rollovers until revoked";
 
   // Re-issuance at the new epoch hands out a key scoped to it.
@@ -321,6 +321,93 @@ TEST(Kgcd, VerifyByIdentityResolvesThroughTheDirectory) {
   const auto metrics = daemon->metrics().snapshot();
   EXPECT_GT(metrics.dir_hits + metrics.dir_misses, 0u)
       << "by-identity requests must go through the directory cache";
+}
+
+// The ISSUE acceptance test: a directory outage must degrade verifyd's
+// by-identity path into kUnavailable answers — never kUnknownSigner for a
+// signer in good standing — while a *revoked* signer keeps answering
+// kUnknownSigner from the negative cache throughout the outage. The breaker
+// trips under sustained failure, fast-fails while open, and recovers through
+// half-open probes once the fault clears.
+TEST(Kgcd, DirectoryOutageDegradesToUnavailableAndBreakerRecovers) {
+  KgcdFixture f;
+  const auto daemon = f.boot(fresh_dir("outage"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+  const auto bob = f.enroll_user(*daemon, "bob");
+  EXPECT_EQ(daemon->revoke("bob"), KgcStatus::kOk);
+
+  svc::FaultInjectingResolver faulty(&daemon->directory(),
+                                     svc::FaultConfig{.seed = 0xD15A57E8});
+  svc::ResilientConfig resilient_config;
+  resilient_config.max_attempts = 2;
+  resilient_config.backoff_base = std::chrono::microseconds(1);
+  resilient_config.backoff_cap = std::chrono::microseconds(50);
+  resilient_config.breaker_consecutive = 4;
+  resilient_config.breaker_open = std::chrono::milliseconds(10);
+  resilient_config.half_open_probes = 1;
+  // Generous TTL: bob's revocation verdict must outlive the whole outage.
+  resilient_config.negative_ttl = std::chrono::seconds(30);
+  svc::ResilientResolver resilient(&faulty, resilient_config);
+
+  ResponseSink sink;
+  std::uint64_t next_id = 1;
+  svc::VerifyService service(
+      f.kgc.params(),
+      svc::ServiceConfig{.workers = 2, .resolver = &resilient});
+  const auto msg = crypto::as_bytes(std::string_view{"degraded mode"});
+  const Bytes alice_sig = f.scheme.sign(f.kgc.params(), alice.keys, msg, f.rng);
+  const auto ask = [&](const std::string& id, const Bytes& sig) {
+    const std::uint64_t request_id = next_id++;
+    EXPECT_TRUE(service.submit(
+        svc::VerifyRequest{.request_id = request_id, .scheme = "McCLS", .id = id,
+                           .by_identity = true,
+                           .message = Bytes(msg.begin(), msg.end()),
+                           .signature = sig},
+        sink.completion()));
+    EXPECT_TRUE(sink.wait_for(request_id));
+    return sink.statuses.at(request_id);
+  };
+
+  // Phase 1 — healthy: alice verifies; revoked bob answers kUnknownSigner
+  // (and the verdict lands in the negative cache).
+  EXPECT_EQ(ask(alice.keys.id, alice_sig), svc::Status::kVerified);
+  EXPECT_EQ(ask(bob.keys.id, alice_sig), svc::Status::kUnknownSigner);
+
+  // Phase 2 — total outage: every directory call fails.
+  faulty.set_fail_rate(1.0);
+  bool breaker_tripped = false;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ask(alice.keys.id, alice_sig), svc::Status::kUnavailable)
+        << "a transient fault must never read as an unknown signer";
+    if (resilient.breaker_state() == svc::BreakerState::kOpen) {
+      breaker_tripped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(breaker_tripped) << "sustained failure must trip the breaker";
+  // While open: alice still answers kUnavailable (fast-fail, live service);
+  // revoked bob still answers kUnknownSigner — from the cache, not the
+  // (dead) directory.
+  EXPECT_EQ(ask(alice.keys.id, alice_sig), svc::Status::kUnavailable);
+  EXPECT_EQ(ask(bob.keys.id, alice_sig), svc::Status::kUnknownSigner)
+      << "revocation holds through the outage via the negative cache";
+  const auto mid_outage = service.metrics().snapshot();
+  EXPECT_GT(mid_outage.unavailable, 0u);
+  EXPECT_GT(mid_outage.negative_cache_hits, 0u);
+  EXPECT_EQ(mid_outage.unknown_signer, 2u)
+      << "only bob's two lookups may answer kUnknownSigner";
+
+  // Phase 3 — fault clears: after the open window, the half-open probe
+  // succeeds, the breaker closes, and alice verifies again.
+  faulty.set_fail_rate(0.0);
+  svc::Status recovered = svc::Status::kUnavailable;
+  for (int i = 0; i < 50 && recovered != svc::Status::kVerified; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    recovered = ask(alice.keys.id, alice_sig);
+  }
+  EXPECT_EQ(recovered, svc::Status::kVerified) << "breaker must recover";
+  EXPECT_EQ(resilient.breaker_state(), svc::BreakerState::kClosed);
+  EXPECT_GT(service.metrics().snapshot().breaker_trips, 0u);
 }
 
 TEST(Kgcd, ByIdentityWithoutAResolverAnswersUnknownSigner) {

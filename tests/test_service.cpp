@@ -9,10 +9,14 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <thread>
+#include <vector>
 
 #include "cls/batch.hpp"
 #include "cls/mccls.hpp"
@@ -88,6 +92,37 @@ TEST(BoundedQueue, StopTokenCancelsBlockedPop) {
   EXPECT_EQ(result, std::nullopt);
 }
 
+TEST(BoundedQueue, StopWithBacklogStillDrains) {
+  // The stop-vs-close contract: a stop request ends *waiting*, not
+  // *draining*. Items the queue already accepted must still be handed out
+  // after request_stop(), both by pop() and by drain() — otherwise a worker
+  // observing its stop token would silently abandon accepted work.
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  ASSERT_TRUE(q.try_push(3));
+
+  std::stop_source source;
+  source.request_stop();
+
+  const auto first = q.pop(source.get_token());
+  ASSERT_TRUE(first.has_value()) << "pop with a stopped token must drain backlog";
+  EXPECT_EQ(*first, 1);
+
+  std::vector<int> chunk;
+  EXPECT_TRUE(q.drain(chunk, 8, source.get_token()));
+  EXPECT_THAT(chunk, ::testing::ElementsAre(2, 3));
+
+  // Only once the backlog is gone does the stop request end the wait.
+  EXPECT_EQ(q.pop(source.get_token()), std::nullopt);
+  chunk.clear();
+  EXPECT_FALSE(q.drain(chunk, 8, source.get_token()));
+  EXPECT_TRUE(chunk.empty());
+
+  // Stop alone never closes admission; that is close()'s job.
+  EXPECT_TRUE(q.try_push(4));
+}
+
 // ------------------------------------------------------------ wire framing
 
 struct WireFixture {
@@ -132,8 +167,9 @@ TEST(Wire, RequestRoundTrip) {
 }
 
 TEST(Wire, ResponseRoundTripAllStatuses) {
-  for (const Status s :
-       {Status::kVerified, Status::kRejected, Status::kBusy, Status::kMalformed}) {
+  for (const Status s : {Status::kVerified, Status::kRejected, Status::kBusy,
+                         Status::kMalformed, Status::kUnknownSigner,
+                         Status::kUnavailable}) {
     const auto decoded = decode_response(encode_response(VerifyResponse{99, s}));
     ASSERT_TRUE(decoded.has_value());
     EXPECT_EQ(decoded->request_id, 99u);
@@ -173,11 +209,20 @@ TEST(Wire, DecoderIsTotal) {
     EXPECT_FALSE(decode_response(blob).has_value());
   }
 
-  // Responses with out-of-range status bytes are rejected (kUnknownSigner=4
-  // is the last valid value).
+  // Responses with out-of-range status bytes are rejected (kUnavailable=5
+  // is the last valid value as of wire v2); every in-range value decodes.
   crypto::Bytes resp = encode_response(VerifyResponse{1, Status::kVerified});
-  resp.back() = 5;
+  for (std::uint8_t status = 0; status <= 5; ++status) {
+    resp.back() = status;
+    EXPECT_TRUE(decode_response(resp).has_value()) << "status " << int(status);
+  }
+  resp.back() = 6;
   EXPECT_FALSE(decode_response(resp).has_value());
+  // The v1 version byte died with the v2 status addition: old frames reject
+  // outright rather than misreading status 5.
+  crypto::Bytes v1 = encode_response(VerifyResponse{1, Status::kVerified});
+  v1[0] = 0x01;
+  EXPECT_FALSE(decode_response(v1).has_value());
 
   // Kind-3 (verify-by-identity) frames: same totality contract — every
   // proper prefix and any trailing byte reject; a kind-1 body under a kind-3
@@ -563,6 +608,385 @@ TEST(ServiceMetrics, HistogramsAndPercentiles) {
   EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
   EXPECT_NE(json.find("latency_p50"), std::string::npos);
   EXPECT_NE(json.find("\"mean_batch_size\": 77.5"), std::string::npos);
+}
+
+TEST(ServiceMetrics, BucketBoundariesArePinned) {
+  // The histogram geometry is part of the dump's meaning: bucket 0 honestly
+  // covers [0, 2) — it absorbs v == 0 — and every later bucket i covers
+  // [2^i, 2^{i+1}). Pin the boundaries exactly.
+  EXPECT_EQ(ServiceMetrics::log2_bucket(0, 48), 0u);
+  EXPECT_EQ(ServiceMetrics::log2_bucket(1, 48), 0u);
+  EXPECT_EQ(ServiceMetrics::log2_bucket(2, 48), 1u);
+  EXPECT_EQ(ServiceMetrics::log2_bucket(3, 48), 1u);
+  EXPECT_EQ(ServiceMetrics::log2_bucket(4, 48), 2u);
+  EXPECT_EQ(ServiceMetrics::log2_bucket(7, 48), 2u);
+  EXPECT_EQ(ServiceMetrics::log2_bucket(8, 48), 3u);
+  // Clamped into the last bucket, never out of range.
+  EXPECT_EQ(ServiceMetrics::log2_bucket(~std::uint64_t{0}, 48), 47u);
+  EXPECT_EQ(ServiceMetrics::log2_bucket(300, 9), 8u);
+
+  // Reported representative values: 1.0 for the [0, 2) bucket (the honest
+  // midpoint once zero belongs to it), geometric midpoint 1.5 * 2^i after.
+  EXPECT_DOUBLE_EQ(ServiceMetrics::bucket_midpoint(0), 1.0);
+  EXPECT_DOUBLE_EQ(ServiceMetrics::bucket_midpoint(1), 3.0);
+  EXPECT_DOUBLE_EQ(ServiceMetrics::bucket_midpoint(2), 6.0);
+  EXPECT_DOUBLE_EQ(ServiceMetrics::bucket_midpoint(10), 1536.0);
+
+  // End to end: a histogram fed only zero-valued samples reports percentile
+  // 1.0 (inside [0, 2)), not the 1.5 a [1, 2)-style bucket would claim.
+  ServiceMetrics metrics;
+  for (int i = 0; i < 10; ++i) metrics.on_latency_ns(0);
+  const auto snapshot = metrics.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.latency_p50_ns, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.latency_p99_ns, 1.0);
+}
+
+// ------------------------------------------------------- resolver pipeline
+
+// Scripted PkResolver: plays back a fixed sequence of results (repeating the
+// last one once exhausted), counts calls, and can stall to exercise
+// deadlines.
+class ScriptedResolver final : public PkResolver {
+ public:
+  explicit ScriptedResolver(std::vector<ResolveResult> script)
+      : script_(std::move(script)) {}
+
+  ResolveResult resolve(std::string_view) override {
+    std::uint32_t stall = 0;
+    ResolveResult result;
+    {
+      std::lock_guard lock(mutex_);
+      const std::size_t i = std::min(calls_, script_.size() - 1);
+      result = script_[i];
+      ++calls_;
+      stall = stall_ms_;
+    }
+    if (stall > 0) std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    return result;
+  }
+
+  void set_stall_ms(std::uint32_t ms) {
+    std::lock_guard lock(mutex_);
+    stall_ms_ = ms;
+  }
+  void set_script(std::vector<ResolveResult> script) {
+    std::lock_guard lock(mutex_);
+    script_ = std::move(script);
+    calls_ = 0;
+  }
+  std::size_t calls() const {
+    std::lock_guard lock(mutex_);
+    return calls_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ResolveResult> script_;
+  std::size_t calls_ = 0;
+  std::uint32_t stall_ms_ = 0;
+};
+
+cls::PublicKey test_public_key() {
+  WireFixture f;
+  return f.alice.public_key;
+}
+
+// Fast-retry config for the unit tests: microsecond backoff, no breaker
+// surprises unless the test asks for them.
+ResilientConfig fast_config() {
+  ResilientConfig config;
+  config.call_deadline = std::chrono::seconds(5);
+  config.backoff_base = std::chrono::microseconds(1);
+  config.backoff_cap = std::chrono::microseconds(10);
+  config.breaker_consecutive = 1000;
+  config.breaker_min_samples = 1000000;
+  config.breaker_open = std::chrono::seconds(100);
+  return config;
+}
+
+TEST(FaultInjectingResolver, IsDeterministicAndCountsInjections) {
+  const cls::PublicKey pk = test_public_key();
+  ScriptedResolver inner({ResolveResult::ok(pk)});
+  FaultConfig fault{.fail_rate = 0.5, .stall_ms = 0, .seed = 1234};
+  std::vector<ResolveOutcome> first;
+  {
+    FaultInjectingResolver resolver(&inner, fault);
+    for (int i = 0; i < 64; ++i) first.push_back(resolver.resolve("alice").outcome);
+    EXPECT_EQ(resolver.injected_failures() + resolver.forwarded(), 64u);
+    EXPECT_GT(resolver.injected_failures(), 0u);
+    EXPECT_GT(resolver.forwarded(), 0u);
+    EXPECT_EQ(inner.calls(), resolver.forwarded());
+  }
+  // Same seed, same fault sequence.
+  ScriptedResolver inner2({ResolveResult::ok(pk)});
+  FaultInjectingResolver replay(&inner2, fault);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(replay.resolve("alice").outcome, first[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+TEST(FaultInjectingResolver, RateEndpointsAndMidRunReconfig) {
+  const cls::PublicKey pk = test_public_key();
+  ScriptedResolver inner({ResolveResult::ok(pk)});
+  FaultInjectingResolver resolver(&inner, FaultConfig{.fail_rate = 1.0});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kUnavailable);
+  }
+  EXPECT_EQ(inner.calls(), 0u) << "injected failures never reach the inner resolver";
+  resolver.set_fail_rate(0.0);  // outage cleared mid-run
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kOk);
+  }
+  EXPECT_EQ(inner.calls(), 8u);
+}
+
+TEST(ResilientResolver, RetriesTransientFailuresThenSucceeds) {
+  const cls::PublicKey pk = test_public_key();
+  ScriptedResolver inner({ResolveResult::unavailable(), ResolveResult::unavailable(),
+                          ResolveResult::ok(pk)});
+  ResilientConfig config = fast_config();
+  config.max_attempts = 3;
+  ResilientResolver resolver(&inner, config);
+  ServiceMetrics metrics;
+  resolver.set_metrics(&metrics);
+
+  const ResolveResult result = resolver.resolve("alice");
+  EXPECT_EQ(result.outcome, ResolveOutcome::kOk);
+  ASSERT_TRUE(result.has_key());
+  EXPECT_EQ(*result.key, pk);
+  EXPECT_EQ(inner.calls(), 3u);
+  EXPECT_EQ(metrics.snapshot().resolve_retries, 2u);
+}
+
+TEST(ResilientResolver, ExhaustedRetriesReportUnavailable) {
+  ScriptedResolver inner({ResolveResult::unavailable()});
+  ResilientConfig config = fast_config();
+  config.max_attempts = 3;
+  ResilientResolver resolver(&inner, config);
+  EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kUnavailable);
+  EXPECT_EQ(inner.calls(), 3u);
+}
+
+TEST(ResilientResolver, NotVouchedIsDefinitiveAndNegativelyCached) {
+  ScriptedResolver inner({ResolveResult::not_vouched()});
+  ResilientConfig config = fast_config();
+  config.max_attempts = 5;
+  config.negative_ttl = std::chrono::seconds(100);
+  ResilientResolver resolver(&inner, config);
+  ServiceMetrics metrics;
+  resolver.set_metrics(&metrics);
+
+  // Definitive verdict: no retries spent on it.
+  EXPECT_EQ(resolver.resolve("mallory").outcome, ResolveOutcome::kNotVouched);
+  EXPECT_EQ(inner.calls(), 1u) << "kNotVouched must not retry";
+
+  // Replays from the cache without consulting the inner resolver again.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(resolver.resolve("mallory").outcome, ResolveOutcome::kNotVouched);
+  }
+  EXPECT_EQ(inner.calls(), 1u);
+  EXPECT_EQ(metrics.snapshot().negative_cache_hits, 4u);
+
+  // A different identity is a miss.
+  EXPECT_EQ(resolver.resolve("eve").outcome, ResolveOutcome::kNotVouched);
+  EXPECT_EQ(inner.calls(), 2u);
+
+  // clear_negative_cache drops the verdicts (epoch roll semantics).
+  resolver.clear_negative_cache();
+  EXPECT_EQ(resolver.resolve("mallory").outcome, ResolveOutcome::kNotVouched);
+  EXPECT_EQ(inner.calls(), 3u);
+}
+
+TEST(ResilientResolver, NegativeCacheEntriesExpire) {
+  ScriptedResolver inner({ResolveResult::not_vouched()});
+  ResilientConfig config = fast_config();
+  config.negative_ttl = std::chrono::milliseconds(5);
+  ResilientResolver resolver(&inner, config);
+
+  EXPECT_EQ(resolver.resolve("mallory").outcome, ResolveOutcome::kNotVouched);
+  EXPECT_EQ(inner.calls(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(resolver.resolve("mallory").outcome, ResolveOutcome::kNotVouched);
+  EXPECT_EQ(inner.calls(), 2u) << "expired entry must re-consult the directory";
+}
+
+TEST(ResilientResolver, TransientOutcomesAreNeverCached) {
+  // Caching kUnavailable would launder an outage into a standing verdict:
+  // the very next call after the outage clears must reach the directory.
+  const cls::PublicKey pk = test_public_key();
+  ScriptedResolver inner({ResolveResult::unavailable(), ResolveResult::ok(pk)});
+  ResilientConfig config = fast_config();
+  config.max_attempts = 1;
+  config.negative_ttl = std::chrono::seconds(100);
+  ResilientResolver resolver(&inner, config);
+
+  EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kUnavailable);
+  EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kOk);
+  EXPECT_EQ(inner.calls(), 2u);
+}
+
+TEST(ResilientResolver, DeadlineClassifiesSlowAnswersAsTimeout) {
+  const cls::PublicKey pk = test_public_key();
+  ScriptedResolver inner({ResolveResult::ok(pk)});
+  inner.set_stall_ms(50);
+  ResilientConfig config = fast_config();
+  config.call_deadline = std::chrono::milliseconds(1);
+  config.max_attempts = 1;
+  ResilientResolver resolver(&inner, config);
+  ServiceMetrics metrics;
+  resolver.set_metrics(&metrics);
+
+  // The inner resolver *did* produce a key — but past the deadline, so the
+  // honest classification is kTimeout, and no key leaks out.
+  const ResolveResult result = resolver.resolve("alice");
+  EXPECT_EQ(result.outcome, ResolveOutcome::kTimeout);
+  EXPECT_FALSE(result.has_key());
+}
+
+TEST(ResilientResolver, BreakerTripsOnConsecutiveFailuresAndFastFails) {
+  ScriptedResolver inner({ResolveResult::unavailable()});
+  ResilientConfig config = fast_config();
+  config.max_attempts = 1;
+  config.breaker_consecutive = 3;
+  config.breaker_open = std::chrono::seconds(100);  // stays open for the test
+  ResilientResolver resolver(&inner, config);
+  ServiceMetrics metrics;
+  resolver.set_metrics(&metrics);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kUnavailable);
+  }
+  EXPECT_EQ(resolver.breaker_state(), BreakerState::kOpen);
+  const std::size_t calls_at_trip = inner.calls();
+
+  // Open breaker fast-fails without touching the inner resolver.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kUnavailable);
+  }
+  EXPECT_EQ(inner.calls(), calls_at_trip);
+  const auto snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.breaker_trips, 1u);
+  EXPECT_EQ(snapshot.breaker_fast_fails, 10u);
+  EXPECT_EQ(snapshot.breaker_state,
+            static_cast<std::uint64_t>(BreakerState::kOpen));
+}
+
+TEST(ResilientResolver, BreakerTripsOnErrorRate) {
+  // Interleaved successes keep the consecutive counter low; the windowed
+  // error rate is what trips.
+  const cls::PublicKey pk = test_public_key();
+  std::vector<ResolveResult> script;
+  for (int i = 0; i < 32; ++i) {
+    script.push_back(i % 2 == 0 ? ResolveResult::ok(pk) : ResolveResult::unavailable());
+  }
+  ScriptedResolver inner(std::move(script));
+  ResilientConfig config = fast_config();
+  config.max_attempts = 1;
+  config.breaker_consecutive = 1000;  // condition 1 never fires
+  config.breaker_window = 16;
+  config.breaker_min_samples = 8;
+  config.breaker_error_rate = 0.5;
+  config.breaker_open = std::chrono::seconds(100);
+  ResilientResolver resolver(&inner, config);
+
+  for (int i = 0; i < 32 && resolver.breaker_state() == BreakerState::kClosed; ++i) {
+    (void)resolver.resolve("alice");
+  }
+  EXPECT_EQ(resolver.breaker_state(), BreakerState::kOpen);
+}
+
+TEST(ResilientResolver, HalfOpenProbesRecoverAfterFaultClears) {
+  const cls::PublicKey pk = test_public_key();
+  ScriptedResolver inner({ResolveResult::unavailable()});
+  ResilientConfig config = fast_config();
+  config.max_attempts = 1;
+  config.breaker_consecutive = 2;
+  config.breaker_open = std::chrono::milliseconds(5);
+  config.half_open_probes = 2;
+  ResilientResolver resolver(&inner, config);
+
+  (void)resolver.resolve("alice");
+  (void)resolver.resolve("alice");
+  ASSERT_EQ(resolver.breaker_state(), BreakerState::kOpen);
+
+  // Fault still present when the open window elapses: the probe fails and
+  // the breaker re-opens.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kUnavailable);
+  EXPECT_EQ(resolver.breaker_state(), BreakerState::kOpen);
+
+  // Fault clears; after the open window, two successful probes close it.
+  inner.set_script({ResolveResult::ok(pk)});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kOk);
+  EXPECT_EQ(resolver.breaker_state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(resolver.resolve("alice").outcome, ResolveOutcome::kOk);
+  EXPECT_EQ(resolver.breaker_state(), BreakerState::kClosed);
+}
+
+TEST(VerifyService, DirectoryOutageAnswersUnavailableNeverUnknownSigner) {
+  // The bug this pipeline exists to fix: a dead directory must surface as
+  // the retryable kUnavailable, not as the trust verdict kUnknownSigner.
+  ServiceFixture f;
+  const cls::UserKeys alice = f.scheme.enroll(f.kgc, "alice", f.rng);
+  ScriptedResolver directory({ResolveResult::ok(alice.public_key)});
+  FaultInjectingResolver faulty(&directory, FaultConfig{.fail_rate = 1.0});
+  ResilientConfig config = fast_config();
+  config.max_attempts = 2;
+  ResilientResolver resilient(&faulty, config);
+
+  ResponseSink sink;
+  VerifyService service(
+      f.kgc.params(),
+      ServiceConfig{.workers = 2, .queue_capacity = 64, .resolver = &resilient});
+
+  constexpr std::size_t kCount = 8;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    VerifyRequest request = f.make_request(alice, "outage", 700 + i);
+    request.by_identity = true;
+    request.public_key = {};
+    ASSERT_TRUE(service.submit(std::move(request), sink.completion()));
+  }
+  ASSERT_TRUE(sink.wait_for(kCount));
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(sink.statuses.at(700 + i), Status::kUnavailable) << "request " << i;
+  }
+  const auto snapshot = service.metrics().snapshot();
+  EXPECT_EQ(snapshot.unavailable, kCount);
+  EXPECT_EQ(snapshot.unknown_signer, 0u)
+      << "transient faults must never masquerade as unknown signers";
+  EXPECT_EQ(snapshot.resolve_unavailable, kCount);
+
+  // Outage clears: the same by-identity request verifies.
+  faulty.set_fail_rate(0.0);
+  VerifyRequest healthy = f.make_request(alice, "recovered", 900);
+  healthy.by_identity = true;
+  healthy.public_key = {};
+  ASSERT_TRUE(service.submit(std::move(healthy), sink.completion()));
+  ASSERT_TRUE(sink.wait_for(kCount + 1));
+  EXPECT_EQ(sink.statuses.at(900), Status::kVerified);
+}
+
+TEST(VerifyService, NotVouchedStillAnswersUnknownSigner) {
+  // The definitive verdict keeps its meaning: a resolver that does not vouch
+  // for the signer yields kUnknownSigner, with or without the resilience
+  // wrapper in between.
+  ServiceFixture f;
+  const cls::UserKeys alice = f.scheme.enroll(f.kgc, "alice", f.rng);
+  ScriptedResolver directory({ResolveResult::not_vouched()});
+  ResilientResolver resilient(&directory, fast_config());
+
+  ResponseSink sink;
+  VerifyService service(
+      f.kgc.params(),
+      ServiceConfig{.workers = 1, .queue_capacity = 16, .resolver = &resilient});
+  VerifyRequest request = f.make_request(alice, "revoked", 41);
+  request.by_identity = true;
+  request.public_key = {};
+  ASSERT_TRUE(service.submit(std::move(request), sink.completion()));
+  ASSERT_TRUE(sink.wait_for(1));
+  EXPECT_EQ(sink.statuses.at(41), Status::kUnknownSigner);
+  EXPECT_EQ(service.metrics().snapshot().resolve_not_vouched, 1u);
 }
 
 }  // namespace

@@ -16,7 +16,17 @@
 //
 //   kgcd_loadgen [--producers P] [--ops R] [--identities S] [--skew Z]
 //                [--enroll-pct PCT] [--fsync] [--dir PATH] [--seed N]
-//                [--json PATH]
+//                [--json PATH] [--fault] [--fault-rate F] [--stall-ms MS]
+//
+// Fault mode (--fault, or any of --fault-rate/--stall-ms) routes the
+// resolve ops through the full degraded-directory pipeline —
+// ResilientResolver → FaultInjectingResolver → KeyDirectory — instead of
+// hitting the directory raw: each call fails with probability F
+// (default 0.1 under bare --fault) and/or stalls MS milliseconds, and the
+// wrapper's retry/breaker/negative-cache machinery reports into the same
+// metrics dump (resolve outcome counters, breaker_trips, breaker_state,
+// resolve latency percentiles). This is the knob the nightly fault soak
+// turns.
 //
 // The data directory is recreated from scratch each run (it is a load
 // generator, not a durability test — tests/test_kgcd.cpp owns recovery).
@@ -34,6 +44,7 @@
 
 #include "cls/mccls.hpp"
 #include "kgc/kgcd.hpp"
+#include "svc/resolver.hpp"
 
 namespace {
 
@@ -49,13 +60,24 @@ struct Options {
   std::string dir = "kgcd_loadgen.data";
   std::uint64_t seed = 0x46CD;
   std::string json_path;
+  bool fault = false;          ///< route resolves through the resilient pipeline
+  double fault_rate = -1.0;    ///< <0 = unset (0.1 under bare --fault)
+  std::uint32_t stall_ms = 0;  ///< injected stall per directory call
+
+  [[nodiscard]] bool fault_mode() const {
+    return fault || fault_rate >= 0.0 || stall_ms > 0;
+  }
+  [[nodiscard]] double effective_fault_rate() const {
+    return fault_rate >= 0.0 ? fault_rate : (fault ? 0.1 : 0.0);
+  }
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: kgcd_loadgen [--producers P] [--ops R] [--identities S]\n"
                "                    [--skew Z] [--enroll-pct PCT] [--fsync]\n"
-               "                    [--dir PATH] [--seed N] [--json PATH]\n");
+               "                    [--dir PATH] [--seed N] [--json PATH]\n"
+               "                    [--fault] [--fault-rate F] [--stall-ms MS]\n");
   return 2;
 }
 
@@ -64,6 +86,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
     const std::string flag = argv[i];
     if (flag == "--fsync") {
       opt.fsync = true;
+      continue;
+    }
+    if (flag == "--fault") {
+      opt.fault = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -84,10 +110,15 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.seed = std::strtoull(value, nullptr, 10);
     } else if (flag == "--json") {
       opt.json_path = value;
+    } else if (flag == "--fault-rate") {
+      opt.fault_rate = std::strtod(value, nullptr);
+    } else if (flag == "--stall-ms") {
+      opt.stall_ms = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else {
       return false;
     }
   }
+  if (opt.fault_rate > 1.0) return false;
   return opt.producers > 0 && opt.ops > 0 && opt.identities > 0;
 }
 
@@ -184,7 +215,20 @@ int main(int argc, char** argv) {
   }
   daemon.directory().drop_caches();  // producers start from a cold LRU
 
-  std::atomic<std::uint64_t> ok{0}, refused{0};
+  // Fault mode: resolves go through the degraded-directory pipeline, and
+  // the wrapper's machinery reports into the daemon's metrics dump.
+  svc::FaultInjectingResolver faulty(
+      &daemon.directory(),
+      svc::FaultConfig{.fail_rate = opt.effective_fault_rate(),
+                       .stall_ms = opt.stall_ms,
+                       .seed = opt.seed ^ 0xFA17ED5EEDULL});
+  svc::ResilientResolver resilient(&faulty);
+  resilient.set_metrics(&daemon.metrics());
+  svc::PkResolver& resolver =
+      opt.fault_mode() ? static_cast<svc::PkResolver&>(resilient)
+                       : static_cast<svc::PkResolver&>(daemon.directory());
+
+  std::atomic<std::uint64_t> ok{0}, refused{0}, unavailable{0};
   const auto start = std::chrono::steady_clock::now();
   {
     std::vector<std::jthread> producers;
@@ -193,7 +237,33 @@ int main(int argc, char** argv) {
         for (std::size_t i = p; i < frames.size(); i += opt.producers) {
           bool success;
           if (frames[i].empty()) {
-            success = daemon.directory().resolve(ids[resolve_who[i]]).has_value();
+            // The loadgen plays the service's role here: it records the
+            // per-outcome counters and resolve latency for whatever resolver
+            // it talks to (the wrapper only reports its own machinery).
+            const auto t0 = std::chrono::steady_clock::now();
+            const svc::ResolveResult resolved = resolver.resolve(ids[resolve_who[i]]);
+            daemon.metrics().on_resolve_latency_ns(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+            switch (resolved.outcome) {
+              case svc::ResolveOutcome::kOk:
+                daemon.metrics().on_resolve_ok();
+                break;
+              case svc::ResolveOutcome::kNotVouched:
+                daemon.metrics().on_resolve_not_vouched();
+                break;
+              case svc::ResolveOutcome::kUnavailable:
+                daemon.metrics().on_resolve_unavailable();
+                break;
+              case svc::ResolveOutcome::kTimeout:
+                daemon.metrics().on_resolve_timeout();
+                break;
+            }
+            if (resolved.transient()) {
+              unavailable.fetch_add(1, std::memory_order_relaxed);
+            }
+            success = resolved.has_key();
           } else {
             const auto response =
                 kgc::decode_kgc_response(daemon.handle_frame(frames[i]));
@@ -222,6 +292,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(snapshot.dir_misses),
               100.0 * snapshot.dir_hit_rate(),
               static_cast<unsigned long long>(snapshot.wal_fsyncs));
+  if (opt.fault_mode()) {
+    std::printf("  faults:    rate %.2f stall %u ms -> %llu injected, %llu transient "
+                "answers, %llu retries, %llu fast-fails, %llu trips (breaker %llu)\n",
+                opt.effective_fault_rate(), opt.stall_ms,
+                static_cast<unsigned long long>(faulty.injected_failures()),
+                static_cast<unsigned long long>(unavailable.load()),
+                static_cast<unsigned long long>(snapshot.resolve_retries),
+                static_cast<unsigned long long>(snapshot.breaker_fast_fails),
+                static_cast<unsigned long long>(snapshot.breaker_trips),
+                static_cast<unsigned long long>(snapshot.breaker_state));
+  }
 
   const std::string json = daemon.metrics().to_json("kgcd_loadgen");
   if (!opt.json_path.empty()) {

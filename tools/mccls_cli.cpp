@@ -10,9 +10,14 @@
 //   mccls_cli verify  --dir DIR --id ID --text MESSAGE --sig HEX
 //       Verify; prints ACCEPT or REJECT and exits 0/1 accordingly.
 //   mccls_cli batch-verify --dir DIR --id ID --msgdir MSGDIR [--seed N]
+//                          [--resolve kgcd] [--retries N] [--fault-rate F]
 //       Verify every MSGDIR/NAME.sig (hex) against MSGDIR/NAME.msg (raw
 //       bytes) as one same-signer batch (single amortized pairing); prints
-//       ACCEPT or REJECT and exits 0/1.
+//       ACCEPT or REJECT and exits 0/1. With --resolve kgcd the signer's
+//       key comes from the daemon's directory (DIR/kgcd) through the
+//       resilient resolver pipeline instead of DIR/ID.pub; a transient
+//       directory failure is retried --retries times (default 3) and then
+//       exits 3 — availability is never conflated with a verdict.
 //   mccls_cli inspect --sig HEX
 //       Pretty-print the components of a serialized McCLS signature.
 //   mccls_cli kgc enroll   --dir DIR --id ID [--epoch N] [--seed N]
@@ -43,6 +48,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cls/batch.hpp"
@@ -50,6 +56,7 @@
 #include "cls/mccls.hpp"
 #include "crypto/hash.hpp"
 #include "kgc/kgcd.hpp"
+#include "svc/resolver.hpp"
 
 namespace {
 
@@ -111,6 +118,7 @@ int usage() {
                "  mccls_cli sign    --dir DIR --id ID --text MESSAGE\n"
                "  mccls_cli verify  --dir DIR --id ID --text MESSAGE --sig HEX\n"
                "  mccls_cli batch-verify --dir DIR --id ID --msgdir MSGDIR [--seed N]\n"
+               "                         [--resolve kgcd] [--retries N] [--fault-rate F]\n"
                "  mccls_cli inspect --sig HEX\n"
                "  mccls_cli kgc enroll   --dir DIR --id ID [--epoch N] [--seed N]\n"
                "  mccls_cli kgc lookup   --dir DIR --id ID [--epoch N]\n"
@@ -233,6 +241,8 @@ int cmd_verify(const Args& args) {
   return ok ? 0 : 1;
 }
 
+std::unique_ptr<kgc::Kgcd> boot_kgcd(const Args& args);  // kgc subcommands, below
+
 // batch-verify: every NAME.sig in --msgdir pairs with NAME.msg; all are
 // expected to come from one signer (--id), so the whole directory verifies
 // with a single amortized pairing via cls::batch_verify. A mixed-signer or
@@ -243,16 +253,65 @@ int cmd_batch_verify(const Args& args) {
   const auto* msgdir = args.get("msgdir");
   if (dir == nullptr || id == nullptr || msgdir == nullptr) return usage();
   const auto params = load_params(*dir);
-  const auto pk_bytes = read_file(*dir + "/" + *id + ".pub");
-  if (!params || !pk_bytes) {
-    std::fprintf(stderr, "error: missing kgc.pub or %s.pub in %s\n", id->c_str(),
-                 dir->c_str());
+  if (!params) {
+    std::fprintf(stderr, "error: missing kgc.pub in %s\n", dir->c_str());
     return 1;
   }
-  const auto pk = cls::PublicKey::from_bytes(*pk_bytes);
-  if (!pk) {
-    std::fprintf(stderr, "error: corrupt public key file\n");
-    return 1;
+
+  std::optional<cls::PublicKey> pk;
+  if (const auto* resolve = args.get("resolve")) {
+    // --resolve kgcd: fetch the signer's key from the daemon's directory
+    // through the resilient pipeline instead of a DIR/ID.pub file. A
+    // transient failure (kUnavailable/kTimeout) is retried a bounded number
+    // of times and then reported as exit 3 — an availability outcome, never
+    // conflated with REJECT (1) or an unknown signer. --fault-rate (with
+    // --seed) makes that path deterministic for tests.
+    if (*resolve != "kgcd") return usage();
+    const auto daemon = boot_kgcd(args);
+    if (!daemon) return 1;
+    svc::FaultConfig fault{.seed = seed_from(args) ^ 0xFA17ULL};
+    if (const auto* rate = args.get("fault-rate")) {
+      fault.fail_rate = std::strtod(rate->c_str(), nullptr);
+    }
+    svc::FaultInjectingResolver faulty(&daemon->directory(), fault);
+    svc::ResilientResolver resolver(&faulty);
+    unsigned retries = 3;
+    if (const auto* r = args.get("retries")) {
+      retries = static_cast<unsigned>(std::strtoul(r->c_str(), nullptr, 10));
+    }
+    for (unsigned attempt = 0; attempt <= retries; ++attempt) {
+      const svc::ResolveResult resolved = resolver.resolve(*id);
+      if (resolved.outcome == svc::ResolveOutcome::kOk) {
+        pk = resolved.key;
+        break;
+      }
+      if (resolved.outcome == svc::ResolveOutcome::kNotVouched) {
+        std::fprintf(stderr, "error: directory does not vouch for %s "
+                     "(unknown, revoked, or epoch-expired)\n", id->c_str());
+        return 1;
+      }
+      if (attempt < retries) {
+        std::fprintf(stderr, "warning: directory unavailable (attempt %u/%u), "
+                     "retrying...\n", attempt + 1, retries + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(25 << attempt));
+      }
+    }
+    if (!pk) {
+      std::fprintf(stderr, "error: directory unavailable after %u attempts — "
+                   "transient failure, not a verdict; retry later\n", retries + 1);
+      return 3;
+    }
+  } else {
+    const auto pk_bytes = read_file(*dir + "/" + *id + ".pub");
+    if (!pk_bytes) {
+      std::fprintf(stderr, "error: missing %s.pub in %s\n", id->c_str(), dir->c_str());
+      return 1;
+    }
+    pk = cls::PublicKey::from_bytes(*pk_bytes);
+    if (!pk) {
+      std::fprintf(stderr, "error: corrupt public key file\n");
+      return 1;
+    }
   }
 
   std::error_code ec;

@@ -12,6 +12,15 @@
 //   verifyd_loadgen [--workers N] [--producers P] [--requests R]
 //                   [--signers S] [--skew Z] [--queue CAP] [--no-coalesce]
 //                   [--forge-pct PCT] [--seed N] [--json PATH]
+//                   [--byid-pct PCT] [--fault] [--fault-rate F] [--stall-ms MS]
+//
+// --byid-pct sends that fraction of the corpus as kind-3 verify-by-identity
+// frames (no inline public key); the service resolves them through an
+// in-memory signer directory. Fault mode (--fault, or any of
+// --fault-rate/--stall-ms) degrades that directory behind the full
+// ResilientResolver → FaultInjectingResolver pipeline, so the dump shows
+// kUnavailable answers, retries and breaker behavior instead of silent
+// kUnknownSigner misclassification.
 //
 // Dropped (busy) requests are *not* retried: the loadgen measures offered
 // vs. sustained load, so the busy count in the metrics dump is the
@@ -26,9 +35,11 @@
 #include <fstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cls/mccls.hpp"
+#include "svc/resolver.hpp"
 #include "svc/service.hpp"
 
 namespace {
@@ -46,6 +57,17 @@ struct Options {
   double forge_pct = 0.0;
   std::uint64_t seed = 0x10AD;
   std::string json_path;
+  double byid_pct = 0.0;       ///< fraction sent as verify-by-identity frames
+  bool fault = false;          ///< degrade the directory behind the pipeline
+  double fault_rate = -1.0;    ///< <0 = unset (0.1 under bare --fault)
+  std::uint32_t stall_ms = 0;  ///< injected stall per directory call
+
+  [[nodiscard]] bool fault_mode() const {
+    return fault || fault_rate >= 0.0 || stall_ms > 0;
+  }
+  [[nodiscard]] double effective_fault_rate() const {
+    return fault_rate >= 0.0 ? fault_rate : (fault ? 0.1 : 0.0);
+  }
 };
 
 int usage() {
@@ -53,7 +75,8 @@ int usage() {
                "usage: verifyd_loadgen [--workers N] [--producers P] [--requests R]\n"
                "                       [--signers S] [--skew Z] [--queue CAP]\n"
                "                       [--no-coalesce] [--forge-pct PCT] [--seed N]\n"
-               "                       [--json PATH]\n");
+               "                       [--json PATH] [--byid-pct PCT] [--fault]\n"
+               "                       [--fault-rate F] [--stall-ms MS]\n");
   return 2;
 }
 
@@ -62,6 +85,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
     const std::string flag = argv[i];
     if (flag == "--no-coalesce") {
       opt.coalesce = false;
+      continue;
+    }
+    if (flag == "--fault") {
+      opt.fault = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -84,10 +111,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.seed = std::strtoull(value, nullptr, 10);
     } else if (flag == "--json") {
       opt.json_path = value;
+    } else if (flag == "--byid-pct") {
+      opt.byid_pct = std::strtod(value, nullptr);
+    } else if (flag == "--fault-rate") {
+      opt.fault_rate = std::strtod(value, nullptr);
+    } else if (flag == "--stall-ms") {
+      opt.stall_ms = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else {
       return false;
     }
   }
+  if (opt.fault_rate > 1.0) return false;
   return opt.workers > 0 && opt.producers > 0 && opt.requests > 0 && opt.signers > 0;
 }
 
@@ -126,6 +160,18 @@ class ZipfSampler {
   std::vector<double> cdf_;
 };
 
+/// Immutable id→key directory for the by-identity mix. Read-only after
+/// setup, so concurrent resolve() needs no locking.
+struct MapResolver final : svc::PkResolver {
+  std::unordered_map<std::string, cls::PublicKey> keys;
+
+  svc::ResolveResult resolve(std::string_view id) override {
+    const auto it = keys.find(std::string(id));
+    if (it == keys.end()) return svc::ResolveResult::not_vouched();
+    return svc::ResolveResult::ok(it->second);
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,6 +193,7 @@ int main(int argc, char** argv) {
   const ZipfSampler sampler(opt.signers, opt.skew);
   std::vector<crypto::Bytes> frames;
   std::size_t forged = 0;
+  std::size_t by_identity = 0;
   frames.reserve(opt.requests);
   for (std::size_t i = 0; i < opt.requests; ++i) {
     const cls::UserKeys& signer = signers[sampler.sample(rng)];
@@ -165,7 +212,30 @@ int main(int argc, char** argv) {
       request.signature[0] ^= 0x01;
       ++forged;
     }
+    if (opt.byid_pct > 0 &&
+        static_cast<double>((i + 50) % 100) < opt.byid_pct) {  // deterministic mix
+      request.by_identity = true;
+      request.public_key = {};
+      ++by_identity;
+    }
     frames.push_back(svc::encode_request(request));
+  }
+
+  // ---- resolver: in-memory signer directory, optionally degraded behind
+  // the ResilientResolver → FaultInjectingResolver pipeline.
+  MapResolver map_resolver;
+  for (const cls::UserKeys& signer : signers) {
+    map_resolver.keys.emplace(signer.id, signer.public_key);
+  }
+  svc::FaultInjectingResolver faulty(
+      &map_resolver, svc::FaultConfig{.fail_rate = opt.effective_fault_rate(),
+                                      .stall_ms = opt.stall_ms,
+                                      .seed = opt.seed ^ 0xFA17ED5EEDULL});
+  svc::ResilientResolver resilient(&faulty);
+  svc::PkResolver* resolver = nullptr;
+  if (opt.byid_pct > 0) {
+    resolver = opt.fault_mode() ? static_cast<svc::PkResolver*>(&resilient)
+                                : static_cast<svc::PkResolver*>(&map_resolver);
   }
 
   // ---- service + producers
@@ -173,7 +243,8 @@ int main(int argc, char** argv) {
                              svc::ServiceConfig{.workers = opt.workers,
                                                 .queue_capacity = opt.queue_capacity,
                                                 .coalesce = opt.coalesce,
-                                                .seed = opt.seed ^ 0xD5ULL});
+                                                .seed = opt.seed ^ 0xD5ULL,
+                                                .resolver = resolver});
   service.cache().warm(kgc.params(), ids);
 
   std::atomic<std::size_t> completed{0};
@@ -201,15 +272,29 @@ int main(int argc, char** argv) {
 
   const auto snapshot = service.metrics().snapshot();
   const double processed = static_cast<double>(snapshot.verified + snapshot.rejected);
-  std::printf("offered %zu requests (%zu forged) from %u producers to %u workers in %.3f s\n",
-              opt.requests, forged, opt.producers, opt.workers, seconds);
+  std::printf("offered %zu requests (%zu forged, %zu by-identity) from %u producers "
+              "to %u workers in %.3f s\n",
+              opt.requests, forged, by_identity, opt.producers, opt.workers, seconds);
   std::printf("  sustained:  %.0f verifications/s (%.1f us/signature)\n",
               processed / seconds, processed > 0 ? seconds * 1e6 / processed : 0.0);
-  std::printf("  verdicts:   %llu verified, %llu rejected, %llu busy, %llu malformed\n",
+  std::printf("  verdicts:   %llu verified, %llu rejected, %llu busy, %llu malformed, "
+              "%llu unknown-signer, %llu unavailable\n",
               static_cast<unsigned long long>(snapshot.verified),
               static_cast<unsigned long long>(snapshot.rejected),
               static_cast<unsigned long long>(snapshot.busy),
-              static_cast<unsigned long long>(snapshot.malformed));
+              static_cast<unsigned long long>(snapshot.malformed),
+              static_cast<unsigned long long>(snapshot.unknown_signer),
+              static_cast<unsigned long long>(snapshot.unavailable));
+  if (opt.fault_mode()) {
+    std::printf("  faults:     rate %.2f stall %u ms -> %llu injected, %llu retries, "
+                "%llu fast-fails, %llu trips (breaker %llu)\n",
+                opt.effective_fault_rate(), opt.stall_ms,
+                static_cast<unsigned long long>(faulty.injected_failures()),
+                static_cast<unsigned long long>(snapshot.resolve_retries),
+                static_cast<unsigned long long>(snapshot.breaker_fast_fails),
+                static_cast<unsigned long long>(snapshot.breaker_trips),
+                static_cast<unsigned long long>(snapshot.breaker_state));
+  }
   std::printf("  coalescing: %llu batches (mean size %.2f), %llu singles, %llu fallbacks\n",
               static_cast<unsigned long long>(snapshot.batches),
               snapshot.mean_batch_size(),
