@@ -1,60 +1,104 @@
 #include "cls/batch.hpp"
 
+#include <array>
+#include <utility>
 #include <vector>
 
 #include "math/batch_inv.hpp"
-#include "pairing/pairing.hpp"
 
 namespace mccls::cls {
 
-bool batch_verify(const SystemParams& params, std::string_view id, const ec::G1& public_key,
-                  std::span<const BatchItem> items, crypto::HmacDrbg& rng,
-                  GtCache* cache) {
-  if (items.empty()) return true;
+std::optional<BatchEquation> batch_equation(const SystemParams& params,
+                                            std::string_view id,
+                                            const ec::G1& public_key,
+                                            std::span<const BatchItem> items,
+                                            crypto::HmacDrbg& rng, GtCache* cache) {
+  if (items.empty()) return std::nullopt;
 
   // All signatures must carry the signer-static S; otherwise fall back to
   // rejecting (callers group by S before batching).
   const ec::G1& s = items.front().signature.s;
   for (const auto& item : items) {
-    if (!(item.signature.s == s)) return false;
+    if (!(item.signature.s == s)) return std::nullopt;
   }
-  if (s.is_infinity()) return false;
+  if (s.is_infinity()) return std::nullopt;
 
   // First pass: challenges and blinding scalars. The n challenge inversions
   // h_i⁻¹ are deferred and done with ONE batched inversion below.
   std::vector<math::Fq> h_invs;
   std::vector<math::Fq> deltas;
+  std::vector<math::U256> delta_raws;
   h_invs.reserve(items.size());
   deltas.reserve(items.size());
+  delta_raws.reserve(items.size());
   for (const auto& item : items) {
     const math::Fq h = mccls_challenge(item.message, item.signature.r, public_key);
-    if (h.is_zero()) return false;
+    if (h.is_zero()) return std::nullopt;
     h_invs.push_back(h);
     // δ_i: random kDeltaBits-bit non-zero scalar.
     std::array<std::uint8_t, kDeltaBits / 8> raw;
     do {
       rng.generate(raw);
     } while (math::U256::from_be_bytes(raw).is_zero());
-    deltas.push_back(math::Fq::from_u256(math::U256::from_be_bytes(raw)));
+    delta_raws.push_back(math::U256::from_be_bytes(raw));
+    deltas.push_back(math::Fq::from_u256(delta_raws.back()));
   }
   math::batch_invert(std::span<math::Fq>(h_invs));
 
-  ec::G1 combined = ec::G1::infinity();
+  // Second pass: the product point
+  //   Σ_i δ_i·h_i⁻¹·(V_i·P − h_i·R_i)  =  (Σ_i δ_i·V_i·h_i⁻¹)·P + Σ_i δ_i·(−R_i)
+  // regrouped so the shared base P takes ONE full-width multiplication
+  // (fixed-base table when P is the generator) and the per-item terms ride a
+  // single kDeltaBits-deep shared doubling chain — the δ_i are short by
+  // construction, so negating the POINT R_i (not the scalar) keeps them
+  // short. The old form paid a full 252-bit Shamir chain per item.
+  math::Fq p_coeff = math::Fq::zero();
   math::Fq delta_sum = math::Fq::zero();
+  std::vector<ec::G1> neg_rs;
+  neg_rs.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
-    // δ_i·h_i⁻¹·(V_i·P − h_i·R_i) = (δ_i·V_i/h_i)·P − δ_i·R_i, computed as
-    // one simultaneous double-scalar multiplication (Shamir's trick).
-    const math::Fq coeff_p = deltas[i] * items[i].signature.v * h_invs[i];
-    combined += ec::G1::mul2(coeff_p.to_u256(), params.p, deltas[i].neg().to_u256(),
-                             items[i].signature.r);
+    p_coeff += deltas[i] * items[i].signature.v * h_invs[i];
+    neg_rs.push_back(items[i].signature.r.neg());
     delta_sum += deltas[i];
   }
-  if (combined.is_infinity()) return false;
+  ec::G1 combined = params.p_is_generator() ? ec::G1::mul_generator(p_coeff)
+                                            : params.p.mul(p_coeff);
+  combined += ec::G1::msm(delta_raws, neg_rs);
+  if (combined.is_infinity()) return std::nullopt;
 
-  const pairing::Gt lhs = pairing::pair(combined, s);
-  const pairing::Gt base = cache != nullptr ? cache->get(params, id)
-                                            : pairing::pair(params.p_pub, hash_id(id));
-  return lhs == base.pow(delta_sum);
+  BatchEquation eq{combined, s, delta_sum, std::nullopt, ec::G1::infinity(),
+                   ec::G1::infinity()};
+  if (cache != nullptr) {
+    eq.base = cache->get(params, id);
+  } else {
+    // No cached base: fold the right-hand side into the pairing product as
+    // ê(−Σδ_i·Ppub, Q_ID) = ê(Ppub, Q_ID)^{−Σδ_i}.
+    eq.rhs_point = params.p_pub.mul(delta_sum).neg();
+    eq.q_id = hash_id(id);
+  }
+  return eq;
+}
+
+bool batch_equation_holds(const BatchEquation& eq) {
+  if (eq.base) {
+    // Cached base: one pairing against a (short-exponent) GT power.
+    return pairing::pair(eq.combined, eq.s) == eq.base->pow(eq.delta_sum);
+  }
+  // Both sides need a Miller loop: evaluate the whole product with one
+  // shared loop — the k = 2 denominator-elimination special case.
+  const std::array<std::pair<ec::G1, ec::G1>, 2> product = {
+      std::pair<ec::G1, ec::G1>{eq.combined, eq.s},
+      std::pair<ec::G1, ec::G1>{eq.rhs_point, eq.q_id},
+  };
+  return pairing::multi_pair(product).is_one();
+}
+
+bool batch_verify(const SystemParams& params, std::string_view id, const ec::G1& public_key,
+                  std::span<const BatchItem> items, crypto::HmacDrbg& rng,
+                  GtCache* cache) {
+  if (items.empty()) return true;
+  const auto eq = batch_equation(params, id, public_key, items, rng, cache);
+  return eq.has_value() && batch_equation_holds(*eq);
 }
 
 }  // namespace mccls::cls

@@ -10,11 +10,13 @@
 // A forged member makes equality fail except with probability ~2^-kDeltaBits.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "cls/mccls.hpp"
 #include "cls/scheme.hpp"
+#include "pairing/pairing.hpp"
 
 namespace mccls::cls {
 
@@ -26,6 +28,34 @@ struct BatchItem {
 
 /// Bit width of the random small exponents δ_i (soundness 2^-64).
 inline constexpr unsigned kDeltaBits = 64;
+
+/// The assembled small-exponent test of one same-signer batch, before any
+/// pairing is evaluated:  ê(combined, s) · rhs == 1,  with rhs either
+/// base^{−delta_sum} (when the signer's base pairing was cached) or
+/// ê(rhs_point, q_id) with rhs_point = −delta_sum·Ppub. Exposing the
+/// operands lets the verifyd coalescer fold MANY groups' equations into one
+/// multi_pair product sharing a single Miller loop.
+struct BatchEquation {
+  ec::G1 combined;
+  ec::G1 s;
+  math::Fq delta_sum;
+  std::optional<pairing::Gt> base;  ///< cached ê(Ppub, Q_ID), if available
+  ec::G1 rhs_point;                 ///< −delta_sum·Ppub; set iff !base
+  ec::G1 q_id;                      ///< hash_id(id);     set iff !base
+};
+
+/// Derives the product equation for `items` (challenges, blinding scalars,
+/// the regrouped MSM). Returns nullopt on structural rejection: mixed or
+/// infinity S, zero challenge, or an infinity combined point.
+std::optional<BatchEquation> batch_equation(const SystemParams& params,
+                                            std::string_view id,
+                                            const ec::G1& public_key,
+                                            std::span<const BatchItem> items,
+                                            crypto::HmacDrbg& rng,
+                                            GtCache* cache = nullptr);
+
+/// Evaluates one equation by itself (a k ≤ 2 multi_pair product).
+[[nodiscard]] bool batch_equation_holds(const BatchEquation& eq);
 
 /// Verifies all `items` as signatures by `id` / `public_key` (the single
 /// McCLS point P_ID). Requires every signature to share the same S component

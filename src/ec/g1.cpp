@@ -251,6 +251,23 @@ G1 G1::mul2(const U256& a, const G1& p, const U256& b, const G1& q) {
   return jac_to_affine(acc);
 }
 
+G1 G1::msm(std::span<const U256> ks, std::span<const G1> ps) {
+  if (ks.size() != ps.size()) throw std::invalid_argument("G1::msm: extent mismatch");
+  std::vector<Aff> bases;
+  bases.reserve(ps.size());
+  for (const G1& p : ps) bases.push_back(to_aff(p));
+  unsigned bits = 0;
+  for (const U256& k : ks) bits = std::max(bits, k.bit_length());
+  Jac acc;
+  for (unsigned i = bits; i-- > 0;) {
+    acc = jac_dbl(acc);
+    for (std::size_t j = 0; j < ks.size(); ++j) {
+      if (ks[j].bit(i)) acc = jac_add_affine(acc, bases[j]);
+    }
+  }
+  return jac_to_affine(acc);
+}
+
 G1 G1::mul_generator(const U256& k) {
   // Fixed-base window method: 64 windows of 4 bits, each with a 15-entry
   // table of (j << 4w)·G; a multiplication is then at most 64 additions and

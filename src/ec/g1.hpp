@@ -73,6 +73,12 @@ class G1 {
   /// for V·P − h·R (see bench_primitives for the ablation).
   static G1 mul2(const U256& a, const G1& p, const U256& b, const G1& q);
 
+  /// Multi-scalar multiplication Σ kᵢ·Pᵢ with ONE doubling chain shared by
+  /// all terms (depth = max bit length). Built for the batch verifier's
+  /// short blinding scalars, where k full-width chains would dwarf the adds;
+  /// correct for any scalar widths. ks and ps must have equal extent.
+  static G1 msm(std::span<const U256> ks, std::span<const G1> ps);
+
   /// Fixed-base multiplication k·G using a lazily built window table over
   /// the group generator; ~4x faster than generic mul for the signer's hot
   /// path. Thread-compatible: the table is built on first use.

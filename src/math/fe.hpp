@@ -1,7 +1,14 @@
 // Prime-field element in Montgomery form, parameterized by a params bundle
-// (field_params.hpp). All arithmetic is performed on Montgomery residues; the
-// representation only leaves/enters Montgomery form at the to_u256/from_*
-// boundary. Moduli are at most 254 bits, so limb sums never overflow 4 limbs.
+// (field_params.hpp) and a Montgomery-kernel backend. All arithmetic is
+// performed on Montgomery residues; the representation only leaves/enters
+// Montgomery form at the to_u256/from_* boundary. Moduli are at most 254
+// bits, so limb sums never overflow 4 limbs.
+//
+// The backend selects the multiplier: kCios is the fully-unrolled
+// compile-time-modulus kernel (default), kPortable the original loop form
+// kept as the differential reference. Both backends share R = 2^256, so the
+// raw Montgomery residues of Fe<P, kCios> and Fe<P, kPortable> are
+// bit-identical — values convert between the twins via raw()/from_raw.
 #pragma once
 
 #include <cstdint>
@@ -11,9 +18,19 @@
 
 namespace mccls::math {
 
-template <class Params>
+enum class FeBackend { kCios, kPortable };
+
+#if defined(MCCLS_PORTABLE_FIELD)
+inline constexpr FeBackend kDefaultFeBackend = FeBackend::kPortable;
+#else
+inline constexpr FeBackend kDefaultFeBackend = FeBackend::kCios;
+#endif
+
+template <class Params, FeBackend B = kDefaultFeBackend>
 class Fe {
  public:
+  static constexpr FeBackend kBackend = B;
+
   constexpr Fe() = default;
 
   static Fe zero() { return Fe{}; }
@@ -77,7 +94,17 @@ class Fe {
     return Fe{r};
   }
 
-  [[nodiscard]] Fe square() const { return *this * *this; }
+  [[nodiscard]] Fe square() const {
+    // Dedicated squaring on the fast backend: sqr_wide skips the duplicate
+    // off-diagonal limb products (10 instead of 16), then one REDC. The
+    // portable reference keeps the plain multiply — both reduce to the same
+    // canonical residue, so the backends stay bit-identical.
+    if constexpr (B == FeBackend::kCios) {
+      return Fe{mont_redc_cios<Params>(sqr_wide(v_))};
+    } else {
+      return *this * *this;
+    }
+  }
 
   [[nodiscard]] Fe dbl() const { return *this + *this; }
 
@@ -107,45 +134,37 @@ class Fe {
   [[nodiscard]] const U256& raw() const { return v_; }
   static Fe from_raw(const U256& mont) { return Fe{mont}; }
 
+  // --- Lazy-reduction hooks (see fp2.hpp) ---------------------------------
+
+  /// m^2 as a 512-bit compile-time constant. Adding it keeps a difference of
+  /// raw products non-negative without changing its value mod m.
+  static constexpr U512 kModSquared =
+      mul_wide(U256{Params::kMod}, U256{Params::kMod});
+
+  /// Raw double-width product of two residues, no reduction: < m^2.
+  static U512 mul_raw(const Fe& a, const Fe& b) { return mul_wide(a.v_, b.v_); }
+
+  /// Montgomery reduction of an accumulated t < m * 2^256; same semantics as
+  /// one mont_mul (divides by R), so lazy and eager paths land in the same
+  /// representation.
+  static Fe redc(const U512& t) {
+    if constexpr (B == FeBackend::kCios) {
+      return Fe{mont_redc_cios<Params>(t)};
+    } else {
+      return Fe{mont_redc_portable(t, modulus(), Params::kN0Inv)};
+    }
+  }
+
  private:
   explicit constexpr Fe(const U256& v) : v_(v) {}
 
-  /// CIOS Montgomery multiplication: returns a*b*R^{-1} mod m.
+  /// Montgomery multiplication, a*b*R^{-1} mod m, via the selected backend.
   static U256 mont_mul(const U256& a, const U256& b) {
-    using u128 = unsigned __int128;
-    const U256 m{Params::kMod};
-    std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
-    for (int i = 0; i < 4; ++i) {
-      // t += a[i] * b
-      std::uint64_t carry = 0;
-      for (int j = 0; j < 4; ++j) {
-        const u128 s = static_cast<u128>(a.w[i]) * b.w[j] + t[j] + carry;
-        t[j] = static_cast<std::uint64_t>(s);
-        carry = static_cast<std::uint64_t>(s >> 64);
-      }
-      {
-        const u128 s = static_cast<u128>(t[4]) + carry;
-        t[4] = static_cast<std::uint64_t>(s);
-        t[5] = static_cast<std::uint64_t>(s >> 64);
-      }
-      // Reduce: t += mu * m, then shift one limb right.
-      const std::uint64_t mu = t[0] * Params::kN0Inv;
-      u128 s = static_cast<u128>(mu) * m.w[0] + t[0];
-      carry = static_cast<std::uint64_t>(s >> 64);
-      for (int j = 1; j < 4; ++j) {
-        s = static_cast<u128>(mu) * m.w[j] + t[j] + carry;
-        t[j - 1] = static_cast<std::uint64_t>(s);
-        carry = static_cast<std::uint64_t>(s >> 64);
-      }
-      s = static_cast<u128>(t[4]) + carry;
-      t[3] = static_cast<std::uint64_t>(s);
-      t[4] = t[5] + static_cast<std::uint64_t>(s >> 64);
-      t[5] = 0;
+    if constexpr (B == FeBackend::kCios) {
+      return mont_mul_cios<Params>(a, b);
+    } else {
+      return mont_mul_portable(a, b, modulus(), Params::kN0Inv);
     }
-    U256 r{{t[0], t[1], t[2], t[3]}};
-    // For m < 2^254 the CIOS output is < 2m and t[4] == 0.
-    if (t[4] != 0 || cmp(r, m) >= 0) sub(r, r, m);
-    return r;
   }
 
   U256 v_{};  // Montgomery residue, always < modulus
@@ -153,5 +172,11 @@ class Fe {
 
 using Fp = Fe<FpParams>;
 using Fq = Fe<FqParams>;
+
+/// Differential-reference twins on the portable kernel (same residues, same
+/// R; only the multiplier differs). Under -DMCCLS_PORTABLE_FIELD these are
+/// the same types as Fp/Fq.
+using FpPortable = Fe<FpParams, FeBackend::kPortable>;
+using FqPortable = Fe<FqParams, FeBackend::kPortable>;
 
 }  // namespace mccls::math

@@ -117,18 +117,66 @@ U256 shr1(const U256& a) {
   return out;
 }
 
-U512 mul_wide(const U256& a, const U256& b) {
-  U512 out;
+U256 mont_mul_portable(const U256& a, const U256& b, const U256& m,
+                       std::uint64_t n0inv) {
+  std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
   for (int i = 0; i < 4; ++i) {
+    // t += a[i] * b
     std::uint64_t carry = 0;
     for (int j = 0; j < 4; ++j) {
-      const u128 s = static_cast<u128>(a.w[i]) * b.w[j] + out.w[i + j] + carry;
-      out.w[i + j] = static_cast<std::uint64_t>(s);
+      const u128 s = static_cast<u128>(a.w[i]) * b.w[j] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(s);
       carry = static_cast<std::uint64_t>(s >> 64);
     }
-    out.w[i + 4] = carry;
+    {
+      const u128 s = static_cast<u128>(t[4]) + carry;
+      t[4] = static_cast<std::uint64_t>(s);
+      t[5] = static_cast<std::uint64_t>(s >> 64);
+    }
+    // Reduce: t += mu * m, then shift one limb right.
+    const std::uint64_t mu = t[0] * n0inv;
+    u128 s = static_cast<u128>(mu) * m.w[0] + t[0];
+    carry = static_cast<std::uint64_t>(s >> 64);
+    for (int j = 1; j < 4; ++j) {
+      s = static_cast<u128>(mu) * m.w[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
+    }
+    s = static_cast<u128>(t[4]) + carry;
+    t[3] = static_cast<std::uint64_t>(s);
+    t[4] = t[5] + static_cast<std::uint64_t>(s >> 64);
+    t[5] = 0;
   }
-  return out;
+  U256 r{{t[0], t[1], t[2], t[3]}};
+  // For m < 2^254 the CIOS output is < 2m and t[4] == 0.
+  if (t[4] != 0 || cmp(r, m) >= 0) sub(r, r, m);
+  return r;
+}
+
+U256 mont_redc_portable(const U512& t_in, const U256& m, std::uint64_t n0inv) {
+  // Word-by-word REDC over a 9-limb scratch copy: four rounds of adding
+  // mu*m at limb i so the low 256 bits cancel, then the high half is the
+  // result. t < m*2^256 keeps the result below 2m (one subtract).
+  std::uint64_t t[9];
+  for (int i = 0; i < 8; ++i) t[i] = t_in.w[i];
+  t[8] = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t mu = t[i] * n0inv;
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 s = static_cast<u128>(mu) * m.w[j] + t[i + j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
+    }
+    for (int j = i + 4; carry != 0 && j < 9; ++j) {
+      const u128 s = static_cast<u128>(t[j]) + carry;
+      t[j] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
+    }
+  }
+  U256 r{{t[4], t[5], t[6], t[7]}};
+  if (t[8] != 0 || cmp(r, m) >= 0) sub(r, r, m);
+  return r;
 }
 
 U512 U512::from_be_bytes(std::span<const std::uint8_t> bytes) {

@@ -1,5 +1,8 @@
 #include "pairing/pairing.hpp"
 
+#include <array>
+#include <cstdint>
+
 #include "math/batch_inv.hpp"
 #include "math/fp2.hpp"
 
@@ -10,6 +13,62 @@ namespace {
 using math::Fp;
 using math::Fp2;
 using math::U256;
+
+// ---------------------------------------------------------------------------
+// Non-adjacent form of the subgroup order q, most-significant digit first.
+//
+// q has Hamming weight 130 over 252 bits; its NAF has only 83 nonzero digits,
+// so walking the NAF instead of the bits drops ~46 addition steps (~17M each)
+// from every Miller loop. A −1 digit adds −P, i.e. runs the ordinary chord
+// step against (xp, −yp); the extra vertical-line factors the textbook NAF
+// recursion prescribes all take values in Fp at φ(Q) and die in f^(p−1),
+// exactly like the denominators already eliminated below.
+//
+// EVERY Miller loop in this file — affine, projective, portable, multi_pair —
+// walks THIS digit string. That is a correctness requirement, not a style
+// choice: the differential suites assert exact equality between the variants
+// even on degenerate non-subgroup inputs, where different addition chains
+// meet different lines and so have different zero-line sets.
+struct OrderNaf {
+  std::array<signed char, 260> digit{};  // digit[0] is most significant (+1)
+  unsigned len = 0;
+};
+
+const OrderNaf& order_naf() {
+  static const OrderNaf naf = [] {
+    // Local 5-limb copy of q (one spare limb so q+1 can never overflow).
+    std::uint64_t w[5] = {0, 0, 0, 0, 0};
+    {
+      const U256& q = math::Fq::modulus();
+      for (int i = 0; i < 4; ++i) w[i] = q.w[i];
+    }
+    signed char lsb_first[260];
+    unsigned n = 0;
+    while (w[0] | w[1] | w[2] | w[3] | w[4]) {
+      signed char d = 0;
+      if (w[0] & 1) {
+        d = (w[0] & 2) ? -1 : 1;  // d = 2 − (w mod 4) ∈ {−1, +1}
+        if (d == 1) {
+          for (int i = 0; i < 5; ++i) {
+            if (w[i]-- != 0) break;  // borrow ripples through zero limbs
+          }
+        } else {
+          for (int i = 0; i < 5; ++i) {
+            if (++w[i] != 0) break;  // carry ripples through ~0 limbs
+          }
+        }
+      }
+      lsb_first[n++] = d;
+      for (int i = 0; i < 4; ++i) w[i] = (w[i] >> 1) | (w[i + 1] << 63);
+      w[4] >>= 1;
+    }
+    OrderNaf out{};
+    out.len = n;
+    for (unsigned i = 0; i < n; ++i) out.digit[i] = lsb_first[n - 1 - i];
+    return out;
+  }();
+  return naf;
+}
 
 // ---------------------------------------------------------------------------
 // Affine reference implementation (pair_affine).
@@ -25,11 +84,12 @@ Fp2 line_eval(const G1& t, const Fp& lambda, const Fp& xq_neg, const Fp& yq) {
 Fp2 miller_loop_affine(const G1& p, const G1& q) {
   const Fp xq_neg = q.x().neg();
   const Fp& yq = q.y();
-  const U256& order = math::Fq::modulus();
+  const Fp yp_neg = p.y().neg();
+  const OrderNaf& naf = order_naf();
 
   Fp2 f = Fp2::one();
-  G1 t = p;
-  for (unsigned i = order.bit_length() - 1; i-- > 0;) {
+  G1 t = p;  // consumes naf.digit[0] == +1
+  for (unsigned i = 1; i < naf.len; ++i) {
     // Doubling step: f <- f^2 · l_{T,T}(φQ); T <- 2T.
     f = f.square();
     if (!t.is_infinity()) {
@@ -45,16 +105,19 @@ Fp2 miller_loop_affine(const G1& p, const G1& q) {
         t = G1::from_affine_unchecked(x3, y3);
       }
     }
-    if (order.bit(i)) {
-      // Addition step: f <- f · l_{T,P}(φQ); T <- T + P.
+    if (naf.digit[i] != 0) {
+      // Addition step: f <- f · l_{T,±P}(φQ); T <- T ± P. A −1 digit is the
+      // same chord step against −P = (xp, −yp).
+      const Fp& py = naf.digit[i] > 0 ? p.y() : yp_neg;
       if (t.is_infinity()) {
-        t = p;
+        t = G1::from_affine_unchecked(p.x(), py);
       } else if (t.x() == p.x()) {
-        // T == −P (T == P cannot occur mid-loop for prime-order P):
-        // vertical line, value in Fp, skip the multiply.
+        // Vertical chord (T == ∓P; for prime-order P the T == ±P-with-
+        // matching-y doubling case cannot occur mid-chain): value in Fp,
+        // skip the multiply.
         t = G1::infinity();
       } else {
-        const Fp lambda = (p.y() - t.y()) * (p.x() - t.x()).inv();
+        const Fp lambda = (py - t.y()) * (p.x() - t.x()).inv();
         f *= line_eval(t, lambda, xq_neg, yq);
         const Fp x3 = lambda.square() - t.x() - p.x();
         const Fp y3 = lambda * (t.x() - x3) - t.y();
@@ -86,83 +149,125 @@ Fp2 miller_loop_affine(const G1& p, const G1& q) {
 // Fermat — the scale factors vanish. Per-step cost drops from ~1I + 5M (affine) to
 // 12M + 6S (doubling) / 13M + 3S (addition) with I ≈ 60–100M — the whole
 // pair() performs exactly one inversion (inside final_exponentiation).
-math::Fp2 miller_loop(const G1& p, const G1& q) {
-  if (p.is_infinity() || q.is_infinity()) return Fp2::one();
+//
+// The loop is templated on the base-field type so the portable-backend
+// reference (pair_portable) runs the very same step sequence on the
+// loop-form Montgomery kernel; F is Fp or FpPortable.
+namespace {
 
-  const Fp& xp = p.x();
-  const Fp& yp = p.y();
-  const Fp& xq = q.x();
-  const Fp& yq = q.y();
-  const U256& order = math::Fq::modulus();
+// One doubling step on T = (X : Y : Z): advances T <- 2T and emits the
+// scaled tangent line at φQ into (l_re, l_im). Returns false (T became
+// infinity, no line) for the vertical-tangent 2-torsion case. Kept
+// out-of-line so pair(), pair_portable() and multi_pair() all run the
+// exact same compiled step — the differential properties compare these
+// paths transition for transition, and the shared copy keeps the fat
+// multi-state loop from spilling its registers.
+template <class F>
+[[gnu::noinline]] bool proj_dbl_step(F& X, F& Y, F& Z, const F& xq, const F& yq,
+                                     F& l_re, F& l_im) {
+  if (Y.is_zero()) return false;  // vertical tangent: value in Fp, omitted
+  const F xx = X.square();
+  const F yy = Y.square();
+  const F yyyy = yy.square();
+  const F zz = Z.square();
+  const F m = xx.dbl() + xx + zz.square();  // 3X² + Z⁴  (a = 1)
+  const F s = (X * yy).dbl().dbl();         // 4XY²
+  const F x3 = m.square() - s.dbl();
+  const F z3 = (Y * Z).dbl();               // 2YZ — the slope denominator
+  const F y3 = m * (s - x3) - yyyy.dbl().dbl().dbl();
+  l_re = m * (X + xq * zz) - yy.dbl();
+  l_im = yq * (z3 * zz);
+  X = x3;
+  Y = y3;
+  Z = z3;
+  return true;
+}
 
-  Fp2 f = Fp2::one();
-  // T = (X : Y : Z), starts at P (affine, Z = 1). t_inf tracks Z == 0
-  // explicitly so the hot path never tests a field element for zero.
-  Fp X = xp;
-  Fp Y = yp;
-  Fp Z = Fp::one();
+// One mixed-addition step T <- T + A (A affine, T != infinity): emits the
+// scaled chord line at φQ. The NAF loops pass A = P or A = −P = (xp, −yp).
+// Returns false (T became infinity, no line) for the vertical chord T == −A;
+// the T == A doubling case cannot occur mid-chain for prime-order P.
+template <class F>
+[[gnu::noinline]] bool proj_add_step(F& X, F& Y, F& Z, const F& xp, const F& yp,
+                                     const F& xq, const F& yq, F& l_re, F& l_im) {
+  const F zz = Z.square();
+  const F u2 = xp * zz;
+  const F s2 = yp * (zz * Z);
+  if (u2 == X) return false;
+  const F h = u2 - X;
+  const F r = s2 - Y;
+  const F hh = h.square();
+  const F hhh = h * hh;
+  const F v = X * hh;
+  const F x3 = r.square() - hhh - v.dbl();
+  const F y3 = r * (v - x3) - Y * hhh;
+  const F z3 = Z * h;                         // the slope denominator
+  l_re = r * (xp + xq) - yp * z3;
+  l_im = yq * z3;
+  X = x3;
+  Y = y3;
+  Z = z3;
+  return true;
+}
+
+template <class F>
+math::Fe2<F> miller_loop_proj(const F& xp, const F& yp, const F& xq, const F& yq) {
+  using F2 = math::Fe2<F>;
+  const OrderNaf& naf = order_naf();
+  const F yp_neg = yp.neg();
+
+  F2 f = F2::one();
+  // T = (X : Y : Z), starts at P (affine, Z = 1) — naf.digit[0] == +1.
+  // t_inf tracks Z == 0 explicitly so the hot path never tests a field
+  // element for zero.
+  F X = xp;
+  F Y = yp;
+  F Z = F::one();
   bool t_inf = false;
+  F l_re, l_im;
 
-  for (unsigned i = order.bit_length() - 1; i-- > 0;) {
+  for (unsigned i = 1; i < naf.len; ++i) {
     // Doubling step: f <- f^2 · l_{T,T}(φQ); T <- 2T.
     f = f.square();
     if (!t_inf) {
-      if (Y.is_zero()) {
-        // Vertical tangent (2-torsion T): value lies in Fp, omitted.
-        t_inf = true;
+      if (proj_dbl_step(X, Y, Z, xq, yq, l_re, l_im)) {
+        f *= F2{l_re, l_im};
       } else {
-        const Fp xx = X.square();
-        const Fp yy = Y.square();
-        const Fp yyyy = yy.square();
-        const Fp zz = Z.square();
-        const Fp m = xx.dbl() + xx + zz.square();  // 3X² + Z⁴  (a = 1)
-        const Fp s = (X * yy).dbl().dbl();         // 4XY²
-        const Fp x3 = m.square() - s.dbl();
-        const Fp z3 = (Y * Z).dbl();               // 2YZ — the slope denominator
-        const Fp y3 = m * (s - x3) - yyyy.dbl().dbl().dbl();
-        const Fp l_re = m * (X + xq * zz) - yy.dbl();
-        const Fp l_im = yq * (z3 * zz);
-        f *= Fp2{l_re, l_im};
-        X = x3;
-        Y = y3;
-        Z = z3;
+        t_inf = true;
       }
     }
-    if (order.bit(i)) {
-      // Addition step: f <- f · l_{T,P}(φQ); T <- T + P (mixed, P affine).
+    const int d = naf.digit[i];
+    if (d != 0) {
+      // Addition step: f <- f · l_{T,±P}(φQ); T <- T ± P (mixed, ±P affine,
+      // −P = (xp, −yp)).
+      const F& py = d > 0 ? yp : yp_neg;
       if (t_inf) {
         X = xp;
-        Y = yp;
-        Z = Fp::one();
+        Y = py;
+        Z = F::one();
         t_inf = false;
+      } else if (proj_add_step(X, Y, Z, xp, py, xq, yq, l_re, l_im)) {
+        f *= F2{l_re, l_im};
       } else {
-        const Fp zz = Z.square();
-        const Fp u2 = xp * zz;
-        const Fp s2 = yp * (zz * Z);
-        if (u2 == X) {
-          // T == −P (T == P cannot occur mid-loop for prime-order P):
-          // vertical line, value in Fp, skip the multiply.
-          t_inf = true;
-        } else {
-          const Fp h = u2 - X;
-          const Fp r = s2 - Y;
-          const Fp hh = h.square();
-          const Fp hhh = h * hh;
-          const Fp v = X * hh;
-          const Fp x3 = r.square() - hhh - v.dbl();
-          const Fp y3 = r * (v - x3) - Y * hhh;
-          const Fp z3 = Z * h;                     // the slope denominator
-          const Fp l_re = r * (xp + xq) - yp * z3;
-          const Fp l_im = yq * z3;
-          f *= Fp2{l_re, l_im};
-          X = x3;
-          Y = y3;
-          Z = z3;
-        }
+        t_inf = true;
       }
     }
   }
   return f;
+}
+
+// Final-exponentiation core on any backend: f^{(p²−1)/q} = (conj(f)·f⁻¹)⁴.
+template <class F2>
+F2 final_exp_core(const F2& f) {
+  const F2 g = f.conjugate() * f.inv();
+  return g.square().square();
+}
+
+}  // namespace
+
+math::Fp2 miller_loop(const G1& p, const G1& q) {
+  if (p.is_infinity() || q.is_infinity()) return Fp2::one();
+  return miller_loop_proj<Fp>(p.x(), p.y(), q.x(), q.y());
 }
 
 // Final exponentiation: (p²−1)/q = (p−1)·(p+1)/q = (p−1)·4.
@@ -172,8 +277,7 @@ Gt final_exponentiation(const math::Fp2& f) {
   // f == 0 can only arise from degenerate non-subgroup inputs whose pairing
   // value is unconstrained; map them to the identity instead of inverting 0.
   if (f.is_zero()) return Gt::one();
-  const Fp2 g = f.conjugate() * f.inv();
-  return Gt{g.square().square()};
+  return Gt{final_exp_core(f)};
 }
 
 std::vector<Gt> final_exponentiation_batch(std::span<const math::Fp2> fs) {
@@ -200,6 +304,110 @@ Gt pair(const G1& p, const G1& q) {
 Gt pair_affine(const G1& p, const G1& q) {
   if (p.is_infinity() || q.is_infinity()) return Gt::one();
   return final_exponentiation(miller_loop_affine(p, q));
+}
+
+Gt pair_portable(const G1& p, const G1& q) {
+  if (p.is_infinity() || q.is_infinity()) return Gt::one();
+  using Fpp = math::FpPortable;
+  // Fp and FpPortable share R = 2^256, so Montgomery residues carry over
+  // verbatim; only the multiplier differs.
+  const auto cast = [](const Fp& v) { return Fpp::from_raw(v.raw()); };
+  const math::Fe2<Fpp> f =
+      miller_loop_proj<Fpp>(cast(p.x()), cast(p.y()), cast(q.x()), cast(q.y()));
+  if (f.is_zero()) return Gt::one();
+  const math::Fe2<Fpp> g = final_exp_core(f);
+  return Gt{Fp2{Fp::from_raw(g.re().raw()), Fp::from_raw(g.im().raw())}};
+}
+
+Gt multi_pair(std::span<const std::pair<G1, G1>> pairs) {
+  // Per-pair Miller state. The step formulas below are the same as
+  // miller_loop_proj's, transition for transition — the differential
+  // property multi_pair_eq_product_of_pairs holds the two in lockstep.
+  struct State {
+    Fp xp, yp, yp_neg, xq, yq;  // affine inputs (−P precomputed for −1 digits)
+    Fp X, Y, Z;                 // running Jacobian T
+    bool t_inf;
+    bool dead;  // hit a zero line value: this pair's Miller value is zero
+  };
+  std::vector<State> states;
+  states.reserve(pairs.size());
+  for (const auto& [p, q] : pairs) {
+    // Infinity pairs contribute ê(P, Q) = 1 — same as pair()'s early return.
+    if (p.is_infinity() || q.is_infinity()) continue;
+    states.push_back(State{p.x(), p.y(), p.y().neg(), q.x(), q.y(), p.x(),
+                           p.y(), Fp::one(), false, false});
+  }
+  if (states.empty()) return Gt::one();
+
+  const OrderNaf& naf = order_naf();
+
+  // One pass of the shared loop: a single f² per bit covers every pair, then
+  // each live pair folds its line value in. A zero line (possible only for
+  // degenerate non-subgroup inputs) zeroes that pair's own Miller value;
+  // pair() maps such values to Gt::one(), so the pair must drop out of the
+  // product rather than zeroing all of f. Line values depend only on the
+  // pair's own T-chain, so one re-run with the dead pairs removed matches
+  // ∏ pair() exactly.
+  const auto run = [&](std::vector<State>& st) {
+    Fp2 f = Fp2::one();
+    bool any_dead = false;
+    Fp l_re, l_im;
+    for (unsigned i = 1; i < naf.len; ++i) {
+      f = f.square();
+      const int d = naf.digit[i];
+      for (State& s : st) {
+        if (s.dead) continue;
+        // Doubling step: f <- f · l_{T,T}(φQ); T <- 2T.
+        if (!s.t_inf) {
+          if (proj_dbl_step(s.X, s.Y, s.Z, s.xq, s.yq, l_re, l_im)) {
+            if (l_re.is_zero() && l_im.is_zero()) {
+              s.dead = true;
+              any_dead = true;
+              continue;
+            }
+            f *= Fp2{l_re, l_im};
+          } else {
+            s.t_inf = true;
+          }
+        }
+        if (d != 0) {
+          // Addition step: f <- f · l_{T,±P}(φQ); T <- T ± P.
+          const Fp& py = d > 0 ? s.yp : s.yp_neg;
+          if (s.t_inf) {
+            s.X = s.xp;
+            s.Y = py;
+            s.Z = Fp::one();
+            s.t_inf = false;
+          } else if (proj_add_step(s.X, s.Y, s.Z, s.xp, py, s.xq, s.yq, l_re,
+                                   l_im)) {
+            if (l_re.is_zero() && l_im.is_zero()) {
+              s.dead = true;
+              any_dead = true;
+              continue;
+            }
+            f *= Fp2{l_re, l_im};
+          } else {
+            s.t_inf = true;
+          }
+        }
+      }
+    }
+    return std::pair<Fp2, bool>{f, any_dead};
+  };
+
+  auto [f, any_dead] = run(states);
+  if (any_dead) {
+    std::erase_if(states, [](const State& s) { return s.dead; });
+    if (states.empty()) return Gt::one();
+    for (State& s : states) {
+      s.X = s.xp;
+      s.Y = s.yp;
+      s.Z = Fp::one();
+      s.t_inf = false;
+    }
+    f = run(states).first;  // deterministic per pair: no new deaths possible
+  }
+  return final_exponentiation(f);
 }
 
 }  // namespace mccls::pairing

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "ec/g1.hpp"
@@ -39,6 +40,21 @@ Gt pair(const G1& p, const G1& q);
 /// inversion per doubling/addition step). Kept for cross-checking and as
 /// the bench_pairing baseline; use pair() everywhere else.
 Gt pair_affine(const G1& p, const G1& q);
+
+/// The projective pairing on the portable Montgomery backend — the exact
+/// pre-CIOS configuration, kept callable in the same binary. It anchors the
+/// bench_pairing `pair_portable*` series (what one coalesced-batch pairing
+/// used to cost) and the CIOS-vs-portable differential property.
+Gt pair_portable(const G1& p, const G1& q);
+
+/// Computes ∏ᵢ ê(Pᵢ, Qᵢ) with ONE shared Miller loop: a single f-squaring
+/// chain accumulates every pair's line functions, and one final
+/// exponentiation reduces the product. Exactly equal to multiplying the k
+/// individual pair() values — including degenerate non-subgroup inputs,
+/// whose zero Miller values are detected per pair and contribute Gt::one()
+/// just as they do in pair(). Empty span returns Gt::one(); k = 1 equals
+/// pair(); infinity pairs contribute Gt::one().
+Gt multi_pair(std::span<const std::pair<G1, G1>> pairs);
 
 /// The unreduced Miller-loop value f_{q,P}(φQ) ∈ Fp2 (inversion-free,
 /// Jacobian coordinates). pair(P, Q) == final_exponentiation(miller_loop(P, Q)).

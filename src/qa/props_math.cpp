@@ -110,6 +110,38 @@ void register_math_properties() {
     return Fp::from_wide(wide) == expected;
   });
 
+  // ---- Montgomery backends (CIOS vs portable) ------------------------------
+  prop("montgomery_cios_eq_portable", 96, 4, [](const Scalars& s) {
+    // The unrolled compile-time-modulus kernels must be bit-identical to the
+    // loop-form runtime-modulus reference on every operation the field layer
+    // routes through them: multiply, dedicated squaring, and standalone REDC.
+    using FpP = math::FpPortable;
+    const Fp a = Fp::from_u256(s[0]), b = Fp::from_u256(s[1]);
+    const FpP ap = FpP::from_raw(a.raw()), bp = FpP::from_raw(b.raw());
+    if (!((a * b).raw() == (ap * bp).raw())) return false;
+    if (!(a.square().raw() == ap.square().raw())) return false;
+    // sqr_wide is the CIOS square's front half; pin it to mul_wide exactly.
+    if (!(sqr_wide(s[2]) == mul_wide(s[2], s[2]))) return false;
+    // REDC on a lazy-accumulated t < m * 2^256 (a reduced, s[1] arbitrary).
+    const U512 t = mul_wide(a.raw(), s[1]);
+    return Fp::redc(t).raw() == FpP::redc(t).raw();
+  });
+
+  prop("fp2_lazy_eq_eager", 128, 4, [](const Scalars& s) {
+    // The lazy-reduction Fp2 multiply against eager Karatsuba on both
+    // backends: same canonical residues, coefficient for coefficient.
+    const Fp2 x{Fp::from_u256(s[0]), Fp::from_u256(s[1])};
+    const Fp2 y{Fp::from_u256(s[2]), Fp::from_u256(s[3])};
+    const Fp2 lazy = Fp2::mul_lazy(x, y);
+    if (!(lazy == Fp2::mul_eager(x, y))) return false;
+    using Fp2P = math::Fp2Portable;
+    using FpP = math::FpPortable;
+    const Fp2P xp{FpP::from_raw(x.re().raw()), FpP::from_raw(x.im().raw())};
+    const Fp2P yp{FpP::from_raw(y.re().raw()), FpP::from_raw(y.im().raw())};
+    const Fp2P ep = xp * yp;
+    return lazy.re().raw() == ep.re().raw() && lazy.im().raw() == ep.im().raw();
+  });
+
   prop("fp2_field_laws", 96, 6, [](const Scalars& s) {
     const Fp2 x{Fp::from_u256(s[0]), Fp::from_u256(s[1])};
     const Fp2 y{Fp::from_u256(s[2]), Fp::from_u256(s[3])};
@@ -177,6 +209,38 @@ void register_math_properties() {
     const Gt base = pairing::pair(g, g);
     return pairing::pair(g.mul(a), g.mul(b)) == base.pow(a.to_u256()).pow(b.to_u256()) &&
            pairing::pair(g.mul(a) + g.mul(b), g) == base.pow((a + b).to_u256());
+  });
+
+  prop("multi_pair_eq_product_of_pairs", 3, 9, [](const Scalars& s) {
+    // One shared Miller loop over k ∈ [0,16] pairs must equal the product of
+    // individual pair() AND pair_affine() values — including pairs at
+    // infinity (contribute 1) and degenerate non-subgroup inputs (2-torsion
+    // translates), whose zero Miller values every path maps to Gt::one().
+    const std::uint64_t k = s[8].w[0] % 17;
+    const auto t2 = ec::G1::from_affine(Fp::zero(), Fp::zero());
+    if (!t2.has_value()) return false;
+    std::vector<std::pair<ec::G1, ec::G1>> pairs;
+    pairs.reserve(k);
+    Gt product = Gt::one();
+    Gt product_affine = Gt::one();
+    for (std::uint64_t j = 0; j < k; ++j) {
+      U256 a = s[j % 4], b = s[4 + (j % 4)];
+      a.w[1] ^= j + 1;  // de-duplicate the recycled scalars
+      b.w[2] ^= (j + 1) * 0x9e3779b97f4a7c15ULL;
+      ec::G1 p = point_from(a);
+      ec::G1 q = point_from(b);
+      switch ((s[8].w[1] >> (2 * j)) & 3) {
+        case 1: p = ec::G1::infinity(); break;
+        case 2: p = p + *t2; break;  // on curve, outside the q-subgroup
+        case 3: q = q + *t2; break;
+        default: break;
+      }
+      pairs.emplace_back(p, q);
+      product *= pairing::pair(p, q);
+      product_affine *= pairing::pair_affine(p, q);
+    }
+    const Gt got = pairing::multi_pair(pairs);
+    return got == product && got == product_affine;
   });
 
   prop("final_exp_batch_matches", 6, 3, [](const Scalars& s) {

@@ -39,6 +39,12 @@ class ServiceMetrics {
   /// A batch that failed the small-exponent test and was re-verified
   /// signature by signature.
   void on_batch_fallback() { batch_fallbacks_.fetch_add(1, std::memory_order_relaxed); }
+  /// One multi_pair product evaluation covering `groups` coalesced batches
+  /// (the number of ê(·,·) factors sharing one Miller loop).
+  void on_multi_pair(std::size_t groups) {
+    multi_pair_batches_.fetch_add(1, std::memory_order_relaxed);
+    multi_pair_groups_.fetch_add(groups, std::memory_order_relaxed);
+  }
 
   void on_latency_ns(std::uint64_t ns) {
     latency_hist_[log2_bucket(ns, kLatencyBuckets)].fetch_add(1, std::memory_order_relaxed);
@@ -112,6 +118,8 @@ class ServiceMetrics {
     std::uint64_t batches = 0;
     std::uint64_t batched_signatures = 0;
     std::uint64_t batch_fallbacks = 0;
+    std::uint64_t multi_pair_batches = 0;
+    std::uint64_t multi_pair_groups = 0;
     std::uint64_t single_verifies = 0;
     std::uint64_t queue_depth_peak = 0;
     std::uint64_t dir_hits = 0;
@@ -147,6 +155,12 @@ class ServiceMetrics {
                           : static_cast<double>(batched_signatures) /
                                 static_cast<double>(batches);
     }
+    /// Mean ê(·,·) factors per multi_pair product (1.0 when none ran).
+    [[nodiscard]] double mean_multi_pair_width() const {
+      return multi_pair_batches == 0 ? 1.0
+                                     : static_cast<double>(multi_pair_groups) /
+                                           static_cast<double>(multi_pair_batches);
+    }
   };
 
   [[nodiscard]] Snapshot snapshot() const {
@@ -159,6 +173,8 @@ class ServiceMetrics {
     s.batches = batches_.load(std::memory_order_relaxed);
     s.batched_signatures = batched_signatures_.load(std::memory_order_relaxed);
     s.batch_fallbacks = batch_fallbacks_.load(std::memory_order_relaxed);
+    s.multi_pair_batches = multi_pair_batches_.load(std::memory_order_relaxed);
+    s.multi_pair_groups = multi_pair_groups_.load(std::memory_order_relaxed);
     s.single_verifies = single_verifies_.load(std::memory_order_relaxed);
     s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
     s.dir_hits = dir_hits_.load(std::memory_order_relaxed);
@@ -260,8 +276,20 @@ class ServiceMetrics {
     counter("batches", static_cast<double>(s.batches));
     counter("batched_signatures", static_cast<double>(s.batched_signatures));
     counter("batch_fallbacks", static_cast<double>(s.batch_fallbacks));
+    counter("multi_pair_batches", static_cast<double>(s.multi_pair_batches));
+    counter("multi_pair_groups", static_cast<double>(s.multi_pair_groups));
+    counter("mean_multi_pair_width", s.mean_multi_pair_width());
     counter("single_verifies", static_cast<double>(s.single_verifies));
     counter("mean_batch_size", s.mean_batch_size());
+    // Coalesced-batch-size log2 histogram: bucket i counts batches of
+    // [2^i, 2^{i+1}) signatures. This is what makes a throughput claim
+    // attributable to actual batch depth under a given arrival skew.
+    for (std::size_t i = 0; i < kBatchBuckets; ++i) {
+      char key[32];
+      std::snprintf(key, sizeof key, "batch_hist_%llu",
+                    static_cast<unsigned long long>(std::uint64_t{1} << i));
+      counter(key, static_cast<double>(s.batch_hist[i]));
+    }
     counter("queue_depth_peak", static_cast<double>(s.queue_depth_peak));
     counter("dir_hits", static_cast<double>(s.dir_hits));
     counter("dir_misses", static_cast<double>(s.dir_misses));
@@ -321,7 +349,7 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> submitted_{0}, verified_{0}, rejected_{0}, busy_{0},
       malformed_{0};
   std::atomic<std::uint64_t> batches_{0}, batched_signatures_{0}, batch_fallbacks_{0},
-      single_verifies_{0};
+      single_verifies_{0}, multi_pair_batches_{0}, multi_pair_groups_{0};
   std::atomic<std::uint64_t> queue_depth_peak_{0};
   std::atomic<std::uint64_t> dir_hits_{0}, dir_misses_{0}, unknown_signer_{0},
       unavailable_{0}, wal_fsyncs_{0};

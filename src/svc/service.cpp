@@ -6,6 +6,7 @@
 #include "cls/batch.hpp"
 #include "cls/mccls.hpp"
 #include "cls/registry.hpp"
+#include "pairing/pairing.hpp"
 
 namespace mccls::svc {
 
@@ -166,6 +167,19 @@ void VerifyService::process_chunk(std::vector<Job>& jobs, crypto::HmacDrbg& rng)
     groups[group_key(request, *parsed[i])].push_back(i);
   }
 
+  // Pass 2: derive each group's product equation, then evaluate EVERY
+  // group's pairing with one shared Miller loop: the chunk-wide product
+  //   ∏_g ê(combined_g, S_g) · rhs_g == 1
+  // where a cached rhs contributes a (cheap) GT power and an uncached one a
+  // second pair in the multi_pair span. Distinct groups have distinct
+  // (id, pk, S) and independent blinding scalars, so the small-exponent
+  // soundness argument applies to the cross-group product exactly as it
+  // does within one batch.
+  struct PendingGroup {
+    const std::vector<std::size_t>* members;
+    cls::BatchEquation eq;
+  };
+  std::vector<PendingGroup> pending;
   for (auto& [key, members] : groups) {
     if (members.size() < config_.min_batch) continue;  // below crossover
     std::vector<cls::BatchItem> items;
@@ -175,19 +189,48 @@ void VerifyService::process_chunk(std::vector<Job>& jobs, crypto::HmacDrbg& rng)
                                      .signature = *parsed[i]});
     }
     const VerifyRequest& head = jobs[members.front()].request;
-    const bool ok = cls::batch_verify(params_, head.id, head.public_key.primary(), items,
-                                      rng, &cache_);
-    if (ok) {
-      metrics_.on_batch(members.size());
-      for (const std::size_t i : members) {
-        finish(jobs[i], Status::kVerified);
-        done[i] = true;
-      }
-    } else {
-      // At least one member is bad (or the whole context is): re-verify
-      // individually so valid members still pass and verdicts match the
-      // single-threaded path exactly.
+    auto eq = cls::batch_equation(params_, head.id, head.public_key.primary(), items,
+                                  rng, &cache_);
+    if (!eq) {
+      // Structurally unbatchable (mixed S slipped past grouping, zero
+      // challenge, ...): the per-item path below decides each verdict.
       metrics_.on_batch_fallback();
+      continue;
+    }
+    pending.push_back(PendingGroup{&members, std::move(*eq)});
+  }
+
+  if (!pending.empty()) {
+    std::vector<std::pair<ec::G1, ec::G1>> product;
+    product.reserve(pending.size() * 2);
+    pairing::Gt cached_rhs = pairing::Gt::one();
+    for (const PendingGroup& group : pending) {
+      product.emplace_back(group.eq.combined, group.eq.s);
+      if (group.eq.base) {
+        cached_rhs *= group.eq.base->pow(group.eq.delta_sum).inv();
+      } else {
+        product.emplace_back(group.eq.rhs_point, group.eq.q_id);
+      }
+    }
+    metrics_.on_multi_pair(pending.size());
+    const bool all_ok = (pairing::multi_pair(product) * cached_rhs).is_one();
+    for (const PendingGroup& group : pending) {
+      // On a cross-group miss, re-test each group's own equation (same
+      // blinding scalars — no re-derivation) so unrelated groups are not
+      // penalized by one bad batch.
+      const bool ok = all_ok || cls::batch_equation_holds(group.eq);
+      if (ok) {
+        metrics_.on_batch(group.members->size());
+        for (const std::size_t i : *group.members) {
+          finish(jobs[i], Status::kVerified);
+          done[i] = true;
+        }
+      } else {
+        // At least one member is bad (or the whole context is): re-verify
+        // individually so valid members still pass and verdicts match the
+        // single-threaded path exactly.
+        metrics_.on_batch_fallback();
+      }
     }
   }
 

@@ -604,10 +604,22 @@ TEST(ServiceMetrics, HistogramsAndPercentiles) {
   EXPECT_LT(snapshot.latency_p50_ns, 3000);
   EXPECT_GT(snapshot.latency_p99_ns, snapshot.latency_p50_ns);
 
+  // Multi-pairing instrumentation: two products covering 3 + 1 coalesced
+  // groups. mean width = 2.0; the counters and histogram must survive the
+  // JSON dump under their own names.
+  metrics.on_multi_pair(3);
+  metrics.on_multi_pair(1);
+  const auto after_products = metrics.snapshot();
+  EXPECT_EQ(after_products.multi_pair_batches, 2u);
+  EXPECT_DOUBLE_EQ(after_products.mean_multi_pair_width(), 2.0);
+
   const std::string json = metrics.to_json("unit");
   EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
   EXPECT_NE(json.find("latency_p50"), std::string::npos);
   EXPECT_NE(json.find("\"mean_batch_size\": 77.5"), std::string::npos);
+  EXPECT_NE(json.find("\"multi_pair_batches\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_multi_pair_width\": 2"), std::string::npos);
+  EXPECT_NE(json.find("batch_hist_1"), std::string::npos);
 }
 
 TEST(ServiceMetrics, BucketBoundariesArePinned) {

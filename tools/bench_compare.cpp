@@ -10,6 +10,15 @@
 //       one file. This is how the ≥3× projective-pairing claim is enforced:
 //         bench_compare --gate BENCH_pairing.json pair_affine pair_projective 3.0
 //
+//   bench_compare --gate-across OLD.json NEW.json BASELINE CANDIDATE MIN_SPEEDUP [SCALE]
+//       Same assertion across two files: BASELINE is read from OLD.json
+//       (typically a checked-in pre-PR baseline under bench/baselines/),
+//       CANDIDATE from NEW.json, and the baseline median is multiplied by
+//       SCALE (default 1) first. This is how the multi-pairing claim is
+//       enforced — one k=4 product vs four pre-PR pair_projective calls:
+//         bench_compare --gate-across bench/baselines/BENCH_pairing_seed.json
+//             BENCH_pairing.json pair_projective multi_pair_k4 2.0 4
+//
 // The parser handles exactly the flat subset of JSON the bench writer
 // emits; it is not a general JSON library.
 #include <cctype>
@@ -124,6 +133,45 @@ int gate_mode(int argc, char** argv) {
   return 0;
 }
 
+int gate_across_mode(int argc, char** argv) {
+  if (argc != 7 && argc != 8) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --gate-across OLD.json NEW.json BASELINE "
+                 "CANDIDATE MIN_SPEEDUP [SCALE]\n");
+    return 2;
+  }
+  const auto old_file = load(argv[2]);
+  const auto new_file = load(argv[3]);
+  if (!old_file || !new_file) return 2;
+  const auto base = old_file->median_ns.find(argv[4]);
+  const auto cand = new_file->median_ns.find(argv[5]);
+  if (base == old_file->median_ns.end()) {
+    std::fprintf(stderr, "bench_compare: %s missing from %s\n", argv[4], argv[2]);
+    return 2;
+  }
+  if (cand == new_file->median_ns.end()) {
+    std::fprintf(stderr, "bench_compare: %s missing from %s\n", argv[5], argv[3]);
+    return 2;
+  }
+  const double min_speedup = std::strtod(argv[6], nullptr);
+  const double scale = argc == 8 ? std::strtod(argv[7], nullptr) : 1.0;
+  if (min_speedup <= 0 || scale <= 0) {
+    std::fprintf(stderr, "bench_compare: MIN_SPEEDUP and SCALE must be > 0\n");
+    return 2;
+  }
+  const double speedup = base->second * scale / cand->second;
+  std::printf("%s x%g (%s) %.1f ns -> %s (%s) %.1f ns = %.2fx (gate: >= %.2fx)\n",
+              argv[4], scale, argv[2], base->second * scale, argv[5], argv[3],
+              cand->second, speedup, min_speedup);
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "bench_compare: FAILED gate (%.2fx < %.2fx)\n", speedup,
+                 min_speedup);
+    return 1;
+  }
+  std::printf("bench_compare: gate passed\n");
+  return 0;
+}
+
 int compare_mode(int argc, char** argv) {
   double min_ratio = 0;  // 0: report-only
   if (argc == 5 && std::strcmp(argv[3], "--min-ratio") == 0) {
@@ -153,5 +201,8 @@ int compare_mode(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--gate") == 0) return gate_mode(argc, argv);
+  if (argc >= 2 && std::strcmp(argv[1], "--gate-across") == 0) {
+    return gate_across_mode(argc, argv);
+  }
   return compare_mode(argc, argv);
 }
