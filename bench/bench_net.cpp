@@ -1,0 +1,269 @@
+// Throughput of the src/netd socket front end: verified signatures per
+// second over real loopback TCP, as a function of connection count, worker
+// count, and the by-identity fraction — plus request latency percentiles
+// measured at the client.
+//
+// Every series replays the same pre-signed corpus bench_service uses, so
+// the medians are directly comparable across the two files: both record
+// ns per verified signature, and the acceptance gate
+//
+//   bench_compare --gate-across BENCH_service.json BENCH_net.json \
+//       verify_w4_uniform net_c16_w4_uniform 0.7
+//
+// enforces that pushing every request and reply through the epoll loop,
+// the frame codec, and the kernel's loopback path costs at most 30% of
+// in-process throughput at 4 workers. The other series scan the lever
+// space: one connection serializes the wire (pipelining is the only
+// concurrency), 64 connections exercise accept/backpressure churn, one
+// worker bounds the coalescing win, and the byid row carries kind-3 frames
+// whose keys resolve from a kgcd directory behind the server.
+//
+// Latency rows (`*_p50` / `*_p99`) are client-observed request round trips
+// in ns — send-to-response matched by request_id, pooled across the timed
+// samples of that series.
+//
+// Knobs: MCCLS_BENCH_JSON (output path, default BENCH_net.json),
+//        MCCLS_BENCH_SAMPLES (timed runs per config, default 5).
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "cls/mccls.hpp"
+#include "kgc/kgcd.hpp"
+#include "netd/client.hpp"
+#include "netd/front.hpp"
+#include "netd/server.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace mccls;
+
+// Mirrors bench_service: 64 signers x 1024 requests keeps a 4-worker
+// coalescer at the same operating point, so the cross-file gate compares
+// the transport, not a different workload.
+constexpr std::size_t kSigners = 64;
+constexpr std::size_t kRequests = 1024;
+
+unsigned samples() {
+  if (const char* env = std::getenv("MCCLS_BENCH_SAMPLES"); env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 5;
+}
+
+std::vector<crypto::Bytes> make_corpus(const cls::Kgc& kgc,
+                                       std::span<const cls::UserKeys> signers,
+                                       crypto::HmacDrbg& rng, bool by_identity) {
+  const cls::Mccls scheme;
+  std::vector<crypto::Bytes> frames;
+  frames.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const cls::UserKeys& signer = signers[i % signers.size()];
+    crypto::ByteWriter msg;
+    msg.put_u64(i);
+    msg.put_field("bench: net payload");
+    svc::VerifyRequest request{.request_id = i + 1,
+                               .scheme = "McCLS",
+                               .id = signer.id,
+                               .by_identity = by_identity,
+                               .public_key =
+                                   by_identity ? cls::PublicKey{} : signer.public_key,
+                               .message = msg.take(),
+                               .signature = {}};
+    request.signature = scheme.sign(kgc.params(), signer, request.message, rng);
+    frames.push_back(svc::encode_request(request));
+  }
+  return frames;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct NetRun {
+  bench::BenchResult throughput;  ///< ns per verified signature
+  bench::BenchResult p50;         ///< client round-trip latency, pooled
+  bench::BenchResult p99;
+  netd::NetdMetrics::Snapshot net;
+};
+
+/// One server per config; `samples` timed MultiClient runs (plus a warm-up)
+/// each replaying the full corpus over `connections` loopback connections.
+NetRun run_config(const std::string& name, unsigned n_samples, unsigned workers,
+                  std::size_t connections, const cls::SystemParams& params,
+                  std::span<const std::string> ids,
+                  std::span<const crypto::Bytes> frames,
+                  svc::PkResolver* resolver = nullptr) {
+  using clock = std::chrono::steady_clock;
+  svc::VerifyService service(params, svc::ServiceConfig{.workers = workers,
+                                                        .queue_capacity = kRequests,
+                                                        .resolver = resolver});
+  service.cache().warm(params, ids);
+  netd::VerifydFrontEnd front(service);
+  netd::NetServer server(
+      netd::NetdConfig{.max_connections = connections + 16, .tick_ms = 5}, &front);
+  if (!server.start()) {
+    std::fprintf(stderr, "bench_net: %s: %s\n", name.c_str(), server.error().c_str());
+    std::exit(1);
+  }
+
+  std::vector<double> per_sig(n_samples);
+  std::vector<double> latencies;  // pooled over the timed samples
+  latencies.reserve(std::size_t{n_samples} * kRequests);
+  for (unsigned s = 0; s <= n_samples; ++s) {  // s == 0 is the warm-up run
+    std::vector<clock::time_point> sent(frames.size());
+    std::size_t verified = 0;
+    std::vector<double> run_latency(frames.size(), 0.0);
+    netd::MultiClient client(netd::MultiClient::Config{.port = server.port(),
+                                                       .connections = connections,
+                                                       .pipeline = 16,
+                                                       .run_timeout_ms = 300000});
+    const auto start = clock::now();
+    const bool ok = client.run(
+        // Frame i goes to connection i % C as its (i / C)-th request.
+        [&](std::size_t conn, std::size_t seq) -> std::optional<crypto::Bytes> {
+          const std::size_t index = seq * connections + conn;
+          if (index >= frames.size()) return std::nullopt;
+          return frames[index];
+        },
+        [&](std::size_t, crypto::Bytes payload) {
+          const auto response = svc::decode_response(payload);
+          if (!response) return;
+          if (response->status == svc::Status::kVerified) ++verified;
+          const std::size_t index = static_cast<std::size_t>(response->request_id) - 1;
+          if (index < frames.size()) {
+            run_latency[index] = static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                     sent[index])
+                    .count());
+          }
+        },
+        [&](std::size_t conn, std::size_t seq, clock::time_point when) {
+          const std::size_t index = seq * connections + conn;
+          if (index < frames.size()) sent[index] = when;
+        });
+    const auto stop = clock::now();
+    if (!ok || verified != frames.size()) {
+      std::fprintf(stderr, "bench_net: %s verified %zu/%zu (%s) — aborting\n",
+                   name.c_str(), verified, frames.size(), client.error().c_str());
+      std::exit(1);
+    }
+    if (s == 0) continue;
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count());
+    per_sig[s - 1] = ns / static_cast<double>(verified);
+    latencies.insert(latencies.end(), run_latency.begin(), run_latency.end());
+  }
+  NetRun out;
+  out.net = server.metrics().snapshot();
+  server.stop();
+
+  std::sort(per_sig.begin(), per_sig.end());
+  double sum = 0;
+  for (const double v : per_sig) sum += v;
+  const double median = n_samples % 2 == 1
+                            ? per_sig[n_samples / 2]
+                            : (per_sig[n_samples / 2 - 1] + per_sig[n_samples / 2]) / 2.0;
+  out.throughput = bench::BenchResult{.name = name,
+                                      .iters = std::uint64_t{n_samples} * frames.size(),
+                                      .median_ns = median,
+                                      .mean_ns = sum / n_samples,
+                                      .min_ns = per_sig.front()};
+  std::sort(latencies.begin(), latencies.end());
+  const auto latency_row = [&](const char* suffix, double p) {
+    return bench::BenchResult{.name = name + suffix,
+                              .iters = latencies.size(),
+                              .median_ns = percentile(latencies, p),
+                              .mean_ns = percentile(latencies, p),
+                              .min_ns = latencies.empty() ? 0.0 : latencies.front()};
+  };
+  out.p50 = latency_row("_p50", 0.50);
+  out.p99 = latency_row("_p99", 0.99);
+  std::printf("%-22s %12.1f ns/sig (median)  %8.0f sigs/s  p50 %7.2f ms  p99 %7.2f ms\n",
+              name.c_str(), median, 1e9 / median, out.p50.median_ns / 1e6,
+              out.p99.median_ns / 1e6);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned n_samples = samples();
+
+  crypto::HmacDrbg rng(std::uint64_t{0x5E21CE});  // same seed family as bench_service
+  const cls::Kgc kgc = cls::Kgc::setup(rng);
+  const cls::Mccls scheme;
+  std::vector<cls::UserKeys> signers;
+  std::vector<std::string> ids;
+  for (std::size_t s = 0; s < kSigners; ++s) {
+    ids.push_back("node-" + std::to_string(s));
+    signers.push_back(scheme.enroll(kgc, ids.back(), rng));
+  }
+  const auto uniform = make_corpus(kgc, signers, rng, /*by_identity=*/false);
+  const auto byid = make_corpus(kgc, signers, rng, /*by_identity=*/true);
+  std::printf("bench_net: %zu signers, %zu requests per run over loopback TCP, "
+              "%u samples\n\n", kSigners, kRequests, n_samples);
+
+  std::vector<bench::BenchResult> results;
+  std::map<std::string, double> derived;
+  const auto run = [&](const std::string& name, unsigned workers,
+                       std::size_t connections, std::span<const crypto::Bytes> frames,
+                       svc::PkResolver* resolver = nullptr) {
+    const NetRun r = run_config(name, n_samples, workers, connections, kgc.params(),
+                                ids, frames, resolver);
+    results.push_back(r.throughput);
+    results.push_back(r.p50);
+    results.push_back(r.p99);
+    derived["pauses_" + name] = static_cast<double>(r.net.backpressure_pauses);
+    return r.throughput.median_ns;
+  };
+
+  // Connections x workers over the uniform pk-inline corpus. c16_w4 is the
+  // gated row — same workload and worker count as verify_w4_uniform.
+  const double c16_w4 = run("net_c16_w4_uniform", 4, 16, uniform);
+  run("net_c1_w4_uniform", 4, 1, uniform);
+  run("net_c64_w4_uniform", 4, 64, uniform);
+  const double c16_w1 = run("net_c16_w1_uniform", 1, 16, uniform);
+
+  // By-identity over the wire: kind-3 frames, keys resolved from a kgcd
+  // directory behind the server (the bench_service byid row's transport
+  // twin). The daemon reuses bench_service's on-disk layout convention.
+  const std::string kgcd_dir = "bench_net_kgcd.data";
+  std::filesystem::remove_all(kgcd_dir);
+  kgc::Kgcd daemon(kgc.master_key_for_tests(),
+                   kgc::KgcdConfig{.data_dir = kgcd_dir, .fsync = false});
+  for (std::size_t s = 0; s < kSigners; ++s) {
+    if (daemon.enroll(ids[s], signers[s].public_key.to_bytes()).status !=
+        kgc::KgcStatus::kOk) {
+      std::fprintf(stderr, "bench_net: enroll of %s failed\n", ids[s].c_str());
+      return 1;
+    }
+  }
+  svc::ResilientResolver resolver(&daemon.directory());
+  const double c16_w4_byid = run("net_c16_w4_byid", 4, 16, byid, &resolver);
+
+  derived["workers_gain_c16"] = c16_w1 / c16_w4;
+  derived["byid_ratio_c16_w4"] = c16_w4 / c16_w4_byid;
+
+  std::printf("\nworker gain at 16 connections (w4/w1): %.2fx   "
+              "by-identity ratio: %.2fx\n",
+              derived["workers_gain_c16"], derived["byid_ratio_c16_w4"]);
+
+  const char* path_env = std::getenv("MCCLS_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_net.json";
+  return bench::write_bench_json(path, "net", results, derived) ? 0 : 1;
+}

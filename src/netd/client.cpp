@@ -1,0 +1,385 @@
+#include "netd/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mccls::netd {
+namespace {
+
+bool resolve(const std::string& host, std::uint16_t port, sockaddr_in& addr,
+             std::string& error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    error = "unresolvable host (IPv4 dotted quad or 'localhost'): " + host;
+    return false;
+  }
+  return true;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t len, std::string& error) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    error = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- BlockingClient --------------------------------------------------------
+
+bool BlockingClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  sockaddr_in addr{};
+  if (!resolve(host, port, addr, error_)) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  set_nodelay(fd);
+  fd_ = fd;
+  decoder_ = FrameDecoder();  // fresh stream, fresh frame sync
+  error_.clear();
+  return true;
+}
+
+std::optional<crypto::Bytes> BlockingClient::call(std::span<const std::uint8_t> payload,
+                                                  std::uint32_t timeout_ms) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return std::nullopt;
+  }
+  const crypto::Bytes framed = encode_frame(payload);
+  if (!send_all(fd_, framed.data(), framed.size(), error_)) {
+    close();
+    return std::nullopt;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    if (auto frame = decoder_.next()) return frame;
+    if (decoder_.poisoned()) {
+      error_ = "protocol violation in response stream";
+      close();
+      return std::nullopt;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      error_ = "timed out waiting for response";
+      close();
+      return std::nullopt;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("poll: ") + std::strerror(errno);
+      close();
+      return std::nullopt;
+    }
+    if (pr == 0) continue;  // loop re-checks the deadline
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      error_ = "connection closed by server";
+      close();
+      return std::nullopt;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("recv: ") + std::strerror(errno);
+      close();
+      return std::nullopt;
+    }
+    if (!decoder_.feed({buf, static_cast<std::size_t>(n)})) {
+      error_ = "protocol violation in response stream";
+      close();
+      return std::nullopt;
+    }
+  }
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---- MultiClient -----------------------------------------------------------
+
+namespace {
+
+struct McConn {
+  enum class State { kUnstarted, kConnecting, kActive, kClosed };
+  State state = State::kUnstarted;
+  int fd = -1;
+  FrameDecoder decoder;
+  crypto::Bytes writebuf;
+  std::size_t woff = 0;
+  std::size_t outstanding = 0;
+  std::size_t seq = 0;
+  bool done = false;  ///< generator exhausted for this connection
+};
+
+}  // namespace
+
+bool MultiClient::run(const RequestGen& next, const ResponseFn& on_response,
+                      const SentFn& on_sent) {
+  peak_connected_ = 0;
+  failed_ = 0;
+  responses_ = 0;
+  error_.clear();
+
+  sockaddr_in addr{};
+  if (!resolve(config_.host, config_.port, addr, error_)) return false;
+  const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) {
+    error_ = std::string("epoll_create1: ") + std::strerror(errno);
+    return false;
+  }
+
+  const std::size_t total = config_.connections == 0 ? 1 : config_.connections;
+  const std::size_t wave = config_.connect_wave == 0 ? 1 : config_.connect_wave;
+  const std::size_t pipeline = config_.pipeline == 0 ? 1 : config_.pipeline;
+  std::vector<McConn> conns(total);
+  std::size_t next_unstarted = 0;
+  std::size_t connecting = 0;
+  std::size_t active = 0;
+  std::size_t finished = 0;  // closed, whether completed or failed
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.run_timeout_ms);
+
+  auto update_interest = [&](std::size_t idx, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = idx;
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, conns[idx].fd, &ev);
+  };
+
+  auto close_one = [&](std::size_t idx, bool failed) {
+    McConn& c = conns[idx];
+    if (c.state == McConn::State::kClosed) return;
+    if (c.state == McConn::State::kConnecting) --connecting;
+    if (c.state == McConn::State::kActive) --active;
+    if (c.fd >= 0) {
+      ::epoll_ctl(epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    c.state = McConn::State::kClosed;
+    ++finished;
+    if (failed) ++failed_;
+  };
+
+  // Queue requests up to the pipeline depth and push bytes to the socket;
+  // EPOLLOUT interest tracks whether the write buffer drained.
+  auto pump_writes = [&](std::size_t idx) {
+    McConn& c = conns[idx];
+    while (!c.done && c.outstanding < pipeline) {
+      auto payload = next(idx, c.seq);
+      if (!payload) {
+        c.done = true;
+        break;
+      }
+      append_frame(c.writebuf, *payload);
+      if (on_sent) on_sent(idx, c.seq, std::chrono::steady_clock::now());
+      ++c.seq;
+      ++c.outstanding;
+    }
+    while (c.woff < c.writebuf.size()) {
+      const ssize_t n = ::send(c.fd, c.writebuf.data() + c.woff,
+                               c.writebuf.size() - c.woff, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.woff += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        update_interest(idx, EPOLLIN | EPOLLOUT);
+        return true;
+      }
+      close_one(idx, /*failed=*/true);
+      return false;
+    }
+    c.writebuf.clear();
+    c.woff = 0;
+    update_interest(idx, EPOLLIN);
+    if (c.done && c.outstanding == 0) close_one(idx, /*failed=*/false);
+    return true;
+  };
+
+  // Non-blocking connects in bounded waves: never more than `wave` in
+  // flight, so a 10k ramp cannot overflow the server's listen backlog.
+  auto launch_connects = [&]() {
+    while (connecting < wave && next_unstarted < total) {
+      const std::size_t idx = next_unstarted++;
+      McConn& c = conns[idx];
+      const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      if (fd < 0) {
+        c.state = McConn::State::kClosed;
+        ++finished;
+        ++failed_;
+        continue;
+      }
+      c.fd = fd;
+      const int rc =
+          ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+      epoll_event ev{};
+      ev.data.u64 = idx;
+      if (rc == 0) {
+        set_nodelay(fd);
+        c.state = McConn::State::kActive;
+        ++active;
+        peak_connected_ = std::max(peak_connected_, active);
+        ev.events = EPOLLIN;
+        ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+        pump_writes(idx);
+      } else if (errno == EINPROGRESS) {
+        c.state = McConn::State::kConnecting;
+        ++connecting;
+        ev.events = EPOLLOUT;
+        ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+      } else {
+        ::close(fd);
+        c.fd = -1;
+        c.state = McConn::State::kClosed;
+        ++finished;
+        ++failed_;
+      }
+    }
+  };
+
+  auto handle_readable = [&](std::size_t idx) {
+    McConn& c = conns[idx];
+    std::uint8_t buf[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        if (!c.decoder.feed({buf, static_cast<std::size_t>(n)})) {
+          close_one(idx, /*failed=*/true);
+          return;
+        }
+        while (auto frame = c.decoder.next()) {
+          if (c.outstanding > 0) --c.outstanding;
+          ++responses_;
+          on_response(idx, std::move(*frame));
+        }
+        if (c.decoder.poisoned()) {
+          close_one(idx, /*failed=*/true);
+          return;
+        }
+        if (static_cast<std::size_t>(n) < sizeof(buf)) break;  // likely drained
+        continue;
+      }
+      if (n == 0) {  // server closed; unanswered requests make this a failure
+        close_one(idx, /*failed=*/c.outstanding > 0 || !c.done);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_one(idx, /*failed=*/true);
+      return;
+    }
+    pump_writes(idx);  // freed pipeline slots -> queue more requests
+  };
+
+  std::vector<epoll_event> events(1024);
+  bool ok = true;
+  launch_connects();
+  while (finished < total) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      error_ = "run deadline exceeded with " + std::to_string(total - finished) +
+               " connections outstanding";
+      ok = false;
+      break;
+    }
+    const int n = ::epoll_wait(epfd, events.data(), static_cast<int>(events.size()), 50);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("epoll_wait: ") + std::strerror(errno);
+      ok = false;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(events[i].data.u64);
+      McConn& c = conns[idx];
+      if (c.state == McConn::State::kClosed) continue;
+      if (c.state == McConn::State::kConnecting) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 || err != 0) {
+          close_one(idx, /*failed=*/true);
+          continue;
+        }
+        set_nodelay(c.fd);
+        --connecting;
+        c.state = McConn::State::kActive;
+        ++active;
+        peak_connected_ = std::max(peak_connected_, active);
+        update_interest(idx, EPOLLIN);
+        pump_writes(idx);
+        continue;
+      }
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        // Drain what the server managed to send before the hangup.
+        handle_readable(idx);
+        if (conns[idx].state != McConn::State::kClosed) close_one(idx, /*failed=*/true);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!pump_writes(idx)) continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0 &&
+          conns[idx].state == McConn::State::kActive) {
+        handle_readable(idx);
+      }
+    }
+    launch_connects();  // refill the connect wave as slots free up
+  }
+
+  for (std::size_t i = 0; i < total; ++i) close_one(i, /*failed=*/false);
+  ::close(epfd);
+  if (ok && failed_ == total) {
+    error_ = "every connection failed";
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace mccls::netd

@@ -1,0 +1,104 @@
+// Client side of the netd frame protocol.
+//
+//   * BlockingClient — one connection, one call at a time. What the CLI's
+//     --connect path and the socket smoke tests use: correctness over
+//     throughput, plain blocking syscalls, per-call deadline.
+//
+//   * MultiClient — one epoll loop driving N connections × pipelined
+//     requests from a single thread. What the TCP loadgens and bench_net
+//     use: the 10k-connection acceptance run cannot be thread-per-connection
+//     on a 1-core box. Connects are issued non-blocking in bounded waves so
+//     a 10k ramp never overflows the server's listen backlog, each
+//     connection keeps up to `pipeline` requests unanswered, and responses
+//     surface through a callback as they arrive. Responses are NOT in
+//     request order (verifyd workers complete out of order) — callers match
+//     them by the request_id inside the payload, stamping send times from
+//     the on_sent callback.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netd/frame.hpp"
+
+namespace mccls::netd {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { close(); }
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects (blocking) to host:port. False on failure — see error().
+  bool connect(const std::string& host, std::uint16_t port);
+
+  /// Sends `payload` as one frame and blocks for one response frame.
+  /// nullopt on timeout, EOF, or protocol violation (error() explains; the
+  /// connection is closed — a desynced stream cannot be reused).
+  std::optional<crypto::Bytes> call(std::span<const std::uint8_t> payload,
+                                    std::uint32_t timeout_ms = 30000);
+
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::string error_;
+};
+
+class MultiClient {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::size_t connections = 1;
+    std::size_t pipeline = 16;      ///< max unanswered requests per connection
+    std::size_t connect_wave = 256; ///< concurrent non-blocking connects
+    std::uint32_t run_timeout_ms = 120000;  ///< overall safety net for run()
+  };
+
+  /// Pulls the next request payload for connection `conn` (its requests are
+  /// numbered by `seq`, starting at 0). nullopt = that connection has no
+  /// more requests; it closes once its outstanding responses arrive.
+  using RequestGen =
+      std::function<std::optional<crypto::Bytes>(std::size_t conn, std::size_t seq)>;
+  /// A request hit the socket (appended to the OS send path). Send times for
+  /// latency measurement come from here, keyed however the caller likes.
+  using SentFn = std::function<void(std::size_t conn, std::size_t seq,
+                                    std::chrono::steady_clock::time_point when)>;
+  /// One response frame arrived on `conn`.
+  using ResponseFn = std::function<void(std::size_t conn, crypto::Bytes payload)>;
+
+  explicit MultiClient(Config config) : config_(std::move(config)) {}
+
+  /// Connects everything, pumps requests/responses until every connection
+  /// exhausts its generator and receives all outstanding responses (or the
+  /// run deadline passes / too many connections fail). Single-threaded;
+  /// callbacks run on the calling thread. False on failure — see error().
+  bool run(const RequestGen& next, const ResponseFn& on_response,
+           const SentFn& on_sent = {});
+
+  /// Most connections simultaneously established during run() — the
+  /// ≥10k-concurrent-connections acceptance number.
+  [[nodiscard]] std::size_t peak_connected() const { return peak_connected_; }
+  [[nodiscard]] std::size_t failed_connections() const { return failed_; }
+  [[nodiscard]] std::uint64_t responses() const { return responses_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  Config config_;
+  std::size_t peak_connected_ = 0;
+  std::size_t failed_ = 0;
+  std::uint64_t responses_ = 0;
+  std::string error_;
+};
+
+}  // namespace mccls::netd

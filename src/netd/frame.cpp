@@ -1,0 +1,90 @@
+#include "netd/frame.hpp"
+
+#include <cstring>
+
+namespace mccls::netd {
+
+crypto::Bytes encode_frame(std::span<const std::uint8_t> payload) {
+  crypto::Bytes out;
+  append_frame(out, payload);
+  return out;
+}
+
+void append_frame(crypto::Bytes& out, std::span<const std::uint8_t> payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.reserve(out.size() + 4 + payload.size());
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+bool FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) return false;
+  // Compact the consumed prefix before growing — the buffer never holds more
+  // than one maximal frame plus whatever the last read appended.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > max_frame_)) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Validate the length prefix as soon as its 4 bytes exist: a hostile
+  // declared length must be rejected from the prefix alone, before any
+  // payload accumulates behind it.
+  if (buffer_.size() - pos_ >= 4) {
+    const std::uint32_t len = static_cast<std::uint32_t>(buffer_[pos_]) << 24 |
+                              static_cast<std::uint32_t>(buffer_[pos_ + 1]) << 16 |
+                              static_cast<std::uint32_t>(buffer_[pos_ + 2]) << 8 |
+                              static_cast<std::uint32_t>(buffer_[pos_ + 3]);
+    if (len == 0 || len > max_frame_) {
+      poisoned_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<crypto::Bytes> FrameDecoder::next() {
+  if (poisoned_) return std::nullopt;
+  const std::size_t avail = buffer_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  const std::uint32_t len = static_cast<std::uint32_t>(buffer_[pos_]) << 24 |
+                            static_cast<std::uint32_t>(buffer_[pos_ + 1]) << 16 |
+                            static_cast<std::uint32_t>(buffer_[pos_ + 2]) << 8 |
+                            static_cast<std::uint32_t>(buffer_[pos_ + 3]);
+  if (len == 0 || len > max_frame_) {  // feed() normally catches this first
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  if (avail - 4 < len) return std::nullopt;  // payload still in flight
+  crypto::Bytes payload(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                        buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  // A length prefix for the NEXT frame may already be buffered; validate it
+  // now so poisoned() is accurate the moment the violation is observable,
+  // wherever the bytes arrived (feed only sees the prefix that is first in
+  // line when it runs).
+  if (buffer_.size() - pos_ >= 4) {
+    const std::uint32_t peek = static_cast<std::uint32_t>(buffer_[pos_]) << 24 |
+                               static_cast<std::uint32_t>(buffer_[pos_ + 1]) << 16 |
+                               static_cast<std::uint32_t>(buffer_[pos_ + 2]) << 8 |
+                               static_cast<std::uint32_t>(buffer_[pos_ + 3]);
+    if (peek == 0 || peek > max_frame_) poisoned_ = true;
+  }
+  return payload;
+}
+
+std::optional<crypto::Bytes> decode_frame(std::span<const std::uint8_t> bytes,
+                                          std::size_t max_frame) {
+  FrameDecoder decoder(max_frame);
+  if (!decoder.feed(bytes)) return std::nullopt;
+  std::optional<crypto::Bytes> frame = decoder.next();
+  if (!frame) return std::nullopt;
+  // Exactly one frame: trailing bytes (a pipelined second frame, garbage, a
+  // partial header) all reject in this one-shot form.
+  if (decoder.poisoned() || decoder.buffered() != 0 || decoder.next()) return std::nullopt;
+  return frame;
+}
+
+}  // namespace mccls::netd

@@ -1,0 +1,84 @@
+// Length-prefixed framing for the TCP boundary — the only thing netd adds
+// to the existing v2 wire formats. A frame is
+//
+//   frame := length:u32 (big-endian)  payload:length bytes
+//
+// where the payload is one complete svc/kgc wire request or response. The
+// framing layer is where byte streams become discrete messages, so it
+// follows the same totality contract as every other boundary decoder in the
+// tree (svc/wire, kgc/wire, aodv/codec): any byte sequence either yields
+// frames or a protocol-violation verdict — never UB, never a throw, never
+// an attacker-sized allocation.
+//
+// Two decoders share one length check:
+//
+//   * FrameDecoder — the incremental stream decoder the server and client
+//     run: bytes arrive in arbitrary splits (one syscall may carry half a
+//     length prefix, or three frames and the start of a fourth), are
+//     buffered, and complete frames pop out in order. A declared length of
+//     zero or above `max_frame` poisons the decoder permanently (the
+//     connection is past repair — resynchronizing inside a hostile stream
+//     is how desync bugs become request smuggling), and nothing is
+//     allocated for a payload until its full length has actually arrived,
+//     so a "slow loris" peer dribbling a huge length prefix holds buffer
+//     space proportional to bytes actually sent, never to bytes declared.
+//
+//   * decode_frame — the pure one-shot form (exactly one frame, nothing
+//     before or after) the mcqc fuzz target drives; implemented on the
+//     incremental decoder so fuzzing exercises the real code path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/encoding.hpp"
+
+namespace mccls::netd {
+
+/// Frame payload cap. Generous: the largest legal payload is a kind-1 svc
+/// request whose message field alone may reach svc::kMaxMessageLen (1 MiB);
+/// headers, identity, key and signature fields add at most a few KiB.
+inline constexpr std::size_t kMaxFrameLen = (1u << 20) + 8192;
+
+/// Prepends the u32 big-endian length to `payload`.
+crypto::Bytes encode_frame(std::span<const std::uint8_t> payload);
+/// Appends the framed payload to `out` without an intermediate copy (the
+/// write path builds one contiguous buffer per flush).
+void append_frame(crypto::Bytes& out, std::span<const std::uint8_t> payload);
+
+/// Incremental stream decoder; one instance per connection direction.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame = kMaxFrameLen) : max_frame_(max_frame) {}
+
+  /// Buffers `bytes`. Returns false — and poisons the decoder — when the
+  /// stream declares a zero or over-cap length; the caller must close the
+  /// connection (there is no way back into frame sync).
+  bool feed(std::span<const std::uint8_t> bytes);
+
+  /// Pops the next complete frame's payload, or nullopt when the buffered
+  /// bytes end mid-header or mid-payload (more input needed) — or when the
+  /// decoder is poisoned.
+  std::optional<crypto::Bytes> next();
+
+  /// True once the stream has violated the framing protocol (feed returned
+  /// false). Poisoning is permanent.
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+  /// Bytes currently buffered (received but not yet popped as frames).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  crypto::Bytes buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_ (compacted lazily)
+  bool poisoned_ = false;
+};
+
+/// One-shot decoder: accepts iff `bytes` is exactly one well-formed frame
+/// (length in [1, max_frame], payload fully present, no trailing bytes) and
+/// returns its payload. The fuzz-target form of the stream decoder.
+std::optional<crypto::Bytes> decode_frame(std::span<const std::uint8_t> bytes,
+                                          std::size_t max_frame = kMaxFrameLen);
+
+}  // namespace mccls::netd

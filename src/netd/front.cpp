@@ -1,0 +1,53 @@
+#include "netd/front.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace mccls::netd {
+
+bool VerifydFrontEnd::try_dispatch(crypto::Bytes& frame, const Reply& reply) {
+  // kBusy is only ever delivered synchronously from submit() (see
+  // svc/service.hpp), so reading *refused after submit_bytes returns cannot
+  // race the worker-side completions — those carry real verdicts and go out
+  // as replies.
+  auto refused = std::make_shared<bool>(false);
+  service_.submit_bytes(frame, [reply, refused](const svc::VerifyResponse& response) {
+    if (response.status == svc::Status::kBusy) {
+      *refused = true;
+      return;
+    }
+    reply(svc::encode_response(response));
+  });
+  return !*refused;
+}
+
+KgcdFrontEnd::KgcdFrontEnd(kgc::Kgcd& daemon, KgcdFrontConfig config)
+    : daemon_(daemon), queue_(config.queue_capacity) {
+  const unsigned workers = config.workers == 0 ? 1 : config.workers;
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this](std::stop_token stop) {
+      while (auto job = queue_.pop(stop)) {
+        job->reply(daemon_.handle_frame(job->frame));
+      }
+    });
+  }
+}
+
+KgcdFrontEnd::~KgcdFrontEnd() { shutdown(); }
+
+bool KgcdFrontEnd::try_dispatch(crypto::Bytes& frame, const Reply& reply) {
+  Job job{std::move(frame), reply};
+  if (!queue_.try_push(std::move(job))) {
+    frame = std::move(job.frame);  // try_push leaves a refused item untouched
+    return false;
+  }
+  return true;
+}
+
+void KgcdFrontEnd::shutdown() {
+  queue_.close();
+  threads_.clear();  // jthread: request_stop + join
+}
+
+}  // namespace mccls::netd

@@ -1,0 +1,84 @@
+// FrameSink adapters: where netd's byte frames meet the existing services.
+//
+// Both services already have total wire entry points (VerifyService::
+// submit_bytes, Kgcd::handle_frame); what the adapters add is the refusal
+// contract NetServer needs for backpressure — try_dispatch returning false,
+// without consuming the frame or replying, when the workers are saturated.
+// How each adapter obtains that refusal differs, because the two services
+// signal saturation differently:
+//
+//   * VerifyService answers Status::kBusy — and the service guarantees kBusy
+//     is only ever delivered *synchronously from submit()* (drop-tail at
+//     admission; workers never produce it). VerifydFrontEnd exploits exactly
+//     that: it submits with a completion that swallows kBusy into a flag
+//     instead of replying, and converts the flag into a dispatch refusal.
+//     The wire's kBusy status still exists for direct in-process callers;
+//     over TCP it becomes stopped reads instead of a busy reply, which is
+//     the whole point of the tentpole. (Each refused retry counts one busy
+//     admission in the service's own metrics — expected under sustained
+//     backpressure.)
+//
+//   * The kgc wire has no busy status at all (and widening its status enum
+//     would invalidate the frozen corpus contract), so KgcdFrontEnd owns the
+//     queue: a BoundedQueue<Job> in front of a small worker pool calling the
+//     synchronous Kgcd::handle_frame. try_push failure is the refusal.
+#pragma once
+
+#include <thread>
+#include <vector>
+
+#include "kgc/kgcd.hpp"
+#include "netd/server.hpp"
+#include "svc/queue.hpp"
+#include "svc/service.hpp"
+
+namespace mccls::netd {
+
+/// Serves svc wire frames (verify / verify-by-identity) by submitting them
+/// to a VerifyService; replies carry the encoded VerifyResponse.
+class VerifydFrontEnd final : public FrameSink {
+ public:
+  /// `service` is not owned; stop the NetServer before shutting it down.
+  explicit VerifydFrontEnd(svc::VerifyService& service) : service_(service) {}
+
+  bool try_dispatch(crypto::Bytes& frame, const Reply& reply) override;
+
+ private:
+  svc::VerifyService& service_;
+};
+
+struct KgcdFrontConfig {
+  unsigned workers = 2;
+  std::size_t queue_capacity = 256;  ///< drop-tail bound == refusal point
+};
+
+/// Serves kgc wire frames through a bounded queue + worker pool in front of
+/// the (synchronous, internally thread-safe) Kgcd daemon.
+class KgcdFrontEnd final : public FrameSink {
+ public:
+  /// `daemon` is not owned and must outlive this front end.
+  explicit KgcdFrontEnd(kgc::Kgcd& daemon, KgcdFrontConfig config = {});
+  ~KgcdFrontEnd();  ///< shutdown()
+
+  KgcdFrontEnd(const KgcdFrontEnd&) = delete;
+  KgcdFrontEnd& operator=(const KgcdFrontEnd&) = delete;
+
+  bool try_dispatch(crypto::Bytes& frame, const Reply& reply) override;
+
+  /// Close-then-stop per BoundedQueue's contract: admission ends first, the
+  /// workers drain every accepted job (each still gets its reply), then the
+  /// stop request ends their wait. Idempotent.
+  void shutdown();
+
+ private:
+  struct Job {
+    crypto::Bytes frame;
+    Reply reply;
+  };
+
+  kgc::Kgcd& daemon_;
+  svc::BoundedQueue<Job> queue_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace mccls::netd

@@ -1,0 +1,447 @@
+#include "netd/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace mccls::netd {
+
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+/// All I/O state is owned by the loop thread; only `inflight`, `outbox`,
+/// `wake_queued` and `closed` are shared with reply closures (under
+/// Shared::mu, except the atomic inflight).
+struct NetServer::Conn {
+  int fd = -1;
+  FrameDecoder decoder;
+  /// A frame the sink refused (worker queue saturated); retried on wakeups
+  /// and ticks. While set, the connection does not read.
+  std::optional<crypto::Bytes> stalled;
+  std::atomic<std::size_t> inflight{0};  ///< dispatched, reply not yet enqueued
+  std::deque<crypto::Bytes> outbox;      ///< reply payloads (Shared::mu)
+  bool wake_queued = false;              ///< already on the wake list (Shared::mu)
+  bool closed = false;                   ///< replies drop themselves (Shared::mu)
+  crypto::Bytes writebuf;                ///< framed responses being sent
+  std::size_t woff = 0;
+  bool want_write = false;  ///< EPOLLOUT armed (partial write pending)
+  bool read_paused = false;
+  clock_t_::time_point last_activity;
+
+  explicit Conn(int f, std::size_t max_frame) : fd(f), decoder(max_frame) {}
+};
+
+NetServer::NetServer(NetdConfig config, FrameSink* sink)
+    : config_(std::move(config)), sink_(sink), shared_(std::make_shared<Shared>()) {}
+
+NetServer::~NetServer() { stop(); }
+
+bool NetServer::start() {
+  if (started_) return true;
+  // Fresh reply-side state: a previous stop() left shared_->stopped set, and
+  // straggler replies may still hold the old block — they drop harmlessly.
+  shared_ = std::make_shared<Shared>();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    error_ = errno_string("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  const std::string host =
+      config_.bind_host == "localhost" ? std::string("127.0.0.1") : config_.bind_host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad bind host: " + config_.bind_host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, config_.listen_backlog) != 0) {
+    error_ = errno_string("bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  shared_->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || shared_->event_fd < 0) {
+    error_ = errno_string("epoll_create1/eventfd");
+    stop();
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.events = EPOLLIN;  // level-triggered: the drain loop reads the counter
+  ev.data.fd = shared_->event_fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, shared_->event_fd, &ev);
+
+  started_ = true;
+  thread_ = std::jthread([this](std::stop_token stop) { loop(stop); });
+  return true;
+}
+
+void NetServer::stop() {
+  if (started_ && thread_.joinable()) {
+    thread_.request_stop();
+    std::uint64_t one = 1;
+    {
+      std::lock_guard lk(shared_->mu);
+      if (shared_->event_fd >= 0) (void)!::write(shared_->event_fd, &one, sizeof one);
+    }
+    thread_.join();
+  }
+  // The loop is gone; tear down under the reply mutex so any straggler
+  // reply from a worker thread observes `stopped` and never touches an fd.
+  std::vector<std::shared_ptr<Conn>> doomed;
+  {
+    std::lock_guard lk(shared_->mu);
+    shared_->stopped = true;
+    if (shared_->event_fd >= 0) {
+      ::close(shared_->event_fd);
+      shared_->event_fd = -1;
+    }
+    for (auto& [fd, conn] : conns_) {
+      conn->closed = true;
+      doomed.push_back(conn);
+    }
+    shared_->wake.clear();
+  }
+  for (const auto& conn : doomed) ::close(conn->fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  started_ = false;
+}
+
+FrameSink::Reply NetServer::make_reply(const std::shared_ptr<Conn>& conn) {
+  // Captures keep the Conn and the Shared block alive past server teardown.
+  return [shared = shared_, conn](crypto::Bytes payload) {
+    conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    std::uint64_t one = 1;
+    std::lock_guard lk(shared->mu);
+    if (shared->stopped || conn->closed) return;  // reply after close: dropped
+    conn->outbox.push_back(std::move(payload));
+    if (!conn->wake_queued) {
+      conn->wake_queued = true;
+      shared->wake.push_back(conn);
+    }
+    (void)!::write(shared->event_fd, &one, sizeof one);
+  };
+}
+
+void NetServer::loop(std::stop_token stop) {
+  std::vector<epoll_event> events(256);
+  auto last_tick = clock_t_::now();
+  while (!stop.stop_requested()) {
+    const int timeout = static_cast<int>(config_.tick_ms == 0 ? 10 : config_.tick_ms);
+    const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                               timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n && !stop.stop_requested(); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        handle_accept();
+        continue;
+      }
+      if (fd == shared_->event_fd) {
+        drain_wakeups();
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // raced with a close in this batch
+      const std::shared_ptr<Conn> conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) flush_writes(conn);
+      if ((events[i].events & EPOLLIN) != 0) handle_readable(conn);
+    }
+    // Wakeups can also be queued without the eventfd edge being seen yet;
+    // drain opportunistically so replies never wait a full tick.
+    drain_wakeups();
+    const auto now = clock_t_::now();
+    if (now - last_tick >= std::chrono::milliseconds(config_.tick_ms == 0 ? 10 : config_.tick_ms)) {
+      last_tick = now;
+      scan_idle_and_stalled();
+    }
+    if (n == static_cast<int>(events.size())) events.resize(events.size() * 2);
+  }
+}
+
+void NetServer::handle_accept() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors (ECONNABORTED, EMFILE): try next tick
+    }
+    if (conns_.size() >= config_.max_connections) {
+      metrics_.refused_over_capacity.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Conn>(fd, config_.max_frame);
+    conn->last_activity = clock_t_::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    metrics_.accepted.fetch_add(1, std::memory_order_relaxed);
+    metrics_.active.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Dispatches the stalled frame (if any) and then buffered decoder frames
+/// until the in-flight cap or a sink refusal pauses the connection. Returns
+/// false when the stream is past repair (protocol violation) and the caller
+/// must close.
+bool NetServer::dispatch_buffered(const std::shared_ptr<Conn>& conn) {
+  while (true) {
+    if (conn->stalled) {
+      if (conn->inflight.load(std::memory_order_relaxed) >= config_.max_inflight_per_conn) {
+        conn->read_paused = true;
+        return true;
+      }
+      metrics_.dispatch_retries.fetch_add(1, std::memory_order_relaxed);
+      conn->inflight.fetch_add(1, std::memory_order_relaxed);
+      if (!sink_->try_dispatch(*conn->stalled, make_reply(conn))) {
+        conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+        conn->read_paused = true;
+        return true;
+      }
+      conn->stalled.reset();
+    }
+    if (conn->inflight.load(std::memory_order_relaxed) >= config_.max_inflight_per_conn) {
+      if (!conn->read_paused) {
+        conn->read_paused = true;
+        metrics_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    std::optional<crypto::Bytes> frame = conn->decoder.next();
+    if (!frame) {
+      if (conn->decoder.poisoned()) {
+        metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      return true;  // need more bytes
+    }
+    metrics_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    if (!sink_->try_dispatch(*frame, make_reply(conn))) {
+      conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      conn->stalled = std::move(frame);
+      if (!conn->read_paused) {
+        conn->read_paused = true;
+        metrics_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+  }
+}
+
+void NetServer::handle_readable(const std::shared_ptr<Conn>& conn) {
+  while (!conn->read_paused) {
+    if (!dispatch_buffered(conn)) {
+      close_conn(conn);
+      return;
+    }
+    if (conn->read_paused) return;  // backpressure: leave bytes in the kernel
+    std::uint8_t chunk[kReadChunk];
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      metrics_.bytes_in.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+      conn->last_activity = clock_t_::now();
+      if (!conn->decoder.feed({chunk, static_cast<std::size_t>(n)})) {
+        metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        // feed() only rejects when the FIRST pending header is invalid —
+        // complete frames ahead of it were dispatched before this read — so
+        // there is nothing salvageable: close.
+        close_conn(conn);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer EOF
+      close_conn(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_conn(conn);
+    return;
+  }
+}
+
+void NetServer::flush_writes(const std::shared_ptr<Conn>& conn) {
+  // Pull queued reply payloads into the contiguous write buffer.
+  {
+    std::lock_guard lk(shared_->mu);
+    while (!conn->outbox.empty()) {
+      append_frame(conn->writebuf, conn->outbox.front());
+      conn->outbox.pop_front();
+      metrics_.replies_out.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  while (conn->woff < conn->writebuf.size()) {
+    const ssize_t n = ::send(conn->fd, conn->writebuf.data() + conn->woff,
+                             conn->writebuf.size() - conn->woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->woff += static_cast<std::size_t>(n);
+      metrics_.bytes_out.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+      conn->last_activity = clock_t_::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(conn);
+    return;
+  }
+  conn->writebuf.clear();
+  conn->woff = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+}
+
+void NetServer::maybe_resume(const std::shared_ptr<Conn>& conn) {
+  if (!conn->read_paused) return;
+  if (conn->inflight.load(std::memory_order_relaxed) >= config_.max_inflight_per_conn) {
+    return;
+  }
+  // A stalled frame must clear before reading resumes; dispatch_buffered
+  // retries it (and un-pausing is pointless if the sink still refuses).
+  conn->read_paused = false;
+  if (!dispatch_buffered(conn)) {
+    close_conn(conn);
+    return;
+  }
+  if (!conn->read_paused) {
+    metrics_.backpressure_resumes.fetch_add(1, std::memory_order_relaxed);
+    // Edge-triggered epoll will not re-announce bytes that arrived while
+    // paused — read them now.
+    handle_readable(conn);
+  }
+}
+
+void NetServer::drain_wakeups() {
+  std::vector<std::shared_ptr<Conn>> woken;
+  {
+    std::lock_guard lk(shared_->mu);
+    if (shared_->event_fd >= 0) {
+      std::uint64_t counter = 0;
+      (void)!::read(shared_->event_fd, &counter, sizeof counter);
+    }
+    woken.swap(shared_->wake);
+    for (const auto& conn : woken) conn->wake_queued = false;
+  }
+  for (const auto& conn : woken) {
+    if (conn->closed) continue;
+    flush_writes(conn);
+    maybe_resume(conn);
+  }
+}
+
+void NetServer::scan_idle_and_stalled() {
+  const auto now = clock_t_::now();
+  const auto idle_cutoff = std::chrono::milliseconds(config_.idle_timeout_ms);
+  // Snapshot first: maybe_resume can close (and erase) a connection, which
+  // would invalidate an iterator into conns_.
+  std::vector<std::shared_ptr<Conn>> all;
+  all.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) all.push_back(conn);
+  for (const auto& conn : all) {
+    if (conn->closed) continue;
+    if (conn->read_paused) maybe_resume(conn);
+    if (conn->closed) continue;
+    if (config_.idle_timeout_ms != 0 && !conn->stalled &&
+        conn->inflight.load(std::memory_order_relaxed) == 0 &&
+        conn->writebuf.size() == conn->woff && now - conn->last_activity > idle_cutoff) {
+      // A reply may have landed in the outbox after this tick's drain pass;
+      // closing then would drop an answered request.
+      bool reply_pending;
+      {
+        std::lock_guard lk(shared_->mu);
+        reply_pending = !conn->outbox.empty();
+      }
+      if (reply_pending) continue;
+      metrics_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+      close_conn(conn);
+    }
+  }
+}
+
+void NetServer::close_conn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard lk(shared_->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    conn->outbox.clear();
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  metrics_.closed.fetch_add(1, std::memory_order_relaxed);
+  metrics_.active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace mccls::netd

@@ -1,0 +1,191 @@
+// netd — the epoll-based TCP front end that takes verifyd and kgcd from
+// in-process queues to real sockets.
+//
+// NAMING: src/net is the *simulated wireless* layer (channel model, mobility,
+// interface queues) the MANET evaluation runs on; src/netd is the *real
+// socket* layer a deployed verifier/KGC serves. They never link each other.
+//
+// One NetServer owns one listening socket and one event-loop thread running
+// epoll in edge-triggered mode. The loop does only cheap work — accept,
+// non-blocking read/write, frame assembly, dispatch hand-off — and all
+// expensive work (pairings, WAL appends) happens on the existing worker
+// pools behind a FrameSink. Connection lifecycle:
+//
+//   accept -> read -> [FrameDecoder] -> dispatch -> write-queue -> drain
+//      \________________ idle timeout / protocol violation -> close
+//
+// Backpressure propagates to TCP instead of dropping: when a connection's
+// in-flight count reaches the cap, or the sink refuses a frame (worker
+// queue saturated), the loop simply stops reading that socket (its EPOLLIN
+// interest is effectively off — edge-triggered epoll never re-notifies
+// unread data). Bytes then accumulate in the kernel receive buffer, the
+// TCP window closes, and the *sender* blocks — exactly the behavior a
+// saturated radio interface queue models in src/net, but end to end across
+// the wire. Reading resumes when replies drain the in-flight count below
+// the cap and the stalled frame (if any) is accepted.
+//
+// Thread-safety: the loop thread owns all connection I/O state. Worker
+// threads touch a connection only through its Reply closure, which appends
+// the encoded response to the connection's outbox under the server-wide
+// reply mutex and wakes the loop through an eventfd. A closed connection's
+// outstanding replies are dropped under that same mutex, so a reply can
+// never write into a freed connection (the Conn itself is shared_ptr-kept).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "netd/frame.hpp"
+
+namespace mccls::netd {
+
+/// Where decoded frames go. Implementations must be thread-safe (the loop
+/// thread dispatches; replies may be invoked from any worker thread).
+class FrameSink {
+ public:
+  /// Delivers one encoded response payload; must be invoked exactly once
+  /// per accepted frame. Cheap and thread-safe (it takes one mutex and
+  /// writes one eventfd).
+  using Reply = std::function<void(crypto::Bytes)>;
+
+  virtual ~FrameSink() = default;
+
+  /// Accepts `frame` for processing (may move from it, may invoke `reply`
+  /// synchronously), or returns false WITHOUT consuming the frame or ever
+  /// invoking `reply` — the sink is saturated, and the caller must hold the
+  /// frame and retry later. Saturation-refusal is what converts worker-queue
+  /// drop-tail into stop-reading backpressure at the socket.
+  virtual bool try_dispatch(crypto::Bytes& frame, const Reply& reply) = 0;
+};
+
+struct NetdConfig {
+  std::string bind_host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see NetServer::port()
+  std::size_t max_connections = 16384;
+  /// Per-connection in-flight cap: frames dispatched but not yet answered.
+  /// Reading stops at the cap and resumes once replies bring it back under.
+  std::size_t max_inflight_per_conn = 64;
+  std::size_t max_frame = kMaxFrameLen;
+  /// Close a connection with no traffic and nothing in flight for this long
+  /// (0 = never).
+  std::uint32_t idle_timeout_ms = 30000;
+  /// Loop heartbeat: stalled-dispatch retries and idle scans run this often.
+  std::uint32_t tick_ms = 10;
+  int listen_backlog = 4096;
+};
+
+/// Relaxed-atomic counters, mirroring svc::ServiceMetrics style.
+class NetdMetrics {
+ public:
+  struct Snapshot {
+    std::uint64_t accepted = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t active = 0;
+    std::uint64_t refused_over_capacity = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t replies_out = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t idle_closes = 0;
+    std::uint64_t backpressure_pauses = 0;
+    std::uint64_t backpressure_resumes = 0;
+    std::uint64_t dispatch_retries = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    s.accepted = accepted.load(std::memory_order_relaxed);
+    s.closed = closed.load(std::memory_order_relaxed);
+    s.active = active.load(std::memory_order_relaxed);
+    s.refused_over_capacity = refused_over_capacity.load(std::memory_order_relaxed);
+    s.frames_in = frames_in.load(std::memory_order_relaxed);
+    s.replies_out = replies_out.load(std::memory_order_relaxed);
+    s.bytes_in = bytes_in.load(std::memory_order_relaxed);
+    s.bytes_out = bytes_out.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    s.idle_closes = idle_closes.load(std::memory_order_relaxed);
+    s.backpressure_pauses = backpressure_pauses.load(std::memory_order_relaxed);
+    s.backpressure_resumes = backpressure_resumes.load(std::memory_order_relaxed);
+    s.dispatch_retries = dispatch_retries.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  std::atomic<std::uint64_t> accepted{0}, closed{0}, active{0}, refused_over_capacity{0};
+  std::atomic<std::uint64_t> frames_in{0}, replies_out{0}, bytes_in{0}, bytes_out{0};
+  std::atomic<std::uint64_t> protocol_errors{0}, idle_closes{0};
+  std::atomic<std::uint64_t> backpressure_pauses{0}, backpressure_resumes{0},
+      dispatch_retries{0};
+};
+
+class NetServer {
+ public:
+  /// `sink` is not owned and must outlive the server (stop() before the
+  /// sink's own shutdown so no new dispatches land on a closing service).
+  NetServer(NetdConfig config, FrameSink* sink);
+  ~NetServer();  ///< stop()
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the event-loop thread. False on any socket
+  /// error (the message lands in error()).
+  bool start();
+  /// Closes the listener and every connection, then joins the loop.
+  /// Idempotent. In-flight work already handed to the sink still completes
+  /// inside the sink; its replies are dropped here.
+  void stop();
+
+  /// The bound port (resolves config.port == 0) — valid after start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const NetdMetrics& metrics() const { return metrics_; }
+  /// Current connection count (loop-thread gauge, racy by nature).
+  [[nodiscard]] std::size_t connections() const {
+    return metrics_.active.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn;
+  /// Reply-side state shared with worker threads; outlives the loop so a
+  /// straggler reply after stop() degrades to a locked no-op.
+  struct Shared {
+    std::mutex mu;
+    int event_fd = -1;
+    bool stopped = false;
+    std::vector<std::shared_ptr<Conn>> wake;
+  };
+
+  void loop(std::stop_token stop);
+  void handle_accept();
+  void handle_readable(const std::shared_ptr<Conn>& conn);
+  bool dispatch_buffered(const std::shared_ptr<Conn>& conn);  ///< false = close needed
+  void flush_writes(const std::shared_ptr<Conn>& conn);
+  void maybe_resume(const std::shared_ptr<Conn>& conn);
+  void drain_wakeups();
+  void scan_idle_and_stalled();
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  FrameSink::Reply make_reply(const std::shared_ptr<Conn>& conn);
+
+  NetdConfig config_;
+  FrameSink* sink_;
+  NetdMetrics metrics_;
+  std::string error_;
+  std::uint16_t port_ = 0;
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  std::shared_ptr<Shared> shared_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  ///< loop thread only
+  std::jthread thread_;
+  bool started_ = false;
+};
+
+}  // namespace mccls::netd

@@ -10,6 +10,7 @@
 #include "ec/g1.hpp"
 #include "kgc/store.hpp"
 #include "kgc/wire.hpp"
+#include "netd/frame.hpp"
 #include "qa/fuzz.hpp"
 #include "svc/wire.hpp"
 
@@ -359,6 +360,32 @@ std::size_t emit_builtin_corpus(const std::string& dir) {
     Bytes b = dsr::encode_packet(data);
     for (std::size_t i = 13; i < 21; ++i) b[i] = 0xFF;  // sent_us field
     emit("dsr_packet", "timestamp_over_cap", false, b);
+  }
+
+  // The netd TCP frame layer. The one-shot decoder demands exactly one
+  // complete frame, so everything a hostile byte stream can do to the
+  // framing — zero/oversized lengths, truncation, dribbled headers,
+  // pipelined trailing bytes — is a seed here.
+  {
+    const Bytes framed = netd::encode_frame(Bytes{0xA5, 0x5A, 0x00, 0xFF});
+    emit("net_frame", "single_frame", true, framed);
+    emit("net_frame", "length_zero", false, Bytes{0x00, 0x00, 0x00, 0x00});
+    // Declared length one past the cap, no payload behind it: must reject
+    // from the prefix alone (the decoder never allocates declared bytes).
+    const auto over = static_cast<std::uint32_t>(netd::kMaxFrameLen) + 1;
+    emit("net_frame", "length_over_cap", false,
+         Bytes{static_cast<std::uint8_t>(over >> 24), static_cast<std::uint8_t>(over >> 16),
+               static_cast<std::uint8_t>(over >> 8), static_cast<std::uint8_t>(over)});
+    emit("net_frame", "truncated_payload", false,
+         Bytes(framed.begin(), framed.end() - 2));
+    // A slow-loris opener: half a length prefix and nothing more.
+    emit("net_frame", "partial_header", false, Bytes(framed.begin(), framed.begin() + 2));
+    Bytes pipelined = framed;
+    pipelined.insert(pipelined.end(), framed.begin(), framed.end());
+    emit("net_frame", "pipelined_second_frame", false, pipelined);
+    Bytes trailing = framed;
+    trailing.push_back(0x00);
+    emit("net_frame", "trailing_garbage", false, trailing);
   }
 
   return count;

@@ -13,6 +13,7 @@
 #include "dsr/dsr_codec.hpp"
 #include "kgc/store.hpp"
 #include "kgc/wire.hpp"
+#include "netd/frame.hpp"
 #include "qa/gen.hpp"
 #include "svc/wire.hpp"
 
@@ -373,6 +374,21 @@ std::vector<FuzzTarget> build_targets() {
       "dsr_packet", sample_dsr,
       [](std::span<const std::uint8_t> b) { return dsr::decode_packet(b); },
       [](const dsr::DsrPayload& p) { return dsr::encode_packet(p); }));
+
+  // The netd TCP frame layer (u32 big-endian length + payload), one-shot
+  // form: accepts exactly one complete frame with a length in [1, cap] and
+  // no trailing bytes — so truncations, pipelined frames, trailing garbage,
+  // zero and over-cap lengths all reject. Identity re-encode makes the
+  // stability fixpoint exact.
+  targets.push_back(make_target<Bytes>(
+      "net_frame",
+      [](sim::Rng& rng) {
+        Bytes payload = gen_bytes(rng, 256);
+        if (payload.empty()) payload.push_back(0x01);  // length 0 is illegal
+        return netd::encode_frame(payload);
+      },
+      [](std::span<const std::uint8_t> b) { return netd::decode_frame(b); },
+      [](const Bytes& payload) { return netd::encode_frame(payload); }));
 
   return targets;
 }

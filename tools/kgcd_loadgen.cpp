@@ -17,6 +17,19 @@
 //   kgcd_loadgen [--producers P] [--ops R] [--identities S] [--skew Z]
 //                [--enroll-pct PCT] [--fsync] [--dir PATH] [--seed N]
 //                [--json PATH] [--fault] [--fault-rate F] [--stall-ms MS]
+//                [--tcp] [--connect HOST:PORT] [--connections C] [--pipeline M]
+//
+// TCP mode (--tcp, or --connect) drives the daemon through src/netd sockets
+// instead of in-process calls: the non-enroll slots of the op mix become
+// kLookup wire frames (the Zipf skew still shapes which identities get hot)
+// and one epoll client replays the whole mix over C connections with up to
+// M requests pipelined per connection. --tcp self-hosts a KgcdFrontEnd +
+// NetServer on an ephemeral loopback port; --connect drives a server in
+// another process (pre-enrolling every identity over the wire first, and
+// skipping the metrics JSON — the remote owns its metrics). --fault is
+// in-process-only: it wraps the KeyDirectory *resolver* pipeline that a
+// co-located verifyd drives, which wire lookups never touch, so combining
+// it with TCP mode is rejected rather than silently measuring nothing.
 //
 // Fault mode (--fault, or any of --fault-rate/--stall-ms) routes the
 // resolve ops through the full degraded-directory pipeline —
@@ -38,12 +51,16 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cls/mccls.hpp"
 #include "kgc/kgcd.hpp"
+#include "netd/client.hpp"
+#include "netd/front.hpp"
+#include "netd/server.hpp"
 #include "svc/resolver.hpp"
 
 namespace {
@@ -63,7 +80,13 @@ struct Options {
   bool fault = false;          ///< route resolves through the resilient pipeline
   double fault_rate = -1.0;    ///< <0 = unset (0.1 under bare --fault)
   std::uint32_t stall_ms = 0;  ///< injected stall per directory call
+  bool tcp = false;            ///< self-host a netd server on loopback
+  std::string connect_host;    ///< non-empty = drive an external server
+  std::uint16_t connect_port = 0;
+  std::size_t connections = 64;
+  std::size_t pipeline = 16;
 
+  [[nodiscard]] bool tcp_mode() const { return tcp || !connect_host.empty(); }
   [[nodiscard]] bool fault_mode() const {
     return fault || fault_rate >= 0.0 || stall_ms > 0;
   }
@@ -77,7 +100,10 @@ int usage() {
                "usage: kgcd_loadgen [--producers P] [--ops R] [--identities S]\n"
                "                    [--skew Z] [--enroll-pct PCT] [--fsync]\n"
                "                    [--dir PATH] [--seed N] [--json PATH]\n"
-               "                    [--fault] [--fault-rate F] [--stall-ms MS]\n");
+               "                    [--fault] [--fault-rate F] [--stall-ms MS]\n"
+               "                    [--tcp] [--connect HOST:PORT]\n"
+               "                    [--connections C] [--pipeline M]\n"
+               "(--fault is in-process-only and cannot combine with --tcp/--connect)\n");
   return 2;
 }
 
@@ -90,6 +116,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
     }
     if (flag == "--fault") {
       opt.fault = true;
+      continue;
+    }
+    if (flag == "--tcp") {
+      opt.tcp = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -114,11 +144,26 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.fault_rate = std::strtod(value, nullptr);
     } else if (flag == "--stall-ms") {
       opt.stall_ms = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--connect") {
+      const std::string hostport = value;
+      const std::size_t colon = hostport.rfind(':');
+      if (colon == std::string::npos || colon == 0) return false;
+      const unsigned long port = std::strtoul(hostport.c_str() + colon + 1, nullptr, 10);
+      if (port == 0 || port > 65535) return false;
+      opt.connect_host = hostport.substr(0, colon);
+      opt.connect_port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--connections") {
+      opt.connections = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--pipeline") {
+      opt.pipeline = std::strtoull(value, nullptr, 10);
     } else {
       return false;
     }
   }
   if (opt.fault_rate > 1.0) return false;
+  if (opt.tcp_mode() && (opt.fault_mode() || opt.connections == 0 || opt.pipeline == 0)) {
+    return false;
+  }
   return opt.producers > 0 && opt.ops > 0 && opt.identities > 0;
 }
 
@@ -180,7 +225,10 @@ int main(int argc, char** argv) {
   // handle_frame (codec + admission + WAL append); lookups are directory
   // *resolutions* — the verify-by-identity hot path a co-located verifyd
   // drives, which is what the decoded-key LRU and its hit/miss counters
-  // measure. An empty frame slot marks a resolve op.
+  // measure. An empty frame slot marks a resolve op. In TCP mode every op
+  // has to be wire bytes, so the resolve slots become kLookup frames
+  // instead (same identity skew, but served off the directory's encoded
+  // store — the decoded-key LRU is not on that path).
   const ZipfSampler sampler(opt.identities, opt.skew);
   std::vector<crypto::Bytes> frames;
   std::vector<std::size_t> resolve_who(opt.ops, 0);
@@ -195,6 +243,10 @@ int main(int argc, char** argv) {
           kgc::KgcRequest{.op = kgc::KgcOp::kEnroll, .request_id = i + 1,
                           .id = ids[who], .pk_bytes = pk_bytes[who]}));
       ++enrolls;
+    } else if (opt.tcp_mode()) {
+      frames.push_back(kgc::encode_kgc_request(
+          kgc::KgcRequest{.op = kgc::KgcOp::kLookup, .request_id = i + 1,
+                          .id = ids[who]}));
     } else {
       frames.emplace_back();
       resolve_who[i] = who;
@@ -202,90 +254,194 @@ int main(int argc, char** argv) {
   }
 
   // ---- daemon: fresh store, every identity pre-enrolled so the lookup mix
-  // never answers kUnknownId.
-  std::filesystem::remove_all(opt.dir);
-  std::filesystem::create_directories(opt.dir);
-  kgc::Kgcd daemon(kgc.master_key_for_tests(),
+  // never answers kUnknownId. Absent under --connect (the daemon lives in
+  // another process; pre-enrollment goes over the wire instead).
+  std::optional<kgc::Kgcd> daemon;
+  if (opt.connect_host.empty()) {
+    std::filesystem::remove_all(opt.dir);
+    std::filesystem::create_directories(opt.dir);
+    daemon.emplace(kgc.master_key_for_tests(),
                    kgc::KgcdConfig{.data_dir = opt.dir, .fsync = opt.fsync});
-  for (std::size_t s = 0; s < opt.identities; ++s) {
-    if (daemon.enroll(ids[s], pk_bytes[s]).status != kgc::KgcStatus::kOk) {
-      std::fprintf(stderr, "error: pre-enroll of %s failed\n", ids[s].c_str());
-      return 1;
+    for (std::size_t s = 0; s < opt.identities; ++s) {
+      if (daemon->enroll(ids[s], pk_bytes[s]).status != kgc::KgcStatus::kOk) {
+        std::fprintf(stderr, "error: pre-enroll of %s failed\n", ids[s].c_str());
+        return 1;
+      }
     }
+    daemon->directory().drop_caches();  // producers start from a cold LRU
   }
-  daemon.directory().drop_caches();  // producers start from a cold LRU
 
-  // Fault mode: resolves go through the degraded-directory pipeline, and
-  // the wrapper's machinery reports into the daemon's metrics dump.
-  svc::FaultInjectingResolver faulty(
-      &daemon.directory(),
-      svc::FaultConfig{.fail_rate = opt.effective_fault_rate(),
-                       .stall_ms = opt.stall_ms,
-                       .seed = opt.seed ^ 0xFA17ED5EEDULL});
-  svc::ResilientResolver resilient(&faulty);
-  resilient.set_metrics(&daemon.metrics());
-  svc::PkResolver& resolver =
-      opt.fault_mode() ? static_cast<svc::PkResolver&>(resilient)
-                       : static_cast<svc::PkResolver&>(daemon.directory());
+  // Fault mode (in-process only): resolves go through the degraded-directory
+  // pipeline, and the wrapper's machinery reports into the daemon's metrics.
+  std::optional<svc::FaultInjectingResolver> faulty;
+  std::optional<svc::ResilientResolver> resilient;
+  if (daemon) {
+    faulty.emplace(&daemon->directory(),
+                   svc::FaultConfig{.fail_rate = opt.effective_fault_rate(),
+                                    .stall_ms = opt.stall_ms,
+                                    .seed = opt.seed ^ 0xFA17ED5EEDULL});
+    resilient.emplace(&*faulty);
+    resilient->set_metrics(&daemon->metrics());
+  }
 
   std::atomic<std::uint64_t> ok{0}, refused{0}, unavailable{0};
-  const auto start = std::chrono::steady_clock::now();
-  {
-    std::vector<std::jthread> producers;
-    for (unsigned p = 0; p < opt.producers; ++p) {
-      producers.emplace_back([&, p] {
-        for (std::size_t i = p; i < frames.size(); i += opt.producers) {
-          bool success;
-          if (frames[i].empty()) {
-            // The loadgen plays the service's role here: it records the
-            // per-outcome counters and resolve latency for whatever resolver
-            // it talks to (the wrapper only reports its own machinery).
-            const auto t0 = std::chrono::steady_clock::now();
-            const svc::ResolveResult resolved = resolver.resolve(ids[resolve_who[i]]);
-            daemon.metrics().on_resolve_latency_ns(static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count()));
-            switch (resolved.outcome) {
-              case svc::ResolveOutcome::kOk:
-                daemon.metrics().on_resolve_ok();
-                break;
-              case svc::ResolveOutcome::kNotVouched:
-                daemon.metrics().on_resolve_not_vouched();
-                break;
-              case svc::ResolveOutcome::kUnavailable:
-                daemon.metrics().on_resolve_unavailable();
-                break;
-              case svc::ResolveOutcome::kTimeout:
-                daemon.metrics().on_resolve_timeout();
-                break;
-            }
-            if (resolved.transient()) {
-              unavailable.fetch_add(1, std::memory_order_relaxed);
-            }
-            success = resolved.has_key();
-          } else {
-            const auto response =
-                kgc::decode_kgc_response(daemon.handle_frame(frames[i]));
-            success = response && response->status == kgc::KgcStatus::kOk;
-          }
-          (success ? ok : refused).fetch_add(1, std::memory_order_relaxed);
-        }
-      });
-    }
-  }
-  const auto stop = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(stop - start).count();
+  double seconds = 0.0;
+  std::size_t peak_connected = 0;
+  netd::NetdMetrics::Snapshot net{};
 
-  const auto snapshot = daemon.metrics().snapshot();
+  if (opt.tcp_mode()) {
+    // ---- TCP: the whole mix is wire frames, replayed over C connections by
+    // one epoll client against a self-hosted or remote netd server.
+    std::optional<netd::KgcdFrontEnd> front;
+    std::optional<netd::NetServer> server;
+    std::string host = opt.connect_host.empty() ? "127.0.0.1" : opt.connect_host;
+    std::uint16_t port = opt.connect_port;
+    if (daemon) {
+      front.emplace(*daemon);
+      server.emplace(netd::NetdConfig{.max_connections = opt.connections + 64,
+                                      .idle_timeout_ms = 60000,
+                                      .tick_ms = 5},
+                     &*front);
+      if (!server->start()) {
+        std::fprintf(stderr, "error: %s\n", server->error().c_str());
+        return 1;
+      }
+      port = server->port();
+    } else {
+      // Remote daemon: enroll every identity over the wire, off the clock,
+      // so the lookup mix never answers kUnknownId.
+      netd::BlockingClient enroller;
+      if (!enroller.connect(host, port)) {
+        std::fprintf(stderr, "error: %s\n", enroller.error().c_str());
+        return 1;
+      }
+      for (std::size_t s = 0; s < opt.identities; ++s) {
+        const auto reply = enroller.call(kgc::encode_kgc_request(
+            kgc::KgcRequest{.op = kgc::KgcOp::kEnroll, .request_id = s + 1,
+                            .id = ids[s], .pk_bytes = pk_bytes[s]}));
+        const auto response = reply ? kgc::decode_kgc_response(*reply) : std::nullopt;
+        if (!response || response->status != kgc::KgcStatus::kOk) {
+          std::fprintf(stderr, "error: wire pre-enroll of %s failed\n", ids[s].c_str());
+          return 1;
+        }
+      }
+    }
+    netd::MultiClient client(
+        netd::MultiClient::Config{.host = host,
+                                  .port = port,
+                                  .connections = opt.connections,
+                                  .pipeline = opt.pipeline,
+                                  .run_timeout_ms = 600000});
+    const auto start = std::chrono::steady_clock::now();
+    const bool tcp_ok = client.run(
+        // Frame i goes to connection i % C as its (i / C)-th request.
+        [&](std::size_t conn, std::size_t seq) -> std::optional<crypto::Bytes> {
+          const std::size_t index = seq * opt.connections + conn;
+          if (index >= frames.size()) return std::nullopt;
+          return frames[index];
+        },
+        [&](std::size_t, crypto::Bytes payload) {
+          const auto response = kgc::decode_kgc_response(payload);
+          const bool success = response && response->status == kgc::KgcStatus::kOk;
+          (success ? ok : refused).fetch_add(1, std::memory_order_relaxed);
+        });
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+    peak_connected = client.peak_connected();
+    if (!tcp_ok) {
+      std::fprintf(stderr, "error: %s\n", client.error().c_str());
+      return 1;
+    }
+    if (client.responses() < frames.size()) {
+      std::fprintf(stderr, "error: %llu of %zu ops unanswered\n",
+                   static_cast<unsigned long long>(frames.size() - client.responses()),
+                   frames.size());
+      return 1;
+    }
+    if (server) {
+      server->stop();
+      net = server->metrics().snapshot();
+    }
+  } else {
+    svc::PkResolver& resolver =
+        opt.fault_mode() ? static_cast<svc::PkResolver&>(*resilient)
+                         : static_cast<svc::PkResolver&>(daemon->directory());
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::jthread> producers;
+      for (unsigned p = 0; p < opt.producers; ++p) {
+        producers.emplace_back([&, p] {
+          for (std::size_t i = p; i < frames.size(); i += opt.producers) {
+            bool success;
+            if (frames[i].empty()) {
+              // The loadgen plays the service's role here: it records the
+              // per-outcome counters and resolve latency for whatever resolver
+              // it talks to (the wrapper only reports its own machinery).
+              const auto t0 = std::chrono::steady_clock::now();
+              const svc::ResolveResult resolved = resolver.resolve(ids[resolve_who[i]]);
+              daemon->metrics().on_resolve_latency_ns(static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count()));
+              switch (resolved.outcome) {
+                case svc::ResolveOutcome::kOk:
+                  daemon->metrics().on_resolve_ok();
+                  break;
+                case svc::ResolveOutcome::kNotVouched:
+                  daemon->metrics().on_resolve_not_vouched();
+                  break;
+                case svc::ResolveOutcome::kUnavailable:
+                  daemon->metrics().on_resolve_unavailable();
+                  break;
+                case svc::ResolveOutcome::kTimeout:
+                  daemon->metrics().on_resolve_timeout();
+                  break;
+              }
+              if (resolved.transient()) {
+                unavailable.fetch_add(1, std::memory_order_relaxed);
+              }
+              success = resolved.has_key();
+            } else {
+              const auto response =
+                  kgc::decode_kgc_response(daemon->handle_frame(frames[i]));
+              success = response && response->status == kgc::KgcStatus::kOk;
+            }
+            (success ? ok : refused).fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+    }
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+  }
+
   const double total = static_cast<double>(opt.ops);
-  std::printf("offered %zu ops (%zu enrolls) over %zu identities from %u producers in %.3f s\n",
-              opt.ops, enrolls, opt.identities, opt.producers, seconds);
+  if (opt.tcp_mode()) {
+    std::printf("offered %zu ops (%zu enrolls) over %zu identities across %zu TCP "
+                "connections (pipeline %zu) to %s in %.3f s\n",
+                opt.ops, enrolls, opt.identities, opt.connections, opt.pipeline,
+                daemon ? "a loopback netd server" : "a remote server", seconds);
+  } else {
+    std::printf("offered %zu ops (%zu enrolls) over %zu identities from %u producers "
+                "in %.3f s\n",
+                opt.ops, enrolls, opt.identities, opt.producers, seconds);
+  }
   std::printf("  sustained: %.0f ops/s (%.1f us/op)%s\n", total / seconds,
               seconds * 1e6 / total, opt.fsync ? " [fsync per append]" : "");
   std::printf("  outcomes:  %llu ok, %llu refused\n",
               static_cast<unsigned long long>(ok.load()),
               static_cast<unsigned long long>(refused.load()));
+  if (opt.tcp_mode()) {
+    std::printf("  transport: peak %zu concurrent connections, %llu backpressure "
+                "pauses / %llu resumes, %llu dispatch retries\n",
+                peak_connected,
+                static_cast<unsigned long long>(net.backpressure_pauses),
+                static_cast<unsigned long long>(net.backpressure_resumes),
+                static_cast<unsigned long long>(net.dispatch_retries));
+  }
+  if (!daemon) return 0;  // --connect: the remote owns its metrics
+
+  const auto snapshot = daemon->metrics().snapshot();
   std::printf("  directory: %llu decoded-cache hits, %llu misses (%.1f%% hit rate), "
               "%llu WAL appends\n",
               static_cast<unsigned long long>(snapshot.dir_hits),
@@ -296,7 +452,7 @@ int main(int argc, char** argv) {
     std::printf("  faults:    rate %.2f stall %u ms -> %llu injected, %llu transient "
                 "answers, %llu retries, %llu fast-fails, %llu trips (breaker %llu)\n",
                 opt.effective_fault_rate(), opt.stall_ms,
-                static_cast<unsigned long long>(faulty.injected_failures()),
+                static_cast<unsigned long long>(faulty->injected_failures()),
                 static_cast<unsigned long long>(unavailable.load()),
                 static_cast<unsigned long long>(snapshot.resolve_retries),
                 static_cast<unsigned long long>(snapshot.breaker_fast_fails),
@@ -304,7 +460,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(snapshot.breaker_state));
   }
 
-  const std::string json = daemon.metrics().to_json("kgcd_loadgen");
+  const std::string json = daemon->metrics().to_json("kgcd_loadgen");
   if (!opt.json_path.empty()) {
     std::ofstream out(opt.json_path, std::ios::trunc);
     out << json;

@@ -31,13 +31,28 @@
 //       Revoke ID (resolution stops now; issuance stops at the next epoch).
 //   mccls_cli kgc snapshot --dir DIR [--epoch N]
 //       Compact the daemon's state: snapshot + WAL truncation.
+//   mccls_cli serve --dir DIR [--port P] [--kgc-port P] [--workers W]
+//                   [--epoch N] [--seed N]
+//       Boot the daemon from DIR and serve both wire protocols over TCP
+//       (src/netd): a verifyd endpoint answering svc v2 verify requests
+//       (by-identity requests resolve through the daemon's directory) and a
+//       kgcd endpoint answering enroll/lookup/revoke/snapshot. Port 0 (the
+//       default) picks an ephemeral port; both are printed as
+//       "LABEL listening on 127.0.0.1:PORT". Runs until SIGINT/SIGTERM.
 //
 // The kgc subcommands boot a Kgcd instance per invocation: state persists
 // across invocations through the WAL+snapshot store in DIR/kgcd, so every
-// run exercises the crash-recovery replay path.
+// run exercises the crash-recovery replay path. With --connect HOST:PORT,
+// kgc enroll|lookup|revoke speak the same wire protocol to a remote server
+// (for example `mccls_cli serve` in another process) instead of booting a
+// local daemon — exit codes are preserved, and a connection-level failure
+// exits 3 (transient), never conflated with a refusal (1). batch-verify
+// accepts --connect the same way: the signer's key is then resolved over
+// the kgc wire rather than from DIR/ID.pub or a co-located daemon.
 //
 // Key files are hex-encoded, length-delimited records (see read/write_file).
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -56,7 +71,11 @@
 #include "cls/mccls.hpp"
 #include "crypto/hash.hpp"
 #include "kgc/kgcd.hpp"
+#include "netd/client.hpp"
+#include "netd/front.hpp"
+#include "netd/server.hpp"
 #include "svc/resolver.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
@@ -119,11 +138,15 @@ int usage() {
                "  mccls_cli verify  --dir DIR --id ID --text MESSAGE --sig HEX\n"
                "  mccls_cli batch-verify --dir DIR --id ID --msgdir MSGDIR [--seed N]\n"
                "                         [--resolve kgcd] [--retries N] [--fault-rate F]\n"
+               "                         [--connect HOST:PORT]\n"
                "  mccls_cli inspect --sig HEX\n"
                "  mccls_cli kgc enroll   --dir DIR --id ID [--epoch N] [--seed N]\n"
                "  mccls_cli kgc lookup   --dir DIR --id ID [--epoch N]\n"
                "  mccls_cli kgc revoke   --dir DIR --id ID [--epoch N]\n"
-               "  mccls_cli kgc snapshot --dir DIR [--epoch N]\n");
+               "      (kgc enroll/lookup/revoke also accept --connect HOST:PORT)\n"
+               "  mccls_cli kgc snapshot --dir DIR [--epoch N]\n"
+               "  mccls_cli serve --dir DIR [--port P] [--kgc-port P] [--workers W]\n"
+               "                  [--epoch N] [--seed N]\n");
   return 2;
 }
 
@@ -242,6 +265,8 @@ int cmd_verify(const Args& args) {
 }
 
 std::unique_ptr<kgc::Kgcd> boot_kgcd(const Args& args);  // kgc subcommands, below
+std::optional<std::pair<std::string, std::uint16_t>> parse_hostport(
+    const std::string& value);
 
 // batch-verify: every NAME.sig in --msgdir pairs with NAME.msg; all are
 // expected to come from one signer (--id), so the whole directory verifies
@@ -259,7 +284,74 @@ int cmd_batch_verify(const Args& args) {
   }
 
   std::optional<cls::PublicKey> pk;
-  if (const auto* resolve = args.get("resolve")) {
+  if (const auto* connect = args.get("connect")) {
+    // --connect HOST:PORT: resolve the signer's key over the kgc wire from a
+    // remote server (e.g. `mccls_cli serve`). Same availability contract as
+    // --resolve kgcd: a connection-level failure or kStoreError is transient
+    // and retried, then exits 3; a refusal (unknown/revoked) exits 1.
+    //
+    // The wire lookup takes the raw identity and answers with the issuance
+    // epoch, so a scoped identity ("id@epoch-N") resolves its base id and
+    // then requires the directory's current key to have been issued at
+    // exactly epoch N — a re-issuance invalidates old scoped signatures, as
+    // the local resolver's freshness gate does. (The one divergence from
+    // --resolve kgcd: the remote check cannot see the directory's current
+    // epoch, so it does not refuse a never-re-issued key as stale.)
+    const auto hostport = parse_hostport(*connect);
+    if (!hostport) return usage();
+    std::string lookup_id = *id;
+    std::optional<cls::Epoch> bound_epoch;
+    if (const auto scoped = cls::parse_scoped_identity(*id)) {
+      lookup_id = scoped->first;
+      bound_epoch = scoped->second;
+    }
+    unsigned retries = 3;
+    if (const auto* r = args.get("retries")) {
+      retries = static_cast<unsigned>(std::strtoul(r->c_str(), nullptr, 10));
+    }
+    for (unsigned attempt = 0; attempt <= retries; ++attempt) {
+      netd::BlockingClient client;
+      std::optional<kgc::KgcResponse> response;
+      if (client.connect(hostport->first, hostport->second)) {
+        if (const auto reply = client.call(kgc::encode_kgc_request(
+                kgc::KgcRequest{.op = kgc::KgcOp::kLookup, .request_id = 1,
+                                .id = lookup_id}))) {
+          response = kgc::decode_kgc_response(*reply);
+        }
+      }
+      if (response && response->status == kgc::KgcStatus::kOk) {
+        if (bound_epoch && response->epoch != *bound_epoch) {
+          std::fprintf(stderr, "error: directory does not vouch for %s "
+                       "(current key was issued at epoch %llu)\n", id->c_str(),
+                       static_cast<unsigned long long>(response->epoch));
+          return 1;
+        }
+        pk = cls::PublicKey::from_bytes(response->payload);
+        if (!pk) {
+          std::fprintf(stderr, "error: server returned a corrupt public key\n");
+          return 1;
+        }
+        break;
+      }
+      if (response && (response->status == kgc::KgcStatus::kUnknownId ||
+                       response->status == kgc::KgcStatus::kRevoked)) {
+        std::fprintf(stderr, "error: directory does not vouch for %s "
+                     "(unknown, revoked, or epoch-expired)\n", id->c_str());
+        return 1;
+      }
+      if (attempt < retries) {
+        std::fprintf(stderr, "warning: %s unavailable (attempt %u/%u), "
+                     "retrying...\n", connect->c_str(), attempt + 1, retries + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(25 << attempt));
+      }
+    }
+    if (!pk) {
+      std::fprintf(stderr, "error: %s unavailable after %u attempts — "
+                   "transient failure, not a verdict; retry later\n",
+                   connect->c_str(), retries + 1);
+      return 3;
+    }
+  } else if (const auto* resolve = args.get("resolve")) {
     // --resolve kgcd: fetch the signer's key from the daemon's directory
     // through the resilient pipeline instead of a DIR/ID.pub file. A
     // transient failure (kUnavailable/kTimeout) is retried a bounded number
@@ -415,23 +507,91 @@ const char* kgc_status_name(kgc::KgcStatus status) {
   return "?";
 }
 
+/// Splits "HOST:PORT" (port 1..65535); nullopt if malformed.
+std::optional<std::pair<std::string, std::uint16_t>> parse_hostport(
+    const std::string& value) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  const unsigned long port = std::strtoul(value.c_str() + colon + 1, nullptr, 10);
+  if (port == 0 || port > 65535) return std::nullopt;
+  return std::make_pair(value.substr(0, colon), static_cast<std::uint16_t>(port));
+}
+
+/// One kgc wire round trip, local or remote. With --connect HOST:PORT the
+/// frame goes over TCP to a server in another process; otherwise a Kgcd
+/// booted from --dir handles it in-process. Either way the request walks
+/// the same codec + dispatch, so exit codes are identical across modes —
+/// except that open() exits 3 (transient) when the remote is unreachable.
+struct KgcEndpoint {
+  std::unique_ptr<kgc::Kgcd> daemon;            ///< local mode
+  std::unique_ptr<netd::BlockingClient> remote; ///< --connect mode
+
+  /// exit_code is set only on failure (nullopt return).
+  static std::optional<KgcEndpoint> open(const Args& args, int& exit_code) {
+    KgcEndpoint endpoint;
+    if (const auto* connect = args.get("connect")) {
+      const auto hostport = parse_hostport(*connect);
+      if (!hostport) {
+        exit_code = usage();
+        return std::nullopt;
+      }
+      endpoint.remote = std::make_unique<netd::BlockingClient>();
+      if (!endpoint.remote->connect(hostport->first, hostport->second)) {
+        std::fprintf(stderr, "error: cannot reach %s (%s) — transient failure, "
+                     "retry later\n", connect->c_str(),
+                     endpoint.remote->error().c_str());
+        exit_code = 3;
+        return std::nullopt;
+      }
+      return endpoint;
+    }
+    endpoint.daemon = boot_kgcd(args);
+    if (!endpoint.daemon) {
+      exit_code = 1;
+      return std::nullopt;
+    }
+    return endpoint;
+  }
+
+  std::optional<kgc::KgcResponse> call(const kgc::KgcRequest& request) {
+    if (daemon) return kgc_call(*daemon, request);
+    const auto reply = remote->call(kgc::encode_kgc_request(request));
+    if (!reply) return std::nullopt;
+    return kgc::decode_kgc_response(*reply);
+  }
+};
+
 int cmd_kgc_enroll(const Args& args) {
   const auto* dir = args.get("dir");
   const auto* id = args.get("id");
   if (dir == nullptr || id == nullptr) return usage();
-  auto daemon = boot_kgcd(args);
-  if (!daemon) return 1;
+  int exit_code = 1;
+  auto endpoint = KgcEndpoint::open(args, exit_code);
+  if (!endpoint) return exit_code;
+  // Local mode reads the system params off the booted daemon; remote mode
+  // needs DIR/kgc.pub (the server's params, distributed out of band).
+  std::optional<cls::SystemParams> params;
+  if (endpoint->daemon) {
+    params = endpoint->daemon->params();
+  } else {
+    params = load_params(*dir);
+    if (!params) {
+      std::fprintf(stderr, "error: --connect enroll needs kgc.pub in %s\n",
+                   dir->c_str());
+      return 1;
+    }
+  }
 
   // The user side of certificateless keygen: x stays local, only the
   // derived public key crosses the wire.
   crypto::HmacDrbg rng(seed_from(args) ^ 0xD13ULL);
   const cls::Mccls scheme;
   const math::Fq x = rng.next_nonzero_fq();
-  const cls::PublicKey pk = scheme.derive_public(daemon->params(), x);
+  const cls::PublicKey pk = scheme.derive_public(*params, x);
 
-  const auto response = kgc_call(
-      *daemon, kgc::KgcRequest{.op = kgc::KgcOp::kEnroll, .request_id = 1, .id = *id,
-                               .pk_bytes = pk.to_bytes()});
+  const auto response = endpoint->call(
+      kgc::KgcRequest{.op = kgc::KgcOp::kEnroll, .request_id = 1, .id = *id,
+                      .pk_bytes = pk.to_bytes()});
   if (!response || response->status != kgc::KgcStatus::kOk) {
     std::fprintf(stderr, "enroll refused: %s\n",
                  response ? kgc_status_name(response->status) : "no response");
@@ -461,10 +621,11 @@ int cmd_kgc_enroll(const Args& args) {
 int cmd_kgc_lookup(const Args& args) {
   const auto* id = args.get("id");
   if (id == nullptr) return usage();
-  auto daemon = boot_kgcd(args);
-  if (!daemon) return 1;
-  const auto response = kgc_call(
-      *daemon, kgc::KgcRequest{.op = kgc::KgcOp::kLookup, .request_id = 1, .id = *id});
+  int exit_code = 1;
+  auto endpoint = KgcEndpoint::open(args, exit_code);
+  if (!endpoint) return exit_code;
+  const auto response = endpoint->call(
+      kgc::KgcRequest{.op = kgc::KgcOp::kLookup, .request_id = 1, .id = *id});
   if (!response || response->status != kgc::KgcStatus::kOk) {
     std::fprintf(stderr, "lookup failed: %s\n",
                  response ? kgc_status_name(response->status) : "no response");
@@ -479,10 +640,11 @@ int cmd_kgc_lookup(const Args& args) {
 int cmd_kgc_revoke(const Args& args) {
   const auto* id = args.get("id");
   if (id == nullptr) return usage();
-  auto daemon = boot_kgcd(args);
-  if (!daemon) return 1;
-  const auto response = kgc_call(
-      *daemon, kgc::KgcRequest{.op = kgc::KgcOp::kRevoke, .request_id = 1, .id = *id});
+  int exit_code = 1;
+  auto endpoint = KgcEndpoint::open(args, exit_code);
+  if (!endpoint) return exit_code;
+  const auto response = endpoint->call(
+      kgc::KgcRequest{.op = kgc::KgcOp::kRevoke, .request_id = 1, .id = *id});
   if (!response || response->status != kgc::KgcStatus::kOk) {
     std::fprintf(stderr, "revoke failed: %s\n",
                  response ? kgc_status_name(response->status) : "no response");
@@ -507,6 +669,78 @@ int cmd_kgc_snapshot(const Args& args) {
   std::printf("snapshot written: %zu directory entries "
               "(booted from %zu snapshot entries + %zu WAL records)\n",
               daemon->directory().size(), before.snapshot_entries, before.wal_records);
+  return 0;
+}
+
+// ------------------------------------------------------------------ serve
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+void handle_serve_signal(int) { g_serve_stop = 1; }
+
+/// serve: one process, both wire protocols over TCP. Boots the daemon from
+/// DIR (the same WAL+snapshot store the kgc subcommands use), builds a
+/// VerifyService whose by-identity path resolves through the daemon's
+/// directory, and fronts both with src/netd servers. Runs until
+/// SIGINT/SIGTERM. The listening ports are printed one per line and flushed
+/// before the wait loop so scripts can scrape them.
+int cmd_serve(const Args& args) {
+  const auto* dir = args.get("dir");
+  if (dir == nullptr) return usage();
+  auto daemon = boot_kgcd(args);
+  if (!daemon) return 1;
+
+  unsigned workers = 4;
+  if (const auto* w = args.get("workers")) {
+    workers = static_cast<unsigned>(std::strtoul(w->c_str(), nullptr, 10));
+    if (workers == 0) return usage();
+  }
+  const auto port_option = [&](const char* key) -> std::optional<std::uint16_t> {
+    const auto* value = args.get(key);
+    if (value == nullptr) return 0;  // 0 = ephemeral
+    const unsigned long port = std::strtoul(value->c_str(), nullptr, 10);
+    if (port > 65535) return std::nullopt;
+    return static_cast<std::uint16_t>(port);
+  };
+  const auto verify_port = port_option("port");
+  const auto kgc_port = port_option("kgc-port");
+  if (!verify_port || !kgc_port) return usage();
+
+  svc::ResilientResolver resolver(&daemon->directory());
+  resolver.set_metrics(&daemon->metrics());
+  svc::VerifyService service(daemon->params(),
+                             svc::ServiceConfig{.workers = workers,
+                                                .seed = seed_from(args) ^ 0x5E12EULL,
+                                                .resolver = &resolver});
+
+  netd::VerifydFrontEnd verify_front(service);
+  netd::KgcdFrontEnd kgc_front(*daemon);
+  netd::NetServer verify_server(netd::NetdConfig{.port = *verify_port}, &verify_front);
+  netd::NetServer kgc_server(netd::NetdConfig{.port = *kgc_port}, &kgc_front);
+  if (!verify_server.start()) {
+    std::fprintf(stderr, "error: verifyd: %s\n", verify_server.error().c_str());
+    return 1;
+  }
+  if (!kgc_server.start()) {
+    std::fprintf(stderr, "error: kgcd: %s\n", kgc_server.error().c_str());
+    verify_server.stop();
+    return 1;
+  }
+  std::printf("verifyd listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(verify_server.port()));
+  std::printf("kgcd listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(kgc_server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_serve_signal);
+  std::signal(SIGTERM, handle_serve_signal);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  verify_server.stop();
+  kgc_server.stop();
+  kgc_front.shutdown();
+  std::printf("stopped\n");
   return 0;
 }
 
@@ -546,5 +780,6 @@ int main(int argc, char** argv) {
   if (args->command == "kgc lookup") return cmd_kgc_lookup(*args);
   if (args->command == "kgc revoke") return cmd_kgc_revoke(*args);
   if (args->command == "kgc snapshot") return cmd_kgc_snapshot(*args);
+  if (args->command == "serve") return cmd_serve(*args);
   return usage();
 }

@@ -13,6 +13,7 @@
 //                   [--signers S] [--skew Z] [--queue CAP] [--no-coalesce]
 //                   [--forge-pct PCT] [--seed N] [--json PATH]
 //                   [--byid-pct PCT] [--fault] [--fault-rate F] [--stall-ms MS]
+//                   [--tcp] [--connect HOST:PORT] [--connections C] [--pipeline M]
 //
 // --byid-pct sends that fraction of the corpus as kind-3 verify-by-identity
 // frames (no inline public key); the service resolves them through an
@@ -22,9 +23,21 @@
 // kUnavailable answers, retries and breaker behavior instead of silent
 // kUnknownSigner misclassification.
 //
+// Transport: by default producers call submit_bytes in-process. --tcp boots
+// the same service behind a netd NetServer on an ephemeral loopback port and
+// drives it through one epoll MultiClient — C concurrent connections, up to
+// M pipelined (unanswered) requests each; every mode above still applies,
+// the frames are just carried by sockets. --connect HOST:PORT drives an
+// already-running frame server instead (the corpus is still generated
+// locally, so verdict counts only mean something if the remote shares this
+// loadgen's seed — e.g. a --tcp run's twin); with it the service-metrics
+// JSON is skipped, since the service lives elsewhere.
+//
 // Dropped (busy) requests are *not* retried: the loadgen measures offered
 // vs. sustained load, so the busy count in the metrics dump is the
-// backpressure signal.
+// backpressure signal. Over TCP there are no busy verdicts at all — worker
+// saturation becomes EPOLLIN-off backpressure (netd's refusal contract), so
+// the pause/resume counters printed at the end are that same signal.
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -39,6 +52,9 @@
 #include <vector>
 
 #include "cls/mccls.hpp"
+#include "netd/client.hpp"
+#include "netd/front.hpp"
+#include "netd/server.hpp"
 #include "svc/resolver.hpp"
 #include "svc/service.hpp"
 
@@ -61,6 +77,13 @@ struct Options {
   bool fault = false;          ///< degrade the directory behind the pipeline
   double fault_rate = -1.0;    ///< <0 = unset (0.1 under bare --fault)
   std::uint32_t stall_ms = 0;  ///< injected stall per directory call
+  bool tcp = false;            ///< self-host a NetServer and drive loopback
+  std::string connect_host;    ///< drive an external frame server instead
+  std::uint16_t connect_port = 0;
+  std::size_t connections = 64;  ///< concurrent TCP connections
+  std::size_t pipeline = 16;     ///< max unanswered requests per connection
+
+  [[nodiscard]] bool tcp_mode() const { return tcp || !connect_host.empty(); }
 
   [[nodiscard]] bool fault_mode() const {
     return fault || fault_rate >= 0.0 || stall_ms > 0;
@@ -76,7 +99,9 @@ int usage() {
                "                       [--signers S] [--skew Z] [--queue CAP]\n"
                "                       [--no-coalesce] [--forge-pct PCT] [--seed N]\n"
                "                       [--json PATH] [--byid-pct PCT] [--fault]\n"
-               "                       [--fault-rate F] [--stall-ms MS]\n");
+               "                       [--fault-rate F] [--stall-ms MS]\n"
+               "                       [--tcp] [--connect HOST:PORT]\n"
+               "                       [--connections C] [--pipeline M]\n");
   return 2;
 }
 
@@ -89,6 +114,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
     }
     if (flag == "--fault") {
       opt.fault = true;
+      continue;
+    }
+    if (flag == "--tcp") {
+      opt.tcp = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -117,11 +146,24 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.fault_rate = std::strtod(value, nullptr);
     } else if (flag == "--stall-ms") {
       opt.stall_ms = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--connect") {
+      const std::string hp = value;
+      const auto colon = hp.rfind(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 == hp.size()) return false;
+      opt.connect_host = hp.substr(0, colon);
+      opt.connect_port =
+          static_cast<std::uint16_t>(std::strtoul(hp.c_str() + colon + 1, nullptr, 10));
+      if (opt.connect_port == 0) return false;
+    } else if (flag == "--connections") {
+      opt.connections = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--pipeline") {
+      opt.pipeline = std::strtoull(value, nullptr, 10);
     } else {
       return false;
     }
   }
   if (opt.fault_rate > 1.0) return false;
+  if (opt.tcp_mode() && (opt.connections == 0 || opt.pipeline == 0)) return false;
   return opt.workers > 0 && opt.producers > 0 && opt.requests > 0 && opt.signers > 0;
 }
 
@@ -238,53 +280,146 @@ int main(int argc, char** argv) {
                                 : static_cast<svc::PkResolver*>(&map_resolver);
   }
 
-  // ---- service + producers
-  svc::VerifyService service(kgc.params(),
-                             svc::ServiceConfig{.workers = opt.workers,
-                                                .queue_capacity = opt.queue_capacity,
-                                                .coalesce = opt.coalesce,
-                                                .seed = opt.seed ^ 0xD5ULL,
-                                                .resolver = resolver});
-  service.cache().warm(kgc.params(), ids);
+  // ---- service (in-process and --tcp self-host; absent under --connect,
+  // where the service lives in another process)
+  std::optional<svc::VerifyService> service;
+  if (opt.connect_host.empty()) {
+    service.emplace(kgc.params(),
+                    svc::ServiceConfig{.workers = opt.workers,
+                                       .queue_capacity = opt.queue_capacity,
+                                       .coalesce = opt.coalesce,
+                                       .seed = opt.seed ^ 0xD5ULL,
+                                       .resolver = resolver});
+    service->cache().warm(kgc.params(), ids);
+  }
 
-  std::atomic<std::size_t> completed{0};
-  const auto completion = [&completed](const svc::VerifyResponse&) {
-    completed.fetch_add(1, std::memory_order_relaxed);
-  };
+  double seconds = 0.0;
+  std::uint64_t wire_status[6] = {};  ///< TCP-mode verdicts, by wire status
+  std::size_t peak_connected = 0;
+  netd::NetdMetrics::Snapshot net{};
 
-  const auto start = std::chrono::steady_clock::now();
-  {
-    std::vector<std::jthread> producers;
-    for (unsigned p = 0; p < opt.producers; ++p) {
-      producers.emplace_back([&, p] {
-        for (std::size_t i = p; i < frames.size(); i += opt.producers) {
-          (void)service.submit_bytes(frames[i], completion);
-        }
-      });
+  if (opt.tcp_mode()) {
+    // ---- TCP: NetServer (self-hosted on an ephemeral loopback port unless
+    // --connect) driven by one epoll client, C connections x M pipelined.
+    std::optional<netd::VerifydFrontEnd> front;
+    std::optional<netd::NetServer> server;
+    std::string host = opt.connect_host.empty() ? "127.0.0.1" : opt.connect_host;
+    std::uint16_t port = opt.connect_port;
+    if (service) {
+      front.emplace(*service);
+      server.emplace(netd::NetdConfig{.max_connections = opt.connections + 64,
+                                      .idle_timeout_ms = 60000,
+                                      .tick_ms = 5},
+                     &*front);
+      if (!server->start()) {
+        std::fprintf(stderr, "error: %s\n", server->error().c_str());
+        return 1;
+      }
+      port = server->port();
     }
+    netd::MultiClient client(
+        netd::MultiClient::Config{.host = host,
+                                  .port = port,
+                                  .connections = opt.connections,
+                                  .pipeline = opt.pipeline,
+                                  .run_timeout_ms = 600000});
+    const auto start = std::chrono::steady_clock::now();
+    const bool ok = client.run(
+        // Frame i goes to connection i % C as its (i / C)-th request.
+        [&](std::size_t conn, std::size_t seq) -> std::optional<crypto::Bytes> {
+          const std::size_t index = seq * opt.connections + conn;
+          if (index >= frames.size()) return std::nullopt;
+          return frames[index];
+        },
+        [&](std::size_t, crypto::Bytes payload) {
+          if (const auto response = svc::decode_response(payload)) {
+            ++wire_status[static_cast<std::uint8_t>(response->status)];
+          }
+        });
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+    peak_connected = client.peak_connected();
+    if (!ok) {
+      std::fprintf(stderr, "error: %s\n", client.error().c_str());
+      return 1;
+    }
+    if (client.responses() < frames.size()) {
+      std::fprintf(stderr, "error: %llu of %zu requests unanswered\n",
+                   static_cast<unsigned long long>(frames.size() - client.responses()),
+                   frames.size());
+      return 1;
+    }
+    if (server) {
+      server->stop();
+      net = server->metrics().snapshot();
+    }
+  } else {
+    // ---- in-process: P producer threads replay frames through submit_bytes.
+    std::atomic<std::size_t> completed{0};
+    const auto completion = [&completed](const svc::VerifyResponse&) {
+      completed.fetch_add(1, std::memory_order_relaxed);
+    };
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::jthread> producers;
+      for (unsigned p = 0; p < opt.producers; ++p) {
+        producers.emplace_back([&, p] {
+          for (std::size_t i = p; i < frames.size(); i += opt.producers) {
+            (void)service->submit_bytes(frames[i], completion);
+          }
+        });
+      }
+    }
+    // Every submission answers exactly once (verified/rejected/busy/malformed).
+    while (completed.load(std::memory_order_relaxed) < opt.requests) {
+      std::this_thread::yield();
+    }
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
   }
-  // Every submission answers exactly once (verified/rejected/busy/malformed).
-  while (completed.load(std::memory_order_relaxed) < opt.requests) {
-    std::this_thread::yield();
-  }
-  const auto stop = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(stop - start).count();
 
-  const auto snapshot = service.metrics().snapshot();
-  const double processed = static_cast<double>(snapshot.verified + snapshot.rejected);
-  std::printf("offered %zu requests (%zu forged, %zu by-identity) from %u producers "
-              "to %u workers in %.3f s\n",
-              opt.requests, forged, by_identity, opt.producers, opt.workers, seconds);
-  std::printf("  sustained:  %.0f verifications/s (%.1f us/signature)\n",
-              processed / seconds, processed > 0 ? seconds * 1e6 / processed : 0.0);
-  std::printf("  verdicts:   %llu verified, %llu rejected, %llu busy, %llu malformed, "
-              "%llu unknown-signer, %llu unavailable\n",
-              static_cast<unsigned long long>(snapshot.verified),
-              static_cast<unsigned long long>(snapshot.rejected),
-              static_cast<unsigned long long>(snapshot.busy),
-              static_cast<unsigned long long>(snapshot.malformed),
-              static_cast<unsigned long long>(snapshot.unknown_signer),
-              static_cast<unsigned long long>(snapshot.unavailable));
+  if (opt.tcp_mode()) {
+    std::printf("offered %zu requests (%zu forged, %zu by-identity) over %zu TCP "
+                "connections (pipeline %zu) to %s in %.3f s\n",
+                opt.requests, forged, by_identity, opt.connections, opt.pipeline,
+                service ? "a loopback netd server" : "a remote server", seconds);
+    const double processed = static_cast<double>(
+        wire_status[0] + wire_status[1]);  // kVerified + kRejected
+    std::printf("  sustained:  %.0f verifications/s (%.1f us/signature)\n",
+                processed / seconds, processed > 0 ? seconds * 1e6 / processed : 0.0);
+    std::printf("  verdicts:   %llu verified, %llu rejected, %llu busy, %llu malformed, "
+                "%llu unknown-signer, %llu unavailable\n",
+                static_cast<unsigned long long>(wire_status[0]),
+                static_cast<unsigned long long>(wire_status[1]),
+                static_cast<unsigned long long>(wire_status[2]),
+                static_cast<unsigned long long>(wire_status[3]),
+                static_cast<unsigned long long>(wire_status[4]),
+                static_cast<unsigned long long>(wire_status[5]));
+    std::printf("  transport:  peak %zu concurrent connections, %llu backpressure "
+                "pauses / %llu resumes, %llu dispatch retries\n",
+                peak_connected, static_cast<unsigned long long>(net.backpressure_pauses),
+                static_cast<unsigned long long>(net.backpressure_resumes),
+                static_cast<unsigned long long>(net.dispatch_retries));
+  }
+  if (!service) return 0;  // --connect: the remote owns its metrics
+
+  const auto snapshot = service->metrics().snapshot();
+  if (!opt.tcp_mode()) {
+    const double processed = static_cast<double>(snapshot.verified + snapshot.rejected);
+    std::printf("offered %zu requests (%zu forged, %zu by-identity) from %u producers "
+                "to %u workers in %.3f s\n",
+                opt.requests, forged, by_identity, opt.producers, opt.workers, seconds);
+    std::printf("  sustained:  %.0f verifications/s (%.1f us/signature)\n",
+                processed / seconds, processed > 0 ? seconds * 1e6 / processed : 0.0);
+    std::printf("  verdicts:   %llu verified, %llu rejected, %llu busy, %llu malformed, "
+                "%llu unknown-signer, %llu unavailable\n",
+                static_cast<unsigned long long>(snapshot.verified),
+                static_cast<unsigned long long>(snapshot.rejected),
+                static_cast<unsigned long long>(snapshot.busy),
+                static_cast<unsigned long long>(snapshot.malformed),
+                static_cast<unsigned long long>(snapshot.unknown_signer),
+                static_cast<unsigned long long>(snapshot.unavailable));
+  }
   if (opt.fault_mode()) {
     std::printf("  faults:     rate %.2f stall %u ms -> %llu injected, %llu retries, "
                 "%llu fast-fails, %llu trips (breaker %llu)\n",
@@ -301,7 +436,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(snapshot.single_verifies),
               static_cast<unsigned long long>(snapshot.batch_fallbacks));
 
-  const std::string json = service.metrics().to_json("verifyd_loadgen");
+  const std::string json = service->metrics().to_json("verifyd_loadgen");
   if (!opt.json_path.empty()) {
     std::ofstream out(opt.json_path, std::ios::trunc);
     out << json;
