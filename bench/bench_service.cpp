@@ -30,6 +30,14 @@
 // its gate (verify_w4_byid vs verify_w4_byid_degraded at 0.8) bounds the
 // throughput cost of retries + breaker bookkeeping under fault.
 //
+// The offline series (verify_w4_byid_offline) runs the identical workload
+// with the directory 100% unavailable behind a VoucherVerifyingResolver
+// holding a fresh voucher per signer: the chain's pairing check is paid once
+// at ingest, so steady-state resolution is a hash lookup + key copy. Its
+// gate (verify_w4_byid vs verify_w4_byid_offline at 0.9) enforces that
+// voucher-backed cold-by-identity is never meaningfully slower than a warm
+// directory hit.
+//
 // Knobs: MCCLS_BENCH_JSON (output path, default BENCH_service.json),
 //        MCCLS_BENCH_SAMPLES (timed runs per config, default 5).
 #include <algorithm>
@@ -48,6 +56,7 @@
 #include "bench_json.hpp"
 #include "cls/mccls.hpp"
 #include "kgc/kgcd.hpp"
+#include "kgc/voucher.hpp"
 #include "svc/service.hpp"
 
 namespace {
@@ -333,6 +342,38 @@ int main() {
                  &degraded_resilient, /*allow_unavailable=*/true);
   results.push_back(degraded_stats.result);
   const double byid_degraded_w4 = degraded_stats.result.median_ns;
+
+  // Total outage, vouchers prefetched: every signer's chain is verified and
+  // cached up front, the directory never answers (fail_rate 1.0 behind the
+  // same resilient pipeline), and every request must still verify — no
+  // allow_unavailable escape hatch. ns per signature at 4 workers, same
+  // corpus as verify_w4_byid, so the 0.9 gate compares like with like.
+  kgc::TrustAnchors offline_anchors;
+  offline_anchors.add("kgc", daemon.voucher_issuer().public_key());
+  svc::FaultInjectingResolver outage_fault(
+      &daemon.directory(),
+      svc::FaultConfig{.fail_rate = 1.0, .stall_ms = 0, .seed = 0x0FF11E5EULL});
+  svc::ResilientResolver outage_resilient(&outage_fault);
+  kgc::VoucherResolverConfig offline_config;
+  offline_config.now = [] { return std::uint64_t{1'000}; };  // logical clock
+  offline_config.current_epoch = [] { return cls::Epoch{0}; };
+  kgc::VoucherVerifyingResolver offline_resolver(&outage_resilient, &offline_anchors,
+                                                 std::move(offline_config));
+  std::uint64_t voucher_serial = 0;
+  for (const cls::UserKeys& signer : signers) {
+    const kgc::Voucher voucher = daemon.voucher_issuer().issue(
+        cls::scoped_identity(signer.id, 0), signer.public_key.to_bytes(),
+        /*epoch=*/0, /*not_before=*/0, /*not_after=*/1'000'000, ++voucher_serial);
+    if (offline_resolver.ingest({voucher}) != kgc::ChainVerdict::kOk) {
+      std::fprintf(stderr, "bench_service: voucher ingest failed for %s\n",
+                   signer.id.c_str());
+      return 1;
+    }
+  }
+  const RunStats offline_stats = run_config("verify_w4_byid_offline", n_samples, 4, true,
+                                            kgc.params(), ids, byid, &offline_resolver);
+  results.push_back(offline_stats.result);
+  derived["byid_offline_ratio_w4"] = byid_w4 / offline_stats.result.median_ns;
 
   derived["speedup_w4_vs_w1_uniform"] = uniform_ns[1] / uniform_ns[4];
   derived["speedup_w8_vs_w1_uniform"] = uniform_ns[1] / uniform_ns[8];

@@ -139,6 +139,9 @@ svc::ResolveResult KeyDirectory::resolve(std::string_view id) {
 }
 
 void KeyDirectory::apply(const WalRecord& record) {
+  // Voucher records are serial bookkeeping for Kgcd, not directory state —
+  // treating one as a revoke here would be a replay-only revocation.
+  if (record.type == WalRecordType::kVoucher) return;
   Shard& shard = shard_for(record.id);
   std::lock_guard lock(shard.mutex);
   auto it = shard.entries.find(record.id);

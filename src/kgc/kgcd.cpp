@@ -1,5 +1,6 @@
 #include "kgc/kgcd.hpp"
 
+#include <chrono>
 #include <mutex>
 
 namespace mccls::kgc {
@@ -27,6 +28,7 @@ KgcStatus to_status(DirStatus status) {
 Kgcd::Kgcd(const math::Fq& master_key, KgcdConfig config)
     : config_(std::move(config)),
       kgc_(cls::Kgc::from_master_key(master_key)),
+      voucher_issuer_(master_key, config_.issuer),
       directory_(DirectoryConfig{.shards = config_.shards,
                                  .lru_per_shard = config_.lru_per_shard,
                                  .epoch = config_.epoch,
@@ -36,7 +38,51 @@ Kgcd::Kgcd(const math::Fq& master_key, KgcdConfig config)
   store_.set_metrics(&metrics_);
   recovery_ = store_.recover(
       [this](const SnapshotEntry& entry) { directory_.apply(entry); },
-      [this](const WalRecord& record) { directory_.apply(record); });
+      [this](const WalRecord& record) {
+        // Voucher records restore the serial high-water mark; everything
+        // else is directory state (apply ignores kVoucher defensively too).
+        if (record.type == WalRecordType::kVoucher) {
+          std::uint64_t seen = voucher_serial_.load(std::memory_order_relaxed);
+          if (record.serial > seen) {
+            voucher_serial_.store(record.serial, std::memory_order_relaxed);
+          }
+          return;
+        }
+        directory_.apply(record);
+      });
+  // Snapshots fold voucher records away (they carry no directory state), so
+  // after a snapshot the replayed high-water mark can be behind the last
+  // issued serial. The store sequence is >= every folded record's position
+  // and strictly grows, so starting at max(replayed, sequence) keeps serials
+  // unique across restarts without persisting a separate counter.
+  std::uint64_t seen = voucher_serial_.load(std::memory_order_relaxed);
+  if (store_.sequence() > seen) {
+    voucher_serial_.store(store_.sequence(), std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Kgcd::now() const {
+  if (config_.now) return config_.now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
+VoucherChain Kgcd::issue_voucher(std::string_view scoped_id,
+                                 std::span<const std::uint8_t> pk_bytes,
+                                 cls::Epoch epoch) {
+  const std::uint64_t issued_at = now();
+  const std::uint64_t serial =
+      voucher_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Voucher voucher = voucher_issuer_.issue(scoped_id, pk_bytes, epoch, issued_at,
+                                          issued_at + config_.voucher_ttl, serial);
+  if (!store_.append(WalRecord{.type = WalRecordType::kVoucher,
+                               .epoch = epoch,
+                               .id = std::string(scoped_id),
+                               .serial = serial})) {
+    return {};
+  }
+  return VoucherChain{std::move(voucher)};
 }
 
 Kgcd::EnrollOutcome Kgcd::enroll(std::string_view id,
@@ -72,11 +118,48 @@ Kgcd::EnrollOutcome Kgcd::enroll(std::string_view id,
       outcome.status = KgcStatus::kStoreError;
       return outcome;
     }
+    outcome.scoped_id = cls::scoped_identity(id, epoch);
+    // Enroll-time voucher: same commit-lock span as the enrollment itself.
+    // A failed voucher append degrades to "no voucher" — the enrollment is
+    // already durable and acknowledged, and vouch() can reissue later.
+    outcome.voucher = issue_voucher(outcome.scoped_id, pk_bytes, epoch);
   }
   outcome.status = KgcStatus::kOk;
   outcome.epoch = epoch;
-  outcome.scoped_id = cls::scoped_identity(id, epoch);
   outcome.partial_key = kgc_.extract_partial_key(outcome.scoped_id);
+  maybe_auto_snapshot();
+  return outcome;
+}
+
+Kgcd::VouchOutcome Kgcd::vouch(std::string_view id) {
+  VouchOutcome outcome;
+  // Accept the scoped form, but only for the binding the directory currently
+  // stands behind: a stale or future epoch in the request is not vouchable.
+  std::string_view base = id;
+  std::optional<cls::Epoch> requested_epoch;
+  if (const auto scoped = cls::parse_scoped_identity(id)) {
+    base = id.substr(0, scoped->first.size());
+    requested_epoch = scoped->second;
+  }
+  const KeyDirectory::LookupResult entry = directory_.lookup(base);
+  if (entry.status != DirStatus::kOk) {
+    outcome.status = to_status(entry.status);
+    return outcome;
+  }
+  if (requested_epoch && *requested_epoch != entry.enrolled_epoch) {
+    outcome.status = KgcStatus::kRevoked;
+    return outcome;
+  }
+  const std::string scoped_id = cls::scoped_identity(base, entry.enrolled_epoch);
+  {
+    std::shared_lock commit(commit_mutex_);
+    outcome.chain = issue_voucher(scoped_id, entry.pk_bytes, entry.enrolled_epoch);
+  }
+  if (outcome.chain.empty()) {
+    outcome.status = KgcStatus::kStoreError;
+    return outcome;
+  }
+  outcome.status = KgcStatus::kOk;
   maybe_auto_snapshot();
   return outcome;
 }
@@ -156,6 +239,15 @@ crypto::Bytes Kgcd::handle_frame(std::span<const std::uint8_t> frame) {
       response.status = revoke(request->id);
       response.epoch = directory_.epoch();
       break;
+    case KgcOp::kVouch: {
+      const VouchOutcome outcome = vouch(request->id);
+      response.status = outcome.status;
+      if (outcome.status == KgcStatus::kOk) {
+        response.epoch = outcome.chain.front().epoch;
+        response.payload = encode_voucher_chain(outcome.chain);
+      }
+      break;
+    }
     case KgcOp::kSnapshot:
       response.status = snapshot().has_value() ? KgcStatus::kOk : KgcStatus::kStoreError;
       response.epoch = directory_.epoch();

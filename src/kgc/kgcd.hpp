@@ -34,9 +34,12 @@
 #include <string>
 #include <string_view>
 
+#include <functional>
+
 #include "cls/keys.hpp"
 #include "kgc/directory.hpp"
 #include "kgc/store.hpp"
+#include "kgc/voucher.hpp"
 #include "kgc/wire.hpp"
 #include "svc/metrics.hpp"
 
@@ -51,6 +54,15 @@ struct KgcdConfig {
   bool fsync = true;
   /// Auto-snapshot after this many WAL appends (0 = manual only).
   std::uint64_t snapshot_every = 0;
+  /// Trust-anchor name this daemon issues vouchers under. Federated
+  /// deployments give every domain KGC a distinct name; verifiers map the
+  /// name to the vouching key via kgc::TrustAnchors.
+  std::string issuer = "kgc";
+  /// Voucher validity window in seconds. Revocation latency for an
+  /// offline verifier is bounded by min(this, epoch-bump propagation).
+  std::uint64_t voucher_ttl = 3600;
+  /// Wall clock in seconds; injectable so tests pin voucher windows.
+  std::function<std::uint64_t()> now;
 };
 
 class Kgcd {
@@ -69,9 +81,12 @@ class Kgcd {
     ec::G1 partial_key;        ///< D = s·H1("id@epoch-N"); valid when kOk
     cls::Epoch epoch = 0;      ///< the N the key was issued for
     std::string scoped_id;     ///< the identity the signer must sign under
+    VoucherChain voucher;      ///< signed binding for the new enrollment
   };
   /// Validates `pk_bytes` (on-curve + subgroup), admits the identity, logs
-  /// the enrollment, and issues the epoch-scoped partial private key.
+  /// the enrollment, and issues the epoch-scoped partial private key plus a
+  /// voucher over the fresh binding (offline verifiers can start caching
+  /// immediately — no separate vouch round trip needed after enroll).
   EnrollOutcome enroll(std::string_view id, std::span<const std::uint8_t> pk_bytes);
 
   struct LookupOutcome {
@@ -83,6 +98,17 @@ class Kgcd {
 
   /// Revokes immediately (resolution stops now; issuance already refuses).
   KgcStatus revoke(std::string_view id);
+
+  struct VouchOutcome {
+    KgcStatus status = KgcStatus::kUnknownId;
+    VoucherChain chain;        ///< depth-1 chain over the binding; kOk only
+  };
+  /// Issues a signed voucher chain for an enrolled identity. Accepts the
+  /// base identity or its scoped form; a scoped request whose epoch is not
+  /// the entry's enrolled epoch answers kRevoked (the daemon only vouches
+  /// for bindings it currently stands behind). Each issuance logs a
+  /// kVoucher WAL record so serials stay unique across restarts.
+  VouchOutcome vouch(std::string_view id);
 
   /// Persists a snapshot and truncates the WAL; nullopt on I/O failure,
   /// else the number of entries written.
@@ -105,16 +131,31 @@ class Kgcd {
   [[nodiscard]] cls::Epoch epoch() const { return directory_.epoch(); }
   /// Epoch rollover: issuance and the resolve window move to `epoch`.
   void set_epoch(cls::Epoch epoch) { directory_.set_epoch(epoch); }
+  /// The voucher signer (name + vouching key). Exposed so deployments can
+  /// register this daemon in a TrustAnchors set and so a root issuer can
+  /// cross-vouch for it (VoucherIssuer::vouch_for_issuer).
+  [[nodiscard]] const VoucherIssuer& voucher_issuer() const { return voucher_issuer_; }
+  /// Highest voucher serial issued so far (monotonic across restarts).
+  [[nodiscard]] std::uint64_t voucher_serial() const {
+    return voucher_serial_.load(std::memory_order_relaxed);
+  }
 
  private:
   void maybe_auto_snapshot();
+  [[nodiscard]] std::uint64_t now() const;
+  /// Builds + logs one voucher for an already-admitted binding. Called under
+  /// the shared commit lock. Empty chain on WAL append failure.
+  VoucherChain issue_voucher(std::string_view scoped_id,
+                             std::span<const std::uint8_t> pk_bytes, cls::Epoch epoch);
 
   KgcdConfig config_;
   cls::Kgc kgc_;
+  VoucherIssuer voucher_issuer_;
   svc::ServiceMetrics metrics_;
   KeyDirectory directory_;
   WalStore store_;
   RecoveryReport recovery_;
+  std::atomic<std::uint64_t> voucher_serial_{0};
   /// Shared: a mutator's directory-mutation + WAL-append pair. Exclusive:
   /// snapshot()'s sequence + export + write, so no acknowledged record can
   /// land between the exported state and the WAL truncation.

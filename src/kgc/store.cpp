@@ -41,6 +41,7 @@ crypto::Bytes encode_wal_record(const WalRecord& record) {
   w.put_u64(record.epoch);
   w.put_field(record.id);
   w.put_field(record.pk_bytes);
+  if (record.type == WalRecordType::kVoucher) w.put_u64(record.serial);
   return w.take();
 }
 
@@ -52,21 +53,32 @@ std::optional<WalRecord> decode_wal_record(std::span<const std::uint8_t> bytes) 
   const auto epoch = r.get_u64();
   if (!type || !epoch) return std::nullopt;
   if (*type != static_cast<std::uint8_t>(WalRecordType::kEnroll) &&
-      *type != static_cast<std::uint8_t>(WalRecordType::kRevoke)) {
+      *type != static_cast<std::uint8_t>(WalRecordType::kRevoke) &&
+      *type != static_cast<std::uint8_t>(WalRecordType::kVoucher)) {
     return std::nullopt;
   }
   const auto id = r.get_field(kMaxStoreIdLen);
   const auto pk = r.get_field(kMaxStorePkLen);
-  if (!id || !pk || !r.exhausted()) return std::nullopt;
+  if (!id || !pk) return std::nullopt;
   if (id->empty()) return std::nullopt;  // an identity is never empty
-  // Shape invariant: enrolls carry a key, revokes never do. Enforcing it in
-  // the decoder keeps decode∘encode the identity on every accepted input.
+  // Shape invariant: enrolls carry a key; revokes and vouchers never do.
+  // Enforcing it in the decoder keeps decode∘encode the identity on every
+  // accepted input.
   const bool is_enroll = *type == static_cast<std::uint8_t>(WalRecordType::kEnroll);
   if (is_enroll == pk->empty()) return std::nullopt;
+  // Voucher records (and only voucher records) trail their issued serial.
+  std::uint64_t serial = 0;
+  if (*type == static_cast<std::uint8_t>(WalRecordType::kVoucher)) {
+    const auto s = r.get_u64();
+    if (!s) return std::nullopt;
+    serial = *s;
+  }
+  if (!r.exhausted()) return std::nullopt;
   return WalRecord{.type = WalRecordType{*type},
                    .epoch = *epoch,
                    .id = std::string(id->begin(), id->end()),
-                   .pk_bytes = *pk};
+                   .pk_bytes = *pk,
+                   .serial = serial};
 }
 
 crypto::Bytes encode_snapshot_entry(const SnapshotEntry& entry) {

@@ -53,18 +53,23 @@ inline constexpr std::size_t kMaxStorePkLen = 256;
 inline constexpr std::size_t kMaxFramePayload = 1 << 16;
 
 enum class WalRecordType : std::uint8_t {
-  kEnroll = 1,  ///< identity enrolled (or re-issued) with this public key
-  kRevoke = 2,  ///< identity revoked at this epoch
+  kEnroll = 1,   ///< identity enrolled (or re-issued) with this public key
+  kRevoke = 2,   ///< identity revoked at this epoch
+  kVoucher = 3,  ///< voucher issued for this identity (serial bookkeeping)
 };
 
 /// One logged directory mutation. `pk_bytes` is the canonical
-/// cls::PublicKey::to_bytes() serialization for enrolls, empty for revokes —
-/// the decoder enforces that shape, so decode∘encode is the identity.
+/// cls::PublicKey::to_bytes() serialization for enrolls, empty for revokes
+/// and vouchers — the decoder enforces that shape, so decode∘encode is the
+/// identity. `serial` trails the frame for voucher records only (older logs
+/// keep decoding; enroll/revoke records never carry one): replaying it is
+/// what keeps issued serials strictly increasing across restarts.
 struct WalRecord {
   WalRecordType type = WalRecordType::kEnroll;
   cls::Epoch epoch = 0;
   std::string id;
   crypto::Bytes pk_bytes;
+  std::uint64_t serial = 0;  ///< kVoucher only; 0 otherwise
 
   friend bool operator==(const WalRecord&, const WalRecord&) = default;
 };

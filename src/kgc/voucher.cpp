@@ -1,0 +1,383 @@
+#include "kgc/voucher.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "crypto/hash.hpp"
+#include "pairing/pairing.hpp"
+
+namespace mccls::kgc {
+
+namespace {
+
+/// Shared by the preimage and the full encoding: every field but the
+/// signature, in declaration order.
+void put_voucher_body(crypto::ByteWriter& w, const Voucher& v) {
+  w.put_u8(kVoucherVersion);
+  w.put_field(v.issuer);
+  w.put_field(v.subject);
+  w.put_field(v.pk_bytes);
+  w.put_u64(v.epoch);
+  w.put_u64(v.not_before);
+  w.put_u64(v.not_after);
+  w.put_u64(v.serial);
+}
+
+/// ê(sig, P) · ê(H(m), −pk) == 1, one shared Miller loop for both factors.
+bool pairing_check(const ec::G1& sig, const ec::G1& hashed, const ec::G1& issuer_pk) {
+  const std::pair<ec::G1, ec::G1> factors[2] = {
+      {sig, ec::G1::generator()},
+      {hashed, issuer_pk.neg()},
+  };
+  return pairing::multi_pair(factors).is_one();
+}
+
+bool valid_vouching_key(const ec::G1& pk) { return !pk.is_infinity() && pk.in_subgroup(); }
+
+std::uint64_t wall_clock_seconds() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+crypto::Bytes voucher_preimage(const Voucher& voucher) {
+  crypto::ByteWriter w;
+  put_voucher_body(w, voucher);
+  return w.take();
+}
+
+crypto::Bytes encode_voucher(const Voucher& voucher) {
+  crypto::ByteWriter w;
+  put_voucher_body(w, voucher);
+  const auto sig = voucher.signature.to_bytes();
+  w.put_field(std::span<const std::uint8_t>(sig));
+  return w.take();
+}
+
+std::optional<Voucher> decode_voucher(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader r(bytes);
+  const auto version = r.get_u8();
+  if (!version || *version != kVoucherVersion) return std::nullopt;
+  Voucher v;
+  const auto issuer = r.get_field(kMaxVoucherIdLen);
+  if (!issuer || issuer->empty()) return std::nullopt;
+  v.issuer.assign(issuer->begin(), issuer->end());
+  const auto subject = r.get_field(kMaxVoucherIdLen);
+  if (!subject || subject->empty()) return std::nullopt;
+  v.subject.assign(subject->begin(), subject->end());
+  const auto pk = r.get_field(kMaxVoucherPkLen);
+  if (!pk || pk->empty()) return std::nullopt;
+  v.pk_bytes = *pk;
+  const auto epoch = r.get_u64();
+  const auto not_before = r.get_u64();
+  const auto not_after = r.get_u64();
+  const auto serial = r.get_u64();
+  if (!epoch || !not_before || !not_after || !serial) return std::nullopt;
+  v.epoch = *epoch;
+  v.not_before = *not_before;
+  v.not_after = *not_after;
+  v.serial = *serial;
+  const auto sig = r.get_field(ec::G1::kEncodedSize);
+  if (!sig || sig->size() != ec::G1::kEncodedSize) return std::nullopt;
+  const auto point = ec::G1::from_bytes(*sig);
+  if (!point) return std::nullopt;
+  v.signature = *point;
+  if (!r.exhausted()) return std::nullopt;
+  return v;
+}
+
+crypto::Bytes encode_voucher_chain(const VoucherChain& chain) {
+  crypto::ByteWriter w;
+  w.put_u8(kVoucherVersion);
+  w.put_u8(static_cast<std::uint8_t>(chain.size()));
+  for (const Voucher& v : chain) {
+    w.put_field(encode_voucher(v));
+  }
+  return w.take();
+}
+
+std::optional<VoucherChain> decode_voucher_chain(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader r(bytes);
+  const auto version = r.get_u8();
+  if (!version || *version != kVoucherVersion) return std::nullopt;
+  const auto count = r.get_u8();
+  if (!count || *count == 0 || *count > kMaxVoucherChainDepth) return std::nullopt;
+  VoucherChain chain;
+  chain.reserve(*count);
+  for (std::uint8_t i = 0; i < *count; ++i) {
+    const auto field = r.get_field(kMaxVoucherLen);
+    if (!field) return std::nullopt;
+    auto voucher = decode_voucher(*field);
+    if (!voucher) return std::nullopt;
+    chain.push_back(std::move(*voucher));
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return chain;
+}
+
+bool verify_voucher_signature(const Voucher& voucher, const ec::G1& issuer_pk) {
+  if (!valid_vouching_key(issuer_pk)) return false;
+  if (voucher.signature.is_infinity() || !voucher.signature.in_subgroup()) return false;
+  const ec::G1 hashed = crypto::hash_to_g1(kVoucherDomain, voucher_preimage(voucher));
+  return pairing_check(voucher.signature, hashed, issuer_pk);
+}
+
+// ---- VoucherIssuer ---------------------------------------------------------
+
+VoucherIssuer::VoucherIssuer(const math::Fq& master_key, std::string name)
+    : s_(master_key), pk_(ec::G1::mul_generator(master_key)), name_(std::move(name)) {}
+
+Voucher VoucherIssuer::issue(std::string_view subject,
+                             std::span<const std::uint8_t> pk_bytes, cls::Epoch epoch,
+                             std::uint64_t not_before, std::uint64_t not_after,
+                             std::uint64_t serial) const {
+  Voucher v;
+  v.issuer = name_;
+  v.subject = std::string(subject);
+  v.pk_bytes.assign(pk_bytes.begin(), pk_bytes.end());
+  v.epoch = epoch;
+  v.not_before = not_before;
+  v.not_after = not_after;
+  v.serial = serial;
+  v.signature = crypto::hash_to_g1(kVoucherDomain, voucher_preimage(v)).mul(s_);
+  return v;
+}
+
+Voucher VoucherIssuer::vouch_for_issuer(const VoucherIssuer& domain,
+                                        std::uint64_t not_before, std::uint64_t not_after,
+                                        std::uint64_t serial) const {
+  const auto pk = domain.public_key().to_bytes();
+  return issue(domain.name(), pk, /*epoch=*/0, not_before, not_after, serial);
+}
+
+// ---- TrustAnchors ----------------------------------------------------------
+
+bool TrustAnchors::add(std::string name, const ec::G1& vouching_key) {
+  if (name.empty() || !valid_vouching_key(vouching_key)) return false;
+  return anchors_.try_emplace(std::move(name), vouching_key).second;
+}
+
+const ec::G1* TrustAnchors::find(std::string_view name) const {
+  const auto it = anchors_.find(std::string(name));
+  return it == anchors_.end() ? nullptr : &it->second;
+}
+
+// ---- chain verification ----------------------------------------------------
+
+const char* chain_verdict_name(ChainVerdict verdict) {
+  switch (verdict) {
+    case ChainVerdict::kOk: return "ok";
+    case ChainVerdict::kBadChain: return "bad-chain";
+    case ChainVerdict::kUntrustedIssuer: return "untrusted-issuer";
+    case ChainVerdict::kNotYetValid: return "not-yet-valid";
+    case ChainVerdict::kExpired: return "expired";
+    case ChainVerdict::kEpochRejected: return "epoch-rejected";
+    case ChainVerdict::kBadSignature: return "bad-signature";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// `now` inside [not_before, not_after)? kOk / kNotYetValid / kExpired.
+/// Half-open on purpose: a voucher is dead the second it expires, and the
+/// degenerate not_before == not_after window is never valid.
+ChainVerdict time_verdict(const Voucher& v, std::uint64_t now) {
+  if (now < v.not_before) return ChainVerdict::kNotYetValid;
+  if (now >= v.not_after) return ChainVerdict::kExpired;
+  return ChainVerdict::kOk;
+}
+
+}  // namespace
+
+ChainCheck verify_voucher_chain(const VoucherChain& chain, const TrustAnchors& anchors,
+                                std::uint64_t now,
+                                std::optional<cls::Epoch> current_epoch,
+                                cls::Epoch grace) {
+  ChainCheck check;
+  if (chain.empty() || chain.size() > kMaxVoucherChainDepth) return check;
+  const Voucher& leaf = chain.front();
+
+  // Leaf structure first: the subject must be a scoped identity whose epoch
+  // matches the voucher's epoch field (the redundancy keeps the two places
+  // downstream code reads the epoch from ever disagreeing).
+  const auto scoped = cls::parse_scoped_identity(leaf.subject);
+  if (!scoped || scoped->second != leaf.epoch) return check;
+
+  // Time windows for every link, before any pairing is paid.
+  for (const Voucher& link : chain) {
+    const ChainVerdict tv = time_verdict(link, now);
+    if (tv != ChainVerdict::kOk) {
+      check.verdict = tv;
+      return check;
+    }
+  }
+
+  // Resolve the key that must have signed the leaf.
+  const ec::G1* leaf_issuer_pk = nullptr;
+  ec::G1 domain_pk;
+  if (chain.size() == 1) {
+    leaf_issuer_pk = anchors.find(leaf.issuer);
+    if (!leaf_issuer_pk) {
+      check.verdict = ChainVerdict::kUntrustedIssuer;
+      return check;
+    }
+  } else {
+    const Voucher& mid = chain[1];
+    if (mid.subject != leaf.issuer) return check;
+    const ec::G1* root_pk = anchors.find(mid.issuer);
+    if (!root_pk) {
+      check.verdict = ChainVerdict::kUntrustedIssuer;
+      return check;
+    }
+    const auto decoded = ec::G1::from_bytes(mid.pk_bytes);
+    if (!decoded || !decoded->in_subgroup() || decoded->is_infinity()) return check;
+    if (!verify_voucher_signature(mid, *root_pk)) {
+      check.verdict = ChainVerdict::kBadSignature;
+      return check;
+    }
+    domain_pk = *decoded;
+    leaf_issuer_pk = &domain_pk;
+  }
+
+  if (!verify_voucher_signature(leaf, *leaf_issuer_pk)) {
+    check.verdict = ChainVerdict::kBadSignature;
+    return check;
+  }
+
+  // Epoch policy, same window as KeyDirectory::resolve.
+  if (current_epoch && !cls::epoch_acceptable(leaf.epoch, *current_epoch, grace)) {
+    check.verdict = ChainVerdict::kEpochRejected;
+    return check;
+  }
+
+  auto key = cls::PublicKey::from_bytes(leaf.pk_bytes);
+  if (!key || !key->well_formed()) return check;
+
+  check.verdict = ChainVerdict::kOk;
+  check.key = std::move(*key);
+  check.subject = leaf.subject;
+  check.epoch = leaf.epoch;
+  check.not_before = leaf.not_before;
+  check.not_after = leaf.not_after;
+  for (const Voucher& link : chain) {
+    if (link.not_before > check.not_before) check.not_before = link.not_before;
+    if (link.not_after < check.not_after) check.not_after = link.not_after;
+  }
+  return check;
+}
+
+// ---- VoucherVerifyingResolver ----------------------------------------------
+
+VoucherVerifyingResolver::VoucherVerifyingResolver(svc::PkResolver* inner,
+                                                   const TrustAnchors* anchors,
+                                                   VoucherResolverConfig config)
+    : inner_(inner), anchors_(anchors), config_(std::move(config)) {}
+
+std::uint64_t VoucherVerifyingResolver::now() const {
+  return config_.now ? config_.now() : wall_clock_seconds();
+}
+
+svc::ResolveResult VoucherVerifyingResolver::resolve(std::string_view id) {
+  // Local epoch policy first: a scoped identity outside the acceptance
+  // window is definitively not vouched, directory reachable or not. This is
+  // what keeps revocation (epoch bump) effective through a total outage.
+  const auto scoped = cls::parse_scoped_identity(id);
+  if (scoped && config_.current_epoch &&
+      !cls::epoch_acceptable(scoped->second, config_.current_epoch(), config_.grace)) {
+    return svc::ResolveResult::not_vouched();
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(std::string(id));
+    if (it != cache_.end()) {
+      const std::uint64_t t = now();
+      if (t >= it->second.not_before && t < it->second.not_after) {
+        if (metrics_) metrics_->on_voucher_hit();
+        return svc::ResolveResult::ok(it->second.key);
+      }
+      if (t >= it->second.not_after) {
+        if (metrics_) metrics_->on_voucher_expired();
+        // Leave eviction-list bookkeeping to capacity pressure; the map
+        // entry itself is dead weight we can drop now.
+        cache_.erase(it);
+      }
+      // A not-yet-valid voucher stays cached (clock skew at ingest); the
+      // lookup is simply a miss until the window opens.
+    }
+  }
+  return miss(id);
+}
+
+svc::ResolveResult VoucherVerifyingResolver::miss(std::string_view id) {
+  if (config_.fetch) {
+    if (auto chain = config_.fetch(id)) {
+      const ChainVerdict verdict = ingest(*chain);
+      if (verdict == ChainVerdict::kOk) {
+        std::lock_guard lock(mutex_);
+        const auto it = cache_.find(std::string(id));
+        if (it != cache_.end()) {
+          const std::uint64_t t = now();
+          if (t >= it->second.not_before && t < it->second.not_after) {
+            if (metrics_) metrics_->on_voucher_hit();
+            return svc::ResolveResult::ok(it->second.key);
+          }
+        }
+      }
+      // Unverifiable chains are dropped, never trusted (ingest already
+      // counted the bad signature); fall through to the inner resolver.
+    }
+  }
+  if (!inner_) return svc::ResolveResult::unavailable();
+  return inner_->resolve(id);
+}
+
+ChainVerdict VoucherVerifyingResolver::ingest(const VoucherChain& chain) {
+  std::optional<cls::Epoch> epoch;
+  if (config_.current_epoch) epoch = config_.current_epoch();
+  ChainCheck check =
+      verify_voucher_chain(chain, *anchors_, now(), epoch, config_.grace);
+  if (check.verdict != ChainVerdict::kOk) {
+    if (metrics_ && (check.verdict == ChainVerdict::kBadSignature ||
+                     check.verdict == ChainVerdict::kBadChain ||
+                     check.verdict == ChainVerdict::kUntrustedIssuer)) {
+      metrics_->on_voucher_bad_sig();
+    }
+    return check.verdict;
+  }
+  Entry entry{std::move(check.key), check.epoch, check.not_before, check.not_after};
+  const auto scoped = cls::parse_scoped_identity(check.subject);
+  std::lock_guard lock(mutex_);
+  insert_locked(check.subject, entry);
+  if (scoped) insert_locked(scoped->first, entry);
+  return ChainVerdict::kOk;
+}
+
+void VoucherVerifyingResolver::insert_locked(const std::string& key_str,
+                                             const Entry& entry) {
+  const auto [it, inserted] = cache_.insert_or_assign(key_str, entry);
+  (void)it;
+  if (inserted) {
+    eviction_.push_back(key_str);
+    while (cache_.size() > config_.capacity && !eviction_.empty()) {
+      cache_.erase(eviction_.front());
+      eviction_.pop_front();
+    }
+  }
+}
+
+std::size_t VoucherVerifyingResolver::cached() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
+}
+
+void VoucherVerifyingResolver::clear() {
+  std::lock_guard lock(mutex_);
+  cache_.clear();
+  eviction_.clear();
+}
+
+}  // namespace mccls::kgc

@@ -1,0 +1,273 @@
+// Offline-verifiable identity bindings: KGC-signed vouchers and chains.
+//
+// A Voucher is the KGC's signed statement "identity@epoch-N holds this
+// public key, valid in [not_before, not_after)". Any holder of the issuing
+// KGC's vouching key can check the binding with two pairings and no network
+// round trip, which converts verify-by-identity's liveness dependency on
+// the directory (PR 4/5) into a cache-freshness problem: a verifyd that has
+// seen a voucher keeps vouching for the signer through a total directory
+// outage, until the voucher expires or the epoch moves on.
+//
+// Trust chains are depth-bounded at two links for federation:
+//
+//   TrustAnchors (root vouching keys, configured out of band)
+//        │ signs
+//        ▼
+//   intermediate voucher: subject = domain KGC's anchor name,
+//                         pk      = domain KGC's vouching key (33-byte G1)
+//        │ signs
+//        ▼
+//   leaf voucher:         subject = "ID@epoch-N",
+//                         pk      = the signer's cls::PublicKey bytes
+//
+// A single-link chain is the common case (the leaf's issuer is itself an
+// anchor). Revocation carries over from PR 4 unchanged: an epoch bump makes
+// every voucher issued for the old epoch answer kNotVouched (scoped
+// subjects are gated by cls::epoch_acceptable exactly like the directory),
+// and expiry bounds how long a stale binding can live in any cache.
+//
+// The voucher signature is BLS-shaped over the existing pairing:
+//   sig = s · H(domain, preimage)           (issuance, master key s)
+//   ê(sig, P) == ê(H(preimage), s·P)        (verification)
+// checked as the single product ê(sig, P) · ê(H, −pk) == 1 so one shared
+// Miller loop covers both factors. Each link is checked with its own
+// product — folding two links into one product would let an adversary move
+// a correction term between the two signatures (the statements would still
+// be the honest ones, but per-link soundness is the cheaper thing to reason
+// about at depth ≤ 2).
+//
+// Codecs follow the svc/kgc wire conventions: versioned, per-field caps,
+// total (malformed / truncated / non-canonical / trailing bytes → nullopt),
+// decode∘encode the identity on every accepted input (mcqc's stability
+// property; the kgc_voucher fuzz target hammers exactly this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cls/epoch.hpp"
+#include "cls/keys.hpp"
+#include "crypto/encoding.hpp"
+#include "ec/g1.hpp"
+#include "math/fe.hpp"
+#include "svc/metrics.hpp"
+#include "svc/resolver.hpp"
+
+namespace mccls::kgc {
+
+inline constexpr std::uint8_t kVoucherVersion = 1;
+/// Domain-separation tag for the voucher oracle (crypto::hash_to_g1); keeps
+/// voucher signatures disjoint from every scheme's H1/H2 transcript.
+inline constexpr std::string_view kVoucherDomain = "mccls/voucher/v1";
+inline constexpr std::size_t kMaxVoucherIdLen = 1024;
+inline constexpr std::size_t kMaxVoucherPkLen = 256;
+/// Chain depth cap: root → domain KGC → binding and nothing longer.
+inline constexpr std::size_t kMaxVoucherChainDepth = 2;
+/// Cap on one encoded voucher inside a chain frame (a legitimate voucher is
+/// well under 2.5 KiB even at both id caps).
+inline constexpr std::size_t kMaxVoucherLen = 4096;
+
+/// One signed binding. For a leaf, `subject` is the scoped identity
+/// "ID@epoch-N" (and `epoch` must equal N — the chain verifier enforces the
+/// redundancy), `pk_bytes` the canonical cls::PublicKey serialization. For
+/// an intermediate, `subject` is the vouched-for KGC's anchor name,
+/// `pk_bytes` its 33-byte compressed vouching key, and `epoch` is 0.
+struct Voucher {
+  std::string issuer;       ///< anchor name of the signing KGC
+  std::string subject;
+  crypto::Bytes pk_bytes;
+  cls::Epoch epoch = 0;
+  std::uint64_t not_before = 0;  ///< inclusive, seconds
+  std::uint64_t not_after = 0;   ///< exclusive: exactly-at-expiry is expired
+  std::uint64_t serial = 0;      ///< issuer-local, persisted in the kgcd WAL
+  ec::G1 signature;              ///< s · H(kVoucherDomain, preimage)
+
+  friend bool operator==(const Voucher&, const Voucher&) = default;
+};
+
+/// Leaf first, root-adjacent last.
+using VoucherChain = std::vector<Voucher>;
+
+/// The signed transcript: every field except the signature, canonically
+/// framed. Issuance and verification must agree on this byte string.
+crypto::Bytes voucher_preimage(const Voucher& voucher);
+
+crypto::Bytes encode_voucher(const Voucher& voucher);
+std::optional<Voucher> decode_voucher(std::span<const std::uint8_t> bytes);
+
+crypto::Bytes encode_voucher_chain(const VoucherChain& chain);
+std::optional<VoucherChain> decode_voucher_chain(std::span<const std::uint8_t> bytes);
+
+/// ê(sig, P) == ê(H(preimage), issuer_pk), as one two-factor product.
+/// Total: infinity / out-of-subgroup signatures or vouching keys are false.
+bool verify_voucher_signature(const Voucher& voucher, const ec::G1& issuer_pk);
+
+/// Signs vouchers with a KGC master key. The vouching key (s·P) is what
+/// TrustAnchors distributes; it is byte-identical to the KGC's P_pub.
+class VoucherIssuer {
+ public:
+  VoucherIssuer(const math::Fq& master_key, std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ec::G1& public_key() const { return pk_; }
+
+  [[nodiscard]] Voucher issue(std::string_view subject,
+                              std::span<const std::uint8_t> pk_bytes, cls::Epoch epoch,
+                              std::uint64_t not_before, std::uint64_t not_after,
+                              std::uint64_t serial) const;
+
+  /// Cross-domain federation: this issuer (a root) vouches for another KGC's
+  /// vouching key, producing the intermediate link of a depth-2 chain.
+  [[nodiscard]] Voucher vouch_for_issuer(const VoucherIssuer& domain,
+                                         std::uint64_t not_before,
+                                         std::uint64_t not_after,
+                                         std::uint64_t serial) const;
+
+ private:
+  math::Fq s_;
+  ec::G1 pk_;
+  std::string name_;
+};
+
+/// Root-of-trust set: anchor name → vouching key. Built at configuration
+/// time, read-only afterwards (concurrent reads need no lock).
+class TrustAnchors {
+ public:
+  /// False (and no mutation) for a structurally bad key (infinity or
+  /// out-of-subgroup) or a duplicate name.
+  bool add(std::string name, const ec::G1& vouching_key);
+
+  [[nodiscard]] const ec::G1* find(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return anchors_.size(); }
+
+ private:
+  std::unordered_map<std::string, ec::G1> anchors_;
+};
+
+/// Why a chain was accepted or refused. Everything except kOk maps to the
+/// resolver's kNotVouched-shaped "do not trust this" — the distinctions
+/// exist for tests, metrics and operators.
+enum class ChainVerdict : std::uint8_t {
+  kOk = 0,
+  kBadChain = 1,         ///< structural: empty/too deep, link mismatch,
+                         ///< undecodable key, unscoped leaf, epoch mismatch
+  kUntrustedIssuer = 2,  ///< no anchor vouches for the chain's root link
+  kNotYetValid = 3,      ///< some link's not_before is in the future
+  kExpired = 4,          ///< some link's not_after has passed (or now == it)
+  kEpochRejected = 5,    ///< leaf epoch outside the acceptable window
+  kBadSignature = 6,     ///< a link's pairing check failed
+};
+
+const char* chain_verdict_name(ChainVerdict verdict);
+
+struct ChainCheck {
+  ChainVerdict verdict = ChainVerdict::kBadChain;
+  cls::PublicKey key;            ///< decoded leaf key; meaningful iff kOk
+  std::string subject;           ///< leaf subject ("ID@epoch-N")
+  cls::Epoch epoch = 0;          ///< leaf epoch (the N above)
+  std::uint64_t not_before = 0;  ///< effective window: max nb over links
+  std::uint64_t not_after = 0;   ///< effective window: min na over links
+};
+
+/// Full offline chain verification at wall-clock `now`: structure, time
+/// windows on every link, signatures bottoming out in `anchors`, and — when
+/// `current_epoch` is supplied — the leaf-epoch acceptance window (same
+/// policy as KeyDirectory::resolve, so offline and online verdicts agree).
+/// A one-link chain requires the leaf's issuer to be an anchor; a two-link
+/// chain requires chain[1].subject == chain[0].issuer and chain[1].issuer
+/// to be an anchor.
+ChainCheck verify_voucher_chain(const VoucherChain& chain, const TrustAnchors& anchors,
+                                std::uint64_t now,
+                                std::optional<cls::Epoch> current_epoch = std::nullopt,
+                                cls::Epoch grace = 1);
+
+/// Configuration for VoucherVerifyingResolver. All hooks are injectable so
+/// tests and the differential property control time and epoch exactly.
+struct VoucherResolverConfig {
+  cls::Epoch grace = 1;
+  /// Positive-cache bound (each subject costs two map entries: the scoped
+  /// subject and its base identity). Oldest-ingested entries evict first.
+  std::size_t capacity = 4096;
+  /// Wall clock in seconds. Defaults to the system clock.
+  std::function<std::uint64_t()> now;
+  /// The verifier's view of the current issuance epoch. When absent, scoped
+  /// subjects are accepted on voucher validity alone (no epoch policy) —
+  /// mirroring a KeyDirectory with an unknown epoch is not possible, so
+  /// deployments that roll epochs must supply this.
+  std::function<cls::Epoch()> current_epoch;
+  /// Optional network fetch of a chain for an identity (e.g. a kgcd kVouch
+  /// round trip). Called on cache miss before falling through to the inner
+  /// resolver; a fetched chain is verified and cached exactly like ingest().
+  std::function<std::optional<VoucherChain>(std::string_view)> fetch;
+};
+
+/// svc::PkResolver that answers from verified, unexpired vouchers before
+/// consulting the resolver underneath:
+///
+///   VerifyService → VoucherVerifyingResolver → ResilientResolver → ... →
+///   KeyDirectory
+///
+/// Verdict semantics mirror KeyDirectory::resolve so the composition is
+/// transparent when the directory is reachable and merely *more available*
+/// when it is not:
+///   * a scoped identity whose epoch fails the acceptance window answers
+///     kNotVouched locally (definitive — revocation keeps working offline);
+///   * a cached, verified, time-valid voucher answers kOk with no inner
+///     call (steady state: one hash lookup + key copy);
+///   * anything else falls through — an expired or missing voucher is a
+///     cache miss, never an error, and an unverifiable chain is *dropped*
+///     (fail closed) rather than trusted.
+///
+/// Thread-safe; resolve() is called from worker threads concurrently.
+class VoucherVerifyingResolver final : public svc::PkResolver {
+ public:
+  /// `inner` may be nullptr (pure offline: misses answer kUnavailable, the
+  /// honest transient outcome for "I have no path to the directory").
+  /// `anchors` must outlive the resolver.
+  VoucherVerifyingResolver(svc::PkResolver* inner, const TrustAnchors* anchors,
+                           VoucherResolverConfig config = {});
+
+  svc::ResolveResult resolve(std::string_view id) override;
+
+  /// Verifies and (on kOk) caches a chain, keyed under both the scoped leaf
+  /// subject and its base identity. This is the prefetch entry point the
+  /// loadgen/bench warm phase and the netd acceptance test use.
+  ChainVerdict ingest(const VoucherChain& chain);
+
+  [[nodiscard]] std::size_t cached() const;
+  void clear();
+
+  /// Voucher hit/expired/bad-sig counters; not owned, may be nullptr.
+  void set_metrics(svc::ServiceMetrics* metrics) { metrics_ = metrics; }
+
+ private:
+  struct Entry {
+    cls::PublicKey key;
+    cls::Epoch epoch = 0;
+    std::uint64_t not_before = 0;
+    std::uint64_t not_after = 0;
+  };
+
+  [[nodiscard]] std::uint64_t now() const;
+  svc::ResolveResult miss(std::string_view id);
+  void insert_locked(const std::string& key_str, const Entry& entry);
+
+  svc::PkResolver* inner_;
+  const TrustAnchors* anchors_;
+  VoucherResolverConfig config_;
+  svc::ServiceMetrics* metrics_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> cache_;
+  std::list<std::string> eviction_;  ///< insertion order; front evicts first
+};
+
+}  // namespace mccls::kgc

@@ -27,6 +27,7 @@ bool request_shape_ok(KgcOp op, const std::string& id, const crypto::Bytes& pk) 
              id.find(cls::kEpochSeparator) == std::string::npos;
     case KgcOp::kLookup:
     case KgcOp::kRevoke:
+    case KgcOp::kVouch:
       return !id.empty() && pk.empty();
     case KgcOp::kSnapshot:
       return id.empty() && pk.empty();
@@ -37,10 +38,16 @@ bool request_shape_ok(KgcOp op, const std::string& id, const crypto::Bytes& pk) 
 }
 
 bool response_payload_ok(KgcOp op, KgcStatus status, const crypto::Bytes& payload) {
-  // Only successful enroll/lookup responses carry a payload.
-  const bool may_carry = status == KgcStatus::kOk &&
-                         (op == KgcOp::kEnroll || op == KgcOp::kLookup);
+  // Only successful enroll/lookup/vouch responses carry a payload.
+  const bool may_carry =
+      status == KgcStatus::kOk &&
+      (op == KgcOp::kEnroll || op == KgcOp::kLookup || op == KgcOp::kVouch);
   return may_carry ? !payload.empty() : payload.empty();
+}
+
+/// Per-op payload bound: vouch responses carry a whole voucher chain.
+std::size_t response_payload_cap(KgcOp op) {
+  return op == KgcOp::kVouch ? kMaxKgcVoucherLen : kMaxKgcPayloadLen;
 }
 
 }  // namespace
@@ -62,7 +69,7 @@ std::optional<KgcRequest> decode_kgc_request(std::span<const std::uint8_t> bytes
   const auto op = reader.get_u8();
   const auto request_id = reader.get_u64();
   if (!op || !request_id) return std::nullopt;
-  if (*op == 0 || *op > static_cast<std::uint8_t>(KgcOp::kSnapshot)) return std::nullopt;
+  if (*op == 0 || *op > static_cast<std::uint8_t>(KgcOp::kVouch)) return std::nullopt;
   const auto id = reader.get_field(kMaxKgcIdLen);
   const auto pk = reader.get_field(kMaxKgcPayloadLen);
   if (!id || !pk || !reader.exhausted()) return std::nullopt;
@@ -94,9 +101,9 @@ std::optional<KgcResponse> decode_kgc_response(std::span<const std::uint8_t> byt
   const auto status = reader.get_u8();
   const auto epoch = reader.get_u64();
   if (!op || !request_id || !status || !epoch) return std::nullopt;
-  if (*op > static_cast<std::uint8_t>(KgcOp::kSnapshot)) return std::nullopt;
+  if (*op > static_cast<std::uint8_t>(KgcOp::kVouch)) return std::nullopt;
   if (*status > static_cast<std::uint8_t>(KgcStatus::kStoreError)) return std::nullopt;
-  const auto payload = reader.get_field(kMaxKgcPayloadLen);
+  const auto payload = reader.get_field(response_payload_cap(KgcOp{*op}));
   if (!payload || !reader.exhausted()) return std::nullopt;
   KgcResponse response{.op = KgcOp{*op},
                        .request_id = *request_id,

@@ -10,12 +10,13 @@
 //               epoch:u64  field(payload)
 //
 // Op-dependent shape is part of the decoder (canonical form): only enroll
-// requests carry a public key; lookup/revoke carry an identity but no key;
-// snapshot carries neither. Responses: enroll's payload is the issued
+// requests carry a public key; lookup/revoke/vouch carry an identity but no
+// key; snapshot carries neither. Responses: enroll's payload is the issued
 // partial private key (33 bytes), lookup's is the directory's public-key
-// bytes, revoke/snapshot carry none. Any deviation rejects, which keeps
-// decode∘encode the identity on every accepted frame (the mcqc stability
-// property).
+// bytes, vouch's is an encoded voucher chain (kgc/voucher.hpp, its own
+// larger cap), revoke/snapshot carry none. Any deviation rejects, which
+// keeps decode∘encode the identity on every accepted frame (the mcqc
+// stability property).
 #pragma once
 
 #include <cstdint>
@@ -30,6 +31,11 @@ namespace mccls::kgc {
 inline constexpr std::uint8_t kKgcWireVersion = 1;
 inline constexpr std::size_t kMaxKgcIdLen = 1024;
 inline constexpr std::size_t kMaxKgcPayloadLen = 256;
+/// Payload cap for kVouch responses only: an encoded depth-2 voucher chain
+/// is bigger than any key payload but still bounded (see kgc/voucher.hpp).
+/// The decoder picks the cap per op, so hostile lengths on the classic ops
+/// stay rejected at the old bound.
+inline constexpr std::size_t kMaxKgcVoucherLen = 1 << 13;
 
 /// Directory operations. kNone is reserved for responses to frames too
 /// damaged to echo an op (request decoders reject it).
@@ -39,6 +45,7 @@ enum class KgcOp : std::uint8_t {
   kLookup = 2,    ///< fetch the directory's public key for id
   kRevoke = 3,    ///< revoke id as of the current epoch
   kSnapshot = 4,  ///< persist a snapshot and truncate the WAL
+  kVouch = 5,     ///< fetch a signed voucher chain for id (offline verify)
 };
 
 /// Final outcome of one kgcd request.

@@ -9,6 +9,7 @@
 #include "dsr/dsr_codec.hpp"
 #include "ec/g1.hpp"
 #include "kgc/store.hpp"
+#include "kgc/voucher.hpp"
 #include "kgc/wire.hpp"
 #include "netd/frame.hpp"
 #include "qa/fuzz.hpp"
@@ -273,6 +274,54 @@ std::size_t emit_builtin_corpus(const std::string& dir) {
     Bytes b = valid;
     b[11] = 0x09;  // status byte (after version kind op request_id)
     emit("kgc_response", "status_out_of_range", false, b);
+  }
+
+  // Voucher chains: the offline-trust decision surface. The decoder runs
+  // before any signature check, so everything here is reachable from a
+  // hostile kVouch response or a poisoned cache file.
+  {
+    const auto make_voucher = [&](std::string subject, std::uint64_t serial) {
+      kgc::Voucher v;
+      v.issuer = "kgc";
+      v.subject = std::move(subject);
+      v.pk_bytes = Bytes{0x01};
+      v.pk_bytes.insert(v.pk_bytes.end(), g_bytes.begin(), g_bytes.end());
+      v.epoch = 0;
+      v.not_before = 100;
+      v.not_after = 200;
+      v.serial = serial;
+      v.signature = g;  // codec seeds need shape, not a real signature
+      return v;
+    };
+    const kgc::Voucher leaf = make_voucher("a@epoch-0", 1);
+    const kgc::Voucher mid = make_voucher("kgc", 2);
+    const Bytes single = kgc::encode_voucher_chain({leaf});
+    emit("kgc_voucher", "single_binding", true, single);
+    emit("kgc_voucher", "cross_domain_depth2", true,
+         kgc::encode_voucher_chain({leaf, mid}));
+    {  // signature cut mid-point: the leaf's G1 field is no longer 33 bytes
+      Bytes b(single.begin(), single.end() - 5);
+      emit("kgc_voucher", "truncated_sig", false, b);
+    }
+    emit("kgc_voucher", "oversized_chain", false,
+         kgc::encode_voucher_chain({leaf, mid, mid}));
+    emit("kgc_voucher", "empty_chain", false, kgc::encode_voucher_chain({}));
+    {  // zero-length subject identity, honestly declared
+      kgc::Voucher anonymous = leaf;
+      anonymous.subject.clear();
+      emit("kgc_voucher", "zero_length_id", false,
+           kgc::encode_voucher_chain({anonymous}));
+    }
+    {  // unknown chain version byte
+      Bytes b = single;
+      b[0] = kgc::kVoucherVersion + 1;
+      emit("kgc_voucher", "unknown_version", false, b);
+    }
+    {  // trailing garbage after the declared links
+      Bytes b = single;
+      b.push_back(0x00);
+      emit("kgc_voucher", "trailing_garbage", false, b);
+    }
   }
 
   // kgc store formats: the crash-recovery decision surface.

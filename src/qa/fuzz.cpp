@@ -12,6 +12,7 @@
 #include "cls/zwxf.hpp"
 #include "dsr/dsr_codec.hpp"
 #include "kgc/store.hpp"
+#include "kgc/voucher.hpp"
 #include "kgc/wire.hpp"
 #include "netd/frame.hpp"
 #include "qa/gen.hpp"
@@ -192,6 +193,22 @@ Bytes sample_dsr(sim::Rng& rng) {
   return dsr::encode_packet(payload);
 }
 
+kgc::Voucher sample_voucher(sim::Rng& rng) {
+  kgc::Voucher v;
+  v.issuer = gen_id(rng);
+  v.subject = gen_id(rng);
+  // The chain *verifier* demands a scoped subject; the codec is agnostic, so
+  // sample both forms to exercise the full accept surface.
+  if (rng.chance(0.5)) v.subject += "@epoch-" + std::to_string(rng.uniform_int(8));
+  v.pk_bytes = sample_public_key(rng, 1).to_bytes();
+  v.epoch = rng.uniform_int(1u << 16);
+  v.not_before = rng.next_u64();
+  v.not_after = rng.next_u64();
+  v.serial = rng.next_u64();
+  v.signature = gen_g1(rng);
+  return v;
+}
+
 std::vector<FuzzTarget> build_targets() {
   std::vector<FuzzTarget> targets;
 
@@ -286,7 +303,7 @@ std::vector<FuzzTarget> build_targets() {
       "kgc_request",
       [](sim::Rng& rng) {
         kgc::KgcRequest req;
-        req.op = static_cast<kgc::KgcOp>(1 + rng.uniform_int(4));
+        req.op = static_cast<kgc::KgcOp>(1 + rng.uniform_int(5));  // incl. kVouch
         req.request_id = rng.next_u64();
         // Canonical shape is op-dependent (the decoder enforces it): only
         // enroll carries a key, snapshot carries nothing.
@@ -308,19 +325,38 @@ std::vector<FuzzTarget> build_targets() {
       "kgc_response",
       [](sim::Rng& rng) {
         kgc::KgcResponse resp;
-        resp.op = static_cast<kgc::KgcOp>(rng.uniform_int(5));
+        resp.op = static_cast<kgc::KgcOp>(rng.uniform_int(6));  // incl. kVouch
         resp.request_id = rng.next_u64();
         resp.status = static_cast<kgc::KgcStatus>(rng.uniform_int(7));
         resp.epoch = rng.uniform_int(1u << 16);
-        // Payload only on successful enroll/lookup (canonical shape).
-        if (resp.status == kgc::KgcStatus::kOk &&
-            (resp.op == kgc::KgcOp::kEnroll || resp.op == kgc::KgcOp::kLookup)) {
-          resp.payload = sample_public_key(rng, 1).to_bytes();
+        // Payload only on successful enroll/lookup/vouch (canonical shape);
+        // a vouch payload is an encoded chain under its own larger cap.
+        if (resp.status == kgc::KgcStatus::kOk) {
+          if (resp.op == kgc::KgcOp::kEnroll || resp.op == kgc::KgcOp::kLookup) {
+            resp.payload = sample_public_key(rng, 1).to_bytes();
+          } else if (resp.op == kgc::KgcOp::kVouch) {
+            resp.payload = kgc::encode_voucher_chain({sample_voucher(rng)});
+          }
         }
         return kgc::encode_kgc_response(resp);
       },
       [](std::span<const std::uint8_t> b) { return kgc::decode_kgc_response(b); },
       [](const kgc::KgcResponse& r) { return kgc::encode_kgc_response(r); }));
+
+  // Voucher chains as they cross the wire (kVouch payload) and land in
+  // offline verifiers' caches. The decoder is total: version + per-field
+  // caps + exact-size G1 signature + depth in [1, 2] + exhaustion, so
+  // truncated signatures, oversized chains and zero-length identities all
+  // reject, and accepted bytes re-encode to a fixpoint.
+  targets.push_back(make_target<kgc::VoucherChain>(
+      "kgc_voucher",
+      [](sim::Rng& rng) {
+        kgc::VoucherChain chain{sample_voucher(rng)};
+        if (rng.chance(0.4)) chain.push_back(sample_voucher(rng));
+        return kgc::encode_voucher_chain(chain);
+      },
+      [](std::span<const std::uint8_t> b) { return kgc::decode_voucher_chain(b); },
+      [](const kgc::VoucherChain& c) { return kgc::encode_voucher_chain(c); }));
 
   // The WAL record as it sits on disk: CRC frame around the record codec.
   // The decoder demands a single exhaustive frame, so bit flips in length,
@@ -329,11 +365,16 @@ std::vector<FuzzTarget> build_targets() {
       "kgc_wal_record",
       [](sim::Rng& rng) {
         kgc::WalRecord record;
-        const bool enroll = rng.chance(0.7);
-        record.type = enroll ? kgc::WalRecordType::kEnroll : kgc::WalRecordType::kRevoke;
+        const std::size_t kind = rng.uniform_int(10);
+        record.type = kind < 7   ? kgc::WalRecordType::kEnroll
+                      : kind < 9 ? kgc::WalRecordType::kRevoke
+                                 : kgc::WalRecordType::kVoucher;
         record.epoch = rng.uniform_int(1u << 16);
         record.id = gen_id(rng);
-        if (enroll) record.pk_bytes = sample_public_key(rng, 1).to_bytes();
+        if (record.type == kgc::WalRecordType::kEnroll) {
+          record.pk_bytes = sample_public_key(rng, 1).to_bytes();
+        }
+        if (record.type == kgc::WalRecordType::kVoucher) record.serial = rng.next_u64();
         return kgc::frame_payload(kgc::encode_wal_record(record));
       },
       [](std::span<const std::uint8_t> b) -> std::optional<kgc::WalRecord> {

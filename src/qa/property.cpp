@@ -30,6 +30,7 @@ std::uint64_t parse_u64(const char* s, std::uint64_t fallback) {
 void register_math_properties();
 void register_scheme_properties();
 void register_codec_properties();
+void register_voucher_properties();
 
 RunConfig RunConfig::from_env() {
   RunConfig cfg;
@@ -73,6 +74,7 @@ const std::vector<Property>& registry() {
     register_math_properties();
     register_scheme_properties();
     register_codec_properties();
+    register_voucher_properties();
     return true;
   }();
   (void)initialized;

@@ -1,0 +1,268 @@
+// Registered properties for the voucher-chain trust layer (kgc/voucher):
+//
+//   voucher_roundtrip — a chain a real issuer signed survives
+//     decode(encode(·)) bit-exactly and still verifies afterwards, at both
+//     depths, for edge-biased validity windows and epochs.
+//
+//   voucher_chain_never_accepts_untrusted — the adversarial closure: no
+//     chain whose trust root is missing, whose signature is forged or whose
+//     structure is off (depth, link mismatch, epoch mismatch) ever verifies
+//     kOk, no matter how the fields are tweaked.
+//
+//   offline_resolve_eq_online_resolve — the differential oracle: for a
+//     vouched signer inside the voucher's validity window, a
+//     VoucherVerifyingResolver whose inner resolver is 100% unavailable
+//     returns exactly the verdict (and key bytes) the live KeyDirectory
+//     returns, across plain/scoped identities and epoch bumps. Revocation
+//     here is the epoch-bump model the voucher layer implements — directory
+//     revoke() is intentionally out of scope (its offline bound is the
+//     voucher TTL, not instantaneous parity).
+//
+// Each case carries its own DRBG-free scalar seeds, so every
+// counterexample replays from the harness seed contract (property.hpp).
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "kgc/directory.hpp"
+#include "kgc/voucher.hpp"
+#include "qa/gen.hpp"
+#include "qa/property.hpp"
+#include "svc/resolver.hpp"
+
+namespace mccls::qa {
+
+namespace {
+
+using crypto::Bytes;
+
+/// One voucher-layer test case: two independent issuer keys (root + domain),
+/// one subject keypair, and edge-biased window/epoch/clock values.
+struct VoucherCase {
+  math::Fq root_key;
+  math::Fq domain_key;
+  math::Fq subject_secret;
+  std::string id;
+  cls::Epoch epoch = 0;
+  cls::Epoch bump = 0;          ///< epochs rolled after issuance (0..3)
+  std::uint64_t not_before = 0;
+  std::uint64_t lifetime = 0;   ///< not_after = not_before + 1 + lifetime
+  std::uint64_t serial = 0;
+};
+
+Gen<VoucherCase> voucher_case_gen() {
+  Gen<VoucherCase> gen;
+  gen.create = [](sim::Rng& rng) {
+    return VoucherCase{.root_key = gen_fq_nonzero(rng),
+                       .domain_key = gen_fq_nonzero(rng),
+                       .subject_secret = gen_fq_nonzero(rng),
+                       .id = gen_id(rng),
+                       .epoch = static_cast<cls::Epoch>(rng.uniform_int(1u << 10)),
+                       .bump = static_cast<cls::Epoch>(rng.uniform_int(4)),
+                       .not_before = rng.chance(0.25) ? 0 : rng.next_u64() >> 1,
+                       .lifetime = rng.chance(0.25) ? 0 : rng.uniform_int(1u << 20),
+                       .serial = rng.next_u64()};
+  };
+  gen.shrink = [](const VoucherCase& c) {
+    std::vector<VoucherCase> out;
+    if (c.id != "a") {
+      VoucherCase smaller = c;
+      smaller.id = "a";
+      out.push_back(std::move(smaller));
+    }
+    if (c.epoch != 0 || c.bump != 0 || c.not_before != 0 || c.lifetime != 0) {
+      VoucherCase smaller = c;
+      smaller.epoch = 0;
+      smaller.bump = 0;
+      smaller.not_before = 0;
+      smaller.lifetime = 0;
+      out.push_back(std::move(smaller));
+    }
+    return out;
+  };
+  gen.show = [](const VoucherCase& c) {
+    std::ostringstream os;
+    os << "{id=\"" << c.id << "\" epoch=" << c.epoch << " bump=" << c.bump
+       << " not_before=" << c.not_before << " lifetime=" << c.lifetime
+       << " serial=" << c.serial << "}";
+    return os.str();
+  };
+  return gen;
+}
+
+/// Subject public key derived exactly as the scheme does: X = x·P.
+Bytes subject_pk_bytes(const VoucherCase& c) {
+  return cls::PublicKey{.points = {ec::G1::mul_generator(c.subject_secret)}}.to_bytes();
+}
+
+struct IssuedChain {
+  kgc::VoucherChain depth1;
+  kgc::VoucherChain depth2;
+  kgc::TrustAnchors root_anchor;   ///< trusts only the federation root
+  kgc::TrustAnchors domain_anchor; ///< trusts only the domain issuer
+  std::string scoped_id;
+  std::uint64_t valid_at = 0;      ///< an instant inside both windows
+  std::uint64_t not_after = 0;
+};
+
+IssuedChain issue(const VoucherCase& c) {
+  IssuedChain out;
+  const kgc::VoucherIssuer root(c.root_key, "root");
+  const kgc::VoucherIssuer domain(c.domain_key, "domain");
+  out.scoped_id = cls::scoped_identity(c.id, c.epoch);
+  out.not_after = c.not_before + 1 + c.lifetime;  // non-degenerate window
+  out.valid_at = c.not_before + c.lifetime / 2;
+  const kgc::Voucher leaf = domain.issue(out.scoped_id, subject_pk_bytes(c), c.epoch,
+                                         c.not_before, out.not_after, c.serial);
+  out.depth1 = {leaf};
+  out.depth2 = {leaf, root.vouch_for_issuer(domain, c.not_before, out.not_after,
+                                            c.serial + 1)};
+  out.root_anchor.add("root", root.public_key());
+  out.domain_anchor.add("domain", domain.public_key());
+  return out;
+}
+
+}  // namespace
+
+void register_voucher_properties() {
+  // ---- codec + signature round-trip over real issued chains ---------------
+  define_property<VoucherCase>(
+      "scheme", "voucher_roundtrip", 16, voucher_case_gen(),
+      [](const VoucherCase& c) {
+        const IssuedChain issued = issue(c);
+        for (const kgc::VoucherChain& chain : {issued.depth1, issued.depth2}) {
+          const auto decoded = kgc::decode_voucher_chain(kgc::encode_voucher_chain(chain));
+          if (!decoded || *decoded != chain) return false;
+          // The decoded chain must still verify against the right anchor set
+          // (depth 1 stands on the domain key, depth 2 on the root).
+          const kgc::TrustAnchors& anchors =
+              chain.size() == 1 ? issued.domain_anchor : issued.root_anchor;
+          const kgc::ChainCheck check =
+              kgc::verify_voucher_chain(*decoded, anchors, issued.valid_at, c.epoch);
+          if (check.verdict != kgc::ChainVerdict::kOk) return false;
+          if (check.subject != issued.scoped_id) return false;
+          if (check.key.to_bytes() != subject_pk_bytes(c)) return false;
+        }
+        return true;
+      });
+
+  // ---- adversarial closure: untrusted/forged/misshapen never verify -------
+  define_property<VoucherCase>(
+      "scheme", "voucher_chain_never_accepts_untrusted", 8, voucher_case_gen(),
+      [](const VoucherCase& c) {
+        const IssuedChain issued = issue(c);
+        const std::uint64_t now = issued.valid_at;
+        const auto rejects = [&](const kgc::VoucherChain& chain,
+                                 const kgc::TrustAnchors& anchors) {
+          return kgc::verify_voucher_chain(chain, anchors, now, c.epoch).verdict !=
+                 kgc::ChainVerdict::kOk;
+        };
+
+        const kgc::TrustAnchors empty;
+        if (!rejects(issued.depth1, empty)) return false;
+        if (!rejects(issued.depth2, empty)) return false;
+        // Each chain against the *other* depth's anchor set: the trust root
+        // is wrong even though every signature is genuine.
+        if (!rejects(issued.depth1, issued.root_anchor)) return false;
+        if (!rejects(issued.depth2, issued.domain_anchor)) return false;
+
+        // Depth overflow built from genuine links.
+        kgc::VoucherChain deep = issued.depth2;
+        deep.push_back(issued.depth2.back());
+        if (!rejects(deep, issued.root_anchor)) return false;
+        if (!rejects({}, issued.root_anchor)) return false;
+
+        // Forgeries: an unrelated key re-signs the same fields; a genuine
+        // voucher is re-pointed at a different subject key; the epoch field
+        // disagrees with the scoped subject.
+        const kgc::VoucherIssuer mallory(math::Fq::from_u64(0x5EC237), "domain");
+        kgc::VoucherChain forged = {mallory.issue(issued.scoped_id, subject_pk_bytes(c),
+                                                  c.epoch, c.not_before,
+                                                  issued.not_after, c.serial)};
+        if (!rejects(forged, issued.domain_anchor)) return false;
+        kgc::VoucherChain swapped = issued.depth1;
+        swapped.front().pk_bytes =
+            cls::PublicKey{.points = {ec::G1::mul_generator(c.root_key)}}.to_bytes();
+        if (!rejects(swapped, issued.domain_anchor)) return false;
+        kgc::VoucherChain skewed = issued.depth1;
+        skewed.front().epoch = c.epoch + 1;
+        if (!rejects(skewed, issued.domain_anchor)) return false;
+
+        // Outside the window or the epoch grace, even the genuine chain
+        // stops verifying.
+        if (kgc::verify_voucher_chain(issued.depth1, issued.domain_anchor,
+                                      issued.not_after, c.epoch)
+                .verdict == kgc::ChainVerdict::kOk) {
+          return false;
+        }
+        return kgc::verify_voucher_chain(issued.depth1, issued.domain_anchor, now,
+                                         c.epoch + 2)
+                   .verdict == kgc::ChainVerdict::kEpochRejected;
+      });
+
+  // ---- differential: offline (vouched, directory dead) == online ----------
+  define_property<VoucherCase>(
+      "scheme", "offline_resolve_eq_online_resolve", 8, voucher_case_gen(),
+      [](const VoucherCase& c) {
+        const Bytes pk_bytes = subject_pk_bytes(c);
+        kgc::KeyDirectory directory(
+            kgc::DirectoryConfig{.shards = 2, .lru_per_shard = 8, .epoch = c.epoch});
+        if (directory.enroll(c.id, pk_bytes, c.epoch) != kgc::DirStatus::kOk) {
+          return false;
+        }
+
+        const kgc::VoucherIssuer issuer(c.domain_key, "kgc");
+        kgc::TrustAnchors anchors;
+        anchors.add("kgc", issuer.public_key());
+        const std::string scoped = cls::scoped_identity(c.id, c.epoch);
+        const std::uint64_t not_after = c.not_before + 1 + c.lifetime;
+        const std::uint64_t now = c.not_before + c.lifetime / 2;
+
+        svc::FaultInjectingResolver faulty(&directory);
+        kgc::VoucherResolverConfig config;
+        config.now = [now] { return now; };
+        config.current_epoch = [&directory] { return directory.epoch(); };
+        kgc::VoucherVerifyingResolver offline(&faulty, &anchors, std::move(config));
+        if (offline.ingest({issuer.issue(scoped, pk_bytes, c.epoch, c.not_before,
+                                         not_after, c.serial)}) !=
+            kgc::ChainVerdict::kOk) {
+          return false;
+        }
+        faulty.set_fail_rate(1.0);
+
+        // Roll the epoch forward 0..3 steps; inside the grace window both
+        // sides answer kOk, beyond it both answer kNotVouched — and the
+        // offline side must never answer kUnavailable for the vouched
+        // signer (that would be the availability→trust laundering the
+        // resolver contract forbids).
+        directory.set_epoch(c.epoch + c.bump);
+        const std::string unknown_scoped = cls::scoped_identity(c.id + "~", c.epoch);
+        for (const std::string& id : {c.id, scoped, unknown_scoped}) {
+          const svc::ResolveResult live = directory.resolve(id);
+          const svc::ResolveResult cached = offline.resolve(id);
+          const bool vouched = (id == c.id || id == scoped);
+          if (vouched) {
+            if (cached.outcome != live.outcome) return false;
+            if (live.outcome == svc::ResolveOutcome::kOk &&
+                live.key->to_bytes() != cached.key->to_bytes()) {
+              return false;
+            }
+          } else {
+            // Unvouched scoped id: with the epoch still acceptable the
+            // offline side reports the honest transient outcome; once the
+            // epoch gate rejects, both sides answer the same definitive
+            // verdict even with the directory dead.
+            const bool epoch_ok =
+                cls::epoch_acceptable(c.epoch, directory.epoch(), /*grace=*/1);
+            if (live.outcome != svc::ResolveOutcome::kNotVouched) return false;
+            if (cached.outcome != (epoch_ok ? svc::ResolveOutcome::kUnavailable
+                                            : svc::ResolveOutcome::kNotVouched)) {
+              return false;
+            }
+          }
+        }
+        return true;
+      });
+}
+
+}  // namespace mccls::qa

@@ -97,6 +97,20 @@ class ServiceMetrics {
   void on_negative_cache_hit() {
     negative_cache_hits_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  // -- voucher path (kgc::VoucherVerifyingResolver) --------------------------
+  /// Identity resolved from a cached, verified, unexpired voucher — no
+  /// directory call.
+  void on_voucher_hit() { voucher_hits_.fetch_add(1, std::memory_order_relaxed); }
+  /// Cached voucher found but past not_after; treated as a miss.
+  void on_voucher_expired() {
+    voucher_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Presented chain failed verification (bad signature, untrusted issuer,
+  /// or structurally broken) and was dropped, never trusted.
+  void on_voucher_bad_sig() {
+    voucher_bad_sig_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// One durable WAL append: fsync (or write, when fsync is off) latency.
   void on_wal_fsync_ns(std::uint64_t ns) {
     wal_fsyncs_.fetch_add(1, std::memory_order_relaxed);
@@ -136,6 +150,9 @@ class ServiceMetrics {
     std::uint64_t breaker_trips = 0;
     std::uint64_t breaker_state = 0;
     std::uint64_t negative_cache_hits = 0;
+    std::uint64_t voucher_hits = 0;
+    std::uint64_t voucher_expired = 0;
+    std::uint64_t voucher_bad_sig = 0;
     std::array<std::uint64_t, kBatchBuckets> batch_hist{};
     double latency_p50_ns = 0;
     double latency_p99_ns = 0;
@@ -191,6 +208,9 @@ class ServiceMetrics {
     s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
     s.breaker_state = breaker_state_.load(std::memory_order_relaxed);
     s.negative_cache_hits = negative_cache_hits_.load(std::memory_order_relaxed);
+    s.voucher_hits = voucher_hits_.load(std::memory_order_relaxed);
+    s.voucher_expired = voucher_expired_.load(std::memory_order_relaxed);
+    s.voucher_bad_sig = voucher_bad_sig_.load(std::memory_order_relaxed);
     std::array<std::uint64_t, kLatencyBuckets> lat{};
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
@@ -305,6 +325,9 @@ class ServiceMetrics {
     counter("breaker_trips", static_cast<double>(s.breaker_trips));
     counter("breaker_state", static_cast<double>(s.breaker_state));
     counter("negative_cache_hits", static_cast<double>(s.negative_cache_hits));
+    counter("voucher_hits", static_cast<double>(s.voucher_hits));
+    counter("voucher_expired", static_cast<double>(s.voucher_expired));
+    counter("voucher_bad_sig", static_cast<double>(s.voucher_bad_sig));
     counter("wal_fsyncs", static_cast<double>(s.wal_fsyncs), true);
     out += "  }\n}\n";
     return out;
@@ -357,6 +380,7 @@ class ServiceMetrics {
       resolve_unavailable_{0}, resolve_timeout_{0}, resolve_retries_{0};
   std::atomic<std::uint64_t> breaker_fast_fails_{0}, breaker_trips_{0},
       breaker_state_{0}, negative_cache_hits_{0};
+  std::atomic<std::uint64_t> voucher_hits_{0}, voucher_expired_{0}, voucher_bad_sig_{0};
   std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_hist_{};
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_{};
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> wal_fsync_hist_{};

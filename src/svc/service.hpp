@@ -84,6 +84,9 @@ class VerifyService {
   void shutdown();
 
   [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+  /// Mutable access so composed resolvers (ResilientResolver,
+  /// kgc::VoucherVerifyingResolver) can share the service's sink.
+  [[nodiscard]] ServiceMetrics& metrics() { return metrics_; }
   [[nodiscard]] ShardedPairingCache& cache() { return cache_; }
   [[nodiscard]] const cls::SystemParams& params() const { return params_; }
   [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(queues_.size()); }

@@ -1,0 +1,99 @@
+// CLI-contract tests for verifyd_loadgen, driven through the real binary
+// (path injected by CMake as MCCLS_LOADGEN_BIN). Two contracts:
+//
+//   * fault injection (--fault / --fault-rate / --stall-ms) is rejected in
+//     combination with --tcp / --connect, with the usage exit code 2 — the
+//     fault pipeline lives in front of the in-process resolver, and over TCP
+//     injected directory faults would be re-labelled as transport
+//     backpressure (see the loadgen's file comment);
+//
+//   * --vouchers at --fault-rate 1.0 is the offline acceptance shape: every
+//     by-identity request for a pre-vouched signer answers from the cached
+//     voucher chain, so the metrics JSON must show zero unavailable (and
+//     zero unknown-signer) verdicts through the total directory outage.
+//     This is the assertion the nightly fault-soak round scripts against.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int run_loadgen(const std::string& args) {
+  const std::string cmd =
+      std::string(MCCLS_LOADGEN_BIN) + " " + args + " > /dev/null 2>&1";
+  const int raw = std::system(cmd.c_str());
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+/// Value of a `"name": 123.0000` counter in the BENCH-schema JSON dump, or
+/// -1 when the key is missing (every assertion below treats that as failure).
+double counter_value(const std::string& json, const std::string& name) {
+  const std::string key = "\"" + name + "\"";
+  const auto pos = json.find(key);
+  if (pos == std::string::npos) return -1.0;
+  const auto colon = json.find(':', pos + key.size());
+  if (colon == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + colon + 1, nullptr);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(LoadgenCli, RejectsFaultInjectionOverTcp) {
+  // Every spelling of fault mode, against both TCP transports, exits with
+  // the usage code before any work happens.
+  EXPECT_EQ(run_loadgen("--fault --tcp"), 2);
+  EXPECT_EQ(run_loadgen("--fault-rate 0.5 --tcp"), 2);
+  EXPECT_EQ(run_loadgen("--stall-ms 5 --tcp"), 2);
+  EXPECT_EQ(run_loadgen("--fault --connect 127.0.0.1:9"), 2);
+  EXPECT_EQ(run_loadgen("--fault-rate 1.0 --connect 127.0.0.1:9"), 2);
+}
+
+TEST(LoadgenCli, FaultAloneAndTcpAloneStayAccepted) {
+  EXPECT_EQ(run_loadgen("--requests 16 --signers 2 --workers 2 --producers 1 "
+                        "--byid-pct 100 --fault-rate 0.25"),
+            0);
+  EXPECT_EQ(run_loadgen("--requests 16 --signers 2 --workers 2 --producers 1 "
+                        "--tcp --connections 2 --pipeline 4"),
+            0);
+}
+
+TEST(LoadgenCli, VouchersAnswerATotalOutageWithZeroUnavailable) {
+  const std::string json_path = testing::TempDir() + "loadgen_vouchers.json";
+  ASSERT_EQ(run_loadgen("--requests 24 --signers 3 --workers 2 --producers 2 "
+                        "--byid-pct 100 --fault-rate 1.0 --vouchers --json " +
+                        json_path),
+            0);
+  const std::string json = slurp(json_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_DOUBLE_EQ(counter_value(json, "unavailable"), 0.0);
+  EXPECT_DOUBLE_EQ(counter_value(json, "unknown_signer"), 0.0);
+  EXPECT_DOUBLE_EQ(counter_value(json, "verified"), 24.0);
+  EXPECT_GT(counter_value(json, "voucher_hits"), 0.0);
+  EXPECT_DOUBLE_EQ(counter_value(json, "voucher_bad_sig"), 0.0);
+}
+
+TEST(LoadgenCli, WithoutVouchersTheSameOutageStarvesByIdentity) {
+  // Control run: identical knobs minus --vouchers must show the starvation
+  // the voucher layer exists to remove (nothing verifies by identity, the
+  // unavailable counter carries the whole corpus).
+  const std::string json_path = testing::TempDir() + "loadgen_outage.json";
+  ASSERT_EQ(run_loadgen("--requests 24 --signers 3 --workers 2 --producers 2 "
+                        "--byid-pct 100 --fault-rate 1.0 --json " +
+                        json_path),
+            0);
+  const std::string json = slurp(json_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_DOUBLE_EQ(counter_value(json, "verified"), 0.0);
+  EXPECT_DOUBLE_EQ(counter_value(json, "unavailable"), 24.0);
+}
+
+}  // namespace

@@ -202,6 +202,133 @@ TEST(Netd, KgcdRoundTripAllOps) {
   EXPECT_EQ(decoded->request_id, 0u);
 }
 
+// Voucher frames over TCP, end to end: enroll over the socket, fetch a
+// voucher chain with kVouch, kill the kgcd listener, and verify-by-identity
+// must keep succeeding from the cached voucher — then a rebooted kgcd on the
+// same data dir answers kVouch again with a strictly larger serial.
+TEST(Netd, VoucherFramesServeOfflineVerificationAcrossRestart) {
+  NetdFixture f("voucher");
+  const std::string data_dir =
+      (fs::path(::testing::TempDir()) / "netd_voucher").string();
+  kgc::TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("kgc", f.daemon->voucher_issuer().public_key()));
+
+  KgcdFrontEnd sink(*f.daemon);
+  NetServer server(NetdConfig{.tick_ms = 5}, &sink);
+  ASSERT_TRUE(server.start()) << server.error();
+  const std::uint16_t kgc_port = server.port();
+
+  // Enroll a second identity over the socket and reconstruct its keys from
+  // the wire payload (the partial key), exactly like a remote signer would.
+  const math::Fq x = f.rng.next_nonzero_fq();
+  const cls::PublicKey bob_pk = f.scheme.derive_public(f.kgc.params(), x);
+  cls::UserKeys bob;
+  {
+    BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", kgc_port)) << client.error();
+    const auto reply = client.call(kgc::encode_kgc_request(
+        {.op = kgc::KgcOp::kEnroll, .request_id = 1, .id = "bob",
+         .pk_bytes = bob_pk.to_bytes()}));
+    ASSERT_TRUE(reply.has_value());
+    const auto response = kgc::decode_kgc_response(*reply);
+    ASSERT_TRUE(response.has_value());
+    ASSERT_EQ(response->status, kgc::KgcStatus::kOk);
+    const auto partial = ec::G1::from_bytes(response->payload);
+    ASSERT_TRUE(partial.has_value());
+    bob = cls::UserKeys{.id = "bob@epoch-" + std::to_string(response->epoch),
+                        .partial_key = *partial,
+                        .secret = x,
+                        .public_key = bob_pk};
+  }
+
+  // The verifyd stack: voucher cache in front, every miss fetched as a
+  // kVouch frame over the real socket, the directory behind a fault model
+  // standing in for "the KGC is remote".
+  svc::FaultInjectingResolver faulty(&f.daemon->directory());
+  std::uint64_t last_serial = 0;
+  kgc::VoucherResolverConfig voucher_config;
+  voucher_config.current_epoch = [&f] { return f.daemon->epoch(); };
+  voucher_config.fetch =
+      [&](std::string_view id) -> std::optional<kgc::VoucherChain> {
+    BlockingClient fetcher;
+    if (!fetcher.connect("127.0.0.1", kgc_port)) return std::nullopt;
+    const auto reply = fetcher.call(kgc::encode_kgc_request(
+        {.op = kgc::KgcOp::kVouch, .request_id = 99, .id = std::string(id)}));
+    if (!reply) return std::nullopt;
+    const auto response = kgc::decode_kgc_response(*reply);
+    if (!response || response->status != kgc::KgcStatus::kOk) return std::nullopt;
+    auto chain = kgc::decode_voucher_chain(response->payload);
+    if (chain && chain->front().serial > last_serial) {
+      last_serial = chain->front().serial;
+    }
+    return chain;
+  };
+  kgc::VoucherVerifyingResolver resolver(&faulty, &anchors,
+                                         std::move(voucher_config));
+
+  svc::VerifyService service(
+      f.kgc.params(), svc::ServiceConfig{.workers = 2, .resolver = &resolver});
+  VerifydFrontEnd verify_sink(service);
+  NetServer verify_server(NetdConfig{.tick_ms = 5}, &verify_sink);
+  ASSERT_TRUE(verify_server.start()) << verify_server.error();
+
+  BlockingClient verifier;
+  ASSERT_TRUE(verifier.connect("127.0.0.1", verify_server.port()))
+      << verifier.error();
+  const auto msg = crypto::as_bytes(std::string_view{"vouched over tcp"});
+  const Bytes bob_sig = f.scheme.sign(f.kgc.params(), bob, msg, f.rng);
+
+  // Cold by-identity verify: the resolver misses, fetches the voucher chain
+  // over TCP, verifies it against the anchors, and caches.
+  svc::VerifyRequest request{.request_id = 10, .scheme = "McCLS", .id = bob.id,
+                             .by_identity = true,
+                             .message = Bytes(msg.begin(), msg.end()),
+                             .signature = bob_sig};
+  EXPECT_EQ(status_of(verifier.call(svc::encode_request(request))),
+            svc::Status::kVerified);
+  EXPECT_GT(last_serial, 0u) << "the voucher really crossed the socket";
+  const std::uint64_t serial_before_restart = last_serial;
+
+  // Kill kgcd: listener gone, directory unreachable. The cached voucher
+  // keeps the signer verifiable; a stranger gets the honest kUnavailable.
+  server.stop();
+  faulty.set_fail_rate(1.0);
+  request.request_id = 11;
+  EXPECT_EQ(status_of(verifier.call(svc::encode_request(request))),
+            svc::Status::kVerified)
+      << "verify-by-identity must survive the kgcd outage via the voucher";
+  svc::VerifyRequest stranger = request;
+  stranger.request_id = 12;
+  stranger.id = "stranger@epoch-0";
+  EXPECT_EQ(status_of(verifier.call(svc::encode_request(stranger))),
+            svc::Status::kUnavailable)
+      << "no voucher + no directory = transient, never a trust verdict";
+
+  // Restart parity: a rebooted kgcd on the same dir serves kVouch again and
+  // never reuses a serial.
+  f.daemon = std::make_unique<kgc::Kgcd>(
+      f.kgc.master_key_for_tests(),
+      kgc::KgcdConfig{.data_dir = data_dir, .fsync = false});
+  KgcdFrontEnd restarted_sink(*f.daemon);
+  NetServer restarted(NetdConfig{.tick_ms = 5}, &restarted_sink);
+  ASSERT_TRUE(restarted.start()) << restarted.error();
+  BlockingClient revoucher;
+  ASSERT_TRUE(revoucher.connect("127.0.0.1", restarted.port()));
+  const auto reply = revoucher.call(kgc::encode_kgc_request(
+      {.op = kgc::KgcOp::kVouch, .request_id = 13, .id = "bob"}));
+  ASSERT_TRUE(reply.has_value());
+  const auto response = kgc::decode_kgc_response(*reply);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, kgc::KgcStatus::kOk);
+  const auto chain = kgc::decode_voucher_chain(response->payload);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_GT(chain->front().serial, serial_before_restart);
+  EXPECT_EQ(kgc::verify_voucher_chain(*chain, anchors, chain->front().not_before)
+                .verdict,
+            kgc::ChainVerdict::kOk)
+      << "the rebooted daemon's vouchers chain to the same trust anchor";
+}
+
 TEST(Netd, PipelinedRequestsAllAnswerOnOneConnection) {
   NetdFixture f("pipeline");
   svc::VerifyService service(f.kgc.params(), svc::ServiceConfig{.workers = 2});

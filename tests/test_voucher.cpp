@@ -1,0 +1,681 @@
+// Voucher-chain conformance suite (tier-1 label: voucher).
+//
+// Covers, in order: codec totality, signature binding (every tampered field
+// rejects), chain-depth limits, expiry boundaries (not-before in the
+// future, exactly-at-expiry, u64 edges), epoch policy, cross-domain trust
+// anchors, kgcd issuance (enroll-time + vouch op, WAL-backed serials that
+// survive reboots), and THE acceptance scenario — a VoucherVerifyingResolver
+// in front of the resilient pipeline keeps verifying pre-vouched signers
+// with zero kUnavailable verdicts through a 100% directory outage, while
+// revoked epochs still answer kUnknownSigner and unvouched signers degrade
+// to the honest transient outcome.
+#include "kgc/voucher.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cls/mccls.hpp"
+#include "kgc/kgcd.hpp"
+#include "svc/service.hpp"
+
+namespace mccls::kgc {
+namespace {
+
+namespace fs = std::filesystem;
+using crypto::Bytes;
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("voucher_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// Shared key material plus a test-controlled clock: every daemon and
+// resolver in a case reads the same atomic, so expiry is deterministic.
+struct VoucherFixture {
+  crypto::HmacDrbg rng{std::uint64_t{0x70C4E8}};
+  cls::Kgc kgc = cls::Kgc::setup(rng);
+  cls::Mccls scheme;
+  std::atomic<std::uint64_t> clock{1'000};
+
+  std::function<std::uint64_t()> clock_fn() {
+    return [this] { return clock.load(std::memory_order_relaxed); };
+  }
+
+  std::unique_ptr<Kgcd> boot(const std::string& dir, KgcdConfig config = {}) {
+    config.data_dir = dir;
+    config.fsync = false;
+    if (!config.now) config.now = clock_fn();
+    return std::make_unique<Kgcd>(kgc.master_key_for_tests(), std::move(config));
+  }
+
+  struct Enrolled {
+    cls::UserKeys keys;
+    Bytes pk_bytes;
+    VoucherChain voucher;
+  };
+  Enrolled enroll_user(Kgcd& daemon, const std::string& id) {
+    const math::Fq x = rng.next_nonzero_fq();
+    const cls::PublicKey pk = scheme.derive_public(kgc.params(), x);
+    const Bytes pk_bytes = pk.to_bytes();
+    const auto outcome = daemon.enroll(id, pk_bytes);
+    EXPECT_EQ(outcome.status, KgcStatus::kOk) << id;
+    return Enrolled{.keys = cls::UserKeys{.id = outcome.scoped_id,
+                                          .partial_key = outcome.partial_key,
+                                          .secret = x,
+                                          .public_key = pk},
+                    .pk_bytes = pk_bytes,
+                    .voucher = outcome.voucher};
+  }
+
+  /// A standalone issuer (no daemon) for pure chain-layer cases.
+  VoucherIssuer issuer(const std::string& name) {
+    return VoucherIssuer(kgc.master_key_for_tests(), name);
+  }
+
+  /// A distinct KGC domain with its own master key.
+  VoucherIssuer foreign_issuer(const std::string& name) {
+    return VoucherIssuer(rng.next_nonzero_fq(), name);
+  }
+
+  Bytes some_pk_bytes() {
+    return scheme.derive_public(kgc.params(), rng.next_nonzero_fq()).to_bytes();
+  }
+};
+
+struct ResponseSink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<std::uint64_t, svc::Status> statuses;
+  std::size_t count = 0;
+
+  svc::VerifyService::Completion completion() {
+    return [this](const svc::VerifyResponse& response) {
+      std::lock_guard lock(mutex);
+      statuses[response.request_id] = response.status;
+      ++count;
+      cv.notify_all();
+    };
+  }
+  bool wait_for(std::size_t n, std::chrono::seconds timeout = std::chrono::seconds(60)) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, timeout, [&] { return count >= n; });
+  }
+};
+
+// ------------------------------------------------------------------ codec
+
+TEST(VoucherCodec, RoundTripsAndRejectsNonCanonicalInput) {
+  VoucherFixture f;
+  const auto issuer = f.issuer("root");
+  const Voucher v =
+      issuer.issue("alice@epoch-3", f.some_pk_bytes(), 3, 100, 200, 42);
+
+  const Bytes encoded = encode_voucher(v);
+  const auto decoded = decode_voucher(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+
+  // Truncations at every byte boundary reject (totality).
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_FALSE(decode_voucher(std::span(encoded.data(), cut)).has_value())
+        << "truncated at " << cut;
+  }
+  // Trailing garbage rejects.
+  Bytes trailing = encoded;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(decode_voucher(trailing).has_value());
+  // Unknown version rejects.
+  Bytes bad_version = encoded;
+  bad_version[0] = kVoucherVersion + 1;
+  EXPECT_FALSE(decode_voucher(bad_version).has_value());
+  // A signature field that is not an on-curve point rejects at decode.
+  Bytes bad_sig = encoded;
+  bad_sig[bad_sig.size() - ec::G1::kEncodedSize] = 0x07;  // invalid tag
+  EXPECT_FALSE(decode_voucher(bad_sig).has_value());
+
+  // Zero-length identities reject: craft a voucher with an empty subject.
+  Voucher empty_subject = v;
+  empty_subject.subject.clear();
+  EXPECT_FALSE(decode_voucher(encode_voucher(empty_subject)).has_value());
+  Voucher empty_issuer = v;
+  empty_issuer.issuer.clear();
+  EXPECT_FALSE(decode_voucher(encode_voucher(empty_issuer)).has_value());
+  Voucher empty_pk = v;
+  empty_pk.pk_bytes.clear();
+  EXPECT_FALSE(decode_voucher(encode_voucher(empty_pk)).has_value());
+}
+
+TEST(VoucherCodec, ChainRoundTripsAndCapsDepth) {
+  VoucherFixture f;
+  const auto root = f.issuer("root");
+  const auto domain = f.foreign_issuer("domain");
+  const Voucher mid = root.vouch_for_issuer(domain, 100, 200, 1);
+  const Voucher leaf =
+      domain.issue("alice@epoch-0", f.some_pk_bytes(), 0, 100, 200, 2);
+
+  for (const VoucherChain& chain : {VoucherChain{leaf}, VoucherChain{leaf, mid}}) {
+    const auto decoded = decode_voucher_chain(encode_voucher_chain(chain));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, chain);
+  }
+
+  EXPECT_FALSE(decode_voucher_chain(encode_voucher_chain({})).has_value())
+      << "empty chains reject";
+  EXPECT_FALSE(
+      decode_voucher_chain(encode_voucher_chain({leaf, mid, mid})).has_value())
+      << "depth 3 exceeds the cap";
+  Bytes truncated = encode_voucher_chain({leaf, mid});
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(decode_voucher_chain(truncated).has_value());
+}
+
+// -------------------------------------------------------------- signature
+
+TEST(VoucherSignature, BindsEveryFieldOfThePreimage) {
+  VoucherFixture f;
+  const auto issuer = f.issuer("root");
+  const Voucher v =
+      issuer.issue("alice@epoch-7", f.some_pk_bytes(), 7, 1'000, 2'000, 9);
+  ASSERT_TRUE(verify_voucher_signature(v, issuer.public_key()));
+
+  // Tampering with any signed field kills the binding.
+  auto tampered = [&](auto mutate) {
+    Voucher copy = v;
+    mutate(copy);
+    return verify_voucher_signature(copy, issuer.public_key());
+  };
+  EXPECT_FALSE(tampered([](Voucher& c) { c.issuer = "toor"; }));
+  EXPECT_FALSE(tampered([](Voucher& c) { c.subject = "mallory@epoch-7"; }));
+  EXPECT_FALSE(tampered([](Voucher& c) { c.pk_bytes[1] ^= 0x01; }));
+  EXPECT_FALSE(tampered([](Voucher& c) { c.epoch = 8; }));
+  EXPECT_FALSE(tampered([](Voucher& c) { c.not_before = 999; }));
+  EXPECT_FALSE(tampered([](Voucher& c) { c.not_after = 2'001; }));
+  EXPECT_FALSE(tampered([](Voucher& c) { c.serial = 10; }));
+  EXPECT_FALSE(
+      tampered([](Voucher& c) { c.signature = c.signature + ec::G1::generator(); }));
+
+  // The wrong issuer key rejects, and degenerate keys are never accepted.
+  EXPECT_FALSE(verify_voucher_signature(v, f.foreign_issuer("x").public_key()));
+  EXPECT_FALSE(verify_voucher_signature(v, ec::G1::infinity()));
+  Voucher inf_sig = v;
+  inf_sig.signature = ec::G1::infinity();
+  EXPECT_FALSE(verify_voucher_signature(inf_sig, issuer.public_key()));
+}
+
+// ----------------------------------------------------- chain verification
+
+TEST(VoucherChainCheck, DepthLimitsAndLinkStructure) {
+  VoucherFixture f;
+  const auto root = f.issuer("root");
+  const auto domain = f.foreign_issuer("domain");
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("root", root.public_key()));
+
+  const Bytes pk = f.some_pk_bytes();
+  const Voucher mid = root.vouch_for_issuer(domain, 100, 200, 1);
+  const Voucher leaf = domain.issue("alice@epoch-0", pk, 0, 100, 200, 2);
+
+  EXPECT_EQ(verify_voucher_chain({}, anchors, 150).verdict, ChainVerdict::kBadChain);
+  EXPECT_EQ(verify_voucher_chain({leaf, mid, mid}, anchors, 150).verdict,
+            ChainVerdict::kBadChain)
+      << "depth 3 must reject even if a prefix would verify";
+
+  const ChainCheck ok = verify_voucher_chain({leaf, mid}, anchors, 150);
+  EXPECT_EQ(ok.verdict, ChainVerdict::kOk);
+  EXPECT_EQ(ok.subject, "alice@epoch-0");
+  EXPECT_EQ(ok.key.to_bytes(), pk);
+
+  // The intermediate must vouch for exactly the leaf's issuer.
+  const Voucher wrong_mid =
+      root.vouch_for_issuer(f.foreign_issuer("other-domain"), 100, 200, 3);
+  EXPECT_EQ(verify_voucher_chain({leaf, wrong_mid}, anchors, 150).verdict,
+            ChainVerdict::kBadChain);
+
+  // An unscoped leaf subject, or a subject whose epoch disagrees with the
+  // voucher's epoch field, is structurally broken.
+  const Voucher unscoped = domain.issue("alice", pk, 0, 100, 200, 4);
+  EXPECT_EQ(verify_voucher_chain({unscoped, mid}, anchors, 150).verdict,
+            ChainVerdict::kBadChain);
+  const Voucher mismatched = domain.issue("alice@epoch-1", pk, 0, 100, 200, 5);
+  EXPECT_EQ(verify_voucher_chain({mismatched, mid}, anchors, 150).verdict,
+            ChainVerdict::kBadChain);
+}
+
+TEST(VoucherChainCheck, CrossDomainAnchorsAndTamperedBindings) {
+  VoucherFixture f;
+  const auto root = f.issuer("root");
+  const auto domain = f.foreign_issuer("domain");
+  const Bytes pk = f.some_pk_bytes();
+  const Voucher mid = root.vouch_for_issuer(domain, 100, 200, 1);
+  const Voucher leaf = domain.issue("alice@epoch-0", pk, 0, 100, 200, 2);
+
+  TrustAnchors root_only;
+  ASSERT_TRUE(root_only.add("root", root.public_key()));
+  EXPECT_EQ(verify_voucher_chain({leaf, mid}, root_only, 150).verdict,
+            ChainVerdict::kOk)
+      << "a verifier holding only the federation root accepts domain bindings";
+  EXPECT_EQ(verify_voucher_chain({leaf}, root_only, 150).verdict,
+            ChainVerdict::kUntrustedIssuer)
+      << "the bare leaf is unverifiable without its domain anchor";
+
+  TrustAnchors domain_only;
+  ASSERT_TRUE(domain_only.add("domain", domain.public_key()));
+  EXPECT_EQ(verify_voucher_chain({leaf}, domain_only, 150).verdict,
+            ChainVerdict::kOk);
+  EXPECT_EQ(verify_voucher_chain({leaf, mid}, domain_only, 150).verdict,
+            ChainVerdict::kUntrustedIssuer)
+      << "a two-link chain stands on the *root* anchor";
+
+  const TrustAnchors empty;
+  EXPECT_EQ(verify_voucher_chain({leaf, mid}, empty, 150).verdict,
+            ChainVerdict::kUntrustedIssuer);
+
+  // Tampered bindings reject with kBadSignature at whichever link changed.
+  Voucher fake_leaf = leaf;
+  fake_leaf.pk_bytes = f.some_pk_bytes();
+  EXPECT_EQ(verify_voucher_chain({fake_leaf, mid}, root_only, 150).verdict,
+            ChainVerdict::kBadSignature);
+  Voucher fake_mid = mid;
+  const auto evil_pk = f.foreign_issuer("evil").public_key().to_bytes();
+  fake_mid.pk_bytes.assign(evil_pk.begin(), evil_pk.end());
+  EXPECT_EQ(verify_voucher_chain({leaf, fake_mid}, root_only, 150).verdict,
+            ChainVerdict::kBadSignature);
+  // A leaf re-signed by an unrelated key fails even with the right fields.
+  const Voucher forged =
+      f.foreign_issuer("domain").issue("alice@epoch-0", pk, 0, 100, 200, 2);
+  EXPECT_EQ(verify_voucher_chain({forged, mid}, root_only, 150).verdict,
+            ChainVerdict::kBadSignature);
+}
+
+TEST(VoucherChainCheck, ExpiryBoundariesIncludingU64Edges) {
+  VoucherFixture f;
+  const auto root = f.issuer("root");
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("root", root.public_key()));
+  const Bytes pk = f.some_pk_bytes();
+  const auto at = [&](std::uint64_t nb, std::uint64_t na, std::uint64_t now) {
+    const Voucher v = root.issue("alice@epoch-0", pk, 0, nb, na, 1);
+    return verify_voucher_chain({v}, anchors, now).verdict;
+  };
+
+  // [100, 200): closed below, open above.
+  EXPECT_EQ(at(100, 200, 99), ChainVerdict::kNotYetValid) << "not-before in the future";
+  EXPECT_EQ(at(100, 200, 100), ChainVerdict::kOk) << "window opens at not_before";
+  EXPECT_EQ(at(100, 200, 199), ChainVerdict::kOk) << "last valid second";
+  EXPECT_EQ(at(100, 200, 200), ChainVerdict::kExpired) << "exactly-at-expiry is expired";
+
+  // u64 edges.
+  EXPECT_EQ(at(0, kU64Max, 0), ChainVerdict::kOk);
+  EXPECT_EQ(at(0, kU64Max, kU64Max - 1), ChainVerdict::kOk);
+  EXPECT_EQ(at(0, kU64Max, kU64Max), ChainVerdict::kExpired);
+  EXPECT_EQ(at(kU64Max, kU64Max, kU64Max), ChainVerdict::kExpired)
+      << "a zero-length window is never valid";
+  EXPECT_EQ(at(kU64Max, kU64Max, 0), ChainVerdict::kNotYetValid);
+
+  // A chain is only as fresh as its weakest link, and the reported
+  // effective window is the intersection.
+  const auto domain = f.foreign_issuer("domain");
+  const Voucher mid = root.vouch_for_issuer(domain, 50, 150, 2);
+  const Voucher leaf = domain.issue("alice@epoch-0", pk, 0, 100, 200, 3);
+  EXPECT_EQ(verify_voucher_chain({leaf, mid}, anchors, 160).verdict,
+            ChainVerdict::kExpired)
+      << "the intermediate expired even though the leaf is valid";
+  const ChainCheck ok = verify_voucher_chain({leaf, mid}, anchors, 120);
+  ASSERT_EQ(ok.verdict, ChainVerdict::kOk);
+  EXPECT_EQ(ok.not_before, 100u);
+  EXPECT_EQ(ok.not_after, 150u);
+}
+
+TEST(VoucherChainCheck, EpochPolicyMatchesTheDirectoryWindow) {
+  VoucherFixture f;
+  const auto root = f.issuer("root");
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("root", root.public_key()));
+  const Voucher v = root.issue("alice@epoch-5", f.some_pk_bytes(), 5, 100, 200, 1);
+  const auto with_epoch = [&](cls::Epoch current) {
+    return verify_voucher_chain({v}, anchors, 150, current).verdict;
+  };
+  EXPECT_EQ(with_epoch(5), ChainVerdict::kOk);
+  EXPECT_EQ(with_epoch(6), ChainVerdict::kOk) << "grace admits one trailing epoch";
+  EXPECT_EQ(with_epoch(7), ChainVerdict::kEpochRejected) << "revoked by epoch bump";
+  EXPECT_EQ(with_epoch(4), ChainVerdict::kEpochRejected) << "vouchers from the future";
+  EXPECT_EQ(verify_voucher_chain({v}, anchors, 150).verdict, ChainVerdict::kOk)
+      << "without a current epoch, validity rests on the time window alone";
+}
+
+TEST(TrustAnchors, RejectsDegenerateKeysAndDuplicates) {
+  VoucherFixture f;
+  TrustAnchors anchors;
+  EXPECT_FALSE(anchors.add("inf", ec::G1::infinity()));
+  EXPECT_FALSE(anchors.add("", f.issuer("x").public_key()));
+  EXPECT_TRUE(anchors.add("root", f.issuer("root").public_key()));
+  EXPECT_FALSE(anchors.add("root", f.foreign_issuer("root").public_key()))
+      << "first writer wins; silent anchor replacement would be a downgrade";
+  EXPECT_NE(anchors.find("root"), nullptr);
+  EXPECT_EQ(anchors.find("ghost"), nullptr);
+  EXPECT_EQ(anchors.size(), 1u);
+}
+
+// ----------------------------------------------------------- kgcd issuance
+
+TEST(KgcdVoucher, EnrollAndVouchIssueVerifiableChains) {
+  VoucherFixture f;
+  KgcdConfig config;
+  config.issuer = "kgc-east";
+  config.voucher_ttl = 600;
+  const auto daemon = f.boot(fresh_dir("issue"), std::move(config));
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("kgc-east", daemon->voucher_issuer().public_key()));
+  ASSERT_EQ(daemon->voucher_issuer().public_key(), f.kgc.params().p_pub)
+      << "the vouching key is the KGC's P_pub";
+
+  // Enroll-time voucher.
+  const auto alice = f.enroll_user(*daemon, "alice");
+  ASSERT_EQ(alice.voucher.size(), 1u);
+  const ChainCheck enroll_check =
+      verify_voucher_chain(alice.voucher, anchors, f.clock.load(), daemon->epoch());
+  EXPECT_EQ(enroll_check.verdict, ChainVerdict::kOk);
+  EXPECT_EQ(enroll_check.subject, "alice@epoch-0");
+  EXPECT_EQ(enroll_check.key.to_bytes(), alice.pk_bytes);
+  EXPECT_EQ(alice.voucher.front().not_before, 1'000u);
+  EXPECT_EQ(alice.voucher.front().not_after, 1'600u);
+
+  // On-demand vouch, plain and scoped.
+  const auto plain = daemon->vouch("alice");
+  ASSERT_EQ(plain.status, KgcStatus::kOk);
+  EXPECT_EQ(verify_voucher_chain(plain.chain, anchors, f.clock.load()).verdict,
+            ChainVerdict::kOk);
+  EXPECT_EQ(plain.chain.front().subject, "alice@epoch-0");
+  EXPECT_EQ(daemon->vouch("alice@epoch-0").status, KgcStatus::kOk);
+  EXPECT_EQ(daemon->vouch("alice@epoch-3").status, KgcStatus::kRevoked)
+      << "the daemon only vouches for the binding it currently stands behind";
+  EXPECT_EQ(daemon->vouch("ghost").status, KgcStatus::kUnknownId);
+
+  // Serials are unique and strictly increasing per issuance.
+  EXPECT_GT(plain.chain.front().serial, alice.voucher.front().serial);
+
+  // Revocation stops vouching immediately.
+  ASSERT_EQ(daemon->revoke("alice"), KgcStatus::kOk);
+  EXPECT_EQ(daemon->vouch("alice").status, KgcStatus::kRevoked);
+}
+
+TEST(KgcdVoucher, WireVouchRoundTripsAndStaysTotal) {
+  VoucherFixture f;
+  const auto daemon = f.boot(fresh_dir("wire"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("kgc", daemon->voucher_issuer().public_key()));
+
+  const auto response = decode_kgc_response(daemon->handle_frame(encode_kgc_request(
+      KgcRequest{.op = KgcOp::kVouch, .request_id = 21, .id = "alice"})));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->op, KgcOp::kVouch);
+  EXPECT_EQ(response->request_id, 21u);
+  ASSERT_EQ(response->status, KgcStatus::kOk);
+  EXPECT_EQ(response->epoch, 0u);
+  const auto chain = decode_voucher_chain(response->payload);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(verify_voucher_chain(*chain, anchors, f.clock.load()).verdict,
+            ChainVerdict::kOk);
+  EXPECT_EQ(chain->front().subject, alice.keys.id);
+
+  const auto unknown = decode_kgc_response(daemon->handle_frame(encode_kgc_request(
+      KgcRequest{.op = KgcOp::kVouch, .request_id = 22, .id = "ghost"})));
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(unknown->status, KgcStatus::kUnknownId);
+  EXPECT_TRUE(unknown->payload.empty());
+}
+
+TEST(KgcdVoucher, SerialsSurviveRebootAndSnapshots) {
+  VoucherFixture f;
+  const std::string dir = fresh_dir("serials");
+  std::uint64_t last_serial = 0;
+  {
+    const auto daemon = f.boot(dir);
+    (void)f.enroll_user(*daemon, "alice");
+    for (int i = 0; i < 3; ++i) {
+      const auto vouched = daemon->vouch("alice");
+      ASSERT_EQ(vouched.status, KgcStatus::kOk);
+      EXPECT_GT(vouched.chain.front().serial, last_serial);
+      last_serial = vouched.chain.front().serial;
+    }
+    ASSERT_TRUE(daemon->snapshot().has_value())
+        << "snapshot folds voucher records away; serials must still advance";
+  }
+  const auto daemon = f.boot(dir);
+  const auto vouched = daemon->vouch("alice");
+  ASSERT_EQ(vouched.status, KgcStatus::kOk);
+  EXPECT_GT(vouched.chain.front().serial, last_serial)
+      << "a reboot (even from a snapshot) must never reuse a serial";
+  EXPECT_EQ(daemon->lookup("alice").status, KgcStatus::kOk)
+      << "voucher records must not perturb replayed directory state";
+}
+
+// ------------------------------------------------------ offline resolution
+
+TEST(VoucherResolver, ServesVouchedSignersThroughATotalOutage) {
+  VoucherFixture f;
+  const auto daemon = f.boot(fresh_dir("outage"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+  const auto bob = f.enroll_user(*daemon, "bob");  // enrolled but never vouched here
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("kgc", daemon->voucher_issuer().public_key()));
+
+  svc::FaultInjectingResolver faulty(&daemon->directory());
+  svc::ServiceMetrics metrics;
+  VoucherResolverConfig config;
+  config.now = f.clock_fn();
+  config.current_epoch = [&] { return daemon->epoch(); };
+  VoucherVerifyingResolver resolver(&faulty, &anchors, std::move(config));
+  resolver.set_metrics(&metrics);
+  ASSERT_EQ(resolver.ingest(alice.voucher), ChainVerdict::kOk);
+
+  // Total outage: every directory call answers kUnavailable.
+  faulty.set_fail_rate(1.0);
+
+  // Vouched: both the scoped and plain forms keep resolving offline.
+  EXPECT_EQ(resolver.resolve(alice.keys.id).outcome, svc::ResolveOutcome::kOk);
+  const auto plain = resolver.resolve("alice");
+  ASSERT_EQ(plain.outcome, svc::ResolveOutcome::kOk);
+  EXPECT_EQ(plain.key->to_bytes(), alice.pk_bytes);
+  // Unvouched: the honest transient outcome, never a trust verdict.
+  EXPECT_EQ(resolver.resolve(bob.keys.id).outcome, svc::ResolveOutcome::kUnavailable);
+  EXPECT_EQ(metrics.snapshot().voucher_hits, 2u);
+
+  // Revocation via epoch bump holds offline: past the grace window the
+  // scoped identity answers kNotVouched with the directory still dead.
+  daemon->set_epoch(2);
+  EXPECT_EQ(resolver.resolve("alice@epoch-0").outcome,
+            svc::ResolveOutcome::kNotVouched);
+  daemon->set_epoch(0);
+  EXPECT_EQ(resolver.resolve(alice.keys.id).outcome, svc::ResolveOutcome::kOk);
+
+  // Expiry holds offline too: once the voucher dies, the miss degrades to
+  // kUnavailable rather than silently trusting a stale binding.
+  f.clock.fetch_add(7'200);  // well past the default voucher_ttl
+  EXPECT_EQ(resolver.resolve(alice.keys.id).outcome,
+            svc::ResolveOutcome::kUnavailable);
+  EXPECT_GT(metrics.snapshot().voucher_expired, 0u);
+
+  // Directory back up: the same resolve falls through and succeeds again.
+  faulty.set_fail_rate(0.0);
+  EXPECT_EQ(resolver.resolve(alice.keys.id).outcome, svc::ResolveOutcome::kOk);
+}
+
+TEST(VoucherResolver, NeverAcceptsAnUnverifiableVoucher) {
+  VoucherFixture f;
+  const auto daemon = f.boot(fresh_dir("failclosed"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("kgc", daemon->voucher_issuer().public_key()));
+
+  svc::ServiceMetrics metrics;
+  VoucherResolverConfig config;
+  config.now = f.clock_fn();
+  // No inner resolver: this verifier is fully offline.
+  VoucherVerifyingResolver resolver(nullptr, &anchors, std::move(config));
+  resolver.set_metrics(&metrics);
+
+  VoucherChain tampered = alice.voucher;
+  tampered.front().pk_bytes = f.some_pk_bytes();
+  EXPECT_EQ(resolver.ingest(tampered), ChainVerdict::kBadSignature);
+  VoucherChain forged = {
+      f.foreign_issuer("kgc").issue(alice.keys.id, alice.pk_bytes, 0, 0, kU64Max, 1)};
+  EXPECT_EQ(resolver.ingest(forged), ChainVerdict::kBadSignature);
+  VoucherChain stranger = {
+      f.foreign_issuer("nobody").issue(alice.keys.id, alice.pk_bytes, 0, 0, kU64Max, 1)};
+  EXPECT_EQ(resolver.ingest(stranger), ChainVerdict::kUntrustedIssuer);
+
+  EXPECT_EQ(resolver.cached(), 0u) << "nothing unverifiable may enter the cache";
+  EXPECT_EQ(resolver.resolve(alice.keys.id).outcome,
+            svc::ResolveOutcome::kUnavailable)
+      << "offline with no voucher: the honest transient outcome";
+  EXPECT_EQ(metrics.snapshot().voucher_bad_sig, 3u);
+
+  // The real chain still ingests fine afterwards (fail-closed, not poisoned).
+  EXPECT_EQ(resolver.ingest(alice.voucher), ChainVerdict::kOk);
+  EXPECT_EQ(resolver.resolve(alice.keys.id).outcome, svc::ResolveOutcome::kOk);
+}
+
+TEST(VoucherResolver, FetchHookPopulatesTheCacheOnce) {
+  VoucherFixture f;
+  const auto daemon = f.boot(fresh_dir("fetch"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("kgc", daemon->voucher_issuer().public_key()));
+
+  std::atomic<int> fetches{0};
+  VoucherResolverConfig config;
+  config.now = f.clock_fn();
+  config.fetch = [&](std::string_view id) -> std::optional<VoucherChain> {
+    fetches.fetch_add(1);
+    auto outcome = daemon->vouch(id);
+    if (outcome.status != KgcStatus::kOk) return std::nullopt;
+    return std::move(outcome.chain);
+  };
+  VoucherVerifyingResolver resolver(nullptr, &anchors, std::move(config));
+
+  EXPECT_EQ(resolver.resolve(alice.keys.id).outcome, svc::ResolveOutcome::kOk);
+  EXPECT_EQ(fetches.load(), 1);
+  EXPECT_EQ(resolver.resolve(alice.keys.id).outcome, svc::ResolveOutcome::kOk);
+  EXPECT_EQ(resolver.resolve("alice").outcome, svc::ResolveOutcome::kOk)
+      << "one fetched chain serves both the scoped and plain forms";
+  EXPECT_EQ(fetches.load(), 1) << "steady state never re-fetches";
+  EXPECT_EQ(resolver.resolve("ghost").outcome, svc::ResolveOutcome::kUnavailable);
+}
+
+// The acceptance criterion, end to end: with kgcd 100% unavailable, a
+// verifyd holding fresh vouchers verifies cold-by-identity signatures with
+// zero kUnavailable verdicts, while a revoked epoch still answers
+// kUnknownSigner.
+TEST(VoucherResolver, VerifydOfflineAcceptance) {
+  VoucherFixture f;
+  const auto daemon = f.boot(fresh_dir("acceptance"));
+  constexpr int kSigners = 6;
+  std::vector<VoucherFixture::Enrolled> users;
+  for (int i = 0; i < kSigners; ++i) {
+    users.push_back(f.enroll_user(*daemon, "node-" + std::to_string(i)));
+  }
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("kgc", daemon->voucher_issuer().public_key()));
+
+  // Full pipeline under a 100% fault: Voucher → Resilient → Fault → directory.
+  svc::FaultInjectingResolver faulty(&daemon->directory());
+  svc::ResilientConfig resilient_config;
+  resilient_config.max_attempts = 1;
+  svc::ResilientResolver resilient(&faulty, resilient_config);
+  VoucherResolverConfig voucher_config;
+  voucher_config.now = f.clock_fn();
+  voucher_config.current_epoch = [&] { return daemon->epoch(); };
+  VoucherVerifyingResolver resolver(&resilient, &anchors, std::move(voucher_config));
+  for (const auto& user : users) {
+    ASSERT_EQ(resolver.ingest(user.voucher), ChainVerdict::kOk);
+  }
+  faulty.set_fail_rate(1.0);
+
+  const auto msg = crypto::as_bytes(std::string_view{"offline but verified"});
+  ResponseSink sink;
+  {
+    svc::VerifyService service(
+        f.kgc.params(), svc::ServiceConfig{.workers = 2, .resolver = &resolver});
+    resolver.set_metrics(&service.metrics());
+    std::uint64_t next_id = 1;
+    for (const auto& user : users) {
+      const Bytes sig = f.scheme.sign(f.kgc.params(), user.keys, msg, f.rng);
+      EXPECT_TRUE(service.submit(
+          svc::VerifyRequest{.request_id = next_id++, .scheme = "McCLS",
+                             .id = user.keys.id, .by_identity = true,
+                             .message = Bytes(msg.begin(), msg.end()),
+                             .signature = sig},
+          sink.completion()));
+    }
+    // A revoked epoch stays revoked: scope node-0's identity to a dead epoch.
+    EXPECT_TRUE(service.submit(
+        svc::VerifyRequest{.request_id = 99, .scheme = "McCLS",
+                           .id = "node-0@epoch-9", .by_identity = true,
+                           .message = Bytes(msg.begin(), msg.end()),
+                           .signature = Bytes(f.scheme.signature_size(), 0x00)},
+        sink.completion()));
+    ASSERT_TRUE(sink.wait_for(static_cast<std::size_t>(kSigners) + 1));
+
+    const auto metrics = service.metrics().snapshot();
+    for (int i = 0; i < kSigners; ++i) {
+      EXPECT_EQ(sink.statuses.at(static_cast<std::uint64_t>(i + 1)),
+                svc::Status::kVerified)
+          << "node-" << i << " must verify offline from its voucher";
+    }
+    EXPECT_EQ(sink.statuses.at(99), svc::Status::kUnknownSigner);
+    EXPECT_EQ(metrics.unavailable, 0u)
+        << "zero kUnavailable verdicts for pre-vouched signers";
+    EXPECT_EQ(metrics.voucher_hits, static_cast<std::uint64_t>(kSigners));
+  }
+}
+
+// The differential companion to the property: for vouched signers the
+// offline pipeline and the live directory must return identical verdicts
+// (same outcome, same key bytes) across plain, scoped, stale-epoch and
+// unknown identities.
+TEST(VoucherResolver, OfflineVerdictsMatchTheLiveDirectory) {
+  VoucherFixture f;
+  const auto daemon = f.boot(fresh_dir("differential"));
+  const auto alice = f.enroll_user(*daemon, "alice");
+  TrustAnchors anchors;
+  ASSERT_TRUE(anchors.add("kgc", daemon->voucher_issuer().public_key()));
+
+  svc::FaultInjectingResolver faulty(&daemon->directory());
+  VoucherResolverConfig config;
+  config.now = f.clock_fn();
+  config.current_epoch = [&] { return daemon->epoch(); };
+  VoucherVerifyingResolver offline(&faulty, &anchors, std::move(config));
+  ASSERT_EQ(offline.ingest(alice.voucher), ChainVerdict::kOk);
+  faulty.set_fail_rate(1.0);
+
+  for (cls::Epoch epoch : {0, 1, 2}) {
+    daemon->set_epoch(epoch);
+    for (const std::string& id : {std::string("alice"), alice.keys.id}) {
+      const auto live = daemon->directory().resolve(id);
+      const auto cached = offline.resolve(id);
+      EXPECT_EQ(live.outcome, cached.outcome) << id << " @epoch " << epoch;
+      if (live.outcome == svc::ResolveOutcome::kOk) {
+        EXPECT_EQ(live.key->to_bytes(), cached.key->to_bytes()) << id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mccls::kgc

@@ -17,7 +17,12 @@
 //       key comes from the daemon's directory (DIR/kgcd) through the
 //       resilient resolver pipeline instead of DIR/ID.pub; a transient
 //       directory failure is retried --retries times (default 3) and then
-//       exits 3 — availability is never conflated with a verdict.
+//       exits 3 — availability is never conflated with a verdict. With
+//       --anchors FILE --voucher FILE the key comes from an offline voucher
+//       chain instead: FILE lines are "NAME HEX" trust anchors, the chain
+//       (hex, as written by `kgc vouch --out`) is verified against them
+//       ([--now T] [--epoch N] pin the clock/epoch policy; defaults: wall
+//       clock, no epoch gate) — no daemon, no network, no key files.
 //   mccls_cli inspect --sig HEX
 //       Pretty-print the components of a serialized McCLS signature.
 //   mccls_cli kgc enroll   --dir DIR --id ID [--epoch N] [--seed N]
@@ -29,6 +34,12 @@
 //       Resolve ID's public key from the daemon's directory.
 //   mccls_cli kgc revoke   --dir DIR --id ID [--epoch N]
 //       Revoke ID (resolution stops now; issuance stops at the next epoch).
+//   mccls_cli kgc vouch    --dir DIR --id ID [--epoch N] [--out FILE]
+//       Fetch the daemon's signed voucher chain for ID (kVouch wire op),
+//       print the binding it attests, and emit the encoded chain as hex
+//       (to FILE with --out). Anyone holding the issuer's vouching key —
+//       byte-identical to DIR/kgc.pub — can then verify the binding fully
+//       offline: see batch-verify --anchors.
 //   mccls_cli kgc snapshot --dir DIR [--epoch N]
 //       Compact the daemon's state: snapshot + WAL truncation.
 //   mccls_cli serve --dir DIR [--port P] [--kgc-port P] [--workers W]
@@ -71,6 +82,7 @@
 #include "cls/mccls.hpp"
 #include "crypto/hash.hpp"
 #include "kgc/kgcd.hpp"
+#include "kgc/voucher.hpp"
 #include "netd/client.hpp"
 #include "netd/front.hpp"
 #include "netd/server.hpp"
@@ -139,11 +151,13 @@ int usage() {
                "  mccls_cli batch-verify --dir DIR --id ID --msgdir MSGDIR [--seed N]\n"
                "                         [--resolve kgcd] [--retries N] [--fault-rate F]\n"
                "                         [--connect HOST:PORT]\n"
+               "                         [--anchors FILE --voucher FILE [--now T] [--epoch N]]\n"
                "  mccls_cli inspect --sig HEX\n"
                "  mccls_cli kgc enroll   --dir DIR --id ID [--epoch N] [--seed N]\n"
                "  mccls_cli kgc lookup   --dir DIR --id ID [--epoch N]\n"
                "  mccls_cli kgc revoke   --dir DIR --id ID [--epoch N]\n"
-               "      (kgc enroll/lookup/revoke also accept --connect HOST:PORT)\n"
+               "  mccls_cli kgc vouch    --dir DIR --id ID [--epoch N] [--out FILE]\n"
+               "      (kgc enroll/lookup/revoke/vouch also accept --connect HOST:PORT)\n"
                "  mccls_cli kgc snapshot --dir DIR [--epoch N]\n"
                "  mccls_cli serve --dir DIR [--port P] [--kgc-port P] [--workers W]\n"
                "                  [--epoch N] [--seed N]\n");
@@ -284,7 +298,70 @@ int cmd_batch_verify(const Args& args) {
   }
 
   std::optional<cls::PublicKey> pk;
-  if (const auto* connect = args.get("connect")) {
+  if (const auto* anchors_path = args.get("anchors")) {
+    // --anchors FILE --voucher FILE: fully offline key resolution. The
+    // signer's key comes out of a KGC-signed voucher chain checked against
+    // a local trust-anchor set — no daemon boot, no network, no .pub file.
+    // A rejected chain is a refusal (exit 1): unlike an unreachable
+    // directory there is nothing transient about a binding that does not
+    // verify.
+    const auto* chain_path = args.get("voucher");
+    if (chain_path == nullptr) return usage();
+    std::ifstream anchors_in(*anchors_path);
+    if (!anchors_in) {
+      std::fprintf(stderr, "error: cannot read anchors file %s\n",
+                   anchors_path->c_str());
+      return 1;
+    }
+    kgc::TrustAnchors anchors;
+    std::string anchor_name, anchor_hex;
+    while (anchors_in >> anchor_name >> anchor_hex) {
+      const auto key_bytes = crypto::from_hex(anchor_hex);
+      std::optional<ec::G1> key;
+      if (key_bytes) key = ec::G1::from_bytes(*key_bytes);
+      if (!key || !anchors.add(anchor_name, *key)) {
+        std::fprintf(stderr, "error: bad trust anchor \"%s\" in %s\n",
+                     anchor_name.c_str(), anchors_path->c_str());
+        return 1;
+      }
+    }
+    if (anchors.size() == 0) {
+      std::fprintf(stderr, "error: %s holds no trust anchors\n",
+                   anchors_path->c_str());
+      return 1;
+    }
+    const auto chain_bytes = read_file(*chain_path);
+    std::optional<kgc::VoucherChain> chain;
+    if (chain_bytes) chain = kgc::decode_voucher_chain(*chain_bytes);
+    if (!chain) {
+      std::fprintf(stderr, "error: %s is not an encoded voucher chain\n",
+                   chain_path->c_str());
+      return 1;
+    }
+    std::uint64_t now = static_cast<std::uint64_t>(std::time(nullptr));
+    if (const auto* t = args.get("now")) now = std::strtoull(t->c_str(), nullptr, 10);
+    std::optional<cls::Epoch> current_epoch;
+    if (const auto* e = args.get("epoch")) {
+      current_epoch = std::strtoull(e->c_str(), nullptr, 10);
+    }
+    const kgc::ChainCheck check =
+        kgc::verify_voucher_chain(*chain, anchors, now, current_epoch);
+    if (check.verdict != kgc::ChainVerdict::kOk) {
+      std::fprintf(stderr, "error: voucher chain rejected: %s\n",
+                   kgc::chain_verdict_name(check.verdict));
+      return 1;
+    }
+    // --id may be the scoped subject itself or its base identity.
+    if (check.subject != *id) {
+      const auto scoped = cls::parse_scoped_identity(check.subject);
+      if (!scoped || scoped->first != *id) {
+        std::fprintf(stderr, "error: voucher vouches for %s, not %s\n",
+                     check.subject.c_str(), id->c_str());
+        return 1;
+      }
+    }
+    pk = check.key;
+  } else if (const auto* connect = args.get("connect")) {
     // --connect HOST:PORT: resolve the signer's key over the kgc wire from a
     // remote server (e.g. `mccls_cli serve`). Same availability contract as
     // --resolve kgcd: a connection-level failure or kStoreError is transient
@@ -655,6 +732,44 @@ int cmd_kgc_revoke(const Args& args) {
   return 0;
 }
 
+int cmd_kgc_vouch(const Args& args) {
+  const auto* id = args.get("id");
+  if (id == nullptr) return usage();
+  int exit_code = 1;
+  auto endpoint = KgcEndpoint::open(args, exit_code);
+  if (!endpoint) return exit_code;
+  const auto response = endpoint->call(
+      kgc::KgcRequest{.op = kgc::KgcOp::kVouch, .request_id = 1, .id = *id});
+  if (!response || response->status != kgc::KgcStatus::kOk) {
+    std::fprintf(stderr, "vouch refused: %s\n",
+                 response ? kgc_status_name(response->status) : "no response");
+    return 1;
+  }
+  const auto chain = kgc::decode_voucher_chain(response->payload);
+  if (!chain || chain->empty()) {
+    std::fprintf(stderr, "error: daemon returned a corrupt voucher chain\n");
+    return 1;
+  }
+  const kgc::Voucher& leaf = chain->front();
+  std::printf("voucher %llu: %s vouches that %s holds\n  %s\n"
+              "  valid [%llu, %llu), epoch %llu, chain depth %zu\n",
+              static_cast<unsigned long long>(leaf.serial), leaf.issuer.c_str(),
+              leaf.subject.c_str(), crypto::to_hex(leaf.pk_bytes).c_str(),
+              static_cast<unsigned long long>(leaf.not_before),
+              static_cast<unsigned long long>(leaf.not_after),
+              static_cast<unsigned long long>(leaf.epoch), chain->size());
+  if (const auto* out = args.get("out")) {
+    if (!write_file(*out, response->payload)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out->c_str());
+      return 1;
+    }
+    std::printf("chain written to %s\n", out->c_str());
+  } else {
+    std::printf("%s\n", crypto::to_hex(response->payload).c_str());
+  }
+  return 0;
+}
+
 int cmd_kgc_snapshot(const Args& args) {
   auto daemon = boot_kgcd(args);
   if (!daemon) return 1;
@@ -779,6 +894,7 @@ int main(int argc, char** argv) {
   if (args->command == "kgc enroll") return cmd_kgc_enroll(*args);
   if (args->command == "kgc lookup") return cmd_kgc_lookup(*args);
   if (args->command == "kgc revoke") return cmd_kgc_revoke(*args);
+  if (args->command == "kgc vouch") return cmd_kgc_vouch(*args);
   if (args->command == "kgc snapshot") return cmd_kgc_snapshot(*args);
   if (args->command == "serve") return cmd_serve(*args);
   return usage();

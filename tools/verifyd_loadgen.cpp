@@ -13,7 +13,8 @@
 //                   [--signers S] [--skew Z] [--queue CAP] [--no-coalesce]
 //                   [--forge-pct PCT] [--seed N] [--json PATH]
 //                   [--byid-pct PCT] [--fault] [--fault-rate F] [--stall-ms MS]
-//                   [--tcp] [--connect HOST:PORT] [--connections C] [--pipeline M]
+//                   [--vouchers] [--tcp] [--connect HOST:PORT]
+//                   [--connections C] [--pipeline M]
 //
 // --byid-pct sends that fraction of the corpus as kind-3 verify-by-identity
 // frames (no inline public key); the service resolves them through an
@@ -22,6 +23,18 @@
 // ResilientResolver → FaultInjectingResolver pipeline, so the dump shows
 // kUnavailable answers, retries and breaker behavior instead of silent
 // kUnknownSigner misclassification.
+//
+// --vouchers pre-issues a KGC-signed voucher chain for every signer and puts
+// a kgc::VoucherVerifyingResolver in front of that pipeline — the offline
+// deployment shape. Under --fault-rate 1.0 (a total directory outage) every
+// by-identity request for a vouched signer must still answer from the cached
+// chain: the run is the nightly gate that "unavailable" stays 0.
+//
+// Fault mode composes with the in-process resolver pipeline only, so it is
+// rejected together with --tcp/--connect: over TCP the resolver runs on the
+// server side of the socket and a stalled/failed directory call surfaces as
+// transport backpressure, which would silently re-label injected directory
+// faults as netd artifacts instead of resolver verdicts.
 //
 // Transport: by default producers call submit_bytes in-process. --tcp boots
 // the same service behind a netd NetServer on an ephemeral loopback port and
@@ -51,7 +64,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cls/epoch.hpp"
 #include "cls/mccls.hpp"
+#include "kgc/voucher.hpp"
 #include "netd/client.hpp"
 #include "netd/front.hpp"
 #include "netd/server.hpp"
@@ -77,6 +92,7 @@ struct Options {
   bool fault = false;          ///< degrade the directory behind the pipeline
   double fault_rate = -1.0;    ///< <0 = unset (0.1 under bare --fault)
   std::uint32_t stall_ms = 0;  ///< injected stall per directory call
+  bool vouchers = false;       ///< offline voucher cache in front of the pipeline
   bool tcp = false;            ///< self-host a NetServer and drive loopback
   std::string connect_host;    ///< drive an external frame server instead
   std::uint16_t connect_port = 0;
@@ -99,9 +115,17 @@ int usage() {
                "                       [--signers S] [--skew Z] [--queue CAP]\n"
                "                       [--no-coalesce] [--forge-pct PCT] [--seed N]\n"
                "                       [--json PATH] [--byid-pct PCT] [--fault]\n"
-               "                       [--fault-rate F] [--stall-ms MS]\n"
+               "                       [--fault-rate F] [--stall-ms MS] [--vouchers]\n"
                "                       [--tcp] [--connect HOST:PORT]\n"
-               "                       [--connections C] [--pipeline M]\n");
+               "                       [--connections C] [--pipeline M]\n"
+               "\n"
+               "  --vouchers  pre-issue a signed voucher chain per signer and resolve\n"
+               "              by-identity requests through the offline voucher cache\n"
+               "              (with --fault-rate 1.0: zero unavailable for vouched ids)\n"
+               "  fault injection (--fault/--fault-rate/--stall-ms) degrades the\n"
+               "  in-process resolver pipeline and cannot be combined with --tcp or\n"
+               "  --connect: over TCP the injected directory faults would surface as\n"
+               "  transport backpressure, not resolver verdicts\n");
   return 2;
 }
 
@@ -118,6 +142,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
     }
     if (flag == "--tcp") {
       opt.tcp = true;
+      continue;
+    }
+    if (flag == "--vouchers") {
+      opt.vouchers = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -164,6 +192,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
   }
   if (opt.fault_rate > 1.0) return false;
   if (opt.tcp_mode() && (opt.connections == 0 || opt.pipeline == 0)) return false;
+  // Fault injection lives in the in-process resolver pipeline; over TCP the
+  // resolver sits behind the socket and injected faults would be re-labelled
+  // as transport backpressure (see the file comment).
+  if (opt.tcp_mode() && opt.fault_mode()) return false;
   return opt.workers > 0 && opt.producers > 0 && opt.requests > 0 && opt.signers > 0;
 }
 
@@ -280,6 +312,34 @@ int main(int argc, char** argv) {
                                 : static_cast<svc::PkResolver*>(&map_resolver);
   }
 
+  // ---- vouchers: pre-issue a signed chain per signer and put the offline
+  // voucher cache in front of whatever pipeline --fault selected. Subjects
+  // are scoped to epoch 0 but the cache also indexes the base identity the
+  // frames carry, so every by-identity request answers from its voucher —
+  // even at --fault-rate 1.0, when the inner pipeline never does.
+  kgc::TrustAnchors anchors;
+  std::optional<kgc::VoucherVerifyingResolver> vouching;
+  if (opt.vouchers && resolver != nullptr) {
+    const kgc::VoucherIssuer issuer(kgc.master_key_for_tests(), "kgc");
+    anchors.add("kgc", issuer.public_key());
+    kgc::VoucherResolverConfig vconfig;
+    vconfig.capacity = 2 * opt.signers + 16;  // two entries per vouched signer
+    vconfig.now = [] { return std::uint64_t{1'000}; };  // logical clock
+    vconfig.current_epoch = [] { return cls::Epoch{0}; };
+    vouching.emplace(resolver, &anchors, std::move(vconfig));
+    std::uint64_t serial = 0;
+    for (const cls::UserKeys& signer : signers) {
+      const kgc::Voucher voucher = issuer.issue(
+          cls::scoped_identity(signer.id, 0), signer.public_key.to_bytes(),
+          /*epoch=*/0, /*not_before=*/0, /*not_after=*/1'000'000, ++serial);
+      if (vouching->ingest({voucher}) != kgc::ChainVerdict::kOk) {
+        std::fprintf(stderr, "error: voucher ingest failed for %s\n", signer.id.c_str());
+        return 1;
+      }
+    }
+    resolver = &*vouching;
+  }
+
   // ---- service (in-process and --tcp self-host; absent under --connect,
   // where the service lives in another process)
   std::optional<svc::VerifyService> service;
@@ -291,6 +351,7 @@ int main(int argc, char** argv) {
                                        .seed = opt.seed ^ 0xD5ULL,
                                        .resolver = resolver});
     service->cache().warm(kgc.params(), ids);
+    if (vouching) vouching->set_metrics(&service->metrics());
   }
 
   double seconds = 0.0;
@@ -419,6 +480,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(snapshot.malformed),
                 static_cast<unsigned long long>(snapshot.unknown_signer),
                 static_cast<unsigned long long>(snapshot.unavailable));
+  }
+  if (vouching) {
+    std::printf("  vouchers:   %zu cached, %llu hits, %llu expired, %llu bad-sig\n",
+                vouching->cached(),
+                static_cast<unsigned long long>(snapshot.voucher_hits),
+                static_cast<unsigned long long>(snapshot.voucher_expired),
+                static_cast<unsigned long long>(snapshot.voucher_bad_sig));
   }
   if (opt.fault_mode()) {
     std::printf("  faults:     rate %.2f stall %u ms -> %llu injected, %llu retries, "
