@@ -242,7 +242,7 @@ int main() {
   // By-identity over the wire: kind-3 frames, keys resolved from a kgcd
   // directory behind the server (the bench_service byid row's transport
   // twin). The daemon reuses bench_service's on-disk layout convention.
-  const std::string kgcd_dir = "bench_net_kgcd.data";
+  const std::string kgcd_dir = "build/bench_net_kgcd.data";
   std::filesystem::remove_all(kgcd_dir);
   kgc::Kgcd daemon(kgc.master_key_for_tests(),
                    kgc::KgcdConfig{.data_dir = kgcd_dir, .fsync = false});

@@ -56,6 +56,7 @@
 #include "bench_json.hpp"
 #include "cls/mccls.hpp"
 #include "kgc/kgcd.hpp"
+#include "kgc/replica.hpp"
 #include "kgc/voucher.hpp"
 #include "svc/service.hpp"
 
@@ -274,7 +275,7 @@ int main() {
 
   // ---- kgcd series: a daemon with every signer enrolled backs both the
   // directory micro-benchmarks and the verify-by-identity run.
-  const std::string kgcd_dir = "bench_kgcd.data";
+  const std::string kgcd_dir = "build/bench_kgcd.data";
   std::filesystem::remove_all(kgcd_dir);
   kgc::Kgcd daemon(kgc.master_key_for_tests(),
                    kgc::KgcdConfig{.data_dir = kgcd_dir, .fsync = false});
@@ -310,6 +311,81 @@ int main() {
     return kRequests;
   }));
   derived["lookup_cold_vs_hot"] = results.back().median_ns / hot_ns;
+
+  // ---- scale series: the million-identity store. The population enrolls
+  // through the store+directory fast path (the same replay hooks recovery
+  // uses): Kgcd::enroll pays ~0.6 ms of partial-key *extraction* per
+  // identity, so going through it would make this a bench of issuance
+  // crypto, not of the segmented store. Default 50k identities keeps CI
+  // quick; MCCLS_BENCH_1M=1 (the nightly scale job) runs the full million.
+  const std::size_t scale_population =
+      std::getenv("MCCLS_BENCH_1M") != nullptr ? 1'000'000 : 50'000;
+  const std::string scale_dir = "build/bench_kgcd_scale.data";
+  std::filesystem::remove_all(scale_dir);
+  kgc::Kgcd scale_daemon(kgc.master_key_for_tests(),
+                         kgc::KgcdConfig{.data_dir = scale_dir, .fsync = false});
+  std::vector<crypto::Bytes> signer_pk_bytes;
+  for (const cls::UserKeys& signer : signers) {
+    signer_pk_bytes.push_back(signer.public_key.to_bytes());
+  }
+  std::size_t scale_next = 0;
+  const auto scale_enroll = [&](std::size_t count) {
+    kgc::LogStore& store = scale_daemon.store();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::string id = "scale-" + std::to_string(scale_next++);
+      const kgc::WalRecord record{.type = kgc::WalRecordType::kEnroll,
+                                  .epoch = 0,
+                                  .id = id,
+                                  .pk_bytes = signer_pk_bytes[i % kSigners]};
+      (void)store.append(kgc::shard_index(id, store.shards()), record);
+      scale_daemon.directory().apply(record);
+    }
+  };
+  std::printf("\npopulating scale store with %zu identities...\n", scale_population);
+  scale_enroll(scale_population);
+
+  // Enroll at full population: every op lands a fresh identity in an
+  // already-huge store — admission + segmented append with rotation and the
+  // shard index at its real size.
+  constexpr std::size_t kScaleOps = 4096;
+  results.push_back(time_ops("kgc_1m_enroll", n_samples, [&] {
+    scale_enroll(kScaleOps);
+    return kScaleOps;
+  }));
+  // Hot resolution at scale: a working set that fits the decoded-key LRU,
+  // cycled out of a population three orders of magnitude larger.
+  std::vector<std::string> hot_ids;
+  for (std::size_t i = 0; i < 512; ++i) hot_ids.push_back("scale-" + std::to_string(i));
+  results.push_back(time_ops("kgc_1m_lookup_hot", n_samples, [&] {
+    for (std::size_t i = 0; i < kScaleOps; ++i) {
+      (void)scale_daemon.directory().resolve(hot_ids[i % hot_ids.size()]);
+    }
+    return kScaleOps;
+  }));
+  const double scale_hot_ns = results.back().median_ns;
+
+  // The same hot lookups served by a read replica that caught up from the
+  // primary over the kReplicate protocol — the deployment shape where
+  // followers carry lookup traffic. The ratio should be ~1.0: a replica's
+  // directory is the same structure, fed by replication instead of enroll.
+  const std::string replica_dir = "build/bench_kgcd_replica.data";
+  std::filesystem::remove_all(replica_dir);
+  kgc::Replica scale_replica(
+      kgc::ReplicaConfig{.data_dir = replica_dir, .fsync = false},
+      [&](const crypto::Bytes& request) -> std::optional<crypto::Bytes> {
+        return scale_daemon.handle_frame(request);
+      });
+  if (!scale_replica.sync()) {
+    std::fprintf(stderr, "bench_service: replica catch-up failed\n");
+    return 1;
+  }
+  results.push_back(time_ops("kgc_replica_lookup", n_samples, [&] {
+    for (std::size_t i = 0; i < kScaleOps; ++i) {
+      (void)scale_replica.directory().resolve(hot_ids[i % hot_ids.size()]);
+    }
+    return kScaleOps;
+  }));
+  derived["replica_vs_primary_lookup"] = scale_hot_ns / results.back().median_ns;
 
   // Verify-by-identity: same uniform workload as verify_w4_uniform, but the
   // public key travels as an identity and is resolved from the directory —

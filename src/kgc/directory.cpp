@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "kgc/logstore.hpp"
+
 namespace mccls::kgc {
 
 KeyDirectory::KeyDirectory(DirectoryConfig config)
@@ -15,8 +17,9 @@ KeyDirectory::KeyDirectory(DirectoryConfig config)
 bool KeyDirectory::validate_key(const cls::PublicKey& pk) { return pk.well_formed(); }
 
 KeyDirectory::Shard& KeyDirectory::shard_for(std::string_view id) const {
-  const std::size_t h = std::hash<std::string_view>{}(id);
-  return shards_[h % config_.shards];
+  // Shared routing with the shard log (logstore.hpp): the directory shard an
+  // id lives in is the log shard its mutations are framed into.
+  return shards_[shard_index(id, config_.shards)];
 }
 
 void KeyDirectory::cache_insert(Shard& shard, std::string_view id,
@@ -177,6 +180,25 @@ std::vector<SnapshotEntry> KeyDirectory::export_entries() const {
   for (std::size_t s = 0; s < config_.shards; ++s) {
     std::lock_guard lock(shards_[s].mutex);
     for (const auto& [id, entry] : shards_[s].entries) {
+      out.push_back(SnapshotEntry{.id = id,
+                                  .pk_bytes = entry.pk_bytes,
+                                  .enrolled_epoch = entry.enrolled_epoch,
+                                  .revoked = entry.revoked,
+                                  .revoked_epoch = entry.revoked_epoch});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<SnapshotEntry> KeyDirectory::export_shard(std::size_t shard) const {
+  std::vector<SnapshotEntry> out;
+  if (shard >= config_.shards) return out;
+  {
+    std::lock_guard lock(shards_[shard].mutex);
+    out.reserve(shards_[shard].entries.size());
+    for (const auto& [id, entry] : shards_[shard].entries) {
       out.push_back(SnapshotEntry{.id = id,
                                   .pk_bytes = entry.pk_bytes,
                                   .enrolled_epoch = entry.enrolled_epoch,

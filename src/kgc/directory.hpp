@@ -105,6 +105,14 @@ class KeyDirectory final : public svc::PkResolver {
   /// Dumps every entry (sorted by id) for snapshotting.
   [[nodiscard]] std::vector<SnapshotEntry> export_entries() const;
 
+  /// Dumps one shard's entries (sorted by id) for per-shard compaction —
+  /// shard numbering matches kgc::shard_index (logstore.hpp), which is also
+  /// this directory's routing, so shard S of the directory is exactly what
+  /// shard S of the log replays.
+  [[nodiscard]] std::vector<SnapshotEntry> export_shard(std::size_t shard) const;
+
+  [[nodiscard]] std::size_t shards() const { return config_.shards; }
+
   /// Drops the decoded-key caches (benchmarks: the lookup_cold series).
   void drop_caches();
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <mutex>
 
+#include "kgc/replica.hpp"
+
 namespace mccls::kgc {
 
 namespace {
@@ -33,12 +35,17 @@ Kgcd::Kgcd(const math::Fq& master_key, KgcdConfig config)
                                  .lru_per_shard = config_.lru_per_shard,
                                  .epoch = config_.epoch,
                                  .grace = config_.grace}),
-      store_(StoreConfig{.dir = config_.data_dir, .fsync = config_.fsync}) {
+      store_(LogStoreConfig{.dir = config_.data_dir,
+                            .shards = config_.shards,
+                            .fsync = config_.fsync,
+                            .segment_bytes = config_.segment_bytes}),
+      commit_locks_(std::make_unique<std::shared_mutex[]>(store_.shards())),
+      compacted_seq_(store_.shards(), 0) {
   directory_.set_metrics(&metrics_);
   store_.set_metrics(&metrics_);
   recovery_ = store_.recover(
-      [this](const SnapshotEntry& entry) { directory_.apply(entry); },
-      [this](const WalRecord& record) {
+      [this](std::size_t, const SnapshotEntry& entry) { directory_.apply(entry); },
+      [this](std::size_t, const WalRecord& record) {
         // Voucher records restore the serial high-water mark; everything
         // else is directory state (apply ignores kVoucher defensively too).
         if (record.type == WalRecordType::kVoucher) {
@@ -50,14 +57,28 @@ Kgcd::Kgcd(const math::Fq& master_key, KgcdConfig config)
         }
         directory_.apply(record);
       });
-  // Snapshots fold voucher records away (they carry no directory state), so
-  // after a snapshot the replayed high-water mark can be behind the last
-  // issued serial. The store sequence is >= every folded record's position
-  // and strictly grows, so starting at max(replayed, sequence) keeps serials
-  // unique across restarts without persisting a separate counter.
+  // Shard snapshots fold voucher records away (they carry no directory
+  // state), so after compaction the replayed high-water mark can be behind
+  // the last issued serial. total_sequence() grows by one per append across
+  // all shards, so it is ≥ every folded record's serial; starting at
+  // max(replayed, total) keeps serials unique across restarts without
+  // persisting a separate counter.
   std::uint64_t seen = voucher_serial_.load(std::memory_order_relaxed);
-  if (store_.sequence() > seen) {
-    voucher_serial_.store(store_.sequence(), std::memory_order_relaxed);
+  if (store_.total_sequence() > seen) {
+    voucher_serial_.store(store_.total_sequence(), std::memory_order_relaxed);
+  }
+  for (std::size_t s = 0; s < store_.shards(); ++s) {
+    compacted_seq_[s] = store_.oldest_on_disk(s) - 1;
+  }
+  if (config_.compact_interval_ms > 0) {
+    compactor_ = std::jthread([this](std::stop_token token) { compaction_loop(token); });
+  }
+}
+
+Kgcd::~Kgcd() {
+  if (compactor_.joinable()) {
+    compactor_.request_stop();
+    compactor_cv_.notify_all();
   }
 }
 
@@ -70,16 +91,19 @@ std::uint64_t Kgcd::now() const {
 
 VoucherChain Kgcd::issue_voucher(std::string_view scoped_id,
                                  std::span<const std::uint8_t> pk_bytes,
-                                 cls::Epoch epoch) {
+                                 cls::Epoch epoch, std::size_t shard) {
   const std::uint64_t issued_at = now();
   const std::uint64_t serial =
       voucher_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
   Voucher voucher = voucher_issuer_.issue(scoped_id, pk_bytes, epoch, issued_at,
                                           issued_at + config_.voucher_ttl, serial);
-  if (!store_.append(WalRecord{.type = WalRecordType::kVoucher,
-                               .epoch = epoch,
-                               .id = std::string(scoped_id),
-                               .serial = serial})) {
+  // The record logs into the *base* identity's shard — the one whose commit
+  // lock the caller holds — never shard_index(scoped_id), which may differ
+  // and whose compaction could race this append.
+  if (!store_.append(shard, WalRecord{.type = WalRecordType::kVoucher,
+                                      .epoch = epoch,
+                                      .id = std::string(scoped_id),
+                                      .serial = serial})) {
     return {};
   }
   return VoucherChain{std::move(voucher)};
@@ -97,12 +121,14 @@ Kgcd::EnrollOutcome Kgcd::enroll(std::string_view id,
     return outcome;
   }
   const cls::Epoch epoch = directory_.epoch();
+  const std::size_t shard = shard_index(id, store_.shards());
   {
-    // The mutation+append pair runs under the shared commit lock so a
-    // concurrent snapshot() (exclusive) can never export the directory state
-    // and truncate the WAL between the two — that would drop an acknowledged
-    // record from both.
-    std::shared_lock commit(commit_mutex_);
+    // The mutation+append pair runs under the shard's shared commit lock so
+    // a concurrent compact_shard (exclusive on the same shard) can never
+    // export the directory state and fold the log between the two — that
+    // would drop an acknowledged record from both. Other shards' mutators
+    // and compactions are unaffected.
+    std::shared_lock commit(commit_locks_[shard]);
     const DirStatus admitted = directory_.enroll(id, pk_bytes, epoch);
     if (admitted != DirStatus::kOk) {
       outcome.status = to_status(admitted);
@@ -111,7 +137,8 @@ Kgcd::EnrollOutcome Kgcd::enroll(std::string_view id,
     // Decide-then-log: admission won the shard race, so this writer (and only
     // this writer) logs the record. The response is withheld until the append
     // is durable — acknowledged implies recoverable.
-    if (!store_.append(WalRecord{.type = WalRecordType::kEnroll,
+    if (!store_.append(shard,
+                       WalRecord{.type = WalRecordType::kEnroll,
                                  .epoch = epoch,
                                  .id = std::string(id),
                                  .pk_bytes = crypto::Bytes(pk_bytes.begin(), pk_bytes.end())})) {
@@ -122,7 +149,7 @@ Kgcd::EnrollOutcome Kgcd::enroll(std::string_view id,
     // Enroll-time voucher: same commit-lock span as the enrollment itself.
     // A failed voucher append degrades to "no voucher" — the enrollment is
     // already durable and acknowledged, and vouch() can reissue later.
-    outcome.voucher = issue_voucher(outcome.scoped_id, pk_bytes, epoch);
+    outcome.voucher = issue_voucher(outcome.scoped_id, pk_bytes, epoch, shard);
   }
   outcome.status = KgcStatus::kOk;
   outcome.epoch = epoch;
@@ -151,9 +178,10 @@ Kgcd::VouchOutcome Kgcd::vouch(std::string_view id) {
     return outcome;
   }
   const std::string scoped_id = cls::scoped_identity(base, entry.enrolled_epoch);
+  const std::size_t shard = shard_index(base, store_.shards());
   {
-    std::shared_lock commit(commit_mutex_);
-    outcome.chain = issue_voucher(scoped_id, entry.pk_bytes, entry.enrolled_epoch);
+    std::shared_lock commit(commit_locks_[shard]);
+    outcome.chain = issue_voucher(scoped_id, entry.pk_bytes, entry.enrolled_epoch, shard);
   }
   if (outcome.chain.empty()) {
     outcome.status = KgcStatus::kStoreError;
@@ -173,13 +201,14 @@ Kgcd::LookupOutcome Kgcd::lookup(std::string_view id) const {
 
 KgcStatus Kgcd::revoke(std::string_view id) {
   const cls::Epoch epoch = directory_.epoch();
+  const std::size_t shard = shard_index(id, store_.shards());
   {
-    std::shared_lock commit(commit_mutex_);
+    std::shared_lock commit(commit_locks_[shard]);
     const DirStatus status = directory_.revoke(id, epoch);
     if (status != DirStatus::kOk) return to_status(status);
-    if (!store_.append(WalRecord{.type = WalRecordType::kRevoke,
-                                 .epoch = epoch,
-                                 .id = std::string(id)})) {
+    if (!store_.append(shard, WalRecord{.type = WalRecordType::kRevoke,
+                                        .epoch = epoch,
+                                        .id = std::string(id)})) {
       return KgcStatus::kStoreError;
     }
   }
@@ -187,18 +216,32 @@ KgcStatus Kgcd::revoke(std::string_view id) {
   return KgcStatus::kOk;
 }
 
+std::optional<std::size_t> Kgcd::compact_shard(std::size_t shard) {
+  if (shard >= store_.shards()) return std::nullopt;
+  // Exclusive on this shard only: every in-flight mutator of the shard has
+  // either completed its append or not yet mutated the directory, so the
+  // exported entries, the shard sequence, and the segments being folded all
+  // describe the same committed prefix. Mutators of other shards never wait.
+  std::unique_lock commit(commit_locks_[shard]);
+  std::vector<SnapshotEntry> entries = directory_.export_shard(shard);
+  if (!store_.compact_shard(shard, entries)) return std::nullopt;
+  return entries.size();
+}
+
 std::optional<std::size_t> Kgcd::snapshot() {
-  // Exclusive: every in-flight mutator has either completed its append or
-  // not yet mutated the directory, so the exported entries, the captured
-  // sequence, and the WAL contents being truncated all describe the same
-  // committed prefix.
-  std::unique_lock commit(commit_mutex_);
-  Snapshot snapshot;
-  snapshot.applied_seq = store_.sequence();
-  snapshot.entries = directory_.export_entries();
-  if (!store_.write_snapshot(snapshot)) return std::nullopt;
+  std::size_t total = 0;
+  bool failed = false;
+  for (std::size_t s = 0; s < store_.shards(); ++s) {
+    const auto written = compact_shard(s);
+    if (!written) {
+      failed = true;
+      continue;  // keep folding the other shards; report failure at the end
+    }
+    total += *written;
+  }
   appends_since_snapshot_.store(0, std::memory_order_relaxed);
-  return snapshot.entries.size();
+  if (failed) return std::nullopt;
+  return total;
 }
 
 void Kgcd::maybe_auto_snapshot() {
@@ -206,6 +249,24 @@ void Kgcd::maybe_auto_snapshot() {
   if (appends_since_snapshot_.fetch_add(1, std::memory_order_relaxed) + 1 >=
       config_.snapshot_every) {
     (void)snapshot();
+  }
+}
+
+void Kgcd::compaction_loop(std::stop_token token) {
+  const auto interval = std::chrono::milliseconds(config_.compact_interval_ms);
+  while (!token.stop_requested()) {
+    {
+      std::unique_lock lock(compactor_mutex_);
+      compactor_cv_.wait_for(lock, token, interval, [] { return false; });
+    }
+    if (token.stop_requested()) return;
+    for (std::size_t s = 0; s < store_.shards(); ++s) {
+      if (token.stop_requested()) return;
+      if (store_.shard_sequence(s) == compacted_seq_[s]) continue;  // clean
+      if (compact_shard(s).has_value()) {
+        compacted_seq_[s] = store_.oldest_on_disk(s) - 1;
+      }
+    }
   }
 }
 
@@ -252,6 +313,20 @@ crypto::Bytes Kgcd::handle_frame(std::span<const std::uint8_t> frame) {
       response.status = snapshot().has_value() ? KgcStatus::kOk : KgcStatus::kStoreError;
       response.epoch = directory_.epoch();
       break;
+    case KgcOp::kReplicate: {
+      // Served lock-free: read_tail/read_snapshot_chunk take the shard's
+      // internal mutex only long enough to copy bounds, and a batch that
+      // loses a race with compaction simply makes the follower retry.
+      const auto batch = build_replicate_batch(store_, request->shard, request->from_seq,
+                                               request->cursor, kMaxReplicateItems);
+      if (!batch) {
+        response.status = KgcStatus::kMalformed;
+        break;
+      }
+      response.status = KgcStatus::kOk;
+      response.payload = encode_replicate_batch(*batch);
+      break;
+    }
     case KgcOp::kNone:  // unreachable: the decoder rejects kNone requests
       response.status = KgcStatus::kMalformed;
       break;

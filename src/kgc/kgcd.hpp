@@ -1,22 +1,29 @@
 // kgcd — the persistent Key Generation Center daemon.
 //
 // Owns the master key (loaded via cls::keyfile's scalar codec), the
-// identity→key directory, and the WAL+snapshot store. One instance is safe
-// for concurrent use from many threads: mutations decide admission under a
-// directory shard lock, then serialize durability on the store's append
-// mutex (decide-then-log). The acknowledgement contract follows from that
-// order:
+// identity→key directory, and the segmented per-shard store (kgc/logstore).
+// One instance is safe for concurrent use from many threads: mutations
+// decide admission under a directory shard lock, then serialize durability
+// on their shard log's append mutex (decide-then-log). The acknowledgement
+// contract follows from that order:
 //
 //   * an acknowledged (kOk) enroll/revoke is durable — append() returned,
 //     the record is on disk (fsynced when configured);
 //   * visibility can precede durability by the width of the append, so a
 //     hard kill loses at most mutations whose responses were never sent;
-//   * snapshot() holds the append path closed while it dumps the directory:
-//     mutators hold a commit lock shared across their decide-then-log pair,
-//     snapshot() holds it exclusive across sequence capture + export + the
-//     snapshot write, so every acknowledged record is either in the snapshot
-//     or still in the WAL when the WAL is truncated — never between them —
-//     and applied_seq exactly matches the exported state.
+//   * compaction holds ONE shard's append path closed while it dumps that
+//     shard: mutators hold their shard's commit lock shared across their
+//     decide-then-log pair, compact_shard(s) holds shard s's lock exclusive
+//     across export + snapshot write + segment deletion, so every
+//     acknowledged record is either in the shard snapshot or still in the
+//     shard's segments — never between them — and applied_seq exactly
+//     matches the exported state. The other 15 shards keep enrolling the
+//     whole time: there is no global pause anywhere in the daemon.
+//
+// Replication: the daemon is the primary of a replica set — it serves the
+// kReplicate wire op (kgc/replica.hpp) so followers can bootstrap from a
+// shard snapshot plus WAL tail and then tail live records. A background
+// compaction thread (compact_interval_ms) walks dirty shards one at a time.
 //
 // Issuance is epoch-scoped (cls/epoch.hpp): a partial private key is
 // extracted for the *scoped* identity "ID@epoch-N" at the daemon's current
@@ -27,18 +34,21 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include <functional>
 
 #include "cls/keys.hpp"
 #include "kgc/directory.hpp"
-#include "kgc/store.hpp"
+#include "kgc/logstore.hpp"
 #include "kgc/voucher.hpp"
 #include "kgc/wire.hpp"
 #include "svc/metrics.hpp"
@@ -46,14 +56,20 @@
 namespace mccls::kgc {
 
 struct KgcdConfig {
-  std::string data_dir;            ///< store directory (wal.log, snapshot.bin)
+  std::string data_dir;            ///< store root (shard-N/ subdirectories)
   std::size_t shards = 16;
   std::size_t lru_per_shard = 64;
   cls::Epoch epoch = 0;            ///< initial issuance epoch
   cls::Epoch grace = 1;            ///< resolve-side trailing-epoch window
   bool fsync = true;
-  /// Auto-snapshot after this many WAL appends (0 = manual only).
+  /// Auto-compact (every shard, one at a time) after this many mutations
+  /// (0 = manual/background only).
   std::uint64_t snapshot_every = 0;
+  /// Seal + rotate a shard's active WAL segment past this size.
+  std::size_t segment_bytes = 1 << 20;
+  /// Background compaction cadence: every interval, compact each shard that
+  /// grew since its last compaction, one shard lock at a time (0 = off).
+  std::uint64_t compact_interval_ms = 0;
   /// Trust-anchor name this daemon issues vouchers under. Federated
   /// deployments give every domain KGC a distinct name; verifiers map the
   /// name to the vouching key via kgc::TrustAnchors.
@@ -70,6 +86,7 @@ class Kgcd {
   /// Boots the daemon: reconstructs the directory from snapshot + WAL replay
   /// (truncating any torn tail), then opens the log for appending.
   Kgcd(const math::Fq& master_key, KgcdConfig config);
+  ~Kgcd();
 
   Kgcd(const Kgcd&) = delete;
   Kgcd& operator=(const Kgcd&) = delete;
@@ -110,9 +127,15 @@ class Kgcd {
   /// kVoucher WAL record so serials stay unique across restarts.
   VouchOutcome vouch(std::string_view id);
 
-  /// Persists a snapshot and truncates the WAL; nullopt on I/O failure,
-  /// else the number of entries written.
+  /// Compacts every shard in turn (each under its own commit lock only —
+  /// mutations on other shards proceed throughout); nullopt if any shard
+  /// failed, else the total number of entries written.
   std::optional<std::size_t> snapshot();
+
+  /// Compacts one shard: exports its directory entries and folds its WAL
+  /// segments into the shard snapshot, excluding only that shard's mutators.
+  /// nullopt on I/O failure, else the entries written.
+  std::optional<std::size_t> compact_shard(std::size_t shard);
 
   // ---- wire entry point --------------------------------------------------
 
@@ -125,6 +148,9 @@ class Kgcd {
 
   [[nodiscard]] const cls::SystemParams& params() const { return kgc_.params(); }
   [[nodiscard]] KeyDirectory& directory() { return directory_; }
+  /// The segmented store (tests, the kReplicate handler, crash injection).
+  [[nodiscard]] LogStore& store() { return store_; }
+  [[nodiscard]] const LogStore& store() const { return store_; }
   [[nodiscard]] const svc::ServiceMetrics& metrics() const { return metrics_; }
   [[nodiscard]] svc::ServiceMetrics& metrics() { return metrics_; }
   [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
@@ -142,25 +168,36 @@ class Kgcd {
 
  private:
   void maybe_auto_snapshot();
+  void compaction_loop(std::stop_token token);
   [[nodiscard]] std::uint64_t now() const;
   /// Builds + logs one voucher for an already-admitted binding. Called under
-  /// the shared commit lock. Empty chain on WAL append failure.
+  /// `shard`'s shared commit lock; the record logs into that same shard so
+  /// the lock actually covers the append. Empty chain on WAL append failure.
   VoucherChain issue_voucher(std::string_view scoped_id,
-                             std::span<const std::uint8_t> pk_bytes, cls::Epoch epoch);
+                             std::span<const std::uint8_t> pk_bytes, cls::Epoch epoch,
+                             std::size_t shard);
 
   KgcdConfig config_;
   cls::Kgc kgc_;
   VoucherIssuer voucher_issuer_;
   svc::ServiceMetrics metrics_;
   KeyDirectory directory_;
-  WalStore store_;
+  LogStore store_;
   RecoveryReport recovery_;
   std::atomic<std::uint64_t> voucher_serial_{0};
-  /// Shared: a mutator's directory-mutation + WAL-append pair. Exclusive:
-  /// snapshot()'s sequence + export + write, so no acknowledged record can
-  /// land between the exported state and the WAL truncation.
-  mutable std::shared_mutex commit_mutex_;
+  /// One commit lock per shard. Shared: a mutator's directory-mutation +
+  /// WAL-append pair on that shard. Exclusive: compact_shard's export +
+  /// snapshot write + segment deletion, so no acknowledged record can land
+  /// between the exported state and the folded log — while every other
+  /// shard's mutators run unimpeded.
+  std::unique_ptr<std::shared_mutex[]> commit_locks_;
   std::atomic<std::uint64_t> appends_since_snapshot_{0};
+  /// Background compaction: per-shard sequence at its last compaction (only
+  /// the compaction thread reads/writes these).
+  std::vector<std::uint64_t> compacted_seq_;
+  std::mutex compactor_mutex_;
+  std::condition_variable_any compactor_cv_;
+  std::jthread compactor_;  ///< last member: joins before anything tears down
 };
 
 }  // namespace mccls::kgc

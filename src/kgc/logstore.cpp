@@ -1,0 +1,529 @@
+#include "kgc/logstore.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace mccls::kgc {
+
+namespace fs = std::filesystem;
+using crypto::Bytes;
+
+// ---- segment codec -------------------------------------------------------
+
+crypto::Bytes encode_segment_header(const SegmentHeader& header) {
+  crypto::ByteWriter w;
+  w.put_u8(kSegmentMagic0);
+  w.put_u8(kSegmentMagic1);
+  w.put_u8(kStoreVersion);
+  w.put_u32(header.shard);
+  w.put_u64(header.base_seq);
+  return w.take();
+}
+
+std::optional<SegmentHeader> decode_segment_header(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader r(bytes);
+  const auto m0 = r.get_u8();
+  const auto m1 = r.get_u8();
+  const auto version = r.get_u8();
+  const auto shard = r.get_u32();
+  const auto base = r.get_u64();
+  if (!m0 || *m0 != kSegmentMagic0 || !m1 || *m1 != kSegmentMagic1 || !version ||
+      *version != kStoreVersion || !shard || !base || !r.exhausted()) {
+    return std::nullopt;
+  }
+  if (*shard >= kMaxLogShards) return std::nullopt;
+  if (*base == 0) return std::nullopt;  // sequences are 1-based
+  return SegmentHeader{.shard = *shard, .base_seq = *base};
+}
+
+crypto::Bytes encode_segment(const SegmentImage& image) {
+  crypto::ByteWriter w;
+  w.put_raw(frame_payload(encode_segment_header(image.header)));
+  for (const WalRecord& record : image.records) {
+    w.put_raw(frame_payload(encode_wal_record(record)));
+  }
+  return w.take();
+}
+
+std::optional<SegmentImage> decode_segment(std::span<const std::uint8_t> bytes) {
+  const auto header_frame = read_frame(bytes);
+  if (!header_frame) return std::nullopt;
+  const auto header = decode_segment_header(header_frame->payload);
+  if (!header) return std::nullopt;
+  SegmentImage image;
+  image.header = *header;
+  std::span<const std::uint8_t> rest = bytes.subspan(header_frame->consumed);
+  while (!rest.empty()) {
+    const auto frame = read_frame(rest);
+    if (!frame) return std::nullopt;
+    auto record = decode_wal_record(frame->payload);
+    if (!record) return std::nullopt;
+    image.records.push_back(std::move(*record));
+    rest = rest.subspan(frame->consumed);
+  }
+  return image;
+}
+
+// ---- helpers -------------------------------------------------------------
+
+namespace {
+
+std::optional<Bytes> read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return Bytes{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+bool write_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Parses "seg-<base>.wal" → base; nullopt for any other filename.
+std::optional<std::uint64_t> parse_segment_base(const std::string& name) {
+  constexpr std::string_view prefix = "seg-";
+  constexpr std::string_view suffix = ".wal";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(prefix.size(),
+                                         name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t base = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    base = base * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return base;
+}
+
+}  // namespace
+
+// ---- the store -----------------------------------------------------------
+
+LogStore::LogStore(LogStoreConfig config) : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.shards > kMaxLogShards) config_.shards = kMaxLogShards;
+  if (config_.segment_bytes == 0) config_.segment_bytes = 1;
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  logs_ = std::make_unique<ShardLog[]>(config_.shards);
+}
+
+LogStore::~LogStore() {
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    std::lock_guard lock(logs_[s].mutex);
+    if (logs_[s].fd >= 0) ::close(logs_[s].fd);
+  }
+}
+
+std::string LogStore::shard_dir(std::size_t shard) const {
+  return (fs::path(config_.dir) / ("shard-" + std::to_string(shard))).string();
+}
+
+std::string LogStore::segment_path(std::size_t shard, std::uint64_t base) const {
+  return (fs::path(shard_dir(shard)) / ("seg-" + std::to_string(base) + ".wal"))
+      .string();
+}
+
+std::string LogStore::snapshot_path(std::size_t shard) const {
+  return (fs::path(shard_dir(shard)) / "snapshot.bin").string();
+}
+
+bool LogStore::open_active_segment(ShardLog& log, std::size_t shard,
+                                   std::uint64_t base) {
+  const std::string path = segment_path(shard, base);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) return false;
+  const Bytes header = frame_payload(encode_segment_header(
+      SegmentHeader{.shard = static_cast<std::uint32_t>(shard), .base_seq = base}));
+  // The header must be durable before any record is acknowledged out of this
+  // segment: a record frame is unreachable without the header that names its
+  // base sequence.
+  if (!write_all(fd, header) || (config_.fsync && ::fsync(fd) != 0)) {
+    ::close(fd);
+    return false;
+  }
+  if (config_.fsync && !fsync_shard_dir(shard)) {
+    ::close(fd);
+    return false;
+  }
+  log.fd = fd;
+  log.active_base = base;
+  log.active_bytes = header.size();
+  return true;
+}
+
+bool LogStore::fsync_shard_dir(std::size_t shard) const {
+  const int dir_fd = ::open(shard_dir(shard).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return false;
+  const bool synced = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  return synced;
+}
+
+RecoveryReport LogStore::recover(
+    const std::function<void(std::size_t, const SnapshotEntry&)>& on_entry,
+    const std::function<void(std::size_t, const WalRecord&)>& on_record) {
+  RecoveryReport report;
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    recover_shard(s, report, on_entry, on_record);
+  }
+  return report;
+}
+
+void LogStore::recover_shard(
+    std::size_t shard, RecoveryReport& report,
+    const std::function<void(std::size_t, const SnapshotEntry&)>& on_entry,
+    const std::function<void(std::size_t, const WalRecord&)>& on_record) {
+  ShardLog& log = logs_[shard];
+  std::lock_guard lock(log.mutex);
+
+  std::error_code ec;
+  fs::create_directories(shard_dir(shard), ec);
+  // A crash between temp-write and rename leaves snapshot.bin.tmp behind; it
+  // was never the live snapshot, so it is plain garbage here.
+  fs::remove(snapshot_path(shard) + ".tmp", ec);
+
+  if (const auto snapshot_bytes = read_whole_file(snapshot_path(shard))) {
+    if (const auto snapshot = decode_snapshot(*snapshot_bytes)) {
+      for (const SnapshotEntry& entry : snapshot->entries) {
+        if (on_entry) on_entry(shard, entry);
+        ++report.snapshot_entries;
+      }
+      log.snapshot_seq = snapshot->applied_seq;
+      log.seq = snapshot->applied_seq;
+    } else if (!snapshot_bytes->empty()) {
+      // Same stance as the old WalStore: a corrupt snapshot cannot be
+      // partially trusted, so replay from the segments alone and surface the
+      // fact to the operator.
+      report.snapshot_corrupt = true;
+    }
+  }
+
+  std::vector<std::uint64_t> bases;
+  for (const auto& dirent : fs::directory_iterator(shard_dir(shard), ec)) {
+    if (const auto base = parse_segment_base(dirent.path().filename().string())) {
+      bases.push_back(*base);
+    }
+  }
+  std::sort(bases.begin(), bases.end());
+
+  // Walk segments in base order. The first defect — unreadable header, header
+  // that disagrees with the filename or shard, a base that leaves a sequence
+  // gap, or a torn/corrupt record frame — ends the recoverable log: that
+  // segment is truncated to its last good frame and every later segment is
+  // deleted (their records were never acknowledged, or they are leftovers of
+  // an interrupted compaction already covered by the snapshot).
+  std::vector<std::uint64_t> kept;
+  bool tail_ended = false;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const std::uint64_t base = bases[i];
+    const std::string path = segment_path(shard, base);
+    if (tail_ended) {
+      fs::remove(path, ec);
+      continue;
+    }
+    const auto bytes = read_whole_file(path);
+    const auto header_frame = bytes ? read_frame(*bytes) : std::nullopt;
+    const auto header =
+        header_frame ? decode_segment_header(header_frame->payload) : std::nullopt;
+    if (!header || header->shard != shard || header->base_seq != base ||
+        base > std::max(log.seq, log.snapshot_seq) + 1) {
+      fs::remove(path, ec);
+      if (bytes) report.torn_bytes += bytes->size();
+      tail_ended = true;
+      continue;
+    }
+    std::size_t valid_end = header_frame->consumed;
+    std::span<const std::uint8_t> rest =
+        std::span<const std::uint8_t>(*bytes).subspan(header_frame->consumed);
+    std::uint64_t seq = base - 1;  // sequence of the last record walked
+    while (!rest.empty()) {
+      const auto frame = read_frame(rest);
+      const auto record = frame ? decode_wal_record(frame->payload) : std::nullopt;
+      if (!record) break;  // torn or corrupt: end-of-log
+      ++seq;
+      if (seq > log.snapshot_seq) {
+        if (on_record) on_record(shard, *record);
+        ++report.wal_records;
+        log.seq = seq;
+      }
+      valid_end += frame->consumed;
+      rest = rest.subspan(frame->consumed);
+    }
+    if (!rest.empty()) {
+      report.torn_bytes += rest.size();
+      fs::resize_file(path, valid_end, ec);
+      tail_ended = true;
+    }
+    if (seq < base || seq <= log.snapshot_seq) {
+      // Every record here (if any) is already folded into the snapshot — the
+      // leftover of a compaction that crashed between the snapshot rename and
+      // the segment deletions. Finish the job.
+      fs::remove(path, ec);
+      continue;
+    }
+    kept.push_back(base);
+  }
+
+  // Reopen the newest surviving segment for append; a shard with nothing
+  // left starts a fresh segment right after its sequence.
+  if (!kept.empty()) {
+    const std::uint64_t active = kept.back();
+    kept.pop_back();
+    const std::string path = segment_path(shard, active);
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND, 0600);
+    if (fd >= 0) {
+      log.fd = fd;
+      log.active_base = active;
+      log.active_bytes = static_cast<std::size_t>(fs::file_size(path, ec));
+      log.sealed_bases = std::move(kept);
+      return;
+    }
+  }
+  log.sealed_bases = std::move(kept);
+  open_active_segment(log, shard, log.seq + 1);
+}
+
+std::optional<std::uint64_t> LogStore::append(std::size_t shard,
+                                              const WalRecord& record) {
+  if (shard >= config_.shards) return std::nullopt;
+  const Bytes frame = frame_payload(encode_wal_record(record));
+  ShardLog& log = logs_[shard];
+  std::lock_guard lock(log.mutex);
+  if (log.fd < 0) return std::nullopt;
+  // Seal + rotate once the active segment is past the size target and holds
+  // at least one record (a header-only segment must accept its first record,
+  // whatever the configured size).
+  if (log.active_bytes >= config_.segment_bytes && log.seq >= log.active_base) {
+    if (::fsync(log.fd) != 0 || ::close(log.fd) != 0) {
+      log.fd = -1;  // poisoned: the seal boundary is unknown
+      return std::nullopt;
+    }
+    log.fd = -1;
+    log.sealed_bases.push_back(log.active_base);
+    if (metrics_ != nullptr) metrics_->on_segment_sealed();
+    if (!open_active_segment(log, shard, log.seq + 1)) return std::nullopt;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // Same frame-boundary contract as the old WalStore: a failed write rolls
+  // back to the boundary, and a failed rollback poisons the shard so nothing
+  // can be acknowledged after a torn frame.
+  const ::off_t base_off = ::lseek(log.fd, 0, SEEK_END);
+  if (base_off < 0) {
+    ::close(log.fd);
+    log.fd = -1;
+    return std::nullopt;
+  }
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ::ssize_t n =
+        ::write(log.fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (written > 0 && ::ftruncate(log.fd, base_off) != 0) {
+        ::close(log.fd);
+        log.fd = -1;
+      }
+      return std::nullopt;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (config_.fsync && ::fsync(log.fd) != 0) return std::nullopt;
+  if (metrics_ != nullptr) {
+    metrics_->on_wal_fsync_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  log.active_bytes += frame.size();
+  return ++log.seq;
+}
+
+bool LogStore::write_shard_snapshot(std::size_t shard, const Snapshot& snapshot) {
+  const Bytes encoded = encode_snapshot(snapshot);
+  const std::string live = snapshot_path(shard);
+  const std::string tmp = live + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) return false;
+  if (!write_all(fd, encoded) || (config_.fsync && ::fsync(fd) != 0)) {
+    ::close(fd);
+    return false;
+  }
+  if (::close(fd) != 0) return false;
+  if (compaction_hook_) compaction_hook_(shard, CompactionPhase::kBeforeSnapshotRename);
+  std::error_code ec;
+  fs::rename(tmp, live, ec);
+  if (ec) return false;
+  if (config_.fsync && !fsync_shard_dir(shard)) return false;
+  if (compaction_hook_) compaction_hook_(shard, CompactionPhase::kAfterSnapshotRename);
+  return true;
+}
+
+bool LogStore::drop_segments(ShardLog& log, std::size_t shard) {
+  if (log.fd >= 0) {
+    ::close(log.fd);
+    log.fd = -1;
+  }
+  std::error_code ec;
+  bool first = true;
+  for (const std::uint64_t base : log.sealed_bases) {
+    fs::remove(segment_path(shard, base), ec);
+    if (first && compaction_hook_) {
+      compaction_hook_(shard, CompactionPhase::kAfterFirstUnlink);
+    }
+    first = false;
+  }
+  fs::remove(segment_path(shard, log.active_base), ec);
+  if (first && compaction_hook_) {
+    compaction_hook_(shard, CompactionPhase::kAfterFirstUnlink);
+  }
+  log.sealed_bases.clear();
+  if (config_.fsync && !fsync_shard_dir(shard)) return false;
+  return open_active_segment(log, shard, log.seq + 1);
+}
+
+bool LogStore::compact_shard(std::size_t shard,
+                             const std::vector<SnapshotEntry>& entries) {
+  if (shard >= config_.shards) return false;
+  ShardLog& log = logs_[shard];
+  std::lock_guard lock(log.mutex);
+  if (log.fd < 0) return false;
+  Snapshot snapshot;
+  snapshot.applied_seq = log.seq;
+  snapshot.entries = entries;
+  if (!write_shard_snapshot(shard, snapshot)) return false;
+  log.snapshot_seq = log.seq;
+  // Snapshot durable → every segment is folded in; delete them and start a
+  // fresh one. A crash anywhere in here is recovered by recover_shard(): the
+  // surviving segments' records are all ≤ snapshot_seq, so they are garbage.
+  if (!drop_segments(log, shard)) return false;
+  if (metrics_ != nullptr) metrics_->on_compaction();
+  return true;
+}
+
+bool LogStore::install_snapshot(std::size_t shard,
+                                const std::vector<SnapshotEntry>& entries,
+                                std::uint64_t applied_seq) {
+  if (shard >= config_.shards) return false;
+  ShardLog& log = logs_[shard];
+  std::lock_guard lock(log.mutex);
+  Snapshot snapshot;
+  snapshot.applied_seq = applied_seq;
+  snapshot.entries = entries;
+  if (!write_shard_snapshot(shard, snapshot)) return false;
+  log.seq = applied_seq;
+  log.snapshot_seq = applied_seq;
+  return drop_segments(log, shard);
+}
+
+std::optional<TailRead> LogStore::read_tail(std::size_t shard,
+                                            std::uint64_t from_seq,
+                                            std::size_t max_records) const {
+  if (shard >= config_.shards || from_seq == 0) return std::nullopt;
+  ShardLog& log = logs_[shard];
+  std::lock_guard lock(log.mutex);
+  if (from_seq <= log.snapshot_seq || from_seq > log.seq + 1) return std::nullopt;
+  TailRead out;
+  out.first_seq = from_seq;
+  if (from_seq == log.seq + 1) {
+    out.caught_up = true;
+    return out;
+  }
+  std::vector<std::uint64_t> bases = log.sealed_bases;
+  bases.push_back(log.active_base);
+  std::uint64_t next = from_seq;
+  for (std::size_t i = 0; i < bases.size() && out.records.size() < max_records; ++i) {
+    // Records of segment i span [base, next_base) — or up to the shard
+    // sequence for the active segment.
+    const std::uint64_t base = bases[i];
+    const std::uint64_t end = (i + 1 < bases.size()) ? bases[i + 1] - 1 : log.seq;
+    if (next > end || base > next) {
+      if (base > next) return std::nullopt;  // gap: range not on disk
+      continue;
+    }
+    const auto bytes = read_whole_file(segment_path(shard, base));
+    if (!bytes) return std::nullopt;
+    const auto header_frame = read_frame(*bytes);
+    if (!header_frame) return std::nullopt;
+    std::span<const std::uint8_t> rest =
+        std::span<const std::uint8_t>(*bytes).subspan(header_frame->consumed);
+    std::uint64_t seq = base - 1;
+    while (!rest.empty() && out.records.size() < max_records) {
+      const auto frame = read_frame(rest);
+      const auto record = frame ? decode_wal_record(frame->payload) : std::nullopt;
+      if (!record) return std::nullopt;  // sealed segments never tear
+      ++seq;
+      if (seq >= next) {
+        out.records.push_back(std::move(*record));
+        next = seq + 1;
+      }
+      rest = rest.subspan(frame->consumed);
+    }
+  }
+  out.caught_up = next == log.seq + 1;
+  return out;
+}
+
+std::optional<SnapshotChunk> LogStore::read_snapshot_chunk(
+    std::size_t shard, std::uint64_t offset, std::size_t max_entries) const {
+  if (shard >= config_.shards) return std::nullopt;
+  ShardLog& log = logs_[shard];
+  std::lock_guard lock(log.mutex);
+  SnapshotChunk chunk;
+  const auto bytes = read_whole_file(snapshot_path(shard));
+  if (!bytes || bytes->empty()) return chunk;  // never compacted: empty chunk
+  const auto snapshot = decode_snapshot(*bytes);
+  if (!snapshot) return std::nullopt;
+  chunk.applied_seq = snapshot->applied_seq;
+  chunk.total = snapshot->entries.size();
+  for (std::uint64_t i = offset;
+       i < snapshot->entries.size() && chunk.entries.size() < max_entries; ++i) {
+    chunk.entries.push_back(snapshot->entries[static_cast<std::size_t>(i)]);
+  }
+  return chunk;
+}
+
+std::uint64_t LogStore::shard_sequence(std::size_t shard) const {
+  if (shard >= config_.shards) return 0;
+  std::lock_guard lock(logs_[shard].mutex);
+  return logs_[shard].seq;
+}
+
+std::uint64_t LogStore::total_sequence() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < config_.shards; ++s) total += shard_sequence(s);
+  return total;
+}
+
+std::uint64_t LogStore::oldest_on_disk(std::size_t shard) const {
+  if (shard >= config_.shards) return 0;
+  std::lock_guard lock(logs_[shard].mutex);
+  return logs_[shard].snapshot_seq + 1;
+}
+
+std::size_t LogStore::segment_count(std::size_t shard) const {
+  if (shard >= config_.shards) return 0;
+  std::lock_guard lock(logs_[shard].mutex);
+  return logs_[shard].sealed_bases.size() + (logs_[shard].fd >= 0 ? 1 : 0);
+}
+
+}  // namespace mccls::kgc

@@ -1,0 +1,228 @@
+// Segmented, per-shard persistence for kgcd — the million-identity
+// replacement for the monolithic WalStore (whose codecs it reuses; see
+// store.hpp for the frame/record/snapshot formats).
+//
+// Layout (one subdirectory per shard under the store root):
+//
+//   <dir>/shard-<S>/seg-<base_seq>.wal    CRC-framed segment files
+//   <dir>/shard-<S>/snapshot.bin          per-shard snapshot (store.hpp codec)
+//
+// A segment file is a framed header followed by framed WAL records:
+//
+//   segment          := frame(segment_header)  frame(wal_record)*
+//   segment_header   := 'K' 'G'  version:u8=1  shard:u32  base_seq:u64
+//
+// Record i of a segment has shard-local sequence base_seq + i, so every
+// record's position is recoverable from the header alone — no per-record
+// sequence bytes on disk. Segments seal (fsync + close) once they pass
+// `segment_bytes` and a fresh segment opens at the next sequence; sealed
+// segments are immutable, which is what makes both compaction (delete the
+// folded prefix) and replication (stream a stable byte range) safe against
+// concurrent appends in *other* shards.
+//
+// Compaction runs one shard at a time: write the shard's entries to
+// snapshot.bin (write temp → fsync → rename → fsync dir, same protocol as
+// the old WalStore), then delete that shard's segments and open a fresh one.
+// The caller must exclude appends to *that shard only* (Kgcd holds the
+// per-shard commit lock exclusively); every other shard keeps appending.
+// Crash-mid-compaction recovery falls out of the layout: before the rename
+// the old snapshot + all segments are intact; after it, any segment whose
+// records are all ≤ the snapshot's applied_seq is garbage and recover()
+// finishes the interrupted deletion.
+//
+// Recovery per shard: load snapshot.bin (corrupt → ignored, replay
+// everything), then walk segments in base_seq order replaying records with
+// seq > applied_seq. A torn or corrupt frame ends the log: the segment is
+// truncated to its last good frame and any later segment is deleted (in a
+// crash they can only hold records that were never acknowledged).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kgc/store.hpp"
+#include "svc/metrics.hpp"
+
+namespace mccls::kgc {
+
+/// Shard routing shared by the directory and the log: a record for `id`
+/// lives in the same shard in memory and on disk, which is what lets
+/// compaction export one directory shard against one shard log.
+inline std::size_t shard_index(std::string_view id, std::size_t shards) {
+  return std::hash<std::string_view>{}(id) % (shards == 0 ? 1 : shards);
+}
+
+// ---- segment codec (fuzzed: qa target kgc_segment) -----------------------
+
+inline constexpr std::uint8_t kSegmentMagic0 = 'K';
+inline constexpr std::uint8_t kSegmentMagic1 = 'G';
+/// Upper bound a decoder accepts for the header's shard id; LogStore clamps
+/// its config to this, so any larger value on disk is corruption.
+inline constexpr std::uint32_t kMaxLogShards = 1024;
+
+struct SegmentHeader {
+  std::uint32_t shard = 0;
+  std::uint64_t base_seq = 1;  ///< sequence of the segment's first record
+
+  friend bool operator==(const SegmentHeader&, const SegmentHeader&) = default;
+};
+
+crypto::Bytes encode_segment_header(const SegmentHeader& header);
+std::optional<SegmentHeader> decode_segment_header(std::span<const std::uint8_t> bytes);
+
+/// A whole segment byte stream as one value — the strict (total) form the
+/// fuzz target exercises. The recovery path is deliberately *lenient* about
+/// tails (a torn frame is end-of-log, not rejection); this codec is strict
+/// so decode∘encode is the identity on every accepted input.
+struct SegmentImage {
+  SegmentHeader header;
+  std::vector<WalRecord> records;
+
+  friend bool operator==(const SegmentImage&, const SegmentImage&) = default;
+};
+
+crypto::Bytes encode_segment(const SegmentImage& image);
+std::optional<SegmentImage> decode_segment(std::span<const std::uint8_t> bytes);
+
+// ---- the store -----------------------------------------------------------
+
+struct LogStoreConfig {
+  std::string dir;                      ///< store root; created if absent
+  std::size_t shards = 16;              ///< must match the directory's count
+  bool fsync = true;                    ///< fsync per append (durability)
+  std::size_t segment_bytes = 1 << 20;  ///< seal the active segment past this
+};
+
+/// Phases at which compact_shard() can be interrupted by the crash hook —
+/// the three injection points the scale acceptance test kills at.
+enum class CompactionPhase : std::uint8_t {
+  kBeforeSnapshotRename = 0,  ///< temp snapshot written+fsynced, not yet live
+  kAfterSnapshotRename = 1,   ///< snapshot live, every segment still on disk
+  kAfterFirstUnlink = 2,      ///< snapshot live, segment deletion half done
+};
+
+/// What read_tail() returns: records from `first_seq` on, in order.
+struct TailRead {
+  std::vector<WalRecord> records;
+  std::uint64_t first_seq = 0;
+  bool caught_up = false;  ///< the read reached the shard's current sequence
+};
+
+/// One page of a shard snapshot, for streaming bootstrap.
+struct SnapshotChunk {
+  std::uint64_t applied_seq = 0;  ///< the snapshot's fold point
+  std::uint64_t total = 0;        ///< entries in the whole snapshot
+  std::vector<SnapshotEntry> entries;  ///< entries [offset, offset+max)
+};
+
+class LogStore {
+ public:
+  explicit LogStore(LogStoreConfig config);
+  ~LogStore();
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  /// Replays every shard (snapshot entries first, then log records in
+  /// sequence order), truncating torn tails and finishing interrupted
+  /// compactions. Call once, before concurrent use. The aggregate report
+  /// sums over shards.
+  RecoveryReport recover(
+      const std::function<void(std::size_t shard, const SnapshotEntry&)>& on_entry,
+      const std::function<void(std::size_t shard, const WalRecord&)>& on_record);
+
+  /// Appends one record to `shard`'s active segment (sealing + rotating it
+  /// first when full) and makes it durable per the fsync policy. Returns the
+  /// record's shard-local sequence, or nullopt on I/O failure — same
+  /// frame-boundary rollback + poisoning contract as the old WalStore.
+  std::optional<std::uint64_t> append(std::size_t shard, const WalRecord& record);
+
+  /// Snapshots `entries` at the shard's current sequence, then deletes the
+  /// folded segments and opens a fresh one. The caller must exclude
+  /// concurrent append()s to this shard (and `entries` must reflect every
+  /// record up to the current sequence). False on I/O failure, in which case
+  /// the segments are left untouched.
+  bool compact_shard(std::size_t shard, const std::vector<SnapshotEntry>& entries);
+
+  /// Replica-side bootstrap: installs a snapshot received from a primary at
+  /// the primary's applied_seq, discarding any local segments (the local
+  /// state is a stale prefix of the primary's). The shard's sequence becomes
+  /// `applied_seq`.
+  bool install_snapshot(std::size_t shard, const std::vector<SnapshotEntry>& entries,
+                        std::uint64_t applied_seq);
+
+  /// Reads up to `max_records` records of `shard` starting at sequence
+  /// `from_seq`. nullopt when that range is no longer on disk (compacted
+  /// away — the caller must fall back to snapshot bootstrap) or lies beyond
+  /// the current sequence + 1.
+  [[nodiscard]] std::optional<TailRead> read_tail(std::size_t shard,
+                                                  std::uint64_t from_seq,
+                                                  std::size_t max_records) const;
+
+  /// Reads entries [offset, offset+max_entries) of `shard`'s on-disk
+  /// snapshot. A shard that never compacted yields an empty chunk with
+  /// applied_seq 0 (bootstrap then starts from sequence 1). nullopt only
+  /// when the snapshot exists but fails to decode.
+  [[nodiscard]] std::optional<SnapshotChunk> read_snapshot_chunk(
+      std::size_t shard, std::uint64_t offset, std::size_t max_entries) const;
+
+  /// Last assigned sequence in `shard` (0 = nothing ever logged).
+  [[nodiscard]] std::uint64_t shard_sequence(std::size_t shard) const;
+  /// Sum of shard sequences — grows by one per append, so it upper-bounds
+  /// every voucher serial ever folded away (Kgcd's restart baseline).
+  [[nodiscard]] std::uint64_t total_sequence() const;
+  /// Oldest sequence still readable from segments (snapshot fold point + 1).
+  [[nodiscard]] std::uint64_t oldest_on_disk(std::size_t shard) const;
+  /// Segment files currently on disk for `shard` (tests; sealed + active).
+  [[nodiscard]] std::size_t segment_count(std::size_t shard) const;
+
+  [[nodiscard]] std::size_t shards() const { return config_.shards; }
+  [[nodiscard]] std::string shard_dir(std::size_t shard) const;
+
+  void set_metrics(svc::ServiceMetrics* metrics) { metrics_ = metrics; }
+  /// Test-only crash injection: invoked inside compact_shard at each phase
+  /// (a fork()ed child _exit()s there to model a kill).
+  void set_compaction_hook(std::function<void(std::size_t, CompactionPhase)> hook) {
+    compaction_hook_ = std::move(hook);
+  }
+
+ private:
+  struct ShardLog {
+    mutable std::mutex mutex;
+    int fd = -1;                   ///< active segment, open for append
+    std::uint64_t seq = 0;         ///< last assigned sequence
+    std::uint64_t snapshot_seq = 0;  ///< applied_seq of snapshot.bin (0 = none)
+    std::uint64_t active_base = 1;   ///< base_seq of the active segment
+    std::size_t active_bytes = 0;    ///< bytes written to the active segment
+    std::vector<std::uint64_t> sealed_bases;  ///< sorted, oldest first
+  };
+
+  [[nodiscard]] std::string segment_path(std::size_t shard, std::uint64_t base) const;
+  [[nodiscard]] std::string snapshot_path(std::size_t shard) const;
+  /// Creates + fsyncs a fresh active segment at base `base`; updates state.
+  bool open_active_segment(ShardLog& log, std::size_t shard, std::uint64_t base);
+  bool fsync_shard_dir(std::size_t shard) const;
+  /// Writes `snapshot` via temp+rename with the crash hook firing around the
+  /// rename. Shared by compact_shard and install_snapshot.
+  bool write_shard_snapshot(std::size_t shard, const Snapshot& snapshot);
+  /// Deletes every on-disk segment of `shard` and reopens a fresh active one
+  /// at seq+1. Assumes the snapshot covering them is already durable.
+  bool drop_segments(ShardLog& log, std::size_t shard);
+  void recover_shard(std::size_t shard, RecoveryReport& report,
+                     const std::function<void(std::size_t, const SnapshotEntry&)>& on_entry,
+                     const std::function<void(std::size_t, const WalRecord&)>& on_record);
+
+  LogStoreConfig config_;
+  std::unique_ptr<ShardLog[]> logs_;
+  svc::ServiceMetrics* metrics_ = nullptr;
+  std::function<void(std::size_t, CompactionPhase)> compaction_hook_;
+};
+
+}  // namespace mccls::kgc

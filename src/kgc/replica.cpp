@@ -1,0 +1,340 @@
+#include "kgc/replica.hpp"
+
+#include <algorithm>
+
+namespace mccls::kgc {
+
+using crypto::Bytes;
+
+// ---- batch codec ---------------------------------------------------------
+
+crypto::Bytes encode_replicate_batch(const ReplicateBatch& batch) {
+  crypto::ByteWriter w;
+  w.put_u8(kStoreVersion);
+  w.put_u32(batch.shard);
+  w.put_u8(static_cast<std::uint8_t>(batch.kind));
+  if (batch.kind == ReplicateKind::kSnapshotChunk) {
+    w.put_u64(batch.applied_seq);
+    w.put_u64(batch.cursor);
+    w.put_u64(batch.total);
+    w.put_u32(static_cast<std::uint32_t>(batch.entries.size()));
+    for (const SnapshotEntry& entry : batch.entries) {
+      w.put_field(encode_snapshot_entry(entry));
+    }
+  } else {
+    w.put_u64(batch.first_seq);
+    w.put_u8(batch.caught_up ? 1 : 0);
+    w.put_u32(static_cast<std::uint32_t>(batch.records.size()));
+    for (std::size_t i = 0; i < batch.records.size(); ++i) {
+      w.put_u64(batch.first_seq + i);
+      w.put_field(encode_wal_record(batch.records[i]));
+    }
+  }
+  return w.take();
+}
+
+std::optional<ReplicateBatch> decode_replicate_batch(std::span<const std::uint8_t> bytes) {
+  crypto::ByteReader r(bytes);
+  const auto version = r.get_u8();
+  if (!version || *version != kStoreVersion) return std::nullopt;
+  const auto shard = r.get_u32();
+  const auto kind = r.get_u8();
+  if (!shard || !kind) return std::nullopt;
+  if (*shard >= kMaxLogShards) return std::nullopt;
+  ReplicateBatch batch;
+  batch.shard = *shard;
+  if (*kind == static_cast<std::uint8_t>(ReplicateKind::kSnapshotChunk)) {
+    batch.kind = ReplicateKind::kSnapshotChunk;
+    const auto applied = r.get_u64();
+    const auto cursor = r.get_u64();
+    const auto total = r.get_u64();
+    const auto count = r.get_u32();
+    if (!applied || !cursor || !total || !count) return std::nullopt;
+    if (*count > kMaxReplicateItems) return std::nullopt;
+    // The page must lie inside the declared snapshot: cursor + count ≤ total
+    // (checked without overflow).
+    if (*count > *total || *cursor > *total - *count) return std::nullopt;
+    batch.applied_seq = *applied;
+    batch.cursor = *cursor;
+    batch.total = *total;
+    batch.entries.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      const auto field = r.get_field(kMaxFramePayload);
+      if (!field) return std::nullopt;
+      auto entry = decode_snapshot_entry(*field);
+      if (!entry) return std::nullopt;
+      batch.entries.push_back(std::move(*entry));
+    }
+  } else if (*kind == static_cast<std::uint8_t>(ReplicateKind::kRecords)) {
+    batch.kind = ReplicateKind::kRecords;
+    const auto first = r.get_u64();
+    const auto caught = r.get_u8();
+    const auto count = r.get_u32();
+    if (!first || !caught || !count) return std::nullopt;
+    if (*first == 0 || *caught > 1 || *count > kMaxReplicateItems) return std::nullopt;
+    batch.first_seq = *first;
+    batch.caught_up = *caught == 1;
+    batch.records.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      const auto seq = r.get_u64();
+      if (!seq) return std::nullopt;
+      const auto field = r.get_field(kMaxFramePayload);
+      if (!field) return std::nullopt;
+      // Strictly consecutive sequences — a batch with a gap would silently
+      // desynchronize the follower, so it dies at the decoder.
+      if (*seq != *first + i) return std::nullopt;
+      auto record = decode_wal_record(*field);
+      if (!record) return std::nullopt;
+      batch.records.push_back(std::move(*record));
+    }
+  } else {
+    return std::nullopt;
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return batch;
+}
+
+// ---- primary-side batch builder ------------------------------------------
+
+std::optional<ReplicateBatch> build_replicate_batch(const LogStore& store,
+                                                    std::uint32_t shard,
+                                                    std::uint64_t from_seq,
+                                                    std::uint64_t cursor,
+                                                    std::size_t max_items) {
+  if (shard >= store.shards()) return std::nullopt;
+  const std::size_t limit = std::min(max_items == 0 ? 1 : max_items, kMaxReplicateItems);
+  // Byte budget so the encoded batch always fits a kReplicate response
+  // payload; headroom covers the batch header and per-item framing slop.
+  constexpr std::size_t kBudget = kMaxKgcReplicateLen - 512;
+  ReplicateBatch batch;
+  batch.shard = shard;
+  if (from_seq != 0) {
+    if (auto tail = store.read_tail(shard, from_seq, limit)) {
+      batch.kind = ReplicateKind::kRecords;
+      batch.first_seq = from_seq;
+      std::size_t bytes = 0;
+      for (WalRecord& record : tail->records) {
+        const std::size_t item = encode_wal_record(record).size() + 12;
+        if (!batch.records.empty() && bytes + item > kBudget) break;
+        bytes += item;
+        batch.records.push_back(std::move(record));
+      }
+      batch.caught_up =
+          tail->caught_up && batch.records.size() == tail->records.size();
+      return batch;
+    }
+    // Asking past the log is a protocol error; asking *before* it means the
+    // range was compacted away — fall back to snapshot bootstrap at page 0.
+    if (from_seq > store.shard_sequence(shard) + 1) return std::nullopt;
+    cursor = 0;
+  }
+  const auto chunk = store.read_snapshot_chunk(shard, cursor, limit);
+  if (!chunk) return std::nullopt;
+  batch.kind = ReplicateKind::kSnapshotChunk;
+  batch.applied_seq = chunk->applied_seq;
+  batch.cursor = cursor;
+  batch.total = chunk->total;
+  std::size_t bytes = 0;
+  for (const SnapshotEntry& entry : chunk->entries) {
+    const std::size_t item = encode_snapshot_entry(entry).size() + 8;
+    if (!batch.entries.empty() && bytes + item > kBudget) break;
+    bytes += item;
+    batch.entries.push_back(entry);
+  }
+  return batch;
+}
+
+// ---- the replica ---------------------------------------------------------
+
+namespace {
+
+KgcStatus to_status(DirStatus status) {
+  switch (status) {
+    case DirStatus::kOk:
+      return KgcStatus::kOk;
+    case DirStatus::kUnknownId:
+      return KgcStatus::kUnknownId;
+    case DirStatus::kRevoked:
+      return KgcStatus::kRevoked;
+    case DirStatus::kInvalidKey:
+      return KgcStatus::kInvalidKey;
+    case DirStatus::kConflict:
+      return KgcStatus::kConflict;
+  }
+  return KgcStatus::kStoreError;
+}
+
+}  // namespace
+
+Replica::Replica(ReplicaConfig config, Transport transport)
+    : config_(std::move(config)),
+      transport_(std::move(transport)),
+      directory_(DirectoryConfig{.shards = config_.shards,
+                                 .lru_per_shard = config_.lru_per_shard,
+                                 .epoch = config_.epoch,
+                                 .grace = config_.grace}),
+      store_(LogStoreConfig{.dir = config_.data_dir,
+                            .shards = config_.shards,
+                            .fsync = config_.fsync,
+                            .segment_bytes = config_.segment_bytes}) {
+  directory_.set_metrics(&metrics_);
+  store_.set_metrics(&metrics_);
+  // A replica's store replays exactly like a primary's — a restarted
+  // follower resumes tailing from its recovered sequence instead of
+  // re-bootstrapping the world.
+  recovery_ = store_.recover(
+      [this](std::size_t, const SnapshotEntry& entry) { directory_.apply(entry); },
+      [this](std::size_t, const WalRecord& record) { directory_.apply(record); });
+}
+
+std::optional<ReplicateBatch> Replica::fetch(std::uint32_t shard,
+                                             std::uint64_t from_seq,
+                                             std::uint64_t cursor) {
+  const KgcRequest request{.op = KgcOp::kReplicate,
+                           .request_id = next_request_id_++,
+                           .shard = shard,
+                           .from_seq = from_seq,
+                           .cursor = cursor};
+  const auto reply = transport_(encode_kgc_request(request));
+  if (!reply) return std::nullopt;
+  const auto response = decode_kgc_response(*reply);
+  if (!response || response->op != KgcOp::kReplicate ||
+      response->status != KgcStatus::kOk) {
+    return std::nullopt;
+  }
+  return decode_replicate_batch(response->payload);
+}
+
+bool Replica::sync_shard(std::size_t shard) {
+  const auto shard32 = static_cast<std::uint32_t>(shard);
+  std::vector<SnapshotEntry> staged;
+  std::uint64_t staged_applied = 0;
+  std::uint64_t cursor = 0;
+  bool bootstrapping = false;
+  for (;;) {
+    const std::uint64_t from =
+        bootstrapping ? 0 : store_.shard_sequence(shard) + 1;
+    auto batch = fetch(shard32, from, bootstrapping ? cursor : 0);
+    if (!batch || batch->shard != shard32) return false;
+    if (batch->kind == ReplicateKind::kSnapshotChunk) {
+      if (!bootstrapping || batch->applied_seq != staged_applied) {
+        // Entering bootstrap — or the upstream compacted again mid-stream
+        // and this chunk belongs to a *newer* snapshot than the staged pages.
+        // Pages of different snapshots must never mix, so restart at page 0.
+        bootstrapping = true;
+        staged_applied = batch->applied_seq;
+        staged.clear();
+        cursor = 0;
+        if (batch->cursor != 0) continue;
+      }
+      if (batch->cursor != cursor) return false;  // protocol violation
+      metrics_.on_replica_snapshot_entries(batch->entries.size());
+      cursor += batch->entries.size();
+      staged.insert(staged.end(),
+                    std::make_move_iterator(batch->entries.begin()),
+                    std::make_move_iterator(batch->entries.end()));
+      if (cursor >= batch->total) {
+        // Snapshot complete: make it durable first (install is the same
+        // temp+rename protocol as compaction), then project into the
+        // directory — a crash between the two replays the snapshot on boot.
+        if (!store_.install_snapshot(shard, staged, staged_applied)) return false;
+        for (const SnapshotEntry& entry : staged) directory_.apply(entry);
+        staged.clear();
+        bootstrapping = false;
+      }
+      continue;
+    }
+    // Records: append locally (durable per fsync policy), then apply. The
+    // voucher records ride along purely as serial bookkeeping.
+    if (bootstrapping) return false;  // protocol violation
+    if (batch->first_seq != store_.shard_sequence(shard) + 1) return false;
+    for (const WalRecord& record : batch->records) {
+      const auto assigned = store_.append(shard, record);
+      if (!assigned) return false;
+      directory_.apply(record);
+    }
+    metrics_.on_replica_records(batch->records.size());
+    if (batch->caught_up) return true;
+  }
+}
+
+bool Replica::sync() {
+  bool ok = true;
+  for (std::size_t s = 0; s < store_.shards(); ++s) ok = sync_shard(s) && ok;
+  return ok;
+}
+
+crypto::Bytes Replica::handle_frame(std::span<const std::uint8_t> frame) {
+  const auto request = decode_kgc_request(frame);
+  if (!request) {
+    return encode_kgc_response(KgcResponse{.op = KgcOp::kNone,
+                                           .request_id = 0,
+                                           .status = KgcStatus::kMalformed});
+  }
+  KgcResponse response{.op = request->op, .request_id = request->request_id};
+  switch (request->op) {
+    case KgcOp::kLookup: {
+      const KeyDirectory::LookupResult result = directory_.lookup(request->id);
+      response.status = to_status(result.status);
+      response.epoch = result.enrolled_epoch;
+      if (result.status == DirStatus::kOk) response.payload = result.pk_bytes;
+      break;
+    }
+    case KgcOp::kReplicate: {
+      const auto batch = build_replicate_batch(store_, request->shard,
+                                               request->from_seq, request->cursor,
+                                               config_.batch_limit);
+      if (batch) {
+        response.status = KgcStatus::kOk;
+        response.payload = encode_replicate_batch(*batch);
+      } else {
+        response.status = KgcStatus::kMalformed;
+      }
+      response.epoch = directory_.epoch();
+      break;
+    }
+    case KgcOp::kEnroll:
+    case KgcOp::kRevoke:
+    case KgcOp::kVouch:
+    case KgcOp::kSnapshot:
+      // Mutations belong to the primary. kReadOnly (not kUnavailable-like
+      // kStoreError) tells the client this endpoint will *never* take the
+      // write, so it should re-route rather than retry here.
+      response.status = KgcStatus::kReadOnly;
+      response.epoch = directory_.epoch();
+      break;
+    case KgcOp::kNone:  // unreachable: the decoder rejects kNone requests
+      response.status = KgcStatus::kMalformed;
+      break;
+  }
+  return encode_kgc_response(response);
+}
+
+// ---- remote resolver -----------------------------------------------------
+
+svc::ResolveResult RemoteResolver::resolve(std::string_view id) {
+  const KgcRequest request{
+      .op = KgcOp::kLookup,
+      .request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed),
+      .id = std::string(id)};
+  const auto reply = transport_(encode_kgc_request(request));
+  if (!reply) return svc::ResolveResult::unavailable();
+  const auto response = decode_kgc_response(*reply);
+  if (!response || response->op != KgcOp::kLookup) {
+    return svc::ResolveResult::unavailable();
+  }
+  switch (response->status) {
+    case KgcStatus::kOk: {
+      const auto pk = cls::PublicKey::from_bytes(response->payload);
+      if (!pk) return svc::ResolveResult::unavailable();  // mangled transport
+      return svc::ResolveResult::ok(*pk);
+    }
+    case KgcStatus::kUnknownId:
+    case KgcStatus::kRevoked:
+      return svc::ResolveResult::not_vouched();  // definitive trust verdicts
+    default:
+      return svc::ResolveResult::unavailable();
+  }
+}
+
+}  // namespace mccls::kgc

@@ -1,0 +1,177 @@
+// Streaming catch-up replication for kgcd — the follower side of the
+// kReplicate wire op plus the batch codec both sides share.
+//
+// Topology: one primary Kgcd owns enroll/revoke/vouch; N Replica instances
+// each hold their own LogStore + KeyDirectory and pull the primary's state
+// shard by shard. A replica answers kLookup from its local directory and
+// chains kReplicate from its own store (a replica can seed another replica);
+// every mutating op answers kReadOnly so a misrouted client retries at the
+// primary.
+//
+// Catch-up protocol, per shard (the replica always asks for "everything
+// after what I have"; the primary decides the transfer shape):
+//
+//   request  kReplicate(shard, from_seq = local_seq + 1)
+//     → kRecords batch      records [from_seq ..], appended + applied
+//                           locally; repeat until caught_up
+//     → kSnapshotChunk      the requested range was compacted away; switch
+//                           to bootstrap: request (from_seq = 0, cursor)
+//                           pages until cursor + count == total, then
+//                           install_snapshot at the chunk's applied_seq and
+//                           resume tailing from applied_seq + 1
+//
+// A compaction racing the bootstrap bumps the primary's snapshot applied_seq
+// mid-stream; the replica detects the changed applied_seq and restarts the
+// page loop from cursor 0 (chunks of different snapshots must not be mixed).
+// Because records are applied in sequence order and install_snapshot is
+// atomic (same temp+rename protocol as compaction), a replica killed at any
+// point resumes from its recovered local sequence — catch-up is idempotent.
+//
+//   batch    := version:u8=1  shard:u32  kind:u8
+//   kind 1   (snapshot chunk): applied_seq:u64  cursor:u64  total:u64
+//            count:u32  field(snapshot_entry)*
+//   kind 2   (records): first_seq:u64  caught_up:u8  count:u32
+//            (seq:u64 field(wal_record))*
+//
+// The decoder is total (qa fuzz target kgc_replicate): it enforces the item
+// cap, cursor+count ≤ total, and strictly consecutive record sequences — a
+// batch with a sequence gap never reaches apply().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kgc/directory.hpp"
+#include "kgc/logstore.hpp"
+#include "kgc/wire.hpp"
+#include "svc/metrics.hpp"
+#include "svc/resolver.hpp"
+
+namespace mccls::kgc {
+
+/// Items per batch the codec accepts; build_replicate_batch additionally
+/// bounds the encoded bytes to fit kMaxKgcReplicateLen.
+inline constexpr std::size_t kMaxReplicateItems = 512;
+
+enum class ReplicateKind : std::uint8_t {
+  kSnapshotChunk = 1,  ///< one page of a shard snapshot (bootstrap)
+  kRecords = 2,        ///< consecutive WAL records (tailing)
+};
+
+struct ReplicateBatch {
+  std::uint32_t shard = 0;
+  ReplicateKind kind = ReplicateKind::kRecords;
+  // kSnapshotChunk:
+  std::uint64_t applied_seq = 0;  ///< the snapshot's fold point
+  std::uint64_t cursor = 0;       ///< index of entries.front() in the snapshot
+  std::uint64_t total = 0;        ///< entries in the whole snapshot
+  std::vector<SnapshotEntry> entries;
+  // kRecords:
+  std::uint64_t first_seq = 0;    ///< sequence of records.front()
+  bool caught_up = false;         ///< batch reaches the primary's sequence
+  std::vector<WalRecord> records;
+
+  friend bool operator==(const ReplicateBatch&, const ReplicateBatch&) = default;
+};
+
+crypto::Bytes encode_replicate_batch(const ReplicateBatch& batch);
+std::optional<ReplicateBatch> decode_replicate_batch(std::span<const std::uint8_t> bytes);
+
+/// Serves one kReplicate request against `store` — shared by the primary
+/// (Kgcd) and by replicas chaining to further replicas. Picks records when
+/// `[from_seq ...]` is still on disk, falls back to a snapshot chunk when it
+/// was compacted away, and pages the snapshot at `cursor` when from_seq is 0.
+/// The batch is trimmed so its encoding fits kMaxKgcReplicateLen. nullopt
+/// when the request is unserviceable (shard out of range, from_seq beyond
+/// the log, or a snapshot that fails to decode) — the caller answers
+/// kMalformed / kStoreError.
+std::optional<ReplicateBatch> build_replicate_batch(const LogStore& store,
+                                                    std::uint32_t shard,
+                                                    std::uint64_t from_seq,
+                                                    std::uint64_t cursor,
+                                                    std::size_t max_items);
+
+/// How a replica reaches its upstream: one request frame in, one response
+/// frame out (nullopt = transport failure). netd::BlockingClient::call fits
+/// directly; tests pass a lambda wrapping the primary's handle_frame.
+using Transport = std::function<std::optional<crypto::Bytes>(const crypto::Bytes&)>;
+
+struct ReplicaConfig {
+  std::string data_dir;            ///< the replica's own durable store
+  std::size_t shards = 16;         ///< must match the primary's shard count
+  std::size_t lru_per_shard = 64;
+  cls::Epoch epoch = 0;            ///< resolve-side epoch policy (see Kgcd)
+  cls::Epoch grace = 1;
+  bool fsync = true;
+  std::size_t segment_bytes = 1 << 20;
+  std::size_t batch_limit = 256;   ///< items requested per kReplicate round
+};
+
+/// A read replica: durable local state (its own segmented store — a restart
+/// resumes from the last applied sequence, not from zero) plus the catch-up
+/// loop. Not internally thread-safe against itself: run sync()/poll() from
+/// one thread; lookups via resolver()/handle_frame() are safe concurrently
+/// with them (the directory takes its own shard locks).
+class Replica {
+ public:
+  Replica(ReplicaConfig config, Transport transport);
+
+  /// Catches every shard up to the upstream's current sequence (bootstrap
+  /// via snapshot chunks where needed). False if any shard failed — already
+  /// transferred batches stay applied, so retrying resumes, never restarts.
+  bool sync();
+  /// One catch-up pass over one shard.
+  bool sync_shard(std::size_t shard);
+  /// Alias for sync(): the live-tailing poll loop body.
+  bool poll() { return sync(); }
+
+  /// Serves the read-only subset of the kgc wire: kLookup from the local
+  /// directory, kReplicate from the local store, kReadOnly for every
+  /// mutating op, kMalformed for undecodable frames.
+  crypto::Bytes handle_frame(std::span<const std::uint8_t> frame);
+
+  /// Next sequence this replica would request for `shard` (tests).
+  [[nodiscard]] std::uint64_t next_seq(std::size_t shard) const {
+    return store_.shard_sequence(shard) + 1;
+  }
+
+  [[nodiscard]] KeyDirectory& directory() { return directory_; }
+  [[nodiscard]] const KeyDirectory& directory() const { return directory_; }
+  [[nodiscard]] const LogStore& store() const { return store_; }
+  [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
+  [[nodiscard]] svc::ServiceMetrics& metrics() { return metrics_; }
+
+ private:
+  /// One kReplicate round trip; nullopt on transport/decode/status failure.
+  std::optional<ReplicateBatch> fetch(std::uint32_t shard, std::uint64_t from_seq,
+                                      std::uint64_t cursor);
+
+  ReplicaConfig config_;
+  Transport transport_;
+  svc::ServiceMetrics metrics_;
+  KeyDirectory directory_;
+  LogStore store_;
+  RecoveryReport recovery_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+/// svc::PkResolver over a Transport: resolves an identity with a kLookup
+/// round trip (decoding the returned key bytes). Definitive directory
+/// verdicts map to ok/not_vouched; transport failure is kUnavailable — the
+/// transient outcome svc::ReplicaSetResolver fails over on.
+class RemoteResolver final : public svc::PkResolver {
+ public:
+  explicit RemoteResolver(Transport transport) : transport_(std::move(transport)) {}
+
+  svc::ResolveResult resolve(std::string_view id) override;
+
+ private:
+  Transport transport_;
+  std::atomic<std::uint64_t> next_request_id_{1};  ///< resolve() is concurrent
+};
+
+}  // namespace mccls::kgc

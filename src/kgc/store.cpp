@@ -1,18 +1,9 @@
 #include "kgc/store.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <array>
-#include <cerrno>
-#include <chrono>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 
 namespace mccls::kgc {
 
-namespace fs = std::filesystem;
 using crypto::Bytes;
 
 // ---- CRC-32 --------------------------------------------------------------
@@ -192,167 +183,6 @@ std::optional<Snapshot> decode_snapshot(std::span<const std::uint8_t> bytes) {
   }
   if (!rest.empty()) return std::nullopt;  // trailing garbage
   return snapshot;
-}
-
-// ---- the store -----------------------------------------------------------
-
-namespace {
-
-std::optional<Bytes> read_whole_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  return Bytes{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
-}
-
-}  // namespace
-
-WalStore::WalStore(StoreConfig config) : config_(std::move(config)) {
-  std::error_code ec;
-  fs::create_directories(config_.dir, ec);
-  wal_path_ = (fs::path(config_.dir) / "wal.log").string();
-  snapshot_path_ = (fs::path(config_.dir) / "snapshot.bin").string();
-}
-
-WalStore::~WalStore() {
-  std::lock_guard lock(mutex_);
-  if (wal_fd_ >= 0) ::close(wal_fd_);
-}
-
-RecoveryReport WalStore::recover(const std::function<void(const SnapshotEntry&)>& on_entry,
-                                 const std::function<void(const WalRecord&)>& on_record) {
-  std::lock_guard lock(mutex_);
-  RecoveryReport report;
-
-  if (const auto snapshot_bytes = read_whole_file(snapshot_path_)) {
-    if (const auto snapshot = decode_snapshot(*snapshot_bytes)) {
-      for (const SnapshotEntry& entry : snapshot->entries) {
-        if (on_entry) on_entry(entry);
-        ++report.snapshot_entries;
-      }
-      sequence_ = snapshot->applied_seq;
-    } else if (!snapshot_bytes->empty()) {
-      // A corrupt snapshot cannot be partially trusted; start from the WAL
-      // alone. (The WAL is only ever truncated after a snapshot succeeds, so
-      // this path loses nothing that was acknowledged after the last good
-      // snapshot — but it is surfaced to the operator via the report.)
-      report.snapshot_corrupt = true;
-    }
-  }
-
-  std::size_t valid_end = 0;
-  if (const auto wal_bytes = read_whole_file(wal_path_)) {
-    std::span<const std::uint8_t> rest(*wal_bytes);
-    while (!rest.empty()) {
-      const auto frame = read_frame(rest);
-      if (!frame) break;  // torn or corrupt tail: end-of-log
-      const auto record = decode_wal_record(frame->payload);
-      if (!record) break;  // framed garbage: treat identically
-      if (on_record) on_record(*record);
-      ++report.wal_records;
-      ++sequence_;
-      valid_end += frame->consumed;
-      rest = rest.subspan(frame->consumed);
-    }
-    report.torn_bytes = wal_bytes->size() - valid_end;
-  }
-
-  // Truncate the torn tail in place so appends extend a clean log, then hold
-  // the log open in append mode for the store's lifetime.
-  if (report.torn_bytes > 0) {
-    std::error_code ec;
-    fs::resize_file(wal_path_, valid_end, ec);
-  }
-  wal_fd_ = ::open(wal_path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0600);
-  return report;
-}
-
-bool WalStore::append(const WalRecord& record) {
-  const Bytes frame = frame_payload(encode_wal_record(record));
-  std::lock_guard lock(mutex_);
-  if (wal_fd_ < 0) return false;
-  const auto start = std::chrono::steady_clock::now();
-  // Frame boundary before this record: a failed write must not leave a torn
-  // half-frame mid-log, because recovery treats the first bad frame as
-  // end-of-log and would silently drop every acknowledged record after it.
-  const ::off_t base_off = ::lseek(wal_fd_, 0, SEEK_END);
-  if (base_off < 0) {
-    ::close(wal_fd_);
-    wal_fd_ = -1;  // poisoned: fail fast rather than acknowledge blindly
-    return false;
-  }
-  std::size_t written = 0;
-  while (written < frame.size()) {
-    const ::ssize_t n =
-        ::write(wal_fd_, frame.data() + written, frame.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      // Roll back to the frame boundary; if even that fails, poison the
-      // store so later appends cannot land after the torn frame and be
-      // acknowledged yet unrecoverable.
-      if (written > 0 && ::ftruncate(wal_fd_, base_off) != 0) {
-        ::close(wal_fd_);
-        wal_fd_ = -1;
-      }
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  if (config_.fsync && ::fsync(wal_fd_) != 0) return false;
-  if (metrics_ != nullptr) {
-    // One histogram sample per durable append: write+fsync, or just the
-    // write when fsync is off — the two modes stay comparable in the dump.
-    metrics_->on_wal_fsync_ns(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count()));
-  }
-  ++sequence_;
-  return true;
-}
-
-bool WalStore::write_snapshot(const Snapshot& snapshot) {
-  const Bytes encoded = encode_snapshot(snapshot);
-  std::lock_guard lock(mutex_);
-  const std::string tmp = snapshot_path_ + ".tmp";
-  // The WAL truncation below discards the only other copy of these records,
-  // so the snapshot must actually be on disk first: write+fsync the tmp
-  // file, rename, fsync the directory, and only then touch the WAL. (With
-  // fsync off the store never promised power-failure durability.)
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
-  if (fd < 0) return false;
-  std::size_t written = 0;
-  while (written < encoded.size()) {
-    const ::ssize_t n = ::write(fd, encoded.data() + written, encoded.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  if (config_.fsync && ::fsync(fd) != 0) {
-    ::close(fd);
-    return false;
-  }
-  if (::close(fd) != 0) return false;
-  std::error_code ec;
-  fs::rename(tmp, snapshot_path_, ec);
-  if (ec) return false;
-  if (config_.fsync) {
-    const int dir_fd = ::open(config_.dir.c_str(), O_RDONLY | O_DIRECTORY);
-    if (dir_fd < 0) return false;
-    const bool dir_synced = ::fsync(dir_fd) == 0;
-    ::close(dir_fd);
-    if (!dir_synced) return false;
-  }
-  // Snapshot durable -> the WAL's contents are folded in; restart the log.
-  if (wal_fd_ >= 0 && ::ftruncate(wal_fd_, 0) != 0) return false;
-  return true;
-}
-
-std::uint64_t WalStore::sequence() const {
-  std::lock_guard lock(mutex_);
-  return sequence_;
 }
 
 }  // namespace mccls::kgc

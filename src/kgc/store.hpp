@@ -1,6 +1,8 @@
-// Persistent store for the KGC daemon: an append-only write-ahead log plus
-// periodic full snapshots, both built from CRC-framed records so corruption
-// is detected before any payload byte is interpreted.
+// On-disk record formats for the KGC daemon's persistence: CRC framing, WAL
+// record and snapshot codecs. The store itself lives in kgc/logstore.hpp
+// (segmented per-shard logs + per-shard snapshots); this header is the
+// byte-level contract both it and the replication path build from, so
+// corruption is detected before any payload byte is interpreted.
 //
 // Framing (one frame = one record on disk):
 //   frame := length:u32  crc32:u32  payload(length)
@@ -18,22 +20,19 @@
 //   snapshot file   := frame(header)  frame(entry)*
 //   header payload  := 'K' 'S'  version:u8=1  applied_seq:u64  count:u64
 //
-// Recovery invariant (tested by tests/test_kgc_store.cpp and the end-to-end
+// Recovery invariant (tested by tests/test_logstore.cpp and the end-to-end
 // crash test in tests/test_kgcd.cpp): replay(snapshot) ∘ replay(wal) after a
 // hard kill reconstructs exactly the directory state whose mutations were
 // acknowledged, with bit-identical public-key bytes.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cls/epoch.hpp"
 #include "crypto/encoding.hpp"
-#include "svc/metrics.hpp"
 
 namespace mccls::kgc {
 
@@ -121,76 +120,15 @@ struct Snapshot {
 crypto::Bytes encode_snapshot(const Snapshot& snapshot);
 std::optional<Snapshot> decode_snapshot(std::span<const std::uint8_t> bytes);
 
-// ---- the store -----------------------------------------------------------
+// ---- recovery ------------------------------------------------------------
 
-struct StoreConfig {
-  std::string dir;     ///< data directory; created if absent
-  bool fsync = true;   ///< fsync the WAL after every append (durability)
-};
-
-/// Result of opening a store and replaying its state.
+/// Result of opening a store and replaying its state (logstore.hpp; summed
+/// across shards).
 struct RecoveryReport {
-  std::uint64_t snapshot_entries = 0;  ///< entries loaded from the snapshot
+  std::uint64_t snapshot_entries = 0;  ///< entries loaded from snapshots
   std::uint64_t wal_records = 0;       ///< records replayed from the WAL
-  std::uint64_t torn_bytes = 0;        ///< bytes discarded from the WAL tail
-  bool snapshot_corrupt = false;       ///< snapshot failed to decode (ignored)
-};
-
-/// Append-only WAL + snapshot pair under one directory (`wal.log`,
-/// `snapshot.bin`). Thread-safe: appends serialize on an internal mutex;
-/// replay runs before any concurrent use (from the constructor's caller).
-///
-/// Durability contract: append() returns only after the record is written
-/// (and fsynced when configured) — an acknowledged mutation survives a hard
-/// kill. The in-memory index may be updated before append() returns (see
-/// Kgcd), so visibility can precede durability, but a crash loses only
-/// mutations that were never acknowledged to the caller.
-class WalStore {
- public:
-  explicit WalStore(StoreConfig config);
-  ~WalStore();
-
-  WalStore(const WalStore&) = delete;
-  WalStore& operator=(const WalStore&) = delete;
-
-  /// Loads the snapshot (if present and well-formed), then replays the WAL,
-  /// invoking the callbacks in order. Truncates a torn/corrupt WAL tail in
-  /// place so subsequent appends extend a clean log. Call once, before
-  /// concurrent use.
-  RecoveryReport recover(const std::function<void(const SnapshotEntry&)>& on_entry,
-                         const std::function<void(const WalRecord&)>& on_record);
-
-  /// Appends one framed record and makes it durable per the fsync policy.
-  /// Returns false on I/O failure (the caller should fail the mutation). A
-  /// failed write is rolled back to the frame boundary — and the store is
-  /// poisoned (all later appends fail) if the rollback itself fails — so a
-  /// torn half-frame can never sit mid-log ahead of acknowledged records.
-  /// Fsync latency is recorded into `metrics` when one is attached.
-  bool append(const WalRecord& record);
-
-  /// Atomically replaces the snapshot (write temp, fsync it, rename, fsync
-  /// the directory when the fsync policy is on) and only then truncates the
-  /// WAL, so a power cut never leaves both files empty. Returns false on I/O
-  /// failure, in which case the WAL is left untouched (recovery will simply
-  /// replay more records).
-  bool write_snapshot(const Snapshot& snapshot);
-
-  /// Records applied since recovery (snapshot seq + WAL replays + appends).
-  [[nodiscard]] std::uint64_t sequence() const;
-
-  void set_metrics(svc::ServiceMetrics* metrics) { metrics_ = metrics; }
-
-  [[nodiscard]] const std::string& wal_path() const { return wal_path_; }
-  [[nodiscard]] const std::string& snapshot_path() const { return snapshot_path_; }
-
- private:
-  StoreConfig config_;
-  std::string wal_path_;
-  std::string snapshot_path_;
-  mutable std::mutex mutex_;
-  int wal_fd_ = -1;            ///< open for append after recover()
-  std::uint64_t sequence_ = 0;
-  svc::ServiceMetrics* metrics_ = nullptr;
+  std::uint64_t torn_bytes = 0;        ///< bytes discarded from torn tails
+  bool snapshot_corrupt = false;       ///< a snapshot failed to decode (ignored)
 };
 
 }  // namespace mccls::kgc

@@ -30,6 +30,7 @@ bool request_shape_ok(KgcOp op, const std::string& id, const crypto::Bytes& pk) 
     case KgcOp::kVouch:
       return !id.empty() && pk.empty();
     case KgcOp::kSnapshot:
+    case KgcOp::kReplicate:
       return id.empty() && pk.empty();
     case KgcOp::kNone:
       return false;
@@ -38,15 +39,17 @@ bool request_shape_ok(KgcOp op, const std::string& id, const crypto::Bytes& pk) 
 }
 
 bool response_payload_ok(KgcOp op, KgcStatus status, const crypto::Bytes& payload) {
-  // Only successful enroll/lookup/vouch responses carry a payload.
-  const bool may_carry =
-      status == KgcStatus::kOk &&
-      (op == KgcOp::kEnroll || op == KgcOp::kLookup || op == KgcOp::kVouch);
+  // Only successful enroll/lookup/vouch/replicate responses carry a payload.
+  const bool may_carry = status == KgcStatus::kOk &&
+                         (op == KgcOp::kEnroll || op == KgcOp::kLookup ||
+                          op == KgcOp::kVouch || op == KgcOp::kReplicate);
   return may_carry ? !payload.empty() : payload.empty();
 }
 
-/// Per-op payload bound: vouch responses carry a whole voucher chain.
+/// Per-op payload bound: vouch responses carry a whole voucher chain,
+/// replicate responses a whole batch.
 std::size_t response_payload_cap(KgcOp op) {
+  if (op == KgcOp::kReplicate) return kMaxKgcReplicateLen;
   return op == KgcOp::kVouch ? kMaxKgcVoucherLen : kMaxKgcPayloadLen;
 }
 
@@ -60,6 +63,14 @@ crypto::Bytes encode_kgc_request(const KgcRequest& request) {
   w.put_u64(request.request_id);
   w.put_field(request.id);
   w.put_field(request.pk_bytes);
+  // The replication cursor trails the frame for kReplicate only, so every
+  // pre-replication frame is byte-identical to what it was before the op
+  // existed (and the frozen corpus stays valid).
+  if (request.op == KgcOp::kReplicate) {
+    w.put_u32(request.shard);
+    w.put_u64(request.from_seq);
+    w.put_u64(request.cursor);
+  }
   return w.take();
 }
 
@@ -69,14 +80,29 @@ std::optional<KgcRequest> decode_kgc_request(std::span<const std::uint8_t> bytes
   const auto op = reader.get_u8();
   const auto request_id = reader.get_u64();
   if (!op || !request_id) return std::nullopt;
-  if (*op == 0 || *op > static_cast<std::uint8_t>(KgcOp::kVouch)) return std::nullopt;
+  if (*op == 0 || *op > static_cast<std::uint8_t>(KgcOp::kReplicate)) {
+    return std::nullopt;
+  }
   const auto id = reader.get_field(kMaxKgcIdLen);
   const auto pk = reader.get_field(kMaxKgcPayloadLen);
-  if (!id || !pk || !reader.exhausted()) return std::nullopt;
+  if (!id || !pk) return std::nullopt;
   KgcRequest request{.op = KgcOp{*op},
                      .request_id = *request_id,
                      .id = std::string(id->begin(), id->end()),
                      .pk_bytes = *pk};
+  if (request.op == KgcOp::kReplicate) {
+    const auto shard = reader.get_u32();
+    const auto from_seq = reader.get_u64();
+    const auto cursor = reader.get_u64();
+    if (!shard || !from_seq || !cursor) return std::nullopt;
+    // A bootstrap cursor only makes sense on a snapshot request (from_seq 0);
+    // rejecting the combination keeps the frame canonical.
+    if (*from_seq != 0 && *cursor != 0) return std::nullopt;
+    request.shard = *shard;
+    request.from_seq = *from_seq;
+    request.cursor = *cursor;
+  }
+  if (!reader.exhausted()) return std::nullopt;
   if (!request_shape_ok(request.op, request.id, request.pk_bytes)) return std::nullopt;
   return request;
 }
@@ -101,8 +127,8 @@ std::optional<KgcResponse> decode_kgc_response(std::span<const std::uint8_t> byt
   const auto status = reader.get_u8();
   const auto epoch = reader.get_u64();
   if (!op || !request_id || !status || !epoch) return std::nullopt;
-  if (*op > static_cast<std::uint8_t>(KgcOp::kVouch)) return std::nullopt;
-  if (*status > static_cast<std::uint8_t>(KgcStatus::kStoreError)) return std::nullopt;
+  if (*op > static_cast<std::uint8_t>(KgcOp::kReplicate)) return std::nullopt;
+  if (*status > static_cast<std::uint8_t>(KgcStatus::kReadOnly)) return std::nullopt;
   const auto payload = reader.get_field(response_payload_cap(KgcOp{*op}));
   if (!payload || !reader.exhausted()) return std::nullopt;
   KgcResponse response{.op = KgcOp{*op},

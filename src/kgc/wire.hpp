@@ -6,16 +6,20 @@
 //
 //   request  := version:u8=1  kind:u8=1  op:u8  request_id:u64
 //               field(identity)  field(public_key)
+//               [shard:u32  from_seq:u64  cursor:u64]   (kReplicate only)
 //   response := version:u8=1  kind:u8=2  op:u8  request_id:u64  status:u8
 //               epoch:u64  field(payload)
 //
 // Op-dependent shape is part of the decoder (canonical form): only enroll
 // requests carry a public key; lookup/revoke/vouch carry an identity but no
-// key; snapshot carries neither. Responses: enroll's payload is the issued
+// key; snapshot carries neither; replicate carries neither plus the trailing
+// shard cursor triple (absent on every other op, so pre-replication frames
+// keep decoding unchanged). Responses: enroll's payload is the issued
 // partial private key (33 bytes), lookup's is the directory's public-key
 // bytes, vouch's is an encoded voucher chain (kgc/voucher.hpp, its own
-// larger cap), revoke/snapshot carry none. Any deviation rejects, which
-// keeps decode∘encode the identity on every accepted frame (the mcqc
+// larger cap), replicate's is an encoded ReplicateBatch (kgc/replica.hpp,
+// the largest cap), revoke/snapshot carry none. Any deviation rejects,
+// which keeps decode∘encode the identity on every accepted frame (the mcqc
 // stability property).
 #pragma once
 
@@ -36,6 +40,10 @@ inline constexpr std::size_t kMaxKgcPayloadLen = 256;
 /// The decoder picks the cap per op, so hostile lengths on the classic ops
 /// stay rejected at the old bound.
 inline constexpr std::size_t kMaxKgcVoucherLen = 1 << 13;
+/// Payload cap for kReplicate responses: one snapshot chunk or record batch
+/// (kgc/replica.hpp bounds the item count, this bounds the bytes). Well
+/// under netd's kMaxFrameLen so a full batch always fits one frame.
+inline constexpr std::size_t kMaxKgcReplicateLen = 1 << 17;
 
 /// Directory operations. kNone is reserved for responses to frames too
 /// damaged to echo an op (request decoders reject it).
@@ -46,6 +54,7 @@ enum class KgcOp : std::uint8_t {
   kRevoke = 3,    ///< revoke id as of the current epoch
   kSnapshot = 4,  ///< persist a snapshot and truncate the WAL
   kVouch = 5,     ///< fetch a signed voucher chain for id (offline verify)
+  kReplicate = 6, ///< stream one shard's snapshot/WAL tail to a follower
 };
 
 /// Final outcome of one kgcd request.
@@ -57,13 +66,18 @@ enum class KgcStatus : std::uint8_t {
   kConflict = 4,    ///< identity already enrolled with a different key
   kMalformed = 5,   ///< request frame undecodable
   kStoreError = 6,  ///< WAL append or snapshot write failed
+  kReadOnly = 7,    ///< mutation sent to a read replica (retry at primary)
 };
 
 struct KgcRequest {
   KgcOp op = KgcOp::kEnroll;
   std::uint64_t request_id = 0;
-  std::string id;           ///< empty iff op == kSnapshot
+  std::string id;           ///< empty iff op == kSnapshot or kReplicate
   crypto::Bytes pk_bytes;   ///< canonical PublicKey bytes; enroll only
+  // kReplicate only (encoded after the fields above; 0 on every other op):
+  std::uint32_t shard = 0;     ///< shard to stream
+  std::uint64_t from_seq = 0;  ///< 0 = snapshot bootstrap; else tail from here
+  std::uint64_t cursor = 0;    ///< snapshot-entry offset while bootstrapping
 
   friend bool operator==(const KgcRequest&, const KgcRequest&) = default;
 };

@@ -21,18 +21,30 @@ bool VerifydFrontEnd::try_dispatch(crypto::Bytes& frame, const Reply& reply) {
   return !*refused;
 }
 
-KgcdFrontEnd::KgcdFrontEnd(kgc::Kgcd& daemon, KgcdFrontConfig config)
-    : daemon_(daemon), queue_(config.queue_capacity) {
+KgcdFrontEnd::KgcdFrontEnd(Handler handler, KgcdFrontConfig config)
+    : handler_(std::move(handler)), queue_(config.queue_capacity) {
   const unsigned workers = config.workers == 0 ? 1 : config.workers;
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
     threads_.emplace_back([this](std::stop_token stop) {
       while (auto job = queue_.pop(stop)) {
-        job->reply(daemon_.handle_frame(job->frame));
+        job->reply(handler_(job->frame));
       }
     });
   }
 }
+
+KgcdFrontEnd::KgcdFrontEnd(kgc::Kgcd& daemon, KgcdFrontConfig config)
+    : KgcdFrontEnd(Handler([&daemon](std::span<const std::uint8_t> frame) {
+                     return daemon.handle_frame(frame);
+                   }),
+                   config) {}
+
+KgcdFrontEnd::KgcdFrontEnd(kgc::Replica& replica, KgcdFrontConfig config)
+    : KgcdFrontEnd(Handler([&replica](std::span<const std::uint8_t> frame) {
+                     return replica.handle_frame(frame);
+                   }),
+                   config) {}
 
 KgcdFrontEnd::~KgcdFrontEnd() { shutdown(); }
 

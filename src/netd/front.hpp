@@ -18,16 +18,20 @@
 //     admission in the service's own metrics — expected under sustained
 //     backpressure.)
 //
-//   * The kgc wire has no busy status at all (and widening its status enum
-//     would invalidate the frozen corpus contract), so KgcdFrontEnd owns the
-//     queue: a BoundedQueue<Job> in front of a small worker pool calling the
-//     synchronous Kgcd::handle_frame. try_push failure is the refusal.
+//   * The kgc wire has no busy status, so KgcdFrontEnd owns the queue: a
+//     BoundedQueue<Job> in front of a small worker pool calling a synchronous
+//     kgc frame handler. try_push failure is the refusal. The handler is a
+//     std::function so the same front end serves a primary (Kgcd) or a read
+//     replica (kgc::Replica) — replicas answer mutating ops kReadOnly
+//     themselves, the front end does not care which role it fronts.
 #pragma once
 
+#include <functional>
 #include <thread>
 #include <vector>
 
 #include "kgc/kgcd.hpp"
+#include "kgc/replica.hpp"
 #include "netd/server.hpp"
 #include "svc/queue.hpp"
 #include "svc/service.hpp"
@@ -53,11 +57,20 @@ struct KgcdFrontConfig {
 };
 
 /// Serves kgc wire frames through a bounded queue + worker pool in front of
-/// the (synchronous, internally thread-safe) Kgcd daemon.
+/// a synchronous, thread-safe kgc frame handler (primary or replica).
 class KgcdFrontEnd final : public FrameSink {
  public:
+  /// One frame in, one encoded response out; called from the worker pool
+  /// concurrently, so it must be thread-safe.
+  using Handler = std::function<crypto::Bytes(std::span<const std::uint8_t>)>;
+
   /// `daemon` is not owned and must outlive this front end.
   explicit KgcdFrontEnd(kgc::Kgcd& daemon, KgcdFrontConfig config = {});
+  /// Read-replica front: kLookup/kReplicate served locally, mutations answer
+  /// kReadOnly. Lookups are safe concurrently with the replica's sync loop.
+  explicit KgcdFrontEnd(kgc::Replica& replica, KgcdFrontConfig config = {});
+  /// Fully custom handler (tests; role multiplexers).
+  explicit KgcdFrontEnd(Handler handler, KgcdFrontConfig config = {});
   ~KgcdFrontEnd();  ///< shutdown()
 
   KgcdFrontEnd(const KgcdFrontEnd&) = delete;
@@ -76,7 +89,7 @@ class KgcdFrontEnd final : public FrameSink {
     Reply reply;
   };
 
-  kgc::Kgcd& daemon_;
+  Handler handler_;
   svc::BoundedQueue<Job> queue_;
   std::vector<std::jthread> threads_;
 };

@@ -8,6 +8,8 @@
 #include "cls/keyfile.hpp"
 #include "dsr/dsr_codec.hpp"
 #include "ec/g1.hpp"
+#include "kgc/logstore.hpp"
+#include "kgc/replica.hpp"
 #include "kgc/store.hpp"
 #include "kgc/voucher.hpp"
 #include "kgc/wire.hpp"
@@ -376,6 +378,104 @@ std::size_t emit_builtin_corpus(const std::string& dir) {
       Bytes b = valid;
       b.push_back(0x00);
       emit("kgc_snapshot", "trailing_garbage", false, b);
+    }
+  }
+
+  // Segmented WAL files: the per-shard recovery decision surface.
+  {
+    kgc::WalRecord record{.type = kgc::WalRecordType::kEnroll, .epoch = 0, .id = "a"};
+    record.pk_bytes = Bytes{0x01};
+    record.pk_bytes.insert(record.pk_bytes.end(), g_bytes.begin(), g_bytes.end());
+    kgc::SegmentImage image;
+    image.header = kgc::SegmentHeader{.shard = 3, .base_seq = 1};
+    image.records.push_back(record);
+    const Bytes valid = kgc::encode_segment(image);
+    emit("kgc_segment", "minimal_enroll_stream", true, valid);
+    {  // crash mid-write of the very first frame: not even a header survives
+      const Bytes header_frame = kgc::frame_payload(kgc::encode_segment_header(image.header));
+      Bytes b(header_frame.begin(),
+              header_frame.begin() + static_cast<std::ptrdiff_t>(header_frame.size() / 2));
+      emit("kgc_segment", "truncated_header", false, b);
+    }
+    {  // header claims a shard id no configuration can own — cross-wired
+       // file (or corruption); recovery discards the segment
+      kgc::SegmentImage wrong = image;
+      wrong.header.shard = kgc::kMaxLogShards;
+      emit("kgc_segment", "shard_out_of_range", false, kgc::encode_segment(wrong));
+    }
+    {  // a zero base sequence (sequences start at 1)
+      kgc::SegmentImage zero = image;
+      zero.header.base_seq = 0;
+      emit("kgc_segment", "zero_base_seq", false, kgc::encode_segment(zero));
+    }
+    {  // bit rot inside a record frame: only the CRC catches it
+      Bytes b = valid;
+      b[b.size() - 2] ^= 0x01;
+      emit("kgc_segment", "crc_flip", false, b);
+    }
+  }
+
+  // Replication batches: what a follower will apply to its own store, so the
+  // structural checks here are a trust boundary against a hostile primary.
+  {
+    kgc::WalRecord record{.type = kgc::WalRecordType::kRevoke, .epoch = 0, .id = "a"};
+    kgc::ReplicateBatch records;
+    records.shard = 3;
+    records.kind = kgc::ReplicateKind::kRecords;
+    records.first_seq = 5;
+    records.caught_up = true;
+    records.records.push_back(record);
+    emit("kgc_replicate", "records_batch", true, kgc::encode_replicate_batch(records));
+    {
+      kgc::ReplicateBatch chunk;
+      chunk.shard = 3;
+      chunk.kind = kgc::ReplicateKind::kSnapshotChunk;
+      chunk.applied_seq = 9;
+      chunk.cursor = 1;
+      chunk.total = 2;
+      kgc::SnapshotEntry entry{.id = "a", .enrolled_epoch = 0};
+      entry.pk_bytes = Bytes{0x01};
+      entry.pk_bytes.insert(entry.pk_bytes.end(), g_bytes.begin(), g_bytes.end());
+      chunk.entries.push_back(entry);
+      emit("kgc_replicate", "snapshot_chunk", true, kgc::encode_replicate_batch(chunk));
+    }
+    {  // a gap in the record sequence numbers would silently desynchronize
+       // the follower — hand-built, since the encoder can't produce one
+      crypto::ByteWriter w;
+      w.put_u8(kgc::kStoreVersion);
+      w.put_u32(3);   // shard
+      w.put_u8(2);    // kRecords
+      w.put_u64(5);   // first_seq
+      w.put_u8(1);    // caught_up
+      w.put_u32(2);   // count
+      w.put_u64(5);
+      w.put_field(kgc::encode_wal_record(record));
+      w.put_u64(7);   // expected 6
+      w.put_field(kgc::encode_wal_record(record));
+      emit("kgc_replicate", "seq_gap", false, w.take());
+    }
+    {  // item count above kMaxReplicateItems, honestly declared
+      crypto::ByteWriter w;
+      w.put_u8(kgc::kStoreVersion);
+      w.put_u32(3);
+      w.put_u8(2);
+      w.put_u64(5);
+      w.put_u8(0);
+      w.put_u32(static_cast<std::uint32_t>(kgc::kMaxReplicateItems + 1));
+      emit("kgc_replicate", "oversized_batch", false, w.take());
+    }
+    {  // a snapshot page sticking out past its declared total
+      kgc::ReplicateBatch chunk;
+      chunk.shard = 3;
+      chunk.kind = kgc::ReplicateKind::kSnapshotChunk;
+      chunk.applied_seq = 9;
+      chunk.cursor = 2;
+      chunk.total = 2;
+      kgc::SnapshotEntry entry{.id = "a", .enrolled_epoch = 0};
+      entry.pk_bytes = Bytes{0x01};
+      entry.pk_bytes.insert(entry.pk_bytes.end(), g_bytes.begin(), g_bytes.end());
+      chunk.entries.push_back(entry);
+      emit("kgc_replicate", "page_past_total", false, kgc::encode_replicate_batch(chunk));
     }
   }
 

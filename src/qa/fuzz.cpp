@@ -11,6 +11,8 @@
 #include "cls/yhg.hpp"
 #include "cls/zwxf.hpp"
 #include "dsr/dsr_codec.hpp"
+#include "kgc/logstore.hpp"
+#include "kgc/replica.hpp"
 #include "kgc/store.hpp"
 #include "kgc/voucher.hpp"
 #include "kgc/wire.hpp"
@@ -405,6 +407,73 @@ std::vector<FuzzTarget> build_targets() {
       },
       [](std::span<const std::uint8_t> b) { return kgc::decode_snapshot(b); },
       [](const kgc::Snapshot& s) { return kgc::encode_snapshot(s); }));
+
+  // A whole WAL segment file as one value (header frame + record frames),
+  // via the strict codec — shard-id range, base-sequence ≥ 1, and every
+  // frame's CRC must all hold for acceptance.
+  targets.push_back(make_target<kgc::SegmentImage>(
+      "kgc_segment",
+      [](sim::Rng& rng) {
+        kgc::SegmentImage image;
+        image.header.shard = static_cast<std::uint32_t>(rng.uniform_int(kgc::kMaxLogShards));
+        image.header.base_seq = 1 + rng.uniform_int(1u << 20);
+        const std::size_t n = rng.uniform_int(4);
+        for (std::size_t i = 0; i < n; ++i) {
+          kgc::WalRecord record;
+          record.type = rng.chance(0.7) ? kgc::WalRecordType::kEnroll
+                                        : kgc::WalRecordType::kRevoke;
+          record.epoch = rng.uniform_int(1u << 16);
+          record.id = gen_id(rng);
+          if (record.type == kgc::WalRecordType::kEnroll) {
+            record.pk_bytes = sample_public_key(rng, 1).to_bytes();
+          }
+          image.records.push_back(std::move(record));
+        }
+        return kgc::encode_segment(image);
+      },
+      [](std::span<const std::uint8_t> b) { return kgc::decode_segment(b); },
+      [](const kgc::SegmentImage& s) { return kgc::encode_segment(s); }));
+
+  // The replication batch (snapshot chunks + record runs). The decoder's
+  // structural checks — item caps, cursor+count ≤ total, strictly
+  // consecutive sequences — are exactly what keeps a malicious primary from
+  // poisoning a replica, so they all get adversarial coverage here.
+  targets.push_back(make_target<kgc::ReplicateBatch>(
+      "kgc_replicate",
+      [](sim::Rng& rng) {
+        kgc::ReplicateBatch batch;
+        batch.shard = static_cast<std::uint32_t>(rng.uniform_int(kgc::kMaxLogShards));
+        if (rng.chance(0.5)) {
+          batch.kind = kgc::ReplicateKind::kSnapshotChunk;
+          const std::uint64_t count = rng.uniform_int(4);
+          batch.total = count + rng.uniform_int(16);
+          batch.cursor = rng.uniform_int(
+              static_cast<std::uint32_t>(batch.total - count + 1));
+          batch.applied_seq = rng.uniform_int(1u << 20);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            kgc::SnapshotEntry entry;
+            entry.id = gen_id(rng);
+            entry.pk_bytes = sample_public_key(rng, 1).to_bytes();
+            entry.enrolled_epoch = rng.uniform_int(1u << 16);
+            batch.entries.push_back(std::move(entry));
+          }
+        } else {
+          batch.kind = kgc::ReplicateKind::kRecords;
+          batch.first_seq = 1 + rng.uniform_int(1u << 20);
+          batch.caught_up = rng.chance(0.5);
+          const std::size_t n = rng.uniform_int(4);
+          for (std::size_t i = 0; i < n; ++i) {
+            kgc::WalRecord record;
+            record.type = kgc::WalRecordType::kRevoke;
+            record.epoch = rng.uniform_int(1u << 16);
+            record.id = gen_id(rng);
+            batch.records.push_back(std::move(record));
+          }
+        }
+        return kgc::encode_replicate_batch(batch);
+      },
+      [](std::span<const std::uint8_t> b) { return kgc::decode_replicate_batch(b); },
+      [](const kgc::ReplicateBatch& r) { return kgc::encode_replicate_batch(r); }));
 
   targets.push_back(make_target<aodv::AodvPayload>(
       "aodv_packet", sample_aodv,

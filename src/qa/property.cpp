@@ -31,6 +31,7 @@ void register_math_properties();
 void register_scheme_properties();
 void register_codec_properties();
 void register_voucher_properties();
+void register_logstore_properties();
 
 RunConfig RunConfig::from_env() {
   RunConfig cfg;
@@ -75,6 +76,7 @@ const std::vector<Property>& registry() {
     register_scheme_properties();
     register_codec_properties();
     register_voucher_properties();
+    register_logstore_properties();
     return true;
   }();
   (void)initialized;

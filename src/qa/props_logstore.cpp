@@ -1,0 +1,306 @@
+// Registered properties for the segmented log store (kgc/logstore) and the
+// replication layer on top of it (kgc/replica):
+//
+//   compacted_store_eq_replayed_store — driving a LogStore with a random
+//     mutation schedule while compacting arbitrary shards at arbitrary
+//     points, then rebooting, reconstructs exactly the state a pure replay
+//     (no compaction ever) produces: same entry map, same shard sequences.
+//     Segment sizes are drawn adversarially small so rotation happens on
+//     nearly every append.
+//
+//   replica_catchup_eq_primary — a follower that catches up through
+//     build_replicate_batch (records when the tail is on disk, paged
+//     snapshot chunks when it was compacted away) converges to bit-identical
+//     state, including when it syncs mid-history, falls behind across a
+//     compaction, and catches up again. Every batch also round-trips the
+//     wire codec en route, so the transfer the property checks is the one a
+//     real TCP follower would see.
+//
+// Both properties run against real files in a fresh temp directory per case
+// (fsync off — crash durability is tests/test_logstore.cpp's job; these
+// check state equivalence).
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kgc/logstore.hpp"
+#include "kgc/replica.hpp"
+#include "qa/property.hpp"
+
+namespace mccls::qa {
+
+namespace {
+
+namespace fs = std::filesystem;
+using kgc::LogStore;
+using kgc::LogStoreConfig;
+using kgc::SnapshotEntry;
+using kgc::WalRecord;
+using kgc::WalRecordType;
+
+/// One scheduled mutation: kind 0 = enroll, 1 = revoke, 2 = voucher, drawn
+/// over a deliberately small identity pool so revokes and conflicts hit.
+struct LogOp {
+  std::uint8_t kind = 0;
+  std::uint8_t ident = 0;
+  bool compact_after = false;  ///< compact the touched shard after this op
+};
+
+struct LogCase {
+  std::size_t shards = 1;
+  std::size_t segment_bytes = 1;  ///< 1 ⇒ rotate on every append
+  std::vector<LogOp> ops;
+};
+
+Gen<LogCase> log_case_gen() {
+  Gen<LogCase> gen;
+  gen.create = [](sim::Rng& rng) {
+    LogCase c;
+    c.shards = 1 + static_cast<std::size_t>(rng.uniform_int(4));
+    c.segment_bytes = rng.chance(0.5) ? 1 : 256;
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(48));
+    c.ops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      c.ops.push_back(LogOp{.kind = static_cast<std::uint8_t>(rng.uniform_int(3)),
+                            .ident = static_cast<std::uint8_t>(rng.uniform_int(8)),
+                            .compact_after = rng.chance(0.2)});
+    }
+    return c;
+  };
+  gen.shrink = [](const LogCase& c) {
+    std::vector<LogCase> out;
+    if (c.ops.size() > 1) {
+      LogCase half = c;
+      half.ops.resize(c.ops.size() / 2);
+      out.push_back(std::move(half));
+    }
+    if (c.shards > 1) {
+      LogCase one = c;
+      one.shards = 1;
+      out.push_back(std::move(one));
+    }
+    return out;
+  };
+  gen.show = [](const LogCase& c) {
+    std::ostringstream os;
+    os << "{shards=" << c.shards << " segment_bytes=" << c.segment_bytes << " ops=[";
+    for (const LogOp& op : c.ops) {
+      os << static_cast<int>(op.kind) << ":" << static_cast<int>(op.ident)
+         << (op.compact_after ? "c " : " ");
+    }
+    os << "]}";
+    return os.str();
+  };
+  return gen;
+}
+
+/// Fresh per-case scratch directory (cases run sequentially; shrink reruns
+/// get their own).
+fs::path fresh_dir(const char* tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  fs::path dir = fs::temp_directory_path() /
+                 ("mccls_qa_" + std::string(tag) + "_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(counter.fetch_add(1)));
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Canonical record→state interpretation — the same rules Kgcd's recovery
+/// applies (vouchers carry no directory state).
+void apply_record(std::map<std::string, SnapshotEntry>& state, const WalRecord& record) {
+  if (record.type == WalRecordType::kEnroll) {
+    state.emplace(record.id, SnapshotEntry{.id = record.id,
+                                           .pk_bytes = record.pk_bytes,
+                                           .enrolled_epoch = record.epoch});
+  } else if (record.type == WalRecordType::kRevoke) {
+    auto it = state.find(record.id);
+    if (it != state.end() && !it->second.revoked) {
+      it->second.revoked = true;
+      it->second.revoked_epoch = record.epoch;
+    }
+  }
+}
+
+std::vector<SnapshotEntry> entries_of_shard(const std::map<std::string, SnapshotEntry>& state,
+                                            std::size_t shard, std::size_t shards) {
+  std::vector<SnapshotEntry> out;
+  for (const auto& [id, entry] : state) {
+    if (kgc::shard_index(id, shards) == shard) out.push_back(entry);
+  }
+  return out;
+}
+
+/// Drives the schedule into `store`, mirroring it in `model` (decide-then-log:
+/// no-op mutations are not logged). False on an unexpected I/O failure.
+bool drive(LogStore& store, const LogCase& c, std::map<std::string, SnapshotEntry>& model) {
+  for (const LogOp& op : c.ops) {
+    const std::string id = "u" + std::to_string(op.ident);
+    const std::size_t shard = kgc::shard_index(id, c.shards);
+    WalRecord record{.epoch = static_cast<cls::Epoch>(op.ident % 3), .id = id};
+    bool log_it = true;
+    switch (op.kind) {
+      case 0:
+        record.type = WalRecordType::kEnroll;
+        record.pk_bytes = crypto::Bytes{static_cast<std::uint8_t>(0x10 + op.ident)};
+        log_it = model.find(id) == model.end();
+        break;
+      case 1: {
+        record.type = WalRecordType::kRevoke;
+        const auto it = model.find(id);
+        log_it = it != model.end() && !it->second.revoked;
+        break;
+      }
+      default:
+        record.type = WalRecordType::kVoucher;
+        record.serial = store.total_sequence() + 1;
+        break;
+    }
+    if (log_it) {
+      if (!store.append(shard, record)) return false;
+      apply_record(model, record);
+    }
+    if (op.compact_after &&
+        !store.compact_shard(shard, entries_of_shard(model, shard, c.shards))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Reboots a store directory and checks it reconstructs `model` with the
+/// expected per-shard sequences.
+bool replays_to(const fs::path& dir, const LogCase& c,
+                const std::map<std::string, SnapshotEntry>& model,
+                const std::vector<std::uint64_t>& want_seq) {
+  LogStore store(LogStoreConfig{.dir = dir.string(),
+                                .shards = c.shards,
+                                .fsync = false,
+                                .segment_bytes = c.segment_bytes});
+  std::map<std::string, SnapshotEntry> got;
+  const auto report = store.recover(
+      [&](std::size_t, const SnapshotEntry& entry) { got[entry.id] = entry; },
+      [&](std::size_t, const WalRecord& record) { apply_record(got, record); });
+  if (report.snapshot_corrupt || report.torn_bytes != 0) return false;
+  if (got != model) return false;
+  for (std::size_t s = 0; s < c.shards; ++s) {
+    if (store.shard_sequence(s) != want_seq[s]) return false;
+  }
+  return true;
+}
+
+/// One follower catch-up pass over every shard, via build_replicate_batch +
+/// the wire codec. `limit` forces paging when small. False on any protocol
+/// or I/O failure.
+bool catch_up(const LogStore& primary, LogStore& follower, std::size_t shards,
+              std::size_t limit) {
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::uint32_t shard = static_cast<std::uint32_t>(s);
+    for (;;) {
+      const std::uint64_t from = follower.shard_sequence(s) + 1;
+      auto batch = kgc::build_replicate_batch(primary, shard, from, 0, limit);
+      if (!batch) return false;
+      // The transfer must survive the wire bit-exactly.
+      const auto wire =
+          kgc::decode_replicate_batch(kgc::encode_replicate_batch(*batch));
+      if (!wire || !(*wire == *batch)) return false;
+      if (batch->kind == kgc::ReplicateKind::kRecords) {
+        std::uint64_t seq = batch->first_seq;
+        for (const WalRecord& record : batch->records) {
+          if (follower.append(s, record) != seq) return false;
+          ++seq;
+        }
+        if (batch->caught_up) break;
+        continue;
+      }
+      // Snapshot bootstrap: page until the staged entries cover the total.
+      std::vector<SnapshotEntry> staged = batch->entries;
+      const std::uint64_t applied = batch->applied_seq;
+      std::uint64_t cursor = batch->cursor + batch->entries.size();
+      while (cursor < batch->total) {
+        auto page = kgc::build_replicate_batch(primary, shard, 0, cursor, limit);
+        if (!page || page->kind != kgc::ReplicateKind::kSnapshotChunk) return false;
+        if (page->applied_seq != applied || page->cursor != cursor) return false;
+        staged.insert(staged.end(), page->entries.begin(), page->entries.end());
+        cursor += page->entries.size();
+      }
+      if (!follower.install_snapshot(s, staged, applied)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void register_logstore_properties() {
+  define_property<LogCase>(
+      "codec", "compacted_store_eq_replayed_store", 8, log_case_gen(),
+      [](const LogCase& c) {
+        const fs::path dir = fresh_dir("logstore");
+        std::map<std::string, SnapshotEntry> model;
+        std::vector<std::uint64_t> seq(c.shards, 0);
+        bool ok = false;
+        {
+          LogStore store(LogStoreConfig{.dir = dir.string(),
+                                        .shards = c.shards,
+                                        .fsync = false,
+                                        .segment_bytes = c.segment_bytes});
+          store.recover([](std::size_t, const SnapshotEntry&) {},
+                        [](std::size_t, const WalRecord&) {});
+          ok = drive(store, c, model);
+          for (std::size_t s = 0; s < c.shards; ++s) seq[s] = store.shard_sequence(s);
+        }
+        ok = ok && replays_to(dir, c, model, seq);
+        fs::remove_all(dir);
+        return ok;
+      });
+
+  define_property<LogCase>(
+      "codec", "replica_catchup_eq_primary", 8, log_case_gen(),
+      [](const LogCase& c) {
+        const fs::path primary_dir = fresh_dir("primary");
+        const fs::path follower_dir = fresh_dir("follower");
+        std::map<std::string, SnapshotEntry> model;
+        std::vector<std::uint64_t> seq(c.shards, 0);
+        bool ok = false;
+        {
+          LogStore primary(LogStoreConfig{.dir = primary_dir.string(),
+                                          .shards = c.shards,
+                                          .fsync = false,
+                                          .segment_bytes = c.segment_bytes});
+          primary.recover([](std::size_t, const SnapshotEntry&) {},
+                          [](std::size_t, const WalRecord&) {});
+          LogStore follower(LogStoreConfig{.dir = follower_dir.string(),
+                                           .shards = c.shards,
+                                           .fsync = false,
+                                           .segment_bytes = c.segment_bytes});
+          follower.recover([](std::size_t, const SnapshotEntry&) {},
+                           [](std::size_t, const WalRecord&) {});
+          // First half of the history, then a mid-history catch-up (small
+          // batch limit so snapshot paging actually pages), then the rest —
+          // including compactions that fold away what the follower still
+          // lacks — then the final catch-up.
+          LogCase first = c;
+          first.ops.resize(c.ops.size() / 2);
+          LogCase rest = c;
+          rest.ops.erase(rest.ops.begin(),
+                         rest.ops.begin() + static_cast<std::ptrdiff_t>(first.ops.size()));
+          ok = drive(primary, first, model) && catch_up(primary, follower, c.shards, 3) &&
+               drive(primary, rest, model) && catch_up(primary, follower, c.shards, 3);
+          for (std::size_t s = 0; s < c.shards; ++s) {
+            ok = ok && follower.shard_sequence(s) == primary.shard_sequence(s);
+            seq[s] = primary.shard_sequence(s);
+          }
+        }
+        ok = ok && replays_to(follower_dir, c, model, seq);
+        fs::remove_all(primary_dir);
+        fs::remove_all(follower_dir);
+        return ok;
+      });
+}
+
+}  // namespace mccls::qa

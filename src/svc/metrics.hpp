@@ -116,6 +116,24 @@ class ServiceMetrics {
     wal_fsyncs_.fetch_add(1, std::memory_order_relaxed);
     wal_fsync_hist_[log2_bucket(ns, kLatencyBuckets)].fetch_add(1, std::memory_order_relaxed);
   }
+
+  // -- segmented store + replication (kgc::LogStore / kgc::Replica) ---------
+  /// One active segment sealed and rotated.
+  void on_segment_sealed() { segments_sealed_.fetch_add(1, std::memory_order_relaxed); }
+  /// One shard compacted (snapshot written, folded segments deleted).
+  void on_compaction() { compactions_.fetch_add(1, std::memory_order_relaxed); }
+  /// WAL records applied from kReplicate batches (follower side).
+  void on_replica_records(std::size_t n) {
+    replica_records_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Snapshot entries staged from kReplicate bootstrap chunks.
+  void on_replica_snapshot_entries(std::size_t n) {
+    replica_snapshot_entries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// ReplicaSetResolver moved past a transient endpoint to the next one.
+  void on_resolve_failover() {
+    resolve_failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
   void on_queue_depth(std::size_t depth) {
     std::uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
     while (depth > peak &&
@@ -153,6 +171,11 @@ class ServiceMetrics {
     std::uint64_t voucher_hits = 0;
     std::uint64_t voucher_expired = 0;
     std::uint64_t voucher_bad_sig = 0;
+    std::uint64_t segments_sealed = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t replica_records = 0;
+    std::uint64_t replica_snapshot_entries = 0;
+    std::uint64_t resolve_failovers = 0;
     std::array<std::uint64_t, kBatchBuckets> batch_hist{};
     double latency_p50_ns = 0;
     double latency_p99_ns = 0;
@@ -211,6 +234,12 @@ class ServiceMetrics {
     s.voucher_hits = voucher_hits_.load(std::memory_order_relaxed);
     s.voucher_expired = voucher_expired_.load(std::memory_order_relaxed);
     s.voucher_bad_sig = voucher_bad_sig_.load(std::memory_order_relaxed);
+    s.segments_sealed = segments_sealed_.load(std::memory_order_relaxed);
+    s.compactions = compactions_.load(std::memory_order_relaxed);
+    s.replica_records = replica_records_.load(std::memory_order_relaxed);
+    s.replica_snapshot_entries =
+        replica_snapshot_entries_.load(std::memory_order_relaxed);
+    s.resolve_failovers = resolve_failovers_.load(std::memory_order_relaxed);
     std::array<std::uint64_t, kLatencyBuckets> lat{};
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
@@ -328,6 +357,11 @@ class ServiceMetrics {
     counter("voucher_hits", static_cast<double>(s.voucher_hits));
     counter("voucher_expired", static_cast<double>(s.voucher_expired));
     counter("voucher_bad_sig", static_cast<double>(s.voucher_bad_sig));
+    counter("resolve_failovers", static_cast<double>(s.resolve_failovers));
+    counter("segments_sealed", static_cast<double>(s.segments_sealed));
+    counter("compactions", static_cast<double>(s.compactions));
+    counter("replica_records", static_cast<double>(s.replica_records));
+    counter("replica_snapshot_entries", static_cast<double>(s.replica_snapshot_entries));
     counter("wal_fsyncs", static_cast<double>(s.wal_fsyncs), true);
     out += "  }\n}\n";
     return out;
@@ -381,6 +415,8 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> breaker_fast_fails_{0}, breaker_trips_{0},
       breaker_state_{0}, negative_cache_hits_{0};
   std::atomic<std::uint64_t> voucher_hits_{0}, voucher_expired_{0}, voucher_bad_sig_{0};
+  std::atomic<std::uint64_t> segments_sealed_{0}, compactions_{0}, replica_records_{0},
+      replica_snapshot_entries_{0}, resolve_failovers_{0};
   std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_hist_{};
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_{};
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> wal_fsync_hist_{};

@@ -236,4 +236,40 @@ ResolveResult ResilientResolver::resolve(std::string_view id) {
   return result;
 }
 
+// ---- ReplicaSetResolver ----------------------------------------------------
+
+ReplicaSetResolver::ReplicaSetResolver(std::vector<PkResolver*> endpoints,
+                                       ResilientConfig config) {
+  wrapped_.reserve(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    // Fork the jitter seed per endpoint so simultaneous retries against
+    // different endpoints stay decorrelated even under one configured seed.
+    ResilientConfig per_endpoint = config;
+    per_endpoint.seed = config.seed + i;
+    wrapped_.push_back(std::make_unique<ResilientResolver>(endpoints[i], per_endpoint));
+  }
+}
+
+ResolveResult ReplicaSetResolver::resolve(std::string_view id) {
+  ResolveResult last = ResolveResult::unavailable();
+  for (std::size_t i = 0; i < wrapped_.size(); ++i) {
+    ResolveResult result = wrapped_[i]->resolve(id);
+    if (!result.transient()) return result;  // definitive: kOk / kNotVouched
+    last = std::move(result);
+    // Transient at this endpoint (breaker open, deadline blown, transport
+    // down): fail over to the next one. Counted once per hop actually taken.
+    if (i + 1 < wrapped_.size() && metrics_ != nullptr) metrics_->on_resolve_failover();
+  }
+  return last;
+}
+
+BreakerState ReplicaSetResolver::breaker_state(std::size_t index) const {
+  return wrapped_.at(index)->breaker_state();
+}
+
+void ReplicaSetResolver::set_metrics(ServiceMetrics* metrics) {
+  metrics_ = metrics;
+  for (const auto& resolver : wrapped_) resolver->set_metrics(metrics);
+}
+
 }  // namespace mccls::svc

@@ -39,6 +39,7 @@
 #include <chrono>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -230,6 +231,36 @@ class ResilientResolver final : public PkResolver {
   };
   std::unordered_map<std::string, NegativeEntry> negative_;
   std::list<std::string> negative_lru_;  ///< front = most recently inserted
+};
+
+/// Replica-set routing over N endpoints (primary first, read replicas after):
+/// each endpoint gets its *own* ResilientResolver — deadline, retries,
+/// breaker and negative cache are per endpoint, so a dead primary's open
+/// breaker fast-fails while the followers' stay closed. resolve() walks the
+/// set in order: a definitive verdict (kOk / kNotVouched) answers
+/// immediately; a transient outcome records a failover and tries the next
+/// endpoint; only when every endpoint failed transiently does the caller see
+/// a transient result. Because every endpoint serves the same directory,
+/// failing over on transience never launders an outage into a trust verdict —
+/// a kNotVouched from a follower is as definitive as one from the primary.
+class ReplicaSetResolver final : public PkResolver {
+ public:
+  /// `endpoints` are borrowed, primary first; each must be thread-safe.
+  explicit ReplicaSetResolver(std::vector<PkResolver*> endpoints,
+                              ResilientConfig config = {});
+
+  ResolveResult resolve(std::string_view id) override;
+
+  [[nodiscard]] std::size_t size() const { return wrapped_.size(); }
+  /// Breaker state of endpoint `index` (0 = primary).
+  [[nodiscard]] BreakerState breaker_state(std::size_t index) const;
+  /// Metrics sink, shared by every per-endpoint wrapper (failovers land on
+  /// the resolve_failovers counter).
+  void set_metrics(ServiceMetrics* metrics);
+
+ private:
+  std::vector<std::unique_ptr<ResilientResolver>> wrapped_;
+  ServiceMetrics* metrics_ = nullptr;
 };
 
 }  // namespace mccls::svc

@@ -1,0 +1,177 @@
+// Scale acceptance for the segmented store (label kgc_1m — see
+// tests/CMakeLists.txt): populate a large identity population through the
+// store+directory fast path (the same replay hooks kgcd recovery uses — a
+// real enroll() pays an ~0.6ms partial-key extraction per identity, which
+// would make a million-identity run about issuance speed, not durability),
+// compact under load, then kill -9 a compacting process at each of the three
+// injected CompactionPhase points and require the rebooted directory to be
+// bit-identical, entry for entry, byte for byte.
+//
+// Population size: MCCLS_SCALE_IDENTITIES (nightly sets 100000+); the
+// default is smoke-sized so plain `ctest` stays fast.
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cls/mccls.hpp"
+#include "kgc/directory.hpp"
+#include "kgc/logstore.hpp"
+
+namespace mccls::kgc {
+namespace {
+
+namespace fs = std::filesystem;
+using crypto::Bytes;
+
+constexpr std::size_t kShards = 16;
+
+std::size_t population() {
+  if (const char* env = std::getenv("MCCLS_SCALE_IDENTITIES")) {
+    const long long n = std::atoll(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 5000;  // smoke size: plain ctest must stay fast
+}
+
+std::string scale_id(std::size_t i) { return "node-" + std::to_string(i); }
+
+LogStoreConfig store_config(const std::string& dir) {
+  // Small segments so a scale run rotates thousands of times; fsync off —
+  // the kill model here is process death, not power loss, and the nightly
+  // run would otherwise be fsync-bound.
+  return LogStoreConfig{
+      .dir = dir, .shards = kShards, .fsync = false, .segment_bytes = 1 << 15};
+}
+
+/// Reboots the store directory into a fresh directory (the exact kgcd
+/// recovery path: snapshot entries + record replay through apply()).
+std::unique_ptr<KeyDirectory> recover_directory(LogStore& store) {
+  auto directory = std::make_unique<KeyDirectory>(DirectoryConfig{.shards = kShards});
+  const RecoveryReport report = store.recover(
+      [&](std::size_t, const SnapshotEntry& entry) { directory->apply(entry); },
+      [&](std::size_t, const WalRecord& record) { directory->apply(record); });
+  EXPECT_FALSE(report.snapshot_corrupt);
+  return directory;
+}
+
+/// The whole directory as per-shard sorted entry vectors — the bit-identical
+/// comparison unit (SnapshotEntry carries the exact stored bytes and both
+/// epochs, so equality here is equality of everything resolution can see).
+std::vector<std::vector<SnapshotEntry>> full_export(const KeyDirectory& directory) {
+  std::vector<std::vector<SnapshotEntry>> out;
+  out.reserve(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) out.push_back(directory.export_shard(s));
+  return out;
+}
+
+TEST(KgcScale, SurvivesKillsAtEveryCompactionPhaseBitIdentically) {
+  const std::size_t n = population();
+  const fs::path dir = fs::path(::testing::TempDir()) / "kgc_scale";
+  fs::remove_all(dir);
+
+  // A few distinct real keys, cycled: decodable by the directory's replay
+  // hooks, cheap to mint, and enough variety that a shard/byte mix-up cannot
+  // cancel out.
+  crypto::HmacDrbg rng{std::uint64_t{0x5CA1EB1E}};
+  cls::Kgc kgc = cls::Kgc::setup(rng);
+  cls::Mccls scheme;
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 8; ++i) {
+    keys.push_back(scheme.derive_public(kgc.params(), rng.next_nonzero_fq()).to_bytes());
+  }
+
+  // ---- populate through the fast path, compacting under load -------------
+  {
+    LogStore store(store_config(dir.string()));
+    KeyDirectory directory(DirectoryConfig{.shards = kShards});
+    (void)store.recover(nullptr, nullptr);
+    const std::size_t compact_every = n / 7 + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string id = scale_id(i);
+      const std::size_t shard = shard_index(id, kShards);
+      const WalRecord record{.type = WalRecordType::kEnroll,
+                             .epoch = 1,
+                             .id = id,
+                             .pk_bytes = keys[i % keys.size()]};
+      ASSERT_TRUE(store.append(shard, record).has_value()) << id;
+      directory.apply(record);
+      if (i % 100 == 99) {  // 1% revocation churn
+        const WalRecord revoke{.type = WalRecordType::kRevoke, .epoch = 2, .id = id};
+        ASSERT_TRUE(store.append(shard, revoke).has_value());
+        directory.apply(revoke);
+      }
+      if (i % compact_every == compact_every - 1) {
+        const std::size_t victim = (i / compact_every) % kShards;
+        ASSERT_TRUE(store.compact_shard(victim, directory.export_shard(victim)));
+      }
+    }
+    ASSERT_EQ(directory.size(), n);
+  }
+
+  // ---- the reference state, via a clean reboot ----------------------------
+  std::vector<std::vector<SnapshotEntry>> want;
+  {
+    LogStore store(store_config(dir.string()));
+    want = full_export(*recover_directory(store));
+  }
+
+  // ---- kill -9 mid-compaction at each phase, reboot, compare --------------
+  const CompactionPhase phases[] = {CompactionPhase::kBeforeSnapshotRename,
+                                    CompactionPhase::kAfterSnapshotRename,
+                                    CompactionPhase::kAfterFirstUnlink};
+  std::size_t victim = 3;  // rotate so each kill hits a different shard
+  for (const CompactionPhase phase : phases) {
+    SCOPED_TRACE(static_cast<int>(phase));
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      // Child: full recovery, then die inside compact_shard at `phase` —
+      // the moral equivalent of kill -9 landing mid-compaction.
+      LogStore store(store_config(dir.string()));
+      auto directory = recover_directory(store);
+      store.set_compaction_hook([phase](std::size_t, CompactionPhase at) {
+        if (at == phase) _exit(0);
+      });
+      (void)store.compact_shard(victim, directory->export_shard(victim));
+      _exit(1);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0) << "child must die mid-compaction";
+
+    LogStore store(store_config(dir.string()));
+    auto directory = recover_directory(store);
+    EXPECT_EQ(full_export(*directory), want) << "reboot lost or mutated entries";
+
+    // Resolution spot checks on top of the structural comparison.
+    const auto hit = directory->lookup(scale_id(0));
+    EXPECT_EQ(hit.status, DirStatus::kOk);
+    EXPECT_EQ(hit.pk_bytes, keys[0]);
+    EXPECT_EQ(directory->lookup(scale_id(99)).status, DirStatus::kRevoked);
+    EXPECT_EQ(directory->lookup("node-" + std::to_string(n)).status,
+              DirStatus::kUnknownId);
+
+    // Keep the next victim shard dirty so its kill exercises a real fold.
+    const WalRecord extra{.type = WalRecordType::kEnroll,
+                          .epoch = 3,
+                          .id = "extra-" + std::to_string(static_cast<int>(phase)),
+                          .pk_bytes = keys[1]};
+    const std::size_t shard = shard_index(extra.id, kShards);
+    ASSERT_TRUE(store.append(shard, extra).has_value());
+    directory->apply(extra);
+    want[shard] = directory->export_shard(shard);
+    victim = shard;
+  }
+}
+
+}  // namespace
+}  // namespace mccls::kgc

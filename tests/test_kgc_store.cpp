@@ -1,32 +1,20 @@
-// The kgcd persistence layer: CRC framing, the WAL-record and snapshot
-// codecs (total decoders with canonical-shape enforcement), and the
-// WalStore's recovery contract — torn or corrupt tails are truncated, a
-// snapshot plus WAL replay reconstructs exactly the acknowledged state.
+// The kgcd persistence formats: CRC framing plus the WAL-record and
+// snapshot codecs (total decoders with canonical-shape enforcement). The
+// store built on these formats — segment files, rotation, compaction,
+// recovery — is covered by tests/test_logstore.cpp.
 #include "kgc/store.hpp"
 
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
-#include <filesystem>
-#include <fstream>
 #include <string>
-#include <vector>
 
 #include "ec/g1.hpp"
 
 namespace mccls::kgc {
 namespace {
 
-namespace fs = std::filesystem;
 using crypto::Bytes;
-
-// Fresh per-test store directory under the gtest temp root.
-std::string fresh_dir(const std::string& name) {
-  const fs::path dir = fs::path(::testing::TempDir()) / ("kgc_store_" + name);
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  return dir.string();
-}
 
 Bytes sample_pk_bytes() {
   const auto g = ec::G1::generator().to_bytes();
@@ -184,145 +172,6 @@ TEST(SnapshotCodec, BoundsTheDeclaredCountByTheRemainingInput) {
   h.put_u64(1);
   h.put_u64(std::uint64_t{1} << 60);
   EXPECT_FALSE(decode_snapshot(frame_payload(h.take())).has_value());
-}
-
-// --------------------------------------------------------------- WalStore
-
-TEST(WalStore, AppendThenRecoverReplaysInOrder) {
-  const std::string dir = fresh_dir("replay");
-  {
-    WalStore store(StoreConfig{.dir = dir, .fsync = false});
-    (void)store.recover(nullptr, nullptr);
-    EXPECT_TRUE(store.append(sample_enroll("alice", 1)));
-    EXPECT_TRUE(store.append(sample_enroll("bob", 2)));
-    EXPECT_TRUE(store.append(WalRecord{.type = WalRecordType::kRevoke, .epoch = 2,
-                                       .id = "alice"}));
-    EXPECT_EQ(store.sequence(), 3u);
-  }
-  WalStore store(StoreConfig{.dir = dir, .fsync = false});
-  std::vector<std::string> seen;
-  const RecoveryReport report = store.recover(
-      nullptr, [&](const WalRecord& r) {
-        seen.push_back(r.id + (r.type == WalRecordType::kRevoke ? "!" : ""));
-      });
-  EXPECT_EQ(report.wal_records, 3u);
-  EXPECT_EQ(report.torn_bytes, 0u);
-  EXPECT_FALSE(report.snapshot_corrupt);
-  EXPECT_THAT(seen, ::testing::ElementsAre("alice", "bob", "alice!"));
-  EXPECT_EQ(store.sequence(), 3u);
-}
-
-TEST(WalStore, TruncatesATornTailAndKeepsAppending) {
-  const std::string dir = fresh_dir("torn");
-  {
-    WalStore store(StoreConfig{.dir = dir, .fsync = false});
-    (void)store.recover(nullptr, nullptr);
-    EXPECT_TRUE(store.append(sample_enroll("alice")));
-    EXPECT_TRUE(store.append(sample_enroll("bob")));
-  }
-  // Simulate a crash mid-append: half of a valid frame lands on disk.
-  const Bytes partial = frame_payload(encode_wal_record(sample_enroll("carol")));
-  {
-    std::ofstream wal(fs::path(dir) / "wal.log", std::ios::binary | std::ios::app);
-    wal.write(reinterpret_cast<const char*>(partial.data()),
-              static_cast<std::streamsize>(partial.size() / 2));
-  }
-  const auto wal_size_before = fs::file_size(fs::path(dir) / "wal.log");
-
-  WalStore store(StoreConfig{.dir = dir, .fsync = false});
-  std::vector<std::string> seen;
-  const RecoveryReport report =
-      store.recover(nullptr, [&](const WalRecord& r) { seen.push_back(r.id); });
-  EXPECT_THAT(seen, ::testing::ElementsAre("alice", "bob"));
-  EXPECT_EQ(report.torn_bytes, partial.size() / 2);
-  EXPECT_EQ(fs::file_size(fs::path(dir) / "wal.log"),
-            wal_size_before - partial.size() / 2)
-      << "the torn tail must be truncated in place";
-
-  // The log stays usable: the next append extends the repaired file.
-  EXPECT_TRUE(store.append(sample_enroll("dave")));
-  WalStore reopened(StoreConfig{.dir = dir, .fsync = false});
-  seen.clear();
-  (void)reopened.recover(nullptr, [&](const WalRecord& r) { seen.push_back(r.id); });
-  EXPECT_THAT(seen, ::testing::ElementsAre("alice", "bob", "dave"));
-}
-
-TEST(WalStore, TreatsAFlippedBitAsEndOfLog) {
-  const std::string dir = fresh_dir("bitrot");
-  {
-    WalStore store(StoreConfig{.dir = dir, .fsync = false});
-    (void)store.recover(nullptr, nullptr);
-    EXPECT_TRUE(store.append(sample_enroll("alice")));
-    EXPECT_TRUE(store.append(sample_enroll("bob")));
-  }
-  {  // flip one payload bit inside the second record
-    std::fstream wal(fs::path(dir) / "wal.log",
-                     std::ios::binary | std::ios::in | std::ios::out);
-    wal.seekg(0, std::ios::end);
-    const auto size = static_cast<std::size_t>(wal.tellg());
-    wal.seekp(static_cast<std::streamoff>(size - 3));
-    char byte;
-    wal.seekg(static_cast<std::streamoff>(size - 3));
-    wal.read(&byte, 1);
-    byte = static_cast<char>(byte ^ 0x01);
-    wal.seekp(static_cast<std::streamoff>(size - 3));
-    wal.write(&byte, 1);
-  }
-  WalStore store(StoreConfig{.dir = dir, .fsync = false});
-  std::vector<std::string> seen;
-  const RecoveryReport report =
-      store.recover(nullptr, [&](const WalRecord& r) { seen.push_back(r.id); });
-  EXPECT_THAT(seen, ::testing::ElementsAre("alice"));
-  EXPECT_GT(report.torn_bytes, 0u);
-}
-
-TEST(WalStore, SnapshotFoldsTheLogAndRecoveryCombinesBoth) {
-  const std::string dir = fresh_dir("snapshot");
-  {
-    WalStore store(StoreConfig{.dir = dir, .fsync = false});
-    (void)store.recover(nullptr, nullptr);
-    EXPECT_TRUE(store.append(sample_enroll("alice", 1)));
-    EXPECT_TRUE(store.append(sample_enroll("bob", 1)));
-    Snapshot snapshot;
-    snapshot.applied_seq = store.sequence();
-    snapshot.entries = {
-        SnapshotEntry{.id = "alice", .pk_bytes = sample_pk_bytes(), .enrolled_epoch = 1},
-        SnapshotEntry{.id = "bob", .pk_bytes = sample_pk_bytes(), .enrolled_epoch = 1}};
-    EXPECT_TRUE(store.write_snapshot(snapshot));
-    EXPECT_EQ(fs::file_size(fs::path(dir) / "wal.log"), 0u)
-        << "a durable snapshot restarts the log";
-    // Post-snapshot mutations land in the fresh WAL.
-    EXPECT_TRUE(store.append(sample_enroll("carol", 2)));
-  }
-  WalStore store(StoreConfig{.dir = dir, .fsync = false});
-  std::vector<std::string> from_snapshot, from_wal;
-  const RecoveryReport report = store.recover(
-      [&](const SnapshotEntry& e) { from_snapshot.push_back(e.id); },
-      [&](const WalRecord& r) { from_wal.push_back(r.id); });
-  EXPECT_THAT(from_snapshot, ::testing::ElementsAre("alice", "bob"));
-  EXPECT_THAT(from_wal, ::testing::ElementsAre("carol"));
-  EXPECT_EQ(report.snapshot_entries, 2u);
-  EXPECT_EQ(report.wal_records, 1u);
-  EXPECT_EQ(store.sequence(), 3u) << "sequence resumes at applied_seq + replayed records";
-}
-
-TEST(WalStore, SurvivesACorruptSnapshotByFallingBackToTheWal) {
-  const std::string dir = fresh_dir("badsnap");
-  {
-    WalStore store(StoreConfig{.dir = dir, .fsync = false});
-    (void)store.recover(nullptr, nullptr);
-    EXPECT_TRUE(store.append(sample_enroll("alice")));
-  }
-  {  // garbage where the snapshot should be
-    std::ofstream snap(fs::path(dir) / "snapshot.bin", std::ios::binary | std::ios::trunc);
-    snap << "not a snapshot";
-  }
-  WalStore store(StoreConfig{.dir = dir, .fsync = false});
-  std::vector<std::string> seen;
-  const RecoveryReport report =
-      store.recover(nullptr, [&](const WalRecord& r) { seen.push_back(r.id); });
-  EXPECT_TRUE(report.snapshot_corrupt);
-  EXPECT_THAT(seen, ::testing::ElementsAre("alice"));
 }
 
 }  // namespace

@@ -208,16 +208,27 @@ TEST(Kgcd, WireEnrollAndLookupRoundTrip) {
 
 // --------------------------------------------------------- auto-snapshot
 
-TEST(Kgcd, AutoSnapshotFoldsTheWalAtTheConfiguredCadence) {
+TEST(Kgcd, AutoSnapshotFoldsEveryShardAtTheConfiguredCadence) {
   KgcdFixture f;
   const std::string dir = fresh_dir("autosnap");
   const auto daemon = f.boot(dir, KgcdConfig{.snapshot_every = 4});
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < 3; ++i) {
     (void)f.enroll_user(*daemon, "node-" + std::to_string(i));
   }
-  EXPECT_TRUE(fs::exists(fs::path(dir) / "snapshot.bin"));
-  EXPECT_EQ(fs::file_size(fs::path(dir) / "wal.log"), 0u)
-      << "the fourth append triggers a snapshot, which truncates the WAL";
+  const LogStore& store = daemon->store();
+  bool any_unfolded = false;
+  for (std::size_t s = 0; s < store.shards(); ++s) {
+    any_unfolded = any_unfolded || store.shard_sequence(s) >= store.oldest_on_disk(s);
+  }
+  EXPECT_TRUE(any_unfolded) << "three mutations must not reach the cadence yet";
+
+  (void)f.enroll_user(*daemon, "node-3");
+  // Each enroll logs two records (the enrollment and its voucher issuance).
+  EXPECT_EQ(store.total_sequence(), 8u);
+  for (std::size_t s = 0; s < store.shards(); ++s) {
+    EXPECT_EQ(store.oldest_on_disk(s), store.shard_sequence(s) + 1)
+        << "the fourth mutation triggers a snapshot, which folds shard " << s;
+  }
 }
 
 // Regression for a lost-update race: snapshot() used to export the
@@ -454,12 +465,27 @@ TEST(Kgcd, CrashRecoveryReplaysTornWalAndEveryIdentityStillVerifies) {
   }  // daemon destroyed: the clean part of the "crash" (fds closed)
 
   // Hard-kill simulation: a crash mid-append leaves a prefix of a valid
-  // frame at the tail of the log.
+  // frame at the tail of the victim shard's *active segment* — exactly where
+  // an interrupted append() would have been writing.
   const Bytes partial = frame_payload(encode_wal_record(WalRecord{
       .type = WalRecordType::kEnroll, .epoch = 0, .id = "torn-victim",
       .pk_bytes = users[0].pk_bytes}));
   {
-    std::ofstream wal(fs::path(dir) / "wal.log", std::ios::binary | std::ios::app);
+    const std::size_t shard = shard_index("torn-victim", 16);
+    fs::path active;
+    std::uint64_t best_base = 0;
+    for (const auto& file :
+         fs::directory_iterator(fs::path(dir) / ("shard-" + std::to_string(shard)))) {
+      const std::string name = file.path().filename().string();
+      if (name.rfind("seg-", 0) != 0) continue;
+      const std::uint64_t base = std::stoull(name.substr(4));
+      if (base >= best_base) {
+        best_base = base;
+        active = file.path();
+      }
+    }
+    ASSERT_FALSE(active.empty()) << "every shard always has an active segment";
+    std::ofstream wal(active, std::ios::binary | std::ios::app);
     wal.write(reinterpret_cast<const char*>(partial.data()),
               static_cast<std::streamsize>(partial.size() * 2 / 3));
   }

@@ -1,0 +1,389 @@
+// The segmented per-shard log store (kgc/logstore): append/recover ordering
+// at shard granularity, segment rotation and sealing, torn-tail and bit-rot
+// truncation inside the active segment, per-shard compaction folding, the
+// replication read paths (read_tail / read_snapshot_chunk / install_snapshot),
+// and — via fork()ed children killed at each injected CompactionPhase — the
+// guarantee that a crash at any point inside compact_shard loses nothing.
+#include "kgc/logstore.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ec/g1.hpp"
+
+namespace mccls::kgc {
+namespace {
+
+namespace fs = std::filesystem;
+using crypto::Bytes;
+using ::testing::ElementsAre;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("logstore_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+Bytes sample_pk_bytes() {
+  const auto g = ec::G1::generator().to_bytes();
+  Bytes pk{0x01};
+  pk.insert(pk.end(), g.begin(), g.end());
+  return pk;
+}
+
+WalRecord sample_enroll(const std::string& id, cls::Epoch epoch = 3) {
+  return WalRecord{.type = WalRecordType::kEnroll,
+                   .epoch = epoch,
+                   .id = id,
+                   .pk_bytes = sample_pk_bytes()};
+}
+
+LogStoreConfig config_for(const std::string& dir, std::size_t shards = 2,
+                          std::size_t segment_bytes = 1 << 20) {
+  return LogStoreConfig{
+      .dir = dir, .shards = shards, .fsync = false, .segment_bytes = segment_bytes};
+}
+
+/// Path of the shard's active (highest-base) segment file.
+fs::path active_segment(const LogStore& store, std::size_t shard) {
+  fs::path best;
+  std::uint64_t best_base = 0;
+  for (const auto& file : fs::directory_iterator(store.shard_dir(shard))) {
+    const std::string name = file.path().filename().string();
+    if (name.rfind("seg-", 0) != 0) continue;
+    const std::uint64_t base = std::stoull(name.substr(4));
+    if (base >= best_base) {
+      best_base = base;
+      best = file.path();
+    }
+  }
+  return best;
+}
+
+// ------------------------------------------------------------ basic replay
+
+TEST(LogStore, AppendThenRecoverReplaysEachShardInOrder) {
+  const std::string dir = fresh_dir("replay");
+  {
+    LogStore store(config_for(dir));
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_EQ(store.append(0, sample_enroll("alice", 1)), 1u);
+    EXPECT_EQ(store.append(1, sample_enroll("bob", 2)), 1u);
+    EXPECT_EQ(store.append(0, WalRecord{.type = WalRecordType::kRevoke, .epoch = 2,
+                                        .id = "alice"}),
+              2u);
+    EXPECT_EQ(store.shard_sequence(0), 2u);
+    EXPECT_EQ(store.shard_sequence(1), 1u);
+    EXPECT_EQ(store.total_sequence(), 3u);
+  }
+  LogStore store(config_for(dir));
+  std::map<std::size_t, std::vector<std::string>> seen;
+  const RecoveryReport report =
+      store.recover(nullptr, [&](std::size_t shard, const WalRecord& r) {
+        seen[shard].push_back(r.id + (r.type == WalRecordType::kRevoke ? "!" : ""));
+      });
+  EXPECT_EQ(report.wal_records, 3u);
+  EXPECT_EQ(report.torn_bytes, 0u);
+  EXPECT_FALSE(report.snapshot_corrupt);
+  EXPECT_THAT(seen[0], ElementsAre("alice", "alice!"));
+  EXPECT_THAT(seen[1], ElementsAre("bob"));
+  EXPECT_EQ(store.total_sequence(), 3u);
+}
+
+TEST(LogStore, RotatesSealsAndRecoversAcrossManySegments) {
+  const std::string dir = fresh_dir("rotate");
+  {
+    // segment_bytes=1: every append overflows the active segment, so each
+    // record seals a segment behind it.
+    LogStore store(config_for(dir, 1, 1));
+    (void)store.recover(nullptr, nullptr);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(store.append(0, sample_enroll("u" + std::to_string(i))).has_value());
+    }
+    EXPECT_GT(store.segment_count(0), 4u) << "tiny segments must rotate";
+  }
+  LogStore store(config_for(dir, 1, 1));
+  std::vector<std::string> seen;
+  (void)store.recover(nullptr,
+                      [&](std::size_t, const WalRecord& r) { seen.push_back(r.id); });
+  EXPECT_THAT(seen, ElementsAre("u0", "u1", "u2", "u3", "u4", "u5", "u6", "u7"));
+  EXPECT_EQ(store.shard_sequence(0), 8u);
+  // The log stays append-able after a multi-segment recovery.
+  EXPECT_EQ(store.append(0, sample_enroll("u8")), 9u);
+}
+
+// ----------------------------------------------------- torn tails / bit rot
+
+TEST(LogStore, TruncatesATornTailAndKeepsAppending) {
+  const std::string dir = fresh_dir("torn");
+  fs::path active;
+  {
+    LogStore store(config_for(dir, 1));
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_TRUE(store.append(0, sample_enroll("alice")).has_value());
+    EXPECT_TRUE(store.append(0, sample_enroll("bob")).has_value());
+    active = active_segment(store, 0);
+  }
+  // Crash mid-append: half of a valid frame lands at the end of the active
+  // segment file.
+  const Bytes partial = frame_payload(encode_wal_record(sample_enroll("carol")));
+  {
+    std::ofstream seg(active, std::ios::binary | std::ios::app);
+    seg.write(reinterpret_cast<const char*>(partial.data()),
+              static_cast<std::streamsize>(partial.size() / 2));
+  }
+  const auto size_before = fs::file_size(active);
+
+  LogStore store(config_for(dir, 1));
+  std::vector<std::string> seen;
+  const RecoveryReport report = store.recover(
+      nullptr, [&](std::size_t, const WalRecord& r) { seen.push_back(r.id); });
+  EXPECT_THAT(seen, ElementsAre("alice", "bob"));
+  EXPECT_EQ(report.torn_bytes, partial.size() / 2);
+  EXPECT_EQ(fs::file_size(active), size_before - partial.size() / 2)
+      << "the torn tail must be truncated in place";
+
+  EXPECT_EQ(store.append(0, sample_enroll("dave")), 3u);
+  LogStore reopened(config_for(dir, 1));
+  seen.clear();
+  (void)reopened.recover(nullptr,
+                         [&](std::size_t, const WalRecord& r) { seen.push_back(r.id); });
+  EXPECT_THAT(seen, ElementsAre("alice", "bob", "dave"));
+}
+
+TEST(LogStore, TreatsAFlippedBitAsEndOfLog) {
+  const std::string dir = fresh_dir("bitrot");
+  fs::path active;
+  {
+    LogStore store(config_for(dir, 1));
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_TRUE(store.append(0, sample_enroll("alice")).has_value());
+    EXPECT_TRUE(store.append(0, sample_enroll("bob")).has_value());
+    active = active_segment(store, 0);
+  }
+  {  // flip one payload bit inside the second record
+    std::fstream seg(active, std::ios::binary | std::ios::in | std::ios::out);
+    seg.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(seg.tellg());
+    char byte;
+    seg.seekg(static_cast<std::streamoff>(size - 3));
+    seg.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    seg.seekp(static_cast<std::streamoff>(size - 3));
+    seg.write(&byte, 1);
+  }
+  LogStore store(config_for(dir, 1));
+  std::vector<std::string> seen;
+  const RecoveryReport report = store.recover(
+      nullptr, [&](std::size_t, const WalRecord& r) { seen.push_back(r.id); });
+  EXPECT_THAT(seen, ElementsAre("alice"));
+  EXPECT_GT(report.torn_bytes, 0u);
+}
+
+// -------------------------------------------------------------- compaction
+
+TEST(LogStore, CompactionFoldsOneShardAndLeavesTheOtherAlone) {
+  const std::string dir = fresh_dir("compact");
+  {
+    LogStore store(config_for(dir, 2, 1));
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_TRUE(store.append(0, sample_enroll("alice", 1)).has_value());
+    EXPECT_TRUE(store.append(0, sample_enroll("bob", 1)).has_value());
+    EXPECT_TRUE(store.append(1, sample_enroll("carol", 1)).has_value());
+    EXPECT_TRUE(store.compact_shard(
+        0, {SnapshotEntry{.id = "alice", .pk_bytes = sample_pk_bytes(), .enrolled_epoch = 1},
+            SnapshotEntry{.id = "bob", .pk_bytes = sample_pk_bytes(), .enrolled_epoch = 1}}));
+    EXPECT_EQ(store.oldest_on_disk(0), 3u) << "both records folded";
+    EXPECT_EQ(store.oldest_on_disk(1), 1u) << "shard 1 untouched";
+    // Post-compaction mutations land in the fresh segment.
+    EXPECT_EQ(store.append(0, sample_enroll("dave", 2)), 3u);
+  }
+  LogStore store(config_for(dir, 2, 1));
+  std::map<std::size_t, std::vector<std::string>> entries, records;
+  const RecoveryReport report = store.recover(
+      [&](std::size_t s, const SnapshotEntry& e) { entries[s].push_back(e.id); },
+      [&](std::size_t s, const WalRecord& r) { records[s].push_back(r.id); });
+  EXPECT_THAT(entries[0], ElementsAre("alice", "bob"));
+  EXPECT_THAT(records[0], ElementsAre("dave"));
+  EXPECT_THAT(records[1], ElementsAre("carol"));
+  EXPECT_EQ(report.snapshot_entries, 2u);
+  EXPECT_EQ(store.shard_sequence(0), 3u)
+      << "sequence resumes at applied_seq + replayed records";
+}
+
+TEST(LogStore, SurvivesACorruptShardSnapshotByFallingBackToTheSegments) {
+  const std::string dir = fresh_dir("badsnap");
+  {
+    LogStore store(config_for(dir, 1));
+    (void)store.recover(nullptr, nullptr);
+    EXPECT_TRUE(store.append(0, sample_enroll("alice")).has_value());
+  }
+  {  // garbage where the shard snapshot should be
+    std::ofstream snap(fs::path(dir) / "shard-0" / "snapshot.bin",
+                       std::ios::binary | std::ios::trunc);
+    snap << "not a snapshot";
+  }
+  LogStore store(config_for(dir, 1));
+  std::vector<std::string> seen;
+  const RecoveryReport report = store.recover(
+      nullptr, [&](std::size_t, const WalRecord& r) { seen.push_back(r.id); });
+  EXPECT_TRUE(report.snapshot_corrupt);
+  EXPECT_THAT(seen, ElementsAre("alice"));
+}
+
+// ------------------------------------------------------- replication reads
+
+TEST(LogStore, ReadTailServesRangesAcrossSegmentsAndRefusesCompactedOnes) {
+  const std::string dir = fresh_dir("tail");
+  LogStore store(config_for(dir, 1, 1));  // rotate on every append
+  (void)store.recover(nullptr, nullptr);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(store.append(0, sample_enroll("u" + std::to_string(i))).has_value());
+  }
+  // Full tail, spanning every sealed segment plus the active one.
+  auto tail = store.read_tail(0, 1, 100);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->first_seq, 1u);
+  EXPECT_TRUE(tail->caught_up);
+  ASSERT_EQ(tail->records.size(), 6u);
+  EXPECT_EQ(tail->records[5].id, "u5");
+  // A bounded read is not caught up.
+  tail = store.read_tail(0, 2, 3);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->first_seq, 2u);
+  EXPECT_FALSE(tail->caught_up);
+  ASSERT_EQ(tail->records.size(), 3u);
+  EXPECT_EQ(tail->records[0].id, "u1");
+  // One past the end: an empty caught-up batch (the live-tailing idle case).
+  tail = store.read_tail(0, 7, 10);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_TRUE(tail->records.empty());
+  EXPECT_TRUE(tail->caught_up);
+  // Beyond that, and sequence 0, are refused.
+  EXPECT_FALSE(store.read_tail(0, 8, 10).has_value());
+  EXPECT_FALSE(store.read_tail(0, 0, 10).has_value());
+
+  // After compaction the folded range is gone: a replica asking for it must
+  // be redirected to snapshot bootstrap.
+  ASSERT_TRUE(store.compact_shard(
+      0, {SnapshotEntry{.id = "u0", .pk_bytes = sample_pk_bytes(), .enrolled_epoch = 3}}));
+  EXPECT_FALSE(store.read_tail(0, 3, 10).has_value());
+  ASSERT_TRUE(store.append(0, sample_enroll("u6")).has_value());
+  tail = store.read_tail(0, 7, 10);
+  ASSERT_TRUE(tail.has_value());
+  ASSERT_EQ(tail->records.size(), 1u);
+  EXPECT_EQ(tail->records[0].id, "u6");
+}
+
+TEST(LogStore, SnapshotChunksPageAndInstallSnapshotAdoptsTheSequence) {
+  const std::string dir = fresh_dir("chunks");
+  LogStore store(config_for(dir, 1));
+  (void)store.recover(nullptr, nullptr);
+  // A shard that never compacted: empty chunk, applied_seq 0.
+  auto chunk = store.read_snapshot_chunk(0, 0, 10);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->applied_seq, 0u);
+  EXPECT_EQ(chunk->total, 0u);
+
+  std::vector<SnapshotEntry> entries;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(store.append(0, sample_enroll("u" + std::to_string(i))).has_value());
+    entries.push_back(SnapshotEntry{.id = "u" + std::to_string(i),
+                                    .pk_bytes = sample_pk_bytes(),
+                                    .enrolled_epoch = 3});
+  }
+  ASSERT_TRUE(store.compact_shard(0, entries));
+  chunk = store.read_snapshot_chunk(0, 3, 2);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->applied_seq, 5u);
+  EXPECT_EQ(chunk->total, 5u);
+  ASSERT_EQ(chunk->entries.size(), 2u);
+  EXPECT_EQ(chunk->entries[0].id, "u3");
+
+  // A replica installing that snapshot adopts its fold point as its own
+  // sequence and keeps appending from there.
+  const std::string replica_dir = fresh_dir("chunks_replica");
+  LogStore replica(config_for(replica_dir, 1));
+  (void)replica.recover(nullptr, nullptr);
+  ASSERT_TRUE(replica.install_snapshot(0, entries, 5));
+  EXPECT_EQ(replica.shard_sequence(0), 5u);
+  EXPECT_EQ(replica.append(0, sample_enroll("u5")), 6u);
+  LogStore reopened(config_for(replica_dir, 1));
+  std::vector<std::string> ids;
+  (void)reopened.recover(
+      [&](std::size_t, const SnapshotEntry& e) { ids.push_back(e.id + "="); },
+      [&](std::size_t, const WalRecord& r) { ids.push_back(r.id); });
+  EXPECT_THAT(ids, ElementsAre("u0=", "u1=", "u2=", "u3=", "u4=", "u5"));
+}
+
+// ------------------------------------------- crash-mid-compaction recovery
+
+/// Runs a child that builds a store, then compacts shard 0 with a hook that
+/// _exit(0)s at `victim` — modelling kill -9 at that exact phase — and
+/// asserts the reopened store still replays every acknowledged record.
+void crash_at(CompactionPhase victim, const std::string& tag) {
+  const std::string dir = fresh_dir(tag);
+  // Parent builds the pre-crash state so the child only runs the compaction.
+  std::vector<SnapshotEntry> entries;
+  {
+    LogStore store(config_for(dir, 1, 1));
+    (void)store.recover(nullptr, nullptr);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(store.append(0, sample_enroll("u" + std::to_string(i), 1)).has_value());
+      entries.push_back(SnapshotEntry{.id = "u" + std::to_string(i),
+                                      .pk_bytes = sample_pk_bytes(),
+                                      .enrolled_epoch = 1});
+    }
+  }
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    LogStore store(config_for(dir, 1, 1));
+    (void)store.recover(nullptr, nullptr);
+    store.set_compaction_hook([victim](std::size_t, CompactionPhase phase) {
+      if (phase == victim) _exit(0);
+    });
+    (void)store.compact_shard(0, entries);
+    _exit(1);  // the hook must have fired
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "child must die inside compact_shard";
+
+  // Reboot: every acknowledged record is still there, exactly once, in
+  // order, no matter which phase the kill landed on.
+  LogStore store(config_for(dir, 1, 1));
+  std::vector<std::string> ids;
+  const RecoveryReport report = store.recover(
+      [&](std::size_t, const SnapshotEntry& e) { ids.push_back(e.id); },
+      [&](std::size_t, const WalRecord& r) { ids.push_back(r.id); });
+  EXPECT_FALSE(report.snapshot_corrupt);
+  EXPECT_THAT(ids, ElementsAre("u0", "u1", "u2", "u3", "u4", "u5"));
+  EXPECT_EQ(store.shard_sequence(0), 6u);
+  EXPECT_EQ(store.append(0, sample_enroll("u6", 2)), 7u);
+}
+
+TEST(LogStoreCrash, KilledBeforeTheSnapshotRenameLosesNothing) {
+  crash_at(CompactionPhase::kBeforeSnapshotRename, "crash_pre_rename");
+}
+
+TEST(LogStoreCrash, KilledAfterTheSnapshotRenameLosesNothing) {
+  crash_at(CompactionPhase::kAfterSnapshotRename, "crash_post_rename");
+}
+
+TEST(LogStoreCrash, KilledMidSegmentDeletionLosesNothing) {
+  crash_at(CompactionPhase::kAfterFirstUnlink, "crash_mid_unlink");
+}
+
+}  // namespace
+}  // namespace mccls::kgc

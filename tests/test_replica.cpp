@@ -1,0 +1,300 @@
+// The replication layer end-to-end: a follower bootstrapping from an empty
+// directory via kReplicate answers bit-identical keys; bootstrap pages
+// snapshot chunks when the primary compacted the tail away; live tailing
+// picks up post-sync mutations; a restarted replica resumes from its durable
+// sequence instead of re-bootstrapping; mutating ops at a replica answer
+// kReadOnly; the same flows over real loopback TCP through netd; and
+// svc::ReplicaSetResolver fails over from a faulted primary to a follower
+// without ever laundering the outage into a trust verdict.
+#include "kgc/replica.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cls/mccls.hpp"
+#include "kgc/kgcd.hpp"
+#include "netd/client.hpp"
+#include "netd/front.hpp"
+#include "netd/server.hpp"
+#include "svc/resolver.hpp"
+
+namespace mccls::kgc {
+namespace {
+
+namespace fs = std::filesystem;
+using crypto::Bytes;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("replica_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// Primary kgcd with a handful of enrolled signers (distinct real keys, so
+/// "bit-identical" is a meaningful comparison, not all-equal by accident).
+struct ReplicaFixture {
+  crypto::HmacDrbg rng{std::uint64_t{0x5EED0F5E7}};
+  cls::Kgc kgc = cls::Kgc::setup(rng);
+  cls::Mccls scheme;
+  std::unique_ptr<Kgcd> daemon;
+  std::vector<std::string> ids;
+
+  explicit ReplicaFixture(const std::string& dir_name, std::size_t identities = 5,
+                          std::size_t shards = 4) {
+    daemon = std::make_unique<Kgcd>(
+        kgc.master_key_for_tests(),
+        KgcdConfig{.data_dir = fresh_dir(dir_name), .shards = shards, .fsync = false});
+    for (std::size_t i = 0; i < identities; ++i) {
+      const std::string id = "node-" + std::to_string(i);
+      const cls::PublicKey pk = scheme.derive_public(kgc.params(), rng.next_nonzero_fq());
+      EXPECT_EQ(daemon->enroll(id, pk.to_bytes()).status, KgcStatus::kOk);
+      ids.push_back(id);
+    }
+  }
+
+  Transport loopback() {
+    return [this](const Bytes& request) -> std::optional<Bytes> {
+      return daemon->handle_frame(request);
+    };
+  }
+
+  ReplicaConfig replica_config(const std::string& dir_name, std::size_t batch_limit = 256) {
+    return ReplicaConfig{.data_dir = fresh_dir(dir_name),
+                         .shards = daemon->store().shards(),
+                         .fsync = false,
+                         .batch_limit = batch_limit};
+  }
+};
+
+/// kLookup through any frame handler; returns (status, payload bytes).
+template <typename Handler>
+std::pair<KgcStatus, Bytes> lookup_via(Handler&& handler, const std::string& id,
+                                       std::uint64_t request_id = 7) {
+  const Bytes frame = encode_kgc_request(
+      KgcRequest{.op = KgcOp::kLookup, .request_id = request_id, .id = id});
+  const auto response = decode_kgc_response(handler(frame));
+  if (!response) return {KgcStatus::kMalformed, {}};
+  return {response->status, response->payload};
+}
+
+/// Every identity the primary resolves, the replica must resolve to the
+/// exact same bytes (and unknown/revoked identities must agree too).
+void expect_bit_identical(ReplicaFixture& f, Replica& replica) {
+  auto via_primary = [&](std::span<const std::uint8_t> frame) {
+    return f.daemon->handle_frame(frame);
+  };
+  auto via_replica = [&](std::span<const std::uint8_t> frame) {
+    return replica.handle_frame(frame);
+  };
+  for (const std::string& id : f.ids) {
+    const auto [p_status, p_payload] = lookup_via(via_primary, id);
+    const auto [r_status, r_payload] = lookup_via(via_replica, id);
+    EXPECT_EQ(r_status, p_status) << id;
+    EXPECT_EQ(r_payload, p_payload) << id;
+  }
+  const auto [p_status, p_payload] = lookup_via(via_primary, "never-enrolled");
+  const auto [r_status, r_payload] = lookup_via(via_replica, "never-enrolled");
+  EXPECT_EQ(r_status, p_status);
+  EXPECT_TRUE(r_payload.empty());
+  for (std::size_t s = 0; s < f.daemon->store().shards(); ++s) {
+    EXPECT_EQ(replica.next_seq(s), f.daemon->store().shard_sequence(s) + 1)
+        << "shard " << s;
+  }
+}
+
+// --------------------------------------------------------------- catch-up
+
+TEST(Replica, BootstrapsFromAnEmptyDirectoryBitIdentically) {
+  ReplicaFixture f("boot_primary");
+  EXPECT_EQ(f.daemon->revoke(f.ids[1]), KgcStatus::kOk);  // revocations replicate too
+  Replica replica(f.replica_config("boot_follower"), f.loopback());
+  ASSERT_TRUE(replica.sync());
+  expect_bit_identical(f, replica);
+  EXPECT_GT(replica.metrics().snapshot().replica_records, 0u);
+}
+
+TEST(Replica, BootstrapPagesSnapshotChunksAfterPrimaryCompaction) {
+  ReplicaFixture f("chunk_primary", 8);
+  // Fold everything into per-shard snapshots: the records a fresh follower
+  // wants are gone from the segments, so catch-up must go via chunks — and a
+  // batch_limit of 1 forces the page loop to actually page.
+  ASSERT_TRUE(f.daemon->snapshot().has_value());
+  Replica replica(f.replica_config("chunk_follower", 1), f.loopback());
+  ASSERT_TRUE(replica.sync());
+  expect_bit_identical(f, replica);
+  EXPECT_GT(replica.metrics().snapshot().replica_snapshot_entries, 0u);
+}
+
+TEST(Replica, TailsLiveMutationsAfterTheInitialSync) {
+  ReplicaFixture f("tail_primary");
+  Replica replica(f.replica_config("tail_follower"), f.loopback());
+  ASSERT_TRUE(replica.sync());
+
+  const cls::PublicKey pk = f.scheme.derive_public(f.kgc.params(), f.rng.next_nonzero_fq());
+  ASSERT_EQ(f.daemon->enroll("late-joiner", pk.to_bytes()).status, KgcStatus::kOk);
+  ASSERT_EQ(f.daemon->revoke(f.ids[0]), KgcStatus::kOk);
+  f.ids.push_back("late-joiner");
+
+  ASSERT_TRUE(replica.poll());
+  expect_bit_identical(f, replica);
+}
+
+TEST(Replica, RestartResumesFromTheDurableSequenceAndKeepsTailing) {
+  ReplicaFixture f("resume_primary");
+  const std::string follower_dir = fresh_dir("resume_follower");
+  ReplicaConfig config{.data_dir = follower_dir,
+                       .shards = f.daemon->store().shards(),
+                       .fsync = false};
+  {
+    Replica replica(config, f.loopback());
+    ASSERT_TRUE(replica.sync());
+  }
+  // More history lands while the follower is down.
+  const cls::PublicKey pk = f.scheme.derive_public(f.kgc.params(), f.rng.next_nonzero_fq());
+  ASSERT_EQ(f.daemon->enroll("while-down", pk.to_bytes()).status, KgcStatus::kOk);
+  f.ids.push_back("while-down");
+
+  Replica rebooted(config, f.loopback());
+  // Recovery alone restores everything synced before the restart...
+  std::uint64_t already = 0;
+  for (std::size_t s = 0; s < f.daemon->store().shards(); ++s) {
+    already += rebooted.next_seq(s) - 1;
+  }
+  EXPECT_GT(already, 0u) << "restart must not begin from sequence zero";
+  // ...and one poll fetches only the delta.
+  ASSERT_TRUE(rebooted.poll());
+  expect_bit_identical(f, rebooted);
+  EXPECT_LT(rebooted.metrics().snapshot().replica_records, already)
+      << "resume must transfer the missing suffix, not the whole history";
+}
+
+// ------------------------------------------------------------- wire guard
+
+TEST(Replica, AnswersMutatingOpsReadOnlyAndMalformedFramesMalformed) {
+  ReplicaFixture f("readonly_primary", 2);
+  Replica replica(f.replica_config("readonly_follower"), f.loopback());
+  ASSERT_TRUE(replica.sync());
+
+  const Bytes pk_bytes =
+      f.scheme.derive_public(f.kgc.params(), f.rng.next_nonzero_fq()).to_bytes();
+  const KgcRequest mutators[] = {
+      {.op = KgcOp::kEnroll, .request_id = 1, .id = "intruder", .pk_bytes = pk_bytes},
+      {.op = KgcOp::kRevoke, .request_id = 2, .id = f.ids[0]},
+      {.op = KgcOp::kSnapshot, .request_id = 3},
+      {.op = KgcOp::kVouch, .request_id = 4, .id = f.ids[0]},
+  };
+  for (const KgcRequest& request : mutators) {
+    const auto response = decode_kgc_response(replica.handle_frame(encode_kgc_request(request)));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, KgcStatus::kReadOnly)
+        << "op " << static_cast<int>(request.op);
+    EXPECT_EQ(response->request_id, request.request_id);
+  }
+  // The refusals left the replica's state untouched.
+  const auto [status, payload] =
+      lookup_via([&](std::span<const std::uint8_t> fr) { return replica.handle_frame(fr); },
+                 f.ids[0]);
+  EXPECT_EQ(status, KgcStatus::kOk);
+  EXPECT_FALSE(payload.empty());
+
+  const Bytes garbage{0xde, 0xad, 0xbe, 0xef};
+  const auto response = decode_kgc_response(replica.handle_frame(garbage));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, KgcStatus::kMalformed);
+}
+
+// ------------------------------------------------------------------- TCP
+
+TEST(Replica, CatchesUpAndServesLookupsOverRealSockets) {
+  ReplicaFixture f("tcp_primary");
+  // Primary behind a netd front end.
+  netd::KgcdFrontEnd primary_sink(*f.daemon);
+  netd::NetServer primary_server(netd::NetdConfig{.tick_ms = 5}, &primary_sink);
+  ASSERT_TRUE(primary_server.start()) << primary_server.error();
+
+  netd::BlockingClient upstream;
+  ASSERT_TRUE(upstream.connect("127.0.0.1", primary_server.port())) << upstream.error();
+  Replica replica(f.replica_config("tcp_follower"),
+                  [&upstream](const Bytes& request) { return upstream.call(request); });
+  ASSERT_TRUE(replica.sync());
+  expect_bit_identical(f, replica);
+
+  // The replica itself behind a front end: reads served, writes refused.
+  netd::KgcdFrontEnd replica_sink(replica);
+  netd::NetServer replica_server(netd::NetdConfig{.tick_ms = 5}, &replica_sink);
+  ASSERT_TRUE(replica_server.start()) << replica_server.error();
+  netd::BlockingClient reader;
+  ASSERT_TRUE(reader.connect("127.0.0.1", replica_server.port())) << reader.error();
+
+  const auto lookup_reply = reader.call(encode_kgc_request(
+      KgcRequest{.op = KgcOp::kLookup, .request_id = 11, .id = f.ids[0]}));
+  ASSERT_TRUE(lookup_reply.has_value());
+  const auto lookup = decode_kgc_response(*lookup_reply);
+  ASSERT_TRUE(lookup.has_value());
+  EXPECT_EQ(lookup->status, KgcStatus::kOk);
+  EXPECT_EQ(lookup->payload, f.daemon->lookup(f.ids[0]).pk_bytes);
+
+  const auto revoke_reply = reader.call(encode_kgc_request(
+      KgcRequest{.op = KgcOp::kRevoke, .request_id = 12, .id = f.ids[0]}));
+  ASSERT_TRUE(revoke_reply.has_value());
+  const auto revoke = decode_kgc_response(*revoke_reply);
+  ASSERT_TRUE(revoke.has_value());
+  EXPECT_EQ(revoke->status, KgcStatus::kReadOnly);
+
+  replica_server.stop();
+  primary_server.stop();
+}
+
+// ------------------------------------------------------- replica-set routing
+
+TEST(ReplicaSet, FailsOverFromAFaultedPrimaryToAFollower) {
+  ReplicaFixture f("failover_primary");
+  Replica follower(f.replica_config("failover_follower"), f.loopback());
+  ASSERT_TRUE(follower.sync());
+
+  // A primary whose every resolve fails transiently, and a healthy follower.
+  svc::FaultInjectingResolver faulted(&f.daemon->directory(),
+                                      svc::FaultConfig{.fail_rate = 1.0});
+  svc::ResilientConfig config;
+  config.max_attempts = 1;  // the set's failover is the retry policy here
+  config.breaker_consecutive = 2;
+  svc::ReplicaSetResolver set({&faulted, &follower.directory()}, config);
+  svc::ServiceMetrics metrics;
+  set.set_metrics(&metrics);
+
+  // Definitive answers keep flowing through the follower...
+  const svc::ResolveResult hit = set.resolve(f.ids[0]);
+  EXPECT_TRUE(hit.has_key());
+  EXPECT_GT(metrics.snapshot().resolve_failovers, 0u);
+  // ...including definitive negatives: a kNotVouched from a follower is a
+  // trust verdict, not an availability failure.
+  EXPECT_EQ(set.resolve("never-enrolled").outcome, svc::ResolveOutcome::kNotVouched);
+
+  // The primary's breaker trips (it alone absorbed the failures); the
+  // follower's stays closed.
+  EXPECT_EQ(set.breaker_state(0), svc::BreakerState::kOpen);
+  EXPECT_EQ(set.breaker_state(1), svc::BreakerState::kClosed);
+  // An open breaker means fast-fail, not an error surfaced to verifiers.
+  EXPECT_TRUE(set.resolve(f.ids[1]).has_key());
+}
+
+TEST(ReplicaSet, SurfacesTransienceOnlyWhenEveryEndpointIsDown) {
+  ReplicaFixture f("alldown_primary", 2);
+  svc::FaultInjectingResolver faulted_a(&f.daemon->directory(),
+                                        svc::FaultConfig{.fail_rate = 1.0});
+  svc::FaultInjectingResolver faulted_b(&f.daemon->directory(),
+                                        svc::FaultConfig{.fail_rate = 1.0});
+  svc::ResilientConfig config;
+  config.max_attempts = 1;
+  svc::ReplicaSetResolver set({&faulted_a, &faulted_b}, config);
+  const svc::ResolveResult result = set.resolve(f.ids[0]);
+  EXPECT_TRUE(result.transient()) << "a full outage must stay transient, never a verdict";
+}
+
+}  // namespace
+}  // namespace mccls::kgc

@@ -17,6 +17,7 @@
 //   kgcd_loadgen [--producers P] [--ops R] [--identities S] [--skew Z]
 //                [--enroll-pct PCT] [--fsync] [--dir PATH] [--seed N]
 //                [--json PATH] [--fault] [--fault-rate F] [--stall-ms MS]
+//                [--replicas K] [--compact-interval MS]
 //                [--tcp] [--connect HOST:PORT] [--connections C] [--pipeline M]
 //
 // TCP mode (--tcp, or --connect) drives the daemon through src/netd sockets
@@ -41,8 +42,22 @@
 // resolve latency percentiles). This is the knob the nightly fault soak
 // turns.
 //
+// Replica mode (--replicas K, in-process only) stands up K read replicas,
+// each with its own segmented store, bootstrapped from the primary via the
+// kReplicate catch-up protocol before the clock starts. During the run each
+// follower tails the primary from its own poller thread while the resolve
+// slots of the op mix are served through a svc::ReplicaSetResolver whose
+// endpoints are the followers (primary last, as the backstop) — the
+// deployment shape where read replicas carry lookup traffic and the primary
+// owns enroll/revoke. After the run every follower must catch up to
+// bit-identical shard sequences or the loadgen fails. --compact-interval MS
+// turns on the daemon's background compaction thread, which is what the
+// nightly compaction-under-load soak drives: sustained mixed load with
+// shards being folded underneath it, no global pause.
+//
 // The data directory is recreated from scratch each run (it is a load
 // generator, not a durability test — tests/test_kgcd.cpp owns recovery).
+// It defaults under build/ so scratch stores never land in the source tree.
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -51,6 +66,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -58,6 +74,7 @@
 
 #include "cls/mccls.hpp"
 #include "kgc/kgcd.hpp"
+#include "kgc/replica.hpp"
 #include "netd/client.hpp"
 #include "netd/front.hpp"
 #include "netd/server.hpp"
@@ -74,8 +91,10 @@ struct Options {
   double skew = 0.0;
   double enroll_pct = 10.0;
   bool fsync = false;
-  std::string dir = "kgcd_loadgen.data";
+  std::string dir = "build/kgcd_loadgen.data";
   std::uint64_t seed = 0x46CD;
+  std::size_t replicas = 0;            ///< read replicas tailing the primary
+  std::uint64_t compact_interval = 0;  ///< background compaction cadence (ms)
   std::string json_path;
   bool fault = false;          ///< route resolves through the resilient pipeline
   double fault_rate = -1.0;    ///< <0 = unset (0.1 under bare --fault)
@@ -101,9 +120,11 @@ int usage() {
                "                    [--skew Z] [--enroll-pct PCT] [--fsync]\n"
                "                    [--dir PATH] [--seed N] [--json PATH]\n"
                "                    [--fault] [--fault-rate F] [--stall-ms MS]\n"
+               "                    [--replicas K] [--compact-interval MS]\n"
                "                    [--tcp] [--connect HOST:PORT]\n"
                "                    [--connections C] [--pipeline M]\n"
-               "(--fault is in-process-only and cannot combine with --tcp/--connect)\n");
+               "(--fault and --replicas are in-process-only and cannot combine\n"
+               " with --tcp/--connect, or with each other)\n");
   return 2;
 }
 
@@ -156,6 +177,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.connections = std::strtoull(value, nullptr, 10);
     } else if (flag == "--pipeline") {
       opt.pipeline = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--replicas") {
+      opt.replicas = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--compact-interval") {
+      opt.compact_interval = std::strtoull(value, nullptr, 10);
     } else {
       return false;
     }
@@ -164,6 +189,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
   if (opt.tcp_mode() && (opt.fault_mode() || opt.connections == 0 || opt.pipeline == 0)) {
     return false;
   }
+  if (opt.replicas > 0 && (opt.tcp_mode() || opt.fault_mode())) return false;
   return opt.producers > 0 && opt.ops > 0 && opt.identities > 0;
 }
 
@@ -261,7 +287,9 @@ int main(int argc, char** argv) {
     std::filesystem::remove_all(opt.dir);
     std::filesystem::create_directories(opt.dir);
     daemon.emplace(kgc.master_key_for_tests(),
-                   kgc::KgcdConfig{.data_dir = opt.dir, .fsync = opt.fsync});
+                   kgc::KgcdConfig{.data_dir = opt.dir,
+                                   .fsync = opt.fsync,
+                                   .compact_interval_ms = opt.compact_interval});
     for (std::size_t s = 0; s < opt.identities; ++s) {
       if (daemon->enroll(ids[s], pk_bytes[s]).status != kgc::KgcStatus::kOk) {
         std::fprintf(stderr, "error: pre-enroll of %s failed\n", ids[s].c_str());
@@ -269,6 +297,31 @@ int main(int argc, char** argv) {
       }
     }
     daemon->directory().drop_caches();  // producers start from a cold LRU
+  }
+
+  // Replica mode: K followers bootstrap from the primary off the clock, then
+  // tail it from poller threads while the run's resolve ops are answered by
+  // the replica set (followers first; the primary is only the backstop).
+  std::vector<std::unique_ptr<kgc::Replica>> followers;
+  std::optional<svc::ReplicaSetResolver> replica_set;
+  for (std::size_t k = 0; k < opt.replicas; ++k) {
+    const std::string follower_dir = opt.dir + "-replica-" + std::to_string(k);
+    std::filesystem::remove_all(follower_dir);
+    followers.push_back(std::make_unique<kgc::Replica>(
+        kgc::ReplicaConfig{.data_dir = follower_dir, .fsync = false},
+        [&daemon](const crypto::Bytes& request) -> std::optional<crypto::Bytes> {
+          return daemon->handle_frame(request);
+        }));
+    if (!followers.back()->sync()) {
+      std::fprintf(stderr, "error: replica %zu failed to bootstrap\n", k);
+      return 1;
+    }
+  }
+  if (!followers.empty()) {
+    std::vector<svc::PkResolver*> endpoints;
+    for (const auto& follower : followers) endpoints.push_back(&follower->directory());
+    endpoints.push_back(&daemon->directory());
+    replica_set.emplace(std::move(endpoints));
   }
 
   // Fault mode (in-process only): resolves go through the degraded-directory
@@ -364,8 +417,19 @@ int main(int argc, char** argv) {
     }
   } else {
     svc::PkResolver& resolver =
-        opt.fault_mode() ? static_cast<svc::PkResolver&>(*resilient)
-                         : static_cast<svc::PkResolver&>(daemon->directory());
+        replica_set ? static_cast<svc::PkResolver&>(*replica_set)
+        : opt.fault_mode() ? static_cast<svc::PkResolver&>(*resilient)
+                           : static_cast<svc::PkResolver&>(daemon->directory());
+    std::atomic<bool> stop_pollers{false};
+    std::vector<std::jthread> pollers;
+    for (std::size_t k = 0; k < followers.size(); ++k) {
+      pollers.emplace_back([&, k] {
+        while (!stop_pollers.load(std::memory_order_relaxed)) {
+          (void)followers[k]->poll();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
     const auto start = std::chrono::steady_clock::now();
     {
       std::vector<std::jthread> producers;
@@ -413,6 +477,7 @@ int main(int argc, char** argv) {
     }
     seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                   .count();
+    stop_pollers.store(true, std::memory_order_relaxed);
   }
 
   const double total = static_cast<double>(opt.ops);
@@ -431,6 +496,30 @@ int main(int argc, char** argv) {
   std::printf("  outcomes:  %llu ok, %llu refused\n",
               static_cast<unsigned long long>(ok.load()),
               static_cast<unsigned long long>(refused.load()));
+  if (!followers.empty()) {
+    // The run is only a pass if every follower converges to bit-identical
+    // shard sequences once the mutation stream stops.
+    std::uint64_t streamed_records = 0, streamed_entries = 0;
+    for (std::size_t k = 0; k < followers.size(); ++k) {
+      if (!followers[k]->sync()) {
+        std::fprintf(stderr, "error: replica %zu failed its final catch-up\n", k);
+        return 1;
+      }
+      for (std::size_t s = 0; s < daemon->store().shards(); ++s) {
+        if (followers[k]->next_seq(s) != daemon->store().shard_sequence(s) + 1) {
+          std::fprintf(stderr, "error: replica %zu shard %zu out of sync\n", k, s);
+          return 1;
+        }
+      }
+      const auto follower_metrics = followers[k]->metrics().snapshot();
+      streamed_records += follower_metrics.replica_records;
+      streamed_entries += follower_metrics.replica_snapshot_entries;
+    }
+    std::printf("  replicas:  %zu followers caught up bit-identically "
+                "(%llu records, %llu snapshot entries streamed)\n",
+                followers.size(), static_cast<unsigned long long>(streamed_records),
+                static_cast<unsigned long long>(streamed_entries));
+  }
   if (opt.tcp_mode()) {
     std::printf("  transport: peak %zu concurrent connections, %llu backpressure "
                 "pauses / %llu resumes, %llu dispatch retries\n",

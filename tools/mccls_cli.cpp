@@ -580,6 +580,7 @@ const char* kgc_status_name(kgc::KgcStatus status) {
     case kgc::KgcStatus::kConflict: return "conflict";
     case kgc::KgcStatus::kMalformed: return "malformed";
     case kgc::KgcStatus::kStoreError: return "store-error";
+    case kgc::KgcStatus::kReadOnly: return "read-only";
   }
   return "?";
 }
