@@ -34,6 +34,13 @@ AodvAgent::AodvAgent(sim::Simulator& simulator, net::Channel& channel, NodeId id
   if (cfg_.use_hello && attack_ != AttackType::kWormhole) {
     sim_.schedule_in(rng_.uniform(0, cfg_.hello_interval), [this] { hello_tick(); });
   }
+  if (attack_ == AttackType::kSybil && cfg_.use_hello && cfg_.sybil_pool > 0) {
+    sim_.schedule_in(rng_.uniform(0, cfg_.hello_interval), [this] { sybil_hello_tick(); });
+  }
+  if (attack_ == AttackType::kReplayStorm && cfg_.replay_storm_interval > 0) {
+    sim_.schedule_in(rng_.uniform(0, cfg_.replay_storm_interval),
+                     [this] { replay_storm_tick(); });
+  }
 }
 
 // ------------------------------------------- local connectivity (HELLO)
@@ -120,7 +127,8 @@ void AodvAgent::on_frame(const net::Frame& frame) {
   note_alive(from);  // any frame proves the link is up
 
   if (const auto* hello = std::get_if<Hello>(&payload->msg)) {
-    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing ||
+        attack_ == AttackType::kSybil || attack_ == AttackType::kReplayStorm) {
       return;  // outsider attackers ignore beacons
     }
     if (security_ != nullptr) {
@@ -153,6 +161,20 @@ void AodvAgent::on_frame(const net::Frame& frame) {
       }
       return;
     }
+    if (attack_ == AttackType::kSybil) {
+      if (rreq->origin != id_ && rreq->dest != id_ &&
+          !already_seen(rreq->origin, rreq->rreq_id)) {
+        sybil_reply(*rreq, from);
+      }
+      return;
+    }
+    if (attack_ == AttackType::kReplayStorm) {
+      // Harvest raw floods for later refloods; never forward honestly.
+      if (rreq->origin != id_ && replay_log_.size() < cfg_.replay_record_cap) {
+        replay_log_.emplace_back(*rreq, from);
+      }
+      return;
+    }
     if (attack_ == AttackType::kRushing) {
       if (rreq->origin != id_ && !already_seen(rreq->origin, rreq->rreq_id)) {
         table_.touch_neighbor(from, sim_.now());
@@ -180,6 +202,15 @@ void AodvAgent::on_frame(const net::Frame& frame) {
     Rreq copy = *rreq;
     const double delay = verify_latency(2);
     sim_.schedule_in(delay, [this, copy = std::move(copy), from]() mutable {
+      // Replay defense, checked before the (costlier) signature work: the
+      // origination timestamp is covered by the origin signature, so a
+      // replayer cannot refresh it — stale floods die here. Only meaningful
+      // when secured; an unsigned timestamp is trivially forgeable.
+      if (security_ != nullptr && cfg_.rreq_freshness > 0 &&
+          sim_.now() - copy.issued_at > cfg_.rreq_freshness) {
+        ++metrics_.replay_rejected;
+        return;
+      }
       if (security_ != nullptr && copy.origin_auth && copy.hop_auth &&
           (copy.origin_auth->signer != copy.origin || copy.hop_auth->signer != from)) {
         ++metrics_.auth_rejected;
@@ -191,7 +222,9 @@ void AodvAgent::on_frame(const net::Frame& frame) {
     return;
   }
   if (const auto* rrep = std::get_if<Rrep>(&payload->msg)) {
-    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+    if (attack_ == AttackType::kReplayStorm) return;  // pure flooder
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing ||
+        attack_ == AttackType::kSybil) {
       // Outsider attackers forward RREPs to insert themselves onto paths.
       Rrep copy = *rrep;
       handle_rrep(std::move(copy), from);
@@ -210,7 +243,8 @@ void AodvAgent::on_frame(const net::Frame& frame) {
     return;
   }
   if (const auto* rerr = std::get_if<Rerr>(&payload->msg)) {
-    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing ||
+        attack_ == AttackType::kSybil || attack_ == AttackType::kReplayStorm) {
       return;  // outsider attackers ignore RERRs
     }
     Rerr copy = *rerr;
@@ -410,6 +444,74 @@ void AodvAgent::black_hole_reply(const Rreq& rreq, NodeId reverse_hop) {
   send_rrep(std::move(rrep), reverse_hop, /*forwarded=*/false);
 }
 
+// ------------------------------------------------- sybil / replay-storm
+
+NodeId AodvAgent::sybil_identity(std::size_t k) const {
+  // Well above any real node id; distinct pools per attacker.
+  return 0x10000u + static_cast<NodeId>(id_) * 64u + static_cast<NodeId>(k);
+}
+
+void AodvAgent::sybil_reply(const Rreq& rreq, NodeId reverse_hop) {
+  // Black-hole bait under a fabricated identity: the RREP claims a fresh
+  // one-hop route via a node that does not exist, but the data still flows
+  // to the attacker (the frame's physical source is us, so receivers adopt
+  // us as next hop). Both signatures bind correctly — origin to the claimed
+  // replier, hop to the transmitter — but neither identity is enrolled, so
+  // secured verifiers reject on the crypto itself: KGC admission at work.
+  const NodeId fake = sybil_identity(sybil_cursor_++ % cfg_.sybil_pool);
+  Rrep rrep{.origin = rreq.origin,
+            .dest = rreq.dest,
+            .dest_seq = rreq.dest_seq + 1,
+            .replier = fake,
+            .hop_count = 1,
+            .lifetime = cfg_.rrep_lifetime};
+  ++metrics_.rrep_generated;
+  if (security_ != nullptr) {
+    rrep.origin_auth = security_->sign(fake, signable_bytes(rrep));
+    rrep.hop_auth = security_->sign(id_, signable_bytes(rrep));
+  }
+  const std::size_t bytes =
+      base_wire_size(rrep) + auth_overhead(rrep.origin_auth, rrep.hop_auth);
+  channel_.unicast(id_, reverse_hop, bytes, AodvPayload{rrep});
+}
+
+void AodvAgent::sybil_hello_tick() {
+  // Beacon one fabricated identity per interval (round-robin through the
+  // pool), polluting unsecured neighbor tables with phantom nodes.
+  const NodeId fake = sybil_identity(hello_seq_ % cfg_.sybil_pool);
+  Hello hello{.node = fake, .seq = ++sybil_seq_};
+  if (security_ != nullptr) {
+    hello.origin_auth = security_->sign(fake, signable_bytes(hello));
+  }
+  const std::size_t bytes =
+      base_wire_size(hello) + (hello.origin_auth ? wire_size(*hello.origin_auth) : 0);
+  channel_.broadcast_as(id_, fake, bytes, AodvPayload{hello});
+  sim_.schedule_in(cfg_.hello_interval * rng_.uniform(0.95, 1.05),
+                   [this] { sybil_hello_tick(); });
+}
+
+void AodvAgent::replay_storm_tick() {
+  for (const auto& [recorded, orig_from] : replay_log_) {
+    // Verbatim reflood with the original transmitter spoofed: every
+    // signature is genuine and correctly bound, so only the signed
+    // origination timestamp betrays it once stale. Unsecured networks
+    // re-flood whenever the RREQ-id dedup entry has expired.
+    const std::size_t bytes =
+        base_wire_size(recorded) + auth_overhead(recorded.origin_auth, recorded.hop_auth);
+    channel_.broadcast_as(id_, orig_from, bytes, AodvPayload{recorded});
+    // Id-mutated copies defeat duplicate suppression outright. Secured
+    // networks reject them on the origin signature (rreq_id is signed);
+    // unsecured networks eat a fresh flood per copy per burst.
+    for (int c = 0; c < cfg_.replay_copies; ++c) {
+      Rreq mutated = recorded;
+      mutated.rreq_id += 0x40000000u + ++replay_mutation_;
+      channel_.broadcast_as(id_, orig_from, bytes, AodvPayload{mutated});
+    }
+  }
+  sim_.schedule_in(cfg_.replay_storm_interval * rng_.uniform(0.95, 1.05),
+                   [this] { replay_storm_tick(); });
+}
+
 void AodvAgent::send_rrep(Rrep rrep, NodeId next_hop, bool forwarded) {
   // Colluding rushers move RREPs over their out-of-band tunnel.
   if (AodvAgent* peer = peer_by_id(next_hop); peer != nullptr) {
@@ -526,7 +628,8 @@ void AodvAgent::send_data(NodeId dst, std::size_t payload_bytes) {
 void AodvAgent::handle_data(const DataPacket& pkt, NodeId from) {
   table_.touch_neighbor(from, sim_.now());
   if (pkt.dst != id_) {
-    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing ||
+        attack_ == AttackType::kSybil || attack_ == AttackType::kReplayStorm) {
       // The outsider attack payoff: silently absorb transit traffic.
       ++metrics_.attacker_dropped;
       return;
@@ -621,6 +724,7 @@ void AodvAgent::send_rreq(NodeId dst, int attempt, std::uint8_t ttl) {
             .dest = dst,
             .dest_seq = 0,
             .unknown_dest_seq = true,
+            .issued_at = sim_.now(),
             .hop_count = 0,
             .ttl = ttl};
   if (const Route* stale = table_.find(dst); stale != nullptr && stale->valid_seq) {

@@ -42,6 +42,16 @@ enum class AttackType {
                ///< the physical layer. Every replayed signature is genuine,
                ///< so authentication cannot stop it (that takes packet
                ///< leashes); the fake adjacencies it creates poison routes.
+  kSybil,      ///< outsider: fabricates a pool of cheap identities, beacons
+               ///< them and answers discoveries as them, absorbing routed
+               ///< data. KGC admission is the defense: sybil identities are
+               ///< never enrolled, so their signatures cannot verify.
+  kReplayStorm,  ///< outsider: records overheard RREQs and refloods them
+                 ///< (verbatim with the original transmitter spoofed, plus
+                 ///< id-mutated copies that defeat duplicate suppression).
+                 ///< The signed origination timestamp is the defense:
+                 ///< secured nodes drop stale floods (replay_rejected), and
+                 ///< mutating any signed field breaks the signature.
 };
 
 /// Fraction of transit data a gray hole silently discards.
@@ -81,6 +91,17 @@ struct AodvConfig {
   std::uint8_t ttl_increment = 2;
   std::uint8_t ttl_threshold = 7;
   double node_traversal_time = 0.04;  ///< per-hop budget for ring timeouts
+
+  // Replay defense: secured nodes drop RREQs whose signed origination
+  // timestamp is older than this many seconds (0 disables). Unsigned
+  // timestamps are forgeable, so plain AODV never checks.
+  double rreq_freshness = 3.0;
+
+  // Attack knobs (only read by agents running the matching AttackType).
+  std::size_t sybil_pool = 4;          ///< fabricated identities per attacker
+  double replay_storm_interval = 1.0;  ///< seconds between reflood bursts
+  std::size_t replay_record_cap = 16;  ///< overheard RREQs retained
+  int replay_copies = 3;               ///< id-mutated copies per RREQ per burst
 };
 
 /// Payload carried in net::Frame::payload for all AODV traffic.
@@ -129,6 +150,12 @@ class AodvAgent final : public net::RadioListener {
   void forward_rreq(Rreq rreq);
   void send_rerr(std::vector<std::pair<NodeId, std::uint32_t>> unreachable);
   void black_hole_reply(const Rreq& rreq, NodeId reverse_hop);
+
+  // --- sybil / replay-storm attackers ---
+  [[nodiscard]] NodeId sybil_identity(std::size_t k) const;
+  void sybil_reply(const Rreq& rreq, NodeId reverse_hop);
+  void sybil_hello_tick();
+  void replay_storm_tick();
 
   // --- local connectivity maintenance ---
   void hello_tick();
@@ -188,6 +215,12 @@ class AodvAgent final : public net::RadioListener {
   std::uint32_t hello_seq_ = 0;
   std::vector<AodvAgent*> collusion_peers_;
   std::unordered_set<std::uint64_t> tunneled_;  ///< wormhole replay dedup
+
+  // Attacker state (sybil / replay-storm).
+  std::uint32_t sybil_seq_ = 0;
+  std::size_t sybil_cursor_ = 0;
+  std::vector<std::pair<Rreq, NodeId>> replay_log_;  ///< (packet, transmitter)
+  std::uint32_t replay_mutation_ = 0;
 };
 
 }  // namespace mccls::aodv

@@ -66,6 +66,7 @@ void encode(crypto::ByteWriter& w, const Rreq& m) {
   w.put_u32(m.dest);
   w.put_u32(m.dest_seq);
   w.put_u8(m.unknown_dest_seq ? 1 : 0);
+  w.put_u64(time_to_micros(m.issued_at));
   w.put_u8(m.hop_count);
   w.put_u8(m.ttl);
   put_auth(w, m.origin_auth);
@@ -118,10 +119,11 @@ std::optional<Rreq> decode_rreq(crypto::ByteReader& r) {
   const auto dest = r.get_u32();
   const auto dest_seq = r.get_u32();
   const auto unknown = r.get_u8();
+  const auto issued_us = r.get_u64();
   const auto hops = r.get_u8();
   const auto ttl = r.get_u8();
-  if (!rreq_id || !origin || !origin_seq || !dest || !dest_seq || !unknown || !hops ||
-      !ttl || *unknown > 1) {
+  if (!rreq_id || !origin || !origin_seq || !dest || !dest_seq || !unknown || !issued_us ||
+      !hops || !ttl || *unknown > 1) {
     return std::nullopt;
   }
   m.rreq_id = *rreq_id;
@@ -130,6 +132,9 @@ std::optional<Rreq> decode_rreq(crypto::ByteReader& r) {
   m.dest = *dest;
   m.dest_seq = *dest_seq;
   m.unknown_dest_seq = *unknown == 1;
+  const auto issued_at = micros_to_time(*issued_us);
+  if (!issued_at) return std::nullopt;
+  m.issued_at = *issued_at;
   m.hop_count = *hops;
   m.ttl = *ttl;
   if (!get_auth(r, m.origin_auth) || !get_auth(r, m.hop_auth)) return std::nullopt;

@@ -1,5 +1,7 @@
 #include "aodv/messages.hpp"
 
+#include <cmath>
+
 namespace mccls::aodv {
 
 namespace {
@@ -16,6 +18,8 @@ crypto::Bytes signable_bytes(const Rreq& rreq) {
   w.put_u32(rreq.dest);
   w.put_u32(rreq.dest_seq);
   w.put_u8(rreq.unknown_dest_seq ? 1 : 0);
+  // Same µs rounding as the codec, so a decoded copy re-signs identically.
+  w.put_u64(static_cast<std::uint64_t>(std::llround(rreq.issued_at * 1e6)));
   return w.take();
 }
 
@@ -49,7 +53,7 @@ crypto::Bytes signable_bytes(const Hello& hello) {
   return w.take();
 }
 
-std::size_t base_wire_size(const Rreq&) { return kIpUdpHeader + 24; }
+std::size_t base_wire_size(const Rreq&) { return kIpUdpHeader + 32; }
 std::size_t base_wire_size(const Hello&) { return kIpUdpHeader + 12; }
 std::size_t base_wire_size(const Rrep&) { return kIpUdpHeader + 20; }
 std::size_t base_wire_size(const Rerr& rerr) {

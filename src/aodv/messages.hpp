@@ -36,6 +36,10 @@ struct Rreq {
   NodeId dest = 0;
   std::uint32_t dest_seq = 0;
   bool unknown_dest_seq = true;
+  /// Origination timestamp, signed with the immutable fields. Secured nodes
+  /// reject RREQs older than AodvConfig::rreq_freshness — the replay-storm
+  /// defense (an attacker cannot refresh it without the originator's key).
+  sim::SimTime issued_at = 0;
   std::uint8_t hop_count = 0;  ///< mutable; excluded from signatures
   std::uint8_t ttl = 35;       ///< mutable; excluded from signatures
   std::optional<AuthExt> origin_auth;

@@ -42,6 +42,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       .min_speed = 0.1,
       .pause = config.pause,
       .connect_range = config.phy.range,  // start from a connected placement
+      .placement_attempts = config.placement_attempts,
   };
   sim::Rng mobility_rng = rng.fork(0x10B);
   net::RandomWaypointMobility base_mobility(config.num_nodes, mob_cfg, mobility_rng);
@@ -53,8 +54,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   net::PinnedTailMobility pinned_mobility(base_mobility, first_attacker_for_mobility,
                                           config.num_nodes, config.area_width,
                                           config.area_height);
-  const net::MobilityModel& mobility =
-      pin ? static_cast<const net::MobilityModel&>(pinned_mobility) : base_mobility;
+  net::MobilityModel& mobility =
+      pin ? static_cast<net::MobilityModel&>(pinned_mobility) : base_mobility;
 
   net::Channel channel(simulator, rng.fork(0xC4A), mobility, config.phy);
 
@@ -128,7 +129,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   simulator.run_until(config.duration);
 
-  return ScenarioResult{.metrics = metrics, .channel = channel.stats()};
+  return ScenarioResult{
+      .metrics = metrics,
+      .channel = channel.stats(),
+      .disconnected_placements = base_mobility.placement_connected() ? 0u : 1u};
 }
 
 ScenarioResult run_scenario_averaged(ScenarioConfig config, unsigned seeds) {
@@ -138,12 +142,8 @@ ScenarioResult run_scenario_averaged(ScenarioConfig config, unsigned seeds) {
     config.seed = config.seed + (i == 0 ? 0 : 1);
     const ScenarioResult one = run_scenario(config);
     total.metrics += one.metrics;
-    total.channel.frames_transmitted += one.channel.frames_transmitted;
-    total.channel.frames_delivered += one.channel.frames_delivered;
-    total.channel.collisions += one.channel.collisions;
-    total.channel.random_losses += one.channel.random_losses;
-    total.channel.unicast_failures += one.channel.unicast_failures;
-    total.channel.bytes_transmitted += one.channel.bytes_transmitted;
+    total.channel += one.channel;
+    total.disconnected_placements += one.disconnected_placements;
   }
   return total;
 }

@@ -51,12 +51,19 @@ struct ScenarioConfig {
   /// QualNet-era 802.11 two-ray propagation reaches ~350-380 m; the generic
   /// PhyConfig default of 250 m is too sparse for 20 nodes on this field.
   net::PhyConfig phy{.range = 350.0};
+  /// Rejection-sampling budget for a connected initial placement; when
+  /// exhausted the run proceeds on the last (disconnected) draw and
+  /// ScenarioResult::disconnected_placements records it.
+  int placement_attempts = 200;
   AodvConfig aodv;
 };
 
 struct ScenarioResult {
   Metrics metrics;
   net::Channel::Stats channel;
+  /// Runs (0 or 1 for a single run; summed when averaged) whose initial
+  /// placement stayed disconnected after the rejection-sampling budget.
+  std::uint64_t disconnected_placements = 0;
 
   [[nodiscard]] double pdr() const { return metrics.packet_delivery_ratio(); }
   [[nodiscard]] double rreq_ratio() const { return metrics.rreq_ratio(); }

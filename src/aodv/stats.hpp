@@ -27,7 +27,8 @@ struct Metrics {
   std::uint64_t link_fail_drops = 0;   ///< MAC gave up on a broken link
 
   // Security extension.
-  std::uint64_t auth_rejected = 0;  ///< control packets dropped: bad signature
+  std::uint64_t auth_rejected = 0;    ///< control packets dropped: bad signature
+  std::uint64_t replay_rejected = 0;  ///< signed RREQs dropped: stale timestamp
   std::uint64_t sign_ops = 0;
   std::uint64_t verify_ops = 0;
 
@@ -72,6 +73,7 @@ struct Metrics {
     no_route_drops += o.no_route_drops;
     link_fail_drops += o.link_fail_drops;
     auth_rejected += o.auth_rejected;
+    replay_rejected += o.replay_rejected;
     sign_ops += o.sign_ops;
     verify_ops += o.verify_ops;
     total_delay += o.total_delay;

@@ -1,8 +1,27 @@
 #include "aodv/traffic.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace mccls::aodv {
+
+namespace {
+
+// Packet k of a flow fires at start + k*interval, computed from the integer
+// tick index each time — no accumulated floating-point drift over long runs —
+// and each tick schedules only its successor, so a flow costs O(1) heap
+// closures at any instant instead of O(duration/interval) at setup.
+void schedule_tick(sim::Simulator& simulator, std::vector<std::unique_ptr<AodvAgent>>& agents,
+                   const CbrFlow& flow, std::uint64_t tick) {
+  const sim::SimTime t = flow.start + static_cast<double>(tick) * flow.interval;
+  if (t >= flow.stop) return;
+  simulator.schedule_at(t, [&simulator, &agents, flow, tick] {
+    agents[flow.src]->send_data(flow.dst, flow.payload_bytes);
+    schedule_tick(simulator, agents, flow, tick + 1);
+  });
+}
+
+}  // namespace
 
 void install_flow(sim::Simulator& simulator, std::vector<std::unique_ptr<AodvAgent>>& agents,
                   const CbrFlow& flow) {
@@ -10,11 +29,7 @@ void install_flow(sim::Simulator& simulator, std::vector<std::unique_ptr<AodvAge
     throw std::invalid_argument("install_flow: bad endpoints");
   }
   if (flow.interval <= 0) throw std::invalid_argument("install_flow: bad interval");
-  for (sim::SimTime t = flow.start; t < flow.stop; t += flow.interval) {
-    simulator.schedule_at(t, [&agents, flow] {
-      agents[flow.src]->send_data(flow.dst, flow.payload_bytes);
-    });
-  }
+  schedule_tick(simulator, agents, flow, 0);
 }
 
 }  // namespace mccls::aodv

@@ -17,6 +17,10 @@ DsrAgent::DsrAgent(sim::Simulator& simulator, net::Channel& channel, NodeId id,
       attack_(attack) {
   channel_.attach(id_, this);
   if (attack_ == AttackType::kRushing) channel_.set_zero_backoff(id_, true);
+  if (attack_ == AttackType::kReplayStorm && cfg_.replay_storm_interval > 0) {
+    sim_.schedule_in(rng_.uniform(0, cfg_.replay_storm_interval),
+                     [this] { replay_storm_tick(); });
+  }
 }
 
 // --------------------------------------------------------------- security
@@ -100,6 +104,20 @@ void DsrAgent::on_frame(const net::Frame& frame) {
       }
       return;
     }
+    if (attack_ == AttackType::kSybil) {
+      if (rreq->origin != id_ && rreq->target != id_ &&
+          !request_seen(rreq->origin, rreq->request_id)) {
+        sybil_reply(*rreq);
+      }
+      return;
+    }
+    if (attack_ == AttackType::kReplayStorm) {
+      // Harvest raw floods for later refloods; never forward honestly.
+      if (rreq->origin != id_ && replay_log_.size() < cfg_.replay_record_cap) {
+        replay_log_.emplace_back(*rreq, from);
+      }
+      return;
+    }
     if (attack_ == AttackType::kRushing) {
       DsrRreq copy = *rreq;
       handle_rreq(std::move(copy), from);  // zero jitter inside
@@ -107,6 +125,14 @@ void DsrAgent::on_frame(const net::Frame& frame) {
     }
     DsrRreq copy = *rreq;
     sim_.schedule_in(verify_latency(2), [this, copy = std::move(copy), from]() mutable {
+      // Replay defense, checked before the (costlier) signature work: the
+      // timestamp is covered by the origin signature, so replayers cannot
+      // refresh it. Only meaningful when secured.
+      if (security_ != nullptr && cfg_.rreq_freshness > 0 &&
+          sim_.now() - copy.issued_at > cfg_.rreq_freshness) {
+        ++metrics_.replay_rejected;
+        return;
+      }
       if (security_ != nullptr) {
         // Binding rules: origin signature by the claimed origin; hop
         // signature by the transmitting neighbour, who must also be the
@@ -128,7 +154,9 @@ void DsrAgent::on_frame(const net::Frame& frame) {
     return;
   }
   if (const auto* rrep = std::get_if<DsrRrep>(&payload->msg)) {
-    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+    if (attack_ == AttackType::kReplayStorm) return;  // pure flooder
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing ||
+        attack_ == AttackType::kSybil) {
       DsrRrep copy = *rrep;
       handle_rrep(std::move(copy), from);
       return;
@@ -146,7 +174,10 @@ void DsrAgent::on_frame(const net::Frame& frame) {
     return;
   }
   if (const auto* rerr = std::get_if<DsrRerr>(&payload->msg)) {
-    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) return;
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing ||
+        attack_ == AttackType::kSybil || attack_ == AttackType::kReplayStorm) {
+      return;
+    }
     DsrRerr copy = *rerr;
     sim_.schedule_in(verify_latency(1), [this, copy = std::move(copy), from] {
       if (!verify_auth(copy.origin_auth, signable_origin(copy))) return;
@@ -249,6 +280,54 @@ void DsrAgent::black_hole_reply(const DsrRreq& rreq) {
       base_wire_size(rrep) + auth_overhead(rrep.origin_auth, rrep.hop_auth);
   rrep.hop_index = 0;
   channel_.unicast(id_, rrep.origin, bytes, DsrPayload{rrep}, {});
+}
+
+// ------------------------------------------------- sybil / replay-storm
+
+NodeId DsrAgent::sybil_identity(std::size_t k) const {
+  // Well above any real node id; distinct pools per attacker.
+  return 0x10000u + static_cast<NodeId>(id_) * 64u + static_cast<NodeId>(k);
+}
+
+void DsrAgent::sybil_reply(const DsrRreq& rreq) {
+  // Route-cache poisoning: a forged reply routing origin -> <phantom> ->
+  // target. Unsecured origins cache it and then unicast data at a node that
+  // does not exist — every packet burns the full MAC retry budget and dies
+  // (link_fail_drops), a different failure mode from black-hole absorption.
+  // Secured origins reject it at the binding check (the origin signature
+  // must come from the claimed target, and no sybil identity is enrolled).
+  const NodeId fake = sybil_identity(sybil_cursor_++ % cfg_.sybil_pool);
+  ++metrics_.rrep_generated;
+  DsrRrep rrep{.request_id = rreq.request_id,
+               .origin = rreq.origin,
+               .target = rreq.target,
+               .route = {fake},
+               .hop_index = 0};
+  if (security_ != nullptr) {
+    rrep.origin_auth = security_->sign(fake, signable_origin(rrep));
+  }
+  const std::size_t bytes =
+      base_wire_size(rrep) + auth_overhead(rrep.origin_auth, rrep.hop_auth);
+  channel_.unicast(id_, rreq.origin, bytes, DsrPayload{rrep}, {});
+}
+
+void DsrAgent::replay_storm_tick() {
+  for (const auto& [recorded, orig_from] : replay_log_) {
+    // Verbatim reflood with the original transmitter spoofed; stale signed
+    // timestamps are the secured network's tell (replay_rejected).
+    const std::size_t bytes =
+        base_wire_size(recorded) + auth_overhead(recorded.origin_auth, recorded.hop_auth);
+    channel_.broadcast_as(id_, orig_from, bytes, DsrPayload{recorded});
+    // Id-mutated copies defeat the request-table dedup; the mutation breaks
+    // the origin signature (request_id is signed) in secured networks.
+    for (int c = 0; c < cfg_.replay_copies; ++c) {
+      DsrRreq mutated = recorded;
+      mutated.request_id += 0x40000000u + ++replay_mutation_;
+      channel_.broadcast_as(id_, orig_from, bytes, DsrPayload{mutated});
+    }
+  }
+  sim_.schedule_in(cfg_.replay_storm_interval * rng_.uniform(0.95, 1.05),
+                   [this] { replay_storm_tick(); });
 }
 
 // ------------------------------------------------------------------ RREP
@@ -357,7 +436,8 @@ void DsrAgent::send_data(NodeId dst, std::size_t payload_bytes) {
 void DsrAgent::handle_data(DsrData data, NodeId from) {
   (void)from;
   if (data.dst != id_) {
-    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing) {
+    if (attack_ == AttackType::kBlackHole || attack_ == AttackType::kRushing ||
+        attack_ == AttackType::kSybil || attack_ == AttackType::kReplayStorm) {
       ++metrics_.attacker_dropped;
       return;
     }
@@ -435,7 +515,8 @@ void DsrAgent::send_rreq(NodeId dst, int attempt) {
                .origin = id_,
                .target = dst,
                .route = {},
-               .ttl = cfg_.rreq_ttl};
+               .ttl = cfg_.rreq_ttl,
+               .issued_at = sim_.now()};
   request_seen(id_, rreq.request_id);  // suppress our own echoes
 
   double latency = 0;

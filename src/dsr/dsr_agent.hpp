@@ -31,6 +31,16 @@ struct DsrConfig {
   std::uint8_t rreq_ttl = 35;
   double request_table_lifetime = 5.0;  ///< RREQ dedup window
   std::uint8_t rerr_ttl = 3;            ///< small flood for error reports
+
+  /// Replay defense: secured nodes drop RREQs whose signed origination
+  /// timestamp is older than this many seconds (0 disables).
+  double rreq_freshness = 3.0;
+
+  // Attack knobs (only read by agents running the matching AttackType).
+  std::size_t sybil_pool = 4;          ///< fabricated identities per attacker
+  double replay_storm_interval = 1.0;  ///< seconds between reflood bursts
+  std::size_t replay_record_cap = 16;  ///< overheard RREQs retained
+  int replay_copies = 3;               ///< id-mutated copies per RREQ per burst
 };
 
 struct DsrPayload {
@@ -73,6 +83,9 @@ class DsrAgent final : public net::RadioListener {
   void send_rreq(NodeId dst, int attempt);
   void reply_as_target(const DsrRreq& rreq);
   void black_hole_reply(const DsrRreq& rreq);
+  [[nodiscard]] NodeId sybil_identity(std::size_t k) const;
+  void sybil_reply(const DsrRreq& rreq);
+  void replay_storm_tick();
   void forward_rrep(DsrRrep rrep);
   void report_broken_link(NodeId from, NodeId to);
 
@@ -112,6 +125,11 @@ class DsrAgent final : public net::RadioListener {
   std::unordered_map<NodeId, std::deque<DsrData>> buffer_;
   std::unordered_map<std::uint64_t, sim::SimTime> seen_requests_;
   std::unordered_set<std::uint64_t> seen_rerrs_;
+
+  // Attacker state (sybil / replay-storm).
+  std::size_t sybil_cursor_ = 0;
+  std::vector<std::pair<DsrRreq, NodeId>> replay_log_;  ///< (packet, transmitter)
+  std::uint32_t replay_mutation_ = 0;
 };
 
 }  // namespace mccls::dsr

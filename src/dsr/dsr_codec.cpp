@@ -79,6 +79,7 @@ void encode(crypto::ByteWriter& w, const DsrRreq& m) {
   w.put_u32(m.origin);
   w.put_u32(m.target);
   w.put_u8(m.ttl);
+  w.put_u64(time_to_micros(m.issued_at));
   put_route(w, m.route);
   put_auth(w, m.origin_auth);
   put_auth(w, m.hop_auth);
@@ -120,11 +121,15 @@ std::optional<DsrRreq> decode_rreq(crypto::ByteReader& r) {
   const auto origin = r.get_u32();
   const auto target = r.get_u32();
   const auto ttl = r.get_u8();
-  if (!request_id || !origin || !target || !ttl) return std::nullopt;
+  const auto issued_us = r.get_u64();
+  if (!request_id || !origin || !target || !ttl || !issued_us) return std::nullopt;
   m.request_id = *request_id;
   m.origin = *origin;
   m.target = *target;
   m.ttl = *ttl;
+  const auto issued_at = micros_to_time(*issued_us);
+  if (!issued_at) return std::nullopt;
+  m.issued_at = *issued_at;
   if (!get_route(r, m.route)) return std::nullopt;
   if (!get_auth(r, m.origin_auth) || !get_auth(r, m.hop_auth)) return std::nullopt;
   return m;

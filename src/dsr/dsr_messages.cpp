@@ -1,5 +1,7 @@
 #include "dsr/dsr_messages.hpp"
 
+#include <cmath>
+
 namespace mccls::dsr {
 
 namespace {
@@ -17,6 +19,8 @@ crypto::Bytes signable_origin(const DsrRreq& rreq) {
   w.put_u32(rreq.request_id);
   w.put_u32(rreq.origin);
   w.put_u32(rreq.target);
+  // Same µs rounding as the codec, so a decoded copy re-signs identically.
+  w.put_u64(static_cast<std::uint64_t>(std::llround(rreq.issued_at * 1e6)));
   return w.take();
 }
 
@@ -50,7 +54,7 @@ crypto::Bytes signable_origin(const DsrRerr& rerr) {
 }
 
 std::size_t base_wire_size(const DsrRreq& rreq) {
-  return kIpUdpHeader + 16 + 4 * rreq.route.size();
+  return kIpUdpHeader + 24 + 4 * rreq.route.size();
 }
 std::size_t base_wire_size(const DsrRrep& rrep) {
   return kIpUdpHeader + 16 + 4 * rrep.route.size();

@@ -24,6 +24,9 @@ struct DsrRreq {
   NodeId target = 0;
   std::vector<NodeId> route;  ///< accumulated path, excluding origin & target
   std::uint8_t ttl = 35;
+  /// Origination timestamp, covered by the origin signature. Secured nodes
+  /// reject requests older than DsrConfig::rreq_freshness (replay defense).
+  sim::SimTime issued_at = 0;
   std::optional<AuthExt> origin_auth;  ///< origin's signature (immutable fields)
   std::optional<AuthExt> hop_auth;     ///< last forwarder's signature incl. route
 };

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "cls/registry.hpp"
+#include "dsr/dsr_traffic.hpp"
 #include "net/mobility.hpp"
 
 namespace mccls::dsr {
@@ -28,6 +29,7 @@ ScenarioResult run_dsr_scenario(const ScenarioConfig& config, const DsrConfig& d
       .min_speed = 0.1,
       .pause = config.pause,
       .connect_range = config.phy.range,
+      .placement_attempts = config.placement_attempts,
   };
   sim::Rng mobility_rng = rng.fork(0x10B);
   net::RandomWaypointMobility base_mobility(config.num_nodes, mob_cfg, mobility_rng);
@@ -38,8 +40,8 @@ ScenarioResult run_dsr_scenario(const ScenarioConfig& config, const DsrConfig& d
   const bool pin = config.pin_attackers && config.attack != AttackType::kNone;
   net::PinnedTailMobility pinned_mobility(base_mobility, first_attacker, config.num_nodes,
                                           config.area_width, config.area_height);
-  const net::MobilityModel& mobility =
-      pin ? static_cast<const net::MobilityModel&>(pinned_mobility) : base_mobility;
+  net::MobilityModel& mobility =
+      pin ? static_cast<net::MobilityModel&>(pinned_mobility) : base_mobility;
 
   net::Channel channel(simulator, rng.fork(0xC4A), mobility, config.phy);
 
@@ -79,16 +81,21 @@ ScenarioResult run_dsr_scenario(const ScenarioConfig& config, const DsrConfig& d
     const NodeId src = static_cast<NodeId>(traffic_rng.uniform_int(first_attacker));
     NodeId dst = src;
     while (dst == src) dst = static_cast<NodeId>(traffic_rng.uniform_int(first_attacker));
-    const sim::SimTime start =
-        traffic_rng.uniform(config.traffic_start_min, config.traffic_start_max);
-    for (sim::SimTime t = start; t < config.duration; t += config.cbr_interval) {
-      simulator.schedule_at(t, [agent = agents[src].get(), dst,
-                                bytes = config.payload_bytes] { agent->send_data(dst, bytes); });
-    }
+    install_flow(simulator, agents,
+                 aodv::CbrFlow{.src = src,
+                               .dst = dst,
+                               .start = traffic_rng.uniform(config.traffic_start_min,
+                                                            config.traffic_start_max),
+                               .stop = config.duration,
+                               .interval = config.cbr_interval,
+                               .payload_bytes = config.payload_bytes});
   }
 
   simulator.run_until(config.duration);
-  return ScenarioResult{.metrics = metrics, .channel = channel.stats()};
+  return ScenarioResult{
+      .metrics = metrics,
+      .channel = channel.stats(),
+      .disconnected_placements = base_mobility.placement_connected() ? 0u : 1u};
 }
 
 ScenarioResult run_dsr_scenario_averaged(ScenarioConfig config, unsigned seeds,
@@ -99,10 +106,8 @@ ScenarioResult run_dsr_scenario_averaged(ScenarioConfig config, unsigned seeds,
     if (i > 0) ++config.seed;
     const ScenarioResult one = run_dsr_scenario(config, dsr_config);
     total.metrics += one.metrics;
-    total.channel.frames_transmitted += one.channel.frames_transmitted;
-    total.channel.frames_delivered += one.channel.frames_delivered;
-    total.channel.collisions += one.channel.collisions;
-    total.channel.bytes_transmitted += one.channel.bytes_transmitted;
+    total.channel += one.channel;
+    total.disconnected_placements += one.disconnected_placements;
   }
   return total;
 }

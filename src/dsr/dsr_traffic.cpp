@@ -1,0 +1,31 @@
+#include "dsr/dsr_traffic.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace mccls::dsr {
+
+namespace {
+
+void schedule_tick(sim::Simulator& simulator, std::vector<std::unique_ptr<DsrAgent>>& agents,
+                   const aodv::CbrFlow& flow, std::uint64_t tick) {
+  const sim::SimTime t = flow.start + static_cast<double>(tick) * flow.interval;
+  if (t >= flow.stop) return;
+  simulator.schedule_at(t, [&simulator, &agents, flow, tick] {
+    agents[flow.src]->send_data(flow.dst, flow.payload_bytes);
+    schedule_tick(simulator, agents, flow, tick + 1);
+  });
+}
+
+}  // namespace
+
+void install_flow(sim::Simulator& simulator, std::vector<std::unique_ptr<DsrAgent>>& agents,
+                  const aodv::CbrFlow& flow) {
+  if (flow.src >= agents.size() || flow.dst >= agents.size() || flow.src == flow.dst) {
+    throw std::invalid_argument("dsr::install_flow: bad endpoints");
+  }
+  if (flow.interval <= 0) throw std::invalid_argument("dsr::install_flow: bad interval");
+  schedule_tick(simulator, agents, flow, 0);
+}
+
+}  // namespace mccls::dsr

@@ -1,0 +1,21 @@
+// CBR traffic sources over DSR agents — the dsr counterpart of
+// aodv/traffic.hpp, reusing aodv::CbrFlow so both protocols share one
+// workload description.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "aodv/traffic.hpp"
+#include "dsr/dsr_agent.hpp"
+
+namespace mccls::dsr {
+
+/// Installs `flow` as a self-rescheduling event chain: packet k fires at
+/// start + k*interval computed from the integer tick index (no accumulated
+/// floating-point drift, O(1) pending closures per flow). `agents` must
+/// outlive the simulation.
+void install_flow(sim::Simulator& simulator, std::vector<std::unique_ptr<DsrAgent>>& agents,
+                  const aodv::CbrFlow& flow);
+
+}  // namespace mccls::dsr

@@ -5,7 +5,7 @@
 
 namespace mccls::net {
 
-Channel::Channel(sim::Simulator& simulator, sim::Rng rng, const MobilityModel& mobility,
+Channel::Channel(sim::Simulator& simulator, sim::Rng rng, MobilityModel& mobility,
                  const PhyConfig& config)
     : sim_(simulator), rng_(rng), mobility_(mobility), config_(config) {}
 
@@ -14,7 +14,7 @@ void Channel::attach(NodeId node, RadioListener* listener) {
   nodes_[node].listener = listener;
 }
 
-double Channel::node_distance(NodeId a, NodeId b) const {
+double Channel::node_distance(NodeId a, NodeId b) {
   return distance(mobility_.position(a, sim_.now()), mobility_.position(b, sim_.now()));
 }
 

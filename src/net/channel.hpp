@@ -44,7 +44,7 @@ class Channel {
   /// arrives, false after all MAC retries fail.
   using SendResult = std::function<void(bool delivered)>;
 
-  Channel(sim::Simulator& simulator, sim::Rng rng, const MobilityModel& mobility,
+  Channel(sim::Simulator& simulator, sim::Rng rng, MobilityModel& mobility,
           const PhyConfig& config);
 
   /// Registers a node; `listener` must outlive the channel.
@@ -81,6 +81,17 @@ class Channel {
     std::uint64_t unicast_failures = 0;
     std::uint64_t queue_drops = 0;
     std::uint64_t bytes_transmitted = 0;
+
+    Stats& operator+=(const Stats& o) {
+      frames_transmitted += o.frames_transmitted;
+      frames_delivered += o.frames_delivered;
+      collisions += o.collisions;
+      random_losses += o.random_losses;
+      unicast_failures += o.unicast_failures;
+      queue_drops += o.queue_drops;
+      bytes_transmitted += o.bytes_transmitted;
+      return *this;
+    }
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -89,7 +100,7 @@ class Channel {
   }
 
   /// Current distance between two nodes (helper for tests and agents).
-  [[nodiscard]] double node_distance(NodeId a, NodeId b) const;
+  [[nodiscard]] double node_distance(NodeId a, NodeId b);
 
  private:
   struct PendingTx {
@@ -120,7 +131,7 @@ class Channel {
 
   sim::Simulator& sim_;
   sim::Rng rng_;
-  const MobilityModel& mobility_;
+  MobilityModel& mobility_;
   PhyConfig config_;
   std::unordered_map<NodeId, NodeState> nodes_;
   Stats stats_;

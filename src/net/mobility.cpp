@@ -9,16 +9,24 @@ namespace mccls::net {
 RandomWaypointMobility::RandomWaypointMobility(std::size_t num_nodes, const Config& config,
                                                sim::Rng& seed_rng)
     : config_(config) {
-  if (config_.max_speed < 0 || config_.width <= 0 || config_.height <= 0) {
+  if (config_.max_speed < 0 || config_.width <= 0 || config_.height <= 0 ||
+      config_.placement_attempts < 1) {
     throw std::invalid_argument("RandomWaypointMobility: bad config");
   }
   // Draw initial positions; when requested, reject placements whose disc
-  // graph is disconnected (up to a bounded number of attempts).
+  // graph is disconnected (up to the configured attempt budget). If every
+  // attempt fails, keep the last draw but record the failure — callers must
+  // be able to tell a routed field from a partitioned one.
   std::vector<Vec2> starts(num_nodes);
   sim::Rng placement_rng = seed_rng.fork(0xF1E1D);
-  for (int attempt = 0; attempt < 200; ++attempt) {
+  placement_connected_ = config_.connect_range <= 0;
+  for (int attempt = 0; attempt < config_.placement_attempts && !placement_connected_;
+       ++attempt) {
     for (auto& p : starts) p = random_point(placement_rng);
-    if (config_.connect_range <= 0 || is_connected(starts, config_.connect_range)) break;
+    placement_connected_ = is_connected(starts, config_.connect_range);
+  }
+  if (config_.connect_range <= 0) {
+    for (auto& p : starts) p = random_point(placement_rng);
   }
 
   nodes_.reserve(num_nodes);
@@ -53,8 +61,10 @@ Vec2 RandomWaypointMobility::random_point(sim::Rng& rng) const {
   return Vec2{rng.uniform(0, config_.width), rng.uniform(0, config_.height)};
 }
 
-void RandomWaypointMobility::advance(NodeState& st, sim::SimTime t) const {
-  // Generate successive legs until the current one covers time t.
+void RandomWaypointMobility::advance(NodeState& st, sim::SimTime t) {
+  // Generate successive legs until the current one covers time t. Only
+  // touches `st` — per-node state is disjoint, so concurrent advancement of
+  // DIFFERENT nodes is safe; the same node must be queried from one thread.
   while (t > st.leg.arrive + config_.pause) {
     const Vec2 from = st.leg.to;
     const sim::SimTime depart = st.leg.arrive + config_.pause;
@@ -71,7 +81,11 @@ void RandomWaypointMobility::advance(NodeState& st, sim::SimTime t) const {
   }
 }
 
-Vec2 RandomWaypointMobility::position(NodeId node, sim::SimTime t) const {
+void RandomWaypointMobility::advance_all(sim::SimTime t) {
+  for (NodeState& st : nodes_) advance(st, t);
+}
+
+Vec2 RandomWaypointMobility::position(NodeId node, sim::SimTime t) {
   NodeState& st = nodes_.at(node);
   advance(st, t);
   const Leg& leg = st.leg;

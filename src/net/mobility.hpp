@@ -17,15 +17,20 @@ class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
   /// Position of `node` at simulated time `t`. `t` must not decrease between
-  /// calls for the same node (models may advance lazily).
-  [[nodiscard]] virtual Vec2 position(NodeId node, sim::SimTime t) const = 0;
+  /// calls for the same node (models may advance internal per-node state).
+  /// Deliberately non-const: lazy models mutate per-node state, and hiding
+  /// that behind `const` + `mutable` invited data races (two threads querying
+  /// the same node through a "const" model). Per-node state is isolated, so
+  /// concurrent calls for DISTINCT nodes are safe; concurrent calls for the
+  /// same node are the caller's race to avoid.
+  [[nodiscard]] virtual Vec2 position(NodeId node, sim::SimTime t) = 0;
 };
 
 /// Fixed positions; for unit tests and controlled topologies.
 class StaticMobility final : public MobilityModel {
  public:
   explicit StaticMobility(std::vector<Vec2> positions) : positions_(std::move(positions)) {}
-  [[nodiscard]] Vec2 position(NodeId node, sim::SimTime) const override {
+  [[nodiscard]] Vec2 position(NodeId node, sim::SimTime) override {
     return positions_.at(node);
   }
   void move(NodeId node, Vec2 to) { positions_.at(node) = to; }
@@ -39,7 +44,7 @@ class StaticMobility final : public MobilityModel {
 /// their ground instead of roaming (scenario runners for both protocols).
 class PinnedTailMobility final : public MobilityModel {
  public:
-  PinnedTailMobility(const MobilityModel& base, std::size_t first_pinned,
+  PinnedTailMobility(MobilityModel& base, std::size_t first_pinned,
                      std::size_t num_nodes, double width, double height)
       : base_(base),
         first_pinned_(first_pinned),
@@ -47,7 +52,7 @@ class PinnedTailMobility final : public MobilityModel {
         width_(width),
         height_(height) {}
 
-  [[nodiscard]] Vec2 position(NodeId node, sim::SimTime t) const override {
+  [[nodiscard]] Vec2 position(NodeId node, sim::SimTime t) override {
     if (node >= first_pinned_ && node < num_nodes_) {
       const std::size_t pinned = num_nodes_ - first_pinned_;
       const std::size_t idx = node - first_pinned_;
@@ -58,7 +63,7 @@ class PinnedTailMobility final : public MobilityModel {
   }
 
  private:
-  const MobilityModel& base_;
+  MobilityModel& base_;
   std::size_t first_pinned_;
   std::size_t num_nodes_;
   double width_;
@@ -81,11 +86,28 @@ class RandomWaypointMobility final : public MobilityModel {
     /// graph with this radio range is connected (standard MANET-sim
     /// practice; otherwise static runs measure partitions, not routing).
     double connect_range = 0.0;
+    /// Rejection-sampling budget for the connected placement. When every
+    /// attempt fails the LAST draw is kept and placement_connected() reports
+    /// false — callers (the scenario matrix) must surface that per cell
+    /// instead of silently measuring a partitioned field.
+    int placement_attempts = 200;
   };
 
   RandomWaypointMobility(std::size_t num_nodes, const Config& config, sim::Rng& seed_rng);
 
-  [[nodiscard]] Vec2 position(NodeId node, sim::SimTime t) const override;
+  [[nodiscard]] Vec2 position(NodeId node, sim::SimTime t) override;
+
+  /// Advances every node's leg state to cover time `t` in one pass on the
+  /// owning thread. After this, position(n, t') for t' <= t only reads leg
+  /// state for nodes whose legs already reach past t' — the explicit
+  /// alternative to lazy per-query advancement when a topology snapshot at
+  /// a known time is wanted.
+  void advance_all(sim::SimTime t);
+
+  /// False when the constructor exhausted placement_attempts without finding
+  /// a connected placement (connect_range > 0 only; trivially true
+  /// otherwise). The kept placement is the last — disconnected — draw.
+  [[nodiscard]] bool placement_connected() const { return placement_connected_; }
 
  private:
   struct Leg {
@@ -95,17 +117,18 @@ class RandomWaypointMobility final : public MobilityModel {
     sim::SimTime arrive;  ///< time it reaches `to`
   };
   struct NodeState {
-    mutable sim::Rng rng;
-    mutable Leg leg;
+    sim::Rng rng;
+    Leg leg;
     explicit NodeState(sim::Rng r) : rng(r) {}
   };
 
-  void advance(NodeState& st, sim::SimTime t) const;
+  void advance(NodeState& st, sim::SimTime t);
   Vec2 random_point(sim::Rng& rng) const;
   static bool is_connected(const std::vector<Vec2>& points, double range);
 
   Config config_;
-  mutable std::vector<NodeState> nodes_;
+  std::vector<NodeState> nodes_;
+  bool placement_connected_ = true;
 };
 
 }  // namespace mccls::net

@@ -83,6 +83,7 @@ Bytes sample_aodv(sim::Rng& rng) {
       m.dest = static_cast<aodv::NodeId>(rng.uniform_int(64));
       m.dest_seq = static_cast<std::uint32_t>(rng.next_u64());
       m.unknown_dest_seq = rng.chance(0.5);
+      m.issued_at = static_cast<double>(rng.uniform_int(1u << 20)) / 1e6;
       m.hop_count = static_cast<std::uint8_t>(rng.uniform_int(256));
       m.ttl = static_cast<std::uint8_t>(rng.uniform_int(256));
       m.origin_auth = maybe_auth(rng);
@@ -152,6 +153,7 @@ Bytes sample_dsr(sim::Rng& rng) {
       m.target = static_cast<dsr::NodeId>(rng.uniform_int(64));
       m.route = sample_route(rng);
       m.ttl = static_cast<std::uint8_t>(rng.uniform_int(256));
+      m.issued_at = static_cast<double>(rng.uniform_int(1u << 20)) / 1e6;
       m.origin_auth = maybe_auth(rng);
       m.hop_auth = maybe_auth(rng);
       payload.msg = m;

@@ -1,0 +1,95 @@
+#include "scen/matrix.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+namespace mccls::scen {
+
+aodv::ScenarioResult run_cell_seed(const Cell& cell, unsigned seed_index) {
+  aodv::ScenarioConfig config = cell.base;
+  config.seed = cell.seed_base + seed_index;
+  return cell.protocol == Protocol::kDsr ? dsr::run_dsr_scenario(config, cell.dsr)
+                                         : aodv::run_scenario(config);
+}
+
+MatrixResult run_matrix(const std::vector<Cell>& cells, unsigned workers) {
+  std::unordered_set<std::string> names;
+  for (const Cell& cell : cells) {
+    if (cell.name.empty()) throw std::invalid_argument("run_matrix: unnamed cell");
+    if (!names.insert(cell.name).second) {
+      throw std::invalid_argument("run_matrix: duplicate cell name " + cell.name);
+    }
+    if (cell.seeds == 0) throw std::invalid_argument("run_matrix: cell with zero seeds");
+  }
+  if (workers < 1) workers = 1;
+
+  // Flatten to one job per (cell, seed); each job owns a dedicated result
+  // slot, so workers never contend on anything but the job counter.
+  struct Job {
+    std::size_t cell;
+    unsigned seed_index;
+  };
+  std::vector<Job> jobs;
+  std::vector<std::size_t> first_slot(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    first_slot[c] = jobs.size();
+    for (unsigned s = 0; s < cells[c].seeds; ++s) jobs.push_back(Job{c, s});
+  }
+  std::vector<aodv::ScenarioResult> slots(jobs.size());
+
+  std::atomic<std::size_t> next_job{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t j = next_job.fetch_add(1, std::memory_order_relaxed);
+      if (j >= jobs.size()) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error) return;  // stop claiming work after a failure
+      }
+      try {
+        slots[j] = run_cell_seed(cells[jobs[j].cell], jobs[j].seed_index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Serial reduction in seed order: addition over the metric counters is
+  // order-sensitive only for the floating-point delay sum, so a fixed order
+  // keeps even that bit-identical across worker counts.
+  MatrixResult result;
+  result.cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellResult cr;
+    cr.name = cells[c].name;
+    cr.per_seed.reserve(cells[c].seeds);
+    for (unsigned s = 0; s < cells[c].seeds; ++s) {
+      const aodv::ScenarioResult& one = slots[first_slot[c] + s];
+      cr.pooled.metrics += one.metrics;
+      cr.pooled.channel += one.channel;
+      cr.pooled.disconnected_placements += one.disconnected_placements;
+      cr.per_seed.push_back(one);
+    }
+    result.cells.push_back(std::move(cr));
+  }
+  return result;
+}
+
+}  // namespace mccls::scen

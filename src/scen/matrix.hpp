@@ -1,0 +1,60 @@
+// Deterministic parallel scenario-matrix runner (ROADMAP item 5).
+//
+// A matrix is a list of cells; each cell is one point of the evaluation
+// sweep (node count × protocol × attack × security × workload) replicated
+// across N seeds. run_matrix() executes the flattened (cell, seed) job list
+// over a worker-thread pool.
+//
+// Determinism contract: every job builds its ENTIRE simulation world —
+// simulator, RNG tree, mobility, channel, agents — from (cell config, seed)
+// alone and shares no mutable state with any other job. Results land in
+// per-job slots and are reduced serially in seed order afterwards. Metrics
+// are therefore bit-identical for any worker count and any execution order;
+// tests/test_scen_matrix.cpp pins this at 1/4/8 workers, and a TSan build
+// of the whole stack (tsan/scen_matrix) guards the no-shared-state claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aodv/scenario.hpp"
+#include "dsr/dsr_scenario.hpp"
+
+namespace mccls::scen {
+
+enum class Protocol { kAodv, kDsr };
+
+/// One cell of the sweep. `base.seed` is ignored: replication r runs with
+/// seed `seed_base + r`, so a cell's identity is (configs, seed_base, seeds).
+struct Cell {
+  std::string name;  ///< unique key; becomes the SCEN_matrix.json entry name
+  Protocol protocol = Protocol::kAodv;
+  aodv::ScenarioConfig base;
+  dsr::DsrConfig dsr;  ///< protocol knobs when protocol == kDsr
+  unsigned seeds = 8;
+  std::uint64_t seed_base = 1;
+};
+
+struct CellResult {
+  std::string name;
+  /// Raw counters summed over all seeds (ratios are workload-weighted).
+  aodv::ScenarioResult pooled;
+  /// Per-replication results in seed order, for determinism comparisons.
+  std::vector<aodv::ScenarioResult> per_seed;
+};
+
+struct MatrixResult {
+  std::vector<CellResult> cells;  ///< same order as the input cells
+};
+
+/// Runs one (cell, seed) job in the calling thread. The building block the
+/// matrix parallelizes; exposed so tests can compare serial vs pooled runs.
+aodv::ScenarioResult run_cell_seed(const Cell& cell, unsigned seed_index);
+
+/// Executes all cells × seeds on `workers` threads (clamped to >= 1).
+/// Throws std::invalid_argument on empty/duplicate cell names or zero seeds;
+/// worker exceptions are rethrown on the calling thread.
+MatrixResult run_matrix(const std::vector<Cell>& cells, unsigned workers = 1);
+
+}  // namespace mccls::scen

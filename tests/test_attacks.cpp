@@ -246,6 +246,91 @@ TEST(Wormhole, SignaturesDoNotStopIt) {
   EXPECT_EQ(n->metrics.auth_rejected, 0u) << "every replayed signature is genuine";
 }
 
+// ----------------------------------------------------- sybil (outsider)
+
+// Same ground as the black hole: attacker 3 sits next to the source and
+// answers discoveries, but under fabricated identities (0x10000+) that were
+// never enrolled at the KGC. The forged RREP satisfies both binding checks
+// (origin_auth is signed "by" the phantom, hop_auth by the attacker), so
+// rejection must come from the cryptography itself — KGC admission control.
+TEST(Sybil, PhantomIdentityCapturesRouteInPlainAodv) {
+  Net n(blackhole_topology(), nullptr, {AttackType::kNone, AttackType::kNone,
+                                        AttackType::kNone, AttackType::kSybil});
+  n.send_burst(0, 2, 20);
+  n.simulator.run_until(30.0);
+  EXPECT_EQ(n.metrics.data_sent, 20u);
+  EXPECT_GT(n.metrics.attacker_dropped, 10u)
+      << "data follows the forged RREP back to the sybil's transmitter";
+  EXPECT_LT(n.metrics.data_delivered, 10u);
+}
+
+TEST(Sybil, McclsRejectsUnenrolledIdentities) {
+  ModeledClsSecurity security(5, 98, 34);
+  Net n(blackhole_topology(), &security,
+        {AttackType::kNone, AttackType::kNone, AttackType::kNone, AttackType::kSybil});
+  n.send_burst(0, 2, 20);
+  n.simulator.run_until(30.0);
+  EXPECT_GT(n.metrics.auth_rejected, 0u)
+      << "phantom identities were never enrolled, so their signatures fail";
+  EXPECT_EQ(n.metrics.attacker_dropped, 0u);
+  EXPECT_GE(n.metrics.data_delivered, 18u) << "traffic flows over the honest chain";
+}
+
+// ------------------------------------------------- RREQ replay storm
+
+// Attacker 3 overhears the chain's discovery floods, then rebroadcasts them
+// later: verbatim copies (genuine signatures, spoofed transmitter) plus
+// mutated copies (bumped rreq_id to defeat duplicate suppression). The
+// defense is the signed issued_at timestamp: honest nodes discard RREQs
+// older than rreq_freshness before any other processing.
+TEST(ReplayStorm, FloodsThePlainNetwork) {
+  Net clean(blackhole_topology(), nullptr, {});
+  clean.send_burst(0, 2, 20);
+  clean.simulator.run_until(40.0);
+
+  Net n(blackhole_topology(), nullptr, {AttackType::kNone, AttackType::kNone,
+                                        AttackType::kNone, AttackType::kReplayStorm});
+  n.send_burst(0, 2, 20);
+  n.simulator.run_until(40.0);
+  EXPECT_GT(n.channel.stats().frames_transmitted,
+            2 * clean.channel.stats().frames_transmitted)
+      << "the storm multiplies control traffic";
+  // Mutated copies defeat duplicate suppression; honest intermediates answer
+  // each one from their route cache, so the amplification shows up as a
+  // gratuitous-RREP storm.
+  EXPECT_GT(n.metrics.rrep_generated, clean.metrics.rrep_generated)
+      << "every mutated replay copy provokes a cached-route reply";
+}
+
+TEST(ReplayStorm, McclsFreshnessCheckStopsIt) {
+  ModeledClsSecurity security(5, 98, 34);
+  Net n(blackhole_topology(), &security,
+        {AttackType::kNone, AttackType::kNone, AttackType::kNone,
+         AttackType::kReplayStorm});
+  n.send_burst(0, 2, 20);
+  n.simulator.run_until(40.0);
+  EXPECT_GT(n.metrics.replay_rejected, 0u)
+      << "stale issued_at timestamps rejected before signature work";
+  EXPECT_GE(n.metrics.data_delivered, 18u) << "delivery unaffected by the storm";
+}
+
+TEST(ReplayStorm, MutatedCopiesCannotForgeFreshTimestamps) {
+  // The timestamp is covered by the origin signature, so the attacker cannot
+  // refresh it: every mutated copy either fails freshness (stale) or fails
+  // the signature (tampered). No replayed RREQ may ever seed a route.
+  ModeledClsSecurity security(5, 98, 34);
+  Net n(blackhole_topology(), &security,
+        {AttackType::kNone, AttackType::kNone, AttackType::kNone,
+         AttackType::kReplayStorm});
+  n.send_burst(0, 2, 10);
+  n.simulator.run_until(40.0);
+  const Route* route = n.agents[0]->table().find_active(2, n.simulator.now());
+  if (route != nullptr) {
+    EXPECT_NE(route->next_hop, 3u) << "no route may point at the replayer";
+  }
+  EXPECT_EQ(n.metrics.attacker_dropped, 0u);
+}
+
 TEST(Attacks, AttackersDoNotOriginateRreqFloods) {
   // Attackers absorb; they must not inflate the RREQ ratio on their own.
   Net n(blackhole_topology(), nullptr, {AttackType::kNone, AttackType::kNone,

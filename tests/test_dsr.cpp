@@ -217,6 +217,73 @@ TEST(DsrSecured, HopAuthReplayIsRejected) {
   EXPECT_EQ(n.metrics.rreq_forwarded, 0u);
 }
 
+// ----------------------------------------------------- sybil (outsider)
+
+TEST(DsrSybil, PoisonsRouteCacheInPlainDsr) {
+  // The sybil answers discoveries with a fabricated route through a phantom
+  // relay. Plain DSR caches the shorter forged route; packets sent along it
+  // die in MAC retries against a node that does not exist — a different
+  // failure signature (link_fail_drops) than black-hole absorption.
+  Net n(blackhole_topology(), nullptr, {AttackType::kNone, AttackType::kNone,
+                                        AttackType::kNone, AttackType::kSybil});
+  for (int i = 0; i < 20; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(2, 512); });
+  }
+  n.simulator.run_until(30.0);
+  EXPECT_GT(n.metrics.link_fail_drops, 0u)
+      << "unicasts to the phantom relay exhaust MAC retries";
+  EXPECT_LT(n.metrics.data_delivered, 20u);
+}
+
+TEST(DsrSybil, McclsBindingRejectsPhantomReply) {
+  // Secured DSR requires origin_auth.signer == RREP target; the sybil's
+  // reply is signed by a phantom id, so it dies at the binding check and the
+  // honest route wins.
+  ModeledClsSecurity security(5, 98, 34);
+  Net n(blackhole_topology(), &security,
+        {AttackType::kNone, AttackType::kNone, AttackType::kNone, AttackType::kSybil});
+  for (int i = 0; i < 20; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(2, 512); });
+  }
+  n.simulator.run_until(30.0);
+  EXPECT_GT(n.metrics.auth_rejected, 0u) << "phantom-signed RREP rejected";
+  EXPECT_GE(n.metrics.data_delivered, 18u);
+}
+
+// ------------------------------------------------- RREQ replay storm
+
+TEST(DsrReplayStorm, FloodsThePlainNetwork) {
+  Net clean(blackhole_topology(), nullptr, {});
+  for (int i = 0; i < 10; ++i) {
+    clean.simulator.schedule_at(1.0 + i * 0.5, [&] { clean.agents[0]->send_data(2, 512); });
+  }
+  clean.simulator.run_until(40.0);
+
+  Net n(blackhole_topology(), nullptr, {AttackType::kNone, AttackType::kNone,
+                                        AttackType::kNone, AttackType::kReplayStorm});
+  for (int i = 0; i < 10; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(2, 512); });
+  }
+  n.simulator.run_until(40.0);
+  EXPECT_GT(n.channel.stats().frames_transmitted,
+            2 * clean.channel.stats().frames_transmitted)
+      << "replayed and mutated RREQ copies multiply control traffic";
+}
+
+TEST(DsrReplayStorm, McclsFreshnessCheckStopsIt) {
+  ModeledClsSecurity security(5, 98, 34);
+  Net n(blackhole_topology(), &security,
+        {AttackType::kNone, AttackType::kNone, AttackType::kNone,
+         AttackType::kReplayStorm});
+  for (int i = 0; i < 20; ++i) {
+    n.simulator.schedule_at(1.0 + i * 0.5, [&] { n.agents[0]->send_data(2, 512); });
+  }
+  n.simulator.run_until(40.0);
+  EXPECT_GT(n.metrics.replay_rejected, 0u)
+      << "stale signed issued_at rejected before signature verification";
+  EXPECT_GE(n.metrics.data_delivered, 18u);
+}
+
 // ------------------------------------------------------ scenario runner
 
 TEST(DsrScenario, DeliversAtPaperScale) {

@@ -51,7 +51,8 @@ TEST(Messages, MessageTypesAreDomainSeparated) {
 TEST(Messages, WireSizesAreSane) {
   const Rreq rreq{};
   const Rrep rrep{};
-  EXPECT_EQ(base_wire_size(rreq), 28u + 24u) << "IP/UDP + RFC 3561 RREQ";
+  EXPECT_EQ(base_wire_size(rreq), 28u + 32u)
+      << "IP/UDP + RFC 3561 RREQ + the signed 8-byte issued_at timestamp";
   EXPECT_EQ(base_wire_size(rrep), 28u + 20u);
   Rerr rerr{.unreachable = {{1, 1}, {2, 2}, {3, 3}}};
   EXPECT_EQ(base_wire_size(rerr), 28u + 4u + 24u);

@@ -1,0 +1,257 @@
+// scenario_matrix — deterministic parallel sweep over the scenario engine
+// (src/scen), emitting SCEN_matrix.json in the BENCH schema so
+// bench_compare can gate secured-vs-unsecured PDR and delay like any other
+// tracked artifact.
+//
+//   scenario_matrix --preset smoke --workers 2 --out SCEN_matrix.json
+//   scenario_matrix --preset full --check-determinism --out SCEN_matrix.json
+//
+// Presets:
+//   smoke — tier-1 material: 20-node cells, 2 seeds, every attack class on
+//           both protocols plus the secured/unsecured pairs the CI gates
+//           compare. Seconds of wall clock.
+//   full  — the acceptance sweep: {20,100,500,1000} nodes × {aodv,dsr} ×
+//           {none,blackhole,sybil,replay-storm}, secured cells throughout
+//           plus unsecured baselines, >= 8 seeds. Field area scales with
+//           sqrt(n/20) to hold density; durations shrink as n grows.
+//
+// Gate encoding: bench_compare reasons in "lower median_ns is better", so
+// each cell contributes <name>_loss = (1 - PDR) * 1e6 + 1 and
+// <name>_delay = mean delay in µs + 1 (the +1 keeps medians strictly
+// positive so ratios stay finite). Human-readable values land in derived{}.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../bench/bench_json.hpp"
+#include "scen/matrix.hpp"
+
+namespace {
+
+using mccls::aodv::AttackType;
+using mccls::aodv::ScenarioConfig;
+using mccls::aodv::SecurityMode;
+using mccls::scen::Cell;
+using mccls::scen::CellResult;
+using mccls::scen::MatrixResult;
+using mccls::scen::Protocol;
+
+const char* attack_name(AttackType a) {
+  switch (a) {
+    case AttackType::kNone: return "none";
+    case AttackType::kBlackHole: return "blackhole";
+    case AttackType::kSybil: return "sybil";
+    case AttackType::kReplayStorm: return "replay";
+    case AttackType::kRushing: return "rushing";
+    case AttackType::kGrayHole: return "grayhole";
+    case AttackType::kWormhole: return "wormhole";
+  }
+  return "unknown";
+}
+
+Cell make_cell(std::size_t nodes, Protocol proto, AttackType attack, bool secured,
+               double duration, unsigned seeds) {
+  Cell cell;
+  cell.protocol = proto;
+  cell.seeds = seeds;
+  ScenarioConfig& c = cell.base;
+  c.num_nodes = nodes;
+  const double scale = std::sqrt(static_cast<double>(nodes) / 20.0);
+  c.area_width = 1500.0 * scale;
+  c.area_height = 300.0 * scale;
+  c.duration = duration;
+  c.num_flows = std::max<std::size_t>(10, nodes / 10);
+  c.security = secured ? SecurityMode::kModeled : SecurityMode::kNone;
+  c.attack = attack;
+  c.num_attackers = attack == AttackType::kNone
+                        ? 0
+                        : std::max<std::size_t>(2, nodes / 5);  // 20% adversarial
+  cell.name = std::string(proto == Protocol::kDsr ? "dsr" : "aodv") + "_" +
+              std::to_string(nodes) + "_" + attack_name(attack) +
+              (secured ? "_sec" : "_unsec");
+  return cell;
+}
+
+std::vector<Cell> smoke_preset(unsigned seeds) {
+  // Small, fast, and exactly the cells the CI gates read: secured vs
+  // unsecured under no attack (delay overhead gate) and under 20% black
+  // holes (PDR floor gate), plus both new attack classes on both protocols.
+  std::vector<Cell> cells;
+  const double dur = 40.0;
+  for (const Protocol proto : {Protocol::kAodv, Protocol::kDsr}) {
+    for (const AttackType attack :
+         {AttackType::kNone, AttackType::kBlackHole, AttackType::kSybil,
+          AttackType::kReplayStorm}) {
+      for (const bool secured : {false, true}) {
+        cells.push_back(make_cell(20, proto, attack, secured, dur, seeds));
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<Cell> full_preset(unsigned seeds) {
+  // The acceptance sweep. Durations shrink with n so the 1000-node cells
+  // stay tractable; area grows as sqrt(n/20) to hold node density constant.
+  // Traffic starts at 1-3 s (instead of the paper's 5-15 s warm-up): the
+  // short large-n durations must still leave several seconds of RREQs older
+  // than the freshness horizon, or the replay-storm cells would end before
+  // a single stale replay exists.
+  std::vector<Cell> cells;
+  for (const std::size_t nodes : {std::size_t{20}, std::size_t{100}, std::size_t{500},
+                                  std::size_t{1000}}) {
+    const double dur = nodes <= 20 ? 60.0 : nodes <= 100 ? 30.0 : nodes <= 500 ? 12.0 : 8.0;
+    for (const Protocol proto : {Protocol::kAodv, Protocol::kDsr}) {
+      for (const AttackType attack :
+           {AttackType::kNone, AttackType::kBlackHole, AttackType::kSybil,
+            AttackType::kReplayStorm}) {
+        cells.push_back(make_cell(nodes, proto, attack, /*secured=*/true, dur, seeds));
+      }
+      // Unsecured baseline (no attack) for the overhead comparison.
+      cells.push_back(make_cell(nodes, proto, AttackType::kNone, /*secured=*/false, dur,
+                                seeds));
+    }
+  }
+  for (Cell& cell : cells) {
+    cell.base.traffic_start_min = 1.0;
+    cell.base.traffic_start_max = 3.0;
+  }
+  return cells;
+}
+
+bool same_metrics(const mccls::aodv::ScenarioResult& a, const mccls::aodv::ScenarioResult& b) {
+  const auto& m = a.metrics;
+  const auto& n = b.metrics;
+  return m.data_sent == n.data_sent && m.data_delivered == n.data_delivered &&
+         m.data_forwarded == n.data_forwarded && m.rreq_initiated == n.rreq_initiated &&
+         m.rreq_forwarded == n.rreq_forwarded && m.rreq_retries == n.rreq_retries &&
+         m.rrep_generated == n.rrep_generated && m.rrep_forwarded == n.rrep_forwarded &&
+         m.rerr_sent == n.rerr_sent && m.attacker_dropped == n.attacker_dropped &&
+         m.buffer_drops == n.buffer_drops && m.no_route_drops == n.no_route_drops &&
+         m.link_fail_drops == n.link_fail_drops && m.auth_rejected == n.auth_rejected &&
+         m.replay_rejected == n.replay_rejected && m.sign_ops == n.sign_ops &&
+         m.verify_ops == n.verify_ops && m.total_delay == n.total_delay &&
+         m.delay_samples == n.delay_samples &&
+         a.channel.frames_transmitted == b.channel.frames_transmitted &&
+         a.channel.frames_delivered == b.channel.frames_delivered &&
+         a.channel.collisions == b.channel.collisions &&
+         a.channel.random_losses == b.channel.random_losses &&
+         a.channel.unicast_failures == b.channel.unicast_failures &&
+         a.channel.queue_drops == b.channel.queue_drops &&
+         a.channel.bytes_transmitted == b.channel.bytes_transmitted &&
+         a.disconnected_placements == b.disconnected_placements;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--preset smoke|full] [--workers N] [--seeds N]\n"
+               "          [--out FILE] [--check-determinism]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset = "smoke";
+  std::string out = "SCEN_matrix.json";
+  unsigned workers = std::max(1u, std::thread::hardware_concurrency());
+  unsigned seeds = 0;  // 0 = preset default
+  bool check_determinism = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--preset") {
+      preset = need_value("--preset");
+    } else if (arg == "--workers") {
+      workers = static_cast<unsigned>(std::strtoul(need_value("--workers"), nullptr, 10));
+    } else if (arg == "--seeds") {
+      seeds = static_cast<unsigned>(std::strtoul(need_value("--seeds"), nullptr, 10));
+    } else if (arg == "--out") {
+      out = need_value("--out");
+    } else if (arg == "--check-determinism") {
+      check_determinism = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (workers < 1) workers = 1;
+
+  std::vector<Cell> cells;
+  if (preset == "smoke") {
+    cells = smoke_preset(seeds == 0 ? 2 : seeds);
+  } else if (preset == "full") {
+    cells = full_preset(seeds == 0 ? 8 : seeds);
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return usage(argv[0]);
+  }
+
+  std::size_t total_jobs = 0;
+  for (const Cell& c : cells) total_jobs += c.seeds;
+  std::printf("scenario_matrix: preset=%s cells=%zu jobs=%zu workers=%u\n", preset.c_str(),
+              cells.size(), total_jobs, workers);
+
+  const MatrixResult result = mccls::scen::run_matrix(cells, workers);
+
+  if (check_determinism) {
+    // The contract the whole design rests on: worker count must not change a
+    // single bit of any per-seed result.
+    std::printf("scenario_matrix: re-running serially for the determinism check...\n");
+    const MatrixResult serial = mccls::scen::run_matrix(cells, 1);
+    for (std::size_t c = 0; c < result.cells.size(); ++c) {
+      for (std::size_t s = 0; s < result.cells[c].per_seed.size(); ++s) {
+        if (!same_metrics(result.cells[c].per_seed[s], serial.cells[c].per_seed[s])) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: cell %s seed %zu differs between "
+                       "%u-worker and serial runs\n",
+                       result.cells[c].name.c_str(), s, workers);
+          return 1;
+        }
+      }
+    }
+    std::printf("scenario_matrix: determinism check passed (%u workers vs serial)\n",
+                workers);
+  }
+
+  std::vector<mccls::bench::BenchResult> entries;
+  std::map<std::string, double> derived;
+  for (const CellResult& cell : result.cells) {
+    const auto& r = cell.pooled;
+    const double loss = (1.0 - r.pdr()) * 1e6 + 1.0;
+    const double delay_us = r.avg_delay() * 1e6 + 1.0;
+    entries.push_back({cell.name + "_loss", r.metrics.data_sent, loss, loss, loss});
+    entries.push_back({cell.name + "_delay", r.metrics.delay_samples, delay_us, delay_us,
+                       delay_us});
+    derived[cell.name + "_pdr"] = r.pdr();
+    derived[cell.name + "_rreq_ratio"] = r.rreq_ratio();
+    derived[cell.name + "_delay_s"] = r.avg_delay();
+    derived[cell.name + "_drop_ratio"] = r.drop_ratio();
+    derived[cell.name + "_disconnected"] =
+        static_cast<double>(r.disconnected_placements);
+    derived[cell.name + "_auth_rejected"] = static_cast<double>(r.metrics.auth_rejected);
+    derived[cell.name + "_replay_rejected"] =
+        static_cast<double>(r.metrics.replay_rejected);
+    std::printf("  %-28s pdr=%.3f delay=%.4fs rreq=%.2f drop=%.3f auth_rej=%llu "
+                "replay_rej=%llu disc=%llu\n",
+                cell.name.c_str(), r.pdr(), r.avg_delay(), r.rreq_ratio(), r.drop_ratio(),
+                static_cast<unsigned long long>(r.metrics.auth_rejected),
+                static_cast<unsigned long long>(r.metrics.replay_rejected),
+                static_cast<unsigned long long>(r.disconnected_placements));
+  }
+  return mccls::bench::write_bench_json(out, "scenario_matrix_" + preset, entries, derived)
+             ? 0
+             : 1;
+}
